@@ -1,0 +1,33 @@
+// Table 1 — Detection evaluation on CIFAR-10 (ResNet family).
+//
+// Paper: 50 models per case, clean / BadNet 2x2 / BadNet 3x3; NC, TABOR and
+// USB each classify every model and (for backdoored ones) predict the
+// target class. This bench regenerates the same rows on the scaled
+// substrate (see DESIGN.md). Scale with USB_MODELS_PER_CASE.
+#include "exp/experiment.h"
+
+int main() {
+  using namespace usb;
+  const ExperimentScale scale = ExperimentScale::from_env();
+  const std::vector<MethodKind> methods{MethodKind::kNc, MethodKind::kTabor, MethodKind::kUsb};
+  const DatasetSpec spec = DatasetSpec::cifar10_like();
+
+  std::vector<DetectionCaseResult> results;
+  results.push_back(run_detection_case(
+      DetectionCaseSpec{"Clean", spec, Architecture::kMiniResNet, AttackKind::kNone, 0, 0.0, 300},
+      scale, methods));
+  results.push_back(run_detection_case(
+      DetectionCaseSpec{"Backdoored (2x2 trigger)", spec, Architecture::kMiniResNet,
+                        AttackKind::kBadNet, 2, 0.20, 300},
+      scale, methods));
+  results.push_back(run_detection_case(
+      DetectionCaseSpec{"Backdoored (3x3 trigger)", spec, Architecture::kMiniResNet,
+                        AttackKind::kBadNet, 3, 0.15, 300},
+      scale, methods));
+
+  print_detection_table(
+      "Table 1: CIFAR-10-like + MiniResNet (paper: ResNet-18, 50 models/case; here " +
+          std::to_string(scale.models_per_case) + "/case)",
+      results);
+  return 0;
+}

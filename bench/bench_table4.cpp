@@ -1,0 +1,28 @@
+// Table 4 — BadNet on VGG-16 + CIFAR-10 (appendix A.3): clean, 2x2, 3x3.
+#include "exp/experiment.h"
+
+int main() {
+  using namespace usb;
+  const ExperimentScale scale = ExperimentScale::from_env();
+  const std::vector<MethodKind> methods{MethodKind::kNc, MethodKind::kTabor, MethodKind::kUsb};
+  const DatasetSpec spec = DatasetSpec::cifar10_like();
+
+  std::vector<DetectionCaseResult> results;
+  results.push_back(run_detection_case(
+      DetectionCaseSpec{"Clean", spec, Architecture::kMiniVgg, AttackKind::kNone, 0, 0.0, 300},
+      scale, methods));
+  results.push_back(run_detection_case(
+      DetectionCaseSpec{"Backdoored (2x2 trigger)", spec, Architecture::kMiniVgg,
+                        AttackKind::kBadNet, 2, 0.20, 300},
+      scale, methods));
+  results.push_back(run_detection_case(
+      DetectionCaseSpec{"Backdoored (3x3 trigger)", spec, Architecture::kMiniVgg,
+                        AttackKind::kBadNet, 3, 0.15, 300},
+      scale, methods));
+
+  print_detection_table(
+      "Table 4: CIFAR-10-like + MiniVgg (paper: VGG-16, 15 models/case; here " +
+          std::to_string(scale.models_per_case) + "/case)",
+      results);
+  return 0;
+}

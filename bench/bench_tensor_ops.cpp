@@ -1,0 +1,108 @@
+// Micro-benchmarks (google-benchmark) for the kernels everything else sits
+// on: matmul, conv2d forward/backward, SSIM with gradient, and a full
+// MiniResNet forward/backward step.
+#include <benchmark/benchmark.h>
+
+#include "metrics/ssim.h"
+#include "nn/loss.h"
+#include "nn/models.h"
+#include "tensor/tensor_ops.h"
+#include "utils/rng.h"
+
+namespace {
+
+using namespace usb;
+
+Tensor random_tensor(Shape shape, std::uint64_t seed, float lo = 0.0F, float hi = 1.0F) {
+  Rng rng(seed);
+  Tensor t(std::move(shape));
+  for (std::int64_t i = 0; i < t.numel(); ++i) t[i] = rng.uniform_float(lo, hi);
+  return t;
+}
+
+void BM_MatMul(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  const Tensor a = random_tensor(Shape{n, n}, 1, -1.0F, 1.0F);
+  const Tensor b = random_tensor(Shape{n, n}, 2, -1.0F, 1.0F);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matmul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_Conv2dForward(benchmark::State& state) {
+  const std::int64_t batch = state.range(0);
+  Conv2dSpec spec;
+  spec.in_channels = 8;
+  spec.out_channels = 16;
+  spec.kernel = 3;
+  spec.padding = 1;
+  const Tensor x = random_tensor(Shape{batch, 8, 32, 32}, 3);
+  const Tensor w = random_tensor(spec.weight_shape(), 4, -0.2F, 0.2F);
+  const Tensor bias = random_tensor(Shape{16}, 5, -0.1F, 0.1F);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv2d_forward(x, w, bias, spec));
+  }
+}
+BENCHMARK(BM_Conv2dForward)->Arg(16)->Arg(64);
+
+void BM_Conv2dBackward(benchmark::State& state) {
+  const std::int64_t batch = state.range(0);
+  Conv2dSpec spec;
+  spec.in_channels = 8;
+  spec.out_channels = 16;
+  spec.kernel = 3;
+  spec.padding = 1;
+  const Tensor x = random_tensor(Shape{batch, 8, 32, 32}, 6);
+  const Tensor w = random_tensor(spec.weight_shape(), 7, -0.2F, 0.2F);
+  const Tensor dy = random_tensor(Shape{batch, 16, 32, 32}, 8, -1.0F, 1.0F);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv2d_backward(x, w, dy, spec));
+  }
+}
+BENCHMARK(BM_Conv2dBackward)->Arg(16)->Arg(64);
+
+void BM_SsimWithGradient(benchmark::State& state) {
+  const Tensor x = random_tensor(Shape{16, 3, 32, 32}, 9);
+  const Tensor y = random_tensor(Shape{16, 3, 32, 32}, 10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ssim_with_gradient(x, y));
+  }
+}
+BENCHMARK(BM_SsimWithGradient);
+
+void BM_MiniResNetTrainStep(benchmark::State& state) {
+  Network net = make_network(Architecture::kMiniResNet, 3, 32, 10, 11);
+  net.set_training(true);
+  const Tensor x = random_tensor(Shape{32, 3, 32, 32}, 12);
+  std::vector<std::int64_t> labels(32);
+  for (std::size_t i = 0; i < labels.size(); ++i) labels[i] = static_cast<std::int64_t>(i % 10);
+  SoftmaxCrossEntropy loss;
+  for (auto _ : state) {
+    const Tensor logits = net.forward(x);
+    benchmark::DoNotOptimize(loss.forward(logits, labels));
+    benchmark::DoNotOptimize(net.backward(loss.backward()));
+    net.zero_grad();
+  }
+}
+BENCHMARK(BM_MiniResNetTrainStep);
+
+void BM_MiniResNetInputGradOnly(benchmark::State& state) {
+  // The detection configuration: eval mode, parameter gradients off.
+  Network net = make_network(Architecture::kMiniResNet, 3, 32, 10, 13);
+  net.set_training(false);
+  net.set_param_grads_enabled(false);
+  const Tensor x = random_tensor(Shape{16, 3, 32, 32}, 14);
+  TargetedCrossEntropy loss;
+  for (auto _ : state) {
+    const Tensor logits = net.forward(x);
+    benchmark::DoNotOptimize(loss.forward(logits, 0));
+    benchmark::DoNotOptimize(net.backward(loss.backward()));
+  }
+}
+BENCHMARK(BM_MiniResNetInputGradOnly);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,51 @@
+#include "attacks/factory.h"
+
+#include <stdexcept>
+
+#include "attacks/badnet.h"
+#include "attacks/iad.h"
+#include "attacks/latent.h"
+
+namespace usb {
+
+std::string to_string(AttackKind kind) {
+  switch (kind) {
+    case AttackKind::kNone: return "clean";
+    case AttackKind::kBadNet: return "badnet";
+    case AttackKind::kLatent: return "latent";
+    case AttackKind::kIad: return "iad";
+  }
+  throw std::invalid_argument("unknown attack kind");
+}
+
+AttackPtr make_attack(const AttackParams& params, const DatasetSpec& spec) {
+  switch (params.kind) {
+    case AttackKind::kNone:
+      return nullptr;
+    case AttackKind::kBadNet: {
+      BadNetConfig config;
+      config.trigger_size = params.trigger_size;
+      config.target_class = params.target_class;
+      config.poison_rate = params.poison_rate;
+      config.seed = params.seed;
+      return std::make_unique<BadNet>(config, spec);
+    }
+    case AttackKind::kLatent: {
+      LatentBackdoorConfig config;
+      config.trigger_size = params.trigger_size;
+      config.target_class = params.target_class;
+      config.poison_rate = std::max(params.poison_rate, 0.05);
+      config.seed = params.seed;
+      return std::make_unique<LatentBackdoor>(config, spec);
+    }
+    case AttackKind::kIad: {
+      IadConfig config;
+      config.target_class = params.target_class;
+      config.seed = params.seed;
+      return std::make_unique<Iad>(config, spec);
+    }
+  }
+  throw std::invalid_argument("unknown attack kind");
+}
+
+}  // namespace usb

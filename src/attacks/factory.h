@@ -1,0 +1,26 @@
+// Attack construction keyed by kind, for the experiment harness.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "attacks/attack.h"
+
+namespace usb {
+
+enum class AttackKind { kNone, kBadNet, kLatent, kIad };
+
+[[nodiscard]] std::string to_string(AttackKind kind);
+
+struct AttackParams {
+  AttackKind kind = AttackKind::kBadNet;
+  std::int64_t trigger_size = 3;
+  std::int64_t target_class = 0;
+  double poison_rate = 0.05;
+  std::uint64_t seed = 7;
+};
+
+/// Builds the attack (nullptr for kNone). `spec` supplies image geometry.
+[[nodiscard]] AttackPtr make_attack(const AttackParams& params, const DatasetSpec& spec);
+
+}  // namespace usb

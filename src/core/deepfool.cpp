@@ -1,0 +1,85 @@
+#include "core/deepfool.h"
+#include <algorithm>
+
+#include <cmath>
+
+#include "tensor/tensor_ops.h"
+
+namespace usb {
+
+Tensor input_gradient(Network& model, const Tensor& x, const Tensor& selector) {
+  model.set_training(false);
+  (void)model.forward(x);
+  return model.backward(selector);
+}
+
+DeepFoolResult targeted_deepfool(Network& model, const Tensor& x, std::int64_t target,
+                                 const DeepFoolConfig& config) {
+  model.set_training(false);
+  model.set_param_grads_enabled(false);
+  const std::int64_t batch = x.dim(0);
+  const std::int64_t numel = x.numel() / batch;
+  const std::int64_t classes = model.num_classes();
+
+  Tensor x_adv = x;
+  DeepFoolResult result;
+  result.perturbation = Tensor(x.shape());
+
+  std::vector<bool> done(static_cast<std::size_t>(batch), false);
+  for (std::int64_t iter = 0; iter < config.max_iterations; ++iter) {
+    const Tensor logits = model.forward(x_adv);
+    const std::vector<std::int64_t> preds = argmax_rows(logits);
+
+    // Selectors: one-hot target and one-hot current prediction per row, with
+    // finished rows zeroed so they contribute nothing to either backward.
+    Tensor sel_target(Shape{batch, classes});
+    Tensor sel_current(Shape{batch, classes});
+    bool any_active = false;
+    for (std::int64_t n = 0; n < batch; ++n) {
+      if (done[static_cast<std::size_t>(n)]) continue;
+      if (preds[static_cast<std::size_t>(n)] == target) {
+        done[static_cast<std::size_t>(n)] = true;
+        continue;
+      }
+      any_active = true;
+      sel_target[n * classes + target] = 1.0F;
+      sel_current[n * classes + preds[static_cast<std::size_t>(n)]] = 1.0F;
+    }
+    if (!any_active) break;
+
+    // Two backwards over the one cached forward (backward is repeatable).
+    const Tensor grad_target = model.backward(sel_target);
+    const Tensor grad_current = model.backward(sel_current);
+
+    for (std::int64_t n = 0; n < batch; ++n) {
+      if (done[static_cast<std::size_t>(n)]) continue;
+      const std::int64_t pred = preds[static_cast<std::size_t>(n)];
+      const float* gt = grad_target.raw() + n * numel;
+      const float* gc = grad_current.raw() + n * numel;
+      double w_sq = 0.0;
+      for (std::int64_t i = 0; i < numel; ++i) {
+        const double w = static_cast<double>(gt[i]) - gc[i];
+        w_sq += w * w;
+      }
+      const float logit_gap = logits[n * classes + pred] - logits[n * classes + target];
+      const double scale = (static_cast<double>(logit_gap) + 1e-4) / (w_sq + 1e-12);
+      float* adv = x_adv.raw() + n * numel;
+      float* pert = result.perturbation.raw() + n * numel;
+      const float step = static_cast<float>(scale) * (1.0F + config.overshoot);
+      for (std::int64_t i = 0; i < numel; ++i) {
+        const float delta = step * (gt[i] - gc[i]);
+        pert[i] += delta;
+        adv[i] = std::clamp(adv[i] + delta, config.clip_lo, config.clip_hi);
+      }
+    }
+  }
+
+  // Final count of rows that reached the target.
+  const Tensor logits = model.forward(x_adv);
+  for (const std::int64_t pred : argmax_rows(logits)) {
+    if (pred == target) ++result.flipped;
+  }
+  return result;
+}
+
+}  // namespace usb

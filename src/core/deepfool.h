@@ -1,0 +1,43 @@
+// Targeted DeepFool (Moosavi-Dezfooli et al., CVPR 2016), the inner search
+// of Alg. 1: the minimal perturbation moving a sample across the decision
+// boundary into a chosen target class.
+//
+// For the current prediction c and target t, one step moves along
+//   w = grad_x logit_t - grad_x logit_c
+// by (logit_c - logit_t)/||w||^2, i.e. the exact boundary projection for a
+// locally-linearized classifier. Both gradients come from repeated backward
+// passes over one cached forward (backward is a pure function of the cache).
+#pragma once
+
+#include <cstdint>
+
+#include "nn/models.h"
+
+namespace usb {
+
+struct DeepFoolConfig {
+  std::int64_t max_iterations = 6;
+  float overshoot = 0.02F;  // pushes past the boundary, as in the original
+  float clip_lo = 0.0F;     // valid image range
+  float clip_hi = 1.0F;
+};
+
+/// Gradient of sum_n <logits_n, selector_n> with respect to the input batch;
+/// `selector` is (N,num_classes). The model must already be in eval mode and
+/// must have run forward(x) — this helper reruns forward itself for safety.
+[[nodiscard]] Tensor input_gradient(Network& model, const Tensor& x, const Tensor& selector);
+
+struct DeepFoolResult {
+  Tensor perturbation;       // same shape as the input batch
+  std::int64_t flipped = 0;  // rows that reached the target class
+};
+
+/// Batched targeted DeepFool: for every row not yet classified as `target`,
+/// accumulates boundary-projection steps until the row flips or the
+/// iteration budget runs out. Rows already at the target get a zero
+/// perturbation.
+[[nodiscard]] DeepFoolResult targeted_deepfool(Network& model, const Tensor& x,
+                                               std::int64_t target,
+                                               const DeepFoolConfig& config = {});
+
+}  // namespace usb

@@ -1,0 +1,101 @@
+#include "core/targeted_uap.h"
+#include <algorithm>
+
+#include <cmath>
+
+#include "data/dataloader.h"
+#include "tensor/tensor_ops.h"
+
+namespace usb {
+namespace {
+
+/// Adds v (1,C,H,W) to every row of a batch, clipped to [0,1].
+Tensor add_uap(const Tensor& images, const Tensor& v) {
+  Tensor out = images;
+  const std::int64_t batch = images.dim(0);
+  const std::int64_t numel = v.numel();
+  for (std::int64_t n = 0; n < batch; ++n) {
+    float* row = out.raw() + n * numel;
+    for (std::int64_t i = 0; i < numel; ++i) {
+      row[i] = std::clamp(row[i] + v[i], 0.0F, 1.0F);
+    }
+  }
+  return out;
+}
+
+void project_l2(Tensor& v, float radius) {
+  const float norm = v.l2_norm();
+  if (norm > radius && norm > 0.0F) v *= radius / norm;
+}
+
+}  // namespace
+
+double uap_fooling_rate(Network& model, const Dataset& probe, const Tensor& v,
+                        std::int64_t target) {
+  model.set_training(false);
+  DataLoader loader(probe, 128, /*shuffle=*/false, /*seed=*/0);
+  Batch batch;
+  std::int64_t hits = 0;
+  std::int64_t total = 0;
+  while (loader.next(batch)) {
+    const Tensor logits = model.forward(add_uap(batch.images, v));
+    for (const std::int64_t pred : argmax_rows(logits)) {
+      if (pred == target) ++hits;
+      ++total;
+    }
+  }
+  return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+}
+
+TargetedUapResult targeted_uap(Network& model, const Dataset& probe, std::int64_t target,
+                               const TargetedUapConfig& config) {
+  model.set_training(false);
+  model.set_param_grads_enabled(false);
+  const Dataset craft_set =
+      config.craft_size > 0 ? probe.take(config.craft_size) : probe.take(probe.size());
+  const DatasetSpec& spec = probe.spec();
+  TargetedUapResult result;
+  result.perturbation =
+      Tensor(Shape{1, spec.channels, spec.image_size, spec.image_size});
+  Tensor& v = result.perturbation;
+  const float radius =
+      config.l2_radius_per_pixel > 0.0F
+          ? config.l2_radius_per_pixel * std::sqrt(static_cast<float>(spec.image_numel()))
+          : 0.0F;
+
+  DataLoader loader(craft_set, config.batch_size, /*shuffle=*/false, /*seed=*/0);
+  for (std::int64_t pass = 0; pass < config.max_passes; ++pass) {
+    result.passes = pass + 1;
+    loader.new_epoch();
+    Batch batch;
+    while (loader.next(batch)) {
+      const Tensor shifted = add_uap(batch.images, v);
+
+      // Batched Alg. 1 inner loop: the minimal per-sample perturbations that
+      // send x_i + v to the target, averaged over the rows that still miss
+      // it, become the aggregate update to v.
+      const DeepFoolResult step = targeted_deepfool(model, shifted, target, config.deepfool);
+      const std::int64_t batch_rows = shifted.dim(0);
+      const std::int64_t numel = v.numel();
+      std::int64_t active_rows = 0;
+      Tensor update(v.shape());
+      for (std::int64_t n = 0; n < batch_rows; ++n) {
+        const float* pert = step.perturbation.raw() + n * numel;
+        float row_norm = 0.0F;
+        for (std::int64_t i = 0; i < numel; ++i) row_norm += pert[i] * pert[i];
+        if (row_norm <= 0.0F) continue;  // already at target, untouched
+        ++active_rows;
+        for (std::int64_t i = 0; i < numel; ++i) update[i] += pert[i];
+      }
+      if (active_rows == 0) continue;
+      update *= 1.0F / static_cast<float>(active_rows);
+      v += update;
+      if (radius > 0.0F) project_l2(v, radius);
+    }
+    result.fooling_rate = uap_fooling_rate(model, craft_set, v, target);
+    if (result.fooling_rate >= config.desired_rate) break;
+  }
+  return result;
+}
+
+}  // namespace usb

@@ -1,0 +1,49 @@
+// Alg. 1 of the paper: targeted Universal Adversarial Perturbation.
+//
+// Iterates over the small clean set X, accumulating batched targeted
+// DeepFool steps into a single perturbation v until a fraction theta of
+// X + v is classified as the target class (paper default theta = 0.6).
+// After each aggregation the perturbation is projected back onto an L2 ball
+// ("update the perturbation under limitation", Alg. 1 line 7).
+//
+// For a backdoored model and the backdoor's target class, v converges in
+// very few passes with a small norm, because the trigger shortcut is exactly
+// such a universal direction — the core observation of the paper.
+#pragma once
+
+#include "core/deepfool.h"
+#include "data/dataset.h"
+#include "nn/models.h"
+
+namespace usb {
+
+struct TargetedUapConfig {
+  double desired_rate = 0.6;  // theta
+  std::int64_t max_passes = 4;
+  std::int64_t batch_size = 32;
+  /// Alg. 1 runs on the first `craft_size` probe images (the paper notes
+  /// <1% of the training set suffices); <=0 uses the whole probe.
+  std::int64_t craft_size = 128;
+  /// L2 projection radius, scaled by sqrt(input numel) inside the algorithm
+  /// so one value works across image geometries. <=0 disables projection.
+  float l2_radius_per_pixel = 0.35F;
+  DeepFoolConfig deepfool;
+};
+
+struct TargetedUapResult {
+  Tensor perturbation;        // (1,C,H,W)
+  double fooling_rate = 0.0;  // fraction of probe sent to the target
+  std::int64_t passes = 0;
+};
+
+/// Crafts a targeted UAP for `target` over the probe set.
+[[nodiscard]] TargetedUapResult targeted_uap(Network& model, const Dataset& probe,
+                                             std::int64_t target,
+                                             const TargetedUapConfig& config = {});
+
+/// Fraction of probe images classified as `target` after adding v (clipped
+/// to the valid range).
+[[nodiscard]] double uap_fooling_rate(Network& model, const Dataset& probe, const Tensor& v,
+                                      std::int64_t target);
+
+}  // namespace usb

@@ -1,0 +1,145 @@
+#include "core/usb.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "data/dataloader.h"
+#include "defenses/masked_trigger.h"
+#include "nn/loss.h"
+#include "tensor/tensor_ops.h"
+#include "utils/timer.h"
+
+namespace usb {
+namespace {
+
+double final_fooling_rate(Network& model, const Dataset& probe, const MaskedTrigger& trigger,
+                          std::int64_t target_class) {
+  DataLoader loader(probe, 128, /*shuffle=*/false, /*seed=*/0);
+  Batch batch;
+  std::int64_t hits = 0;
+  std::int64_t total = 0;
+  while (loader.next(batch)) {
+    const Tensor logits = model.forward(trigger.apply(batch.images));
+    for (const std::int64_t pred : argmax_rows(logits)) {
+      if (pred == target_class) ++hits;
+      ++total;
+    }
+  }
+  return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+}
+
+}  // namespace
+
+UsbDetector::Decomposition UsbDetector::decompose_uap(const Tensor& uap) const {
+  const std::int64_t channels = uap.dim(1);
+  const std::int64_t size = uap.dim(2);
+  const std::int64_t spatial = size * size;
+
+  // Per-pixel magnitude profile (mean |v| across channels).
+  std::vector<float> magnitude(static_cast<std::size_t>(spatial), 0.0F);
+  for (std::int64_t c = 0; c < channels; ++c) {
+    for (std::int64_t s = 0; s < spatial; ++s) {
+      magnitude[static_cast<std::size_t>(s)] += std::abs(uap[c * spatial + s]);
+    }
+  }
+  for (float& m : magnitude) m /= static_cast<float>(channels);
+
+  // Normalizing quantile: pixels at/above it start with mask ~= 1, the rest
+  // proportionally lower — the UAP's energy profile becomes the mask.
+  std::vector<float> sorted = magnitude;
+  std::sort(sorted.begin(), sorted.end());
+  const auto q_index = static_cast<std::size_t>(
+      std::clamp(config_.magnitude_quantile, 0.0, 1.0) *
+      static_cast<double>(sorted.size() - 1));
+  const float scale = std::max(sorted[q_index], 1e-6F);
+
+  Decomposition out;
+  out.mask = Tensor(Shape{size, size});
+  for (std::int64_t s = 0; s < spatial; ++s) {
+    out.mask[s] = std::clamp(magnitude[static_cast<std::size_t>(s)] / scale, 0.01F, 0.97F);
+  }
+
+  // Trigger init: the pixel value the UAP drives toward, around mid-gray
+  // (images live in [0,1]; v is a signed displacement).
+  out.pattern = Tensor(Shape{channels, size, size});
+  for (std::int64_t i = 0; i < out.pattern.numel(); ++i) {
+    out.pattern[i] = std::clamp(0.5F + uap[i], 0.02F, 0.98F);
+  }
+  return out;
+}
+
+TriggerEstimate UsbDetector::reverse_engineer_class(
+    Network& model, const Dataset& probe, std::int64_t target_class,
+    const std::optional<Tensor>& precomputed_uap) {
+  model.set_training(false);
+  model.set_param_grads_enabled(false);
+
+  // ---- Alg. 1: targeted UAP (or the transferred one). ----
+  Tensor uap(Shape{1, probe.spec().channels, probe.spec().image_size, probe.spec().image_size});
+  if (precomputed_uap.has_value()) {
+    uap = *precomputed_uap;
+  } else if (!config_.random_init) {
+    uap = targeted_uap(model, probe, target_class, config_.uap).perturbation;
+  }
+
+  // ---- Alg. 2: refine trigger x mask from the UAP decomposition. ----
+  Rng init_rng(hash_combine(0xab1a7e0ULL, static_cast<std::uint64_t>(target_class)));
+  MaskedTrigger trigger =
+      config_.random_init && !precomputed_uap.has_value()
+          ? MaskedTrigger(probe.spec().channels, probe.spec().image_size, init_rng, config_.lr)
+          : [&] {
+              const Decomposition init = decompose_uap(uap);
+              return MaskedTrigger(init.mask, init.pattern, config_.lr);
+            }();
+  TargetedCrossEntropy ce;
+  DataLoader loader(probe, config_.batch_size, /*shuffle=*/true,
+                    hash_combine(0x05bULL, static_cast<std::uint64_t>(target_class)));
+
+  float last_loss = 0.0F;
+  Batch batch;
+  for (std::int64_t step = 0; step < config_.refine_steps; ++step) {
+    if (!loader.next(batch)) {
+      loader.new_epoch();
+      if (!loader.next(batch)) break;
+    }
+    trigger.zero_grad();
+    const Tensor blended = trigger.apply(batch.images);
+
+    // CE(f(x'), t)
+    const Tensor logits = model.forward(blended);
+    const float ce_value = ce.forward(logits, target_class);
+    Tensor dblended = model.backward(ce.backward());
+
+    // -SSIM(x, x'): keep x' structurally close to the clean batch.
+    const SsimResult ssim_result = ssim_with_gradient(batch.images, blended, config_.ssim);
+    dblended.add_scaled(ssim_result.grad_y, -config_.ssim_weight);
+
+    trigger.accumulate_from_output_grad(dblended, batch.images);
+    if (config_.use_l1_term) trigger.add_mask_l1_grad(config_.l1_weight);
+    trigger.step();
+
+    last_loss = ce_value - config_.ssim_weight * ssim_result.value +
+                (config_.use_l1_term
+                     ? config_.l1_weight * static_cast<float>(trigger.mask_l1())
+                     : 0.0F);
+  }
+
+  TriggerEstimate estimate;
+  estimate.target_class = target_class;
+  estimate.pattern = trigger.pattern();
+  estimate.mask = trigger.mask();
+  estimate.mask_l1 = trigger.mask_l1();
+  estimate.final_loss = last_loss;
+  estimate.fooling_rate = final_fooling_rate(model, probe, trigger, target_class);
+  return estimate;
+}
+
+DetectionReport UsbDetector::detect(Network& model, const Dataset& probe) {
+  return run_per_class_detection(
+      name(), model, probe, config_.mad_threshold,
+      [this](Network& clone, const Dataset& data, std::int64_t t) {
+        return reverse_engineer_class(clone, data, t);
+      });
+}
+
+}  // namespace usb

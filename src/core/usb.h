@@ -1,0 +1,73 @@
+// USB: Universal Soldier for Backdoor detection — the paper's contribution.
+//
+// Pipeline per candidate class t (Sections 3.2-3.3):
+//   1. Alg. 1  — craft a targeted UAP v toward t over a small clean probe
+//                set (300 images for 32x32 data, 500 for the ImageNet
+//                substitute).
+//   2. Decompose v into an initial (trigger, mask): the mask from the UAP's
+//                per-pixel magnitude profile, the trigger from the UAP
+//                values ("initialize trigger and mask by v", Alg. 2 line 1).
+//   3. Alg. 2  — refine with Adam(0.5, 0.9) under
+//                L = CE(f(x'), t) - SSIM(x, x') + w_l1 * |mask|_1 ,
+//                x' = x(1-mask) + trigger*mask.
+//   4. The per-class mask-L1 statistics go through the same MAD outlier rule
+//                as NC/TABOR.
+//
+// The UAP initialization is the differentiator: a random NC start contains
+// none of an advanced trigger's structure, while the UAP already rides the
+// backdoor shortcut (paper Fig. 1 and Appendix A.4).
+#pragma once
+
+#include <optional>
+
+#include "core/targeted_uap.h"
+#include "defenses/detector.h"
+#include "metrics/ssim.h"
+
+namespace usb {
+
+struct UsbConfig {
+  TargetedUapConfig uap;
+  std::int64_t refine_steps = 120;  // paper: m = 500; scaled default
+  std::int64_t batch_size = 16;
+  float lr = 0.1F;                  // paper: lr = 0.1, Adam(0.5, 0.9)
+  float ssim_weight = 1.0F;         // weight on -SSIM(x, x')
+  float l1_weight = 0.02F;          // weight on |mask|_1
+  bool use_l1_term = true;          // false reproduces the Fig. 5 ablation
+  /// Ablation: skip Alg. 1 and start Alg. 2 from an NC-style random point.
+  /// Isolates the value of the UAP initialization (DESIGN.md ablation 1).
+  bool random_init = false;
+  double mad_threshold = 2.0;
+  /// Mask init: pixels whose UAP magnitude reaches this quantile get mask~1.
+  double magnitude_quantile = 0.95;
+  SsimConfig ssim;
+};
+
+class UsbDetector final : public Detector {
+ public:
+  explicit UsbDetector(UsbConfig config) : config_(config) {}
+
+  [[nodiscard]] std::string name() const override { return "USB"; }
+  [[nodiscard]] DetectionReport detect(Network& model, const Dataset& probe) override;
+
+  /// Full per-class pipeline. If `precomputed_uap` is given, Alg. 1 is
+  /// skipped — the paper's Section 4.4 transfer setting, where one UAP is
+  /// reused across models of the same architecture.
+  [[nodiscard]] TriggerEstimate reverse_engineer_class(
+      Network& model, const Dataset& probe, std::int64_t target_class,
+      const std::optional<Tensor>& precomputed_uap = std::nullopt);
+
+  /// Decomposes a UAP (1,C,H,W) into the Alg. 2 starting point.
+  struct Decomposition {
+    Tensor mask;     // (H,W) in [0,1]
+    Tensor pattern;  // (C,H,W) in [0,1]
+  };
+  [[nodiscard]] Decomposition decompose_uap(const Tensor& uap) const;
+
+  [[nodiscard]] const UsbConfig& config() const noexcept { return config_; }
+
+ private:
+  UsbConfig config_;
+};
+
+}  // namespace usb

@@ -1,0 +1,32 @@
+#include "data/dataloader.h"
+
+#include <span>
+
+namespace usb {
+
+DataLoader::DataLoader(const Dataset& dataset, std::int64_t batch_size, bool shuffle,
+                       std::uint64_t seed)
+    : dataset_(&dataset), batch_size_(batch_size), shuffle_(shuffle), rng_(seed) {
+  order_.resize(static_cast<std::size_t>(dataset.size()));
+  for (std::int64_t i = 0; i < dataset.size(); ++i) order_[static_cast<std::size_t>(i)] = i;
+  new_epoch();
+}
+
+void DataLoader::new_epoch() {
+  cursor_ = 0;
+  if (shuffle_) rng_.shuffle(std::span<std::int64_t>(order_));
+}
+
+bool DataLoader::next(Batch& out) {
+  if (cursor_ >= dataset_->size()) return false;
+  const std::int64_t end = std::min(cursor_ + batch_size_, dataset_->size());
+  const std::span<const std::int64_t> slice(order_.data() + cursor_,
+                                            static_cast<std::size_t>(end - cursor_));
+  out.images = dataset_->gather_images(slice);
+  out.labels = dataset_->gather_labels(slice);
+  out.indices.assign(slice.begin(), slice.end());
+  cursor_ = end;
+  return true;
+}
+
+}  // namespace usb

@@ -1,0 +1,44 @@
+// Mini-batch iteration with deterministic per-epoch shuffling.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "utils/rng.h"
+
+namespace usb {
+
+/// One training batch.
+struct Batch {
+  Tensor images;  // (B,C,H,W)
+  std::vector<std::int64_t> labels;
+  std::vector<std::int64_t> indices;  // source rows in the dataset
+};
+
+class DataLoader {
+ public:
+  /// `shuffle` reshuffles at every new_epoch() with the loader's own stream.
+  DataLoader(const Dataset& dataset, std::int64_t batch_size, bool shuffle, std::uint64_t seed);
+
+  /// Resets the cursor and (if enabled) reshuffles.
+  void new_epoch();
+
+  /// Fetches the next batch; returns false at epoch end. The final batch may
+  /// be smaller than batch_size.
+  [[nodiscard]] bool next(Batch& out);
+
+  [[nodiscard]] std::int64_t batches_per_epoch() const noexcept {
+    return (dataset_->size() + batch_size_ - 1) / batch_size_;
+  }
+
+ private:
+  const Dataset* dataset_;
+  std::int64_t batch_size_;
+  bool shuffle_;
+  Rng rng_;
+  std::vector<std::int64_t> order_;
+  std::int64_t cursor_ = 0;
+};
+
+}  // namespace usb

@@ -1,0 +1,67 @@
+#include "data/dataset.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace usb {
+
+DatasetSpec DatasetSpec::mnist_like() { return DatasetSpec{"mnist_like", 1, 28, 10}; }
+DatasetSpec DatasetSpec::cifar10_like() { return DatasetSpec{"cifar10_like", 3, 32, 10}; }
+DatasetSpec DatasetSpec::gtsrb_like() { return DatasetSpec{"gtsrb_like", 3, 32, 43}; }
+DatasetSpec DatasetSpec::imagenet_like() { return DatasetSpec{"imagenet_like", 3, 48, 10}; }
+
+Dataset::Dataset(DatasetSpec spec, Tensor images, std::vector<std::int64_t> labels)
+    : spec_(std::move(spec)), images_(std::move(images)), labels_(std::move(labels)) {
+  if (images_.rank() != 4 || images_.dim(0) != static_cast<std::int64_t>(labels_.size()) ||
+      images_.dim(1) != spec_.channels || images_.dim(2) != spec_.image_size ||
+      images_.dim(3) != spec_.image_size) {
+    throw std::invalid_argument("Dataset: images shape " + images_.shape().to_string() +
+                                " inconsistent with spec " + spec_.name);
+  }
+  for (const std::int64_t label : labels_) {
+    if (label < 0 || label >= spec_.num_classes) {
+      throw std::invalid_argument("Dataset: label out of range for " + spec_.name);
+    }
+  }
+}
+
+Tensor Dataset::image(std::int64_t index) const {
+  const std::int64_t numel = spec_.image_numel();
+  Tensor out(Shape{1, spec_.channels, spec_.image_size, spec_.image_size});
+  std::memcpy(out.raw(), images_.raw() + index * numel,
+              static_cast<std::size_t>(numel) * sizeof(float));
+  return out;
+}
+
+Tensor Dataset::gather_images(std::span<const std::int64_t> indices) const {
+  const std::int64_t numel = spec_.image_numel();
+  Tensor out(Shape{static_cast<std::int64_t>(indices.size()), spec_.channels, spec_.image_size,
+                   spec_.image_size});
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    std::memcpy(out.raw() + static_cast<std::int64_t>(i) * numel,
+                images_.raw() + indices[i] * numel,
+                static_cast<std::size_t>(numel) * sizeof(float));
+  }
+  return out;
+}
+
+std::vector<std::int64_t> Dataset::gather_labels(std::span<const std::int64_t> indices) const {
+  std::vector<std::int64_t> out(indices.size());
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    out[i] = labels_[static_cast<std::size_t>(indices[i])];
+  }
+  return out;
+}
+
+Dataset Dataset::subset(std::span<const std::int64_t> indices) const {
+  return Dataset(spec_, gather_images(indices), gather_labels(indices));
+}
+
+Dataset Dataset::take(std::int64_t count) const {
+  count = std::min(count, size());
+  std::vector<std::int64_t> indices(static_cast<std::size_t>(count));
+  for (std::int64_t i = 0; i < count; ++i) indices[static_cast<std::size_t>(i)] = i;
+  return subset(indices);
+}
+
+}  // namespace usb

@@ -1,0 +1,141 @@
+#include "data/synthetic.h"
+#include <algorithm>
+
+#include <cmath>
+#include <numbers>
+#include <string>
+
+namespace usb {
+namespace {
+
+/// One smooth component field over (channels, size, size): a few signed
+/// Gaussian bumps plus one oriented sinusoidal grating, channel-tinted.
+Tensor make_component(const DatasetSpec& spec, Rng& rng) {
+  const std::int64_t size = spec.image_size;
+  Tensor field(Shape{1, spec.channels, size, size});
+
+  struct Bump {
+    double cx, cy, radius, amplitude;
+  };
+  const std::int64_t bump_count = rng.uniform_int(2, 4);
+  std::vector<Bump> bumps;
+  bumps.reserve(static_cast<std::size_t>(bump_count));
+  for (std::int64_t b = 0; b < bump_count; ++b) {
+    bumps.push_back(Bump{rng.uniform(0.1, 0.9) * static_cast<double>(size),
+                         rng.uniform(0.1, 0.9) * static_cast<double>(size),
+                         rng.uniform(0.1, 0.3) * static_cast<double>(size),
+                         rng.uniform(0.5, 1.0) * (rng.bernoulli(0.5) ? 1.0 : -1.0)});
+  }
+  const double freq = rng.uniform(1.0, 3.0) * 2.0 * std::numbers::pi / static_cast<double>(size);
+  const double orientation = rng.uniform(0.0, std::numbers::pi);
+  const double phase = rng.uniform(0.0, 2.0 * std::numbers::pi);
+  const double grating_amp = rng.uniform(0.2, 0.5);
+
+  std::vector<double> tint(static_cast<std::size_t>(spec.channels));
+  for (double& t : tint) t = rng.uniform(0.4, 1.0);
+
+  for (std::int64_t c = 0; c < spec.channels; ++c) {
+    for (std::int64_t y = 0; y < size; ++y) {
+      for (std::int64_t x = 0; x < size; ++x) {
+        double value = 0.0;
+        for (const Bump& bump : bumps) {
+          const double dx = static_cast<double>(x) - bump.cx;
+          const double dy = static_cast<double>(y) - bump.cy;
+          value += bump.amplitude *
+                   std::exp(-(dx * dx + dy * dy) / (2.0 * bump.radius * bump.radius));
+        }
+        const double u = std::cos(orientation) * static_cast<double>(x) +
+                         std::sin(orientation) * static_cast<double>(y);
+        value += grating_amp * std::sin(freq * u + phase);
+        field.at4(0, c, y, x) = static_cast<float>(value * tint[static_cast<std::size_t>(c)]);
+      }
+    }
+  }
+  // Drop the leading batch axis; downstream code treats components as CHW.
+  field.reshape_in_place(Shape{spec.channels, size, size});
+  return field;
+}
+
+std::uint64_t spec_seed(const DatasetSpec& spec) {
+  // FNV-1a over the name: prototypes are a pure function of the dataset name.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char ch : spec.name) {
+    h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(ch));
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+Tensor class_prototypes(const DatasetSpec& spec, const SyntheticConfig& config) {
+  Rng rng(spec_seed(spec));
+  const std::int64_t size = spec.image_size;
+
+  std::vector<Tensor> shared;
+  shared.reserve(static_cast<std::size_t>(config.shared_components));
+  for (std::int64_t i = 0; i < config.shared_components; ++i) {
+    shared.push_back(make_component(spec, rng));
+  }
+
+  Tensor prototypes(Shape{spec.num_classes, spec.channels, size, size});
+  for (std::int64_t k = 0; k < spec.num_classes; ++k) {
+    Tensor blend(Shape{spec.channels, size, size});
+    for (std::int64_t j = 0; j < config.blend_per_class; ++j) {
+      const std::int64_t pick = rng.uniform_int(0, config.shared_components - 1);
+      const float weight = rng.uniform_float(0.4F, 0.8F);
+      blend.add_scaled(shared[static_cast<std::size_t>(pick)], weight);
+    }
+    Tensor unique = make_component(spec, rng);
+    blend.add_scaled(unique, 1.0F);
+
+    // Normalize the field to zero mean / unit-ish scale, then place in [0,1].
+    const float mean = blend.mean();
+    blend += -mean;
+    const float peak = std::max(blend.abs_max(), 1e-6F);
+    const float gain = 0.45F / peak;
+    float* proto = prototypes.raw() + k * spec.image_numel();
+    for (std::int64_t i = 0; i < blend.numel(); ++i) {
+      proto[i] = std::clamp(0.5F + gain * blend[i], 0.0F, 1.0F);
+    }
+  }
+  return prototypes;
+}
+
+Dataset generate_dataset(const DatasetSpec& spec, std::int64_t count, std::uint64_t seed,
+                         const SyntheticConfig& config) {
+  const Tensor prototypes = class_prototypes(spec, config);
+  const std::int64_t size = spec.image_size;
+  const std::int64_t numel = spec.image_numel();
+
+  Rng rng(hash_combine(seed, spec_seed(spec)));
+  Tensor images(Shape{count, spec.channels, size, size});
+  std::vector<std::int64_t> labels(static_cast<std::size_t>(count));
+
+  for (std::int64_t i = 0; i < count; ++i) {
+    const std::int64_t label = i % spec.num_classes;  // balanced classes
+    labels[static_cast<std::size_t>(i)] = label;
+    const float* proto = prototypes.raw() + label * numel;
+    float* out = images.raw() + i * numel;
+
+    const std::int64_t dy = rng.uniform_int(-config.max_jitter, config.max_jitter);
+    const std::int64_t dx = rng.uniform_int(-config.max_jitter, config.max_jitter);
+    const float brightness = rng.uniform_float(-config.brightness_jitter,
+                                               config.brightness_jitter);
+    for (std::int64_t c = 0; c < spec.channels; ++c) {
+      for (std::int64_t y = 0; y < size; ++y) {
+        // Edge-clamped translation keeps jittered prototypes in frame.
+        const std::int64_t sy = std::clamp<std::int64_t>(y + dy, 0, size - 1);
+        for (std::int64_t x = 0; x < size; ++x) {
+          const std::int64_t sx = std::clamp<std::int64_t>(x + dx, 0, size - 1);
+          const float base = proto[(c * size + sy) * size + sx];
+          const float noise = static_cast<float>(rng.normal(0.0, config.noise_stddev));
+          out[(c * size + y) * size + x] = std::clamp(base + brightness + noise, 0.0F, 1.0F);
+        }
+      }
+    }
+  }
+  return Dataset(spec, std::move(images), std::move(labels));
+}
+
+}  // namespace usb

@@ -1,0 +1,60 @@
+#include "defenses/detector.h"
+
+#include <functional>
+#include <stdexcept>
+
+#include "nn/checkpoint.h"
+#include "utils/thread_pool.h"
+#include "utils/timer.h"
+
+namespace usb {
+
+Tensor DetectionReport::reversed_trigger(std::int64_t k) const {
+  if (k < 0 || k >= static_cast<std::int64_t>(per_class.size())) {
+    throw std::out_of_range("reversed_trigger: class index out of range");
+  }
+  const TriggerEstimate& estimate = per_class[static_cast<std::size_t>(k)];
+  const std::int64_t channels = estimate.pattern.dim(0);
+  const std::int64_t height = estimate.pattern.dim(1);
+  const std::int64_t width = estimate.pattern.dim(2);
+  Tensor image(Shape{channels, height, width});
+  for (std::int64_t c = 0; c < channels; ++c) {
+    for (std::int64_t y = 0; y < height; ++y) {
+      for (std::int64_t x = 0; x < width; ++x) {
+        image[(c * height + y) * width + x] =
+            estimate.pattern[(c * height + y) * width + x] * estimate.mask[y * width + x];
+      }
+    }
+  }
+  return image;
+}
+
+DetectionReport run_per_class_detection(
+    const std::string& method, Network& model, const Dataset& probe, double mad_threshold,
+    const std::function<TriggerEstimate(Network&, const Dataset&, std::int64_t)>& reverse_one) {
+  const std::int64_t num_classes = probe.spec().num_classes;
+  DetectionReport report;
+  report.method = method;
+  report.per_class.resize(static_cast<std::size_t>(num_classes));
+  report.per_class_seconds.resize(static_cast<std::size_t>(num_classes));
+
+  // One model clone per class; the inner tensor kernels detect that they run
+  // inside a pool worker and stay single-threaded, so total parallelism is
+  // the class count.
+  ThreadPool::global().parallel_for(
+      num_classes, [&](std::int64_t begin, std::int64_t end, int /*worker*/) {
+        for (std::int64_t t = begin; t < end; ++t) {
+          Network clone = clone_network(model);
+          const Timer timer;
+          report.per_class[static_cast<std::size_t>(t)] = reverse_one(clone, probe, t);
+          report.per_class_seconds[static_cast<std::size_t>(t)] = timer.seconds();
+        }
+      });
+
+  std::vector<double> norms(static_cast<std::size_t>(num_classes));
+  for (std::size_t t = 0; t < norms.size(); ++t) norms[t] = report.per_class[t].mask_l1;
+  report.verdict = decide_backdoor(norms, mad_threshold);
+  return report;
+}
+
+}  // namespace usb

@@ -1,0 +1,69 @@
+// Common interface for backdoor detectors (NC, TABOR, USB).
+//
+// A detector receives the frozen victim model and a small clean probe set,
+// reverse engineers one candidate trigger per class, and reduces each to a
+// mask-L1 statistic fed to the MAD outlier rule (metrics/detection.h).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "metrics/detection.h"
+#include "nn/models.h"
+
+namespace usb {
+
+/// One reverse-engineered candidate trigger.
+struct TriggerEstimate {
+  std::int64_t target_class = 0;
+  Tensor pattern;          // (C,H,W), values in [0,1]
+  Tensor mask;             // (H,W), values in [0,1]
+  double mask_l1 = 0.0;    // detection statistic
+  double final_loss = 0.0;
+  double fooling_rate = 0.0;  // probe fraction sent to target_class
+};
+
+struct DetectionReport {
+  std::string method;
+  std::vector<TriggerEstimate> per_class;
+  DetectionVerdict verdict;
+  std::vector<double> per_class_seconds;  // wall clock, Table 7
+
+  [[nodiscard]] double total_seconds() const noexcept {
+    double total = 0.0;
+    for (const double s : per_class_seconds) total += s;
+    return total;
+  }
+  /// The full-size reversed trigger image pattern*mask for class k.
+  [[nodiscard]] Tensor reversed_trigger(std::int64_t k) const;
+};
+
+class Detector {
+ public:
+  virtual ~Detector() = default;
+  Detector() = default;
+  Detector(const Detector&) = delete;
+  Detector& operator=(const Detector&) = delete;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Runs detection. `probe` is the defender's clean data (the paper uses
+  /// 300 samples for 32x32 datasets, 500 for the ImageNet subset).
+  [[nodiscard]] virtual DetectionReport detect(Network& model, const Dataset& probe) = 0;
+};
+
+using DetectorPtr = std::unique_ptr<Detector>;
+
+/// Shared driver for all detectors: reverse engineers every class IN
+/// PARALLEL, each class on its own deep copy of the victim model (forward
+/// caches are per-instance, so clones make the classes embarrassingly
+/// parallel), then applies the MAD outlier rule. `reverse_one` must be
+/// thread-safe given a private Network.
+[[nodiscard]] DetectionReport run_per_class_detection(
+    const std::string& method, Network& model, const Dataset& probe, double mad_threshold,
+    const std::function<TriggerEstimate(Network&, const Dataset&, std::int64_t)>& reverse_one);
+
+}  // namespace usb

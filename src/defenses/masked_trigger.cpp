@@ -1,0 +1,189 @@
+#include "defenses/masked_trigger.h"
+#include <algorithm>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace usb {
+namespace {
+
+float sigmoid(float v) noexcept { return 1.0F / (1.0F + std::exp(-v)); }
+
+float logit(float p) noexcept {
+  const float clamped = std::clamp(p, 1e-4F, 1.0F - 1e-4F);
+  return std::log(clamped / (1.0F - clamped));
+}
+
+AdamConfig detection_adam(float lr) {
+  AdamConfig config;
+  config.lr = lr;
+  config.beta1 = 0.5F;  // paper Section 4.1: Adam with beta = (0.5, 0.9)
+  config.beta2 = 0.9F;
+  return config;
+}
+
+}  // namespace
+
+MaskedTrigger::MaskedTrigger(std::int64_t channels, std::int64_t size, Rng& rng, float lr)
+    : channels_(channels),
+      size_(size),
+      theta_mask_(Shape{size, size}),
+      theta_pattern_(Shape{channels, size, size}),
+      grad_mask_(Shape{size, size}),
+      grad_pattern_(Shape{channels, size, size}),
+      adam_mask_(theta_mask_.shape(), detection_adam(lr)),
+      adam_pattern_(theta_pattern_.shape(), detection_adam(lr)) {
+  // Random start: mask around ~0.1 (mostly transparent), pattern uniform
+  // noise — the NC-style random point of the paper's Fig. 1.
+  for (std::int64_t i = 0; i < theta_mask_.numel(); ++i) {
+    theta_mask_[i] = static_cast<float>(rng.normal(-2.0, 0.5));
+  }
+  for (std::int64_t i = 0; i < theta_pattern_.numel(); ++i) {
+    theta_pattern_[i] = static_cast<float>(rng.normal(0.0, 1.0));
+  }
+}
+
+MaskedTrigger::MaskedTrigger(Tensor initial_mask, Tensor initial_pattern, float lr)
+    : channels_(initial_pattern.dim(0)),
+      size_(initial_pattern.dim(1)),
+      theta_mask_(initial_mask.shape()),
+      theta_pattern_(initial_pattern.shape()),
+      grad_mask_(initial_mask.shape()),
+      grad_pattern_(initial_pattern.shape()),
+      adam_mask_(theta_mask_.shape(), detection_adam(lr)),
+      adam_pattern_(theta_pattern_.shape(), detection_adam(lr)) {
+  if (initial_mask.rank() != 2 || initial_pattern.rank() != 3 ||
+      initial_mask.dim(0) != initial_pattern.dim(1) ||
+      initial_mask.dim(1) != initial_pattern.dim(2)) {
+    throw std::invalid_argument("MaskedTrigger: mask (H,W) / pattern (C,H,W) mismatch");
+  }
+  for (std::int64_t i = 0; i < theta_mask_.numel(); ++i) theta_mask_[i] = logit(initial_mask[i]);
+  for (std::int64_t i = 0; i < theta_pattern_.numel(); ++i) {
+    theta_pattern_[i] = logit(initial_pattern[i]);
+  }
+}
+
+Tensor MaskedTrigger::mask() const {
+  Tensor m(theta_mask_.shape());
+  for (std::int64_t i = 0; i < m.numel(); ++i) m[i] = sigmoid(theta_mask_[i]);
+  return m;
+}
+
+Tensor MaskedTrigger::pattern() const {
+  Tensor p(theta_pattern_.shape());
+  for (std::int64_t i = 0; i < p.numel(); ++i) p[i] = sigmoid(theta_pattern_[i]);
+  return p;
+}
+
+double MaskedTrigger::mask_l1() const {
+  double total = 0.0;
+  for (std::int64_t i = 0; i < theta_mask_.numel(); ++i) total += sigmoid(theta_mask_[i]);
+  return total;
+}
+
+Tensor MaskedTrigger::apply(const Tensor& x) const {
+  const Tensor m = mask();
+  const Tensor p = pattern();
+  const std::int64_t batch = x.dim(0);
+  const std::int64_t spatial = size_ * size_;
+  Tensor out = x;
+  for (std::int64_t n = 0; n < batch; ++n) {
+    for (std::int64_t c = 0; c < channels_; ++c) {
+      float* out_p = out.raw() + (n * channels_ + c) * spatial;
+      const float* pat = p.raw() + c * spatial;
+      for (std::int64_t s = 0; s < spatial; ++s) {
+        out_p[s] = out_p[s] * (1.0F - m[s]) + pat[s] * m[s];
+      }
+    }
+  }
+  return out;
+}
+
+void MaskedTrigger::zero_grad() {
+  grad_mask_.fill(0.0F);
+  grad_pattern_.fill(0.0F);
+}
+
+void MaskedTrigger::accumulate_from_output_grad(const Tensor& dxprime, const Tensor& x) {
+  const Tensor m = mask();
+  const Tensor p = pattern();
+  const std::int64_t batch = x.dim(0);
+  const std::int64_t spatial = size_ * size_;
+
+  // dL/dm[s] = sum_{n,c} dx'[n,c,s] * (p[c,s] - x[n,c,s]);  dL/dp = dx' * m.
+  Tensor dmask_values(m.shape());
+  Tensor dpattern_values(p.shape());
+  for (std::int64_t n = 0; n < batch; ++n) {
+    for (std::int64_t c = 0; c < channels_; ++c) {
+      const float* dxp = dxprime.raw() + (n * channels_ + c) * spatial;
+      const float* x_p = x.raw() + (n * channels_ + c) * spatial;
+      const float* pat = p.raw() + c * spatial;
+      float* dpat = dpattern_values.raw() + c * spatial;
+      for (std::int64_t s = 0; s < spatial; ++s) {
+        dmask_values[s] += dxp[s] * (pat[s] - x_p[s]);
+        dpat[s] += dxp[s] * m[s];
+      }
+    }
+  }
+  add_mask_value_grad(dmask_values);
+  add_pattern_value_grad(dpattern_values);
+}
+
+void MaskedTrigger::add_mask_l1_grad(float weight) {
+  // mask >= 0, so d|m|_1/dm = 1 everywhere.
+  for (std::int64_t i = 0; i < theta_mask_.numel(); ++i) {
+    const float m = sigmoid(theta_mask_[i]);
+    grad_mask_[i] += weight * m * (1.0F - m);
+  }
+}
+
+void MaskedTrigger::add_mask_elastic_grad(float weight) {
+  for (std::int64_t i = 0; i < theta_mask_.numel(); ++i) {
+    const float m = sigmoid(theta_mask_[i]);
+    grad_mask_[i] += weight * (1.0F + 2.0F * m) * m * (1.0F - m);
+  }
+}
+
+void MaskedTrigger::add_mask_tv_grad(float weight) {
+  const Tensor m = mask();
+  Tensor dtv(m.shape());
+  for (std::int64_t y = 0; y < size_; ++y) {
+    for (std::int64_t x = 0; x < size_; ++x) {
+      if (y + 1 < size_) {
+        const float diff = m[(y + 1) * size_ + x] - m[y * size_ + x];
+        const float sign = diff > 0.0F ? 1.0F : (diff < 0.0F ? -1.0F : 0.0F);
+        dtv[(y + 1) * size_ + x] += sign;
+        dtv[y * size_ + x] -= sign;
+      }
+      if (x + 1 < size_) {
+        const float diff = m[y * size_ + x + 1] - m[y * size_ + x];
+        const float sign = diff > 0.0F ? 1.0F : (diff < 0.0F ? -1.0F : 0.0F);
+        dtv[y * size_ + x + 1] += sign;
+        dtv[y * size_ + x] -= sign;
+      }
+    }
+  }
+  dtv *= weight;
+  add_mask_value_grad(dtv);
+}
+
+void MaskedTrigger::add_mask_value_grad(const Tensor& dmask) {
+  for (std::int64_t i = 0; i < theta_mask_.numel(); ++i) {
+    const float m = sigmoid(theta_mask_[i]);
+    grad_mask_[i] += dmask[i] * m * (1.0F - m);
+  }
+}
+
+void MaskedTrigger::add_pattern_value_grad(const Tensor& dpattern) {
+  for (std::int64_t i = 0; i < theta_pattern_.numel(); ++i) {
+    const float p = sigmoid(theta_pattern_[i]);
+    grad_pattern_[i] += dpattern[i] * p * (1.0F - p);
+  }
+}
+
+void MaskedTrigger::step() {
+  adam_mask_.step(theta_mask_, grad_mask_);
+  adam_pattern_.step(theta_pattern_, grad_pattern_);
+}
+
+}  // namespace usb

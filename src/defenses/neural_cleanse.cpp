@@ -1,0 +1,94 @@
+#include "defenses/neural_cleanse.h"
+
+#include <algorithm>
+
+#include "data/dataloader.h"
+#include "defenses/masked_trigger.h"
+#include "nn/loss.h"
+#include "tensor/tensor_ops.h"
+#include "utils/rng.h"
+#include "utils/timer.h"
+
+namespace usb {
+namespace {
+
+/// Fooling rate of the final trigger over the full probe set.
+double final_fooling_rate(Network& model, const Dataset& probe, const MaskedTrigger& trigger,
+                          std::int64_t target_class) {
+  DataLoader loader(probe, 128, /*shuffle=*/false, /*seed=*/0);
+  Batch batch;
+  std::int64_t hits = 0;
+  std::int64_t total = 0;
+  while (loader.next(batch)) {
+    const Tensor logits = model.forward(trigger.apply(batch.images));
+    for (const std::int64_t pred : argmax_rows(logits)) {
+      if (pred == target_class) ++hits;
+      ++total;
+    }
+  }
+  return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+}
+
+}  // namespace
+
+TriggerEstimate NeuralCleanse::reverse_engineer_class(Network& model, const Dataset& probe,
+                                                      std::int64_t target_class) {
+  model.set_training(false);
+  model.set_param_grads_enabled(false);
+  Rng rng(hash_combine(config_.seed, static_cast<std::uint64_t>(target_class)));
+  MaskedTrigger trigger(probe.spec().channels, probe.spec().image_size, rng, config_.lr);
+  TargetedCrossEntropy loss;
+  DataLoader loader(probe, config_.batch_size, /*shuffle=*/true,
+                    hash_combine(config_.seed, 0x2cULL, static_cast<std::uint64_t>(target_class)));
+
+  float lambda = config_.lambda_init;
+  float last_loss = 0.0F;
+  Batch batch;
+  for (std::int64_t step = 0; step < config_.steps; ++step) {
+    if (!loader.next(batch)) {
+      loader.new_epoch();
+      if (!loader.next(batch)) break;
+    }
+    trigger.zero_grad();
+    const Tensor blended = trigger.apply(batch.images);
+    const Tensor logits = model.forward(blended);
+    last_loss = loss.forward(logits, target_class);
+    const Tensor dblended = model.backward(loss.backward());
+    trigger.accumulate_from_output_grad(dblended, batch.images);
+    trigger.add_mask_l1_grad(lambda);
+    trigger.step();
+
+    // Dynamic lambda (Neural Cleanse schedule): push sparsity while the
+    // trigger still flips the batch reliably, relax otherwise.
+    std::int64_t hits = 0;
+    for (const std::int64_t pred : argmax_rows(logits)) {
+      if (pred == target_class) ++hits;
+    }
+    const double success =
+        static_cast<double>(hits) / static_cast<double>(batch.labels.size());
+    if (success > config_.success_threshold) {
+      lambda = std::min(lambda * config_.lambda_up, 100.0F * config_.lambda_init);
+    } else {
+      lambda = std::max(lambda / config_.lambda_down, 1e-3F * config_.lambda_init);
+    }
+  }
+
+  TriggerEstimate estimate;
+  estimate.target_class = target_class;
+  estimate.pattern = trigger.pattern();
+  estimate.mask = trigger.mask();
+  estimate.mask_l1 = trigger.mask_l1();
+  estimate.final_loss = last_loss;
+  estimate.fooling_rate = final_fooling_rate(model, probe, trigger, target_class);
+  return estimate;
+}
+
+DetectionReport NeuralCleanse::detect(Network& model, const Dataset& probe) {
+  return run_per_class_detection(
+      name(), model, probe, config_.mad_threshold,
+      [this](Network& clone, const Dataset& data, std::int64_t t) {
+        return reverse_engineer_class(clone, data, t);
+      });
+}
+
+}  // namespace usb

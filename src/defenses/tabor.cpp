@@ -1,0 +1,181 @@
+#include "defenses/tabor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "data/dataloader.h"
+#include "defenses/masked_trigger.h"
+#include "nn/loss.h"
+#include "tensor/tensor_ops.h"
+#include "utils/rng.h"
+#include "utils/timer.h"
+
+namespace usb {
+namespace {
+
+double batch_fooling_rate(const Tensor& logits, std::int64_t target_class) {
+  std::int64_t hits = 0;
+  const std::vector<std::int64_t> preds = argmax_rows(logits);
+  for (const std::int64_t pred : preds) {
+    if (pred == target_class) ++hits;
+  }
+  return preds.empty() ? 0.0 : static_cast<double>(hits) / static_cast<double>(preds.size());
+}
+
+double final_fooling_rate(Network& model, const Dataset& probe, const MaskedTrigger& trigger,
+                          std::int64_t target_class) {
+  DataLoader loader(probe, 128, /*shuffle=*/false, /*seed=*/0);
+  Batch batch;
+  std::int64_t hits = 0;
+  std::int64_t total = 0;
+  while (loader.next(batch)) {
+    const Tensor logits = model.forward(trigger.apply(batch.images));
+    for (const std::int64_t pred : argmax_rows(logits)) {
+      if (pred == target_class) ++hits;
+      ++total;
+    }
+  }
+  return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+}
+
+}  // namespace
+
+TriggerEstimate Tabor::reverse_engineer_class(Network& model, const Dataset& probe,
+                                              std::int64_t target_class) {
+  model.set_training(false);
+  model.set_param_grads_enabled(false);
+  const ReverseOptConfig& base = config_.base;
+  Rng rng(hash_combine(base.seed, 0x7ab0ULL, static_cast<std::uint64_t>(target_class)));
+  MaskedTrigger trigger(probe.spec().channels, probe.spec().image_size, rng, base.lr);
+  TargetedCrossEntropy target_loss;
+  SoftmaxCrossEntropy true_loss;
+  TargetedCrossEntropy overlay_loss;
+  DataLoader loader(probe, base.batch_size, /*shuffle=*/true,
+                    hash_combine(base.seed, 0x7ab1ULL, static_cast<std::uint64_t>(target_class)));
+
+  const std::int64_t channels = probe.spec().channels;
+  const std::int64_t size = probe.spec().image_size;
+  const std::int64_t spatial = size * size;
+
+  float lambda = base.lambda_init;
+  float last_loss = 0.0F;
+  Batch batch;
+  for (std::int64_t step = 0; step < base.steps; ++step) {
+    if (!loader.next(batch)) {
+      loader.new_epoch();
+      if (!loader.next(batch)) break;
+    }
+    trigger.zero_grad();
+
+    // Main NC objective.
+    const Tensor blended = trigger.apply(batch.images);
+    const Tensor logits = model.forward(blended);
+    last_loss = target_loss.forward(logits, target_class);
+    const Tensor dblended = model.backward(target_loss.backward());
+    trigger.accumulate_from_output_grad(dblended, batch.images);
+    trigger.add_mask_l1_grad(lambda);
+
+    const Tensor m = trigger.mask();
+    const Tensor p = trigger.pattern();
+
+    // R1: elastic net on the mask and on the out-of-mask pattern (1-m)*p.
+    trigger.add_mask_elastic_grad(config_.elastic_mask_weight);
+    {
+      Tensor dp(p.shape());
+      Tensor dm(m.shape());
+      for (std::int64_t c = 0; c < channels; ++c) {
+        for (std::int64_t s = 0; s < spatial; ++s) {
+          const float value = (1.0F - m[s]) * p[c * spatial + s];
+          const float upstream =
+              config_.elastic_pattern_weight * ((value > 0.0F ? 1.0F : 0.0F) + 2.0F * value);
+          dp[c * spatial + s] += upstream * (1.0F - m[s]);
+          dm[s] += upstream * (-p[c * spatial + s]);
+        }
+      }
+      trigger.add_pattern_value_grad(dp);
+      trigger.add_mask_value_grad(dm);
+    }
+
+    // R2: total-variation smoothness on the mask.
+    trigger.add_mask_tv_grad(config_.tv_weight);
+
+    // R3 "blocking": removing the masked region must preserve the true
+    // labels: CE(f(x * (1-m)), y).
+    {
+      Tensor removed = batch.images;
+      const std::int64_t bsz = removed.dim(0);
+      for (std::int64_t n = 0; n < bsz; ++n) {
+        for (std::int64_t c = 0; c < channels; ++c) {
+          float* row = removed.raw() + (n * channels + c) * spatial;
+          for (std::int64_t s = 0; s < spatial; ++s) row[s] *= 1.0F - m[s];
+        }
+      }
+      const Tensor removed_logits = model.forward(removed);
+      (void)true_loss.forward(removed_logits, batch.labels);
+      Tensor dremoved = model.backward(true_loss.backward());
+      Tensor dm(m.shape());
+      for (std::int64_t n = 0; n < bsz; ++n) {
+        for (std::int64_t c = 0; c < channels; ++c) {
+          const float* drow = dremoved.raw() + (n * channels + c) * spatial;
+          const float* xrow = batch.images.raw() + (n * channels + c) * spatial;
+          for (std::int64_t s = 0; s < spatial; ++s) dm[s] += drow[s] * (-xrow[s]);
+        }
+      }
+      dm *= config_.blocking_weight;
+      trigger.add_mask_value_grad(dm);
+    }
+
+    // R4 "overlaying": the isolated trigger p*m must classify to target.
+    {
+      Tensor isolated(Shape{1, channels, size, size});
+      for (std::int64_t c = 0; c < channels; ++c) {
+        for (std::int64_t s = 0; s < spatial; ++s) {
+          isolated[c * spatial + s] = p[c * spatial + s] * m[s];
+        }
+      }
+      const Tensor iso_logits = model.forward(isolated);
+      (void)overlay_loss.forward(iso_logits, target_class);
+      Tensor diso = model.backward(overlay_loss.backward());
+      Tensor dp(p.shape());
+      Tensor dm(m.shape());
+      for (std::int64_t c = 0; c < channels; ++c) {
+        for (std::int64_t s = 0; s < spatial; ++s) {
+          dp[c * spatial + s] += diso[c * spatial + s] * m[s];
+          dm[s] += diso[c * spatial + s] * p[c * spatial + s];
+        }
+      }
+      dp *= config_.overlay_weight;
+      dm *= config_.overlay_weight;
+      trigger.add_pattern_value_grad(dp);
+      trigger.add_mask_value_grad(dm);
+    }
+
+    trigger.step();
+
+    const double success = batch_fooling_rate(logits, target_class);
+    if (success > base.success_threshold) {
+      lambda = std::min(lambda * base.lambda_up, 100.0F * base.lambda_init);
+    } else {
+      lambda = std::max(lambda / base.lambda_down, 1e-3F * base.lambda_init);
+    }
+  }
+
+  TriggerEstimate estimate;
+  estimate.target_class = target_class;
+  estimate.pattern = trigger.pattern();
+  estimate.mask = trigger.mask();
+  estimate.mask_l1 = trigger.mask_l1();
+  estimate.final_loss = last_loss;
+  estimate.fooling_rate = final_fooling_rate(model, probe, trigger, target_class);
+  return estimate;
+}
+
+DetectionReport Tabor::detect(Network& model, const Dataset& probe) {
+  return run_per_class_detection(
+      name(), model, probe, config_.base.mad_threshold,
+      [this](Network& clone, const Dataset& data, std::int64_t t) {
+        return reverse_engineer_class(clone, data, t);
+      });
+}
+
+}  // namespace usb

@@ -1,0 +1,137 @@
+#include "exp/experiment.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "core/usb.h"
+#include "defenses/neural_cleanse.h"
+#include "defenses/tabor.h"
+#include "utils/logging.h"
+#include "utils/table.h"
+#include "utils/timer.h"
+
+namespace usb {
+
+std::string to_string(MethodKind method) {
+  switch (method) {
+    case MethodKind::kNc: return "NC";
+    case MethodKind::kTabor: return "TABOR";
+    case MethodKind::kUsb: return "USB";
+  }
+  throw std::invalid_argument("unknown method");
+}
+
+MethodBudget MethodBudget::from_scale(const ExperimentScale& scale) {
+  MethodBudget budget;
+  if (scale.fast) {
+    budget.nc_steps = 60;
+    budget.tabor_steps = 60;
+    budget.usb_refine_steps = 60;
+    budget.uap_max_passes = 2;
+  }
+  // Fine-grained overrides for time-boxed runs.
+  budget.nc_steps = env_int("USB_NC_STEPS", budget.nc_steps);
+  budget.tabor_steps = env_int("USB_TABOR_STEPS", budget.tabor_steps);
+  budget.usb_refine_steps = env_int("USB_USB_STEPS", budget.usb_refine_steps);
+  budget.uap_max_passes = env_int("USB_UAP_PASSES", budget.uap_max_passes);
+  return budget;
+}
+
+DetectorPtr make_detector(MethodKind method, const MethodBudget& budget) {
+  switch (method) {
+    case MethodKind::kNc: {
+      ReverseOptConfig config;
+      config.steps = budget.nc_steps;
+      return std::make_unique<NeuralCleanse>(config);
+    }
+    case MethodKind::kTabor: {
+      TaborConfig config;
+      config.base.steps = budget.tabor_steps;
+      return std::make_unique<Tabor>(config);
+    }
+    case MethodKind::kUsb: {
+      UsbConfig config;
+      config.refine_steps = budget.usb_refine_steps;
+      config.uap.max_passes = budget.uap_max_passes;
+      return std::make_unique<UsbDetector>(config);
+    }
+  }
+  throw std::invalid_argument("unknown method");
+}
+
+DetectionCaseResult run_detection_case(const DetectionCaseSpec& spec,
+                                       const ExperimentScale& scale,
+                                       const std::vector<MethodKind>& methods) {
+  DetectionCaseResult result;
+  result.spec = spec;
+  for (const MethodKind method : methods) {
+    result.methods.push_back(MethodRow{to_string(method), CaseCounts{to_string(method)}, 0.0});
+  }
+
+  const MethodBudget budget = MethodBudget::from_scale(scale);
+  for (std::int64_t index = 0; index < scale.models_per_case; ++index) {
+    ModelCaseSpec model_spec;
+    model_spec.dataset = spec.dataset;
+    model_spec.arch = spec.arch;
+    model_spec.model_index = index;
+    model_spec.scale = scale;
+    model_spec.attack.kind = spec.attack;
+    model_spec.attack.trigger_size = spec.trigger_size;
+    model_spec.attack.poison_rate = spec.poison_rate;
+    // The paper trains each model with its own randomly placed/coloured
+    // trigger and target; rotate the target with the model index.
+    model_spec.attack.target_class = index % spec.dataset.num_classes;
+
+    TrainedModel model = train_or_load(model_spec);
+    result.mean_accuracy += model.clean_accuracy;
+    result.mean_asr += model.asr;
+
+    const Dataset probe = make_probe(spec.dataset, spec.probe_size,
+                                     hash_combine(0x9e0beULL, static_cast<std::uint64_t>(index)));
+    const std::int64_t true_target =
+        spec.attack == AttackKind::kNone ? -1 : model_spec.attack.target_class;
+
+    for (std::size_t m = 0; m < methods.size(); ++m) {
+      DetectorPtr detector = make_detector(methods[m], budget);
+      const Timer timer;
+      const DetectionReport report = detector->detect(model.network, probe);
+      result.methods[m].mean_detect_seconds += timer.seconds();
+      result.methods[m].counts.record(report.verdict, true_target);
+      USB_LOG(Info) << spec.label << " model " << index << " " << report.method
+                    << (report.verdict.backdoored ? " -> backdoored" : " -> clean")
+                    << " (true target " << true_target << ")";
+    }
+  }
+
+  const double n = static_cast<double>(scale.models_per_case);
+  result.mean_accuracy /= n;
+  result.mean_asr /= n;
+  for (MethodRow& row : result.methods) row.mean_detect_seconds /= n;
+  return result;
+}
+
+void print_detection_table(const std::string& title,
+                           const std::vector<DetectionCaseResult>& results) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  Table table({"Model", "Accuracy", "ASR", "Method", "L1 norm", "Clean", "Backdoored", "Correct",
+               "Correct Set", "Wrong"});
+  for (const DetectionCaseResult& result : results) {
+    const bool is_clean = result.spec.attack == AttackKind::kNone;
+    bool first = true;
+    for (const MethodRow& row : result.methods) {
+      table.add_row({first ? result.spec.label : "",
+                     first ? format_percent(result.mean_accuracy) : "",
+                     first ? (is_clean ? "N/A" : format_percent(result.mean_asr)) : "",
+                     row.method, format_double(row.counts.mean_l1()),
+                     std::to_string(row.counts.detected_clean),
+                     std::to_string(row.counts.detected_backdoored),
+                     is_clean ? "N/A" : std::to_string(row.counts.correct),
+                     is_clean ? "N/A" : std::to_string(row.counts.correct_set),
+                     is_clean ? "N/A" : std::to_string(row.counts.wrong)});
+      first = false;
+    }
+  }
+  table.print();
+}
+
+}  // namespace usb

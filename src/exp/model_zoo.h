@@ -1,0 +1,55 @@
+// Model zoo: trains (or loads from the on-disk cache) the victim-model
+// populations that every table row evaluates.
+//
+// A population member is identified by (dataset, architecture, attack,
+// model_index); all seeds — weight init, data shuffling, trigger placement,
+// poison selection — derive from that identity, so a cached checkpoint is
+// bit-equivalent to retraining. The cache makes the bench suite cheap to
+// re-run: Table 1, Fig. 2, Fig. 3 and Fig. 4 all share the same CIFAR-10
+// MiniResNet population.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "attacks/factory.h"
+#include "data/synthetic.h"
+#include "nn/checkpoint.h"
+#include "utils/config.h"
+
+namespace usb {
+
+struct ModelCaseSpec {
+  DatasetSpec dataset;
+  Architecture arch = Architecture::kMiniResNet;
+  AttackParams attack;  // attack.kind == kNone for clean populations
+  std::int64_t model_index = 0;
+  ExperimentScale scale;
+
+  /// Stable cache key (also the checkpoint file stem).
+  [[nodiscard]] std::string cache_key() const;
+};
+
+struct TrainedModel {
+  Network network;
+  /// The attack instance used in training. Null for clean models and for
+  /// dynamic attacks restored from cache (their generator state is not
+  /// checkpointed; ASR comes from the cached metadata instead).
+  AttackPtr attack;
+  float clean_accuracy = 0.0F;
+  float asr = 0.0F;
+  bool from_cache = false;
+};
+
+/// Trains the described model or loads it from `scale.model_cache_dir`.
+/// Evaluation numbers (accuracy, ASR) are computed on a held-out synthetic
+/// test set at train time and persisted alongside the checkpoint.
+[[nodiscard]] TrainedModel train_or_load(const ModelCaseSpec& spec);
+
+/// The defender's clean probe set for a dataset (drawn from the same
+/// distribution as training, disjoint seed). The paper uses 300 samples for
+/// 32x32 datasets and 500 for the ImageNet subset.
+[[nodiscard]] Dataset make_probe(const DatasetSpec& dataset, std::int64_t probe_size,
+                                 std::uint64_t seed = 0x9e0beULL);
+
+}  // namespace usb

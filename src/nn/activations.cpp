@@ -1,0 +1,79 @@
+#include "nn/activations.h"
+
+#include <cmath>
+
+namespace usb {
+
+Tensor ReLU::forward(const Tensor& x) {
+  cached_input_ = x;
+  Tensor y = x;
+  for (std::int64_t i = 0; i < y.numel(); ++i) {
+    if (y[i] < 0.0F) y[i] = 0.0F;
+  }
+  return y;
+}
+
+Tensor ReLU::backward(const Tensor& grad_out) {
+  Tensor dx = grad_out;
+  for (std::int64_t i = 0; i < dx.numel(); ++i) {
+    if (cached_input_[i] <= 0.0F) dx[i] = 0.0F;
+  }
+  return dx;
+}
+
+Tensor Sigmoid::forward(const Tensor& x) {
+  Tensor y = x;
+  for (std::int64_t i = 0; i < y.numel(); ++i) {
+    y[i] = 1.0F / (1.0F + std::exp(-y[i]));
+  }
+  cached_output_ = y;
+  return y;
+}
+
+Tensor Sigmoid::backward(const Tensor& grad_out) {
+  Tensor dx = grad_out;
+  for (std::int64_t i = 0; i < dx.numel(); ++i) {
+    const float s = cached_output_[i];
+    dx[i] *= s * (1.0F - s);
+  }
+  return dx;
+}
+
+Tensor Tanh::forward(const Tensor& x) {
+  Tensor y = x;
+  for (std::int64_t i = 0; i < y.numel(); ++i) y[i] = std::tanh(y[i]);
+  cached_output_ = y;
+  return y;
+}
+
+Tensor Tanh::backward(const Tensor& grad_out) {
+  Tensor dx = grad_out;
+  for (std::int64_t i = 0; i < dx.numel(); ++i) {
+    const float t = cached_output_[i];
+    dx[i] *= 1.0F - t * t;
+  }
+  return dx;
+}
+
+Tensor SiLU::forward(const Tensor& x) {
+  cached_input_ = x;
+  cached_sigmoid_ = Tensor(x.shape());
+  Tensor y(x.shape());
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    const float s = 1.0F / (1.0F + std::exp(-x[i]));
+    cached_sigmoid_[i] = s;
+    y[i] = x[i] * s;
+  }
+  return y;
+}
+
+Tensor SiLU::backward(const Tensor& grad_out) {
+  Tensor dx = grad_out;
+  for (std::int64_t i = 0; i < dx.numel(); ++i) {
+    const float s = cached_sigmoid_[i];
+    dx[i] *= s * (1.0F + cached_input_[i] * (1.0F - s));
+  }
+  return dx;
+}
+
+}  // namespace usb

@@ -1,0 +1,50 @@
+// Pointwise activation layers: ReLU, Sigmoid, Tanh, SiLU (swish).
+#pragma once
+
+#include "nn/module.h"
+
+namespace usb {
+
+class ReLU final : public Module {
+ public:
+  [[nodiscard]] Tensor forward(const Tensor& x) override;
+  [[nodiscard]] Tensor backward(const Tensor& grad_out) override;
+  [[nodiscard]] std::string name() const override { return "ReLU"; }
+
+ private:
+  Tensor cached_input_;
+};
+
+class Sigmoid final : public Module {
+ public:
+  [[nodiscard]] Tensor forward(const Tensor& x) override;
+  [[nodiscard]] Tensor backward(const Tensor& grad_out) override;
+  [[nodiscard]] std::string name() const override { return "Sigmoid"; }
+
+ private:
+  Tensor cached_output_;
+};
+
+class Tanh final : public Module {
+ public:
+  [[nodiscard]] Tensor forward(const Tensor& x) override;
+  [[nodiscard]] Tensor backward(const Tensor& grad_out) override;
+  [[nodiscard]] std::string name() const override { return "Tanh"; }
+
+ private:
+  Tensor cached_output_;
+};
+
+/// SiLU(x) = x * sigmoid(x); the EfficientNet activation.
+class SiLU final : public Module {
+ public:
+  [[nodiscard]] Tensor forward(const Tensor& x) override;
+  [[nodiscard]] Tensor backward(const Tensor& grad_out) override;
+  [[nodiscard]] std::string name() const override { return "SiLU"; }
+
+ private:
+  Tensor cached_input_;
+  Tensor cached_sigmoid_;
+};
+
+}  // namespace usb

@@ -1,0 +1,140 @@
+#include "nn/batchnorm.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace usb {
+
+BatchNorm2d::BatchNorm2d(std::int64_t channels, float eps, float momentum)
+    : channels_(channels),
+      eps_(eps),
+      momentum_(momentum),
+      gamma_("bn.gamma", Tensor::ones(Shape{channels})),
+      beta_("bn.beta", Tensor(Shape{channels})),
+      running_mean_(Shape{channels}),
+      running_var_(Tensor::ones(Shape{channels})) {}
+
+Tensor BatchNorm2d::forward(const Tensor& x) {
+  if (x.rank() != 4 || x.dim(1) != channels_) {
+    throw std::invalid_argument("BatchNorm2d: expected NCHW with C=" + std::to_string(channels_));
+  }
+  const std::int64_t batch = x.dim(0);
+  const std::int64_t height = x.dim(2);
+  const std::int64_t width = x.dim(3);
+  const std::int64_t spatial = height * width;
+  const std::int64_t count = batch * spatial;
+
+  forward_was_training_ = training();
+  cached_inv_std_ = Tensor(Shape{channels_});
+  Tensor y(x.shape());
+  cached_xhat_ = Tensor(x.shape());
+
+  for (std::int64_t c = 0; c < channels_; ++c) {
+    float mean = 0.0F;
+    float var = 0.0F;
+    if (forward_was_training_) {
+      double sum = 0.0;
+      double sq_sum = 0.0;
+      for (std::int64_t n = 0; n < batch; ++n) {
+        const float* x_p = x.raw() + (n * channels_ + c) * spatial;
+        for (std::int64_t s = 0; s < spatial; ++s) {
+          sum += x_p[s];
+          sq_sum += static_cast<double>(x_p[s]) * x_p[s];
+        }
+      }
+      mean = static_cast<float>(sum / static_cast<double>(count));
+      var = static_cast<float>(sq_sum / static_cast<double>(count) -
+                               static_cast<double>(mean) * mean);
+      if (var < 0.0F) var = 0.0F;  // numerical floor
+      running_mean_[c] = (1.0F - momentum_) * running_mean_[c] + momentum_ * mean;
+      running_var_[c] = (1.0F - momentum_) * running_var_[c] + momentum_ * var;
+    } else {
+      mean = running_mean_[c];
+      var = running_var_[c];
+    }
+    const float inv_std = 1.0F / std::sqrt(var + eps_);
+    cached_inv_std_[c] = inv_std;
+    const float g = gamma_.value[c];
+    const float b = beta_.value[c];
+    for (std::int64_t n = 0; n < batch; ++n) {
+      const float* x_p = x.raw() + (n * channels_ + c) * spatial;
+      float* xhat_p = cached_xhat_.raw() + (n * channels_ + c) * spatial;
+      float* y_p = y.raw() + (n * channels_ + c) * spatial;
+      for (std::int64_t s = 0; s < spatial; ++s) {
+        const float xhat = (x_p[s] - mean) * inv_std;
+        xhat_p[s] = xhat;
+        y_p[s] = g * xhat + b;
+      }
+    }
+  }
+  return y;
+}
+
+Tensor BatchNorm2d::backward(const Tensor& grad_out) {
+  const std::int64_t batch = grad_out.dim(0);
+  const std::int64_t spatial = grad_out.dim(2) * grad_out.dim(3);
+  const std::int64_t count = batch * spatial;
+  Tensor dx(grad_out.shape());
+
+  for (std::int64_t c = 0; c < channels_; ++c) {
+    const float inv_std = cached_inv_std_[c];
+    const float g = gamma_.value[c];
+    // The reductions feed both the parameter gradients and (in training
+    // mode) the dx correction terms; eval-mode detection with parameter
+    // gradients disabled needs neither.
+    const bool need_sums = param_grads_enabled() || forward_was_training_;
+    double sum_dy = 0.0;
+    double sum_dy_xhat = 0.0;
+    if (need_sums) {
+      for (std::int64_t n = 0; n < batch; ++n) {
+        const float* dy_p = grad_out.raw() + (n * channels_ + c) * spatial;
+        const float* xhat_p = cached_xhat_.raw() + (n * channels_ + c) * spatial;
+        for (std::int64_t s = 0; s < spatial; ++s) {
+          sum_dy += dy_p[s];
+          sum_dy_xhat += static_cast<double>(dy_p[s]) * xhat_p[s];
+        }
+      }
+    }
+    if (param_grads_enabled()) {
+      gamma_.grad[c] += static_cast<float>(sum_dy_xhat);
+      beta_.grad[c] += static_cast<float>(sum_dy);
+    }
+
+    if (forward_was_training_) {
+      // Batch statistics participated in the forward, so their dependence on
+      // x contributes the two correction terms.
+      const auto mean_dy = static_cast<float>(sum_dy / static_cast<double>(count));
+      const auto mean_dy_xhat = static_cast<float>(sum_dy_xhat / static_cast<double>(count));
+      for (std::int64_t n = 0; n < batch; ++n) {
+        const float* dy_p = grad_out.raw() + (n * channels_ + c) * spatial;
+        const float* xhat_p = cached_xhat_.raw() + (n * channels_ + c) * spatial;
+        float* dx_p = dx.raw() + (n * channels_ + c) * spatial;
+        for (std::int64_t s = 0; s < spatial; ++s) {
+          dx_p[s] = g * inv_std * (dy_p[s] - mean_dy - xhat_p[s] * mean_dy_xhat);
+        }
+      }
+    } else {
+      // Running stats are constants: dx = dy * gamma / sqrt(var+eps).
+      const float scale = g * inv_std;
+      for (std::int64_t n = 0; n < batch; ++n) {
+        const float* dy_p = grad_out.raw() + (n * channels_ + c) * spatial;
+        float* dx_p = dx.raw() + (n * channels_ + c) * spatial;
+        for (std::int64_t s = 0; s < spatial; ++s) dx_p[s] = scale * dy_p[s];
+      }
+    }
+  }
+  return dx;
+}
+
+void BatchNorm2d::collect_parameters(std::vector<Parameter*>& out) {
+  out.push_back(&gamma_);
+  out.push_back(&beta_);
+}
+
+void BatchNorm2d::collect_state(std::vector<StateTensor>& out) {
+  Module::collect_state(out);
+  out.push_back(StateTensor{"bn.running_mean", &running_mean_});
+  out.push_back(StateTensor{"bn.running_var", &running_var_});
+}
+
+}  // namespace usb

@@ -1,0 +1,41 @@
+// BatchNorm2d with exact backward in both training and eval mode.
+//
+// Eval-mode backward matters here: backdoor detection differentiates the
+// frozen (eval) victim model with respect to its input, so the layer must
+// propagate dL/dx through the running-statistics normalization as well as
+// through batch statistics during training.
+#pragma once
+
+#include "nn/module.h"
+
+namespace usb {
+
+class BatchNorm2d final : public Module {
+ public:
+  explicit BatchNorm2d(std::int64_t channels, float eps = 1e-5F, float momentum = 0.1F);
+
+  [[nodiscard]] Tensor forward(const Tensor& x) override;
+  [[nodiscard]] Tensor backward(const Tensor& grad_out) override;
+  void collect_parameters(std::vector<Parameter*>& out) override;
+  void collect_state(std::vector<StateTensor>& out) override;
+  [[nodiscard]] std::string name() const override { return "BatchNorm2d"; }
+
+  [[nodiscard]] const Tensor& running_mean() const noexcept { return running_mean_; }
+  [[nodiscard]] const Tensor& running_var() const noexcept { return running_var_; }
+
+ private:
+  std::int64_t channels_;
+  float eps_;
+  float momentum_;
+  Parameter gamma_;
+  Parameter beta_;
+  Tensor running_mean_;
+  Tensor running_var_;
+
+  // Forward cache.
+  bool forward_was_training_ = true;
+  Tensor cached_xhat_;     // normalized input
+  Tensor cached_inv_std_;  // per-channel 1/sqrt(var+eps) used by that forward
+};
+
+}  // namespace usb

@@ -1,0 +1,79 @@
+#include "nn/checkpoint.h"
+
+#include <stdexcept>
+
+#include "utils/serialize.h"
+
+namespace usb {
+namespace {
+constexpr std::uint32_t kMagic = 0x43425355;  // "USBC" little-endian
+constexpr std::uint32_t kVersion = 1;
+}  // namespace
+
+void save_checkpoint(Network& network, const std::string& path) {
+  BinaryWriter writer;
+  writer.write_u32(kMagic);
+  writer.write_u32(kVersion);
+  writer.write_string(to_string(network.architecture()));
+  writer.write_i64(network.in_channels());
+  writer.write_i64(network.input_size());
+  writer.write_i64(network.num_classes());
+
+  const std::vector<StateTensor> state = network.state();
+  writer.write_i64(static_cast<std::int64_t>(state.size()));
+  for (const StateTensor& entry : state) {
+    writer.write_string(entry.name);
+    writer.write_floats(entry.tensor->data());
+  }
+  writer.save(path);
+}
+
+Network load_checkpoint(const std::string& path) {
+  BinaryReader reader = BinaryReader::from_file(path);
+  if (reader.read_u32() != kMagic) throw std::runtime_error("checkpoint: bad magic in " + path);
+  if (reader.read_u32() != kVersion) {
+    throw std::runtime_error("checkpoint: unsupported version in " + path);
+  }
+  const Architecture arch = architecture_from_string(reader.read_string());
+  const std::int64_t in_channels = reader.read_i64();
+  const std::int64_t input_size = reader.read_i64();
+  const std::int64_t num_classes = reader.read_i64();
+
+  // Seed is irrelevant: every weight is overwritten below.
+  Network network = make_network(arch, in_channels, input_size, num_classes, /*seed=*/0);
+  const std::vector<StateTensor> state = network.state();
+  const std::int64_t count = reader.read_i64();
+  if (count != static_cast<std::int64_t>(state.size())) {
+    throw std::runtime_error("checkpoint: state count mismatch in " + path);
+  }
+  for (const StateTensor& entry : state) {
+    const std::string name = reader.read_string();
+    if (name != entry.name) {
+      throw std::runtime_error("checkpoint: state order mismatch (" + name + " vs " + entry.name +
+                               ") in " + path);
+    }
+    std::vector<float> values = reader.read_floats();
+    if (static_cast<std::int64_t>(values.size()) != entry.tensor->numel()) {
+      throw std::runtime_error("checkpoint: tensor size mismatch for " + name + " in " + path);
+    }
+    std::copy(values.begin(), values.end(), entry.tensor->data().begin());
+  }
+  return network;
+}
+
+Network clone_network(Network& source) {
+  Network copy = make_network(source.architecture(), source.in_channels(), source.input_size(),
+                              source.num_classes(), /*seed=*/0);
+  const std::vector<StateTensor> src_state = source.state();
+  const std::vector<StateTensor> dst_state = copy.state();
+  if (src_state.size() != dst_state.size()) {
+    throw std::runtime_error("clone_network: state layout mismatch");
+  }
+  for (std::size_t i = 0; i < src_state.size(); ++i) {
+    *dst_state[i].tensor = *src_state[i].tensor;
+  }
+  copy.set_training(false);
+  return copy;
+}
+
+}  // namespace usb

@@ -1,0 +1,25 @@
+// Model checkpointing: serializes architecture metadata plus every state
+// tensor (weights and BatchNorm running statistics) so trained victim models
+// can be cached across bench runs.
+#pragma once
+
+#include <string>
+
+#include "nn/models.h"
+
+namespace usb {
+
+/// Writes `network` to `path`. Format: magic "USBC", version, architecture
+/// string, dims, then name-tagged float arrays in state order.
+void save_checkpoint(Network& network, const std::string& path);
+
+/// Rebuilds the network described by the checkpoint and loads its weights.
+/// Throws std::runtime_error on format/shape mismatch.
+[[nodiscard]] Network load_checkpoint(const std::string& path);
+
+/// Deep-copies a network (architecture + every state tensor). Detectors use
+/// clones to run per-class reverse engineering on independent threads: each
+/// clone owns its forward caches, so classes don't race.
+[[nodiscard]] Network clone_network(Network& source);
+
+}  // namespace usb

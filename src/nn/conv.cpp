@@ -1,0 +1,38 @@
+#include "nn/conv.h"
+
+#include "nn/init.h"
+
+namespace usb {
+
+Conv2d::Conv2d(Conv2dSpec spec, Rng& rng, bool with_bias)
+    : spec_(spec),
+      with_bias_(with_bias),
+      weight_("conv.weight", Tensor(spec.weight_shape())),
+      bias_("conv.bias", Tensor(Shape{with_bias ? spec.out_channels : 0})) {
+  const std::int64_t fan_in = (spec.in_channels / spec.groups) * spec.kernel * spec.kernel;
+  kaiming_normal(weight_.value, fan_in, rng);
+}
+
+Tensor Conv2d::forward(const Tensor& x) {
+  cached_input_ = x;
+  return conv2d_forward(x, weight_.value, bias_.value, spec_);
+}
+
+Tensor Conv2d::backward(const Tensor& grad_out) {
+  const bool need_dweight = param_grads_enabled();
+  Conv2dGrads grads = conv2d_backward(cached_input_, weight_.value, grad_out, spec_,
+                                      need_input_grad_, need_dweight);
+  if (need_dweight) {
+    weight_.grad += grads.dweight;
+    if (with_bias_) bias_.grad += grads.dbias;
+  }
+  if (!need_input_grad_) return Tensor(cached_input_.shape());
+  return std::move(grads.dx);
+}
+
+void Conv2d::collect_parameters(std::vector<Parameter*>& out) {
+  out.push_back(&weight_);
+  if (with_bias_) out.push_back(&bias_);
+}
+
+}  // namespace usb

@@ -1,0 +1,34 @@
+// Conv2d layer (square kernels, optional groups for depthwise convolution).
+#pragma once
+
+#include "nn/module.h"
+#include "tensor/tensor_ops.h"
+#include "utils/rng.h"
+
+namespace usb {
+
+class Conv2d final : public Module {
+ public:
+  Conv2d(Conv2dSpec spec, Rng& rng, bool with_bias = true);
+
+  [[nodiscard]] Tensor forward(const Tensor& x) override;
+  [[nodiscard]] Tensor backward(const Tensor& grad_out) override;
+  void collect_parameters(std::vector<Parameter*>& out) override;
+  [[nodiscard]] std::string name() const override { return "Conv2d"; }
+
+  [[nodiscard]] const Conv2dSpec& spec() const noexcept { return spec_; }
+
+  /// First-layer convs can skip computing dL/dinput during weight training;
+  /// detection algorithms re-enable it to reach the image. Defaults to true.
+  void set_need_input_grad(bool need) noexcept { need_input_grad_ = need; }
+
+ private:
+  Conv2dSpec spec_;
+  bool with_bias_;
+  bool need_input_grad_ = true;
+  Parameter weight_;
+  Parameter bias_;
+  Tensor cached_input_;
+};
+
+}  // namespace usb

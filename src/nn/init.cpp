@@ -1,0 +1,27 @@
+#include "nn/init.h"
+
+#include <cmath>
+
+namespace usb {
+
+void kaiming_normal(Tensor& weight, std::int64_t fan_in, Rng& rng) {
+  const double stddev = std::sqrt(2.0 / static_cast<double>(fan_in));
+  for (std::int64_t i = 0; i < weight.numel(); ++i) {
+    weight[i] = static_cast<float>(rng.normal(0.0, stddev));
+  }
+}
+
+void xavier_uniform(Tensor& weight, std::int64_t fan_in, std::int64_t fan_out, Rng& rng) {
+  const double bound = std::sqrt(6.0 / static_cast<double>(fan_in + fan_out));
+  for (std::int64_t i = 0; i < weight.numel(); ++i) {
+    weight[i] = static_cast<float>(rng.uniform(-bound, bound));
+  }
+}
+
+void uniform_init(Tensor& weight, float bound, Rng& rng) {
+  for (std::int64_t i = 0; i < weight.numel(); ++i) {
+    weight[i] = rng.uniform_float(-bound, bound);
+  }
+}
+
+}  // namespace usb

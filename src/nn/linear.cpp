@@ -1,0 +1,52 @@
+#include "nn/linear.h"
+
+#include <stdexcept>
+
+#include "nn/init.h"
+#include "tensor/tensor_ops.h"
+
+namespace usb {
+
+Linear::Linear(std::int64_t in_features, std::int64_t out_features, Rng& rng)
+    : in_features_(in_features),
+      out_features_(out_features),
+      weight_("linear.weight", Tensor(Shape{out_features, in_features})),
+      bias_("linear.bias", Tensor(Shape{out_features})) {
+  kaiming_normal(weight_.value, in_features, rng);
+}
+
+Tensor Linear::forward(const Tensor& x) {
+  if (x.rank() != 2 || x.dim(1) != in_features_) {
+    throw std::invalid_argument("Linear: expected (N, " + std::to_string(in_features_) +
+                                "), got " + x.shape().to_string());
+  }
+  cached_input_ = x;
+  Tensor y = matmul_transpose_b(x, weight_.value);
+  const std::int64_t batch = y.dim(0);
+  for (std::int64_t n = 0; n < batch; ++n) {
+    float* row = y.raw() + n * out_features_;
+    for (std::int64_t o = 0; o < out_features_; ++o) row[o] += bias_.value[o];
+  }
+  return y;
+}
+
+Tensor Linear::backward(const Tensor& grad_out) {
+  if (param_grads_enabled()) {
+    // dW (out,in) = dy^T (out,N) x X (N,in)
+    weight_.grad += matmul_transpose_a(grad_out, cached_input_);
+    const std::int64_t batch = grad_out.dim(0);
+    for (std::int64_t n = 0; n < batch; ++n) {
+      const float* row = grad_out.raw() + n * out_features_;
+      for (std::int64_t o = 0; o < out_features_; ++o) bias_.grad[o] += row[o];
+    }
+  }
+  // dX (N,in) = dy (N,out) x W (out,in)
+  return matmul(grad_out, weight_.value);
+}
+
+void Linear::collect_parameters(std::vector<Parameter*>& out) {
+  out.push_back(&weight_);
+  out.push_back(&bias_);
+}
+
+}  // namespace usb

@@ -1,0 +1,32 @@
+// Fully connected layer: y = x W^T + b.
+#pragma once
+
+#include "nn/module.h"
+#include "utils/rng.h"
+
+namespace usb {
+
+class Linear final : public Module {
+ public:
+  /// Weight (out_features, in_features) Kaiming-initialized; bias zero.
+  Linear(std::int64_t in_features, std::int64_t out_features, Rng& rng);
+
+  [[nodiscard]] Tensor forward(const Tensor& x) override;
+  [[nodiscard]] Tensor backward(const Tensor& grad_out) override;
+  void collect_parameters(std::vector<Parameter*>& out) override;
+  [[nodiscard]] std::string name() const override { return "Linear"; }
+
+  [[nodiscard]] std::int64_t in_features() const noexcept { return in_features_; }
+  [[nodiscard]] std::int64_t out_features() const noexcept { return out_features_; }
+  [[nodiscard]] Parameter& weight() noexcept { return weight_; }
+  [[nodiscard]] Parameter& bias() noexcept { return bias_; }
+
+ private:
+  std::int64_t in_features_;
+  std::int64_t out_features_;
+  Parameter weight_;
+  Parameter bias_;
+  Tensor cached_input_;
+};
+
+}  // namespace usb

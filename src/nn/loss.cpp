@@ -1,0 +1,83 @@
+#include "nn/loss.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/tensor_ops.h"
+
+namespace usb {
+
+float SoftmaxCrossEntropy::forward(const Tensor& logits,
+                                   const std::vector<std::int64_t>& labels) {
+  if (logits.rank() != 2 || logits.dim(0) != static_cast<std::int64_t>(labels.size())) {
+    throw std::invalid_argument("SoftmaxCrossEntropy: logits/labels mismatch");
+  }
+  cached_probs_ = softmax_rows(logits);
+  cached_labels_ = labels;
+  const std::int64_t rows = logits.dim(0);
+  const std::int64_t cols = logits.dim(1);
+  double loss = 0.0;
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float p = cached_probs_[r * cols + labels[static_cast<std::size_t>(r)]];
+    loss -= std::log(std::max(p, 1e-12F));
+  }
+  return static_cast<float>(loss / static_cast<double>(rows));
+}
+
+Tensor SoftmaxCrossEntropy::backward() const {
+  const std::int64_t rows = cached_probs_.dim(0);
+  const std::int64_t cols = cached_probs_.dim(1);
+  Tensor grad = cached_probs_;
+  const float inv_rows = 1.0F / static_cast<float>(rows);
+  for (std::int64_t r = 0; r < rows; ++r) {
+    grad[r * cols + cached_labels_[static_cast<std::size_t>(r)]] -= 1.0F;
+    float* row = grad.raw() + r * cols;
+    for (std::int64_t c = 0; c < cols; ++c) row[c] *= inv_rows;
+  }
+  return grad;
+}
+
+float TargetedCrossEntropy::forward(const Tensor& logits, std::int64_t target_class) {
+  if (logits.rank() != 2 || target_class < 0 || target_class >= logits.dim(1)) {
+    throw std::invalid_argument("TargetedCrossEntropy: bad logits or target");
+  }
+  cached_probs_ = softmax_rows(logits);
+  cached_target_ = target_class;
+  const std::int64_t rows = logits.dim(0);
+  const std::int64_t cols = logits.dim(1);
+  double loss = 0.0;
+  for (std::int64_t r = 0; r < rows; ++r) {
+    loss -= std::log(std::max(cached_probs_[r * cols + target_class], 1e-12F));
+  }
+  return static_cast<float>(loss / static_cast<double>(rows));
+}
+
+Tensor TargetedCrossEntropy::backward() const {
+  const std::int64_t rows = cached_probs_.dim(0);
+  const std::int64_t cols = cached_probs_.dim(1);
+  Tensor grad = cached_probs_;
+  const float inv_rows = 1.0F / static_cast<float>(rows);
+  for (std::int64_t r = 0; r < rows; ++r) {
+    grad[r * cols + cached_target_] -= 1.0F;
+    float* row = grad.raw() + r * cols;
+    for (std::int64_t c = 0; c < cols; ++c) row[c] *= inv_rows;
+  }
+  return grad;
+}
+
+float MeanSquaredError::forward(const Tensor& prediction, const Tensor& target) {
+  if (prediction.shape() != target.shape()) {
+    throw std::invalid_argument("MeanSquaredError: shape mismatch");
+  }
+  cached_diff_ = prediction;
+  cached_diff_ -= target;
+  return cached_diff_.sq_sum() / static_cast<float>(cached_diff_.numel());
+}
+
+Tensor MeanSquaredError::backward() const {
+  Tensor grad = cached_diff_;
+  grad *= 2.0F / static_cast<float>(grad.numel());
+  return grad;
+}
+
+}  // namespace usb

@@ -1,0 +1,90 @@
+// Network: a classifier with a marked feature/head boundary, plus factories
+// for the four architecture families the paper evaluates.
+//
+// Paper -> repo mapping (scaled for CPU; see DESIGN.md):
+//   Basic model (Appendix A.7)  -> BasicCnn   (exact: conv(1,16,5) pool
+//                                  conv(16,32,5) pool fc(512,512) fc(512,10))
+//   ResNet-18                   -> MiniResNet (CIFAR-style residual stages)
+//   VGG-16                      -> MiniVgg    (conv-conv-pool stacks)
+//   EfficientNet-B0             -> MiniEffNet (MBConv + SE + SiLU stages)
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "nn/sequential.h"
+#include "utils/rng.h"
+
+namespace usb {
+
+enum class Architecture { kBasicCnn, kMiniResNet, kMiniVgg, kMiniEffNet };
+
+[[nodiscard]] std::string to_string(Architecture arch);
+[[nodiscard]] Architecture architecture_from_string(const std::string& text);
+
+/// A trained or trainable classifier. Wraps the layer stack with the
+/// metadata needed to reconstruct it from a checkpoint and with
+/// feature/head split points for feature-space attacks.
+class Network {
+ public:
+  Network(Architecture arch, std::int64_t in_channels, std::int64_t input_size,
+          std::int64_t num_classes, std::unique_ptr<Sequential> layers,
+          std::int64_t feature_boundary);
+
+  Network(Network&&) noexcept = default;
+  Network& operator=(Network&&) noexcept = default;
+
+  /// Full forward pass: images (N,C,H,W) in [0,1] -> logits (N,classes).
+  [[nodiscard]] Tensor forward(const Tensor& x);
+
+  /// Full backward pass: dL/dlogits -> dL/dimages. Parameter gradients
+  /// accumulate as a side effect (callers that only need input gradients
+  /// zero them or ignore them).
+  [[nodiscard]] Tensor backward(const Tensor& grad_logits);
+
+  /// Forward through the feature extractor only (layers before the
+  /// boundary). Used by the Latent Backdoor attack.
+  [[nodiscard]] Tensor forward_features(const Tensor& x);
+  /// Head applied on features from forward_features.
+  [[nodiscard]] Tensor forward_head(const Tensor& features);
+  /// Backward through the head; returns dL/dfeatures.
+  [[nodiscard]] Tensor backward_head(const Tensor& grad_logits);
+  /// Backward through the feature extractor; returns dL/dimages.
+  [[nodiscard]] Tensor backward_features(const Tensor& grad_features);
+
+  void set_training(bool training) { layers_->set_training(training); }
+  /// See Module::set_param_grads_enabled: detection on a frozen model turns
+  /// this off to halve backward cost.
+  void set_param_grads_enabled(bool enabled) { layers_->set_param_grads_enabled(enabled); }
+  void zero_grad() { layers_->zero_grad(); }
+  [[nodiscard]] std::vector<Parameter*> parameters() { return layers_->parameters(); }
+  [[nodiscard]] std::vector<StateTensor> state() {
+    std::vector<StateTensor> out;
+    layers_->collect_state(out);
+    return out;
+  }
+
+  [[nodiscard]] Architecture architecture() const noexcept { return arch_; }
+  [[nodiscard]] std::int64_t in_channels() const noexcept { return in_channels_; }
+  [[nodiscard]] std::int64_t input_size() const noexcept { return input_size_; }
+  [[nodiscard]] std::int64_t num_classes() const noexcept { return num_classes_; }
+  [[nodiscard]] std::int64_t parameter_count();
+
+  [[nodiscard]] Sequential& sequential() noexcept { return *layers_; }
+
+ private:
+  Architecture arch_;
+  std::int64_t in_channels_;
+  std::int64_t input_size_;
+  std::int64_t num_classes_;
+  std::unique_ptr<Sequential> layers_;
+  std::int64_t feature_boundary_;
+};
+
+/// Builds an untrained network of the given architecture. `input_size` is
+/// the square spatial size (28, 32 or 48 in this repo).
+[[nodiscard]] Network make_network(Architecture arch, std::int64_t in_channels,
+                                   std::int64_t input_size, std::int64_t num_classes,
+                                   std::uint64_t seed);
+
+}  // namespace usb

@@ -1,0 +1,100 @@
+// Layer abstraction with explicit forward/backward.
+//
+// There is no autograd tape: each Module caches what its own backward needs
+// during forward and implements the exact gradient. `backward(grad_out)`
+// returns the gradient with respect to the module INPUT and accumulates
+// gradients into its Parameters. Input gradients are first-class because
+// every algorithm in the paper (DeepFool, targeted UAP, NC/TABOR/USB trigger
+// optimization) differentiates with respect to images, not just weights.
+//
+// Contract: backward must be called after the forward whose activations it
+// consumes, with a grad_out shaped like that forward's output. Modules are
+// not reentrant across interleaved forwards (the training and detection
+// loops in this repo never need that).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace usb {
+
+/// A learnable tensor with its gradient accumulator.
+struct Parameter {
+  std::string name;
+  Tensor value;
+  Tensor grad;
+
+  Parameter() = default;
+  Parameter(std::string param_name, Tensor initial)
+      : name(std::move(param_name)), value(std::move(initial)), grad(value.shape()) {}
+
+  void zero_grad() { grad.fill(0.0F); }
+};
+
+/// Named view of a tensor that must be serialized with the model: learnable
+/// parameters plus non-learnable buffers (e.g. BatchNorm running stats).
+struct StateTensor {
+  std::string name;
+  Tensor* tensor = nullptr;
+};
+
+class Module {
+ public:
+  virtual ~Module() = default;
+  Module() = default;
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  /// Computes the module output, caching whatever backward() needs.
+  [[nodiscard]] virtual Tensor forward(const Tensor& x) = 0;
+
+  /// Returns dL/dinput given dL/doutput; accumulates parameter gradients.
+  [[nodiscard]] virtual Tensor backward(const Tensor& grad_out) = 0;
+
+  /// Appends pointers to learnable parameters (default: none).
+  virtual void collect_parameters(std::vector<Parameter*>& /*out*/) {}
+
+  /// Appends all tensors to serialize: parameters plus buffers.
+  virtual void collect_state(std::vector<StateTensor>& out) {
+    std::vector<Parameter*> params;
+    collect_parameters(params);
+    for (Parameter* p : params) out.push_back(StateTensor{p->name, &p->value});
+  }
+
+  /// Switches train/eval behaviour (BatchNorm is the only mode-sensitive
+  /// layer in this library).
+  virtual void set_training(bool training) { training_ = training; }
+  [[nodiscard]] bool training() const noexcept { return training_; }
+
+  /// Disables parameter-gradient accumulation. Detection algorithms only
+  /// need dL/dinput on a frozen model; skipping the dW/db kernels roughly
+  /// halves the cost of every backward pass.
+  virtual void set_param_grads_enabled(bool enabled) { param_grads_enabled_ = enabled; }
+  [[nodiscard]] bool param_grads_enabled() const noexcept { return param_grads_enabled_; }
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Convenience: gathers parameters into a fresh vector.
+  [[nodiscard]] std::vector<Parameter*> parameters() {
+    std::vector<Parameter*> out;
+    collect_parameters(out);
+    return out;
+  }
+
+  /// Zeroes all parameter gradients in this subtree.
+  void zero_grad() {
+    for (Parameter* p : parameters()) p->zero_grad();
+  }
+
+ protected:
+  bool training_ = true;
+  bool param_grads_enabled_ = true;
+};
+
+using ModulePtr = std::unique_ptr<Module>;
+
+}  // namespace usb

@@ -1,0 +1,70 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+namespace usb {
+
+Sgd::Sgd(std::vector<Parameter*> params, SgdConfig config)
+    : Optimizer(std::move(params)), config_(config) {
+  velocity_.reserve(params_.size());
+  for (const Parameter* p : params_) velocity_.emplace_back(p->value.shape());
+}
+
+void Sgd::step() {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Parameter& param = *params_[i];
+    Tensor& vel = velocity_[i];
+    const std::int64_t n = param.value.numel();
+    for (std::int64_t j = 0; j < n; ++j) {
+      float g = param.grad[j];
+      if (config_.weight_decay != 0.0F) g += config_.weight_decay * param.value[j];
+      vel[j] = config_.momentum * vel[j] + g;
+      param.value[j] -= config_.lr * vel[j];
+    }
+  }
+}
+
+Adam::Adam(std::vector<Parameter*> params, AdamConfig config)
+    : Optimizer(std::move(params)), config_(config) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const Parameter* p : params_) {
+    m_.emplace_back(p->value.shape());
+    v_.emplace_back(p->value.shape());
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const float bias1 = 1.0F - std::pow(config_.beta1, static_cast<float>(t_));
+  const float bias2 = 1.0F - std::pow(config_.beta2, static_cast<float>(t_));
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Parameter& param = *params_[i];
+    const std::int64_t n = param.value.numel();
+    for (std::int64_t j = 0; j < n; ++j) {
+      const float g = param.grad[j];
+      m_[i][j] = config_.beta1 * m_[i][j] + (1.0F - config_.beta1) * g;
+      v_[i][j] = config_.beta2 * v_[i][j] + (1.0F - config_.beta2) * g * g;
+      const float m_hat = m_[i][j] / bias1;
+      const float v_hat = v_[i][j] / bias2;
+      param.value[j] -= config_.lr * m_hat / (std::sqrt(v_hat) + config_.eps);
+    }
+  }
+}
+
+void AdamState::step(Tensor& value, const Tensor& grad) {
+  ++t_;
+  const float bias1 = 1.0F - std::pow(config_.beta1, static_cast<float>(t_));
+  const float bias2 = 1.0F - std::pow(config_.beta2, static_cast<float>(t_));
+  const std::int64_t n = value.numel();
+  for (std::int64_t j = 0; j < n; ++j) {
+    const float g = grad[j];
+    m_[j] = config_.beta1 * m_[j] + (1.0F - config_.beta1) * g;
+    v_[j] = config_.beta2 * v_[j] + (1.0F - config_.beta2) * g * g;
+    const float m_hat = m_[j] / bias1;
+    const float v_hat = v_[j] / bias2;
+    value[j] -= config_.lr * m_hat / (std::sqrt(v_hat) + config_.eps);
+  }
+}
+
+}  // namespace usb

@@ -1,0 +1,89 @@
+// Parameter optimizers: SGD with momentum and Adam.
+//
+// The paper trains victim models with SGD-style settings from TrojanZoo and
+// runs trigger reverse engineering with Adam(beta = (0.5, 0.9)); both are
+// provided here. Optimizers can also drive free tensors (trigger, mask, UAP)
+// via the AdamState helper, which the detection code uses for image-space
+// variables that are not module Parameters.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/module.h"
+
+namespace usb {
+
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Parameter*> params) : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+  Optimizer(const Optimizer&) = delete;
+  Optimizer& operator=(const Optimizer&) = delete;
+
+  /// Applies one update from the accumulated gradients.
+  virtual void step() = 0;
+
+  void zero_grad() {
+    for (Parameter* p : params_) p->zero_grad();
+  }
+
+ protected:
+  std::vector<Parameter*> params_;
+};
+
+struct SgdConfig {
+  float lr = 0.01F;
+  float momentum = 0.9F;
+  float weight_decay = 0.0F;
+};
+
+class Sgd final : public Optimizer {
+ public:
+  Sgd(std::vector<Parameter*> params, SgdConfig config);
+  void step() override;
+  void set_lr(float lr) noexcept { config_.lr = lr; }
+  [[nodiscard]] float lr() const noexcept { return config_.lr; }
+
+ private:
+  SgdConfig config_;
+  std::vector<Tensor> velocity_;
+};
+
+struct AdamConfig {
+  float lr = 0.1F;
+  float beta1 = 0.5F;  // paper's detection optimizer: Adam(beta=(0.5, 0.9))
+  float beta2 = 0.9F;
+  float eps = 1e-8F;
+};
+
+class Adam final : public Optimizer {
+ public:
+  Adam(std::vector<Parameter*> params, AdamConfig config);
+  void step() override;
+
+ private:
+  AdamConfig config_;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+  std::int64_t t_ = 0;
+};
+
+/// Standalone Adam state for a single free tensor (e.g. a trigger or mask
+/// image optimized outside any Module).
+class AdamState {
+ public:
+  AdamState(Shape shape, AdamConfig config)
+      : config_(config), m_(shape), v_(shape) {}
+
+  /// Applies one Adam update to `value` in place given its gradient.
+  void step(Tensor& value, const Tensor& grad);
+
+ private:
+  AdamConfig config_;
+  Tensor m_;
+  Tensor v_;
+  std::int64_t t_ = 0;
+};
+
+}  // namespace usb

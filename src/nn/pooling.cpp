@@ -1,0 +1,43 @@
+#include "nn/pooling.h"
+
+namespace usb {
+
+Tensor MaxPool2d::forward(const Tensor& x) {
+  cached_input_shape_ = x.shape();
+  MaxPoolResult result = maxpool2d_forward(x, spec_);
+  cached_argmax_ = std::move(result.argmax);
+  return std::move(result.y);
+}
+
+Tensor MaxPool2d::backward(const Tensor& grad_out) {
+  return maxpool2d_backward(grad_out, cached_argmax_, cached_input_shape_);
+}
+
+Tensor AvgPool2d::forward(const Tensor& x) {
+  cached_input_shape_ = x.shape();
+  return avgpool2d_forward(x, spec_);
+}
+
+Tensor AvgPool2d::backward(const Tensor& grad_out) {
+  return avgpool2d_backward(grad_out, cached_input_shape_, spec_);
+}
+
+Tensor GlobalAvgPool::forward(const Tensor& x) {
+  cached_input_shape_ = x.shape();
+  return global_avgpool_forward(x);
+}
+
+Tensor GlobalAvgPool::backward(const Tensor& grad_out) {
+  return global_avgpool_backward(grad_out, cached_input_shape_);
+}
+
+Tensor Flatten::forward(const Tensor& x) {
+  cached_input_shape_ = x.shape();
+  return x.reshaped(Shape{x.dim(0), x.numel() / x.dim(0)});
+}
+
+Tensor Flatten::backward(const Tensor& grad_out) {
+  return grad_out.reshaped(cached_input_shape_);
+}
+
+}  // namespace usb

@@ -1,0 +1,128 @@
+#include "nn/residual.h"
+
+namespace usb {
+namespace {
+
+Conv2dSpec conv3x3(std::int64_t in, std::int64_t out, std::int64_t stride) {
+  Conv2dSpec spec;
+  spec.in_channels = in;
+  spec.out_channels = out;
+  spec.kernel = 3;
+  spec.stride = stride;
+  spec.padding = 1;
+  return spec;
+}
+
+Conv2dSpec conv1x1(std::int64_t in, std::int64_t out, std::int64_t stride) {
+  Conv2dSpec spec;
+  spec.in_channels = in;
+  spec.out_channels = out;
+  spec.kernel = 1;
+  spec.stride = stride;
+  spec.padding = 0;
+  return spec;
+}
+
+}  // namespace
+
+ResidualBlock::ResidualBlock(std::int64_t in_channels, std::int64_t out_channels,
+                             std::int64_t stride, Rng& rng)
+    : conv1_(conv3x3(in_channels, out_channels, stride), rng, /*with_bias=*/false),
+      bn1_(out_channels),
+      conv2_(conv3x3(out_channels, out_channels, 1), rng, /*with_bias=*/false),
+      bn2_(out_channels),
+      has_projection_(stride != 1 || in_channels != out_channels) {
+  if (has_projection_) {
+    proj_conv_ = std::make_unique<Conv2d>(conv1x1(in_channels, out_channels, stride), rng,
+                                          /*with_bias=*/false);
+    proj_bn_ = std::make_unique<BatchNorm2d>(out_channels);
+  }
+}
+
+Tensor ResidualBlock::forward(const Tensor& x) {
+  Tensor main = bn1_.forward(conv1_.forward(x));
+  cached_relu1_input_ = main;
+  for (std::int64_t i = 0; i < main.numel(); ++i) {
+    if (main[i] < 0.0F) main[i] = 0.0F;
+  }
+  main = bn2_.forward(conv2_.forward(main));
+
+  Tensor shortcut = has_projection_ ? proj_bn_->forward(proj_conv_->forward(x)) : x;
+  main += shortcut;
+  cached_sum_ = main;
+  for (std::int64_t i = 0; i < main.numel(); ++i) {
+    if (main[i] < 0.0F) main[i] = 0.0F;
+  }
+  return main;
+}
+
+Tensor ResidualBlock::backward(const Tensor& grad_out) {
+  // Through the output ReLU.
+  Tensor grad_sum = grad_out;
+  for (std::int64_t i = 0; i < grad_sum.numel(); ++i) {
+    if (cached_sum_[i] <= 0.0F) grad_sum[i] = 0.0F;
+  }
+
+  // Main path.
+  Tensor grad_main = conv2_.backward(bn2_.backward(grad_sum));
+  for (std::int64_t i = 0; i < grad_main.numel(); ++i) {
+    if (cached_relu1_input_[i] <= 0.0F) grad_main[i] = 0.0F;
+  }
+  Tensor dx = conv1_.backward(bn1_.backward(grad_main));
+
+  // Shortcut path.
+  if (has_projection_) {
+    dx += proj_conv_->backward(proj_bn_->backward(grad_sum));
+  } else {
+    dx += grad_sum;
+  }
+  return dx;
+}
+
+void ResidualBlock::collect_parameters(std::vector<Parameter*>& out) {
+  conv1_.collect_parameters(out);
+  bn1_.collect_parameters(out);
+  conv2_.collect_parameters(out);
+  bn2_.collect_parameters(out);
+  if (has_projection_) {
+    proj_conv_->collect_parameters(out);
+    proj_bn_->collect_parameters(out);
+  }
+}
+
+void ResidualBlock::collect_state(std::vector<StateTensor>& out) {
+  conv1_.collect_state(out);
+  bn1_.collect_state(out);
+  conv2_.collect_state(out);
+  bn2_.collect_state(out);
+  if (has_projection_) {
+    proj_conv_->collect_state(out);
+    proj_bn_->collect_state(out);
+  }
+}
+
+void ResidualBlock::set_training(bool training) {
+  Module::set_training(training);
+  conv1_.set_training(training);
+  bn1_.set_training(training);
+  conv2_.set_training(training);
+  bn2_.set_training(training);
+  if (has_projection_) {
+    proj_conv_->set_training(training);
+    proj_bn_->set_training(training);
+  }
+}
+
+void ResidualBlock::set_param_grads_enabled(bool enabled) {
+  Module::set_param_grads_enabled(enabled);
+  conv1_.set_param_grads_enabled(enabled);
+  bn1_.set_param_grads_enabled(enabled);
+  conv2_.set_param_grads_enabled(enabled);
+  bn2_.set_param_grads_enabled(enabled);
+  if (has_projection_) {
+    proj_conv_->set_param_grads_enabled(enabled);
+    proj_bn_->set_param_grads_enabled(enabled);
+  }
+}
+
+}  // namespace usb

@@ -1,0 +1,38 @@
+// Basic residual block (the CIFAR-style ResNet building block):
+//   y = ReLU( BN(Conv3x3(BN(Conv3x3(x)) relu)) + shortcut(x) )
+// with an optional 1x1 strided projection shortcut when the shape changes.
+#pragma once
+
+#include "nn/batchnorm.h"
+#include "nn/conv.h"
+#include "nn/module.h"
+
+namespace usb {
+
+class ResidualBlock final : public Module {
+ public:
+  ResidualBlock(std::int64_t in_channels, std::int64_t out_channels, std::int64_t stride,
+                Rng& rng);
+
+  [[nodiscard]] Tensor forward(const Tensor& x) override;
+  [[nodiscard]] Tensor backward(const Tensor& grad_out) override;
+  void collect_parameters(std::vector<Parameter*>& out) override;
+  void collect_state(std::vector<StateTensor>& out) override;
+  void set_training(bool training) override;
+  void set_param_grads_enabled(bool enabled) override;
+  [[nodiscard]] std::string name() const override { return "ResidualBlock"; }
+
+ private:
+  Conv2d conv1_;
+  BatchNorm2d bn1_;
+  Conv2d conv2_;
+  BatchNorm2d bn2_;
+  bool has_projection_;
+  std::unique_ptr<Conv2d> proj_conv_;
+  std::unique_ptr<BatchNorm2d> proj_bn_;
+
+  Tensor cached_relu1_input_;  // pre-activation of the inner ReLU
+  Tensor cached_sum_;          // pre-activation of the output ReLU
+};
+
+}  // namespace usb

@@ -1,0 +1,56 @@
+#include "nn/sequential.h"
+
+#include <stdexcept>
+
+namespace usb {
+
+Sequential& Sequential::add(ModulePtr layer) {
+  layers_.push_back(std::move(layer));
+  return *this;
+}
+
+Tensor Sequential::forward(const Tensor& x) { return forward_range(x, 0, size()); }
+
+Tensor Sequential::backward(const Tensor& grad_out) { return backward_range(grad_out, 0, size()); }
+
+Tensor Sequential::forward_range(const Tensor& x, std::int64_t begin, std::int64_t end) {
+  if (begin < 0 || end > size() || begin > end) {
+    throw std::out_of_range("Sequential::forward_range: bad range");
+  }
+  Tensor activation = x;
+  for (std::int64_t i = begin; i < end; ++i) {
+    activation = layers_[static_cast<std::size_t>(i)]->forward(activation);
+  }
+  return activation;
+}
+
+Tensor Sequential::backward_range(const Tensor& grad_out, std::int64_t begin, std::int64_t end) {
+  if (begin < 0 || end > size() || begin > end) {
+    throw std::out_of_range("Sequential::backward_range: bad range");
+  }
+  Tensor grad = grad_out;
+  for (std::int64_t i = end - 1; i >= begin; --i) {
+    grad = layers_[static_cast<std::size_t>(i)]->backward(grad);
+  }
+  return grad;
+}
+
+void Sequential::collect_parameters(std::vector<Parameter*>& out) {
+  for (const ModulePtr& layer : layers_) layer->collect_parameters(out);
+}
+
+void Sequential::collect_state(std::vector<StateTensor>& out) {
+  for (const ModulePtr& layer : layers_) layer->collect_state(out);
+}
+
+void Sequential::set_training(bool training) {
+  Module::set_training(training);
+  for (const ModulePtr& layer : layers_) layer->set_training(training);
+}
+
+void Sequential::set_param_grads_enabled(bool enabled) {
+  Module::set_param_grads_enabled(enabled);
+  for (const ModulePtr& layer : layers_) layer->set_param_grads_enabled(enabled);
+}
+
+}  // namespace usb

@@ -1,0 +1,48 @@
+// Sequential container with ranged forward/backward.
+//
+// The ranged variants let callers split a network into a feature extractor
+// and a classifier head without restructuring it — the Latent Backdoor
+// attack trains against intermediate features, and model factories mark the
+// feature/head boundary by layer index.
+#pragma once
+
+#include "nn/module.h"
+
+namespace usb {
+
+class Sequential final : public Module {
+ public:
+  Sequential() = default;
+
+  /// Appends a layer; returns *this for chaining.
+  Sequential& add(ModulePtr layer);
+
+  [[nodiscard]] std::int64_t size() const noexcept {
+    return static_cast<std::int64_t>(layers_.size());
+  }
+  [[nodiscard]] Module& layer(std::int64_t index) noexcept {
+    return *layers_[static_cast<std::size_t>(index)];
+  }
+
+  [[nodiscard]] Tensor forward(const Tensor& x) override;
+  [[nodiscard]] Tensor backward(const Tensor& grad_out) override;
+
+  /// Forward through layers [begin, end).
+  [[nodiscard]] Tensor forward_range(const Tensor& x, std::int64_t begin, std::int64_t end);
+
+  /// Backward through layers [begin, end) in reverse; must follow the
+  /// matching forward_range.
+  [[nodiscard]] Tensor backward_range(const Tensor& grad_out, std::int64_t begin,
+                                      std::int64_t end);
+
+  void collect_parameters(std::vector<Parameter*>& out) override;
+  void collect_state(std::vector<StateTensor>& out) override;
+  void set_training(bool training) override;
+  void set_param_grads_enabled(bool enabled) override;
+  [[nodiscard]] std::string name() const override { return "Sequential"; }
+
+ private:
+  std::vector<ModulePtr> layers_;
+};
+
+}  // namespace usb

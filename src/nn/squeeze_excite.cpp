@@ -1,0 +1,199 @@
+#include "nn/squeeze_excite.h"
+
+#include "tensor/tensor_ops.h"
+
+namespace usb {
+
+SqueezeExcite::SqueezeExcite(std::int64_t channels, std::int64_t reduced, Rng& rng)
+    : channels_(channels), fc1_(channels, reduced, rng), fc2_(reduced, channels, rng) {}
+
+Tensor SqueezeExcite::forward(const Tensor& x) {
+  cached_input_ = x;
+  const std::int64_t batch = x.dim(0);
+
+  Tensor squeezed = global_avgpool_forward(x).reshaped(Shape{batch, channels_});
+  Tensor gates = gate_.forward(fc2_.forward(act_.forward(fc1_.forward(squeezed))));
+  cached_gates_ = gates;
+
+  Tensor y = x;
+  const std::int64_t spatial = x.dim(2) * x.dim(3);
+  for (std::int64_t n = 0; n < batch; ++n) {
+    for (std::int64_t c = 0; c < channels_; ++c) {
+      const float g = gates.at2(n, c);
+      float* y_p = y.raw() + (n * channels_ + c) * spatial;
+      for (std::int64_t s = 0; s < spatial; ++s) y_p[s] *= g;
+    }
+  }
+  return y;
+}
+
+Tensor SqueezeExcite::backward(const Tensor& grad_out) {
+  const std::int64_t batch = grad_out.dim(0);
+  const std::int64_t spatial = grad_out.dim(2) * grad_out.dim(3);
+
+  // d/dgates: sum over spatial of dy * x. d/dx (direct path): dy * gate.
+  Tensor dgates(Shape{batch, channels_});
+  Tensor dx = grad_out;
+  for (std::int64_t n = 0; n < batch; ++n) {
+    for (std::int64_t c = 0; c < channels_; ++c) {
+      const float g = cached_gates_.at2(n, c);
+      const float* dy_p = grad_out.raw() + (n * channels_ + c) * spatial;
+      const float* x_p = cached_input_.raw() + (n * channels_ + c) * spatial;
+      float* dx_p = dx.raw() + (n * channels_ + c) * spatial;
+      double acc = 0.0;
+      for (std::int64_t s = 0; s < spatial; ++s) {
+        acc += static_cast<double>(dy_p[s]) * x_p[s];
+        dx_p[s] = dy_p[s] * g;
+      }
+      dgates.at2(n, c) = static_cast<float>(acc);
+    }
+  }
+
+  // Through the gate MLP back to the squeezed vector, then scatter the
+  // squeeze (spatial mean) gradient back over the input.
+  Tensor dsqueezed = fc1_.backward(act_.backward(fc2_.backward(gate_.backward(dgates))));
+  Tensor dsq4 = dsqueezed.reshaped(Shape{batch, channels_, 1, 1});
+  dx += global_avgpool_backward(dsq4, cached_input_.shape());
+  return dx;
+}
+
+void SqueezeExcite::collect_parameters(std::vector<Parameter*>& out) {
+  fc1_.collect_parameters(out);
+  fc2_.collect_parameters(out);
+}
+
+void SqueezeExcite::collect_state(std::vector<StateTensor>& out) {
+  fc1_.collect_state(out);
+  fc2_.collect_state(out);
+}
+
+void SqueezeExcite::set_training(bool training) {
+  Module::set_training(training);
+  fc1_.set_training(training);
+  act_.set_training(training);
+  fc2_.set_training(training);
+  gate_.set_training(training);
+}
+
+void SqueezeExcite::set_param_grads_enabled(bool enabled) {
+  Module::set_param_grads_enabled(enabled);
+  fc1_.set_param_grads_enabled(enabled);
+  fc2_.set_param_grads_enabled(enabled);
+}
+
+namespace {
+
+Conv2dSpec pointwise(std::int64_t in, std::int64_t out) {
+  Conv2dSpec spec;
+  spec.in_channels = in;
+  spec.out_channels = out;
+  spec.kernel = 1;
+  return spec;
+}
+
+Conv2dSpec depthwise3x3(std::int64_t channels, std::int64_t stride) {
+  Conv2dSpec spec;
+  spec.in_channels = channels;
+  spec.out_channels = channels;
+  spec.kernel = 3;
+  spec.stride = stride;
+  spec.padding = 1;
+  spec.groups = channels;
+  return spec;
+}
+
+}  // namespace
+
+MBConvBlock::MBConvBlock(std::int64_t in_channels, std::int64_t out_channels, std::int64_t stride,
+                         std::int64_t expand_ratio, Rng& rng)
+    : has_expand_(expand_ratio > 1),
+      has_skip_(stride == 1 && in_channels == out_channels),
+      depthwise_(depthwise3x3(in_channels * expand_ratio, stride), rng, /*with_bias=*/false),
+      dw_bn_(in_channels * expand_ratio),
+      se_(in_channels * expand_ratio, std::max<std::int64_t>(1, in_channels / 4), rng),
+      project_(pointwise(in_channels * expand_ratio, out_channels), rng, /*with_bias=*/false),
+      project_bn_(out_channels) {
+  if (has_expand_) {
+    expand_conv_ = std::make_unique<Conv2d>(pointwise(in_channels, in_channels * expand_ratio),
+                                            rng, /*with_bias=*/false);
+    expand_bn_ = std::make_unique<BatchNorm2d>(in_channels * expand_ratio);
+    expand_act_ = std::make_unique<SiLU>();
+  }
+}
+
+Tensor MBConvBlock::forward(const Tensor& x) {
+  Tensor h = x;
+  if (has_expand_) {
+    h = expand_act_->forward(expand_bn_->forward(expand_conv_->forward(h)));
+  }
+  h = dw_act_.forward(dw_bn_.forward(depthwise_.forward(h)));
+  h = se_.forward(h);
+  h = project_bn_.forward(project_.forward(h));
+  if (has_skip_) h += x;
+  return h;
+}
+
+Tensor MBConvBlock::backward(const Tensor& grad_out) {
+  Tensor grad = project_.backward(project_bn_.backward(grad_out));
+  grad = se_.backward(grad);
+  grad = depthwise_.backward(dw_bn_.backward(dw_act_.backward(grad)));
+  if (has_expand_) {
+    grad = expand_conv_->backward(expand_bn_->backward(expand_act_->backward(grad)));
+  }
+  if (has_skip_) grad += grad_out;
+  return grad;
+}
+
+void MBConvBlock::collect_parameters(std::vector<Parameter*>& out) {
+  if (has_expand_) {
+    expand_conv_->collect_parameters(out);
+    expand_bn_->collect_parameters(out);
+  }
+  depthwise_.collect_parameters(out);
+  dw_bn_.collect_parameters(out);
+  se_.collect_parameters(out);
+  project_.collect_parameters(out);
+  project_bn_.collect_parameters(out);
+}
+
+void MBConvBlock::collect_state(std::vector<StateTensor>& out) {
+  if (has_expand_) {
+    expand_conv_->collect_state(out);
+    expand_bn_->collect_state(out);
+  }
+  depthwise_.collect_state(out);
+  dw_bn_.collect_state(out);
+  se_.collect_state(out);
+  project_.collect_state(out);
+  project_bn_.collect_state(out);
+}
+
+void MBConvBlock::set_training(bool training) {
+  Module::set_training(training);
+  if (has_expand_) {
+    expand_conv_->set_training(training);
+    expand_bn_->set_training(training);
+    expand_act_->set_training(training);
+  }
+  depthwise_.set_training(training);
+  dw_bn_.set_training(training);
+  dw_act_.set_training(training);
+  se_.set_training(training);
+  project_.set_training(training);
+  project_bn_.set_training(training);
+}
+
+void MBConvBlock::set_param_grads_enabled(bool enabled) {
+  Module::set_param_grads_enabled(enabled);
+  if (has_expand_) {
+    expand_conv_->set_param_grads_enabled(enabled);
+    expand_bn_->set_param_grads_enabled(enabled);
+  }
+  depthwise_.set_param_grads_enabled(enabled);
+  dw_bn_.set_param_grads_enabled(enabled);
+  se_.set_param_grads_enabled(enabled);
+  project_.set_param_grads_enabled(enabled);
+  project_bn_.set_param_grads_enabled(enabled);
+}
+
+}  // namespace usb

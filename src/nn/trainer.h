@@ -1,0 +1,51 @@
+// Supervised training and evaluation loops.
+//
+// The victim models of every experiment (clean or poisoned) are trained
+// through this path; attacks with bespoke objectives (IAD, Latent) build on
+// the same primitives but own their loops in src/attacks.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "data/dataset.h"
+#include "nn/models.h"
+
+namespace usb {
+
+struct TrainConfig {
+  std::int64_t epochs = 4;
+  std::int64_t batch_size = 64;
+  float lr = 0.03F;  // stable across all four architectures (no-BN BasicCnn included)
+  float momentum = 0.9F;
+  float weight_decay = 5e-4F;
+  /// Multiplies lr by this factor after each epoch (1.0 = constant).
+  float lr_decay = 0.7F;
+  std::uint64_t seed = 1;
+  bool verbose = false;
+};
+
+struct TrainResult {
+  float final_train_loss = 0.0F;
+  float final_train_accuracy = 0.0F;
+  std::int64_t steps = 0;
+};
+
+/// Trains `network` on `train_set` with SGD + momentum. Leaves the network
+/// in eval mode.
+TrainResult train_network(Network& network, const Dataset& train_set, const TrainConfig& config);
+
+/// Top-1 accuracy on `test_set` (network must be in eval mode; this function
+/// enforces it).
+[[nodiscard]] float evaluate_accuracy(Network& network, const Dataset& test_set,
+                                      std::int64_t batch_size = 128);
+
+/// Accuracy of mapping transformed inputs to `target_class`, excluding rows
+/// whose true label already equals the target — i.e. the attack success
+/// rate when `transform` stamps a backdoor trigger.
+[[nodiscard]] float targeted_success_rate(
+    Network& network, const Dataset& test_set, std::int64_t target_class,
+    const std::function<Tensor(const Tensor&, std::span<const std::int64_t>)>& transform,
+    std::int64_t batch_size = 128);
+
+}  // namespace usb

@@ -1,0 +1,51 @@
+// Shape: dimension vector for dense tensors.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <numeric>
+#include <string>
+#include <vector>
+
+namespace usb {
+
+/// Dimensions of a dense, contiguous, row-major tensor. Rank 0 denotes a
+/// scalar (numel 1 by convention of the empty product).
+struct Shape {
+  std::vector<std::int64_t> dims;
+
+  Shape() = default;
+  Shape(std::initializer_list<std::int64_t> values) : dims(values) {}
+  explicit Shape(std::vector<std::int64_t> values) : dims(std::move(values)) {}
+
+  [[nodiscard]] std::int64_t rank() const noexcept {
+    return static_cast<std::int64_t>(dims.size());
+  }
+
+  [[nodiscard]] std::int64_t numel() const noexcept {
+    std::int64_t n = 1;
+    for (const std::int64_t d : dims) n *= d;
+    return n;
+  }
+
+  [[nodiscard]] std::int64_t operator[](std::int64_t axis) const noexcept {
+    return dims[static_cast<std::size_t>(axis)];
+  }
+  std::int64_t& operator[](std::int64_t axis) noexcept {
+    return dims[static_cast<std::size_t>(axis)];
+  }
+
+  [[nodiscard]] bool operator==(const Shape& other) const noexcept { return dims == other.dims; }
+  [[nodiscard]] bool operator!=(const Shape& other) const noexcept { return !(*this == other); }
+
+  [[nodiscard]] std::string to_string() const {
+    std::string out = "[";
+    for (std::size_t i = 0; i < dims.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += std::to_string(dims[i]);
+    }
+    return out + "]";
+  }
+};
+
+}  // namespace usb

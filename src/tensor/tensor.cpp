@@ -1,0 +1,179 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace usb {
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)), data_(static_cast<std::size_t>(shape_.numel()), 0.0F) {}
+
+Tensor::Tensor(Shape shape, std::vector<float> values)
+    : shape_(std::move(shape)), data_(std::move(values)) {
+  if (static_cast<std::int64_t>(data_.size()) != shape_.numel()) {
+    throw std::invalid_argument("Tensor: buffer size " + std::to_string(data_.size()) +
+                                " does not match shape " + shape_.to_string());
+  }
+}
+
+Tensor Tensor::zeros(Shape shape) { return Tensor(std::move(shape)); }
+
+Tensor Tensor::full(Shape shape, float value) {
+  Tensor t(std::move(shape));
+  t.fill(value);
+  return t;
+}
+
+Tensor Tensor::ones(Shape shape) { return full(std::move(shape), 1.0F); }
+
+Tensor Tensor::reshaped(Shape new_shape) const {
+  if (new_shape.numel() != numel()) {
+    throw std::invalid_argument("reshaped: numel mismatch " + shape_.to_string() + " -> " +
+                                new_shape.to_string());
+  }
+  Tensor out = *this;
+  out.shape_ = std::move(new_shape);
+  return out;
+}
+
+void Tensor::reshape_in_place(Shape new_shape) {
+  if (new_shape.numel() != numel()) {
+    throw std::invalid_argument("reshape_in_place: numel mismatch");
+  }
+  shape_ = std::move(new_shape);
+}
+
+void Tensor::fill(float value) noexcept { std::fill(data_.begin(), data_.end(), value); }
+
+namespace {
+void check_same_shape(const Tensor& a, const Tensor& b, const char* op) {
+  if (a.shape() != b.shape()) {
+    throw std::invalid_argument(std::string(op) + ": shape mismatch " + a.shape().to_string() +
+                                " vs " + b.shape().to_string());
+  }
+}
+}  // namespace
+
+Tensor& Tensor::operator+=(const Tensor& other) {
+  check_same_shape(*this, other, "operator+=");
+  const float* src = other.raw();
+  float* dst = raw();
+  for (std::size_t i = 0; i < data_.size(); ++i) dst[i] += src[i];
+  return *this;
+}
+
+Tensor& Tensor::operator-=(const Tensor& other) {
+  check_same_shape(*this, other, "operator-=");
+  const float* src = other.raw();
+  float* dst = raw();
+  for (std::size_t i = 0; i < data_.size(); ++i) dst[i] -= src[i];
+  return *this;
+}
+
+Tensor& Tensor::operator*=(const Tensor& other) {
+  check_same_shape(*this, other, "operator*=");
+  const float* src = other.raw();
+  float* dst = raw();
+  for (std::size_t i = 0; i < data_.size(); ++i) dst[i] *= src[i];
+  return *this;
+}
+
+Tensor& Tensor::operator*=(float scalar) noexcept {
+  for (float& v : data_) v *= scalar;
+  return *this;
+}
+
+Tensor& Tensor::operator+=(float scalar) noexcept {
+  for (float& v : data_) v += scalar;
+  return *this;
+}
+
+void Tensor::add_scaled(const Tensor& other, float alpha) {
+  check_same_shape(*this, other, "add_scaled");
+  const float* src = other.raw();
+  float* dst = raw();
+  for (std::size_t i = 0; i < data_.size(); ++i) dst[i] += alpha * src[i];
+}
+
+void Tensor::clamp(float lo, float hi) noexcept {
+  for (float& v : data_) v = std::clamp(v, lo, hi);
+}
+
+float Tensor::sum() const noexcept {
+  // Pairwise-ish accumulation in double: stable enough for loss statistics.
+  double acc = 0.0;
+  for (const float v : data_) acc += v;
+  return static_cast<float>(acc);
+}
+
+float Tensor::mean() const noexcept {
+  return data_.empty() ? 0.0F : sum() / static_cast<float>(data_.size());
+}
+
+float Tensor::abs_sum() const noexcept {
+  double acc = 0.0;
+  for (const float v : data_) acc += std::abs(static_cast<double>(v));
+  return static_cast<float>(acc);
+}
+
+float Tensor::sq_sum() const noexcept {
+  double acc = 0.0;
+  for (const float v : data_) acc += static_cast<double>(v) * static_cast<double>(v);
+  return static_cast<float>(acc);
+}
+
+float Tensor::l2_norm() const noexcept { return std::sqrt(sq_sum()); }
+
+float Tensor::max() const noexcept {
+  if (data_.empty()) return 0.0F;
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+float Tensor::min() const noexcept {
+  if (data_.empty()) return 0.0F;
+  return *std::min_element(data_.begin(), data_.end());
+}
+
+float Tensor::abs_max() const noexcept {
+  float best = 0.0F;
+  for (const float v : data_) best = std::max(best, std::abs(v));
+  return best;
+}
+
+std::int64_t Tensor::argmax() const noexcept {
+  if (data_.empty()) return -1;
+  return static_cast<std::int64_t>(
+      std::distance(data_.begin(), std::max_element(data_.begin(), data_.end())));
+}
+
+bool Tensor::equals(const Tensor& other) const noexcept {
+  return shape_ == other.shape_ && data_ == other.data_;
+}
+
+Tensor operator+(Tensor lhs, const Tensor& rhs) {
+  lhs += rhs;
+  return lhs;
+}
+
+Tensor operator-(Tensor lhs, const Tensor& rhs) {
+  lhs -= rhs;
+  return lhs;
+}
+
+Tensor operator*(Tensor lhs, const Tensor& rhs) {
+  lhs *= rhs;
+  return lhs;
+}
+
+Tensor operator*(Tensor lhs, float scalar) {
+  lhs *= scalar;
+  return lhs;
+}
+
+Tensor operator*(float scalar, Tensor rhs) {
+  rhs *= scalar;
+  return rhs;
+}
+
+}  // namespace usb

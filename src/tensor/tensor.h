@@ -1,0 +1,121 @@
+// Dense float32 tensor with value semantics.
+//
+// Design notes (scoped to this reproduction):
+//  - Contiguous row-major storage only; no views or broadcasting machinery.
+//    Layers that need reshapes copy or reinterpret via Shape (free: the
+//    buffer is shared size).
+//  - Value semantics (vector<float> inside): copies are explicit and
+//    deterministic; moves are cheap. Gradient buffers live alongside values
+//    in nn::Parameter, not inside Tensor (no autograd tape; each layer
+//    implements an exact hand-written backward).
+//  - float32 matches the precision regime of the paper's PyTorch models.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tensor/shape.h"
+
+namespace usb {
+
+class Tensor {
+ public:
+  Tensor() = default;
+
+  /// Zero-initialized tensor of the given shape.
+  explicit Tensor(Shape shape);
+
+  /// Tensor adopting an existing buffer; sizes must match.
+  Tensor(Shape shape, std::vector<float> values);
+
+  [[nodiscard]] static Tensor zeros(Shape shape);
+  [[nodiscard]] static Tensor full(Shape shape, float value);
+  [[nodiscard]] static Tensor ones(Shape shape);
+
+  [[nodiscard]] const Shape& shape() const noexcept { return shape_; }
+  [[nodiscard]] std::int64_t rank() const noexcept { return shape_.rank(); }
+  [[nodiscard]] std::int64_t numel() const noexcept {
+    return static_cast<std::int64_t>(data_.size());
+  }
+  [[nodiscard]] std::int64_t dim(std::int64_t axis) const noexcept { return shape_[axis]; }
+
+  [[nodiscard]] std::span<float> data() noexcept { return std::span<float>(data_); }
+  [[nodiscard]] std::span<const float> data() const noexcept {
+    return std::span<const float>(data_);
+  }
+  [[nodiscard]] float* raw() noexcept { return data_.data(); }
+  [[nodiscard]] const float* raw() const noexcept { return data_.data(); }
+
+  /// Flat element access.
+  [[nodiscard]] float operator[](std::int64_t index) const noexcept {
+    return data_[static_cast<std::size_t>(index)];
+  }
+  float& operator[](std::int64_t index) noexcept { return data_[static_cast<std::size_t>(index)]; }
+
+  /// Rank-4 NCHW accessors (the dominant layout in this library).
+  [[nodiscard]] float at4(std::int64_t n, std::int64_t c, std::int64_t h,
+                          std::int64_t w) const noexcept {
+    return data_[static_cast<std::size_t>(((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w)];
+  }
+  float& at4(std::int64_t n, std::int64_t c, std::int64_t h, std::int64_t w) noexcept {
+    return data_[static_cast<std::size_t>(((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w)];
+  }
+
+  /// Rank-2 accessors.
+  [[nodiscard]] float at2(std::int64_t r, std::int64_t c) const noexcept {
+    return data_[static_cast<std::size_t>(r * shape_[1] + c)];
+  }
+  float& at2(std::int64_t r, std::int64_t c) noexcept {
+    return data_[static_cast<std::size_t>(r * shape_[1] + c)];
+  }
+
+  /// Returns a copy reinterpreted under a new shape with equal numel.
+  [[nodiscard]] Tensor reshaped(Shape new_shape) const;
+
+  /// Reinterprets in place; numel must match. No data movement.
+  void reshape_in_place(Shape new_shape);
+
+  /// Sets every element to `value`.
+  void fill(float value) noexcept;
+
+  // ---- In-place elementwise arithmetic (shapes must match exactly). ----
+  Tensor& operator+=(const Tensor& other);
+  Tensor& operator-=(const Tensor& other);
+  Tensor& operator*=(const Tensor& other);  // Hadamard
+  Tensor& operator*=(float scalar) noexcept;
+  Tensor& operator+=(float scalar) noexcept;
+
+  /// x <- x + alpha * other (axpy).
+  void add_scaled(const Tensor& other, float alpha);
+
+  /// Clamps every element into [lo, hi].
+  void clamp(float lo, float hi) noexcept;
+
+  // ---- Reductions. ----
+  [[nodiscard]] float sum() const noexcept;
+  [[nodiscard]] float mean() const noexcept;
+  [[nodiscard]] float abs_sum() const noexcept;   // L1 norm
+  [[nodiscard]] float sq_sum() const noexcept;    // sum of squares
+  [[nodiscard]] float l2_norm() const noexcept;   // sqrt(sq_sum)
+  [[nodiscard]] float max() const noexcept;
+  [[nodiscard]] float min() const noexcept;
+  [[nodiscard]] float abs_max() const noexcept;   // Linf norm
+  [[nodiscard]] std::int64_t argmax() const noexcept;
+
+  /// True if shapes and all elements are exactly equal.
+  [[nodiscard]] bool equals(const Tensor& other) const noexcept;
+
+ private:
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+// ---- Out-of-place arithmetic. ----
+[[nodiscard]] Tensor operator+(Tensor lhs, const Tensor& rhs);
+[[nodiscard]] Tensor operator-(Tensor lhs, const Tensor& rhs);
+[[nodiscard]] Tensor operator*(Tensor lhs, const Tensor& rhs);
+[[nodiscard]] Tensor operator*(Tensor lhs, float scalar);
+[[nodiscard]] Tensor operator*(float scalar, Tensor rhs);
+
+}  // namespace usb

@@ -1,0 +1,571 @@
+#include "tensor/tensor_ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "utils/thread_pool.h"
+
+namespace usb {
+namespace {
+
+void require(bool condition, const char* message) {
+  if (!condition) throw std::invalid_argument(message);
+}
+
+/// C (M,N) += or = A (M,K) x B (K,N); row-major, ikj loop order so the inner
+/// loop streams both B and C rows.
+void gemm_nn(std::int64_t m, std::int64_t n, std::int64_t k, const float* a, const float* b,
+             float* c, bool accumulate) {
+  if (!accumulate) std::fill(c, c + m * n, 0.0F);
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* a_row = a + i * k;
+    float* c_row = c + i * n;
+    for (std::int64_t p = 0; p < k; ++p) {
+      const float a_val = a_row[p];
+      if (a_val == 0.0F) continue;
+      const float* b_row = b + p * n;
+      for (std::int64_t j = 0; j < n; ++j) c_row[j] += a_val * b_row[j];
+    }
+  }
+}
+
+/// C (M,N) += or = A (M,K) x B^T where B is (N,K); dot-product kernel with
+/// four independent float accumulators so the compiler can vectorize.
+void gemm_nt(std::int64_t m, std::int64_t n, std::int64_t k, const float* a, const float* b,
+             float* c, bool accumulate) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* a_row = a + i * k;
+    float* c_row = c + i * n;
+    for (std::int64_t j = 0; j < n; ++j) {
+      const float* b_row = b + j * k;
+      float acc0 = 0.0F;
+      float acc1 = 0.0F;
+      float acc2 = 0.0F;
+      float acc3 = 0.0F;
+      std::int64_t p = 0;
+      for (; p + 4 <= k; p += 4) {
+        acc0 += a_row[p] * b_row[p];
+        acc1 += a_row[p + 1] * b_row[p + 1];
+        acc2 += a_row[p + 2] * b_row[p + 2];
+        acc3 += a_row[p + 3] * b_row[p + 3];
+      }
+      for (; p < k; ++p) acc0 += a_row[p] * b_row[p];
+      const float acc = (acc0 + acc1) + (acc2 + acc3);
+      if (accumulate) {
+        c_row[j] += acc;
+      } else {
+        c_row[j] = acc;
+      }
+    }
+  }
+}
+
+/// C (M,N) += or = A^T x B where A is (K,M), B is (K,N).
+void gemm_tn(std::int64_t m, std::int64_t n, std::int64_t k, const float* a, const float* b,
+             float* c, bool accumulate) {
+  if (!accumulate) std::fill(c, c + m * n, 0.0F);
+  for (std::int64_t p = 0; p < k; ++p) {
+    const float* a_row = a + p * m;
+    const float* b_row = b + p * n;
+    for (std::int64_t i = 0; i < m; ++i) {
+      const float a_val = a_row[i];
+      if (a_val == 0.0F) continue;
+      float* c_row = c + i * n;
+      for (std::int64_t j = 0; j < n; ++j) c_row[j] += a_val * b_row[j];
+    }
+  }
+}
+
+}  // namespace
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  require(a.rank() == 2 && b.rank() == 2, "matmul: rank-2 tensors required");
+  const std::int64_t m = a.dim(0);
+  const std::int64_t k = a.dim(1);
+  const std::int64_t n = b.dim(1);
+  require(b.dim(0) == k, "matmul: inner dimensions differ");
+  Tensor c(Shape{m, n});
+  // Parallelize over row blocks; each worker owns a disjoint slice of C.
+  parallel_for(m, [&](std::int64_t begin, std::int64_t end) {
+    gemm_nn(end - begin, n, k, a.raw() + begin * k, b.raw(), c.raw() + begin * n,
+            /*accumulate=*/false);
+  });
+  return c;
+}
+
+Tensor matmul_transpose_b(const Tensor& a, const Tensor& b) {
+  require(a.rank() == 2 && b.rank() == 2, "matmul_transpose_b: rank-2 tensors required");
+  const std::int64_t m = a.dim(0);
+  const std::int64_t k = a.dim(1);
+  const std::int64_t n = b.dim(0);
+  require(b.dim(1) == k, "matmul_transpose_b: inner dimensions differ");
+  Tensor c(Shape{m, n});
+  parallel_for(m, [&](std::int64_t begin, std::int64_t end) {
+    gemm_nt(end - begin, n, k, a.raw() + begin * k, b.raw(), c.raw() + begin * n,
+            /*accumulate=*/false);
+  });
+  return c;
+}
+
+Tensor matmul_transpose_a(const Tensor& a, const Tensor& b) {
+  require(a.rank() == 2 && b.rank() == 2, "matmul_transpose_a: rank-2 tensors required");
+  const std::int64_t k = a.dim(0);
+  const std::int64_t m = a.dim(1);
+  const std::int64_t n = b.dim(1);
+  require(b.dim(0) == k, "matmul_transpose_a: inner dimensions differ");
+  Tensor c(Shape{m, n});
+  gemm_tn(m, n, k, a.raw(), b.raw(), c.raw(), /*accumulate=*/false);
+  return c;
+}
+
+void im2col(const float* x, std::int64_t channels, std::int64_t height, std::int64_t width,
+            std::int64_t kernel, std::int64_t stride, std::int64_t padding, float* col) {
+  const std::int64_t out_h = (height + 2 * padding - kernel) / stride + 1;
+  const std::int64_t out_w = (width + 2 * padding - kernel) / stride + 1;
+  std::int64_t row = 0;
+  for (std::int64_t c = 0; c < channels; ++c) {
+    const float* x_channel = x + c * height * width;
+    for (std::int64_t kh = 0; kh < kernel; ++kh) {
+      for (std::int64_t kw = 0; kw < kernel; ++kw, ++row) {
+        float* col_row = col + row * out_h * out_w;
+        for (std::int64_t oh = 0; oh < out_h; ++oh) {
+          const std::int64_t ih = oh * stride - padding + kh;
+          float* col_out = col_row + oh * out_w;
+          if (ih < 0 || ih >= height) {
+            std::fill(col_out, col_out + out_w, 0.0F);
+            continue;
+          }
+          const float* x_row = x_channel + ih * width;
+          for (std::int64_t ow = 0; ow < out_w; ++ow) {
+            const std::int64_t iw = ow * stride - padding + kw;
+            col_out[ow] = (iw >= 0 && iw < width) ? x_row[iw] : 0.0F;
+          }
+        }
+      }
+    }
+  }
+}
+
+void col2im(const float* col, std::int64_t channels, std::int64_t height, std::int64_t width,
+            std::int64_t kernel, std::int64_t stride, std::int64_t padding, float* x) {
+  const std::int64_t out_h = (height + 2 * padding - kernel) / stride + 1;
+  const std::int64_t out_w = (width + 2 * padding - kernel) / stride + 1;
+  std::int64_t row = 0;
+  for (std::int64_t c = 0; c < channels; ++c) {
+    float* x_channel = x + c * height * width;
+    for (std::int64_t kh = 0; kh < kernel; ++kh) {
+      for (std::int64_t kw = 0; kw < kernel; ++kw, ++row) {
+        const float* col_row = col + row * out_h * out_w;
+        for (std::int64_t oh = 0; oh < out_h; ++oh) {
+          const std::int64_t ih = oh * stride - padding + kh;
+          if (ih < 0 || ih >= height) continue;
+          float* x_row = x_channel + ih * width;
+          const float* col_in = col_row + oh * out_w;
+          for (std::int64_t ow = 0; ow < out_w; ++ow) {
+            const std::int64_t iw = ow * stride - padding + kw;
+            if (iw >= 0 && iw < width) x_row[iw] += col_in[ow];
+          }
+        }
+      }
+    }
+  }
+}
+
+Tensor conv2d_forward(const Tensor& x, const Tensor& weight, const Tensor& bias,
+                      const Conv2dSpec& spec) {
+  require(x.rank() == 4, "conv2d: input must be NCHW");
+  require(x.dim(1) == spec.in_channels, "conv2d: in_channels mismatch");
+  require(weight.shape() == spec.weight_shape(), "conv2d: weight shape mismatch");
+  require(spec.in_channels % spec.groups == 0 && spec.out_channels % spec.groups == 0,
+          "conv2d: channels not divisible by groups");
+  const std::int64_t batch = x.dim(0);
+  const std::int64_t height = x.dim(2);
+  const std::int64_t width = x.dim(3);
+  const std::int64_t out_h = spec.out_size(height);
+  const std::int64_t out_w = spec.out_size(width);
+  require(out_h > 0 && out_w > 0, "conv2d: output size would be non-positive");
+  const std::int64_t spatial = out_h * out_w;
+  const std::int64_t group_in = spec.in_channels / spec.groups;
+  const std::int64_t group_out = spec.out_channels / spec.groups;
+  const std::int64_t kk = spec.kernel * spec.kernel;
+
+  Tensor y(Shape{batch, spec.out_channels, out_h, out_w});
+  const bool has_bias = bias.numel() > 0;
+  if (has_bias) require(bias.numel() == spec.out_channels, "conv2d: bias size mismatch");
+
+  parallel_for(batch, [&](std::int64_t begin, std::int64_t end) {
+    std::vector<float> col(static_cast<std::size_t>(spec.in_channels * kk * spatial));
+    for (std::int64_t n = begin; n < end; ++n) {
+      const float* x_n = x.raw() + n * spec.in_channels * height * width;
+      float* y_n = y.raw() + n * spec.out_channels * spatial;
+      im2col(x_n, spec.in_channels, height, width, spec.kernel, spec.stride, spec.padding,
+             col.data());
+      for (std::int64_t g = 0; g < spec.groups; ++g) {
+        const float* w_g = weight.raw() + g * group_out * group_in * kk;
+        const float* col_g = col.data() + g * group_in * kk * spatial;
+        float* y_g = y_n + g * group_out * spatial;
+        gemm_nn(group_out, spatial, group_in * kk, w_g, col_g, y_g, /*accumulate=*/false);
+      }
+      if (has_bias) {
+        for (std::int64_t oc = 0; oc < spec.out_channels; ++oc) {
+          const float b = bias[oc];
+          float* y_c = y_n + oc * spatial;
+          for (std::int64_t s = 0; s < spatial; ++s) y_c[s] += b;
+        }
+      }
+    }
+  });
+  return y;
+}
+
+Conv2dGrads conv2d_backward(const Tensor& x, const Tensor& weight, const Tensor& dy,
+                            const Conv2dSpec& spec, bool need_dx, bool need_dweight) {
+  const std::int64_t batch = x.dim(0);
+  const std::int64_t height = x.dim(2);
+  const std::int64_t width = x.dim(3);
+  const std::int64_t out_h = spec.out_size(height);
+  const std::int64_t out_w = spec.out_size(width);
+  const std::int64_t spatial = out_h * out_w;
+  require(dy.rank() == 4 && dy.dim(0) == batch && dy.dim(1) == spec.out_channels &&
+              dy.dim(2) == out_h && dy.dim(3) == out_w,
+          "conv2d_backward: dy shape mismatch");
+  const std::int64_t group_in = spec.in_channels / spec.groups;
+  const std::int64_t group_out = spec.out_channels / spec.groups;
+  const std::int64_t kk = spec.kernel * spec.kernel;
+
+  Conv2dGrads grads;
+  grads.dweight = Tensor(weight.shape());
+  grads.dbias = Tensor(Shape{spec.out_channels});
+  if (need_dx) grads.dx = Tensor(x.shape());
+
+  // Per-chunk weight/bias accumulators keep the parallel reduction
+  // deterministic: chunks are statically partitioned and reduced in order.
+  ThreadPool& pool = ThreadPool::global();
+  const auto max_chunks = static_cast<std::size_t>(std::max(1, pool.size()));
+  std::vector<Tensor> dw_parts(max_chunks, Tensor(weight.shape()));
+  std::vector<Tensor> db_parts(max_chunks, Tensor(Shape{spec.out_channels}));
+
+  pool.parallel_for(batch, [&](std::int64_t begin, std::int64_t end, int worker) {
+    Tensor& dw_local = dw_parts[static_cast<std::size_t>(worker)];
+    Tensor& db_local = db_parts[static_cast<std::size_t>(worker)];
+    std::vector<float> col(static_cast<std::size_t>(spec.in_channels * kk * spatial));
+    std::vector<float> dcol(static_cast<std::size_t>(spec.in_channels * kk * spatial));
+    for (std::int64_t n = begin; n < end; ++n) {
+      const float* x_n = x.raw() + n * spec.in_channels * height * width;
+      const float* dy_n = dy.raw() + n * spec.out_channels * spatial;
+      if (need_dweight) {
+        // The unfolded input is only consumed by the dW gemm.
+        im2col(x_n, spec.in_channels, height, width, spec.kernel, spec.stride, spec.padding,
+               col.data());
+      }
+      for (std::int64_t g = 0; g < spec.groups; ++g) {
+        const float* dy_g = dy_n + g * group_out * spatial;
+        if (need_dweight) {
+          const float* col_g = col.data() + g * group_in * kk * spatial;
+          float* dw_g = dw_local.raw() + g * group_out * group_in * kk;
+          // dW_g += dy_g (OCg,S) x col_g^T (S, ICg*K*K)
+          gemm_nt(group_out, group_in * kk, spatial, dy_g, col_g, dw_g, /*accumulate=*/true);
+        }
+        if (need_dx) {
+          const float* w_g = weight.raw() + g * group_out * group_in * kk;
+          float* dcol_g = dcol.data() + g * group_in * kk * spatial;
+          // dcol_g = W_g^T (ICg*K*K, OCg) x dy_g (OCg, S)
+          gemm_tn(group_in * kk, spatial, group_out, w_g, dy_g, dcol_g, /*accumulate=*/false);
+        }
+      }
+      if (need_dweight) {
+        for (std::int64_t oc = 0; oc < spec.out_channels; ++oc) {
+          const float* dy_c = dy_n + oc * spatial;
+          double acc = 0.0;
+          for (std::int64_t s = 0; s < spatial; ++s) acc += dy_c[s];
+          db_local[oc] += static_cast<float>(acc);
+        }
+      }
+      if (need_dx) {
+        float* dx_n = grads.dx.raw() + n * spec.in_channels * height * width;
+        col2im(dcol.data(), spec.in_channels, height, width, spec.kernel, spec.stride,
+               spec.padding, dx_n);
+      }
+    }
+  });
+
+  for (std::size_t part = 0; part < max_chunks; ++part) {
+    grads.dweight += dw_parts[part];
+    grads.dbias += db_parts[part];
+  }
+  return grads;
+}
+
+MaxPoolResult maxpool2d_forward(const Tensor& x, const Pool2dSpec& spec) {
+  require(x.rank() == 4, "maxpool2d: input must be NCHW");
+  const std::int64_t batch = x.dim(0);
+  const std::int64_t channels = x.dim(1);
+  const std::int64_t height = x.dim(2);
+  const std::int64_t width = x.dim(3);
+  const std::int64_t out_h = spec.out_size(height);
+  const std::int64_t out_w = spec.out_size(width);
+  require(out_h > 0 && out_w > 0, "maxpool2d: output would be empty");
+
+  MaxPoolResult result{Tensor(Shape{batch, channels, out_h, out_w}),
+                       std::vector<std::int64_t>(
+                           static_cast<std::size_t>(batch * channels * out_h * out_w))};
+  const std::int64_t planes = batch * channels;
+  parallel_for(planes, [&](std::int64_t begin, std::int64_t end) {
+    for (std::int64_t plane = begin; plane < end; ++plane) {
+      const float* x_p = x.raw() + plane * height * width;
+      float* y_p = result.y.raw() + plane * out_h * out_w;
+      std::int64_t* idx_p = result.argmax.data() + plane * out_h * out_w;
+      for (std::int64_t oh = 0; oh < out_h; ++oh) {
+        for (std::int64_t ow = 0; ow < out_w; ++ow) {
+          const std::int64_t h0 = oh * spec.stride;
+          const std::int64_t w0 = ow * spec.stride;
+          float best = x_p[h0 * width + w0];
+          std::int64_t best_index = h0 * width + w0;
+          for (std::int64_t kh = 0; kh < spec.kernel; ++kh) {
+            for (std::int64_t kw = 0; kw < spec.kernel; ++kw) {
+              const std::int64_t index = (h0 + kh) * width + (w0 + kw);
+              if (x_p[index] > best) {
+                best = x_p[index];
+                best_index = index;
+              }
+            }
+          }
+          y_p[oh * out_w + ow] = best;
+          idx_p[oh * out_w + ow] = plane * height * width + best_index;
+        }
+      }
+    }
+  });
+  return result;
+}
+
+Tensor maxpool2d_backward(const Tensor& dy, const std::vector<std::int64_t>& argmax,
+                          const Shape& x_shape) {
+  Tensor dx(x_shape);
+  const float* dy_data = dy.raw();
+  for (std::size_t i = 0; i < argmax.size(); ++i) {
+    dx[argmax[i]] += dy_data[i];
+  }
+  return dx;
+}
+
+Tensor avgpool2d_forward(const Tensor& x, const Pool2dSpec& spec) {
+  require(x.rank() == 4, "avgpool2d: input must be NCHW");
+  const std::int64_t batch = x.dim(0);
+  const std::int64_t channels = x.dim(1);
+  const std::int64_t height = x.dim(2);
+  const std::int64_t width = x.dim(3);
+  const std::int64_t out_h = spec.out_size(height);
+  const std::int64_t out_w = spec.out_size(width);
+  const float inv_area = 1.0F / static_cast<float>(spec.kernel * spec.kernel);
+
+  Tensor y(Shape{batch, channels, out_h, out_w});
+  const std::int64_t planes = batch * channels;
+  parallel_for(planes, [&](std::int64_t begin, std::int64_t end) {
+    for (std::int64_t plane = begin; plane < end; ++plane) {
+      const float* x_p = x.raw() + plane * height * width;
+      float* y_p = y.raw() + plane * out_h * out_w;
+      for (std::int64_t oh = 0; oh < out_h; ++oh) {
+        for (std::int64_t ow = 0; ow < out_w; ++ow) {
+          double acc = 0.0;
+          for (std::int64_t kh = 0; kh < spec.kernel; ++kh) {
+            for (std::int64_t kw = 0; kw < spec.kernel; ++kw) {
+              acc += x_p[(oh * spec.stride + kh) * width + (ow * spec.stride + kw)];
+            }
+          }
+          y_p[oh * out_w + ow] = static_cast<float>(acc) * inv_area;
+        }
+      }
+    }
+  });
+  return y;
+}
+
+Tensor avgpool2d_backward(const Tensor& dy, const Shape& x_shape, const Pool2dSpec& spec) {
+  Tensor dx(x_shape);
+  const std::int64_t height = x_shape[2];
+  const std::int64_t width = x_shape[3];
+  const std::int64_t out_h = dy.dim(2);
+  const std::int64_t out_w = dy.dim(3);
+  const float inv_area = 1.0F / static_cast<float>(spec.kernel * spec.kernel);
+  const std::int64_t planes = dy.dim(0) * dy.dim(1);
+  for (std::int64_t plane = 0; plane < planes; ++plane) {
+    const float* dy_p = dy.raw() + plane * out_h * out_w;
+    float* dx_p = dx.raw() + plane * height * width;
+    for (std::int64_t oh = 0; oh < out_h; ++oh) {
+      for (std::int64_t ow = 0; ow < out_w; ++ow) {
+        const float g = dy_p[oh * out_w + ow] * inv_area;
+        for (std::int64_t kh = 0; kh < spec.kernel; ++kh) {
+          for (std::int64_t kw = 0; kw < spec.kernel; ++kw) {
+            dx_p[(oh * spec.stride + kh) * width + (ow * spec.stride + kw)] += g;
+          }
+        }
+      }
+    }
+  }
+  return dx;
+}
+
+Tensor global_avgpool_forward(const Tensor& x) {
+  require(x.rank() == 4, "global_avgpool: input must be NCHW");
+  const std::int64_t planes = x.dim(0) * x.dim(1);
+  const std::int64_t spatial = x.dim(2) * x.dim(3);
+  Tensor y(Shape{x.dim(0), x.dim(1), 1, 1});
+  for (std::int64_t plane = 0; plane < planes; ++plane) {
+    const float* x_p = x.raw() + plane * spatial;
+    double acc = 0.0;
+    for (std::int64_t s = 0; s < spatial; ++s) acc += x_p[s];
+    y[plane] = static_cast<float>(acc / static_cast<double>(spatial));
+  }
+  return y;
+}
+
+Tensor global_avgpool_backward(const Tensor& dy, const Shape& x_shape) {
+  Tensor dx(x_shape);
+  const std::int64_t planes = x_shape[0] * x_shape[1];
+  const std::int64_t spatial = x_shape[2] * x_shape[3];
+  const float inv = 1.0F / static_cast<float>(spatial);
+  for (std::int64_t plane = 0; plane < planes; ++plane) {
+    const float g = dy[plane] * inv;
+    float* dx_p = dx.raw() + plane * spatial;
+    for (std::int64_t s = 0; s < spatial; ++s) dx_p[s] = g;
+  }
+  return dx;
+}
+
+Tensor softmax_rows(const Tensor& logits) {
+  require(logits.rank() == 2, "softmax_rows: rank-2 input required");
+  const std::int64_t rows = logits.dim(0);
+  const std::int64_t cols = logits.dim(1);
+  Tensor probs(logits.shape());
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* in = logits.raw() + r * cols;
+    float* out = probs.raw() + r * cols;
+    float max_val = in[0];
+    for (std::int64_t c = 1; c < cols; ++c) max_val = std::max(max_val, in[c]);
+    double denom = 0.0;
+    for (std::int64_t c = 0; c < cols; ++c) {
+      out[c] = std::exp(in[c] - max_val);
+      denom += out[c];
+    }
+    const auto inv = static_cast<float>(1.0 / denom);
+    for (std::int64_t c = 0; c < cols; ++c) out[c] *= inv;
+  }
+  return probs;
+}
+
+Tensor one_hot(const std::vector<std::int64_t>& labels, std::int64_t num_classes) {
+  Tensor out(Shape{static_cast<std::int64_t>(labels.size()), num_classes});
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    require(labels[i] >= 0 && labels[i] < num_classes, "one_hot: label out of range");
+    out[static_cast<std::int64_t>(i) * num_classes + labels[i]] = 1.0F;
+  }
+  return out;
+}
+
+std::vector<std::int64_t> argmax_rows(const Tensor& logits) {
+  require(logits.rank() == 2, "argmax_rows: rank-2 input required");
+  const std::int64_t rows = logits.dim(0);
+  const std::int64_t cols = logits.dim(1);
+  std::vector<std::int64_t> out(static_cast<std::size_t>(rows));
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* in = logits.raw() + r * cols;
+    std::int64_t best = 0;
+    for (std::int64_t c = 1; c < cols; ++c) {
+      if (in[c] > in[best]) best = c;
+    }
+    out[static_cast<std::size_t>(r)] = best;
+  }
+  return out;
+}
+
+Tensor gaussian_kernel(std::int64_t size, double sigma) {
+  require(size > 0 && sigma > 0.0, "gaussian_kernel: size and sigma must be positive");
+  Tensor kernel(Shape{size, size});
+  const double center = static_cast<double>(size - 1) / 2.0;
+  double total = 0.0;
+  for (std::int64_t a = 0; a < size; ++a) {
+    for (std::int64_t b = 0; b < size; ++b) {
+      const double da = static_cast<double>(a) - center;
+      const double db = static_cast<double>(b) - center;
+      const double value = std::exp(-(da * da + db * db) / (2.0 * sigma * sigma));
+      kernel.at2(a, b) = static_cast<float>(value);
+      total += value;
+    }
+  }
+  const auto inv = static_cast<float>(1.0 / total);
+  for (std::int64_t i = 0; i < kernel.numel(); ++i) kernel[i] *= inv;
+  return kernel;
+}
+
+Tensor filter2d_valid(const Tensor& x, const Tensor& kernel) {
+  require(x.rank() == 4, "filter2d_valid: input must be NCHW");
+  require(kernel.rank() == 2 && kernel.dim(0) == kernel.dim(1),
+          "filter2d_valid: square rank-2 kernel required");
+  const std::int64_t k = kernel.dim(0);
+  const std::int64_t height = x.dim(2);
+  const std::int64_t width = x.dim(3);
+  const std::int64_t out_h = height - k + 1;
+  const std::int64_t out_w = width - k + 1;
+  require(out_h > 0 && out_w > 0, "filter2d_valid: kernel larger than input");
+
+  Tensor y(Shape{x.dim(0), x.dim(1), out_h, out_w});
+  const std::int64_t planes = x.dim(0) * x.dim(1);
+  parallel_for(planes, [&](std::int64_t begin, std::int64_t end) {
+    for (std::int64_t plane = begin; plane < end; ++plane) {
+      const float* x_p = x.raw() + plane * height * width;
+      float* y_p = y.raw() + plane * out_h * out_w;
+      for (std::int64_t oh = 0; oh < out_h; ++oh) {
+        for (std::int64_t ow = 0; ow < out_w; ++ow) {
+          double acc = 0.0;
+          for (std::int64_t a = 0; a < k; ++a) {
+            const float* x_row = x_p + (oh + a) * width + ow;
+            const float* k_row = kernel.raw() + a * k;
+            for (std::int64_t b = 0; b < k; ++b) acc += static_cast<double>(x_row[b]) * k_row[b];
+          }
+          y_p[oh * out_w + ow] = static_cast<float>(acc);
+        }
+      }
+    }
+  });
+  return y;
+}
+
+Tensor filter2d_full_adjoint(const Tensor& g, const Tensor& kernel) {
+  require(g.rank() == 4, "filter2d_full_adjoint: input must be NCHW");
+  const std::int64_t k = kernel.dim(0);
+  const std::int64_t gh = g.dim(2);
+  const std::int64_t gw = g.dim(3);
+  const std::int64_t out_h = gh + k - 1;
+  const std::int64_t out_w = gw + k - 1;
+
+  Tensor dx(Shape{g.dim(0), g.dim(1), out_h, out_w});
+  const std::int64_t planes = g.dim(0) * g.dim(1);
+  parallel_for(planes, [&](std::int64_t begin, std::int64_t end) {
+    for (std::int64_t plane = begin; plane < end; ++plane) {
+      const float* g_p = g.raw() + plane * gh * gw;
+      float* dx_p = dx.raw() + plane * out_h * out_w;
+      for (std::int64_t p = 0; p < out_h; ++p) {
+        for (std::int64_t q = 0; q < out_w; ++q) {
+          double acc = 0.0;
+          const std::int64_t a_lo = std::max<std::int64_t>(0, p - gh + 1);
+          const std::int64_t a_hi = std::min<std::int64_t>(k - 1, p);
+          const std::int64_t b_lo = std::max<std::int64_t>(0, q - gw + 1);
+          const std::int64_t b_hi = std::min<std::int64_t>(k - 1, q);
+          for (std::int64_t a = a_lo; a <= a_hi; ++a) {
+            const float* g_row = g_p + (p - a) * gw;
+            const float* k_row = kernel.raw() + a * k;
+            for (std::int64_t b = b_lo; b <= b_hi; ++b) {
+              acc += static_cast<double>(g_row[q - b]) * k_row[b];
+            }
+          }
+          dx_p[p * out_w + q] = static_cast<float>(acc);
+        }
+      }
+    }
+  });
+  return dx;
+}
+
+}  // namespace usb

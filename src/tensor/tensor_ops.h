@@ -1,0 +1,131 @@
+// Dense kernels: matmul family, im2col convolution (with groups), pooling,
+// softmax, one-hot, and the 2-D filtering primitives used by SSIM.
+//
+// Layout conventions:
+//  - Activations are NCHW; matrices are row-major (M, K).
+//  - Convolution weights are (OC, IC/groups, KH, KW); bias is (OC).
+//  - All backward kernels compute exact gradients of their forward
+//    counterparts (validated against central finite differences in tests).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace usb {
+
+// ---------------------------------------------------------------- matmul --
+
+/// C = A (M,K) x B (K,N). Parallelized over rows of A.
+[[nodiscard]] Tensor matmul(const Tensor& a, const Tensor& b);
+
+/// C = A (M,K) x B^T where B is (N,K).
+[[nodiscard]] Tensor matmul_transpose_b(const Tensor& a, const Tensor& b);
+
+/// C = A^T x B where A is (K,M), B is (K,N).
+[[nodiscard]] Tensor matmul_transpose_a(const Tensor& a, const Tensor& b);
+
+// ----------------------------------------------------------- convolution --
+
+/// Static geometry of a 2-D convolution.
+struct Conv2dSpec {
+  std::int64_t in_channels = 0;
+  std::int64_t out_channels = 0;
+  std::int64_t kernel = 1;   // square kernels only (paper architectures)
+  std::int64_t stride = 1;
+  std::int64_t padding = 0;
+  std::int64_t groups = 1;   // groups == in_channels gives depthwise conv
+
+  [[nodiscard]] std::int64_t out_size(std::int64_t in_size) const noexcept {
+    return (in_size + 2 * padding - kernel) / stride + 1;
+  }
+  /// Weight tensor shape for this spec.
+  [[nodiscard]] Shape weight_shape() const {
+    return Shape{out_channels, in_channels / groups, kernel, kernel};
+  }
+};
+
+/// y (N,OC,OH,OW) = conv(x (N,IC,H,W), weight, bias). `bias` may be empty
+/// (numel 0) to skip the bias add.
+[[nodiscard]] Tensor conv2d_forward(const Tensor& x, const Tensor& weight, const Tensor& bias,
+                                    const Conv2dSpec& spec);
+
+struct Conv2dGrads {
+  Tensor dx;       // same shape as x (empty when need_dx == false)
+  Tensor dweight;  // same shape as weight
+  Tensor dbias;    // (OC)
+};
+
+/// Exact gradients of conv2d_forward. Skipping dx (need_dx=false) saves the
+/// col2im pass for the first layer of a network; skipping dweight
+/// (need_dweight=false) halves the cost when only input gradients matter
+/// (frozen-model detection).
+[[nodiscard]] Conv2dGrads conv2d_backward(const Tensor& x, const Tensor& weight, const Tensor& dy,
+                                          const Conv2dSpec& spec, bool need_dx = true,
+                                          bool need_dweight = true);
+
+/// Unfolds x (C,H,W view of one sample) into columns (C*K*K, OH*OW).
+/// Exposed for tests.
+void im2col(const float* x, std::int64_t channels, std::int64_t height, std::int64_t width,
+            std::int64_t kernel, std::int64_t stride, std::int64_t padding, float* col);
+
+/// Transpose of im2col: accumulates columns back into the (C,H,W) image.
+void col2im(const float* col, std::int64_t channels, std::int64_t height, std::int64_t width,
+            std::int64_t kernel, std::int64_t stride, std::int64_t padding, float* x);
+
+// --------------------------------------------------------------- pooling --
+
+struct Pool2dSpec {
+  std::int64_t kernel = 2;
+  std::int64_t stride = 2;
+
+  [[nodiscard]] std::int64_t out_size(std::int64_t in_size) const noexcept {
+    return (in_size - kernel) / stride + 1;
+  }
+};
+
+struct MaxPoolResult {
+  Tensor y;
+  std::vector<std::int64_t> argmax;  // flat input index per output element
+};
+
+[[nodiscard]] MaxPoolResult maxpool2d_forward(const Tensor& x, const Pool2dSpec& spec);
+[[nodiscard]] Tensor maxpool2d_backward(const Tensor& dy, const std::vector<std::int64_t>& argmax,
+                                        const Shape& x_shape);
+
+[[nodiscard]] Tensor avgpool2d_forward(const Tensor& x, const Pool2dSpec& spec);
+[[nodiscard]] Tensor avgpool2d_backward(const Tensor& dy, const Shape& x_shape,
+                                        const Pool2dSpec& spec);
+
+/// (N,C,H,W) -> (N,C,1,1) mean over spatial dims.
+[[nodiscard]] Tensor global_avgpool_forward(const Tensor& x);
+[[nodiscard]] Tensor global_avgpool_backward(const Tensor& dy, const Shape& x_shape);
+
+// -------------------------------------------------- softmax and encoding --
+
+/// Row-wise softmax of a (M,N) matrix, numerically stabilized.
+[[nodiscard]] Tensor softmax_rows(const Tensor& logits);
+
+/// (M,N) one-hot matrix from labels in [0, num_classes).
+[[nodiscard]] Tensor one_hot(const std::vector<std::int64_t>& labels, std::int64_t num_classes);
+
+/// Argmax per row of a (M,N) matrix.
+[[nodiscard]] std::vector<std::int64_t> argmax_rows(const Tensor& logits);
+
+// ----------------------------------------------------------- 2-D filters --
+
+/// Normalized Gaussian kernel as a (size,size) tensor.
+[[nodiscard]] Tensor gaussian_kernel(std::int64_t size, double sigma);
+
+/// Per-channel valid cross-correlation of x (N,C,H,W) with kernel (K,K):
+/// output (N,C,H-K+1,W-K+1). This is the "local statistics" operator of
+/// SSIM.
+[[nodiscard]] Tensor filter2d_valid(const Tensor& x, const Tensor& kernel);
+
+/// Per-channel full cross-correlation with the flipped kernel: the exact
+/// adjoint (transpose) of filter2d_valid, mapping gradients on the valid
+/// output back to the input grid. Output (N,C,h+K-1,w+K-1).
+[[nodiscard]] Tensor filter2d_full_adjoint(const Tensor& g, const Tensor& kernel);
+
+}  // namespace usb

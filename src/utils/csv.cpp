@@ -1,0 +1,58 @@
+#include "utils/csv.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace usb {
+
+std::string csv_escape(const std::string& field) {
+  const bool needs_quoting = field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quoting) return field;
+  std::string out = "\"";
+  for (const char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+CsvWriter::CsvWriter(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void CsvWriter::add_row(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string CsvWriter::to_string() const {
+  auto render = [](const std::vector<std::string>& cells) {
+    std::string line;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i > 0) line += ',';
+      line += csv_escape(cells[i]);
+    }
+    return line + "\n";
+  };
+  std::string out = render(header_);
+  for (const auto& row : rows_) out += render(row);
+  return out;
+}
+
+void CsvWriter::save(const std::string& path) const {
+  const std::string rendered = to_string();
+  const std::string temp = path + ".tmp";
+  std::FILE* file = std::fopen(temp.c_str(), "wb");
+  if (file == nullptr) throw std::runtime_error("csv: cannot open " + path);
+  const std::size_t written = std::fwrite(rendered.data(), 1, rendered.size(), file);
+  const int close_status = std::fclose(file);
+  if (written != rendered.size() || close_status != 0) {
+    std::remove(temp.c_str());
+    throw std::runtime_error("csv: short write " + path);
+  }
+  if (std::rename(temp.c_str(), path.c_str()) != 0) {
+    std::remove(temp.c_str());
+    throw std::runtime_error("csv: rename failed " + path);
+  }
+}
+
+}  // namespace usb

@@ -1,0 +1,35 @@
+// Minimal CSV writer (RFC-4180-style quoting) so detection reports and
+// bench rows can feed external analysis/plotting without parsing the ASCII
+// tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace usb {
+
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header);
+
+  /// Appends one row; pads/truncates to the header width.
+  void add_row(std::vector<std::string> row);
+
+  /// Renders header + rows; fields containing commas/quotes/newlines are
+  /// quoted with doubled inner quotes.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Writes to `path` (atomic temp-file rename). Throws on I/O failure.
+  void save(const std::string& path) const;
+
+  [[nodiscard]] std::size_t num_rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Escapes a single CSV field per RFC 4180.
+[[nodiscard]] std::string csv_escape(const std::string& field);
+
+}  // namespace usb

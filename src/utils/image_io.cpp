@@ -1,0 +1,132 @@
+#include "utils/image_io.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace usb {
+namespace {
+
+std::uint8_t quantize(float value) noexcept {
+  const float clamped = std::clamp(value, 0.0F, 1.0F);
+  return static_cast<std::uint8_t>(std::lround(clamped * 255.0F));
+}
+
+class FileHandle {
+ public:
+  FileHandle(const std::string& path, const char* mode) : file_(std::fopen(path.c_str(), mode)) {
+    if (file_ == nullptr) throw std::runtime_error("cannot open file: " + path);
+  }
+  ~FileHandle() {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+  FileHandle(const FileHandle&) = delete;
+  FileHandle& operator=(const FileHandle&) = delete;
+  [[nodiscard]] std::FILE* get() const noexcept { return file_; }
+
+ private:
+  std::FILE* file_;
+};
+
+}  // namespace
+
+void write_image(const Image& image, const std::string& path) {
+  if (image.channels != 1 && image.channels != 3) {
+    throw std::invalid_argument("write_image: channels must be 1 or 3");
+  }
+  if (static_cast<std::int64_t>(image.pixels.size()) != image.numel()) {
+    throw std::invalid_argument("write_image: pixel buffer size mismatch");
+  }
+  const FileHandle file(path, "wb");
+  const char* magic = image.channels == 3 ? "P6" : "P5";
+  std::fprintf(file.get(), "%s\n%lld %lld\n255\n", magic, static_cast<long long>(image.width),
+               static_cast<long long>(image.height));
+  std::vector<std::uint8_t> row(static_cast<std::size_t>(image.width * image.channels));
+  for (std::int64_t y = 0; y < image.height; ++y) {
+    std::size_t out = 0;
+    for (std::int64_t x = 0; x < image.width; ++x) {
+      for (std::int64_t c = 0; c < image.channels; ++c) {
+        row[out++] = quantize(image.at(c, y, x));
+      }
+    }
+    if (std::fwrite(row.data(), 1, row.size(), file.get()) != row.size()) {
+      throw std::runtime_error("write_image: short write to " + path);
+    }
+  }
+}
+
+void write_image_strip(std::span<const Image> images, const std::string& path, std::int64_t pad,
+                       float pad_value) {
+  if (images.empty()) throw std::invalid_argument("write_image_strip: no images");
+  const std::int64_t channels = images[0].channels;
+  const std::int64_t height = images[0].height;
+  const std::int64_t width = images[0].width;
+  for (const Image& image : images) {
+    if (image.channels != channels || image.height != height || image.width != width) {
+      throw std::invalid_argument("write_image_strip: images must share dimensions");
+    }
+  }
+  const auto count = static_cast<std::int64_t>(images.size());
+  Image strip;
+  strip.channels = channels;
+  strip.height = height;
+  strip.width = count * width + (count - 1) * pad;
+  strip.pixels.assign(static_cast<std::size_t>(strip.numel()), pad_value);
+  for (std::int64_t i = 0; i < count; ++i) {
+    const std::int64_t x_offset = i * (width + pad);
+    for (std::int64_t c = 0; c < channels; ++c) {
+      for (std::int64_t y = 0; y < height; ++y) {
+        for (std::int64_t x = 0; x < width; ++x) {
+          strip.at(c, y, x_offset + x) = images[static_cast<std::size_t>(i)].at(c, y, x);
+        }
+      }
+    }
+  }
+  write_image(strip, path);
+}
+
+Image normalize_to_image(std::span<const float> values, std::int64_t channels,
+                         std::int64_t height, std::int64_t width) {
+  if (static_cast<std::int64_t>(values.size()) != channels * height * width) {
+    throw std::invalid_argument("normalize_to_image: size mismatch");
+  }
+  float lo = values.empty() ? 0.0F : values[0];
+  float hi = lo;
+  for (const float v : values) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  const float range = hi - lo;
+  Image image;
+  image.channels = channels;
+  image.height = height;
+  image.width = width;
+  image.pixels.resize(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    image.pixels[i] = range > 1e-12F ? (values[i] - lo) / range : 0.5F;
+  }
+  return image;
+}
+
+std::vector<std::string> ascii_art(const Image& image, std::int64_t max_width) {
+  // 10-step luminance ramp, dark to light.
+  static constexpr const char kRamp[] = " .:-=+*#%@";
+  const std::int64_t step = std::max<std::int64_t>(1, image.width / max_width);
+  std::vector<std::string> rows;
+  for (std::int64_t y = 0; y < image.height; y += step) {
+    std::string row;
+    for (std::int64_t x = 0; x < image.width; x += step) {
+      float luma = 0.0F;
+      for (std::int64_t c = 0; c < image.channels; ++c) luma += image.at(c, y, x);
+      luma /= static_cast<float>(image.channels);
+      const int idx = std::clamp(static_cast<int>(luma * 9.99F), 0, 9);
+      row.push_back(kRamp[idx]);
+      row.push_back(kRamp[idx]);  // double width: terminal cells are ~2:1
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace usb

@@ -1,0 +1,52 @@
+// PPM/PGM image export for the paper's figure reproductions.
+//
+// Figures 1-6 of the paper are visual: original triggers vs triggers reverse
+// engineered by NC / TABOR / USB. The benches dump those images as
+// binary PPM (colour) / PGM (grayscale) files, which any image viewer opens,
+// plus side-by-side grids.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace usb {
+
+/// A CHW float image in [0,1]; channels is 1 (grayscale) or 3 (RGB).
+struct Image {
+  std::int64_t channels = 0;
+  std::int64_t height = 0;
+  std::int64_t width = 0;
+  std::vector<float> pixels;  // size = channels*height*width, CHW layout
+
+  [[nodiscard]] std::int64_t numel() const noexcept { return channels * height * width; }
+  [[nodiscard]] float at(std::int64_t c, std::int64_t y, std::int64_t x) const noexcept {
+    return pixels[static_cast<std::size_t>((c * height + y) * width + x)];
+  }
+  float& at(std::int64_t c, std::int64_t y, std::int64_t x) noexcept {
+    return pixels[static_cast<std::size_t>((c * height + y) * width + x)];
+  }
+};
+
+/// Writes `image` as binary PPM (3 channels) or PGM (1 channel). Values are
+/// clamped to [0,1] then quantized to 8 bits. Throws std::runtime_error on
+/// I/O failure.
+void write_image(const Image& image, const std::string& path);
+
+/// Lays out `images` left-to-right with `pad` pixels of `pad_value` between
+/// them (all images must share channels/height/width) and writes the strip.
+void write_image_strip(std::span<const Image> images, const std::string& path,
+                       std::int64_t pad = 2, float pad_value = 1.0F);
+
+/// Min-max normalizes an arbitrary float buffer into an Image for
+/// visualization (used to render UAPs / reversed triggers whose range is not
+/// [0,1]).
+[[nodiscard]] Image normalize_to_image(std::span<const float> values, std::int64_t channels,
+                                       std::int64_t height, std::int64_t width);
+
+/// Renders a [0,1] image as coarse ASCII art (for terminal-only runs of the
+/// figure benches). Returns one string per row.
+[[nodiscard]] std::vector<std::string> ascii_art(const Image& image, std::int64_t max_width = 64);
+
+}  // namespace usb

@@ -1,0 +1,59 @@
+#include "utils/logging.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+
+namespace usb {
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
+std::mutex g_io_mutex;
+
+const char* level_tag(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?????";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel log_level() noexcept {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+LogLevel parse_log_level(std::string_view text) noexcept {
+  if (text == "debug") return LogLevel::kDebug;
+  if (text == "info") return LogLevel::kInfo;
+  if (text == "warn") return LogLevel::kWarn;
+  if (text == "error") return LogLevel::kError;
+  if (text == "off") return LogLevel::kOff;
+  return LogLevel::kInfo;
+}
+
+namespace detail {
+
+void log_line(LogLevel level, std::string_view message) {
+  const auto now = std::chrono::system_clock::now();
+  const auto since_epoch = std::chrono::duration_cast<std::chrono::milliseconds>(
+                               now.time_since_epoch())
+                               .count();
+  const std::lock_guard<std::mutex> lock(g_io_mutex);
+  std::fprintf(stderr, "[%s %lld.%03lld] %.*s\n", level_tag(level),
+               static_cast<long long>(since_epoch / 1000),
+               static_cast<long long>(since_epoch % 1000), static_cast<int>(message.size()),
+               message.data());
+}
+
+}  // namespace detail
+}  // namespace usb

@@ -1,0 +1,52 @@
+// Minimal leveled logger.
+//
+// Experiments print paper-style tables to stdout; diagnostic logging goes to
+// stderr through this logger so table output stays machine-parsable. The
+// level is process-global (set once at startup from USB_LOG_LEVEL or CLI).
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace usb {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global log level. Thread-safe (relaxed atomic).
+void set_log_level(LogLevel level) noexcept;
+
+/// Reads the global log level.
+[[nodiscard]] LogLevel log_level() noexcept;
+
+/// Parses "debug"/"info"/"warn"/"error"/"off"; unknown strings map to kInfo.
+[[nodiscard]] LogLevel parse_log_level(std::string_view text) noexcept;
+
+namespace detail {
+void log_line(LogLevel level, std::string_view message);
+}
+
+/// Stream-style log statement: `USB_LOG(Info) << "acc=" << acc;`
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+  ~LogStream() {
+    if (level_ >= log_level()) detail::log_line(level_, stream_.str());
+  }
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    if (level_ >= log_level()) stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace usb
+
+#define USB_LOG(severity) ::usb::LogStream(::usb::LogLevel::k##severity)

@@ -1,0 +1,104 @@
+#include "utils/rng.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace usb {
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  std::uint64_t sm = seed;
+  for (auto& lane : state_) lane = splitmix64(sm);
+}
+
+std::uint64_t Rng::next_u64() noexcept {
+  const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::uniform() noexcept {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) noexcept { return lo + (hi - lo) * uniform(); }
+
+float Rng::uniform_float(float lo, float hi) noexcept {
+  return static_cast<float>(uniform(lo, hi));
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+  const auto range = static_cast<std::uint64_t>(hi - lo) + 1;
+  // Debiased modulo via rejection; range==0 means the full 2^64 span.
+  if (range == 0) return static_cast<std::int64_t>(next_u64());
+  const std::uint64_t limit = std::numeric_limits<std::uint64_t>::max() -
+                              (std::numeric_limits<std::uint64_t>::max() % range);
+  std::uint64_t draw = next_u64();
+  while (draw >= limit) draw = next_u64();
+  return lo + static_cast<std::int64_t>(draw % range);
+}
+
+double Rng::normal() noexcept {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u1 = uniform();
+  while (u1 <= 1e-300) u1 = uniform();
+  const double u2 = uniform();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * std::numbers::pi * u2;
+  cached_normal_ = radius * std::sin(angle);
+  has_cached_normal_ = true;
+  return radius * std::cos(angle);
+}
+
+double Rng::normal(double mean, double stddev) noexcept { return mean + stddev * normal(); }
+
+bool Rng::bernoulli(double p) noexcept { return uniform() < p; }
+
+std::vector<std::int64_t> Rng::sample_without_replacement(std::int64_t population,
+                                                          std::int64_t count) {
+  if (count > population || count < 0) {
+    throw std::invalid_argument("sample_without_replacement: count out of range");
+  }
+  std::vector<std::int64_t> indices(static_cast<std::size_t>(population));
+  for (std::int64_t i = 0; i < population; ++i) indices[static_cast<std::size_t>(i)] = i;
+  shuffle(std::span<std::int64_t>(indices));
+  indices.resize(static_cast<std::size_t>(count));
+  return indices;
+}
+
+Rng Rng::fork() noexcept { return Rng(next_u64()); }
+
+std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) noexcept {
+  // boost::hash_combine extended to 64-bit with splitmix-style finalization.
+  std::uint64_t h = a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 12) + (a >> 4));
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+  return h ^ (h >> 31);
+}
+
+}  // namespace usb

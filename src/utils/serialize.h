@@ -1,0 +1,63 @@
+// Little binary serialization for model checkpoints and cached experiment
+// artifacts. Format: magic, version, then length-prefixed typed fields.
+// Endianness: native little-endian (the only platform we target).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace usb {
+
+/// Append-only binary writer.
+class BinaryWriter {
+ public:
+  void write_u32(std::uint32_t value);
+  void write_i64(std::int64_t value);
+  void write_f32(float value);
+  void write_string(const std::string& value);
+  void write_floats(std::span<const float> values);
+  void write_i64s(std::span<const std::int64_t> values);
+
+  /// Flushes the accumulated buffer to `path` (atomic-ish: writes then
+  /// renames a temp file). Throws std::runtime_error on failure.
+  void save(const std::string& path) const;
+
+  [[nodiscard]] const std::vector<std::uint8_t>& buffer() const noexcept { return buffer_; }
+
+ private:
+  void append(const void* data, std::size_t size);
+  std::vector<std::uint8_t> buffer_;
+};
+
+/// Sequential binary reader; throws std::runtime_error on truncation.
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::vector<std::uint8_t> buffer) : buffer_(std::move(buffer)) {}
+
+  /// Loads the whole file into memory. Throws on I/O failure.
+  [[nodiscard]] static BinaryReader from_file(const std::string& path);
+
+  [[nodiscard]] std::uint32_t read_u32();
+  [[nodiscard]] std::int64_t read_i64();
+  [[nodiscard]] float read_f32();
+  [[nodiscard]] std::string read_string();
+  [[nodiscard]] std::vector<float> read_floats();
+  [[nodiscard]] std::vector<std::int64_t> read_i64s();
+
+  [[nodiscard]] bool exhausted() const noexcept { return cursor_ == buffer_.size(); }
+
+ private:
+  void take(void* out, std::size_t size);
+  std::vector<std::uint8_t> buffer_;
+  std::size_t cursor_ = 0;
+};
+
+/// Returns true if `path` names a readable regular file.
+[[nodiscard]] bool file_exists(const std::string& path);
+
+/// Creates a directory (and parents) if absent. Throws on failure.
+void ensure_directory(const std::string& path);
+
+}  // namespace usb

@@ -1,0 +1,42 @@
+// ASCII table rendering in the paper's layout.
+//
+// Every bench prints rows shaped like the paper's Tables 1-7 so the measured
+// reproduction can be compared against the published numbers line by line.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace usb {
+
+/// A column-aligned ASCII table with a header row.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends one row; pads/truncates to the header width.
+  void add_row(std::vector<std::string> row);
+
+  /// Renders the table with column separators and a header rule.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Renders and writes to stdout.
+  void print() const;
+
+  [[nodiscard]] std::int64_t num_rows() const noexcept {
+    return static_cast<std::int64_t>(rows_.size());
+  }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` decimal places.
+[[nodiscard]] std::string format_double(double value, int digits = 2);
+
+/// Formats a ratio as a percentage string with `digits` decimals.
+[[nodiscard]] std::string format_percent(double ratio, int digits = 2);
+
+}  // namespace usb

@@ -1,0 +1,114 @@
+#include "utils/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace usb {
+namespace {
+// Nested parallel_for calls (a worker body that itself parallelizes) run
+// inline: with every worker blocked waiting on sub-chunks nobody would be
+// left to execute them.
+thread_local bool t_inside_worker = false;
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads <= 0) {
+    num_threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (num_threads <= 0) num_threads = 4;
+  }
+  workers_.reserve(static_cast<std::size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+  }
+  work_available_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(lock, [this] { return shutting_down_ || !queue_.empty(); });
+      if (shutting_down_ && queue_.empty()) return;
+      task = queue_.back();
+      queue_.pop_back();
+    }
+    try {
+      t_inside_worker = true;
+      (*task.body)(task.begin, task.end, task.worker_index);
+      t_inside_worker = false;
+    } catch (...) {
+      t_inside_worker = false;
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      --outstanding_;
+      if (outstanding_ == 0) work_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(std::int64_t count,
+                              const std::function<void(std::int64_t, std::int64_t, int)>& body) {
+  if (count <= 0) return;
+  const auto num_workers = static_cast<std::int64_t>(workers_.size());
+  // Small ranges and nested calls run inline: chunk dispatch costs more than
+  // the work, and nesting would deadlock the pool.
+  if (num_workers <= 1 || count < 2 || t_inside_worker) {
+    body(0, count, 0);
+    return;
+  }
+  const std::int64_t chunks = std::min(count, num_workers);
+  const std::int64_t base = count / chunks;
+  const std::int64_t remainder = count % chunks;
+
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    std::int64_t begin = 0;
+    for (std::int64_t c = 0; c < chunks; ++c) {
+      const std::int64_t len = base + (c < remainder ? 1 : 0);
+      queue_.push_back(Task{&body, begin, begin + len, static_cast<int>(c)});
+      begin += len;
+    }
+    outstanding_ += chunks;
+  }
+  work_available_.notify_all();
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  work_done_.wait(lock, [this] { return outstanding_ == 0; });
+  if (first_error_) {
+    const std::exception_ptr error = first_error_;
+    first_error_ = nullptr;
+    std::rethrow_exception(error);
+  }
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool([] {
+    if (const char* env = std::getenv("USB_THREADS")) {
+      const int parsed = std::atoi(env);
+      if (parsed > 0) return parsed;
+    }
+    const int hw = static_cast<int>(std::thread::hardware_concurrency());
+    return std::clamp(hw, 1, 16);
+  }());
+  return pool;
+}
+
+void parallel_for(std::int64_t count, const std::function<void(std::int64_t, std::int64_t)>& body) {
+  ThreadPool::global().parallel_for(
+      count, [&body](std::int64_t begin, std::int64_t end, int /*worker*/) { body(begin, end); });
+}
+
+}  // namespace usb

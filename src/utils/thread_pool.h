@@ -1,0 +1,65 @@
+// Deterministic fork-join thread pool.
+//
+// The only parallelism primitive in the library is `parallel_for`, which
+// statically partitions an index range into contiguous chunks. Each worker
+// writes only to its own output slice (or a per-worker accumulator that the
+// caller reduces in fixed order), so results are bit-identical regardless of
+// thread count. This keeps every experiment reproducible while still using
+// all cores for conv/matmul-heavy training.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace usb {
+
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers; 0 means std::thread::hardware_concurrency.
+  explicit ThreadPool(int num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] int size() const noexcept { return static_cast<int>(workers_.size()); }
+
+  /// Runs body(begin_i, end_i, worker_index) over a static partition of
+  /// [0, count). Blocks until all chunks complete. Exceptions thrown by the
+  /// body are rethrown on the calling thread (first one wins).
+  void parallel_for(std::int64_t count,
+                    const std::function<void(std::int64_t, std::int64_t, int)>& body);
+
+  /// Process-wide pool sized from USB_THREADS (default: hardware concurrency,
+  /// capped at 16). Lives for the process lifetime.
+  static ThreadPool& global();
+
+ private:
+  struct Task {
+    const std::function<void(std::int64_t, std::int64_t, int)>* body = nullptr;
+    std::int64_t begin = 0;
+    std::int64_t end = 0;
+    int worker_index = 0;
+  };
+
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::vector<Task> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable work_done_;
+  std::int64_t outstanding_ = 0;
+  std::exception_ptr first_error_;
+  bool shutting_down_ = false;
+};
+
+/// Convenience wrapper over ThreadPool::global().parallel_for with a
+/// (begin, end) body; worker index hidden.
+void parallel_for(std::int64_t count, const std::function<void(std::int64_t, std::int64_t)>& body);
+
+}  // namespace usb

@@ -1,0 +1,36 @@
+// Wall-clock timing utilities used by the Table 7 time-consumption bench and
+// the experiment harness.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace usb {
+
+/// Monotonic wall-clock stopwatch.
+class Timer {
+ public:
+  Timer() noexcept : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void reset() noexcept { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or last reset().
+  [[nodiscard]] double seconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds.
+  [[nodiscard]] double milliseconds() const noexcept { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Formats seconds as the paper's Table 7 "[m:s]" layout, e.g. 267.12s ->
+/// "4:27".
+[[nodiscard]] std::string format_minutes_seconds(double seconds);
+
+}  // namespace usb

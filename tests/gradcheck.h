@@ -1,0 +1,47 @@
+// Central finite-difference gradient checking.
+//
+// Every hand-written backward in the library is validated against
+//   dL/dx_i ~= (L(x + h e_i) - L(x - h e_i)) / 2h
+// on small random problems. Relative tolerance is loose-ish (1e-2) because
+// forward passes run in float32 while the difference quotient amplifies
+// rounding error.
+#pragma once
+
+#include <cmath>
+#include <functional>
+
+#include <gtest/gtest.h>
+
+#include "tensor/tensor.h"
+#include "utils/rng.h"
+
+namespace usb::testing {
+
+/// Fills a tensor with uniform values in [lo, hi].
+inline void fill_uniform(Tensor& t, Rng& rng, float lo = -1.0F, float hi = 1.0F) {
+  for (std::int64_t i = 0; i < t.numel(); ++i) t[i] = rng.uniform_float(lo, hi);
+}
+
+/// Checks grad against central differences of `loss` at `x`.
+/// `loss` must be a pure function of its argument.
+inline void expect_gradient_close(const std::function<double(const Tensor&)>& loss,
+                                  const Tensor& x, const Tensor& grad, double h = 1e-3,
+                                  double rel_tol = 2e-2, double abs_tol = 2e-4) {
+  ASSERT_EQ(x.shape(), grad.shape());
+  Tensor probe = x;
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    const float original = probe[i];
+    probe[i] = original + static_cast<float>(h);
+    const double plus = loss(probe);
+    probe[i] = original - static_cast<float>(h);
+    const double minus = loss(probe);
+    probe[i] = original;
+    const double numeric = (plus - minus) / (2.0 * h);
+    const double analytic = grad[i];
+    const double scale = std::max({std::abs(numeric), std::abs(analytic), 1.0});
+    EXPECT_NEAR(analytic, numeric, std::max(abs_tol, rel_tol * scale))
+        << "element " << i << " analytic=" << analytic << " numeric=" << numeric;
+  }
+}
+
+}  // namespace usb::testing

@@ -1,0 +1,123 @@
+// Tests for dataset containers, procedural generation, and the data loader.
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/dataloader.h"
+#include "data/synthetic.h"
+
+namespace usb {
+namespace {
+
+TEST(DatasetSpec, Presets) {
+  EXPECT_EQ(DatasetSpec::mnist_like().channels, 1);
+  EXPECT_EQ(DatasetSpec::mnist_like().image_size, 28);
+  EXPECT_EQ(DatasetSpec::cifar10_like().num_classes, 10);
+  EXPECT_EQ(DatasetSpec::gtsrb_like().num_classes, 43);
+  EXPECT_EQ(DatasetSpec::imagenet_like().image_size, 48);
+}
+
+TEST(Dataset, ValidatesShapeAndLabels) {
+  const DatasetSpec spec = DatasetSpec::mnist_like();
+  EXPECT_THROW(Dataset(spec, Tensor(Shape{2, 3, 28, 28}), {0, 1}), std::invalid_argument);
+  EXPECT_THROW(Dataset(spec, Tensor(Shape{2, 1, 28, 28}), {0, 99}), std::invalid_argument);
+}
+
+TEST(Synthetic, PrototypesDeterministicPerSpec) {
+  const DatasetSpec spec = DatasetSpec::cifar10_like();
+  const Tensor a = class_prototypes(spec);
+  const Tensor b = class_prototypes(spec);
+  EXPECT_TRUE(a.equals(b));
+  EXPECT_EQ(a.shape(), (Shape{10, 3, 32, 32}));
+}
+
+TEST(Synthetic, PrototypesDifferAcrossClasses) {
+  const Tensor protos = class_prototypes(DatasetSpec::cifar10_like());
+  const std::int64_t numel = 3 * 32 * 32;
+  double diff = 0.0;
+  for (std::int64_t i = 0; i < numel; ++i) {
+    diff += std::abs(protos[i] - protos[numel + i]);
+  }
+  EXPECT_GT(diff / numel, 0.02);  // distinct class appearance
+}
+
+TEST(Synthetic, SamplesInRangeAndBalanced) {
+  const Dataset data = generate_dataset(DatasetSpec::mnist_like(), 200, /*seed=*/5);
+  EXPECT_EQ(data.size(), 200);
+  EXPECT_GE(data.images().min(), 0.0F);
+  EXPECT_LE(data.images().max(), 1.0F);
+  std::vector<int> per_class(10, 0);
+  for (std::int64_t i = 0; i < data.size(); ++i) per_class[data.label(i)]++;
+  for (const int count : per_class) EXPECT_EQ(count, 20);
+}
+
+TEST(Synthetic, DifferentSeedsDifferentNoise) {
+  const Dataset a = generate_dataset(DatasetSpec::mnist_like(), 10, 1);
+  const Dataset b = generate_dataset(DatasetSpec::mnist_like(), 10, 2);
+  EXPECT_FALSE(a.images().equals(b.images()));
+}
+
+TEST(Synthetic, SameSeedIdentical) {
+  const Dataset a = generate_dataset(DatasetSpec::gtsrb_like(), 43, 9);
+  const Dataset b = generate_dataset(DatasetSpec::gtsrb_like(), 43, 9);
+  EXPECT_TRUE(a.images().equals(b.images()));
+}
+
+TEST(Dataset, GatherAndSubset) {
+  const Dataset data = generate_dataset(DatasetSpec::mnist_like(), 30, 3);
+  const std::vector<std::int64_t> rows{3, 7, 11};
+  const Tensor gathered = data.gather_images(rows);
+  EXPECT_EQ(gathered.shape(), (Shape{3, 1, 28, 28}));
+  const Tensor single = data.image(7);
+  for (std::int64_t i = 0; i < single.numel(); ++i) {
+    EXPECT_EQ(gathered[1 * single.numel() + i], single[i]);
+  }
+  const Dataset sub = data.subset(rows);
+  EXPECT_EQ(sub.size(), 3);
+  EXPECT_EQ(sub.label(1), data.label(7));
+}
+
+TEST(Dataset, TakeClampsToSize) {
+  const Dataset data = generate_dataset(DatasetSpec::mnist_like(), 10, 3);
+  EXPECT_EQ(data.take(50).size(), 10);
+  EXPECT_EQ(data.take(4).size(), 4);
+}
+
+TEST(DataLoader, CoversEveryRowOncePerEpoch) {
+  const Dataset data = generate_dataset(DatasetSpec::mnist_like(), 50, 4);
+  DataLoader loader(data, 16, /*shuffle=*/true, /*seed=*/1);
+  std::set<std::int64_t> seen;
+  Batch batch;
+  std::int64_t total = 0;
+  while (loader.next(batch)) {
+    EXPECT_EQ(batch.images.dim(0), static_cast<std::int64_t>(batch.labels.size()));
+    for (const std::int64_t index : batch.indices) seen.insert(index);
+    total += batch.images.dim(0);
+  }
+  EXPECT_EQ(total, 50);
+  EXPECT_EQ(seen.size(), 50U);
+  EXPECT_EQ(loader.batches_per_epoch(), 4);
+}
+
+TEST(DataLoader, ShuffleChangesOrderAcrossEpochs) {
+  const Dataset data = generate_dataset(DatasetSpec::mnist_like(), 64, 4);
+  DataLoader loader(data, 64, /*shuffle=*/true, /*seed=*/2);
+  Batch first;
+  ASSERT_TRUE(loader.next(first));
+  loader.new_epoch();
+  Batch second;
+  ASSERT_TRUE(loader.next(second));
+  EXPECT_NE(first.indices, second.indices);
+}
+
+TEST(DataLoader, NoShufflePreservesOrder) {
+  const Dataset data = generate_dataset(DatasetSpec::mnist_like(), 20, 4);
+  DataLoader loader(data, 7, /*shuffle=*/false, /*seed=*/0);
+  Batch batch;
+  ASSERT_TRUE(loader.next(batch));
+  EXPECT_EQ(batch.indices[0], 0);
+  EXPECT_EQ(batch.indices[6], 6);
+}
+
+}  // namespace
+}  // namespace usb

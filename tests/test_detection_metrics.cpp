@@ -1,0 +1,126 @@
+// Tests for the MAD outlier rule and the paper's detection bookkeeping.
+#include <gtest/gtest.h>
+
+#include "metrics/detection.h"
+
+namespace usb {
+namespace {
+
+TEST(Median, OddEvenAndEmpty) {
+  EXPECT_EQ(median(std::vector<double>{3.0, 1.0, 2.0}), 2.0);
+  EXPECT_EQ(median(std::vector<double>{4.0, 1.0, 2.0, 3.0}), 2.5);
+  EXPECT_EQ(median(std::vector<double>{}), 0.0);
+}
+
+TEST(MadAnomaly, FlagsObviousLowOutlier) {
+  const std::vector<double> norms{50, 52, 48, 51, 49, 53, 47, 50, 5, 52};
+  const std::vector<double> anomaly = mad_anomaly_indices(norms);
+  EXPECT_GT(anomaly[8], 2.0);   // class 8 is the outlier
+  EXPECT_LT(anomaly[0], 2.0);
+}
+
+TEST(MadAnomaly, UniformValuesProduceNoOutliers) {
+  const std::vector<double> norms(10, 42.0);
+  for (const double a : mad_anomaly_indices(norms)) EXPECT_EQ(a, 0.0);
+}
+
+TEST(DecideBackdoor, DetectsLowSideOnly) {
+  // A HIGH outlier must not be flagged (backdoors shrink the norm).
+  const std::vector<double> high{50, 52, 48, 51, 49, 53, 47, 50, 200, 52};
+  EXPECT_FALSE(decide_backdoor(high).backdoored);
+
+  const std::vector<double> low{50, 52, 48, 51, 49, 53, 47, 50, 4, 52};
+  const DetectionVerdict verdict = decide_backdoor(low);
+  EXPECT_TRUE(verdict.backdoored);
+  ASSERT_EQ(verdict.flagged_classes.size(), 1U);
+  EXPECT_EQ(verdict.flagged_classes[0], 8);
+}
+
+TEST(DecideBackdoor, CleanProfilePasses) {
+  const std::vector<double> norms{50, 52, 48, 51, 49, 53, 47, 50, 46, 52};
+  EXPECT_FALSE(decide_backdoor(norms).backdoored);
+}
+
+TEST(DecideBackdoor, ThresholdControlsSensitivity) {
+  // The low outlier 20 scores anomaly ~10.1 under MAD.
+  const std::vector<double> norms{50, 52, 48, 51, 49, 53, 47, 50, 20, 52};
+  EXPECT_TRUE(decide_backdoor(norms, 1.0).backdoored);
+  EXPECT_FALSE(decide_backdoor(norms, 12.0).backdoored);
+}
+
+TEST(DecideBackdoor, RatioGuardRejectsMildLowOutliers) {
+  // Anomalous by MAD but not decisively below the median: a class feature,
+  // not a backdoor shortcut (the paper's NC false-positive mode).
+  const std::vector<double> norms{50, 52, 48, 51, 49, 53, 47, 50, 35, 52};
+  EXPECT_FALSE(decide_backdoor(norms, 2.0, /*ratio_max=*/0.45).backdoored);
+  EXPECT_TRUE(decide_backdoor(norms, 2.0, /*ratio_max=*/0.8).backdoored);
+}
+
+TEST(DecideBackdoor, DecisiveShortcutOverridesNoisyMad) {
+  // Wide spread kills the MAD signal, but a 10x-below-median class is a
+  // shortcut on its own (the NC-on-MiniResNet profile observed in Fig. 6
+  // style runs).
+  const std::vector<double> norms{98.7, 9.1, 92.4, 59.6, 63.9, 60.2, 135.0, 157.7, 145.7, 146.4};
+  const DetectionVerdict verdict = decide_backdoor(norms);
+  EXPECT_TRUE(verdict.backdoored);
+  ASSERT_EQ(verdict.flagged_classes.size(), 1U);
+  EXPECT_EQ(verdict.flagged_classes[0], 1);
+}
+
+TEST(ClassifyTarget, AllOutcomes) {
+  DetectionVerdict clean;
+  clean.backdoored = false;
+  EXPECT_EQ(classify_target(clean, 3), TargetOutcome::kNotDetected);
+
+  DetectionVerdict exact;
+  exact.backdoored = true;
+  exact.flagged_classes = {3};
+  EXPECT_EQ(classify_target(exact, 3), TargetOutcome::kCorrect);
+
+  DetectionVerdict superset;
+  superset.backdoored = true;
+  superset.flagged_classes = {1, 3};
+  EXPECT_EQ(classify_target(superset, 3), TargetOutcome::kCorrectSet);
+
+  DetectionVerdict wrong;
+  wrong.backdoored = true;
+  wrong.flagged_classes = {1};
+  EXPECT_EQ(classify_target(wrong, 3), TargetOutcome::kWrong);
+}
+
+TEST(CaseCounts, RecordsBackdooredPopulation) {
+  CaseCounts counts;
+  counts.method = "USB";
+
+  DetectionVerdict hit;
+  hit.backdoored = true;
+  hit.flagged_classes = {0};
+  hit.norms = std::vector<double>{4.0, 50.0, 52.0};
+  counts.record(hit, 0);
+
+  DetectionVerdict miss;
+  miss.backdoored = false;
+  miss.norms = std::vector<double>{40.0, 50.0, 52.0};
+  counts.record(miss, 0);
+
+  EXPECT_EQ(counts.detected_backdoored, 1);
+  EXPECT_EQ(counts.detected_clean, 1);
+  EXPECT_EQ(counts.correct, 1);
+  EXPECT_EQ(counts.correct_set, 0);
+  EXPECT_EQ(counts.wrong, 0);
+  // L1 statistic is the true-target norm: (4.0 + 40.0) / 2.
+  EXPECT_NEAR(counts.mean_l1(), 22.0, 1e-9);
+}
+
+TEST(CaseCounts, CleanPopulationUsesMeanNorm) {
+  CaseCounts counts;
+  DetectionVerdict verdict;
+  verdict.backdoored = false;
+  verdict.norms = std::vector<double>{10.0, 20.0, 30.0};
+  counts.record(verdict, -1);
+  EXPECT_NEAR(counts.mean_l1(), 20.0, 1e-9);
+  EXPECT_EQ(counts.detected_clean, 1);
+}
+
+}  // namespace
+}  // namespace usb

@@ -1,0 +1,160 @@
+// Unit tests for the Tensor value type.
+#include <gtest/gtest.h>
+
+#include "tensor/tensor.h"
+#include "utils/rng.h"
+
+namespace usb {
+namespace {
+
+TEST(Shape, NumelAndRank) {
+  const Shape s{2, 3, 4};
+  EXPECT_EQ(s.rank(), 3);
+  EXPECT_EQ(s.numel(), 24);
+  EXPECT_EQ(Shape{}.numel(), 1);  // empty product convention
+  EXPECT_EQ(s.to_string(), "[2, 3, 4]");
+}
+
+TEST(Shape, Equality) {
+  EXPECT_EQ((Shape{1, 2}), (Shape{1, 2}));
+  EXPECT_NE((Shape{1, 2}), (Shape{2, 1}));
+}
+
+TEST(Tensor, ZeroInitialized) {
+  const Tensor t(Shape{3, 3});
+  for (std::int64_t i = 0; i < t.numel(); ++i) EXPECT_EQ(t[i], 0.0F);
+}
+
+TEST(Tensor, ConstructFromBufferChecksSize) {
+  EXPECT_THROW(Tensor(Shape{2, 2}, {1.0F, 2.0F}), std::invalid_argument);
+  const Tensor ok(Shape{2, 2}, {1.0F, 2.0F, 3.0F, 4.0F});
+  EXPECT_EQ(ok.at2(1, 0), 3.0F);
+}
+
+TEST(Tensor, FullAndOnes) {
+  EXPECT_EQ(Tensor::full(Shape{4}, 2.5F)[3], 2.5F);
+  EXPECT_EQ(Tensor::ones(Shape{4}).sum(), 4.0F);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor t(Shape{2, 3}, {0, 1, 2, 3, 4, 5});
+  const Tensor r = t.reshaped(Shape{3, 2});
+  EXPECT_EQ(r.at2(2, 1), 5.0F);
+  EXPECT_THROW(t.reshaped(Shape{4, 2}), std::invalid_argument);
+}
+
+TEST(Tensor, ElementwiseArithmetic) {
+  const Tensor a(Shape{3}, {1, 2, 3});
+  const Tensor b(Shape{3}, {4, 5, 6});
+  EXPECT_EQ((a + b)[1], 7.0F);
+  EXPECT_EQ((b - a)[2], 3.0F);
+  EXPECT_EQ((a * b)[0], 4.0F);
+  EXPECT_EQ((a * 2.0F)[2], 6.0F);
+  EXPECT_EQ((2.0F * a)[2], 6.0F);
+}
+
+TEST(Tensor, ShapeMismatchThrows) {
+  Tensor a(Shape{3});
+  const Tensor b(Shape{4});
+  EXPECT_THROW(a += b, std::invalid_argument);
+  EXPECT_THROW(a *= b, std::invalid_argument);
+}
+
+TEST(Tensor, AddScaled) {
+  Tensor a(Shape{3}, {1, 1, 1});
+  const Tensor b(Shape{3}, {1, 2, 3});
+  a.add_scaled(b, 0.5F);
+  EXPECT_FLOAT_EQ(a[2], 2.5F);
+}
+
+TEST(Tensor, Clamp) {
+  Tensor a(Shape{4}, {-1.0F, 0.2F, 0.8F, 2.0F});
+  a.clamp(0.0F, 1.0F);
+  EXPECT_EQ(a[0], 0.0F);
+  EXPECT_EQ(a[3], 1.0F);
+  EXPECT_FLOAT_EQ(a[1], 0.2F);
+}
+
+TEST(Tensor, Reductions) {
+  const Tensor t(Shape{4}, {-1, 2, -3, 4});
+  EXPECT_FLOAT_EQ(t.sum(), 2.0F);
+  EXPECT_FLOAT_EQ(t.mean(), 0.5F);
+  EXPECT_FLOAT_EQ(t.abs_sum(), 10.0F);
+  EXPECT_FLOAT_EQ(t.sq_sum(), 30.0F);
+  EXPECT_FLOAT_EQ(t.max(), 4.0F);
+  EXPECT_FLOAT_EQ(t.min(), -3.0F);
+  EXPECT_FLOAT_EQ(t.abs_max(), 4.0F);
+  EXPECT_EQ(t.argmax(), 3);
+}
+
+TEST(Tensor, At4Indexing) {
+  Tensor t(Shape{2, 3, 4, 5});
+  t.at4(1, 2, 3, 4) = 9.0F;
+  EXPECT_EQ(t[t.numel() - 1], 9.0F);
+  t.at4(0, 0, 0, 1) = 5.0F;
+  EXPECT_EQ(t[1], 5.0F);
+}
+
+TEST(Rng, DeterministicStreams) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, UniformBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(2.0, 3.0);
+    EXPECT_GE(u, 2.0);
+    EXPECT_LT(u, 3.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveRange) {
+  Rng rng(7);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t v = rng.uniform_int(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= v == -2;
+    saw_hi |= v == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(11);
+  double sum = 0.0;
+  double sq = 0.0;
+  constexpr int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / kSamples, 0.0, 0.05);
+  EXPECT_NEAR(sq / kSamples, 1.0, 0.05);
+}
+
+TEST(Rng, SampleWithoutReplacementIsDistinct) {
+  Rng rng(3);
+  const auto sample = rng.sample_without_replacement(100, 40);
+  EXPECT_EQ(sample.size(), 40U);
+  std::vector<bool> seen(100, false);
+  for (const std::int64_t v : sample) {
+    EXPECT_FALSE(seen[static_cast<std::size_t>(v)]);
+    seen[static_cast<std::size_t>(v)] = true;
+  }
+  EXPECT_THROW((void)rng.sample_without_replacement(5, 6), std::invalid_argument);
+}
+
+TEST(Rng, HashCombineVariadic) {
+  EXPECT_NE(hash_combine(1, 2), hash_combine(2, 1));
+  EXPECT_EQ(hash_combine(1, 2, 3), hash_combine(hash_combine(1, 2), 3));
+}
+
+}  // namespace
+}  // namespace usb
