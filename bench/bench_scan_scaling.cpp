@@ -1,0 +1,127 @@
+// Multi-class scan scaling: wall clock of a full K-class detect() as a
+// function of scan-pool size, with a bit-identity check between the runs.
+//
+// This is the ClassScanScheduler's contract made measurable: per-class
+// reverse engineering fans out over the pool, so a K-class scan should
+// approach a num_threads-fold speedup while producing the same
+// DetectionReport bit for bit. Emits BENCH_scan_scaling.json.
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/usb.h"
+#include "data/synthetic.h"
+#include "defenses/neural_cleanse.h"
+#include "nn/models.h"
+#include "utils/thread_pool.h"
+#include "utils/timer.h"
+
+namespace {
+
+using namespace usb;
+
+bool reports_identical(const DetectionReport& a, const DetectionReport& b) {
+  if (a.per_class.size() != b.per_class.size()) return false;
+  for (std::size_t t = 0; t < a.per_class.size(); ++t) {
+    const TriggerEstimate& x = a.per_class[t];
+    const TriggerEstimate& y = b.per_class[t];
+    if (x.target_class != y.target_class || x.mask_l1 != y.mask_l1 ||
+        x.final_loss != y.final_loss || x.fooling_rate != y.fooling_rate ||
+        !x.pattern.equals(y.pattern) || !x.mask.equals(y.mask)) {
+      return false;
+    }
+  }
+  return a.verdict.backdoored == b.verdict.backdoored &&
+         a.verdict.flagged_classes == b.verdict.flagged_classes &&
+         a.verdict.norms == b.verdict.norms;
+}
+
+struct ScalingRow {
+  std::string method;
+  int threads = 0;
+  double seconds = 0.0;
+  double speedup = 1.0;
+  bool identical = true;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path = argc > 1 ? argv[1] : "BENCH_scan_scaling.json";
+
+  // K = 10 candidate classes on a CIFAR-like synthetic probe.
+  const DatasetSpec spec = DatasetSpec::cifar10_like();
+  const Dataset probe = generate_dataset(spec, 128, 301);
+  Network model = make_network(Architecture::kBasicCnn, spec.channels, spec.image_size,
+                               spec.num_classes, 302);
+
+  UsbConfig usb_config;
+  usb_config.uap.max_passes = 1;
+  usb_config.uap.craft_size = 64;
+  usb_config.refine_steps = 12;
+
+  ReverseOptConfig nc_config;
+  nc_config.steps = 30;
+
+  std::vector<ScalingRow> rows;
+  std::printf("%-6s %8s %12s %10s %10s\n", "method", "threads", "seconds", "speedup",
+              "identical");
+  for (const std::string& method : {std::string("USB"), std::string("NC")}) {
+    DetectionReport baseline;
+    double baseline_seconds = 0.0;
+    for (const int threads : {1, 2, 4, 8}) {
+      ThreadPool pool(threads);
+      Timer timer;
+      DetectionReport report;
+      if (method == "USB") {
+        UsbConfig config = usb_config;
+        config.scan_pool = &pool;
+        report = UsbDetector(config).detect(model, probe);
+      } else {
+        ReverseOptConfig config = nc_config;
+        config.scan_pool = &pool;
+        report = NeuralCleanse(config).detect(model, probe);
+      }
+      ScalingRow row;
+      row.method = method;
+      row.threads = threads;
+      row.seconds = timer.seconds();
+      if (threads == 1) {
+        baseline = report;
+        baseline_seconds = row.seconds;
+      } else {
+        row.speedup = baseline_seconds / row.seconds;
+        row.identical = reports_identical(baseline, report);
+      }
+      std::printf("%-6s %8d %12.3f %9.2fx %10s\n", row.method.c_str(), row.threads,
+                  row.seconds, row.speedup, row.identical ? "yes" : "NO");
+      rows.push_back(row);
+    }
+  }
+
+  std::ofstream out(json_path);
+  if (!out) {
+    std::fprintf(stderr, "bench_scan_scaling: cannot open %s for writing\n", json_path.c_str());
+    return 1;
+  }
+  {
+    out << "[\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      char line[256];
+      std::snprintf(line, sizeof(line),
+                    "  {\"method\": \"%s\", \"threads\": %d, \"seconds\": %.4f, "
+                    "\"speedup\": %.3f, \"identical\": %s}%s\n",
+                    rows[i].method.c_str(), rows[i].threads, rows[i].seconds, rows[i].speedup,
+                    rows[i].identical ? "true" : "false", i + 1 < rows.size() ? "," : "");
+      out << line;
+    }
+    out << "]\n";
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+
+  for (const ScalingRow& row : rows) {
+    if (!row.identical) return 1;  // determinism is part of the contract
+  }
+  return 0;
+}

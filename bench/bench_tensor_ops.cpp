@@ -1,17 +1,67 @@
-// Micro-benchmarks (google-benchmark) for the kernels everything else sits
-// on: matmul, conv2d forward/backward, SSIM with gradient, and a full
-// MiniResNet forward/backward step.
-#include <benchmark/benchmark.h>
+// Micro-benchmarks for the kernels everything else sits on: matmul, conv2d
+// forward/backward, SSIM with gradient, and a full MiniResNet
+// forward/backward step.
+//
+// Results go to stdout as a table AND to BENCH_tensor_ops.json (op, shape,
+// ns/iter, items/s) so successive PRs can diff the perf trajectory
+// mechanically. Pass a path argument to redirect the JSON.
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "metrics/ssim.h"
 #include "nn/loss.h"
 #include "nn/models.h"
 #include "tensor/tensor_ops.h"
 #include "utils/rng.h"
+#include "utils/timer.h"
 
 namespace {
 
 using namespace usb;
+
+struct BenchResult {
+  std::string op;
+  std::string shape;
+  std::int64_t iterations = 0;
+  double ns_per_iter = 0.0;
+  double items_per_second = 0.0;  // 0 when the op has no item count
+};
+
+// Prevents the optimizer from deleting a benchmarked expression's result.
+template <typename T>
+void do_not_optimize(const T& value) {
+  asm volatile("" : : "r,m"(value) : "memory");
+}
+
+/// Runs `body` until ~min_seconds of wall clock is spent (at least min_iters
+/// iterations), after one untimed warmup call.
+BenchResult run_benchmark(const std::string& op, const std::string& shape,
+                          const std::function<void()>& body, double items_per_iter = 0.0,
+                          double min_seconds = 0.25, std::int64_t min_iters = 3) {
+  body();  // warmup
+  std::int64_t iters = 0;
+  const Timer timer;
+  while (iters < min_iters || timer.seconds() < min_seconds) {
+    body();
+    ++iters;
+  }
+  const double elapsed = timer.seconds();
+  BenchResult result;
+  result.op = op;
+  result.shape = shape;
+  result.iterations = iters;
+  result.ns_per_iter = elapsed * 1e9 / static_cast<double>(iters);
+  if (items_per_iter > 0.0) {
+    result.items_per_second = items_per_iter * static_cast<double>(iters) / elapsed;
+  }
+  return result;
+}
 
 Tensor random_tensor(Shape shape, std::uint64_t seed, float lo = 0.0F, float hi = 1.0F) {
   Rng rng(seed);
@@ -20,89 +70,118 @@ Tensor random_tensor(Shape shape, std::uint64_t seed, float lo = 0.0F, float hi 
   return t;
 }
 
-void BM_MatMul(benchmark::State& state) {
-  const std::int64_t n = state.range(0);
+BenchResult bench_matmul(std::int64_t n) {
   const Tensor a = random_tensor(Shape{n, n}, 1, -1.0F, 1.0F);
   const Tensor b = random_tensor(Shape{n, n}, 2, -1.0F, 1.0F);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(matmul(a, b));
-  }
-  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+  return run_benchmark("matmul", std::to_string(n) + "x" + std::to_string(n),
+                       [&] { do_not_optimize(matmul(a, b)); },
+                       /*items_per_iter=*/2.0 * static_cast<double>(n) * static_cast<double>(n) *
+                           static_cast<double>(n));
 }
-BENCHMARK(BM_MatMul)->Arg(64)->Arg(128)->Arg(256);
 
-void BM_Conv2dForward(benchmark::State& state) {
-  const std::int64_t batch = state.range(0);
+Conv2dSpec bench_conv_spec() {
   Conv2dSpec spec;
   spec.in_channels = 8;
   spec.out_channels = 16;
   spec.kernel = 3;
   spec.padding = 1;
+  return spec;
+}
+
+BenchResult bench_conv2d_forward(std::int64_t batch) {
+  const Conv2dSpec spec = bench_conv_spec();
   const Tensor x = random_tensor(Shape{batch, 8, 32, 32}, 3);
   const Tensor w = random_tensor(spec.weight_shape(), 4, -0.2F, 0.2F);
   const Tensor bias = random_tensor(Shape{16}, 5, -0.1F, 0.1F);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(conv2d_forward(x, w, bias, spec));
-  }
+  return run_benchmark("conv2d_forward", "b" + std::to_string(batch) + "x8x32x32",
+                       [&] { do_not_optimize(conv2d_forward(x, w, bias, spec)); });
 }
-BENCHMARK(BM_Conv2dForward)->Arg(16)->Arg(64);
 
-void BM_Conv2dBackward(benchmark::State& state) {
-  const std::int64_t batch = state.range(0);
-  Conv2dSpec spec;
-  spec.in_channels = 8;
-  spec.out_channels = 16;
-  spec.kernel = 3;
-  spec.padding = 1;
+BenchResult bench_conv2d_backward(std::int64_t batch) {
+  const Conv2dSpec spec = bench_conv_spec();
   const Tensor x = random_tensor(Shape{batch, 8, 32, 32}, 6);
   const Tensor w = random_tensor(spec.weight_shape(), 7, -0.2F, 0.2F);
   const Tensor dy = random_tensor(Shape{batch, 16, 32, 32}, 8, -1.0F, 1.0F);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(conv2d_backward(x, w, dy, spec));
-  }
+  return run_benchmark("conv2d_backward", "b" + std::to_string(batch) + "x8x32x32",
+                       [&] { do_not_optimize(conv2d_backward(x, w, dy, spec)); });
 }
-BENCHMARK(BM_Conv2dBackward)->Arg(16)->Arg(64);
 
-void BM_SsimWithGradient(benchmark::State& state) {
+BenchResult bench_ssim_with_gradient() {
   const Tensor x = random_tensor(Shape{16, 3, 32, 32}, 9);
   const Tensor y = random_tensor(Shape{16, 3, 32, 32}, 10);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(ssim_with_gradient(x, y));
-  }
+  return run_benchmark("ssim_with_gradient", "16x3x32x32",
+                       [&] { do_not_optimize(ssim_with_gradient(x, y)); });
 }
-BENCHMARK(BM_SsimWithGradient);
 
-void BM_MiniResNetTrainStep(benchmark::State& state) {
+BenchResult bench_miniresnet_train_step() {
   Network net = make_network(Architecture::kMiniResNet, 3, 32, 10, 11);
   net.set_training(true);
   const Tensor x = random_tensor(Shape{32, 3, 32, 32}, 12);
   std::vector<std::int64_t> labels(32);
   for (std::size_t i = 0; i < labels.size(); ++i) labels[i] = static_cast<std::int64_t>(i % 10);
   SoftmaxCrossEntropy loss;
-  for (auto _ : state) {
+  return run_benchmark("miniresnet_train_step", "32x3x32x32", [&] {
     const Tensor logits = net.forward(x);
-    benchmark::DoNotOptimize(loss.forward(logits, labels));
-    benchmark::DoNotOptimize(net.backward(loss.backward()));
+    do_not_optimize(loss.forward(logits, labels));
+    do_not_optimize(net.backward(loss.backward()));
     net.zero_grad();
-  }
+  });
 }
-BENCHMARK(BM_MiniResNetTrainStep);
 
-void BM_MiniResNetInputGradOnly(benchmark::State& state) {
+BenchResult bench_miniresnet_input_grad_only() {
   // The detection configuration: eval mode, parameter gradients off.
   Network net = make_network(Architecture::kMiniResNet, 3, 32, 10, 13);
   net.set_training(false);
   net.set_param_grads_enabled(false);
   const Tensor x = random_tensor(Shape{16, 3, 32, 32}, 14);
   TargetedCrossEntropy loss;
-  for (auto _ : state) {
+  return run_benchmark("miniresnet_input_grad_only", "16x3x32x32", [&] {
     const Tensor logits = net.forward(x);
-    benchmark::DoNotOptimize(loss.forward(logits, 0));
-    benchmark::DoNotOptimize(net.backward(loss.backward()));
-  }
+    do_not_optimize(loss.forward(logits, 0));
+    do_not_optimize(net.backward(loss.backward()));
+  });
 }
-BENCHMARK(BM_MiniResNetInputGradOnly);
+
+bool write_json(const std::vector<BenchResult>& results, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "bench_tensor_ops: cannot open " << path << " for writing\n";
+    return false;
+  }
+  out << "[\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const BenchResult& r = results[i];
+    char line[512];
+    std::snprintf(line, sizeof(line),
+                  "  {\"op\": \"%s\", \"shape\": \"%s\", \"iterations\": %lld, "
+                  "\"ns_per_iter\": %.1f, \"items_per_second\": %.1f}%s\n",
+                  r.op.c_str(), r.shape.c_str(), static_cast<long long>(r.iterations),
+                  r.ns_per_iter, r.items_per_second, i + 1 < results.size() ? "," : "");
+    out << line;
+  }
+  out << "]\n";
+  return out.good();
+}
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const std::string json_path = argc > 1 ? argv[1] : "BENCH_tensor_ops.json";
+
+  std::vector<BenchResult> results;
+  for (const std::int64_t n : {64, 128, 256}) results.push_back(bench_matmul(n));
+  for (const std::int64_t b : {16, 64}) results.push_back(bench_conv2d_forward(b));
+  for (const std::int64_t b : {16, 64}) results.push_back(bench_conv2d_backward(b));
+  results.push_back(bench_ssim_with_gradient());
+  results.push_back(bench_miniresnet_train_step());
+  results.push_back(bench_miniresnet_input_grad_only());
+
+  std::printf("%-28s %-14s %10s %14s %16s\n", "op", "shape", "iters", "ns/iter", "items/s");
+  for (const BenchResult& r : results) {
+    std::printf("%-28s %-14s %10lld %14.1f %16.1f\n", r.op.c_str(), r.shape.c_str(),
+                static_cast<long long>(r.iterations), r.ns_per_iter, r.items_per_second);
+  }
+  if (!write_json(results, json_path)) return 1;
+  std::printf("wrote %s\n", json_path.c_str());
+  return 0;
+}

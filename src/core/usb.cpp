@@ -7,28 +7,23 @@
 #include "defenses/masked_trigger.h"
 #include "nn/loss.h"
 #include "tensor/tensor_ops.h"
-#include "utils/timer.h"
 
 namespace usb {
 namespace {
 
-double final_fooling_rate(Network& model, const Dataset& probe, const MaskedTrigger& trigger,
-                          std::int64_t target_class) {
-  DataLoader loader(probe, 128, /*shuffle=*/false, /*seed=*/0);
-  Batch batch;
-  std::int64_t hits = 0;
-  std::int64_t total = 0;
-  while (loader.next(batch)) {
-    const Tensor logits = model.forward(trigger.apply(batch.images));
-    for (const std::int64_t pred : argmax_rows(logits)) {
-      if (pred == target_class) ++hits;
-      ++total;
-    }
-  }
-  return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
-}
+// Per-class stream salts: sub-streams derived from the job's class root.
+constexpr std::uint64_t kInitSalt = 0xab1a;
+constexpr std::uint64_t kLoaderSalt = 0x05b;
 
 }  // namespace
+
+ClassScanScheduler UsbDetector::make_scheduler() const {
+  ClassScanOptions options;
+  options.mad_threshold = config_.mad_threshold;
+  options.base_seed = config_.seed;
+  options.pool = config_.scan_pool;
+  return ClassScanScheduler(options);
+}
 
 UsbDetector::Decomposition UsbDetector::decompose_uap(const Tensor& uap) const {
   const std::int64_t channels = uap.dim(1);
@@ -71,6 +66,16 @@ UsbDetector::Decomposition UsbDetector::decompose_uap(const Tensor& uap) const {
 TriggerEstimate UsbDetector::reverse_engineer_class(
     Network& model, const Dataset& probe, std::int64_t target_class,
     const std::optional<Tensor>& precomputed_uap) {
+  const ClassScanScheduler scheduler = make_scheduler();
+  const ProbeBatchCache cache = scheduler.make_cache(probe);
+  return reverse_engineer_class(model, probe, scheduler.make_job(target_class, cache),
+                                precomputed_uap);
+}
+
+TriggerEstimate UsbDetector::reverse_engineer_class(
+    Network& model, const Dataset& probe, const ClassScanJob& job,
+    const std::optional<Tensor>& precomputed_uap) {
+  const std::int64_t target_class = job.target_class;
   model.set_training(false);
   model.set_param_grads_enabled(false);
 
@@ -83,7 +88,7 @@ TriggerEstimate UsbDetector::reverse_engineer_class(
   }
 
   // ---- Alg. 2: refine trigger x mask from the UAP decomposition. ----
-  Rng init_rng(hash_combine(0xab1a7e0ULL, static_cast<std::uint64_t>(target_class)));
+  Rng init_rng(hash_combine(job.rng_seed, kInitSalt));
   MaskedTrigger trigger =
       config_.random_init && !precomputed_uap.has_value()
           ? MaskedTrigger(probe.spec().channels, probe.spec().image_size, init_rng, config_.lr)
@@ -93,7 +98,7 @@ TriggerEstimate UsbDetector::reverse_engineer_class(
             }();
   TargetedCrossEntropy ce;
   DataLoader loader(probe, config_.batch_size, /*shuffle=*/true,
-                    hash_combine(0x05bULL, static_cast<std::uint64_t>(target_class)));
+                    hash_combine(job.rng_seed, kLoaderSalt));
 
   float last_loss = 0.0F;
   Batch batch;
@@ -130,15 +135,15 @@ TriggerEstimate UsbDetector::reverse_engineer_class(
   estimate.mask = trigger.mask();
   estimate.mask_l1 = trigger.mask_l1();
   estimate.final_loss = last_loss;
-  estimate.fooling_rate = final_fooling_rate(model, probe, trigger, target_class);
+  estimate.fooling_rate = fooling_rate(model, *job.probe_cache, trigger, target_class);
   return estimate;
 }
 
 DetectionReport UsbDetector::detect(Network& model, const Dataset& probe) {
-  return run_per_class_detection(
-      name(), model, probe, config_.mad_threshold,
-      [this](Network& clone, const Dataset& data, std::int64_t t) {
-        return reverse_engineer_class(clone, data, t);
+  return make_scheduler().run(
+      name(), model, probe,
+      [this](Network& clone, const Dataset& data, const ClassScanJob& job) {
+        return reverse_engineer_class(clone, data, job);
       });
 }
 

@@ -21,6 +21,7 @@
 #include <optional>
 
 #include "core/targeted_uap.h"
+#include "defenses/class_scan_scheduler.h"
 #include "defenses/detector.h"
 #include "metrics/ssim.h"
 
@@ -40,6 +41,11 @@ struct UsbConfig {
   double mad_threshold = 2.0;
   /// Mask init: pixels whose UAP magnitude reaches this quantile get mask~1.
   double magnitude_quantile = 0.95;
+  /// Root of the per-class RNG streams (Alg. 2 init / loader shuffling).
+  std::uint64_t seed = 0xab1a7e0;
+  /// Scan-pool override for tests/benches; nullptr means the global pool
+  /// (sized from USB_THREADS).
+  ThreadPool* scan_pool = nullptr;
   SsimConfig ssim;
 };
 
@@ -52,9 +58,15 @@ class UsbDetector final : public Detector {
 
   /// Full per-class pipeline. If `precomputed_uap` is given, Alg. 1 is
   /// skipped — the paper's Section 4.4 transfer setting, where one UAP is
-  /// reused across models of the same architecture.
+  /// reused across models of the same architecture. Seeds exactly as the
+  /// parallel scan does, so results match detect() bit for bit.
   [[nodiscard]] TriggerEstimate reverse_engineer_class(
       Network& model, const Dataset& probe, std::int64_t target_class,
+      const std::optional<Tensor>& precomputed_uap = std::nullopt);
+
+  /// Scheduler job body: same pipeline against a shared probe cache.
+  [[nodiscard]] TriggerEstimate reverse_engineer_class(
+      Network& model, const Dataset& probe, const ClassScanJob& job,
       const std::optional<Tensor>& precomputed_uap = std::nullopt);
 
   /// Decomposes a UAP (1,C,H,W) into the Alg. 2 starting point.
@@ -67,6 +79,8 @@ class UsbDetector final : public Detector {
   [[nodiscard]] const UsbConfig& config() const noexcept { return config_; }
 
  private:
+  [[nodiscard]] ClassScanScheduler make_scheduler() const;
+
   UsbConfig config_;
 };
 

@@ -1,0 +1,90 @@
+#include "defenses/class_scan_scheduler.h"
+
+#include "defenses/masked_trigger.h"
+#include "nn/checkpoint.h"
+#include "tensor/tensor_ops.h"
+#include "utils/rng.h"
+#include "utils/timer.h"
+
+namespace usb {
+
+ProbeBatchCache::ProbeBatchCache(const Dataset& probe, std::int64_t batch_size)
+    : batch_size_(batch_size) {
+  // Sequential, unshuffled: the exact batching of the historical evaluation
+  // loaders (DataLoader(probe, 128, shuffle=false, seed=0)).
+  DataLoader loader(probe, batch_size, /*shuffle=*/false, /*seed=*/0);
+  Batch batch;
+  while (loader.next(batch)) {
+    total_samples_ += batch.images.numel() == 0 ? 0 : batch.images.dim(0);
+    batches_.push_back(batch);
+  }
+}
+
+std::uint64_t ClassScanScheduler::class_stream_seed(std::uint64_t base_seed,
+                                                    std::int64_t target_class) noexcept {
+  return hash_combine(base_seed, 0xc1a55'57e4ULL, static_cast<std::uint64_t>(target_class));
+}
+
+ProbeBatchCache ClassScanScheduler::make_cache(const Dataset& probe) const {
+  return ProbeBatchCache(probe, options_.eval_batch_size);
+}
+
+ClassScanJob ClassScanScheduler::make_job(std::int64_t target_class,
+                                          const ProbeBatchCache& cache) const noexcept {
+  ClassScanJob job;
+  job.target_class = target_class;
+  job.rng_seed = class_stream_seed(options_.base_seed, target_class);
+  job.probe_cache = &cache;
+  return job;
+}
+
+DetectionReport ClassScanScheduler::run(const std::string& method, Network& model,
+                                        const Dataset& probe,
+                                        const ReverseFn& reverse_one) const {
+  const std::int64_t num_classes = probe.spec().num_classes;
+  DetectionReport report;
+  report.method = method;
+  report.per_class.resize(static_cast<std::size_t>(num_classes));
+  report.per_class_seconds.resize(static_cast<std::size_t>(num_classes));
+
+  // Materialized once, shared read-only by all K jobs.
+  const ProbeBatchCache eval_cache = make_cache(probe);
+
+  // One model clone per class; the inner tensor kernels detect that they run
+  // inside a pool worker and stay single-threaded, so total parallelism is
+  // the class count. Each job writes only its own slot, and its stream root
+  // depends only on (base_seed, class) — never on the schedule — so the
+  // estimates are bit-identical for any pool size.
+  ThreadPool& pool = options_.pool != nullptr ? *options_.pool : ThreadPool::global();
+  pool.parallel_for(num_classes, [&](std::int64_t begin, std::int64_t end, int /*worker*/) {
+    for (std::int64_t t = begin; t < end; ++t) {
+      Network clone = clone_network(model);
+      const Timer timer;
+      report.per_class[static_cast<std::size_t>(t)] =
+          reverse_one(clone, probe, make_job(t, eval_cache));
+      report.per_class_seconds[static_cast<std::size_t>(t)] = timer.seconds();
+    }
+  });
+
+  // Ordered reduction: norms enter the MAD stage in class order.
+  std::vector<double> norms(static_cast<std::size_t>(num_classes));
+  for (std::size_t t = 0; t < norms.size(); ++t) norms[t] = report.per_class[t].mask_l1;
+  report.verdict = decide_backdoor(norms, options_.mad_threshold);
+  return report;
+}
+
+double fooling_rate(Network& model, const ProbeBatchCache& cache, const MaskedTrigger& trigger,
+                    std::int64_t target_class) {
+  std::int64_t hits = 0;
+  for (const Batch& batch : cache.batches()) {
+    const Tensor logits = model.forward(trigger.apply(batch.images));
+    for (const std::int64_t pred : argmax_rows(logits)) {
+      if (pred == target_class) ++hits;
+    }
+  }
+  return cache.total_samples() == 0
+             ? 0.0
+             : static_cast<double>(hits) / static_cast<double>(cache.total_samples());
+}
+
+}  // namespace usb

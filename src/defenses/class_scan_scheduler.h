@@ -1,0 +1,115 @@
+// Parallel multi-class scan scheduler shared by USB, NC, and TABOR.
+//
+// Every detector in this repository pays the same cost structure: K
+// independent per-class reverse-engineering jobs (Alg. 1 + Alg. 2 for USB,
+// the NC/TABOR optimization otherwise) followed by one MAD outlier
+// reduction. The scheduler owns that structure so detectors only supply the
+// per-class job body:
+//
+//  - fan-out: every candidate class runs as its own job on
+//    ThreadPool::global() (or an injected pool), each on a private deep copy
+//    of the victim model — forward caches are per-instance, so clones make
+//    the classes embarrassingly parallel;
+//  - per-class RNG streams: each job receives a stream root derived only
+//    from (base_seed, class), never from thread ids or schedule order;
+//  - shared probe batches: the fooling-rate evaluation batches over the full
+//    probe set are materialized once and shared read-only by all K jobs,
+//    instead of K DataLoader passes re-gathering the same rows;
+//  - ordered reduction: estimates land in class order before the MAD rule.
+//
+// Consequence: a DetectionReport is bit-identical regardless of USB_THREADS
+// (wall-clock timings aside), which tests/test_scan_scheduler.cpp locks in.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "data/dataloader.h"
+#include "defenses/detector.h"
+#include "utils/thread_pool.h"
+
+namespace usb {
+
+class MaskedTrigger;
+
+/// Read-only mini-batches of a probe set, materialized once and shared by
+/// every per-class job. Batching matches the historical evaluation loaders
+/// (sequential order, fixed batch size), so cached fooling rates are
+/// bit-identical to a fresh DataLoader pass.
+class ProbeBatchCache {
+ public:
+  explicit ProbeBatchCache(const Dataset& probe, std::int64_t batch_size = 128);
+
+  [[nodiscard]] const std::vector<Batch>& batches() const noexcept { return batches_; }
+  [[nodiscard]] std::int64_t total_samples() const noexcept { return total_samples_; }
+  [[nodiscard]] std::int64_t batch_size() const noexcept { return batch_size_; }
+
+ private:
+  std::vector<Batch> batches_;
+  std::int64_t total_samples_ = 0;
+  std::int64_t batch_size_ = 0;
+};
+
+/// Context handed to one per-class reverse-engineering job.
+struct ClassScanJob {
+  std::int64_t target_class = 0;
+  /// Deterministic per-class stream root; derive sub-streams (init, loader,
+  /// ...) with hash_combine(rng_seed, salt). Depends only on (base_seed,
+  /// target_class).
+  std::uint64_t rng_seed = 0;
+  /// Shared full-probe evaluation batches; never null inside a scan.
+  const ProbeBatchCache* probe_cache = nullptr;
+};
+
+struct ClassScanOptions {
+  double mad_threshold = 2.0;
+  /// Root seed for the per-class RNG streams (typically the detector seed).
+  std::uint64_t base_seed = 0;
+  /// Batch size of the shared fooling-rate evaluation batches.
+  std::int64_t eval_batch_size = 128;
+  /// Pool override for tests/benches; nullptr means ThreadPool::global().
+  ThreadPool* pool = nullptr;
+};
+
+class ClassScanScheduler {
+ public:
+  using ReverseFn =
+      std::function<TriggerEstimate(Network&, const Dataset&, const ClassScanJob&)>;
+
+  explicit ClassScanScheduler(ClassScanOptions options) : options_(options) {}
+
+  /// The per-class stream root: hash of the base seed and the class only.
+  [[nodiscard]] static std::uint64_t class_stream_seed(std::uint64_t base_seed,
+                                                       std::int64_t target_class) noexcept;
+
+  /// Builds the evaluation cache exactly as run() does (same batch size).
+  /// The cache holds a transient copy of the probe set — cheap at this
+  /// repo's probe scale (<=500 small images), shared across all K jobs
+  /// inside run(); sequential single-class callers pay it per call.
+  [[nodiscard]] ProbeBatchCache make_cache(const Dataset& probe) const;
+
+  /// Builds the job for one class against an existing cache (the sequential
+  /// single-class entry points use this to match the parallel scan exactly).
+  [[nodiscard]] ClassScanJob make_job(std::int64_t target_class,
+                                      const ProbeBatchCache& cache) const noexcept;
+
+  /// Fans `reverse_one` out over all probe.spec().num_classes classes, each
+  /// on a private clone of `model`, then applies the MAD outlier rule to the
+  /// mask-L1 statistics in class order.
+  [[nodiscard]] DetectionReport run(const std::string& method, Network& model,
+                                    const Dataset& probe, const ReverseFn& reverse_one) const;
+
+  [[nodiscard]] const ClassScanOptions& options() const noexcept { return options_; }
+
+ private:
+  ClassScanOptions options_;
+};
+
+/// Fraction of cached probe samples that `trigger` sends to `target_class`.
+/// The shared replacement for the per-detector final_fooling_rate loops.
+[[nodiscard]] double fooling_rate(Network& model, const ProbeBatchCache& cache,
+                                  const MaskedTrigger& trigger, std::int64_t target_class);
+
+}  // namespace usb

@@ -1,11 +1,6 @@
 #include "defenses/detector.h"
 
-#include <functional>
 #include <stdexcept>
-
-#include "nn/checkpoint.h"
-#include "utils/thread_pool.h"
-#include "utils/timer.h"
 
 namespace usb {
 
@@ -27,34 +22,6 @@ Tensor DetectionReport::reversed_trigger(std::int64_t k) const {
     }
   }
   return image;
-}
-
-DetectionReport run_per_class_detection(
-    const std::string& method, Network& model, const Dataset& probe, double mad_threshold,
-    const std::function<TriggerEstimate(Network&, const Dataset&, std::int64_t)>& reverse_one) {
-  const std::int64_t num_classes = probe.spec().num_classes;
-  DetectionReport report;
-  report.method = method;
-  report.per_class.resize(static_cast<std::size_t>(num_classes));
-  report.per_class_seconds.resize(static_cast<std::size_t>(num_classes));
-
-  // One model clone per class; the inner tensor kernels detect that they run
-  // inside a pool worker and stay single-threaded, so total parallelism is
-  // the class count.
-  ThreadPool::global().parallel_for(
-      num_classes, [&](std::int64_t begin, std::int64_t end, int /*worker*/) {
-        for (std::int64_t t = begin; t < end; ++t) {
-          Network clone = clone_network(model);
-          const Timer timer;
-          report.per_class[static_cast<std::size_t>(t)] = reverse_one(clone, probe, t);
-          report.per_class_seconds[static_cast<std::size_t>(t)] = timer.seconds();
-        }
-      });
-
-  std::vector<double> norms(static_cast<std::size_t>(num_classes));
-  for (std::size_t t = 0; t < norms.size(); ++t) norms[t] = report.per_class[t].mask_l1;
-  report.verdict = decide_backdoor(norms, mad_threshold);
-  return report;
 }
 
 }  // namespace usb

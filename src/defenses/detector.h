@@ -57,13 +57,8 @@ class Detector {
 
 using DetectorPtr = std::unique_ptr<Detector>;
 
-/// Shared driver for all detectors: reverse engineers every class IN
-/// PARALLEL, each class on its own deep copy of the victim model (forward
-/// caches are per-instance, so clones make the classes embarrassingly
-/// parallel), then applies the MAD outlier rule. `reverse_one` must be
-/// thread-safe given a private Network.
-[[nodiscard]] DetectionReport run_per_class_detection(
-    const std::string& method, Network& model, const Dataset& probe, double mad_threshold,
-    const std::function<TriggerEstimate(Network&, const Dataset&, std::int64_t)>& reverse_one);
+// The shared per-class fan-out / MAD-reduction driver lives in
+// defenses/class_scan_scheduler.h (ClassScanScheduler); every detector's
+// detect() is a thin adapter onto it.
 
 }  // namespace usb

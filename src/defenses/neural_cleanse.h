@@ -9,6 +9,7 @@
 // reproduced faithfully here.
 #pragma once
 
+#include "defenses/class_scan_scheduler.h"
 #include "defenses/detector.h"
 
 namespace usb {
@@ -23,6 +24,9 @@ struct ReverseOptConfig {
   float lambda_down = 1.5F;
   double mad_threshold = 2.0;
   std::uint64_t seed = 99;
+  /// Scan-pool override for tests/benches; nullptr means the global pool
+  /// (sized from USB_THREADS).
+  ThreadPool* scan_pool = nullptr;
 };
 
 class NeuralCleanse final : public Detector {
@@ -33,11 +37,18 @@ class NeuralCleanse final : public Detector {
   [[nodiscard]] DetectionReport detect(Network& model, const Dataset& probe) override;
 
   /// Reverse engineers the trigger for a single class (used by the figure
-  /// benches to visualize per-class results).
+  /// benches to visualize per-class results). Seeds exactly as the parallel
+  /// scan does, so results match detect() bit for bit.
   [[nodiscard]] TriggerEstimate reverse_engineer_class(Network& model, const Dataset& probe,
                                                        std::int64_t target_class);
 
+  /// Scheduler job body: same as above, but against a shared probe cache.
+  [[nodiscard]] TriggerEstimate reverse_engineer_class(Network& model, const Dataset& probe,
+                                                       const ClassScanJob& job);
+
  private:
+  [[nodiscard]] ClassScanScheduler make_scheduler() const;
+
   ReverseOptConfig config_;
 };
 

@@ -8,7 +8,6 @@
 #include "nn/loss.h"
 #include "tensor/tensor_ops.h"
 #include "utils/rng.h"
-#include "utils/timer.h"
 
 namespace usb {
 namespace {
@@ -22,36 +21,40 @@ double batch_fooling_rate(const Tensor& logits, std::int64_t target_class) {
   return preds.empty() ? 0.0 : static_cast<double>(hits) / static_cast<double>(preds.size());
 }
 
-double final_fooling_rate(Network& model, const Dataset& probe, const MaskedTrigger& trigger,
-                          std::int64_t target_class) {
-  DataLoader loader(probe, 128, /*shuffle=*/false, /*seed=*/0);
-  Batch batch;
-  std::int64_t hits = 0;
-  std::int64_t total = 0;
-  while (loader.next(batch)) {
-    const Tensor logits = model.forward(trigger.apply(batch.images));
-    for (const std::int64_t pred : argmax_rows(logits)) {
-      if (pred == target_class) ++hits;
-      ++total;
-    }
-  }
-  return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
-}
+// Per-class stream salts: sub-streams derived from the job's class root.
+constexpr std::uint64_t kInitSalt = 0x7ab0;
+constexpr std::uint64_t kLoaderSalt = 0x7ab1;
 
 }  // namespace
 
+ClassScanScheduler Tabor::make_scheduler() const {
+  ClassScanOptions options;
+  options.mad_threshold = config_.base.mad_threshold;
+  options.base_seed = config_.base.seed;
+  options.pool = config_.base.scan_pool;
+  return ClassScanScheduler(options);
+}
+
 TriggerEstimate Tabor::reverse_engineer_class(Network& model, const Dataset& probe,
                                               std::int64_t target_class) {
+  const ClassScanScheduler scheduler = make_scheduler();
+  const ProbeBatchCache cache = scheduler.make_cache(probe);
+  return reverse_engineer_class(model, probe, scheduler.make_job(target_class, cache));
+}
+
+TriggerEstimate Tabor::reverse_engineer_class(Network& model, const Dataset& probe,
+                                              const ClassScanJob& job) {
+  const std::int64_t target_class = job.target_class;
   model.set_training(false);
   model.set_param_grads_enabled(false);
   const ReverseOptConfig& base = config_.base;
-  Rng rng(hash_combine(base.seed, 0x7ab0ULL, static_cast<std::uint64_t>(target_class)));
+  Rng rng(hash_combine(job.rng_seed, kInitSalt));
   MaskedTrigger trigger(probe.spec().channels, probe.spec().image_size, rng, base.lr);
   TargetedCrossEntropy target_loss;
   SoftmaxCrossEntropy true_loss;
   TargetedCrossEntropy overlay_loss;
   DataLoader loader(probe, base.batch_size, /*shuffle=*/true,
-                    hash_combine(base.seed, 0x7ab1ULL, static_cast<std::uint64_t>(target_class)));
+                    hash_combine(job.rng_seed, kLoaderSalt));
 
   const std::int64_t channels = probe.spec().channels;
   const std::int64_t size = probe.spec().image_size;
@@ -166,15 +169,15 @@ TriggerEstimate Tabor::reverse_engineer_class(Network& model, const Dataset& pro
   estimate.mask = trigger.mask();
   estimate.mask_l1 = trigger.mask_l1();
   estimate.final_loss = last_loss;
-  estimate.fooling_rate = final_fooling_rate(model, probe, trigger, target_class);
+  estimate.fooling_rate = fooling_rate(model, *job.probe_cache, trigger, target_class);
   return estimate;
 }
 
 DetectionReport Tabor::detect(Network& model, const Dataset& probe) {
-  return run_per_class_detection(
-      name(), model, probe, config_.base.mad_threshold,
-      [this](Network& clone, const Dataset& data, std::int64_t t) {
-        return reverse_engineer_class(clone, data, t);
+  return make_scheduler().run(
+      name(), model, probe,
+      [this](Network& clone, const Dataset& data, const ClassScanJob& job) {
+        return reverse_engineer_class(clone, data, job);
       });
 }
 

@@ -34,10 +34,17 @@ class Tabor final : public Detector {
   [[nodiscard]] std::string name() const override { return "TABOR"; }
   [[nodiscard]] DetectionReport detect(Network& model, const Dataset& probe) override;
 
+  /// Seeds exactly as the parallel scan does, so results match detect().
   [[nodiscard]] TriggerEstimate reverse_engineer_class(Network& model, const Dataset& probe,
                                                        std::int64_t target_class);
 
+  /// Scheduler job body: same as above, but against a shared probe cache.
+  [[nodiscard]] TriggerEstimate reverse_engineer_class(Network& model, const Dataset& probe,
+                                                       const ClassScanJob& job);
+
  private:
+  [[nodiscard]] ClassScanScheduler make_scheduler() const;
+
   TaborConfig config_;
 };
 

@@ -66,6 +66,22 @@ void ThreadPool::parallel_for(std::int64_t count,
   // Small ranges and nested calls run inline: chunk dispatch costs more than
   // the work, and nesting would deadlock the pool.
   if (num_workers <= 1 || count < 2 || t_inside_worker) {
+    if (num_workers <= 1 && !t_inside_worker) {
+      // A 1-worker pool must behave exactly like its single worker thread:
+      // nested parallel_for calls (e.g. tensor kernels inside a per-class
+      // scan job) stay inline instead of escaping to the global pool.
+      // Otherwise an injected ThreadPool(1) would not be the serial baseline
+      // that USB_THREADS=1 is.
+      t_inside_worker = true;
+      try {
+        body(0, count, 0);
+      } catch (...) {
+        t_inside_worker = false;
+        throw;
+      }
+      t_inside_worker = false;
+      return;
+    }
     body(0, count, 0);
     return;
   }

@@ -67,6 +67,65 @@ TEST(DecideBackdoor, DecisiveShortcutOverridesNoisyMad) {
   EXPECT_EQ(verdict.flagged_classes[0], 1);
 }
 
+TEST(MadAnomaly, SingleValueIsNeverAnomalous) {
+  // K=1 "class": the value IS the median, MAD is 0, and the zero-MAD guard
+  // must score it 0 instead of dividing by zero.
+  const std::vector<double> anomaly = mad_anomaly_indices(std::vector<double>{7.5});
+  ASSERT_EQ(anomaly.size(), 1U);
+  EXPECT_EQ(anomaly[0], 0.0);
+}
+
+TEST(MadAnomaly, EmptyInput) {
+  EXPECT_TRUE(mad_anomaly_indices(std::vector<double>{}).empty());
+}
+
+TEST(DecideBackdoor, SingleClassModelIsNeverFlagged) {
+  // K=1: the only statistic equals its own median; there is no population to
+  // be an outlier of. The verdict must be clean, with sane bookkeeping.
+  const DetectionVerdict verdict = decide_backdoor(std::vector<double>{3.0});
+  EXPECT_FALSE(verdict.backdoored);
+  EXPECT_TRUE(verdict.flagged_classes.empty());
+  ASSERT_EQ(verdict.norms.size(), 1U);
+  ASSERT_EQ(verdict.anomaly.size(), 1U);
+  EXPECT_EQ(verdict.anomaly[0], 0.0);
+}
+
+TEST(DecideBackdoor, AllEqualMaskNormsAreClean) {
+  // Every class admits the same-size trigger: no shortcut, no outlier — even
+  // at an aggressive threshold. Also exercises the MAD=0 guard end to end.
+  const std::vector<double> norms(10, 13.0);
+  const DetectionVerdict verdict = decide_backdoor(norms, /*threshold=*/0.1);
+  EXPECT_FALSE(verdict.backdoored);
+  for (const double a : verdict.anomaly) EXPECT_EQ(a, 0.0);
+}
+
+TEST(DecideBackdoor, EmptyNormsProduceCleanVerdict) {
+  // An empty scan (no probe classes) must degrade to "clean", not crash.
+  const DetectionVerdict verdict = decide_backdoor(std::vector<double>{});
+  EXPECT_FALSE(verdict.backdoored);
+  EXPECT_TRUE(verdict.flagged_classes.empty());
+  EXPECT_TRUE(verdict.norms.empty());
+  EXPECT_TRUE(verdict.anomaly.empty());
+}
+
+TEST(DecideBackdoor, AllZeroNormsAreClean) {
+  // Degenerate all-zero statistics (e.g. an empty probe set collapsed every
+  // mask): median 0 means nothing can be "well below" it.
+  const DetectionVerdict verdict = decide_backdoor(std::vector<double>(5, 0.0));
+  EXPECT_FALSE(verdict.backdoored);
+}
+
+TEST(CaseCounts, RecordOnEmptyVerdictKeepsL1Undefined) {
+  // A verdict with no per-class norms (empty scan) must not contribute a
+  // bogus 0 to the population L1 statistic.
+  CaseCounts counts;
+  DetectionVerdict verdict;  // empty norms, clean
+  counts.record(verdict, -1);
+  EXPECT_EQ(counts.detected_clean, 1);
+  EXPECT_EQ(counts.l1_count, 0);
+  EXPECT_EQ(counts.mean_l1(), 0.0);
+}
+
 TEST(ClassifyTarget, AllOutcomes) {
   DetectionVerdict clean;
   clean.backdoored = false;

@@ -108,6 +108,68 @@ TEST(Conv2dLayer, ParameterGradients) {
   check_parameter_gradients(layer, Shape{1, 2, 5, 5}, 103);
 }
 
+TEST(Conv2dLayer, StridedInputAndParameterGradients) {
+  Rng rng(30);
+  Conv2dSpec spec;
+  spec.in_channels = 2;
+  spec.out_channels = 3;
+  spec.kernel = 3;
+  spec.stride = 2;
+  spec.padding = 1;
+  Conv2d layer(spec, rng);
+  check_input_gradient(layer, Shape{2, 2, 7, 7}, 130);
+  check_parameter_gradients(layer, Shape{1, 2, 7, 7}, 131);
+}
+
+TEST(Conv2dLayer, UnpaddedInputGradient) {
+  Rng rng(31);
+  Conv2dSpec spec;
+  spec.in_channels = 2;
+  spec.out_channels = 2;
+  spec.kernel = 3;  // padding 0: output shrinks, border pixels reach fewer taps
+  Conv2d layer(spec, rng);
+  check_input_gradient(layer, Shape{2, 2, 6, 6}, 132);
+}
+
+TEST(Conv2dLayer, GroupedInputAndParameterGradients) {
+  Rng rng(32);
+  Conv2dSpec spec;
+  spec.in_channels = 4;
+  spec.out_channels = 4;
+  spec.kernel = 3;
+  spec.padding = 1;
+  spec.groups = 2;
+  Conv2d layer(spec, rng);
+  check_input_gradient(layer, Shape{2, 4, 5, 5}, 133);
+  check_parameter_gradients(layer, Shape{1, 4, 5, 5}, 134);
+}
+
+TEST(Conv2dLayer, DepthwiseStridedGradients) {
+  // groups == in_channels: the MBConv depthwise configuration.
+  Rng rng(33);
+  Conv2dSpec spec;
+  spec.in_channels = 3;
+  spec.out_channels = 3;
+  spec.kernel = 3;
+  spec.stride = 2;
+  spec.padding = 1;
+  spec.groups = 3;
+  Conv2d layer(spec, rng);
+  check_input_gradient(layer, Shape{2, 3, 7, 7}, 135);
+  check_parameter_gradients(layer, Shape{1, 3, 7, 7}, 136);
+}
+
+TEST(Conv2dLayer, BiasFreeParameterGradients) {
+  Rng rng(34);
+  Conv2dSpec spec;
+  spec.in_channels = 2;
+  spec.out_channels = 3;
+  spec.kernel = 1;  // the 1x1 projection used inside residual shortcuts
+  Conv2d layer(spec, rng, /*with_bias=*/false);
+  EXPECT_EQ(layer.parameters().size(), 1U);
+  check_parameter_gradients(layer, Shape{2, 2, 4, 4}, 137);
+}
+
 TEST(Activations, ReluGradient) {
   ReLU layer;
   check_input_gradient(layer, Shape{2, 3, 4, 4}, 104);
@@ -159,6 +221,33 @@ TEST(Pooling, GlobalAvgPoolInputGradient) {
   check_input_gradient(layer, Shape{2, 3, 4, 4}, 109);
 }
 
+TEST(Pooling, OverlappingMaxPoolInputGradient) {
+  // kernel > stride: input elements feed several windows, so their gradients
+  // accumulate across windows. Distinct values keep the max piecewise-stable.
+  MaxPool2d layer(Pool2dSpec{3, 1});
+  Rng rng(35);
+  Tensor x(Shape{1, 2, 5, 5});
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    x[i] = static_cast<float>((i * 7) % 23) + rng.uniform_float(0.0F, 0.2F);
+  }
+  const Tensor y0 = layer.forward(x);
+  Tensor dy(y0.shape());
+  fill_uniform(dy, rng);
+  const Tensor dx = layer.backward(dy);
+  auto loss = [&](const Tensor& probe) {
+    const Tensor y = layer.forward(probe);
+    double total = 0.0;
+    for (std::int64_t i = 0; i < y.numel(); ++i) total += static_cast<double>(y[i]) * dy[i];
+    return total;
+  };
+  expect_gradient_close(loss, x, dx, 1e-4);
+}
+
+TEST(Pooling, StridedAvgPoolInputGradient) {
+  AvgPool2d layer(Pool2dSpec{3, 2});
+  check_input_gradient(layer, Shape{2, 2, 7, 7}, 138);
+}
+
 TEST(Pooling, FlattenRoundTrip) {
   Flatten layer;
   Tensor x(Shape{2, 3, 4, 4});
@@ -187,6 +276,14 @@ TEST(BatchNorm, TrainModeGradient) {
   BatchNorm2d layer(2);
   layer.set_training(true);
   check_input_gradient(layer, Shape{4, 2, 3, 3}, 111, /*rel_tol=*/5e-2);
+}
+
+TEST(BatchNorm, TrainModeParameterGradients) {
+  // Gamma/beta gradients flow through the batch statistics in train mode;
+  // finite differences must see the renormalization, not just the affine.
+  BatchNorm2d layer(3);
+  layer.set_training(true);
+  check_parameter_gradients(layer, Shape{4, 3, 3, 3}, 139);
 }
 
 TEST(BatchNorm, NormalizesBatchInTrainingMode) {
