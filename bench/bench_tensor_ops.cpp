@@ -1,10 +1,13 @@
-// Micro-benchmarks for the kernels everything else sits on: matmul, conv2d
-// forward/backward, SSIM with gradient, and a full MiniResNet
-// forward/backward step.
+// Micro-benchmarks for the kernels everything else sits on: the blocked
+// GEMM core behind the matmul family, conv2d forward/backward (shapes
+// matched to the CNN architectures in src/nn/models.cpp), SSIM with
+// gradient, and a full MiniResNet forward/backward step.
 //
 // Results go to stdout as a table AND to BENCH_tensor_ops.json (op, shape,
-// ns/iter, items/s) so successive PRs can diff the perf trajectory
-// mechanically. Pass a path argument to redirect the JSON.
+// ns/iter, items/s, GFLOP/s) so successive PRs can diff the perf trajectory
+// mechanically; bench/check_regression.py gates CI on it against
+// bench/baseline/BENCH_tensor_ops.json. Pass a path argument to redirect
+// the JSON.
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
@@ -31,6 +34,7 @@ struct BenchResult {
   std::int64_t iterations = 0;
   double ns_per_iter = 0.0;
   double items_per_second = 0.0;  // 0 when the op has no item count
+  double gflops = 0.0;            // 0 when the op has no flop count
 };
 
 // Prevents the optimizer from deleting a benchmarked expression's result.
@@ -40,10 +44,12 @@ void do_not_optimize(const T& value) {
 }
 
 /// Runs `body` until ~min_seconds of wall clock is spent (at least min_iters
-/// iterations), after one untimed warmup call.
+/// iterations), after one untimed warmup call. `items_per_iter` doubles as
+/// the flop count per iteration when `is_flops` is set.
 BenchResult run_benchmark(const std::string& op, const std::string& shape,
                           const std::function<void()>& body, double items_per_iter = 0.0,
-                          double min_seconds = 0.25, std::int64_t min_iters = 3) {
+                          bool is_flops = false, double min_seconds = 0.25,
+                          std::int64_t min_iters = 3) {
   body();  // warmup
   std::int64_t iters = 0;
   const Timer timer;
@@ -59,6 +65,7 @@ BenchResult run_benchmark(const std::string& op, const std::string& shape,
   result.ns_per_iter = elapsed * 1e9 / static_cast<double>(iters);
   if (items_per_iter > 0.0) {
     result.items_per_second = items_per_iter * static_cast<double>(iters) / elapsed;
+    if (is_flops) result.gflops = result.items_per_second / 1e9;
   }
   return result;
 }
@@ -73,37 +80,70 @@ Tensor random_tensor(Shape shape, std::uint64_t seed, float lo = 0.0F, float hi 
 BenchResult bench_matmul(std::int64_t n) {
   const Tensor a = random_tensor(Shape{n, n}, 1, -1.0F, 1.0F);
   const Tensor b = random_tensor(Shape{n, n}, 2, -1.0F, 1.0F);
+  const double flops = 2.0 * static_cast<double>(n) * static_cast<double>(n) *
+                       static_cast<double>(n);
   return run_benchmark("matmul", std::to_string(n) + "x" + std::to_string(n),
-                       [&] { do_not_optimize(matmul(a, b)); },
-                       /*items_per_iter=*/2.0 * static_cast<double>(n) * static_cast<double>(n) *
-                           static_cast<double>(n));
+                       [&] { do_not_optimize(matmul(a, b)); }, flops, /*is_flops=*/true);
 }
 
-Conv2dSpec bench_conv_spec() {
+BenchResult bench_matmul_transpose_b(std::int64_t n) {
+  // The Linear-forward orientation: A (N,K) x B^T with B stored (N,K).
+  const Tensor a = random_tensor(Shape{n, n}, 21, -1.0F, 1.0F);
+  const Tensor b = random_tensor(Shape{n, n}, 22, -1.0F, 1.0F);
+  const double flops = 2.0 * static_cast<double>(n) * static_cast<double>(n) *
+                       static_cast<double>(n);
+  return run_benchmark("matmul_transpose_b", std::to_string(n) + "x" + std::to_string(n),
+                       [&] { do_not_optimize(matmul_transpose_b(a, b)); }, flops,
+                       /*is_flops=*/true);
+}
+
+double conv_flops(const Conv2dSpec& spec, std::int64_t batch, std::int64_t image) {
+  const std::int64_t out = spec.out_size(image);
+  return 2.0 * static_cast<double>(batch) * static_cast<double>(spec.out_channels) *
+         static_cast<double>(out * out) *
+         static_cast<double>((spec.in_channels / spec.groups) * spec.kernel * spec.kernel);
+}
+
+Conv2dSpec make_spec(std::int64_t in, std::int64_t out, std::int64_t kernel, std::int64_t stride,
+                     std::int64_t padding) {
   Conv2dSpec spec;
-  spec.in_channels = 8;
-  spec.out_channels = 16;
-  spec.kernel = 3;
-  spec.padding = 1;
+  spec.in_channels = in;
+  spec.out_channels = out;
+  spec.kernel = kernel;
+  spec.stride = stride;
+  spec.padding = padding;
   return spec;
 }
 
-BenchResult bench_conv2d_forward(std::int64_t batch) {
-  const Conv2dSpec spec = bench_conv_spec();
-  const Tensor x = random_tensor(Shape{batch, 8, 32, 32}, 3);
-  const Tensor w = random_tensor(spec.weight_shape(), 4, -0.2F, 0.2F);
-  const Tensor bias = random_tensor(Shape{16}, 5, -0.1F, 0.1F);
-  return run_benchmark("conv2d_forward", "b" + std::to_string(batch) + "x8x32x32",
-                       [&] { do_not_optimize(conv2d_forward(x, w, bias, spec)); });
+std::string conv_shape_label(const Conv2dSpec& spec, std::int64_t batch, std::int64_t image) {
+  char label[128];
+  std::snprintf(label, sizeof(label), "b%lldx%lldx%lldx%lld", static_cast<long long>(batch),
+                static_cast<long long>(spec.in_channels), static_cast<long long>(image),
+                static_cast<long long>(image));
+  return label;
 }
 
-BenchResult bench_conv2d_backward(std::int64_t batch) {
-  const Conv2dSpec spec = bench_conv_spec();
-  const Tensor x = random_tensor(Shape{batch, 8, 32, 32}, 6);
-  const Tensor w = random_tensor(spec.weight_shape(), 7, -0.2F, 0.2F);
-  const Tensor dy = random_tensor(Shape{batch, 16, 32, 32}, 8, -1.0F, 1.0F);
-  return run_benchmark("conv2d_backward", "b" + std::to_string(batch) + "x8x32x32",
-                       [&] { do_not_optimize(conv2d_backward(x, w, dy, spec)); });
+BenchResult bench_conv_forward(const std::string& name, const Conv2dSpec& spec,
+                               std::int64_t batch, std::int64_t image, std::uint64_t seed) {
+  const Tensor x = random_tensor(Shape{batch, spec.in_channels, image, image}, seed);
+  const Tensor w = random_tensor(spec.weight_shape(), seed + 1, -0.2F, 0.2F);
+  const Tensor bias = random_tensor(Shape{spec.out_channels}, seed + 2, -0.1F, 0.1F);
+  return run_benchmark(name, conv_shape_label(spec, batch, image),
+                       [&] { do_not_optimize(conv2d_forward(x, w, bias, spec)); },
+                       conv_flops(spec, batch, image), /*is_flops=*/true);
+}
+
+BenchResult bench_conv_backward(const std::string& name, const Conv2dSpec& spec,
+                                std::int64_t batch, std::int64_t image, std::uint64_t seed) {
+  const Tensor x = random_tensor(Shape{batch, spec.in_channels, image, image}, seed);
+  const Tensor w = random_tensor(spec.weight_shape(), seed + 1, -0.2F, 0.2F);
+  const std::int64_t out = spec.out_size(image);
+  const Tensor dy =
+      random_tensor(Shape{batch, spec.out_channels, out, out}, seed + 2, -1.0F, 1.0F);
+  // dX and dW each cost roughly one forward; count both.
+  return run_benchmark(name, conv_shape_label(spec, batch, image),
+                       [&] { do_not_optimize(conv2d_backward(x, w, dy, spec)); },
+                       2.0 * conv_flops(spec, batch, image), /*is_flops=*/true);
 }
 
 BenchResult bench_ssim_with_gradient() {
@@ -154,9 +194,9 @@ bool write_json(const std::vector<BenchResult>& results, const std::string& path
     char line[512];
     std::snprintf(line, sizeof(line),
                   "  {\"op\": \"%s\", \"shape\": \"%s\", \"iterations\": %lld, "
-                  "\"ns_per_iter\": %.1f, \"items_per_second\": %.1f}%s\n",
+                  "\"ns_per_iter\": %.1f, \"items_per_second\": %.1f, \"gflops\": %.3f}%s\n",
                   r.op.c_str(), r.shape.c_str(), static_cast<long long>(r.iterations),
-                  r.ns_per_iter, r.items_per_second, i + 1 < results.size() ? "," : "");
+                  r.ns_per_iter, r.items_per_second, r.gflops, i + 1 < results.size() ? "," : "");
     out << line;
   }
   out << "]\n";
@@ -169,17 +209,38 @@ int main(int argc, char** argv) {
   const std::string json_path = argc > 1 ? argv[1] : "BENCH_tensor_ops.json";
 
   std::vector<BenchResult> results;
-  for (const std::int64_t n : {64, 128, 256}) results.push_back(bench_matmul(n));
-  for (const std::int64_t b : {16, 64}) results.push_back(bench_conv2d_forward(b));
-  for (const std::int64_t b : {16, 64}) results.push_back(bench_conv2d_backward(b));
+  for (const std::int64_t n : {64, 128, 256, 512}) results.push_back(bench_matmul(n));
+  results.push_back(bench_matmul_transpose_b(256));
+
+  // Legacy shapes (kept for cross-PR trajectory continuity).
+  const Conv2dSpec legacy = make_spec(8, 16, 3, 1, 1);
+  for (const std::int64_t b : {16, 64}) {
+    results.push_back(bench_conv_forward("conv2d_forward", legacy, b, 32, 3));
+  }
+  for (const std::int64_t b : {16, 64}) {
+    results.push_back(bench_conv_backward("conv2d_backward", legacy, b, 32, 6));
+  }
+
+  // Shapes matched to the CNN architectures in src/nn/models.cpp.
+  results.push_back(
+      bench_conv_forward("conv_basiccnn_conv1", make_spec(3, 16, 5, 1, 0), 32, 32, 100));
+  results.push_back(
+      bench_conv_forward("conv_basiccnn_conv2", make_spec(16, 32, 5, 1, 0), 32, 14, 110));
+  results.push_back(
+      bench_conv_forward("conv_resnet_stem", make_spec(3, 8, 3, 1, 1), 32, 32, 120));
+  results.push_back(
+      bench_conv_forward("conv_vgg_stack2", make_spec(8, 16, 3, 1, 1), 32, 16, 130));
+
   results.push_back(bench_ssim_with_gradient());
   results.push_back(bench_miniresnet_train_step());
   results.push_back(bench_miniresnet_input_grad_only());
 
-  std::printf("%-28s %-14s %10s %14s %16s\n", "op", "shape", "iters", "ns/iter", "items/s");
+  std::printf("%-28s %-14s %10s %14s %16s %10s\n", "op", "shape", "iters", "ns/iter", "items/s",
+              "GFLOP/s");
   for (const BenchResult& r : results) {
-    std::printf("%-28s %-14s %10lld %14.1f %16.1f\n", r.op.c_str(), r.shape.c_str(),
-                static_cast<long long>(r.iterations), r.ns_per_iter, r.items_per_second);
+    std::printf("%-28s %-14s %10lld %14.1f %16.1f %10.2f\n", r.op.c_str(), r.shape.c_str(),
+                static_cast<long long>(r.iterations), r.ns_per_iter, r.items_per_second,
+                r.gflops);
   }
   if (!write_json(results, json_path)) return 1;
   std::printf("wrote %s\n", json_path.c_str());

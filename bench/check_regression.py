@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Gate kernel benchmarks against a committed baseline.
+
+Usage:
+    check_regression.py CURRENT.json BASELINE.json [--threshold 1.25]
+
+Compares ns_per_iter for every (op, shape) pair present in both files and
+exits non-zero if any op got slower than baseline * threshold. Speedups are
+reported but never fail. Ops present in only one file are listed as warnings
+(bench sets are allowed to evolve) without failing the gate. Ops whose
+baseline iteration is below --min-ns (default 100 us) are reported but not
+gated: at that scale the measurement is dominated by scheduler and VM noise,
+not kernel changes.
+
+The threshold can also be set via the USB_BENCH_GATE_THRESHOLD environment
+variable (the command-line flag wins). The default of 1.25 implements the
+ROADMAP rule "fail CI on >25% kernel slowdown"; note the committed baseline
+is produced on one machine and CI runs on another, so after a hardware
+change the baseline should be refreshed (run bench_tensor_ops and commit the
+JSON) rather than the threshold loosened.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as fh:
+        entries = json.load(fh)
+    return {(e["op"], e["shape"]): e for e in entries}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", help="freshly generated BENCH_tensor_ops.json")
+    parser.add_argument("baseline", help="committed baseline JSON")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=float(os.environ.get("USB_BENCH_GATE_THRESHOLD", "1.25")),
+        help="fail when current ns/iter exceeds baseline * threshold (default 1.25)",
+    )
+    parser.add_argument(
+        "--min-ns",
+        type=float,
+        default=float(os.environ.get("USB_BENCH_GATE_MIN_NS", "100000")),
+        help="ignore ops whose baseline ns/iter is below this floor (default 1e5)",
+    )
+    args = parser.parse_args()
+
+    current = load(args.current)
+    baseline = load(args.baseline)
+
+    failures = []
+    rows = []
+    for key in sorted(baseline):
+        if key not in current:
+            print(f"WARNING: {key[0]} [{key[1]}] in baseline but not in current run", file=sys.stderr)
+            continue
+        base_ns = baseline[key]["ns_per_iter"]
+        cur_ns = current[key]["ns_per_iter"]
+        if base_ns <= 0:
+            continue
+        ratio = cur_ns / base_ns
+        verdict = "OK"
+        if base_ns < args.min_ns:
+            verdict = "SKIPPED (below gate floor)"
+        elif ratio > args.threshold:
+            verdict = "REGRESSION"
+            failures.append(key)
+        rows.append((key[0], key[1], base_ns, cur_ns, ratio, verdict))
+    for key in sorted(set(current) - set(baseline)):
+        print(f"NOTE: new op {key[0]} [{key[1]}] has no baseline yet", file=sys.stderr)
+
+    print(f"{'op':<28} {'shape':<14} {'base ns':>14} {'cur ns':>14} {'ratio':>7}  verdict")
+    for op, shape, base_ns, cur_ns, ratio, verdict in rows:
+        print(f"{op:<28} {shape:<14} {base_ns:>14.1f} {cur_ns:>14.1f} {ratio:>7.2f}  {verdict}")
+
+    if failures:
+        names = ", ".join(f"{op} [{shape}]" for op, shape in failures)
+        print(
+            f"\nFAIL: {len(failures)} kernel(s) regressed past {args.threshold:.2f}x: {names}",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"\nOK: no kernel slower than {args.threshold:.2f}x baseline ({len(rows)} compared)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -50,11 +50,14 @@ DetectionReport ClassScanScheduler::run(const std::string& method, Network& mode
   // Materialized once, shared read-only by all K jobs.
   const ProbeBatchCache eval_cache = make_cache(probe);
 
-  // One model clone per class; the inner tensor kernels detect that they run
-  // inside a pool worker and stay single-threaded, so total parallelism is
-  // the class count. Each job writes only its own slot, and its stream root
-  // depends only on (base_seed, class) — never on the schedule — so the
-  // estimates are bit-identical for any pool size.
+  // One model clone per class. The inner tensor kernels submit fixed,
+  // size-derived tile lists to THIS pool via parallel_for_deterministic:
+  // when the fan-out under-subscribes it (K < pool size), idle workers soak
+  // up GEMM tiles; when it is saturated, tiles run inline on the submitting
+  // worker. Each job writes only its own slot, its stream root depends only
+  // on (base_seed, class), and the tile decomposition depends only on
+  // operand sizes — never on the schedule — so the estimates are
+  // bit-identical for any pool size.
   ThreadPool& pool = options_.pool != nullptr ? *options_.pool : ThreadPool::global();
   pool.parallel_for(num_classes, [&](std::int64_t begin, std::int64_t end, int /*worker*/) {
     for (std::int64_t t = begin; t < end; ++t) {

@@ -9,7 +9,11 @@
 //  - fan-out: every candidate class runs as its own job on
 //    ThreadPool::global() (or an injected pool), each on a private deep copy
 //    of the victim model — forward caches are per-instance, so clones make
-//    the classes embarrassingly parallel;
+//    the classes embarrassingly parallel. The scan's pool is also what the
+//    nested tensor kernels see: GEMM tiles spill onto the SAME pool's idle
+//    workers whenever the class fan-out under-subscribes it (K < pool size,
+//    or a sequential single-class call), and run inline when it is
+//    saturated, so every core stays busy in both regimes;
 //  - per-class RNG streams: each job receives a stream root derived only
 //    from (base_seed, class), never from thread ids or schedule order;
 //  - shared probe batches: the fooling-rate evaluation batches over the full

@@ -20,6 +20,9 @@ Tensor Conv2d::forward(const Tensor& x) {
 
 Tensor Conv2d::backward(const Tensor& grad_out) {
   const bool need_dweight = param_grads_enabled();
+  // Frozen weights AND no input gradient wanted (a first-layer conv on a
+  // frozen model): there is nothing to compute, so skip the kernel dispatch.
+  if (!need_dweight && !need_input_grad_) return Tensor(cached_input_.shape());
   Conv2dGrads grads = conv2d_backward(cached_input_, weight_.value, grad_out, spec_,
                                       need_input_grad_, need_dweight);
   if (need_dweight) {

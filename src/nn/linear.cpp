@@ -1,8 +1,10 @@
 #include "nn/linear.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "nn/init.h"
+#include "tensor/gemm.h"
 #include "tensor/tensor_ops.h"
 
 namespace usb {
@@ -21,12 +23,16 @@ Tensor Linear::forward(const Tensor& x) {
                                 "), got " + x.shape().to_string());
   }
   cached_input_ = x;
-  Tensor y = matmul_transpose_b(x, weight_.value);
-  const std::int64_t batch = y.dim(0);
+  // Broadcast the bias into y, then let the GEMM accumulate on top: one
+  // fused output pass instead of a separate bias sweep after the matmul.
+  const std::int64_t batch = x.dim(0);
+  Tensor y(Shape{batch, out_features_});
   for (std::int64_t n = 0; n < batch; ++n) {
-    float* row = y.raw() + n * out_features_;
-    for (std::int64_t o = 0; o < out_features_; ++o) row[o] += bias_.value[o];
+    std::copy(bias_.value.raw(), bias_.value.raw() + out_features_, y.raw() + n * out_features_);
   }
+  gemm(/*transpose_a=*/false, /*transpose_b=*/true, batch, out_features_, in_features_, x.raw(),
+       in_features_, weight_.value.raw(), in_features_, y.raw(), out_features_,
+       /*accumulate=*/true);
   return y;
 }
 

@@ -1,6 +1,7 @@
 #include "tensor/tensor_ops.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 #include <stdexcept>
 
@@ -13,114 +14,13 @@ void require(bool condition, const char* message) {
   if (!condition) throw std::invalid_argument(message);
 }
 
-/// C (M,N) += or = A (M,K) x B (K,N); row-major, ikj loop order so the inner
-/// loop streams both B and C rows.
-void gemm_nn(std::int64_t m, std::int64_t n, std::int64_t k, const float* a, const float* b,
-             float* c, bool accumulate) {
-  if (!accumulate) std::fill(c, c + m * n, 0.0F);
-  for (std::int64_t i = 0; i < m; ++i) {
-    const float* a_row = a + i * k;
-    float* c_row = c + i * n;
-    for (std::int64_t p = 0; p < k; ++p) {
-      const float a_val = a_row[p];
-      if (a_val == 0.0F) continue;
-      const float* b_row = b + p * n;
-      for (std::int64_t j = 0; j < n; ++j) c_row[j] += a_val * b_row[j];
-    }
-  }
-}
-
-/// C (M,N) += or = A (M,K) x B^T where B is (N,K); dot-product kernel with
-/// four independent float accumulators so the compiler can vectorize.
-void gemm_nt(std::int64_t m, std::int64_t n, std::int64_t k, const float* a, const float* b,
-             float* c, bool accumulate) {
-  for (std::int64_t i = 0; i < m; ++i) {
-    const float* a_row = a + i * k;
-    float* c_row = c + i * n;
-    for (std::int64_t j = 0; j < n; ++j) {
-      const float* b_row = b + j * k;
-      float acc0 = 0.0F;
-      float acc1 = 0.0F;
-      float acc2 = 0.0F;
-      float acc3 = 0.0F;
-      std::int64_t p = 0;
-      for (; p + 4 <= k; p += 4) {
-        acc0 += a_row[p] * b_row[p];
-        acc1 += a_row[p + 1] * b_row[p + 1];
-        acc2 += a_row[p + 2] * b_row[p + 2];
-        acc3 += a_row[p + 3] * b_row[p + 3];
-      }
-      for (; p < k; ++p) acc0 += a_row[p] * b_row[p];
-      const float acc = (acc0 + acc1) + (acc2 + acc3);
-      if (accumulate) {
-        c_row[j] += acc;
-      } else {
-        c_row[j] = acc;
-      }
-    }
-  }
-}
-
-/// C (M,N) += or = A^T x B where A is (K,M), B is (K,N).
-void gemm_tn(std::int64_t m, std::int64_t n, std::int64_t k, const float* a, const float* b,
-             float* c, bool accumulate) {
-  if (!accumulate) std::fill(c, c + m * n, 0.0F);
-  for (std::int64_t p = 0; p < k; ++p) {
-    const float* a_row = a + p * m;
-    const float* b_row = b + p * n;
-    for (std::int64_t i = 0; i < m; ++i) {
-      const float a_val = a_row[i];
-      if (a_val == 0.0F) continue;
-      float* c_row = c + i * n;
-      for (std::int64_t j = 0; j < n; ++j) c_row[j] += a_val * b_row[j];
-    }
-  }
-}
-
-}  // namespace
-
-Tensor matmul(const Tensor& a, const Tensor& b) {
-  require(a.rank() == 2 && b.rank() == 2, "matmul: rank-2 tensors required");
-  const std::int64_t m = a.dim(0);
-  const std::int64_t k = a.dim(1);
-  const std::int64_t n = b.dim(1);
-  require(b.dim(0) == k, "matmul: inner dimensions differ");
-  Tensor c(Shape{m, n});
-  // Parallelize over row blocks; each worker owns a disjoint slice of C.
-  parallel_for(m, [&](std::int64_t begin, std::int64_t end) {
-    gemm_nn(end - begin, n, k, a.raw() + begin * k, b.raw(), c.raw() + begin * n,
-            /*accumulate=*/false);
-  });
-  return c;
-}
-
-Tensor matmul_transpose_b(const Tensor& a, const Tensor& b) {
-  require(a.rank() == 2 && b.rank() == 2, "matmul_transpose_b: rank-2 tensors required");
-  const std::int64_t m = a.dim(0);
-  const std::int64_t k = a.dim(1);
-  const std::int64_t n = b.dim(0);
-  require(b.dim(1) == k, "matmul_transpose_b: inner dimensions differ");
-  Tensor c(Shape{m, n});
-  parallel_for(m, [&](std::int64_t begin, std::int64_t end) {
-    gemm_nt(end - begin, n, k, a.raw() + begin * k, b.raw(), c.raw() + begin * n,
-            /*accumulate=*/false);
-  });
-  return c;
-}
-
-Tensor matmul_transpose_a(const Tensor& a, const Tensor& b) {
-  require(a.rank() == 2 && b.rank() == 2, "matmul_transpose_a: rank-2 tensors required");
-  const std::int64_t k = a.dim(0);
-  const std::int64_t m = a.dim(1);
-  const std::int64_t n = b.dim(1);
-  require(b.dim(0) == k, "matmul_transpose_a: inner dimensions differ");
-  Tensor c(Shape{m, n});
-  gemm_tn(m, n, k, a.raw(), b.raw(), c.raw(), /*accumulate=*/false);
-  return c;
-}
-
-void im2col(const float* x, std::int64_t channels, std::int64_t height, std::int64_t width,
-            std::int64_t kernel, std::int64_t stride, std::int64_t padding, float* col) {
+/// im2col with an explicit distance between consecutive column-matrix rows,
+/// so several samples can be unfolded side by side into one wide (C*K*K,
+/// N*OH*OW) matrix that feeds a single packed-B GEMM per group. Row r of the
+/// unfold starts at col + r * col_row_stride.
+void im2col_strided(const float* x, std::int64_t channels, std::int64_t height,
+                    std::int64_t width, std::int64_t kernel, std::int64_t stride,
+                    std::int64_t padding, float* col, std::int64_t col_row_stride) {
   const std::int64_t out_h = (height + 2 * padding - kernel) / stride + 1;
   const std::int64_t out_w = (width + 2 * padding - kernel) / stride + 1;
   std::int64_t row = 0;
@@ -128,7 +28,7 @@ void im2col(const float* x, std::int64_t channels, std::int64_t height, std::int
     const float* x_channel = x + c * height * width;
     for (std::int64_t kh = 0; kh < kernel; ++kh) {
       for (std::int64_t kw = 0; kw < kernel; ++kw, ++row) {
-        float* col_row = col + row * out_h * out_w;
+        float* col_row = col + row * col_row_stride;
         for (std::int64_t oh = 0; oh < out_h; ++oh) {
           const std::int64_t ih = oh * stride - padding + kh;
           float* col_out = col_row + oh * out_w;
@@ -145,6 +45,61 @@ void im2col(const float* x, std::int64_t channels, std::int64_t height, std::int
       }
     }
   }
+}
+
+/// Upper bound on the batched im2col block, in floats (16 MiB). Derived only
+/// from sizes — never from the thread count — so the per-sample blocking
+/// (and therefore every float) is identical for any USB_THREADS.
+constexpr std::int64_t kMaxColBlockFloats = std::int64_t{4} << 20;
+
+}  // namespace
+
+Im2colWorkspace& Im2colWorkspace::local() {
+  thread_local Im2colWorkspace workspace;
+  return workspace;
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  require(a.rank() == 2 && b.rank() == 2, "matmul: rank-2 tensors required");
+  const std::int64_t m = a.dim(0);
+  const std::int64_t k = a.dim(1);
+  const std::int64_t n = b.dim(1);
+  require(b.dim(0) == k, "matmul: inner dimensions differ");
+  Tensor c(Shape{m, n});
+  gemm(/*transpose_a=*/false, /*transpose_b=*/false, m, n, k, a.raw(), k, b.raw(), n, c.raw(), n,
+       /*accumulate=*/false);
+  return c;
+}
+
+Tensor matmul_transpose_b(const Tensor& a, const Tensor& b) {
+  require(a.rank() == 2 && b.rank() == 2, "matmul_transpose_b: rank-2 tensors required");
+  const std::int64_t m = a.dim(0);
+  const std::int64_t k = a.dim(1);
+  const std::int64_t n = b.dim(0);
+  require(b.dim(1) == k, "matmul_transpose_b: inner dimensions differ");
+  Tensor c(Shape{m, n});
+  gemm(/*transpose_a=*/false, /*transpose_b=*/true, m, n, k, a.raw(), k, b.raw(), k, c.raw(), n,
+       /*accumulate=*/false);
+  return c;
+}
+
+Tensor matmul_transpose_a(const Tensor& a, const Tensor& b) {
+  require(a.rank() == 2 && b.rank() == 2, "matmul_transpose_a: rank-2 tensors required");
+  const std::int64_t k = a.dim(0);
+  const std::int64_t m = a.dim(1);
+  const std::int64_t n = b.dim(1);
+  require(b.dim(0) == k, "matmul_transpose_a: inner dimensions differ");
+  Tensor c(Shape{m, n});
+  gemm(/*transpose_a=*/true, /*transpose_b=*/false, m, n, k, a.raw(), m, b.raw(), n, c.raw(), n,
+       /*accumulate=*/false);
+  return c;
+}
+
+void im2col(const float* x, std::int64_t channels, std::int64_t height, std::int64_t width,
+            std::int64_t kernel, std::int64_t stride, std::int64_t padding, float* col) {
+  const std::int64_t out_h = (height + 2 * padding - kernel) / stride + 1;
+  const std::int64_t out_w = (width + 2 * padding - kernel) / stride + 1;
+  im2col_strided(x, channels, height, width, kernel, stride, padding, col, out_h * out_w);
 }
 
 void col2im(const float* col, std::int64_t channels, std::int64_t height, std::int64_t width,
@@ -194,28 +149,60 @@ Tensor conv2d_forward(const Tensor& x, const Tensor& weight, const Tensor& bias,
   const bool has_bias = bias.numel() > 0;
   if (has_bias) require(bias.numel() == spec.out_channels, "conv2d: bias size mismatch");
 
-  parallel_for(batch, [&](std::int64_t begin, std::int64_t end) {
-    std::vector<float> col(static_cast<std::size_t>(spec.in_channels * kk * spatial));
-    for (std::int64_t n = begin; n < end; ++n) {
-      const float* x_n = x.raw() + n * spec.in_channels * height * width;
-      float* y_n = y.raw() + n * spec.out_channels * spatial;
-      im2col(x_n, spec.in_channels, height, width, spec.kernel, spec.stride, spec.padding,
-             col.data());
-      for (std::int64_t g = 0; g < spec.groups; ++g) {
-        const float* w_g = weight.raw() + g * group_out * group_in * kk;
-        const float* col_g = col.data() + g * group_in * kk * spatial;
-        float* y_g = y_n + g * group_out * spatial;
-        gemm_nn(group_out, spatial, group_in * kk, w_g, col_g, y_g, /*accumulate=*/false);
-      }
-      if (has_bias) {
-        for (std::int64_t oc = 0; oc < spec.out_channels; ++oc) {
-          const float b = bias[oc];
-          float* y_c = y_n + oc * spatial;
-          for (std::int64_t s = 0; s < spatial; ++s) y_c[s] += b;
+  // Batched im2col + one packed-B GEMM per group: all samples of a block are
+  // unfolded side by side into a (IC*K*K, BN*OH*OW) matrix so the weight
+  // panel is packed once per group instead of once per sample. The block
+  // size is capped (size-derived, thread-count independent) to bound the
+  // workspace; typical probe batches fit in one block.
+  const std::int64_t patch = group_in * kk;          // GEMM K per group
+  const std::int64_t col_rows = spec.in_channels * kk;
+  if (batch == 0) return y;
+  const std::int64_t block =
+      std::clamp(kMaxColBlockFloats / std::max<std::int64_t>(1, col_rows * spatial),
+                 std::int64_t{1}, batch);
+  Im2colWorkspace& ws = Im2colWorkspace::local();
+
+  for (std::int64_t n0 = 0; n0 < batch; n0 += block) {
+    const std::int64_t bn = std::min(block, batch - n0);
+    const std::int64_t cols = bn * spatial;
+    float* const col = ws.col(static_cast<std::size_t>(col_rows * cols));
+    // Guards the pointer-stability invariant: nothing below may regrow the
+    // col slot while `col` is live (checked again after the group loop).
+    [[maybe_unused]] const std::size_t col_capacity_in_use = ws.col_capacity();
+    // Each sample owns columns [j*spatial, (j+1)*spatial) — disjoint writes,
+    // so the unfold is tile-parallel over samples.
+    parallel_for_deterministic(bn, [&](std::int64_t j) {
+      const float* x_n = x.raw() + (n0 + j) * spec.in_channels * height * width;
+      im2col_strided(x_n, spec.in_channels, height, width, spec.kernel, spec.stride, spec.padding,
+                     col + j * spatial, cols);
+    });
+    for (std::int64_t g = 0; g < spec.groups; ++g) {
+      const float* w_g = weight.raw() + g * group_out * patch;
+      const float* col_g = col + g * patch * cols;
+      // The staging buffer is a separate workspace slot, so requesting it
+      // must never invalidate `col`.
+      float* const staged = ws.gemm_out(static_cast<std::size_t>(group_out * cols));
+      assert(ws.col_capacity() == col_capacity_in_use);
+      gemm(/*transpose_a=*/false, /*transpose_b=*/false, group_out, cols, patch, w_g, patch,
+           col_g, cols, staged, cols, /*accumulate=*/false);
+      // Scatter the (OCg, BN*S) GEMM block back to NCHW, fusing the bias add
+      // into the same pass.
+      parallel_for_deterministic(bn, [&](std::int64_t j) {
+        for (std::int64_t oc = 0; oc < group_out; ++oc) {
+          const float* src = staged + oc * cols + j * spatial;
+          float* dst = y.raw() + ((n0 + j) * spec.out_channels + g * group_out + oc) * spatial;
+          if (has_bias) {
+            const float b = bias[g * group_out + oc];
+            for (std::int64_t s = 0; s < spatial; ++s) dst[s] = src[s] + b;
+          } else {
+            std::copy(src, src + spatial, dst);
+          }
         }
-      }
+      });
     }
-  });
+    assert(ws.col_capacity() == col_capacity_in_use &&
+           "col block regrown while its pointer was live");
+  }
   return y;
 }
 
@@ -239,42 +226,60 @@ Conv2dGrads conv2d_backward(const Tensor& x, const Tensor& weight, const Tensor&
   grads.dbias = Tensor(Shape{spec.out_channels});
   if (need_dx) grads.dx = Tensor(x.shape());
 
+  const std::int64_t patch = group_in * kk;
+  const std::int64_t col_numel = spec.in_channels * kk * spatial;
+
   // Per-chunk weight/bias accumulators keep the parallel reduction
   // deterministic: chunks are statically partitioned and reduced in order.
+  // Only materialized when dW/db are actually requested — the frozen-model
+  // detection path (need_dweight=false) then allocates nothing here.
   ThreadPool& pool = ThreadPool::global();
   const auto max_chunks = static_cast<std::size_t>(std::max(1, pool.size()));
-  std::vector<Tensor> dw_parts(max_chunks, Tensor(weight.shape()));
-  std::vector<Tensor> db_parts(max_chunks, Tensor(Shape{spec.out_channels}));
+  std::vector<Tensor> dw_parts;
+  std::vector<Tensor> db_parts;
+  if (need_dweight) {
+    dw_parts.assign(max_chunks, Tensor(weight.shape()));
+    db_parts.assign(max_chunks, Tensor(Shape{spec.out_channels}));
+  }
 
   pool.parallel_for(batch, [&](std::int64_t begin, std::int64_t end, int worker) {
-    Tensor& dw_local = dw_parts[static_cast<std::size_t>(worker)];
-    Tensor& db_local = db_parts[static_cast<std::size_t>(worker)];
-    std::vector<float> col(static_cast<std::size_t>(spec.in_channels * kk * spatial));
-    std::vector<float> dcol(static_cast<std::size_t>(spec.in_channels * kk * spatial));
+    // Thread-local scratch, grown once and reused across every sample and
+    // every backward call: the steady-state loop is allocation-free.
+    Im2colWorkspace& ws = Im2colWorkspace::local();
+    float* const col = need_dweight ? ws.col(static_cast<std::size_t>(col_numel)) : nullptr;
+    float* const dcol = need_dx ? ws.dcol(static_cast<std::size_t>(col_numel)) : nullptr;
+    // col and dcol are distinct workspace slots (the dW gemm reads col while
+    // dcol is being written), and neither may regrow while the per-sample
+    // loop holds their pointers — checked after the loop.
+    assert(col == nullptr || col != dcol);
+    [[maybe_unused]] const std::size_t col_capacity_in_use = ws.col_capacity();
+    [[maybe_unused]] const std::size_t dcol_capacity_in_use = ws.dcol_capacity();
     for (std::int64_t n = begin; n < end; ++n) {
       const float* x_n = x.raw() + n * spec.in_channels * height * width;
       const float* dy_n = dy.raw() + n * spec.out_channels * spatial;
       if (need_dweight) {
         // The unfolded input is only consumed by the dW gemm.
-        im2col(x_n, spec.in_channels, height, width, spec.kernel, spec.stride, spec.padding,
-               col.data());
+        im2col(x_n, spec.in_channels, height, width, spec.kernel, spec.stride, spec.padding, col);
       }
       for (std::int64_t g = 0; g < spec.groups; ++g) {
         const float* dy_g = dy_n + g * group_out * spatial;
         if (need_dweight) {
-          const float* col_g = col.data() + g * group_in * kk * spatial;
-          float* dw_g = dw_local.raw() + g * group_out * group_in * kk;
+          const float* col_g = col + g * patch * spatial;
+          float* dw_g = dw_parts[static_cast<std::size_t>(worker)].raw() + g * group_out * patch;
           // dW_g += dy_g (OCg,S) x col_g^T (S, ICg*K*K)
-          gemm_nt(group_out, group_in * kk, spatial, dy_g, col_g, dw_g, /*accumulate=*/true);
+          gemm(/*transpose_a=*/false, /*transpose_b=*/true, group_out, patch, spatial, dy_g,
+               spatial, col_g, spatial, dw_g, patch, /*accumulate=*/true);
         }
         if (need_dx) {
-          const float* w_g = weight.raw() + g * group_out * group_in * kk;
-          float* dcol_g = dcol.data() + g * group_in * kk * spatial;
+          const float* w_g = weight.raw() + g * group_out * patch;
+          float* dcol_g = dcol + g * patch * spatial;
           // dcol_g = W_g^T (ICg*K*K, OCg) x dy_g (OCg, S)
-          gemm_tn(group_in * kk, spatial, group_out, w_g, dy_g, dcol_g, /*accumulate=*/false);
+          gemm(/*transpose_a=*/true, /*transpose_b=*/false, patch, spatial, group_out, w_g, patch,
+               dy_g, spatial, dcol_g, spatial, /*accumulate=*/false);
         }
       }
       if (need_dweight) {
+        Tensor& db_local = db_parts[static_cast<std::size_t>(worker)];
         for (std::int64_t oc = 0; oc < spec.out_channels; ++oc) {
           const float* dy_c = dy_n + oc * spatial;
           double acc = 0.0;
@@ -284,15 +289,20 @@ Conv2dGrads conv2d_backward(const Tensor& x, const Tensor& weight, const Tensor&
       }
       if (need_dx) {
         float* dx_n = grads.dx.raw() + n * spec.in_channels * height * width;
-        col2im(dcol.data(), spec.in_channels, height, width, spec.kernel, spec.stride,
-               spec.padding, dx_n);
+        col2im(dcol, spec.in_channels, height, width, spec.kernel, spec.stride, spec.padding,
+               dx_n);
       }
     }
+    assert(ws.col_capacity() == col_capacity_in_use &&
+           ws.dcol_capacity() == dcol_capacity_in_use &&
+           "im2col scratch regrown while its pointers were live");
   });
 
-  for (std::size_t part = 0; part < max_chunks; ++part) {
-    grads.dweight += dw_parts[part];
-    grads.dbias += db_parts[part];
+  if (need_dweight) {
+    for (std::size_t part = 0; part < max_chunks; ++part) {
+      grads.dweight += dw_parts[part];
+      grads.dbias += db_parts[part];
+    }
   }
   return grads;
 }

@@ -8,16 +8,23 @@
 //    counterparts (validated against central finite differences in tests).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
+#include "tensor/gemm.h"
 #include "tensor/tensor.h"
 
 namespace usb {
 
 // ---------------------------------------------------------------- matmul --
+//
+// All three entry points are thin views over the blocked GEMM core in
+// tensor/gemm.h (the transpose is folded into panel packing). Results are
+// bit-identical for any USB_THREADS; see gemm.h for the determinism
+// contract.
 
-/// C = A (M,K) x B (K,N). Parallelized over rows of A.
+/// C = A (M,K) x B (K,N).
 [[nodiscard]] Tensor matmul(const Tensor& a, const Tensor& b);
 
 /// C = A (M,K) x B^T where B is (N,K).
@@ -73,6 +80,30 @@ void im2col(const float* x, std::int64_t channels, std::int64_t height, std::int
 /// Transpose of im2col: accumulates columns back into the (C,H,W) image.
 void col2im(const float* col, std::int64_t channels, std::int64_t height, std::int64_t width,
             std::int64_t kernel, std::int64_t stride, std::int64_t padding, float* x);
+
+/// Thread-local convolution scratch: the im2col column block, its gradient
+/// counterpart, and the batched-GEMM staging buffer. Buffers grow on demand
+/// and are NEVER shrunk or freed before thread exit, so the steady-state
+/// conv2d_forward/conv2d_backward hot path (N-sample probe batches flowing
+/// through the same geometry over and over) performs zero heap allocations.
+class Im2colWorkspace {
+ public:
+  /// The calling thread's workspace (one per pool worker / caller thread).
+  [[nodiscard]] static Im2colWorkspace& local();
+
+  [[nodiscard]] float* col(std::size_t count) { return col_.ensure(count); }
+  [[nodiscard]] float* dcol(std::size_t count) { return dcol_.ensure(count); }
+  [[nodiscard]] float* gemm_out(std::size_t count) { return gemm_out_.ensure(count); }
+
+  [[nodiscard]] std::size_t col_capacity() const noexcept { return col_.capacity(); }
+  [[nodiscard]] std::size_t dcol_capacity() const noexcept { return dcol_.capacity(); }
+  [[nodiscard]] std::size_t gemm_out_capacity() const noexcept { return gemm_out_.capacity(); }
+
+ private:
+  AlignedBuffer col_;
+  AlignedBuffer dcol_;
+  AlignedBuffer gemm_out_;
+};
 
 // --------------------------------------------------------------- pooling --
 
