@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_detection_metrics.dir/tests/test_detection_metrics.cpp.o"
+  "CMakeFiles/test_detection_metrics.dir/tests/test_detection_metrics.cpp.o.d"
+  "test_detection_metrics"
+  "test_detection_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_detection_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

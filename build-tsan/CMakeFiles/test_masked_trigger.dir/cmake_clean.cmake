@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_masked_trigger.dir/tests/test_masked_trigger.cpp.o"
+  "CMakeFiles/test_masked_trigger.dir/tests/test_masked_trigger.cpp.o.d"
+  "test_masked_trigger"
+  "test_masked_trigger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_masked_trigger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scan_scheduler.dir/tests/test_scan_scheduler.cpp.o"
+  "CMakeFiles/test_scan_scheduler.dir/tests/test_scan_scheduler.cpp.o.d"
+  "test_scan_scheduler"
+  "test_scan_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scan_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

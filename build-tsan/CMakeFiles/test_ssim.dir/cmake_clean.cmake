@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ssim.dir/tests/test_ssim.cpp.o"
+  "CMakeFiles/test_ssim.dir/tests/test_ssim.cpp.o.d"
+  "test_ssim"
+  "test_ssim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ssim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

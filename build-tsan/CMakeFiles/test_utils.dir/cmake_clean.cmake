@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_utils.dir/tests/test_utils.cpp.o"
+  "CMakeFiles/test_utils.dir/tests/test_utils.cpp.o.d"
+  "test_utils"
+  "test_utils.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_utils.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

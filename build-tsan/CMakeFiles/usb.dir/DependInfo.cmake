@@ -1,0 +1,63 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/attacks/badnet.cpp" "CMakeFiles/usb.dir/src/attacks/badnet.cpp.o" "gcc" "CMakeFiles/usb.dir/src/attacks/badnet.cpp.o.d"
+  "/root/repo/src/attacks/factory.cpp" "CMakeFiles/usb.dir/src/attacks/factory.cpp.o" "gcc" "CMakeFiles/usb.dir/src/attacks/factory.cpp.o.d"
+  "/root/repo/src/attacks/iad.cpp" "CMakeFiles/usb.dir/src/attacks/iad.cpp.o" "gcc" "CMakeFiles/usb.dir/src/attacks/iad.cpp.o.d"
+  "/root/repo/src/attacks/latent.cpp" "CMakeFiles/usb.dir/src/attacks/latent.cpp.o" "gcc" "CMakeFiles/usb.dir/src/attacks/latent.cpp.o.d"
+  "/root/repo/src/core/deepfool.cpp" "CMakeFiles/usb.dir/src/core/deepfool.cpp.o" "gcc" "CMakeFiles/usb.dir/src/core/deepfool.cpp.o.d"
+  "/root/repo/src/core/targeted_uap.cpp" "CMakeFiles/usb.dir/src/core/targeted_uap.cpp.o" "gcc" "CMakeFiles/usb.dir/src/core/targeted_uap.cpp.o.d"
+  "/root/repo/src/core/usb.cpp" "CMakeFiles/usb.dir/src/core/usb.cpp.o" "gcc" "CMakeFiles/usb.dir/src/core/usb.cpp.o.d"
+  "/root/repo/src/data/dataloader.cpp" "CMakeFiles/usb.dir/src/data/dataloader.cpp.o" "gcc" "CMakeFiles/usb.dir/src/data/dataloader.cpp.o.d"
+  "/root/repo/src/data/dataset.cpp" "CMakeFiles/usb.dir/src/data/dataset.cpp.o" "gcc" "CMakeFiles/usb.dir/src/data/dataset.cpp.o.d"
+  "/root/repo/src/data/synthetic.cpp" "CMakeFiles/usb.dir/src/data/synthetic.cpp.o" "gcc" "CMakeFiles/usb.dir/src/data/synthetic.cpp.o.d"
+  "/root/repo/src/defenses/class_scan_scheduler.cpp" "CMakeFiles/usb.dir/src/defenses/class_scan_scheduler.cpp.o" "gcc" "CMakeFiles/usb.dir/src/defenses/class_scan_scheduler.cpp.o.d"
+  "/root/repo/src/defenses/detector.cpp" "CMakeFiles/usb.dir/src/defenses/detector.cpp.o" "gcc" "CMakeFiles/usb.dir/src/defenses/detector.cpp.o.d"
+  "/root/repo/src/defenses/masked_trigger.cpp" "CMakeFiles/usb.dir/src/defenses/masked_trigger.cpp.o" "gcc" "CMakeFiles/usb.dir/src/defenses/masked_trigger.cpp.o.d"
+  "/root/repo/src/defenses/neural_cleanse.cpp" "CMakeFiles/usb.dir/src/defenses/neural_cleanse.cpp.o" "gcc" "CMakeFiles/usb.dir/src/defenses/neural_cleanse.cpp.o.d"
+  "/root/repo/src/defenses/tabor.cpp" "CMakeFiles/usb.dir/src/defenses/tabor.cpp.o" "gcc" "CMakeFiles/usb.dir/src/defenses/tabor.cpp.o.d"
+  "/root/repo/src/exp/experiment.cpp" "CMakeFiles/usb.dir/src/exp/experiment.cpp.o" "gcc" "CMakeFiles/usb.dir/src/exp/experiment.cpp.o.d"
+  "/root/repo/src/exp/model_zoo.cpp" "CMakeFiles/usb.dir/src/exp/model_zoo.cpp.o" "gcc" "CMakeFiles/usb.dir/src/exp/model_zoo.cpp.o.d"
+  "/root/repo/src/metrics/detection.cpp" "CMakeFiles/usb.dir/src/metrics/detection.cpp.o" "gcc" "CMakeFiles/usb.dir/src/metrics/detection.cpp.o.d"
+  "/root/repo/src/metrics/ssim.cpp" "CMakeFiles/usb.dir/src/metrics/ssim.cpp.o" "gcc" "CMakeFiles/usb.dir/src/metrics/ssim.cpp.o.d"
+  "/root/repo/src/nn/activations.cpp" "CMakeFiles/usb.dir/src/nn/activations.cpp.o" "gcc" "CMakeFiles/usb.dir/src/nn/activations.cpp.o.d"
+  "/root/repo/src/nn/batchnorm.cpp" "CMakeFiles/usb.dir/src/nn/batchnorm.cpp.o" "gcc" "CMakeFiles/usb.dir/src/nn/batchnorm.cpp.o.d"
+  "/root/repo/src/nn/checkpoint.cpp" "CMakeFiles/usb.dir/src/nn/checkpoint.cpp.o" "gcc" "CMakeFiles/usb.dir/src/nn/checkpoint.cpp.o.d"
+  "/root/repo/src/nn/conv.cpp" "CMakeFiles/usb.dir/src/nn/conv.cpp.o" "gcc" "CMakeFiles/usb.dir/src/nn/conv.cpp.o.d"
+  "/root/repo/src/nn/init.cpp" "CMakeFiles/usb.dir/src/nn/init.cpp.o" "gcc" "CMakeFiles/usb.dir/src/nn/init.cpp.o.d"
+  "/root/repo/src/nn/linear.cpp" "CMakeFiles/usb.dir/src/nn/linear.cpp.o" "gcc" "CMakeFiles/usb.dir/src/nn/linear.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "CMakeFiles/usb.dir/src/nn/loss.cpp.o" "gcc" "CMakeFiles/usb.dir/src/nn/loss.cpp.o.d"
+  "/root/repo/src/nn/models.cpp" "CMakeFiles/usb.dir/src/nn/models.cpp.o" "gcc" "CMakeFiles/usb.dir/src/nn/models.cpp.o.d"
+  "/root/repo/src/nn/optimizer.cpp" "CMakeFiles/usb.dir/src/nn/optimizer.cpp.o" "gcc" "CMakeFiles/usb.dir/src/nn/optimizer.cpp.o.d"
+  "/root/repo/src/nn/pooling.cpp" "CMakeFiles/usb.dir/src/nn/pooling.cpp.o" "gcc" "CMakeFiles/usb.dir/src/nn/pooling.cpp.o.d"
+  "/root/repo/src/nn/residual.cpp" "CMakeFiles/usb.dir/src/nn/residual.cpp.o" "gcc" "CMakeFiles/usb.dir/src/nn/residual.cpp.o.d"
+  "/root/repo/src/nn/sequential.cpp" "CMakeFiles/usb.dir/src/nn/sequential.cpp.o" "gcc" "CMakeFiles/usb.dir/src/nn/sequential.cpp.o.d"
+  "/root/repo/src/nn/squeeze_excite.cpp" "CMakeFiles/usb.dir/src/nn/squeeze_excite.cpp.o" "gcc" "CMakeFiles/usb.dir/src/nn/squeeze_excite.cpp.o.d"
+  "/root/repo/src/nn/trainer.cpp" "CMakeFiles/usb.dir/src/nn/trainer.cpp.o" "gcc" "CMakeFiles/usb.dir/src/nn/trainer.cpp.o.d"
+  "/root/repo/src/tensor/gemm.cpp" "CMakeFiles/usb.dir/src/tensor/gemm.cpp.o" "gcc" "CMakeFiles/usb.dir/src/tensor/gemm.cpp.o.d"
+  "/root/repo/src/tensor/tensor.cpp" "CMakeFiles/usb.dir/src/tensor/tensor.cpp.o" "gcc" "CMakeFiles/usb.dir/src/tensor/tensor.cpp.o.d"
+  "/root/repo/src/tensor/tensor_ops.cpp" "CMakeFiles/usb.dir/src/tensor/tensor_ops.cpp.o" "gcc" "CMakeFiles/usb.dir/src/tensor/tensor_ops.cpp.o.d"
+  "/root/repo/src/utils/config.cpp" "CMakeFiles/usb.dir/src/utils/config.cpp.o" "gcc" "CMakeFiles/usb.dir/src/utils/config.cpp.o.d"
+  "/root/repo/src/utils/csv.cpp" "CMakeFiles/usb.dir/src/utils/csv.cpp.o" "gcc" "CMakeFiles/usb.dir/src/utils/csv.cpp.o.d"
+  "/root/repo/src/utils/image_io.cpp" "CMakeFiles/usb.dir/src/utils/image_io.cpp.o" "gcc" "CMakeFiles/usb.dir/src/utils/image_io.cpp.o.d"
+  "/root/repo/src/utils/logging.cpp" "CMakeFiles/usb.dir/src/utils/logging.cpp.o" "gcc" "CMakeFiles/usb.dir/src/utils/logging.cpp.o.d"
+  "/root/repo/src/utils/rng.cpp" "CMakeFiles/usb.dir/src/utils/rng.cpp.o" "gcc" "CMakeFiles/usb.dir/src/utils/rng.cpp.o.d"
+  "/root/repo/src/utils/serialize.cpp" "CMakeFiles/usb.dir/src/utils/serialize.cpp.o" "gcc" "CMakeFiles/usb.dir/src/utils/serialize.cpp.o.d"
+  "/root/repo/src/utils/table.cpp" "CMakeFiles/usb.dir/src/utils/table.cpp.o" "gcc" "CMakeFiles/usb.dir/src/utils/table.cpp.o.d"
+  "/root/repo/src/utils/thread_pool.cpp" "CMakeFiles/usb.dir/src/utils/thread_pool.cpp.o" "gcc" "CMakeFiles/usb.dir/src/utils/thread_pool.cpp.o.d"
+  "/root/repo/src/utils/timer.cpp" "CMakeFiles/usb.dir/src/utils/timer.cpp.o" "gcc" "CMakeFiles/usb.dir/src/utils/timer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
