@@ -1,11 +1,27 @@
 // Multi-class scan scaling: wall clock of a full K-class detect() as a
-// function of scan-pool size, with a bit-identity check between the runs.
+// function of scan-pool size, plus a single-thread feature matrix that
+// isolates the speedup of each scan-level mechanism (shared-prefix caching
+// and early-exit scheduling), with bit-identity checks throughout.
 //
-// This is the ClassScanScheduler's contract made measurable: per-class
-// reverse engineering fans out over the pool, so a K-class scan should
-// approach a num_threads-fold speedup while producing the same
-// DetectionReport bit for bit. Emits BENCH_scan_scaling.json.
+// Section "threads" is the ClassScanScheduler's contract made measurable:
+// per-class reverse engineering fans out over the pool, so a K-class scan
+// should approach a num_threads-fold speedup while producing the same
+// DetectionReport bit for bit.
+//
+// Section "matrix" runs the K=10 synthetic USB detect() at one thread for
+// every requested {prefix-cache, early-exit} combination and reports each
+// run's speedup over the both-off baseline, so the two mechanisms'
+// contributions land separately in the JSON. Contract checks: prefix-cache
+// on/off must be bit-identical (early exit off), and early-exit runs must
+// reach the same verdict.
+//
+// Usage:
+//   bench_scan_scaling [OUT.json] [--prefix-cache=on|off|both]
+//                      [--early-exit=on|off|both]
+// The flags restrict the matrix axes (default both x both).
+// Emits BENCH_scan_scaling.json.
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <string>
 #include <vector>
@@ -45,10 +61,57 @@ struct ScalingRow {
   bool identical = true;
 };
 
+struct MatrixRow {
+  bool prefix_cache = false;
+  bool early_exit = false;
+  double seconds = 0.0;
+  double speedup = 1.0;  // vs the both-off baseline
+  bool identical = true;   // bit-identity vs baseline; only meaningful when checked
+  bool identical_checked = false;  // the contract only promises it with early exit off
+  bool same_verdict = true;
+};
+
+/// The K=10 matrix workload: refinement-heavy enough that early exit has
+/// rounds to reclaim, with a real Alg. 1 crafting stage for the prefix
+/// cache to share.
+UsbConfig matrix_usb_config() {
+  UsbConfig config;
+  config.uap.max_passes = 1;
+  config.uap.craft_size = 32;         // one craft batch: the v = 0 warm start covers it
+  config.uap.deepfool.max_iterations = 2;  // warm start then covers half of Alg. 1
+  config.refine_steps = 96;           // refinement-dominated, the regime early exit attacks
+  return config;
+}
+
+/// Parses --flag=on|off|both into the set of axis values to run.
+std::vector<bool> parse_axis(const char* arg, const char* flag) {
+  const std::size_t flag_len = std::strlen(flag);
+  const char* value = arg + flag_len;
+  if (std::strcmp(value, "on") == 0) return {true};
+  if (std::strcmp(value, "off") == 0) return {false};
+  if (std::strcmp(value, "both") == 0) return {false, true};
+  std::fprintf(stderr, "bench_scan_scaling: bad value in %s (want on|off|both)\n", arg);
+  std::exit(2);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string json_path = argc > 1 ? argv[1] : "BENCH_scan_scaling.json";
+  std::string json_path = "BENCH_scan_scaling.json";
+  std::vector<bool> prefix_axis = {false, true};
+  std::vector<bool> early_axis = {false, true};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--prefix-cache=", 15) == 0) {
+      prefix_axis = parse_axis(argv[i], "--prefix-cache=");
+    } else if (std::strncmp(argv[i], "--early-exit=", 13) == 0) {
+      early_axis = parse_axis(argv[i], "--early-exit=");
+    } else if (std::strncmp(argv[i], "--", 2) == 0) {
+      std::fprintf(stderr, "bench_scan_scaling: unknown flag %s\n", argv[i]);
+      return 2;
+    } else {
+      json_path = argv[i];
+    }
+  }
 
   // K = 10 candidate classes on a CIFAR-like synthetic probe.
   const DatasetSpec spec = DatasetSpec::cifar10_like();
@@ -100,6 +163,71 @@ int main(int argc, char** argv) {
     }
   }
 
+  // ---- Feature matrix: one thread, each mechanism on/off separately. ----
+  // Baseline semantics (both off) are always measured even when the flags
+  // exclude that cell from the report, so speedups stay comparable.
+  std::printf("\n%-6s %13s %11s %12s %10s %10s %13s\n", "method", "prefix-cache", "early-exit",
+              "seconds", "speedup", "identical", "same-verdict");
+  ThreadPool single(1);
+  // Two timed repetitions per cell, keeping the min: the matrix gates CI, and
+  // single-run wall clocks on a shared 1-core runner swing by 10-20%.
+  constexpr int kMatrixReps = 2;
+  const auto run_matrix_cell = [&](bool prefix_on, bool early_on, double& seconds) {
+    UsbConfig config = matrix_usb_config();
+    config.scan_pool = &single;
+    config.share_prefix = prefix_on;
+    config.early_exit.enabled = early_on;
+    if (early_on) {
+      config.early_exit.round_steps = 4;
+      config.early_exit.min_rounds = 1;
+      config.early_exit.margin = 0.25;
+    }
+    DetectionReport report;
+    seconds = 0.0;
+    for (int rep = 0; rep < kMatrixReps; ++rep) {
+      Timer timer;
+      report = UsbDetector(config).detect(model, probe);
+      const double elapsed = timer.seconds();
+      if (rep == 0 || elapsed < seconds) seconds = elapsed;
+    }
+    return report;
+  };
+  double baseline_seconds = 0.0;
+  const DetectionReport matrix_baseline =
+      run_matrix_cell(/*prefix_on=*/false, /*early_on=*/false, baseline_seconds);
+
+  std::vector<MatrixRow> matrix;
+  for (const bool prefix_on : prefix_axis) {
+    for (const bool early_on : early_axis) {
+      MatrixRow row;
+      row.prefix_cache = prefix_on;
+      row.early_exit = early_on;
+      if (!prefix_on && !early_on) {
+        row.seconds = baseline_seconds;
+        row.identical_checked = true;  // trivially identical to itself
+      } else {
+        const DetectionReport report = run_matrix_cell(prefix_on, early_on, row.seconds);
+        row.speedup = baseline_seconds / row.seconds;
+        // Prefix caching alone promises bit-identity; early exit only
+        // promises the verdict (it trades refinement budget for time), so
+        // its rows carry no identity claim at all.
+        if (!early_on) {
+          row.identical = reports_identical(matrix_baseline, report);
+          row.identical_checked = true;
+        }
+        row.same_verdict =
+            report.verdict.backdoored == matrix_baseline.verdict.backdoored &&
+            report.verdict.flagged_classes == matrix_baseline.verdict.flagged_classes;
+      }
+      std::printf("%-6s %13s %11s %12.3f %9.2fx %10s %13s\n", "USB",
+                  row.prefix_cache ? "on" : "off", row.early_exit ? "on" : "off", row.seconds,
+                  row.speedup,
+                  row.identical_checked ? (row.identical ? "yes" : "NO") : "n/a",
+                  row.same_verdict ? "yes" : "NO");
+      matrix.push_back(row);
+    }
+  }
+
   std::ofstream out(json_path);
   if (!out) {
     std::fprintf(stderr, "bench_scan_scaling: cannot open %s for writing\n", json_path.c_str());
@@ -107,13 +235,28 @@ int main(int argc, char** argv) {
   }
   {
     out << "[\n";
+    char line[256];
     for (std::size_t i = 0; i < rows.size(); ++i) {
-      char line[256];
       std::snprintf(line, sizeof(line),
-                    "  {\"method\": \"%s\", \"threads\": %d, \"seconds\": %.4f, "
-                    "\"speedup\": %.3f, \"identical\": %s}%s\n",
+                    "  {\"section\": \"threads\", \"method\": \"%s\", \"threads\": %d, "
+                    "\"seconds\": %.4f, \"speedup\": %.3f, \"identical\": %s},\n",
                     rows[i].method.c_str(), rows[i].threads, rows[i].seconds, rows[i].speedup,
-                    rows[i].identical ? "true" : "false", i + 1 < rows.size() ? "," : "");
+                    rows[i].identical ? "true" : "false");
+      out << line;
+    }
+    for (std::size_t i = 0; i < matrix.size(); ++i) {
+      // Early-exit rows make no identity claim: the field is null so the
+      // gate never "verifies" a property the bench did not measure.
+      std::snprintf(line, sizeof(line),
+                    "  {\"section\": \"matrix\", \"method\": \"USB\", \"threads\": 1, "
+                    "\"prefix_cache\": \"%s\", \"early_exit\": \"%s\", \"seconds\": %.4f, "
+                    "\"speedup\": %.3f, \"identical\": %s, \"same_verdict\": %s}%s\n",
+                    matrix[i].prefix_cache ? "on" : "off", matrix[i].early_exit ? "on" : "off",
+                    matrix[i].seconds, matrix[i].speedup,
+                    matrix[i].identical_checked ? (matrix[i].identical ? "true" : "false")
+                                                : "null",
+                    matrix[i].same_verdict ? "true" : "false",
+                    i + 1 < matrix.size() ? "," : "");
       out << line;
     }
     out << "]\n";
@@ -122,6 +265,9 @@ int main(int argc, char** argv) {
 
   for (const ScalingRow& row : rows) {
     if (!row.identical) return 1;  // determinism is part of the contract
+  }
+  for (const MatrixRow& row : matrix) {
+    if ((row.identical_checked && !row.identical) || !row.same_verdict) return 1;
   }
   return 0;
 }

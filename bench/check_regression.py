@@ -1,22 +1,42 @@
 #!/usr/bin/env python3
-"""Gate kernel benchmarks against a committed baseline.
+"""Gate benchmarks against a committed baseline.
 
 Usage:
     check_regression.py CURRENT.json BASELINE.json [--threshold 1.25]
 
-Compares ns_per_iter for every (op, shape) pair present in both files and
-exits non-zero if any op got slower than baseline * threshold. Speedups are
-reported but never fail. Ops present in only one file are listed as warnings
-(bench sets are allowed to evolve) without failing the gate. Ops whose
-baseline iteration is below --min-ns (default 100 us) are reported but not
-gated: at that scale the measurement is dominated by scheduler and VM noise,
-not kernel changes.
+Two JSON schemas are understood, selected automatically:
+
+Kernel schema (BENCH_tensor_ops.json): entries keyed by (op, shape) with an
+ns_per_iter field. Every pair present in both files is compared and the gate
+fails if any op got slower than baseline * threshold. Speedups are reported
+but never fail. Ops present in only one file are listed as warnings (bench
+sets are allowed to evolve) without failing the gate. Ops whose baseline
+iteration is below --min-ns (default 100 us) are reported but not gated: at
+that scale the measurement is dominated by scheduler and VM noise, not
+kernel changes.
+
+Scan schema (BENCH_scan_scaling.json): entries carry a "section" field.
+  - Contract fields are hard requirements of the CURRENT run alone: every
+    "identical" and "same_verdict" must be true (bit-identity across thread
+    counts and under prefix caching, verdict preservation under early exit).
+  - Wall-clock gating compares "seconds" against baseline * threshold, but
+    only for single-thread rows: multi-thread rows measure pool scaling,
+    which a differently-sized runner legitimately changes.
+  - Speedup floors: the matrix row with prefix cache + early exit both on
+    must keep a single-thread wall-clock speedup >= 1.2x over the both-off
+    cell of the SAME run (min-of-2 reps in the bench; both cells share the
+    run's machine conditions, and the measured value is ~1.55x, so the
+    floor has ~30% noise headroom). The 4-thread wall-clock pool-scaling floor of
+    1.1x is WARN-ONLY until it has been demonstrated on multi-core
+    hardware (a ROADMAP open item — every measurement so far is from a
+    1-core container), and is not even evaluated on runners with fewer
+    than 4 cores. USB_SCAN_GATE_SKIP_SPEEDUP=1 skips both floors.
 
 The threshold can also be set via the USB_BENCH_GATE_THRESHOLD environment
 variable (the command-line flag wins). The default of 1.25 implements the
 ROADMAP rule "fail CI on >25% kernel slowdown"; note the committed baseline
 is produced on one machine and CI runs on another, so after a hardware
-change the baseline should be refreshed (run bench_tensor_ops and commit the
+change the baseline should be refreshed (re-run the bench and commit the
 JSON) rather than the threshold loosened.
 """
 
@@ -26,32 +46,18 @@ import os
 import sys
 
 
-def load(path):
+def load_entries(path):
     with open(path, "r", encoding="utf-8") as fh:
-        entries = json.load(fh)
-    return {(e["op"], e["shape"]): e for e in entries}
+        return json.load(fh)
 
 
-def main():
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("current", help="freshly generated BENCH_tensor_ops.json")
-    parser.add_argument("baseline", help="committed baseline JSON")
-    parser.add_argument(
-        "--threshold",
-        type=float,
-        default=float(os.environ.get("USB_BENCH_GATE_THRESHOLD", "1.25")),
-        help="fail when current ns/iter exceeds baseline * threshold (default 1.25)",
-    )
-    parser.add_argument(
-        "--min-ns",
-        type=float,
-        default=float(os.environ.get("USB_BENCH_GATE_MIN_NS", "100000")),
-        help="ignore ops whose baseline ns/iter is below this floor (default 1e5)",
-    )
-    args = parser.parse_args()
+def is_scan_schema(entries):
+    return any("section" in e for e in entries)
 
-    current = load(args.current)
-    baseline = load(args.baseline)
+
+def check_kernels(current_entries, baseline_entries, args):
+    current = {(e["op"], e["shape"]): e for e in current_entries}
+    baseline = {(e["op"], e["shape"]): e for e in baseline_entries}
 
     failures = []
     rows = []
@@ -87,6 +93,107 @@ def main():
         return 1
     print(f"\nOK: no kernel slower than {args.threshold:.2f}x baseline ({len(rows)} compared)")
     return 0
+
+
+def scan_key(entry):
+    if entry.get("section") == "matrix":
+        return ("matrix", entry["method"], entry["prefix_cache"], entry["early_exit"])
+    return ("threads", entry["method"], entry["threads"])
+
+
+def check_scan(current_entries, baseline_entries, args):
+    failures = []
+
+    # Contract fields of the current run (bit-identity, verdict preservation)
+    # are not comparisons against baseline: they must simply hold. A null or
+    # absent field means the bench did not measure that property for the row
+    # (early-exit rows carry no identity claim) and is not a violation.
+    for entry in current_entries:
+        for field in ("identical", "same_verdict"):
+            if entry.get(field) is False:
+                failures.append(f"{scan_key(entry)}: {field} is false")
+
+    current = {scan_key(e): e for e in current_entries}
+    baseline = {scan_key(e): e for e in baseline_entries}
+
+    print(f"{'row':<50} {'base s':>9} {'cur s':>9} {'ratio':>7}  verdict")
+    for key in sorted(current, key=str):
+        entry = current[key]
+        base = baseline.get(key)
+        if base is None:
+            print(f"NOTE: new scan row {key} has no baseline yet", file=sys.stderr)
+            continue
+        ratio = entry["seconds"] / base["seconds"] if base["seconds"] > 0 else 0.0
+        if entry.get("threads", 1) != 1:
+            verdict = "SKIPPED (multi-thread wall clock)"
+        elif ratio > args.threshold:
+            verdict = "REGRESSION"
+            failures.append(f"{key}: {ratio:.2f}x slower than baseline")
+        else:
+            verdict = "OK"
+        print(f"{str(key):<50} {base['seconds']:>9.3f} {entry['seconds']:>9.3f} {ratio:>7.2f}  {verdict}")
+    for key in sorted(set(baseline) - set(current), key=str):
+        print(f"WARNING: scan row {key} in baseline but not in current run", file=sys.stderr)
+
+    if os.environ.get("USB_SCAN_GATE_SKIP_SPEEDUP", "") != "1":
+        both_on = current.get(("matrix", "USB", "on", "on"))
+        if both_on is not None and both_on["speedup"] < 1.2:
+            failures.append(
+                f"matrix prefix+early-exit speedup {both_on['speedup']:.2f}x < 1.20x floor"
+            )
+        cores = os.cpu_count() or 1
+        for entry in current_entries:
+            if entry.get("section") != "threads" or entry["threads"] != 4:
+                continue
+            if cores < 4:
+                print(
+                    f"NOTE: skipping wall-clock speedup assertion for {scan_key(entry)} "
+                    f"(runner has {cores} core(s))",
+                    file=sys.stderr,
+                )
+            elif entry["speedup"] < 1.1:
+                # Warn-only: no multi-core run has demonstrated this floor
+                # yet (ROADMAP open item); promote to a failure once one has.
+                print(
+                    f"WARNING: {scan_key(entry)}: 4-thread speedup "
+                    f"{entry['speedup']:.2f}x < 1.10x floor",
+                    file=sys.stderr,
+                )
+
+    if failures:
+        print(f"\nFAIL: {len(failures)} scan gate violation(s):", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print(f"\nOK: scan contract holds and no single-thread row slower than "
+          f"{args.threshold:.2f}x baseline")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", help="freshly generated bench JSON")
+    parser.add_argument("baseline", help="committed baseline JSON")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=float(os.environ.get("USB_BENCH_GATE_THRESHOLD", "1.25")),
+        help="fail when current exceeds baseline * threshold (default 1.25)",
+    )
+    parser.add_argument(
+        "--min-ns",
+        type=float,
+        default=float(os.environ.get("USB_BENCH_GATE_MIN_NS", "100000")),
+        help="ignore kernel ops whose baseline ns/iter is below this floor (default 1e5)",
+    )
+    args = parser.parse_args()
+
+    current = load_entries(args.current)
+    baseline = load_entries(args.baseline)
+
+    if is_scan_schema(current) or is_scan_schema(baseline):
+        return check_scan(current, baseline, args)
+    return check_kernels(current, baseline, args)
 
 
 if __name__ == "__main__":

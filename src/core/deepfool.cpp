@@ -14,7 +14,7 @@ Tensor input_gradient(Network& model, const Tensor& x, const Tensor& selector) {
 }
 
 DeepFoolResult targeted_deepfool(Network& model, const Tensor& x, std::int64_t target,
-                                 const DeepFoolConfig& config) {
+                                 const DeepFoolConfig& config, const DeepFoolWarmStart* warm) {
   model.set_training(false);
   model.set_param_grads_enabled(false);
   const std::int64_t batch = x.dim(0);
@@ -27,8 +27,15 @@ DeepFoolResult targeted_deepfool(Network& model, const Tensor& x, std::int64_t t
 
   std::vector<bool> done(static_cast<std::size_t>(batch), false);
   for (std::int64_t iter = 0; iter < config.max_iterations; ++iter) {
-    const Tensor logits = model.forward(x_adv);
-    const std::vector<std::int64_t> preds = argmax_rows(logits);
+    // Iteration 0 of a class-independent batch restarts from the scan's
+    // cached clean forward instead of re-entering at the pixels.
+    const bool use_warm = warm != nullptr && iter == 0;
+    Tensor logits_local;
+    if (!use_warm) logits_local = model.forward(x_adv);
+    const Tensor& logits = use_warm ? *warm->logits : logits_local;
+    std::vector<std::int64_t> preds_local;
+    if (!use_warm) preds_local = argmax_rows(logits);
+    const std::vector<std::int64_t>& preds = use_warm ? *warm->preds : preds_local;
 
     // Selectors: one-hot target and one-hot current prediction per row, with
     // finished rows zeroed so they contribute nothing to either backward.
@@ -48,8 +55,16 @@ DeepFoolResult targeted_deepfool(Network& model, const Tensor& x, std::int64_t t
     if (!any_active) break;
 
     // Two backwards over the one cached forward (backward is repeatable).
-    const Tensor grad_target = model.backward(sel_target);
-    const Tensor grad_current = model.backward(sel_current);
+    // The warm start supplies both precomputed: its all-rows gradients agree
+    // bitwise with these selector backwards on every row the update reads.
+    Tensor grad_target_local;
+    Tensor grad_current_local;
+    if (!use_warm) {
+      grad_target_local = model.backward(sel_target);
+      grad_current_local = model.backward(sel_current);
+    }
+    const Tensor& grad_target = use_warm ? *warm->grad_target : grad_target_local;
+    const Tensor& grad_current = use_warm ? *warm->grad_current : grad_current_local;
 
     for (std::int64_t n = 0; n < batch; ++n) {
       if (done[static_cast<std::size_t>(n)]) continue;

@@ -32,12 +32,34 @@ struct DeepFoolResult {
   std::int64_t flipped = 0;  // rows that reached the target class
 };
 
+/// Precomputed products of the first iteration's forward/backward, used when
+/// the input batch is CLASS-INDEPENDENT (Alg. 1's first craft batch, where
+/// v = 0 for every candidate class): the forward, the argmax predictions and
+/// the current-prediction backward are then identical across all K classes
+/// of a scan, so one shared instance replaces K recomputations.
+///
+/// `grad_target` / `grad_current` are the input gradients of
+/// sum_n logit_{target} and sum_n logit_{pred_n} over ALL rows. The
+/// per-class selectors zero rows already classified as the target, but
+/// eval-mode forwards keep batch rows independent (no cross-row coupling in
+/// any layer), and the update rule skips those rows entirely — so sharing
+/// the all-rows backwards is bit-identical to the per-class ones.
+struct DeepFoolWarmStart {
+  const Tensor* logits = nullptr;
+  const std::vector<std::int64_t>* preds = nullptr;
+  const Tensor* grad_target = nullptr;   // d(sum_n logit_target)/dx
+  const Tensor* grad_current = nullptr;  // d(sum_n logit_{pred_n})/dx
+};
+
 /// Batched targeted DeepFool: for every row not yet classified as `target`,
 /// accumulates boundary-projection steps until the row flips or the
 /// iteration budget runs out. Rows already at the target get a zero
-/// perturbation.
+/// perturbation. When `warm` is given, iteration 0 consumes its cached
+/// forward/backward products instead of recomputing them — bit-identical,
+/// because eval-mode forwards are pure row-wise functions of (weights, x).
 [[nodiscard]] DeepFoolResult targeted_deepfool(Network& model, const Tensor& x,
                                                std::int64_t target,
-                                               const DeepFoolConfig& config = {});
+                                               const DeepFoolConfig& config = {},
+                                               const DeepFoolWarmStart* warm = nullptr);
 
 }  // namespace usb

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "data/dataloader.h"
+#include "nn/prefix_cache.h"
 #include "tensor/tensor_ops.h"
 
 namespace usb {
@@ -28,31 +29,83 @@ void project_l2(Tensor& v, float radius) {
   if (norm > radius && norm > 0.0F) v *= radius / norm;
 }
 
+Dataset make_craft_set(const Dataset& probe, const TargetedUapConfig& config) {
+  return config.craft_size > 0 ? probe.take(config.craft_size) : probe.take(probe.size());
+}
+
 }  // namespace
 
 double uap_fooling_rate(Network& model, const Dataset& probe, const Tensor& v,
                         std::int64_t target) {
+  return uap_fooling_rate(model, ProbeBatchCache(probe, 128), v, target);
+}
+
+double uap_fooling_rate(Network& model, const ProbeBatchCache& batches, const Tensor& v,
+                        std::int64_t target) {
   model.set_training(false);
-  DataLoader loader(probe, 128, /*shuffle=*/false, /*seed=*/0);
-  Batch batch;
   std::int64_t hits = 0;
-  std::int64_t total = 0;
-  while (loader.next(batch)) {
+  for (const Batch& batch : batches.batches()) {
     const Tensor logits = model.forward(add_uap(batch.images, v));
     for (const std::int64_t pred : argmax_rows(logits)) {
       if (pred == target) ++hits;
-      ++total;
     }
   }
-  return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+  return batches.total_samples() == 0
+             ? 0.0
+             : static_cast<double>(hits) / static_cast<double>(batches.total_samples());
+}
+
+UapScanPrefix build_uap_scan_prefix(Network& model, const Dataset& probe,
+                                    const TargetedUapConfig& config, std::int64_t num_classes) {
+  UapScanPrefix prefix;
+  prefix.craft = ProbeBatchCache(make_craft_set(probe, config), config.batch_size);
+  if (prefix.craft.batches().empty() || num_classes <= 0 || config.max_passes <= 0 ||
+      config.deepfool.max_iterations <= 0) {
+    return prefix;  // nothing to warm-start; the craft cache alone is shared
+  }
+
+  model.set_training(false);
+  model.set_param_grads_enabled(false);
+  const DatasetSpec& spec = probe.spec();
+  const Batch& first = prefix.craft.batches().front();
+
+  // The exact input of every class's first DeepFool call: x + v with v = 0
+  // (the clamp matters only if probe images stray outside [0,1]).
+  const Tensor zero(Shape{1, spec.channels, spec.image_size, spec.image_size});
+  std::vector<Batch> warm_batches(1);
+  warm_batches[0].images = add_uap(first.images, zero);
+
+  // Full-depth boundary: pixel-space perturbations depend on the input
+  // itself, so the whole clean forward is the shareable prefix.
+  const PrefixActivationCache clean(model, warm_batches);
+  prefix.clean_logits = clean.activation(0);
+  prefix.clean_preds = clean.predictions(0);
+
+  // The class-independent backward (one-hot current predictions) and the K
+  // class backwards, all over the one cached forward (backward is
+  // repeatable). All-rows selectors: rows already at a target are skipped by
+  // DeepFool's update rule, so their gradient values are never read.
+  const std::int64_t rows = first.images.dim(0);
+  const std::int64_t classes = model.num_classes();
+  Tensor selector(Shape{rows, classes});
+  for (std::int64_t n = 0; n < rows; ++n) {
+    selector[n * classes + prefix.clean_preds[static_cast<std::size_t>(n)]] = 1.0F;
+  }
+  prefix.grad_current = model.backward(selector);
+
+  prefix.grad_target.resize(static_cast<std::size_t>(num_classes));
+  for (std::int64_t t = 0; t < num_classes; ++t) {
+    selector.fill(0.0F);
+    for (std::int64_t n = 0; n < rows; ++n) selector[n * classes + t] = 1.0F;
+    prefix.grad_target[static_cast<std::size_t>(t)] = model.backward(selector);
+  }
+  return prefix;
 }
 
 TargetedUapResult targeted_uap(Network& model, const Dataset& probe, std::int64_t target,
-                               const TargetedUapConfig& config) {
+                               const TargetedUapConfig& config, const UapScanPrefix* prefix) {
   model.set_training(false);
   model.set_param_grads_enabled(false);
-  const Dataset craft_set =
-      config.craft_size > 0 ? probe.take(config.craft_size) : probe.take(probe.size());
   const DatasetSpec& spec = probe.spec();
   TargetedUapResult result;
   result.perturbation =
@@ -63,18 +116,41 @@ TargetedUapResult targeted_uap(Network& model, const Dataset& probe, std::int64_
           ? config.l2_radius_per_pixel * std::sqrt(static_cast<float>(spec.image_numel()))
           : 0.0F;
 
-  DataLoader loader(craft_set, config.batch_size, /*shuffle=*/false, /*seed=*/0);
+  // The craft batches are identical for every candidate class and every
+  // pass (sequential, unshuffled); a scan materializes them once in the
+  // shared prefix, a standalone call once here. Same batching as the
+  // historical DataLoader loop, so the pass arithmetic is bit-identical.
+  ProbeBatchCache local_craft;
+  if (prefix == nullptr) {
+    local_craft = ProbeBatchCache(make_craft_set(probe, config), config.batch_size);
+  }
+  const ProbeBatchCache& craft = prefix != nullptr ? prefix->craft : local_craft;
+
   for (std::int64_t pass = 0; pass < config.max_passes; ++pass) {
     result.passes = pass + 1;
-    loader.new_epoch();
-    Batch batch;
-    while (loader.next(batch)) {
+    for (std::size_t b = 0; b < craft.batches().size(); ++b) {
+      const Batch& batch = craft.batches()[b];
       const Tensor shifted = add_uap(batch.images, v);
+
+      // (pass 0, batch 0) is the only point where v is still exactly zero —
+      // the class-independent prefix of Alg. 1. Restart DeepFool from the
+      // scan's cached clean forward instead of the pixels.
+      DeepFoolWarmStart warm;
+      const DeepFoolWarmStart* warm_ptr = nullptr;
+      if (pass == 0 && b == 0 && prefix != nullptr && prefix->has_warm_start() &&
+          target >= 0 && static_cast<std::size_t>(target) < prefix->grad_target.size()) {
+        warm.logits = &prefix->clean_logits;
+        warm.preds = &prefix->clean_preds;
+        warm.grad_target = &prefix->grad_target[static_cast<std::size_t>(target)];
+        warm.grad_current = &prefix->grad_current;
+        warm_ptr = &warm;
+      }
 
       // Batched Alg. 1 inner loop: the minimal per-sample perturbations that
       // send x_i + v to the target, averaged over the rows that still miss
       // it, become the aggregate update to v.
-      const DeepFoolResult step = targeted_deepfool(model, shifted, target, config.deepfool);
+      const DeepFoolResult step = targeted_deepfool(model, shifted, target, config.deepfool,
+                                                    warm_ptr);
       const std::int64_t batch_rows = shifted.dim(0);
       const std::int64_t numel = v.numel();
       std::int64_t active_rows = 0;
@@ -92,7 +168,7 @@ TargetedUapResult targeted_uap(Network& model, const Dataset& probe, std::int64_
       v += update;
       if (radius > 0.0F) project_l2(v, radius);
     }
-    result.fooling_rate = uap_fooling_rate(model, craft_set, v, target);
+    result.fooling_rate = uap_fooling_rate(model, craft, v, target);
     if (result.fooling_rate >= config.desired_rate) break;
   }
   return result;

@@ -13,6 +13,7 @@
 
 #include "core/deepfool.h"
 #include "data/dataset.h"
+#include "data/probe_cache.h"
 #include "nn/models.h"
 
 namespace usb {
@@ -36,14 +37,61 @@ struct TargetedUapResult {
   std::int64_t passes = 0;
 };
 
-/// Crafts a targeted UAP for `target` over the probe set.
+/// Class-independent prefix of Alg. 1, built ONCE per multi-class scan on
+/// the reference model and shared read-only by all K per-class jobs:
+///
+///  - `craft`: the craft-set batches. Alg. 1 iterates the same sequential,
+///    unshuffled batches for every class and every pass; the cache replaces
+///    K x passes DataLoader re-gathers (and the per-pass fooling-rate
+///    loaders) with one materialization.
+///  - the v = 0 warm start for the FIRST craft batch: at (pass 0, batch 0)
+///    the perturbation is still exactly zero for every class, so DeepFool's
+///    first forward, its argmax predictions, the current-prediction backward
+///    and the per-class target backwards are computed once here (via the
+///    full-depth PrefixActivationCache boundary — for pixel-space
+///    perturbations the first perturbation-dependent point is the input
+///    itself, so the perturbation-independent prefix is the whole clean
+///    forward) instead of once per class.
+///
+/// Bit-identical to the unshared path: clones share the reference weights,
+/// and eval-mode forward/backward are pure row-wise functions of
+/// (weights, input) with a schedule-free accumulation order.
+struct UapScanPrefix {
+  ProbeBatchCache craft;                  // craft batches, config.batch_size
+  Tensor clean_logits;                    // batch 0: f(x), v = 0
+  std::vector<std::int64_t> clean_preds;  // batch 0: argmax rows
+  Tensor grad_current;                    // batch 0: d(sum_n logit_{pred_n})/dx
+  std::vector<Tensor> grad_target;        // batch 0, per class t: d(sum_n logit_t)/dx
+
+  [[nodiscard]] bool has_warm_start() const noexcept { return !clean_preds.empty(); }
+};
+
+/// Builds the shared Alg. 1 prefix for a scan over `num_classes` candidate
+/// classes. Runs the clean forward and num_classes + 1 backwards on `model`
+/// (sequentially, before any per-class fan-out).
+[[nodiscard]] UapScanPrefix build_uap_scan_prefix(Network& model, const Dataset& probe,
+                                                  const TargetedUapConfig& config,
+                                                  std::int64_t num_classes);
+
+/// Crafts a targeted UAP for `target` over the probe set. When `prefix` is
+/// given (a scan's shared Alg. 1 prefix), the craft batches come from its
+/// cache and the first DeepFool call warm-starts from the cached clean
+/// forward — bit-identical to the unshared path.
 [[nodiscard]] TargetedUapResult targeted_uap(Network& model, const Dataset& probe,
                                              std::int64_t target,
-                                             const TargetedUapConfig& config = {});
+                                             const TargetedUapConfig& config = {},
+                                             const UapScanPrefix* prefix = nullptr);
 
 /// Fraction of probe images classified as `target` after adding v (clipped
 /// to the valid range).
 [[nodiscard]] double uap_fooling_rate(Network& model, const Dataset& probe, const Tensor& v,
                                       std::int64_t target);
+
+/// Same, over pre-materialized batches. Bit-identical to the Dataset
+/// overload for any batch size: eval-mode predictions are row-wise and the
+/// GEMM core's per-element accumulation order is independent of the batch
+/// partition.
+[[nodiscard]] double uap_fooling_rate(Network& model, const ProbeBatchCache& batches,
+                                      const Tensor& v, std::int64_t target);
 
 }  // namespace usb

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 
 #include "data/dataloader.h"
 #include "defenses/masked_trigger.h"
@@ -15,6 +16,101 @@ namespace {
 constexpr std::uint64_t kInitSalt = 0xab1a;
 constexpr std::uint64_t kLoaderSalt = 0x05b;
 
+/// The per-class USB pipeline in resumable form: the constructor runs
+/// Alg. 1 (or adopts the transferred/shared UAP) and the Alg. 2
+/// initialization; run_steps advances the refinement loop in slices whose
+/// concatenation is bit-identical to one uninterrupted run (the loop body
+/// never reads the step index, and all carried state — loader cursor, Adam
+/// moments, last loss — lives here); finalize evaluates the fooling rate
+/// over the scan's shared probe cache.
+class UsbRefineTask final : public ClassRefineTask {
+ public:
+  UsbRefineTask(const UsbDetector& detector, Network& model, const Dataset& probe,
+                const ClassScanJob& job, const std::optional<Tensor>& precomputed_uap)
+      : config_(detector.config()),
+        model_(model),
+        job_(job),
+        loader_(probe, config_.batch_size, /*shuffle=*/true,
+                hash_combine(job.rng_seed, kLoaderSalt)) {
+    model_.set_training(false);
+    model_.set_param_grads_enabled(false);
+    const std::int64_t target_class = job_.target_class;
+
+    // ---- Alg. 1: targeted UAP (or the transferred one). ----
+    const auto* shared = dynamic_cast<const UsbScanShared*>(job_.shared);
+    Tensor uap(Shape{1, probe.spec().channels, probe.spec().image_size, probe.spec().image_size});
+    if (precomputed_uap.has_value()) {
+      uap = *precomputed_uap;
+    } else if (!config_.random_init) {
+      uap = targeted_uap(model_, probe, target_class, config_.uap,
+                         shared != nullptr ? &shared->prefix : nullptr)
+                .perturbation;
+    }
+
+    // ---- Alg. 2 init: trigger x mask from the UAP decomposition. ----
+    Rng init_rng(hash_combine(job_.rng_seed, kInitSalt));
+    if (config_.random_init && !precomputed_uap.has_value()) {
+      trigger_.emplace(probe.spec().channels, probe.spec().image_size, init_rng, config_.lr);
+    } else {
+      const UsbDetector::Decomposition init = detector.decompose_uap(uap);
+      trigger_.emplace(init.mask, init.pattern, config_.lr);
+    }
+  }
+
+  std::int64_t run_steps(std::int64_t steps) override {
+    if (exhausted_) return 0;
+    std::int64_t ran = 0;
+    Batch batch;
+    while (ran < steps) {
+      if (!loader_.next(batch)) {
+        loader_.new_epoch();
+        if (!loader_.next(batch)) {
+          exhausted_ = true;
+          break;
+        }
+      }
+      trigger_->zero_grad();
+      const Tensor blended = trigger_->apply(batch.images);
+
+      // CE(f(x'), t)
+      const Tensor logits = model_.forward(blended);
+      const float ce_value = ce_.forward(logits, job_.target_class);
+      Tensor dblended = model_.backward(ce_.backward());
+
+      // -SSIM(x, x'): keep x' structurally close to the clean batch.
+      const SsimResult ssim_result = ssim_with_gradient(batch.images, blended, config_.ssim);
+      dblended.add_scaled(ssim_result.grad_y, -config_.ssim_weight);
+
+      trigger_->accumulate_from_output_grad(dblended, batch.images);
+      if (config_.use_l1_term) trigger_->add_mask_l1_grad(config_.l1_weight);
+      trigger_->step();
+
+      last_loss_ = ce_value - config_.ssim_weight * ssim_result.value +
+                   (config_.use_l1_term
+                        ? config_.l1_weight * static_cast<float>(trigger_->mask_l1())
+                        : 0.0F);
+      ++ran;
+    }
+    return ran;
+  }
+
+  [[nodiscard]] double current_mask_l1() const override { return trigger_->mask_l1(); }
+
+  [[nodiscard]] TriggerEstimate finalize() override {
+    return finalize_estimate(model_, job_, *trigger_, last_loss_);
+  }
+
+ private:
+  const UsbConfig& config_;
+  Network& model_;
+  const ClassScanJob job_;
+  DataLoader loader_;
+  std::optional<MaskedTrigger> trigger_;
+  TargetedCrossEntropy ce_;
+  float last_loss_ = 0.0F;
+  bool exhausted_ = false;
+};
+
 }  // namespace
 
 ClassScanScheduler UsbDetector::make_scheduler() const {
@@ -22,7 +118,20 @@ ClassScanScheduler UsbDetector::make_scheduler() const {
   options.mad_threshold = config_.mad_threshold;
   options.base_seed = config_.seed;
   options.pool = config_.scan_pool;
+  options.external_probe_cache = config_.shared_probe_cache;
+  options.early_exit = config_.early_exit;
   return ClassScanScheduler(options);
+}
+
+ScanSharedBuilder UsbDetector::make_shared_builder() const {
+  // The shared prefix only exists when Alg. 1 actually runs per class.
+  if (!config_.share_prefix || config_.random_init) return nullptr;
+  return [this](Network& reference, const Dataset& probe) {
+    auto shared = std::make_shared<UsbScanShared>();
+    shared->prefix =
+        build_uap_scan_prefix(reference, probe, config_.uap, probe.spec().num_classes);
+    return std::shared_ptr<const ScanSharedState>(std::move(shared));
+  };
 }
 
 UsbDetector::Decomposition UsbDetector::decompose_uap(const Tensor& uap) const {
@@ -75,76 +184,29 @@ TriggerEstimate UsbDetector::reverse_engineer_class(
 TriggerEstimate UsbDetector::reverse_engineer_class(
     Network& model, const Dataset& probe, const ClassScanJob& job,
     const std::optional<Tensor>& precomputed_uap) {
-  const std::int64_t target_class = job.target_class;
-  model.set_training(false);
-  model.set_param_grads_enabled(false);
-
-  // ---- Alg. 1: targeted UAP (or the transferred one). ----
-  Tensor uap(Shape{1, probe.spec().channels, probe.spec().image_size, probe.spec().image_size});
-  if (precomputed_uap.has_value()) {
-    uap = *precomputed_uap;
-  } else if (!config_.random_init) {
-    uap = targeted_uap(model, probe, target_class, config_.uap).perturbation;
-  }
-
-  // ---- Alg. 2: refine trigger x mask from the UAP decomposition. ----
-  Rng init_rng(hash_combine(job.rng_seed, kInitSalt));
-  MaskedTrigger trigger =
-      config_.random_init && !precomputed_uap.has_value()
-          ? MaskedTrigger(probe.spec().channels, probe.spec().image_size, init_rng, config_.lr)
-          : [&] {
-              const Decomposition init = decompose_uap(uap);
-              return MaskedTrigger(init.mask, init.pattern, config_.lr);
-            }();
-  TargetedCrossEntropy ce;
-  DataLoader loader(probe, config_.batch_size, /*shuffle=*/true,
-                    hash_combine(job.rng_seed, kLoaderSalt));
-
-  float last_loss = 0.0F;
-  Batch batch;
-  for (std::int64_t step = 0; step < config_.refine_steps; ++step) {
-    if (!loader.next(batch)) {
-      loader.new_epoch();
-      if (!loader.next(batch)) break;
-    }
-    trigger.zero_grad();
-    const Tensor blended = trigger.apply(batch.images);
-
-    // CE(f(x'), t)
-    const Tensor logits = model.forward(blended);
-    const float ce_value = ce.forward(logits, target_class);
-    Tensor dblended = model.backward(ce.backward());
-
-    // -SSIM(x, x'): keep x' structurally close to the clean batch.
-    const SsimResult ssim_result = ssim_with_gradient(batch.images, blended, config_.ssim);
-    dblended.add_scaled(ssim_result.grad_y, -config_.ssim_weight);
-
-    trigger.accumulate_from_output_grad(dblended, batch.images);
-    if (config_.use_l1_term) trigger.add_mask_l1_grad(config_.l1_weight);
-    trigger.step();
-
-    last_loss = ce_value - config_.ssim_weight * ssim_result.value +
-                (config_.use_l1_term
-                     ? config_.l1_weight * static_cast<float>(trigger.mask_l1())
-                     : 0.0F);
-  }
-
-  TriggerEstimate estimate;
-  estimate.target_class = target_class;
-  estimate.pattern = trigger.pattern();
-  estimate.mask = trigger.mask();
-  estimate.mask_l1 = trigger.mask_l1();
-  estimate.final_loss = last_loss;
-  estimate.fooling_rate = fooling_rate(model, *job.probe_cache, trigger, target_class);
-  return estimate;
+  UsbRefineTask task(*this, model, probe, job, precomputed_uap);
+  (void)task.run_steps(config_.refine_steps);
+  return task.finalize();
 }
 
 DetectionReport UsbDetector::detect(Network& model, const Dataset& probe) {
-  return make_scheduler().run(
+  const ClassScanScheduler scheduler = make_scheduler();
+  const ScanSharedBuilder builder = make_shared_builder();
+  if (config_.early_exit.enabled) {
+    return scheduler.run_early_exit(
+        name(), model, probe, config_.refine_steps,
+        [this](Network& clone, const Dataset& data,
+               const ClassScanJob& job) -> std::unique_ptr<ClassRefineTask> {
+          return std::make_unique<UsbRefineTask>(*this, clone, data, job, std::nullopt);
+        },
+        builder);
+  }
+  return scheduler.run(
       name(), model, probe,
       [this](Network& clone, const Dataset& data, const ClassScanJob& job) {
         return reverse_engineer_class(clone, data, job);
-      });
+      },
+      builder);
 }
 
 }  // namespace usb

@@ -46,7 +46,22 @@ struct UsbConfig {
   /// Scan-pool override for tests/benches; nullptr means the global pool
   /// (sized from USB_THREADS).
   ThreadPool* scan_pool = nullptr;
+  /// Share the class-independent Alg. 1 prefix (craft batches + the v = 0
+  /// DeepFool warm start) across the K class jobs of detect(). Reports are
+  /// bit-identical on or off; off recomputes the prefix per class.
+  bool share_prefix = true;
+  /// Prebuilt full-probe evaluation cache to reuse across detect() calls on
+  /// the same probe set (see ClassScanOptions::external_probe_cache).
+  const ProbeBatchCache* shared_probe_cache = nullptr;
+  /// Early-exit round scheduling of the Alg. 2 refinement; bit-identical to
+  /// the monolithic scan when disabled.
+  EarlyExitOptions early_exit;
   SsimConfig ssim;
+};
+
+/// The Alg. 1 shared prefix a USB scan attaches to every class job.
+struct UsbScanShared final : ScanSharedState {
+  UapScanPrefix prefix;
 };
 
 class UsbDetector final : public Detector {
@@ -80,6 +95,7 @@ class UsbDetector final : public Detector {
 
  private:
   [[nodiscard]] ClassScanScheduler make_scheduler() const;
+  [[nodiscard]] ScanSharedBuilder make_shared_builder() const;
 
   UsbConfig config_;
 };

@@ -1,0 +1,17 @@
+#include "data/probe_cache.h"
+
+namespace usb {
+
+ProbeBatchCache::ProbeBatchCache(const Dataset& probe, std::int64_t batch_size)
+    : batch_size_(batch_size) {
+  // Sequential, unshuffled: the exact batching of the historical evaluation
+  // loaders (DataLoader(probe, 128, shuffle=false, seed=0)).
+  DataLoader loader(probe, batch_size, /*shuffle=*/false, /*seed=*/0);
+  Batch batch;
+  while (loader.next(batch)) {
+    total_samples_ += batch.images.numel() == 0 ? 0 : batch.images.dim(0);
+    batches_.push_back(batch);
+  }
+}
+
+}  // namespace usb

@@ -1,0 +1,35 @@
+// Read-only mini-batches of a probe set, materialized once and shared by
+// every consumer of a scan: the K per-class fooling-rate evaluations, the
+// Alg. 1 craft loop, and (through the experiment harness) every detector run
+// against the same model. Batching matches the historical evaluation loaders
+// (sequential order, fixed batch size), so cached results are bit-identical
+// to a fresh DataLoader pass.
+//
+// Lives in data/ (not defenses/) because both the core algorithms (Alg. 1
+// UAP crafting) and the defense schedulers consume it; defenses re-export it
+// through class_scan_scheduler.h for existing call sites.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataloader.h"
+
+namespace usb {
+
+class ProbeBatchCache {
+ public:
+  ProbeBatchCache() = default;
+  explicit ProbeBatchCache(const Dataset& probe, std::int64_t batch_size = 128);
+
+  [[nodiscard]] const std::vector<Batch>& batches() const noexcept { return batches_; }
+  [[nodiscard]] std::int64_t total_samples() const noexcept { return total_samples_; }
+  [[nodiscard]] std::int64_t batch_size() const noexcept { return batch_size_; }
+
+ private:
+  std::vector<Batch> batches_;
+  std::int64_t total_samples_ = 0;
+  std::int64_t batch_size_ = 0;
+};
+
+}  // namespace usb

@@ -1,5 +1,8 @@
 #include "defenses/class_scan_scheduler.h"
 
+#include <algorithm>
+#include <cmath>
+
 #include "defenses/masked_trigger.h"
 #include "nn/checkpoint.h"
 #include "tensor/tensor_ops.h"
@@ -7,18 +10,24 @@
 #include "utils/timer.h"
 
 namespace usb {
+namespace {
 
-ProbeBatchCache::ProbeBatchCache(const Dataset& probe, std::int64_t batch_size)
-    : batch_size_(batch_size) {
-  // Sequential, unshuffled: the exact batching of the historical evaluation
-  // loaders (DataLoader(probe, 128, shuffle=false, seed=0)).
-  DataLoader loader(probe, batch_size, /*shuffle=*/false, /*seed=*/0);
-  Batch batch;
-  while (loader.next(batch)) {
-    total_samples_ += batch.images.numel() == 0 ? 0 : batch.images.dim(0);
-    batches_.push_back(batch);
+/// The probe cache a scan actually uses: the injected one when its batching
+/// AND sample count match this probe (the bit-identity preconditions — a
+/// cache built from a different probe set of the same size is still the
+/// caller's responsibility), else a scan-local build.
+const ProbeBatchCache* select_probe_cache(const ClassScanOptions& options, const Dataset& probe,
+                                          ProbeBatchCache& local) {
+  if (options.external_probe_cache != nullptr &&
+      options.external_probe_cache->batch_size() == options.eval_batch_size &&
+      options.external_probe_cache->total_samples() == probe.size()) {
+    return options.external_probe_cache;
   }
+  local = ProbeBatchCache(probe, options.eval_batch_size);
+  return &local;
 }
+
+}  // namespace
 
 std::uint64_t ClassScanScheduler::class_stream_seed(std::uint64_t base_seed,
                                                     std::int64_t target_class) noexcept {
@@ -30,25 +39,41 @@ ProbeBatchCache ClassScanScheduler::make_cache(const Dataset& probe) const {
 }
 
 ClassScanJob ClassScanScheduler::make_job(std::int64_t target_class,
-                                          const ProbeBatchCache& cache) const noexcept {
+                                          const ProbeBatchCache& cache,
+                                          const ScanSharedState* shared) const noexcept {
   ClassScanJob job;
   job.target_class = target_class;
   job.rng_seed = class_stream_seed(options_.base_seed, target_class);
   job.probe_cache = &cache;
+  job.shared = shared;
   return job;
 }
 
+DetectionReport ClassScanScheduler::finish(DetectionReport report) const {
+  // Ordered reduction: norms enter the MAD stage in class order.
+  std::vector<double> norms(report.per_class.size());
+  for (std::size_t t = 0; t < norms.size(); ++t) norms[t] = report.per_class[t].mask_l1;
+  report.verdict = decide_backdoor(norms, options_.mad_threshold);
+  return report;
+}
+
 DetectionReport ClassScanScheduler::run(const std::string& method, Network& model,
-                                        const Dataset& probe,
-                                        const ReverseFn& reverse_one) const {
+                                        const Dataset& probe, const ReverseFn& reverse_one,
+                                        const ScanSharedBuilder& shared_builder) const {
   const std::int64_t num_classes = probe.spec().num_classes;
   DetectionReport report;
   report.method = method;
   report.per_class.resize(static_cast<std::size_t>(num_classes));
   report.per_class_seconds.resize(static_cast<std::size_t>(num_classes));
 
-  // Materialized once, shared read-only by all K jobs.
-  const ProbeBatchCache eval_cache = make_cache(probe);
+  // Materialized (or adopted) once, shared read-only by all K jobs.
+  ProbeBatchCache local_cache;
+  const ProbeBatchCache* eval_cache = select_probe_cache(options_, probe, local_cache);
+
+  // Detector-specific shared prefix, built sequentially on the reference
+  // model before any clone exists.
+  std::shared_ptr<const ScanSharedState> shared;
+  if (shared_builder) shared = shared_builder(model, probe);
 
   // One model clone per class. The inner tensor kernels submit fixed,
   // size-derived tile lists to THIS pool via parallel_for_deterministic:
@@ -64,16 +89,139 @@ DetectionReport ClassScanScheduler::run(const std::string& method, Network& mode
       Network clone = clone_network(model);
       const Timer timer;
       report.per_class[static_cast<std::size_t>(t)] =
-          reverse_one(clone, probe, make_job(t, eval_cache));
+          reverse_one(clone, probe, make_job(t, *eval_cache, shared.get()));
       report.per_class_seconds[static_cast<std::size_t>(t)] = timer.seconds();
     }
   });
 
-  // Ordered reduction: norms enter the MAD stage in class order.
-  std::vector<double> norms(static_cast<std::size_t>(num_classes));
-  for (std::size_t t = 0; t < norms.size(); ++t) norms[t] = report.per_class[t].mask_l1;
-  report.verdict = decide_backdoor(norms, options_.mad_threshold);
-  return report;
+  return finish(std::move(report));
+}
+
+DetectionReport ClassScanScheduler::run_early_exit(const std::string& method, Network& model,
+                                                   const Dataset& probe,
+                                                   std::int64_t total_steps,
+                                                   const RefineTaskFn& make_task,
+                                                   const ScanSharedBuilder& shared_builder) const {
+  const std::int64_t num_classes = probe.spec().num_classes;
+  DetectionReport report;
+  report.method = method;
+  report.per_class.resize(static_cast<std::size_t>(num_classes));
+  report.per_class_seconds.assign(static_cast<std::size_t>(num_classes), 0.0);
+
+  ProbeBatchCache local_cache;
+  const ProbeBatchCache* eval_cache = select_probe_cache(options_, probe, local_cache);
+  std::shared_ptr<const ScanSharedState> shared;
+  if (shared_builder) shared = shared_builder(model, probe);
+
+  ThreadPool& pool = options_.pool != nullptr ? *options_.pool : ThreadPool::global();
+
+  // Phase 1 — parallel task construction: everything before the refinement
+  // loop (for USB that is all of Alg. 1) runs here, one private clone per
+  // class. Clones live alongside the tasks so run_steps/finalize can keep
+  // borrowing them.
+  std::vector<std::unique_ptr<Network>> clones(static_cast<std::size_t>(num_classes));
+  std::vector<std::unique_ptr<ClassRefineTask>> tasks(static_cast<std::size_t>(num_classes));
+  pool.parallel_for(num_classes, [&](std::int64_t begin, std::int64_t end, int /*worker*/) {
+    for (std::int64_t t = begin; t < end; ++t) {
+      const auto slot = static_cast<std::size_t>(t);
+      clones[slot] = std::make_unique<Network>(clone_network(model));
+      // Timer starts after the clone, matching run(): per_class_seconds
+      // stays comparable between the two scan paths.
+      const Timer timer;
+      tasks[slot] = make_task(*clones[slot], probe, make_job(t, *eval_cache, shared.get()));
+      report.per_class_seconds[slot] += timer.seconds();
+    }
+  });
+
+  // Phase 2 — round-scheduled refinement over the shrinking active set.
+  // Every decision is taken at a barrier from statistics that are
+  // bit-deterministic for any thread count, so the schedule never leaks
+  // into the results.
+  const std::int64_t round_steps = options_.early_exit.round_steps > 0
+                                       ? options_.early_exit.round_steps
+                                       : std::max<std::int64_t>(1, (total_steps + 5) / 6);
+  std::vector<std::int64_t> remaining(static_cast<std::size_t>(num_classes),
+                                      std::max<std::int64_t>(0, total_steps));
+  std::vector<std::int64_t> active;
+  for (std::int64_t t = 0; t < num_classes; ++t) {
+    if (remaining[static_cast<std::size_t>(t)] > 0) active.push_back(t);
+  }
+  std::int64_t rounds_done = 0;
+  while (!active.empty()) {
+    pool.parallel_for(static_cast<std::int64_t>(active.size()),
+                      [&](std::int64_t begin, std::int64_t end, int /*worker*/) {
+                        for (std::int64_t i = begin; i < end; ++i) {
+                          const auto slot = static_cast<std::size_t>(active[static_cast<std::size_t>(i)]);
+                          const Timer timer;
+                          const std::int64_t steps = std::min(round_steps, remaining[slot]);
+                          const std::int64_t ran = tasks[slot]->run_steps(steps);
+                          // Fewer than requested means the loop's own exit
+                          // condition fired; the class is done either way.
+                          remaining[slot] = ran < steps ? 0 : remaining[slot] - ran;
+                          report.per_class_seconds[slot] += timer.seconds();
+                        }
+                      });
+    ++rounds_done;
+
+    std::vector<std::int64_t> next;
+    for (const std::int64_t t : active) {
+      if (remaining[static_cast<std::size_t>(t)] > 0) next.push_back(t);
+    }
+    if (options_.early_exit.enabled && !next.empty() &&
+        rounds_done >= options_.early_exit.min_rounds) {
+      // Current statistics of ALL classes (stopped ones hold their frozen
+      // value), in class order — the same population the final MAD rule
+      // sees.
+      std::vector<double> norms(static_cast<std::size_t>(num_classes));
+      for (std::int64_t t = 0; t < num_classes; ++t) {
+        norms[static_cast<std::size_t>(t)] = tasks[static_cast<std::size_t>(t)]->current_mask_l1();
+      }
+      const double med = median(norms);
+      std::vector<double> deviations(norms.size());
+      for (std::size_t i = 0; i < norms.size(); ++i) deviations[i] = std::abs(norms[i] - med);
+      const double cutoff = med + options_.early_exit.margin * 1.4826 * median(deviations);
+      // Heuristic retirement: a statistic above the cutoff sits above the
+      // running median by the MAD-outlier margin, and the decision rule
+      // only flags LOW-side outliers — so we bet that a class this far
+      // above the pack will not out-descend it if refined further, stop
+      // it, and hand its worker slot to the remaining candidates. This is
+      // a budget/accuracy trade, not a proof: mask-L1 is not monotone
+      // under refinement, and a slow-converging backdoored class retired
+      // at an early barrier is a possible false negative. margin and
+      // min_rounds tune that risk (tests pin the verdict on a seeded
+      // BadNet victim), and disabling early exit restores the exact scan.
+      std::vector<std::int64_t> survivors;
+      for (const std::int64_t t : next) {
+        if (norms[static_cast<std::size_t>(t)] <= cutoff) survivors.push_back(t);
+      }
+      next = std::move(survivors);
+    }
+    active = std::move(next);
+  }
+
+  // Phase 3 — parallel finalize, slotted in class order.
+  pool.parallel_for(num_classes, [&](std::int64_t begin, std::int64_t end, int /*worker*/) {
+    for (std::int64_t t = begin; t < end; ++t) {
+      const auto slot = static_cast<std::size_t>(t);
+      const Timer timer;
+      report.per_class[slot] = tasks[slot]->finalize();
+      report.per_class_seconds[slot] += timer.seconds();
+    }
+  });
+
+  return finish(std::move(report));
+}
+
+TriggerEstimate finalize_estimate(Network& model, const ClassScanJob& job,
+                                  const MaskedTrigger& trigger, float last_loss) {
+  TriggerEstimate estimate;
+  estimate.target_class = job.target_class;
+  estimate.pattern = trigger.pattern();
+  estimate.mask = trigger.mask();
+  estimate.mask_l1 = trigger.mask_l1();
+  estimate.final_loss = last_loss;
+  estimate.fooling_rate = fooling_rate(model, *job.probe_cache, trigger, job.target_class);
+  return estimate;
 }
 
 double fooling_rate(Network& model, const ProbeBatchCache& cache, const MaskedTrigger& trigger,

@@ -18,8 +18,29 @@
 //    from (base_seed, class), never from thread ids or schedule order;
 //  - shared probe batches: the fooling-rate evaluation batches over the full
 //    probe set are materialized once and shared read-only by all K jobs,
-//    instead of K DataLoader passes re-gathering the same rows;
+//    instead of K DataLoader passes re-gathering the same rows. Callers that
+//    scan the same probe repeatedly (the experiment harness runs three
+//    detectors per model) can inject a prebuilt cache via
+//    ClassScanOptions::external_probe_cache;
+//  - shared scan prefix: detectors may attach arbitrary class-independent
+//    state (USB: the Alg. 1 craft batches and the v = 0 DeepFool warm
+//    start) built once on the reference model before the fan-out, shared
+//    read-only by every job — see ScanSharedState;
 //  - ordered reduction: estimates land in class order before the MAD rule.
+//
+// Early-exit scheduling (run_early_exit) additionally splits each class's
+// refinement budget into rounds with a barrier after every round: a class
+// whose mask-L1 statistic already exceeds the running median by the
+// MAD-outlier margin stops refining (the decision rule only flags LOW-side
+// outliers, so a class far above the pack is very unlikely to matter) and
+// its worker slot is reclaimed for the remaining candidate classes. This
+// is a heuristic budget/accuracy trade — mask-L1 is not monotone under
+// refinement, so a retired class could in principle have descended below
+// the median given its full budget; EarlyExitOptions::margin/min_rounds
+// tune that risk. Decisions are taken only at round barriers from
+// bit-deterministic statistics, so reports stay bit-identical for any
+// thread count; with early exit disabled detectors take the run() path,
+// which is byte-for-byte the pre-existing behavior.
 //
 // Consequence: a DetectionReport is bit-identical regardless of USB_THREADS
 // (wall-clock timings aside), which tests/test_scan_scheduler.cpp locks in.
@@ -27,10 +48,12 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "data/dataloader.h"
+#include "data/probe_cache.h"
 #include "defenses/detector.h"
 #include "utils/thread_pool.h"
 
@@ -38,23 +61,18 @@ namespace usb {
 
 class MaskedTrigger;
 
-/// Read-only mini-batches of a probe set, materialized once and shared by
-/// every per-class job. Batching matches the historical evaluation loaders
-/// (sequential order, fixed batch size), so cached fooling rates are
-/// bit-identical to a fresh DataLoader pass.
-class ProbeBatchCache {
- public:
-  explicit ProbeBatchCache(const Dataset& probe, std::int64_t batch_size = 128);
-
-  [[nodiscard]] const std::vector<Batch>& batches() const noexcept { return batches_; }
-  [[nodiscard]] std::int64_t total_samples() const noexcept { return total_samples_; }
-  [[nodiscard]] std::int64_t batch_size() const noexcept { return batch_size_; }
-
- private:
-  std::vector<Batch> batches_;
-  std::int64_t total_samples_ = 0;
-  std::int64_t batch_size_ = 0;
+/// Base for detector-specific class-independent scan state (built once per
+/// detect() on the reference model, shared read-only by all K jobs). USB
+/// attaches the Alg. 1 shared prefix; NC/TABOR need nothing beyond the
+/// probe cache.
+struct ScanSharedState {
+  virtual ~ScanSharedState() = default;
 };
+
+/// Builds the detector's shared state against the reference model; invoked
+/// once per scan, before any clone is made. May be empty (no shared state).
+using ScanSharedBuilder =
+    std::function<std::shared_ptr<const ScanSharedState>(Network& model, const Dataset& probe)>;
 
 /// Context handed to one per-class reverse-engineering job.
 struct ClassScanJob {
@@ -65,6 +83,51 @@ struct ClassScanJob {
   std::uint64_t rng_seed = 0;
   /// Shared full-probe evaluation batches; never null inside a scan.
   const ProbeBatchCache* probe_cache = nullptr;
+  /// Detector-specific shared scan prefix; null when the detector attached
+  /// none (or sharing is disabled).
+  const ScanSharedState* shared = nullptr;
+};
+
+/// One per-class reverse-engineering job in resumable form, for early-exit
+/// round scheduling. Construction performs everything before the refinement
+/// loop (USB: all of Alg. 1 plus the trigger decomposition); run_steps
+/// advances the loop in slices whose concatenation is bit-identical to one
+/// uninterrupted run (all loop state — data loader cursor, optimizer
+/// moments, schedules — lives in the task); finalize performs the
+/// post-loop evaluation.
+class ClassRefineTask {
+ public:
+  virtual ~ClassRefineTask() = default;
+  ClassRefineTask() = default;
+  ClassRefineTask(const ClassRefineTask&) = delete;
+  ClassRefineTask& operator=(const ClassRefineTask&) = delete;
+
+  /// Runs up to `steps` more refinement steps; returns the number actually
+  /// executed (fewer only when the loop's own exit condition fired, after
+  /// which every later call returns 0).
+  virtual std::int64_t run_steps(std::int64_t steps) = 0;
+
+  /// Current value of the detection statistic (mask L1) — the early-exit
+  /// decision input. Must be cheap and must not advance any state.
+  [[nodiscard]] virtual double current_mask_l1() const = 0;
+
+  /// Post-loop evaluation (fooling rate over the shared probe cache) and
+  /// estimate assembly. Call exactly once, after the last run_steps.
+  [[nodiscard]] virtual TriggerEstimate finalize() = 0;
+};
+
+/// Early-exit configuration. Disabled by default; when disabled the scan is
+/// bit-identical to the monolithic per-class path.
+struct EarlyExitOptions {
+  bool enabled = false;
+  /// Steps per round; <= 0 derives ceil(total_steps / 6).
+  std::int64_t round_steps = 0;
+  /// Rounds every class must complete before it may be stopped.
+  std::int64_t min_rounds = 1;
+  /// Stop a class when its statistic exceeds the running median by more
+  /// than `margin` consistency-scaled MADs (the same 1.4826 scaling the
+  /// decision rule uses). 0 stops everything strictly above the median.
+  double margin = 1.0;
 };
 
 struct ClassScanOptions {
@@ -75,12 +138,23 @@ struct ClassScanOptions {
   std::int64_t eval_batch_size = 128;
   /// Pool override for tests/benches; nullptr means ThreadPool::global().
   ThreadPool* pool = nullptr;
+  /// Prebuilt probe cache to reuse across scans of the same probe set (the
+  /// experiment harness shares one per model across detectors). Used only
+  /// when its batch size matches eval_batch_size and its sample count
+  /// matches the probe (else the scan silently builds its own); it must be
+  /// built from the SAME probe set and outlive the scan.
+  const ProbeBatchCache* external_probe_cache = nullptr;
+  EarlyExitOptions early_exit;
 };
 
 class ClassScanScheduler {
  public:
   using ReverseFn =
       std::function<TriggerEstimate(Network&, const Dataset&, const ClassScanJob&)>;
+  /// Builds the resumable form of one class's job against its private clone.
+  /// The clone reference stays valid for the task's lifetime.
+  using RefineTaskFn = std::function<std::unique_ptr<ClassRefineTask>(
+      Network&, const Dataset&, const ClassScanJob&)>;
 
   explicit ClassScanScheduler(ClassScanOptions options) : options_(options) {}
 
@@ -97,17 +171,32 @@ class ClassScanScheduler {
   /// Builds the job for one class against an existing cache (the sequential
   /// single-class entry points use this to match the parallel scan exactly).
   [[nodiscard]] ClassScanJob make_job(std::int64_t target_class,
-                                      const ProbeBatchCache& cache) const noexcept;
+                                      const ProbeBatchCache& cache,
+                                      const ScanSharedState* shared = nullptr) const noexcept;
 
   /// Fans `reverse_one` out over all probe.spec().num_classes classes, each
   /// on a private clone of `model`, then applies the MAD outlier rule to the
   /// mask-L1 statistics in class order.
   [[nodiscard]] DetectionReport run(const std::string& method, Network& model,
-                                    const Dataset& probe, const ReverseFn& reverse_one) const;
+                                    const Dataset& probe, const ReverseFn& reverse_one,
+                                    const ScanSharedBuilder& shared_builder = nullptr) const;
+
+  /// Round-scheduled variant: constructs all K tasks in parallel (their
+  /// ctors run the pre-refinement pipeline), then advances the active set
+  /// in rounds of options().early_exit.round_steps, retiring classes the
+  /// early-exit rule proves can no longer become low-side outliers, and
+  /// finally finalizes every task in class order. `total_steps` is each
+  /// class's full refinement budget.
+  [[nodiscard]] DetectionReport run_early_exit(
+      const std::string& method, Network& model, const Dataset& probe,
+      std::int64_t total_steps, const RefineTaskFn& make_task,
+      const ScanSharedBuilder& shared_builder = nullptr) const;
 
   [[nodiscard]] const ClassScanOptions& options() const noexcept { return options_; }
 
  private:
+  [[nodiscard]] DetectionReport finish(DetectionReport report) const;
+
   ClassScanOptions options_;
 };
 
@@ -115,5 +204,11 @@ class ClassScanScheduler {
 /// The shared replacement for the per-detector final_fooling_rate loops.
 [[nodiscard]] double fooling_rate(Network& model, const ProbeBatchCache& cache,
                                   const MaskedTrigger& trigger, std::int64_t target_class);
+
+/// The TriggerEstimate every masked-trigger detector reports from
+/// ClassRefineTask::finalize(): the trigger's decomposition plus its fooling
+/// rate over the job's shared probe cache.
+[[nodiscard]] TriggerEstimate finalize_estimate(Network& model, const ClassScanJob& job,
+                                                const MaskedTrigger& trigger, float last_loss);
 
 }  // namespace usb

@@ -1,6 +1,8 @@
 #include "defenses/neural_cleanse.h"
 
 #include <algorithm>
+#include <memory>
+#include <optional>
 
 #include "data/dataloader.h"
 #include "defenses/masked_trigger.h"
@@ -15,6 +17,83 @@ namespace {
 constexpr std::uint64_t kInitSalt = 0x01;
 constexpr std::uint64_t kLoaderSalt = 0x2c;
 
+/// The per-class NC optimization in resumable form (see ClassRefineTask):
+/// run_steps slices concatenate bit-identically to one uninterrupted loop —
+/// the body never reads the step index, and the loader cursor, Adam
+/// moments, dynamic lambda and last loss all live here.
+class NcRefineTask final : public ClassRefineTask {
+ public:
+  NcRefineTask(const ReverseOptConfig& config, Network& model, const Dataset& probe,
+               const ClassScanJob& job)
+      : config_(config),
+        model_(model),
+        job_(job),
+        loader_(probe, config.batch_size, /*shuffle=*/true,
+                hash_combine(job.rng_seed, kLoaderSalt)),
+        lambda_(config.lambda_init) {
+    model_.set_training(false);
+    model_.set_param_grads_enabled(false);
+    Rng rng(hash_combine(job_.rng_seed, kInitSalt));
+    trigger_.emplace(probe.spec().channels, probe.spec().image_size, rng, config_.lr);
+  }
+
+  std::int64_t run_steps(std::int64_t steps) override {
+    if (exhausted_) return 0;
+    std::int64_t ran = 0;
+    Batch batch;
+    while (ran < steps) {
+      if (!loader_.next(batch)) {
+        loader_.new_epoch();
+        if (!loader_.next(batch)) {
+          exhausted_ = true;
+          break;
+        }
+      }
+      trigger_->zero_grad();
+      const Tensor blended = trigger_->apply(batch.images);
+      const Tensor logits = model_.forward(blended);
+      last_loss_ = loss_.forward(logits, job_.target_class);
+      const Tensor dblended = model_.backward(loss_.backward());
+      trigger_->accumulate_from_output_grad(dblended, batch.images);
+      trigger_->add_mask_l1_grad(lambda_);
+      trigger_->step();
+
+      // Dynamic lambda (Neural Cleanse schedule): push sparsity while the
+      // trigger still flips the batch reliably, relax otherwise.
+      std::int64_t hits = 0;
+      for (const std::int64_t pred : argmax_rows(logits)) {
+        if (pred == job_.target_class) ++hits;
+      }
+      const double success =
+          static_cast<double>(hits) / static_cast<double>(batch.labels.size());
+      if (success > config_.success_threshold) {
+        lambda_ = std::min(lambda_ * config_.lambda_up, 100.0F * config_.lambda_init);
+      } else {
+        lambda_ = std::max(lambda_ / config_.lambda_down, 1e-3F * config_.lambda_init);
+      }
+      ++ran;
+    }
+    return ran;
+  }
+
+  [[nodiscard]] double current_mask_l1() const override { return trigger_->mask_l1(); }
+
+  [[nodiscard]] TriggerEstimate finalize() override {
+    return finalize_estimate(model_, job_, *trigger_, last_loss_);
+  }
+
+ private:
+  const ReverseOptConfig& config_;
+  Network& model_;
+  const ClassScanJob job_;
+  DataLoader loader_;
+  std::optional<MaskedTrigger> trigger_;
+  TargetedCrossEntropy loss_;
+  float lambda_;
+  float last_loss_ = 0.0F;
+  bool exhausted_ = false;
+};
+
 }  // namespace
 
 ClassScanScheduler NeuralCleanse::make_scheduler() const {
@@ -22,6 +101,8 @@ ClassScanScheduler NeuralCleanse::make_scheduler() const {
   options.mad_threshold = config_.mad_threshold;
   options.base_seed = config_.seed;
   options.pool = config_.scan_pool;
+  options.external_probe_cache = config_.shared_probe_cache;
+  options.early_exit = config_.early_exit;
   return ClassScanScheduler(options);
 }
 
@@ -34,59 +115,22 @@ TriggerEstimate NeuralCleanse::reverse_engineer_class(Network& model, const Data
 
 TriggerEstimate NeuralCleanse::reverse_engineer_class(Network& model, const Dataset& probe,
                                                       const ClassScanJob& job) {
-  const std::int64_t target_class = job.target_class;
-  model.set_training(false);
-  model.set_param_grads_enabled(false);
-  Rng rng(hash_combine(job.rng_seed, kInitSalt));
-  MaskedTrigger trigger(probe.spec().channels, probe.spec().image_size, rng, config_.lr);
-  TargetedCrossEntropy loss;
-  DataLoader loader(probe, config_.batch_size, /*shuffle=*/true,
-                    hash_combine(job.rng_seed, kLoaderSalt));
-
-  float lambda = config_.lambda_init;
-  float last_loss = 0.0F;
-  Batch batch;
-  for (std::int64_t step = 0; step < config_.steps; ++step) {
-    if (!loader.next(batch)) {
-      loader.new_epoch();
-      if (!loader.next(batch)) break;
-    }
-    trigger.zero_grad();
-    const Tensor blended = trigger.apply(batch.images);
-    const Tensor logits = model.forward(blended);
-    last_loss = loss.forward(logits, target_class);
-    const Tensor dblended = model.backward(loss.backward());
-    trigger.accumulate_from_output_grad(dblended, batch.images);
-    trigger.add_mask_l1_grad(lambda);
-    trigger.step();
-
-    // Dynamic lambda (Neural Cleanse schedule): push sparsity while the
-    // trigger still flips the batch reliably, relax otherwise.
-    std::int64_t hits = 0;
-    for (const std::int64_t pred : argmax_rows(logits)) {
-      if (pred == target_class) ++hits;
-    }
-    const double success =
-        static_cast<double>(hits) / static_cast<double>(batch.labels.size());
-    if (success > config_.success_threshold) {
-      lambda = std::min(lambda * config_.lambda_up, 100.0F * config_.lambda_init);
-    } else {
-      lambda = std::max(lambda / config_.lambda_down, 1e-3F * config_.lambda_init);
-    }
-  }
-
-  TriggerEstimate estimate;
-  estimate.target_class = target_class;
-  estimate.pattern = trigger.pattern();
-  estimate.mask = trigger.mask();
-  estimate.mask_l1 = trigger.mask_l1();
-  estimate.final_loss = last_loss;
-  estimate.fooling_rate = fooling_rate(model, *job.probe_cache, trigger, target_class);
-  return estimate;
+  NcRefineTask task(config_, model, probe, job);
+  (void)task.run_steps(config_.steps);
+  return task.finalize();
 }
 
 DetectionReport NeuralCleanse::detect(Network& model, const Dataset& probe) {
-  return make_scheduler().run(
+  const ClassScanScheduler scheduler = make_scheduler();
+  if (config_.early_exit.enabled) {
+    return scheduler.run_early_exit(
+        name(), model, probe, config_.steps,
+        [this](Network& clone, const Dataset& data,
+               const ClassScanJob& job) -> std::unique_ptr<ClassRefineTask> {
+          return std::make_unique<NcRefineTask>(config_, clone, data, job);
+        });
+  }
+  return scheduler.run(
       name(), model, probe,
       [this](Network& clone, const Dataset& data, const ClassScanJob& job) {
         return reverse_engineer_class(clone, data, job);

@@ -37,22 +37,26 @@ MethodBudget MethodBudget::from_scale(const ExperimentScale& scale) {
   return budget;
 }
 
-DetectorPtr make_detector(MethodKind method, const MethodBudget& budget) {
+DetectorPtr make_detector(MethodKind method, const MethodBudget& budget,
+                          const ProbeBatchCache* shared_probe) {
   switch (method) {
     case MethodKind::kNc: {
       ReverseOptConfig config;
       config.steps = budget.nc_steps;
+      config.shared_probe_cache = shared_probe;
       return std::make_unique<NeuralCleanse>(config);
     }
     case MethodKind::kTabor: {
       TaborConfig config;
       config.base.steps = budget.tabor_steps;
+      config.base.shared_probe_cache = shared_probe;
       return std::make_unique<Tabor>(config);
     }
     case MethodKind::kUsb: {
       UsbConfig config;
       config.refine_steps = budget.usb_refine_steps;
       config.uap.max_passes = budget.uap_max_passes;
+      config.shared_probe_cache = shared_probe;
       return std::make_unique<UsbDetector>(config);
     }
   }
@@ -88,11 +92,14 @@ DetectionCaseResult run_detection_case(const DetectionCaseSpec& spec,
 
     const Dataset probe = make_probe(spec.dataset, spec.probe_size,
                                      hash_combine(0x9e0beULL, static_cast<std::uint64_t>(index)));
+    // One probe materialization per model, shared read-only by every
+    // detector run against it (each detect() previously re-batched it).
+    const ProbeBatchCache shared_probe(probe);
     const std::int64_t true_target =
         spec.attack == AttackKind::kNone ? -1 : model_spec.attack.target_class;
 
     for (std::size_t m = 0; m < methods.size(); ++m) {
-      DetectorPtr detector = make_detector(methods[m], budget);
+      DetectorPtr detector = make_detector(methods[m], budget, &shared_probe);
       const Timer timer;
       const DetectionReport report = detector->detect(model.network, probe);
       result.methods[m].mean_detect_seconds += timer.seconds();

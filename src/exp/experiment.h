@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "data/probe_cache.h"
 #include "defenses/detector.h"
 #include "exp/model_zoo.h"
 #include "metrics/detection.h"
@@ -54,8 +55,14 @@ struct DetectionCaseResult {
   std::vector<MethodRow> methods;
 };
 
-/// Builds a detector of the given kind under the given budget.
-[[nodiscard]] DetectorPtr make_detector(MethodKind method, const MethodBudget& budget);
+/// Builds a detector of the given kind under the given budget. When
+/// `shared_probe` is given it is injected as the detector's prebuilt
+/// full-probe evaluation cache (ClassScanOptions::external_probe_cache), so
+/// every detector run against the same model reuses one materialization
+/// instead of re-batching the probe per detect(); it must outlive the
+/// detector and be batched at the scan's eval batch size (128).
+[[nodiscard]] DetectorPtr make_detector(MethodKind method, const MethodBudget& budget,
+                                        const ProbeBatchCache* shared_probe = nullptr);
 
 /// Trains/loads `scale.models_per_case` models for the case and runs every
 /// requested method on each. Backdoor target class rotates with the model

@@ -1,0 +1,40 @@
+#include "nn/prefix_cache.h"
+
+#include <stdexcept>
+
+#include "tensor/tensor_ops.h"
+
+namespace usb {
+
+PrefixActivationCache::PrefixActivationCache(Network& net, const std::vector<Batch>& batches,
+                                             std::int64_t boundary) {
+  rebuild(net, batches, boundary);
+}
+
+void PrefixActivationCache::rebuild(Network& net, const std::vector<Batch>& batches,
+                                    std::int64_t boundary) {
+  const std::int64_t depth = net.sequential().size();
+  boundary_ = boundary == kFullDepth ? depth : boundary;
+  if (boundary_ < 0 || boundary_ > depth) {
+    throw std::out_of_range("PrefixActivationCache: boundary outside the layer stack");
+  }
+  full_depth_ = boundary_ == depth;
+  net.set_training(false);
+
+  // Grow-never-shrink: keep existing slots (and their heap buffers, via
+  // Tensor's vector storage) alive across rebuilds; assignment reuses
+  // capacity when the new activation is no larger.
+  activations_.resize(batches.size());
+  predictions_.resize(batches.size());
+  for (std::size_t i = 0; i < batches.size(); ++i) {
+    activations_[i] = net.sequential().forward_range(batches[i].images, 0, boundary_);
+    predictions_[i] = full_depth_ ? argmax_rows(activations_[i]) : std::vector<std::int64_t>{};
+  }
+}
+
+Tensor PrefixActivationCache::forward_from(Network& net, std::size_t i) const {
+  if (full_depth_) return activations_[i];
+  return net.sequential().forward_range(activations_[i], boundary_, net.sequential().size());
+}
+
+}  // namespace usb

@@ -1,0 +1,82 @@
+// Shared-prefix forward memoization for multi-class scans.
+//
+// Every detector in this repository evaluates the SAME clean probe batches
+// against the SAME frozen weights once per candidate class, so any forward
+// work that does not depend on the class's perturbation is identical across
+// the K jobs of a scan. PrefixActivationCache runs those batches through the
+// layers below a chosen boundary exactly once (on the scan's reference
+// model, before the per-class fan-out) and memoizes the boundary
+// activations; per-class work restarts from the cached boundary via
+// forward_from() instead of re-entering at the pixels.
+//
+// Where the boundary sits: the first perturbation-dependent layer. The
+// pixel-space triggers of NC/TABOR/USB touch the input itself, so for them
+// the perturbation-independent prefix is the whole network only on CLEAN
+// inputs — the cache is then built at full depth (boundary == layer count)
+// and memoizes clean logits and argmax predictions, which seed Alg. 1's
+// v = 0 warm start (core/targeted_uap.h). Feature-space perturbations (cf.
+// the Latent Backdoor attack, which perturbs at the feature boundary) get an
+// interior boundary, where forward_from() skips the real prefix compute.
+//
+// Determinism contract: forward_range is a pure function of (weights,
+// input) and bit-identical for any thread count (the GEMM core's tile
+// decomposition is size-derived), so an activation cached on the reference
+// model equals the one any per-class clone would recompute, bit for bit.
+// Tests lock in forward_from(cached) == full forward across boundaries.
+//
+// Storage is grow-never-shrink in the workspace style: rebuild() for a new
+// scan reuses the activation buffers whenever shapes match.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataloader.h"
+#include "nn/models.h"
+
+namespace usb {
+
+class PrefixActivationCache {
+ public:
+  PrefixActivationCache() = default;
+
+  /// Runs every batch through layers [0, boundary) of `net` once and caches
+  /// the boundary activations. `boundary` in [0, layer count]; pass
+  /// kFullDepth for the whole stack (activations are then logits, and argmax
+  /// predictions are cached alongside). Forces eval mode, as every scan
+  /// consumer does.
+  static constexpr std::int64_t kFullDepth = -1;
+  PrefixActivationCache(Network& net, const std::vector<Batch>& batches,
+                        std::int64_t boundary = kFullDepth);
+
+  /// Re-runs the prefix for a new scan (new batches and/or weights), reusing
+  /// the cached tensors' storage when shapes match (grow-never-shrink).
+  void rebuild(Network& net, const std::vector<Batch>& batches,
+               std::int64_t boundary = kFullDepth);
+
+  [[nodiscard]] std::int64_t boundary() const noexcept { return boundary_; }
+  [[nodiscard]] std::size_t size() const noexcept { return activations_.size(); }
+  [[nodiscard]] bool full_depth() const noexcept { return full_depth_; }
+
+  /// Cached boundary activation of batch `i` (logits when full depth).
+  [[nodiscard]] const Tensor& activation(std::size_t i) const { return activations_[i]; }
+
+  /// Cached argmax rows of batch `i`; only populated at full depth.
+  [[nodiscard]] const std::vector<std::int64_t>& predictions(std::size_t i) const {
+    return predictions_[i];
+  }
+
+  /// Completes the forward of batch `i` through layers [boundary, end) of
+  /// `net` — the restart-from-boundary entry point. `net` must share the
+  /// reference model's weights (e.g. a per-class clone); at full depth this
+  /// returns a copy of the cached logits without touching `net`.
+  [[nodiscard]] Tensor forward_from(Network& net, std::size_t i) const;
+
+ private:
+  std::vector<Tensor> activations_;
+  std::vector<std::vector<std::int64_t>> predictions_;
+  std::int64_t boundary_ = 0;
+  bool full_depth_ = false;
+};
+
+}  // namespace usb

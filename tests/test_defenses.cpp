@@ -118,6 +118,27 @@ TEST_F(DefenseFixture, FullNcDetectionFlagsVictim) {
   EXPECT_TRUE(outcome == TargetOutcome::kCorrect || outcome == TargetOutcome::kCorrectSet);
 }
 
+TEST_F(DefenseFixture, EarlyExitKeepsVerdictOnBackdooredVictim) {
+  // Early exit trades refinement budget for time on classes that can no
+  // longer become low-side outliers; the verdict on a genuinely backdoored
+  // model must survive that trade.
+  ReverseOptConfig config;
+  config.steps = 80;
+  const DetectionReport full = NeuralCleanse(config).detect(*victim_, *probe_);
+
+  config.early_exit.enabled = true;
+  config.early_exit.round_steps = 16;
+  config.early_exit.min_rounds = 1;
+  config.early_exit.margin = 0.25;
+  const DetectionReport early = NeuralCleanse(config).detect(*victim_, *probe_);
+
+  EXPECT_TRUE(full.verdict.backdoored);
+  EXPECT_EQ(early.verdict.backdoored, full.verdict.backdoored);
+  EXPECT_EQ(early.verdict.flagged_classes, full.verdict.flagged_classes);
+  const TargetOutcome outcome = classify_target(early.verdict, 6);
+  EXPECT_TRUE(outcome == TargetOutcome::kCorrect || outcome == TargetOutcome::kCorrectSet);
+}
+
 TEST_F(DefenseFixture, ParallelDriverMatchesSequentialNorms) {
   // The per-class parallel driver must produce the same statistics as
   // calling reverse_engineer_class sequentially (determinism guarantee).

@@ -1,0 +1,124 @@
+// PrefixActivationCache: restarting a forward from a cached boundary
+// activation must be bit-identical to the full forward from the pixels, for
+// every boundary in the layer stack — that is the contract that lets a scan
+// run the class-independent prefix once and fan per-class work out from the
+// boundary. Full-depth caches additionally memoize logits and argmax
+// predictions (the v = 0 warm start of Alg. 1).
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "data/probe_cache.h"
+#include "data/synthetic.h"
+#include "nn/checkpoint.h"
+#include "nn/models.h"
+#include "nn/prefix_cache.h"
+#include "tensor/tensor_ops.h"
+
+namespace usb {
+namespace {
+
+DatasetSpec tiny_spec() {
+  DatasetSpec spec;
+  spec.name = "prefix-cache-tiny";
+  spec.channels = 1;
+  spec.image_size = 16;
+  spec.num_classes = 4;
+  return spec;
+}
+
+TEST(PrefixActivationCache, ForwardFromAnyBoundaryMatchesFullForward) {
+  const Dataset probe = generate_dataset(tiny_spec(), 24, 91);
+  const ProbeBatchCache batches(probe, 10);  // 10 + 10 + 4: includes a tail batch
+  Network net = make_network(Architecture::kBasicCnn, 1, 16, 4, 92);
+  net.set_training(false);
+
+  std::vector<Tensor> full;
+  for (const Batch& batch : batches.batches()) full.push_back(net.forward(batch.images));
+
+  const std::int64_t depth = net.sequential().size();
+  for (std::int64_t boundary = 0; boundary <= depth; ++boundary) {
+    const PrefixActivationCache cache(net, batches.batches(), boundary);
+    EXPECT_EQ(cache.boundary(), boundary);
+    EXPECT_EQ(cache.full_depth(), boundary == depth);
+    ASSERT_EQ(cache.size(), batches.batches().size());
+    for (std::size_t i = 0; i < batches.batches().size(); ++i) {
+      const Tensor restarted = cache.forward_from(net, i);
+      EXPECT_TRUE(restarted.equals(full[i])) << "boundary=" << boundary << " batch=" << i;
+    }
+  }
+}
+
+TEST(PrefixActivationCache, ForwardFromBoundaryOnCloneMatchesReference) {
+  // The scan builds the cache on the reference model and restarts from the
+  // boundary inside per-class clones; shared weights make that exact.
+  const Dataset probe = generate_dataset(tiny_spec(), 12, 93);
+  const ProbeBatchCache batches(probe, 12);
+  Network reference = make_network(Architecture::kBasicCnn, 1, 16, 4, 94);
+  reference.set_training(false);
+  const Tensor full = reference.forward(batches.batches()[0].images);
+
+  const std::int64_t mid = reference.sequential().size() / 2;
+  const PrefixActivationCache cache(reference, batches.batches(), mid);
+  Network clone = clone_network(reference);
+  clone.set_training(false);
+  EXPECT_TRUE(cache.forward_from(clone, 0).equals(full));
+}
+
+TEST(PrefixActivationCache, FullDepthCachesLogitsAndPredictions) {
+  const Dataset probe = generate_dataset(tiny_spec(), 15, 95);
+  const ProbeBatchCache batches(probe, 8);
+  Network net = make_network(Architecture::kBasicCnn, 1, 16, 4, 96);
+  net.set_training(false);
+
+  const PrefixActivationCache cache(net, batches.batches());
+  EXPECT_TRUE(cache.full_depth());
+  ASSERT_EQ(cache.size(), batches.batches().size());
+  for (std::size_t i = 0; i < cache.size(); ++i) {
+    const Tensor logits = net.forward(batches.batches()[i].images);
+    EXPECT_TRUE(cache.activation(i).equals(logits));
+    EXPECT_EQ(cache.predictions(i), argmax_rows(logits));
+    // forward_from at full depth returns the cached logits without running
+    // any layer.
+    EXPECT_TRUE(cache.forward_from(net, i).equals(logits));
+  }
+}
+
+TEST(PrefixActivationCache, RebuildMatchesFreshCache) {
+  Network net = make_network(Architecture::kBasicCnn, 1, 16, 4, 97);
+  const Dataset first = generate_dataset(tiny_spec(), 20, 98);
+  const Dataset second = generate_dataset(tiny_spec(), 9, 99);
+  const ProbeBatchCache first_batches(first, 8);
+  const ProbeBatchCache second_batches(second, 8);
+
+  // Grow-never-shrink reuse across rebuilds (larger then smaller probe, and
+  // a boundary change) must be invisible in the cached values.
+  PrefixActivationCache reused(net, first_batches.batches());
+  reused.rebuild(net, second_batches.batches());
+  const PrefixActivationCache fresh(net, second_batches.batches());
+  ASSERT_EQ(reused.size(), fresh.size());
+  for (std::size_t i = 0; i < fresh.size(); ++i) {
+    EXPECT_TRUE(reused.activation(i).equals(fresh.activation(i)));
+    EXPECT_EQ(reused.predictions(i), fresh.predictions(i));
+  }
+
+  const std::int64_t mid = net.sequential().size() / 2;
+  reused.rebuild(net, first_batches.batches(), mid);
+  const PrefixActivationCache fresh_mid(net, first_batches.batches(), mid);
+  ASSERT_EQ(reused.size(), fresh_mid.size());
+  for (std::size_t i = 0; i < fresh_mid.size(); ++i) {
+    EXPECT_TRUE(reused.activation(i).equals(fresh_mid.activation(i)));
+  }
+}
+
+TEST(PrefixActivationCache, BoundaryOutsideStackThrows) {
+  Network net = make_network(Architecture::kBasicCnn, 1, 16, 4, 100);
+  const Dataset probe = generate_dataset(tiny_spec(), 4, 101);
+  const ProbeBatchCache batches(probe, 4);
+  EXPECT_THROW(PrefixActivationCache(net, batches.batches(), net.sequential().size() + 1),
+               std::out_of_range);
+  EXPECT_THROW(PrefixActivationCache(net, batches.batches(), -2), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace usb

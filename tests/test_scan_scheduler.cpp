@@ -221,6 +221,110 @@ TEST(ClassScanScheduler, SequentialSingleClassMatchesParallelScan) {
   }
 }
 
+// Shared-prefix caching is a pure reuse optimization: detect() must be
+// bit-identical with the Alg. 1 scan prefix shared or recomputed per class,
+// and that identity must hold at every pool size.
+TEST(ClassScanScheduler, UsbSharedPrefixOnOffBitIdentical) {
+  const DatasetSpec spec = tiny_spec(5);
+  const Dataset probe = generate_dataset(spec, 40, 61);
+  Network victim = make_network(Architecture::kBasicCnn, 1, 16, 5, 62);
+
+  ThreadPool pool_1(1);
+  ThreadPool pool_4(4);
+
+  UsbConfig config = tiny_usb_config();
+  config.share_prefix = true;
+  config.scan_pool = &pool_1;
+  const DetectionReport shared_single = UsbDetector(config).detect(victim, probe);
+  config.scan_pool = &pool_4;
+  const DetectionReport shared_parallel = UsbDetector(config).detect(victim, probe);
+
+  config.share_prefix = false;
+  config.scan_pool = &pool_1;
+  const DetectionReport recomputed_single = UsbDetector(config).detect(victim, probe);
+  config.scan_pool = &pool_4;
+  const DetectionReport recomputed_parallel = UsbDetector(config).detect(victim, probe);
+
+  expect_reports_identical(shared_single, recomputed_single);
+  expect_reports_identical(shared_single, shared_parallel);
+  expect_reports_identical(shared_single, recomputed_parallel);
+}
+
+// An externally injected probe cache (the experiment harness shares one per
+// model across detectors) must not change any bit of the report either.
+TEST(ClassScanScheduler, ExternalProbeCacheBitIdentical) {
+  const DatasetSpec spec = tiny_spec(4);
+  const Dataset probe = generate_dataset(spec, 36, 63);
+  Network victim = make_network(Architecture::kBasicCnn, 1, 16, 4, 64);
+
+  ReverseOptConfig config;
+  config.steps = 6;
+  const DetectionReport fresh = NeuralCleanse(config).detect(victim, probe);
+
+  // Must match the scan's eval_batch_size (128) or the scheduler ignores it.
+  const ProbeBatchCache shared(probe, 128);
+  config.shared_probe_cache = &shared;
+  const DetectionReport cached = NeuralCleanse(config).detect(victim, probe);
+  const DetectionReport cached_again = NeuralCleanse(config).detect(victim, probe);
+
+  expect_reports_identical(fresh, cached);
+  expect_reports_identical(fresh, cached_again);
+}
+
+// Round-sliced refinement must concatenate bit-identically to one
+// uninterrupted run: with a margin no statistic can exceed, early exit
+// retires nothing and the report must equal the monolithic path's exactly.
+TEST(ClassScanScheduler, EarlyExitNeverRetiringMatchesMonolithicRun) {
+  const DatasetSpec spec = tiny_spec(5);
+  const Dataset probe = generate_dataset(spec, 40, 65);
+  Network victim = make_network(Architecture::kBasicCnn, 1, 16, 5, 66);
+
+  UsbConfig config = tiny_usb_config();
+  config.refine_steps = 6;
+  const DetectionReport monolithic = UsbDetector(config).detect(victim, probe);
+
+  config.early_exit.enabled = true;
+  config.early_exit.round_steps = 2;  // three barriers, none may retire
+  config.early_exit.margin = 1e18;
+  const DetectionReport sliced = UsbDetector(config).detect(victim, probe);
+  expect_reports_identical(monolithic, sliced);
+}
+
+// With an aggressive margin classes DO retire early; the report is then
+// allowed to differ from the monolithic one (budget was reclaimed) but must
+// still be bit-identical across thread counts.
+TEST(ClassScanScheduler, EarlyExitBitIdenticalAcrossThreadCounts) {
+  const DatasetSpec spec = tiny_spec(6);
+  const Dataset probe = generate_dataset(spec, 48, 67);
+  Network victim = make_network(Architecture::kBasicCnn, 1, 16, 6, 68);
+
+  ThreadPool pool_1(1);
+  ThreadPool pool_4(4);
+
+  UsbConfig config = tiny_usb_config();
+  config.refine_steps = 8;
+  config.early_exit.enabled = true;
+  config.early_exit.round_steps = 2;
+  config.early_exit.margin = 0.25;
+
+  config.scan_pool = &pool_1;
+  const DetectionReport single = UsbDetector(config).detect(victim, probe);
+  config.scan_pool = &pool_4;
+  const DetectionReport parallel = UsbDetector(config).detect(victim, probe);
+  expect_reports_identical(single, parallel);
+
+  ReverseOptConfig nc_config;
+  nc_config.steps = 8;
+  nc_config.early_exit.enabled = true;
+  nc_config.early_exit.round_steps = 2;
+  nc_config.early_exit.margin = 0.25;
+  nc_config.scan_pool = &pool_1;
+  const DetectionReport nc_single = NeuralCleanse(nc_config).detect(victim, probe);
+  nc_config.scan_pool = &pool_4;
+  const DetectionReport nc_parallel = NeuralCleanse(nc_config).detect(victim, probe);
+  expect_reports_identical(nc_single, nc_parallel);
+}
+
 TEST(ClassScanScheduler, DetectOnEmptyProbeIsWellDefined) {
   const DatasetSpec spec = tiny_spec(4);
   const Dataset probe = generate_dataset(spec, 0, 57);
