@@ -39,7 +39,11 @@ void sweep(const DatasetSpec& spec, Architecture arch, const char* tag,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // Strict shared arg handling (fig_common.h): this bench takes no
+  // arguments, so anything passed is a typo and aborts instead of being
+  // silently ignored.
+  usb::figbench::BenchArgs(argc, argv).finish();
   const ExperimentScale scale = ExperimentScale::from_env();
   std::printf("Ablation: clean-data budget |X| for USB (paper: 300; appendix A.5)\n\n");
   sweep(DatasetSpec::cifar10_like(), Architecture::kMiniResNet, "CIFAR-10-like", scale);

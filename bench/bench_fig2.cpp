@@ -82,7 +82,11 @@ void run_dataset(const DatasetSpec& spec, Architecture arch, std::int64_t trigge
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // Strict shared arg handling (fig_common.h): this bench takes no
+  // arguments, so anything passed is a typo and aborts instead of being
+  // silently ignored.
+  usb::figbench::BenchArgs(argc, argv).finish();
   const ExperimentScale scale = ExperimentScale::from_env();
   std::printf("Figure 2: original vs reversed triggers (panels: original, NC, TABOR, USB)\n\n");
   run_dataset(DatasetSpec::cifar10_like(), Architecture::kMiniResNet, 3, 300, "cifar10", scale);

@@ -11,7 +11,11 @@
 #include "fig_common.h"
 #include "utils/table.h"
 
-int main() {
+int main(int argc, char** argv) {
+  // Strict shared arg handling (fig_common.h): this bench takes no
+  // arguments, so anything passed is a typo and aborts instead of being
+  // silently ignored.
+  usb::figbench::BenchArgs(argc, argv).finish();
   using namespace usb;
   using namespace usb::figbench;
   const ExperimentScale scale = ExperimentScale::from_env();

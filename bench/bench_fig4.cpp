@@ -48,7 +48,11 @@ void run_case(std::int64_t trigger_size, const ExperimentScale& scale) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // Strict shared arg handling (fig_common.h): this bench takes no
+  // arguments, so anything passed is a typo and aborts instead of being
+  // silently ignored.
+  usb::figbench::BenchArgs(argc, argv).finish();
   const ExperimentScale scale = ExperimentScale::from_env();
   std::printf("Figure 4: original vs reversed triggers, 2x2 and 3x3 "
               "(panels: original, NC, TABOR, USB)\n\n");

@@ -21,12 +21,12 @@
 // The flags restrict the matrix axes (default both x both).
 // Emits BENCH_scan_scaling.json.
 #include <cstdio>
-#include <cstring>
 #include <fstream>
 #include <string>
 #include <vector>
 
 #include "core/usb.h"
+#include "fig_common.h"
 #include "data/synthetic.h"
 #include "defenses/neural_cleanse.h"
 #include "nn/models.h"
@@ -83,35 +83,16 @@ UsbConfig matrix_usb_config() {
   return config;
 }
 
-/// Parses --flag=on|off|both into the set of axis values to run.
-std::vector<bool> parse_axis(const char* arg, const char* flag) {
-  const std::size_t flag_len = std::strlen(flag);
-  const char* value = arg + flag_len;
-  if (std::strcmp(value, "on") == 0) return {true};
-  if (std::strcmp(value, "off") == 0) return {false};
-  if (std::strcmp(value, "both") == 0) return {false, true};
-  std::fprintf(stderr, "bench_scan_scaling: bad value in %s (want on|off|both)\n", arg);
-  std::exit(2);
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string json_path = "BENCH_scan_scaling.json";
-  std::vector<bool> prefix_axis = {false, true};
-  std::vector<bool> early_axis = {false, true};
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--prefix-cache=", 15) == 0) {
-      prefix_axis = parse_axis(argv[i], "--prefix-cache=");
-    } else if (std::strncmp(argv[i], "--early-exit=", 13) == 0) {
-      early_axis = parse_axis(argv[i], "--early-exit=");
-    } else if (std::strncmp(argv[i], "--", 2) == 0) {
-      std::fprintf(stderr, "bench_scan_scaling: unknown flag %s\n", argv[i]);
-      return 2;
-    } else {
-      json_path = argv[i];
-    }
-  }
+  // The strict-parsing rule this bench introduced in PR 3 now lives in
+  // figbench::BenchArgs, shared by every fig/table bench.
+  figbench::BenchArgs args(argc, argv);
+  const std::string json_path = args.take_positional().value_or("BENCH_scan_scaling.json");
+  const std::vector<bool> prefix_axis = args.take_axis("prefix-cache", {false, true});
+  const std::vector<bool> early_axis = args.take_axis("early-exit", {false, true});
+  args.finish();
 
   // K = 10 candidate classes on a CIFAR-like synthetic probe.
   const DatasetSpec spec = DatasetSpec::cifar10_like();

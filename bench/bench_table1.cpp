@@ -4,30 +4,45 @@
 // USB each classify every model and (for backdoored ones) predict the
 // target class. This bench regenerates the same rows on the scaled
 // substrate (see DESIGN.md). Scale with USB_MODELS_PER_CASE.
+#include "fig_common.h"
 #include "exp/experiment.h"
 
-int main() {
+int main(int argc, char** argv) {
+  // Strict shared arg handling (fig_common.h): this bench takes no
+  // arguments, so anything passed is a typo and aborts instead of being
+  // silently ignored.
+  usb::figbench::BenchArgs(argc, argv).finish();
   using namespace usb;
   const ExperimentScale scale = ExperimentScale::from_env();
   const std::vector<MethodKind> methods{MethodKind::kNc, MethodKind::kTabor, MethodKind::kUsb};
   const DatasetSpec spec = DatasetSpec::cifar10_like();
 
+  // One service session for all three cases: the probe for model index i is
+  // content-addressed by (spec, 300, hash(0x9e0be, i)), identical across
+  // cases, so the clean and both BadNet populations share the SAME probe
+  // materializations instead of regenerating 3 x models_per_case of them.
+  DetectionService service;
+
   std::vector<DetectionCaseResult> results;
   results.push_back(run_detection_case(
       DetectionCaseSpec{"Clean", spec, Architecture::kMiniResNet, AttackKind::kNone, 0, 0.0, 300},
-      scale, methods));
+      scale, methods, &service));
   results.push_back(run_detection_case(
       DetectionCaseSpec{"Backdoored (2x2 trigger)", spec, Architecture::kMiniResNet,
                         AttackKind::kBadNet, 2, 0.20, 300},
-      scale, methods));
+      scale, methods, &service));
   results.push_back(run_detection_case(
       DetectionCaseSpec{"Backdoored (3x3 trigger)", spec, Architecture::kMiniResNet,
                         AttackKind::kBadNet, 3, 0.15, 300},
-      scale, methods));
+      scale, methods, &service));
 
   print_detection_table(
       "Table 1: CIFAR-10-like + MiniResNet (paper: ResNet-18, 50 models/case; here " +
           std::to_string(scale.models_per_case) + "/case)",
       results);
+  std::printf("probe store: %lld entries, %lld hits, %lld misses (shared across cases)\n",
+              static_cast<long long>(service.probe_store().size()),
+              static_cast<long long>(service.probe_store().hits()),
+              static_cast<long long>(service.probe_store().misses()));
   return 0;
 }

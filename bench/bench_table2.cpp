@@ -5,9 +5,14 @@
 // triggers 20x20 and 25x25, 15 models per case, probe |X| = 500. The repo's
 // substitute runs 48x48 images, so the triggers scale proportionally
 // (20/224 * 48 ~= 4, 25/224 * 48 ~= 5).
+#include "fig_common.h"
 #include "exp/experiment.h"
 
-int main() {
+int main(int argc, char** argv) {
+  // Strict shared arg handling (fig_common.h): this bench takes no
+  // arguments, so anything passed is a typo and aborts instead of being
+  // silently ignored.
+  usb::figbench::BenchArgs(argc, argv).finish();
   using namespace usb;
   ExperimentScale scale = ExperimentScale::from_env();
   scale.epochs = std::max<std::int64_t>(scale.epochs, 5);  // EffNet convergence at 48x48

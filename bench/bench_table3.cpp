@@ -4,9 +4,14 @@
 // The paper's headline here: NC and TABOR detect zero IAD backdoors while
 // USB finds all 15 with the correct target. See EXPERIMENTS.md for how this
 // reproduction's IAD substitution shifts that differential.
+#include "fig_common.h"
 #include "exp/experiment.h"
 
-int main() {
+int main(int argc, char** argv) {
+  // Strict shared arg handling (fig_common.h): this bench takes no
+  // arguments, so anything passed is a typo and aborts instead of being
+  // silently ignored.
+  usb::figbench::BenchArgs(argc, argv).finish();
   using namespace usb;
   const ExperimentScale scale = ExperimentScale::from_env();
   const std::vector<MethodKind> methods{MethodKind::kNc, MethodKind::kTabor, MethodKind::kUsb};

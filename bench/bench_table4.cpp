@@ -1,7 +1,12 @@
 // Table 4 — BadNet on VGG-16 + CIFAR-10 (appendix A.3): clean, 2x2, 3x3.
+#include "fig_common.h"
 #include "exp/experiment.h"
 
-int main() {
+int main(int argc, char** argv) {
+  // Strict shared arg handling (fig_common.h): this bench takes no
+  // arguments, so anything passed is a typo and aborts instead of being
+  // silently ignored.
+  usb::figbench::BenchArgs(argc, argv).finish();
   using namespace usb;
   const ExperimentScale scale = ExperimentScale::from_env();
   const std::vector<MethodKind> methods{MethodKind::kNc, MethodKind::kTabor, MethodKind::kUsb};

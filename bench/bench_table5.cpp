@@ -1,8 +1,13 @@
 // Table 5 — MNIST (appendix A.2): clean, BadNet 2x2, BadNet 3x3 on the
 // paper's Basic CNN family; 50 models per case at paper scale.
+#include "fig_common.h"
 #include "exp/experiment.h"
 
-int main() {
+int main(int argc, char** argv) {
+  // Strict shared arg handling (fig_common.h): this bench takes no
+  // arguments, so anything passed is a typo and aborts instead of being
+  // silently ignored.
+  usb::figbench::BenchArgs(argc, argv).finish();
   using namespace usb;
   ExperimentScale scale = ExperimentScale::from_env();
   scale.epochs = std::max<std::int64_t>(scale.epochs, 5);  // BasicCnn trigger generalization

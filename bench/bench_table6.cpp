@@ -4,9 +4,14 @@
 // (<10 per class), all methods degrade — USB yields more Wrong/missed
 // cases here than on MNIST/CIFAR. bench_ablation_data quantifies the probe
 // budget effect directly.
+#include "fig_common.h"
 #include "exp/experiment.h"
 
-int main() {
+int main(int argc, char** argv) {
+  // Strict shared arg handling (fig_common.h): this bench takes no
+  // arguments, so anything passed is a typo and aborts instead of being
+  // silently ignored.
+  usb::figbench::BenchArgs(argc, argv).finish();
   using namespace usb;
   ExperimentScale scale = ExperimentScale::from_env();
   // 43 classes need proportionally more data and epochs than the 10-class

@@ -17,6 +17,7 @@
 #include <utility>
 #include <vector>
 
+#include "fig_common.h"
 #include "metrics/ssim.h"
 #include "nn/loss.h"
 #include "nn/models.h"
@@ -206,7 +207,9 @@ bool write_json(const std::vector<BenchResult>& results, const std::string& path
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string json_path = argc > 1 ? argv[1] : "BENCH_tensor_ops.json";
+  usb::figbench::BenchArgs args(argc, argv);
+  const std::string json_path = args.take_positional().value_or("BENCH_tensor_ops.json");
+  args.finish();
 
   std::vector<BenchResult> results;
   for (const std::int64_t n : {64, 128, 256, 512}) results.push_back(bench_matmul(n));

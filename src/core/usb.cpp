@@ -6,6 +6,7 @@
 
 #include "data/dataloader.h"
 #include "defenses/masked_trigger.h"
+#include "defenses/scan_plan.h"
 #include "nn/loss.h"
 #include "tensor/tensor_ops.h"
 
@@ -189,24 +190,17 @@ TriggerEstimate UsbDetector::reverse_engineer_class(
   return task.finalize();
 }
 
-DetectionReport UsbDetector::detect(Network& model, const Dataset& probe) {
-  const ClassScanScheduler scheduler = make_scheduler();
-  const ScanSharedBuilder builder = make_shared_builder();
-  if (config_.early_exit.enabled) {
-    return scheduler.run_early_exit(
-        name(), model, probe, config_.refine_steps,
-        [this](Network& clone, const Dataset& data,
-               const ClassScanJob& job) -> std::unique_ptr<ClassRefineTask> {
-          return std::make_unique<UsbRefineTask>(*this, clone, data, job, std::nullopt);
-        },
-        builder);
-  }
-  return scheduler.run(
-      name(), model, probe,
-      [this](Network& clone, const Dataset& data, const ClassScanJob& job) {
-        return reverse_engineer_class(clone, data, job);
-      },
-      builder);
+ScanPlan UsbDetector::plan() const {
+  ScanPlan scan;
+  scan.method = name();
+  scan.options = make_scheduler().options();
+  scan.total_steps = config_.refine_steps;
+  scan.make_task = [this](Network& clone, const Dataset& data,
+                          const ClassScanJob& job) -> std::unique_ptr<ClassRefineTask> {
+    return std::make_unique<UsbRefineTask>(*this, clone, data, job, std::nullopt);
+  };
+  scan.shared_builder = make_shared_builder();
+  return scan;
 }
 
 }  // namespace usb

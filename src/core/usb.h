@@ -69,7 +69,10 @@ class UsbDetector final : public Detector {
   explicit UsbDetector(UsbConfig config) : config_(config) {}
 
   [[nodiscard]] std::string name() const override { return "USB"; }
-  [[nodiscard]] DetectionReport detect(Network& model, const Dataset& probe) override;
+  /// The reified scan (see defenses/scan_plan.h): Alg. 1 + Alg. 2 per-class
+  /// tasks plus the shared-prefix builder. detect() (inherited) runs it
+  /// synchronously; DetectionService runs it with overrides.
+  [[nodiscard]] ScanPlan plan() const override;
 
   /// Full per-class pipeline. If `precomputed_uap` is given, Alg. 1 is
   /// skipped — the paper's Section 4.4 transfer setting, where one UAP is

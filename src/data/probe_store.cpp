@@ -1,0 +1,76 @@
+#include "data/probe_store.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "data/synthetic.h"
+
+namespace usb {
+
+std::string ProbeKey::address() const {
+  // String concatenation, not a fixed buffer: the address is the store's
+  // map key, so truncating a long spec name would silently collapse
+  // distinct keys onto one entry (and serve the wrong probe).
+  char suffix[96];
+  std::snprintf(suffix, sizeof(suffix), "_c%lld_s%lld_k%lld_n%lld_seed%016" PRIx64,
+                static_cast<long long>(spec.channels), static_cast<long long>(spec.image_size),
+                static_cast<long long>(spec.num_classes), static_cast<long long>(probe_size),
+                seed);
+  return spec.name + suffix;
+}
+
+std::shared_ptr<const ProbeData> ProbeStore::get_or_create(const ProbeKey& key) {
+  const std::string address = key.address();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(address);
+  if (it != entries_.end()) {
+    ++hits_;
+    return it->second;
+  }
+  ++misses_;
+  auto data = std::make_shared<ProbeData>();
+  data->key = key;
+  // Identical to exp/model_zoo's make_probe(spec, probe_size, seed), which
+  // data/ cannot call (layering); both are generate_dataset verbatim.
+  data->probe = generate_dataset(key.spec, key.probe_size, key.seed);
+  data->cache = ProbeBatchCache(data->probe, eval_batch_size_);
+  auto entry = std::shared_ptr<const ProbeData>(std::move(data));
+  entries_.emplace(address, entry);
+  return entry;
+}
+
+std::shared_ptr<const ProbeData> ProbeStore::put(const ProbeKey& key, Dataset probe) {
+  const std::string address = key.address();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(address);
+  if (it != entries_.end()) return it->second;
+  auto data = std::make_shared<ProbeData>();
+  data->key = key;
+  data->probe = std::move(probe);
+  data->cache = ProbeBatchCache(data->probe, eval_batch_size_);
+  auto entry = std::shared_ptr<const ProbeData>(std::move(data));
+  entries_.emplace(address, entry);
+  return entry;
+}
+
+void ProbeStore::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+}
+
+std::int64_t ProbeStore::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<std::int64_t>(entries_.size());
+}
+
+std::int64_t ProbeStore::hits() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+std::int64_t ProbeStore::misses() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
+}
+
+}  // namespace usb

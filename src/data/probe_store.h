@@ -1,0 +1,94 @@
+// Content-addressed store of probe datasets and their batch caches.
+//
+// Every probe set in this repository is a pure function of
+// (DatasetSpec, probe_size, seed) — generate_dataset() is deterministic —
+// so that triple IS the content address: two scans that name the same key
+// are guaranteed the same bytes, and the store can hand both the same
+// immutable materialization instead of regenerating and re-batching per
+// case. This resolves the ROADMAP item "probe datasets are regenerated per
+// case and could be content-addressed and cached across cases/scales": the
+// experiment harness previously built one ProbeBatchCache per model and
+// shared it across the three detectors, but rebuilt the probe for every
+// (case, model) pair even when the coordinates matched.
+//
+// Entries are shared_ptr<const ProbeData>; consumers hold the pointer for
+// as long as they need the batches (a scan in flight keeps its probe alive
+// even if the store is cleared concurrently). All methods are thread-safe.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "data/dataset.h"
+#include "data/probe_cache.h"
+
+namespace usb {
+
+/// The content address of a probe set: the full generation coordinates.
+/// Keys compare by value (not by hash) — equal keys are equal datasets.
+struct ProbeKey {
+  DatasetSpec spec;
+  std::int64_t probe_size = 0;
+  std::uint64_t seed = 0;
+
+  /// Canonical string form, e.g. "cifar10_c3_s32_k10_n300_seed000000000009e0be";
+  /// the store's map key and a stable cache-file-style identifier.
+  [[nodiscard]] std::string address() const;
+
+  [[nodiscard]] bool operator==(const ProbeKey& other) const noexcept {
+    return spec.name == other.spec.name && spec.channels == other.spec.channels &&
+           spec.image_size == other.spec.image_size &&
+           spec.num_classes == other.spec.num_classes && probe_size == other.probe_size &&
+           seed == other.seed;
+  }
+};
+
+/// One materialized probe: the dataset plus its evaluation batches, built
+/// once and shared read-only by every scan that names the key.
+struct ProbeData {
+  ProbeKey key;
+  Dataset probe;
+  ProbeBatchCache cache;
+};
+
+class ProbeStore {
+ public:
+  /// `eval_batch_size` is the batching of every entry's ProbeBatchCache;
+  /// it matches ClassScanOptions::eval_batch_size (128) by default so the
+  /// scheduler adopts the shared cache instead of rebuilding its own.
+  explicit ProbeStore(std::int64_t eval_batch_size = 128)
+      : eval_batch_size_(eval_batch_size) {}
+
+  /// Returns the shared materialization for `key`, generating it on first
+  /// use. Generation happens under the store lock: concurrent requests for
+  /// the same key never generate twice, and the result is identical to
+  /// make_probe(spec, probe_size, seed) + ProbeBatchCache(probe).
+  [[nodiscard]] std::shared_ptr<const ProbeData> get_or_create(const ProbeKey& key);
+
+  /// Registers an externally built probe under its key (e.g. a real-data
+  /// probe the synthetic generator cannot reproduce). Returns the stored
+  /// entry; a prior entry for the key wins (first writer, matching the
+  /// content-addressing contract — equal keys must mean equal data).
+  [[nodiscard]] std::shared_ptr<const ProbeData> put(const ProbeKey& key, Dataset probe);
+
+  /// Drops the store's references. In-flight consumers keep their entries
+  /// alive through their own shared_ptrs.
+  void clear();
+
+  [[nodiscard]] std::int64_t size() const;
+  [[nodiscard]] std::int64_t hits() const;    // lookups served from the map
+  [[nodiscard]] std::int64_t misses() const;  // lookups that generated
+  [[nodiscard]] std::int64_t eval_batch_size() const noexcept { return eval_batch_size_; }
+
+ private:
+  std::int64_t eval_batch_size_;
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, std::shared_ptr<const ProbeData>> entries_;
+  std::int64_t hits_ = 0;
+  std::int64_t misses_ = 0;
+};
+
+}  // namespace usb

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "defenses/masked_trigger.h"
 #include "nn/checkpoint.h"
@@ -49,17 +50,30 @@ ClassScanJob ClassScanScheduler::make_job(std::int64_t target_class,
   return job;
 }
 
-DetectionReport ClassScanScheduler::finish(DetectionReport report) const {
+DetectionReport ClassScanScheduler::finish(DetectionReport report, double wall_seconds) const {
   // Ordered reduction: norms enter the MAD stage in class order.
   std::vector<double> norms(report.per_class.size());
   for (std::size_t t = 0; t < norms.size(); ++t) norms[t] = report.per_class[t].mask_l1;
   report.verdict = decide_backdoor(norms, options_.mad_threshold);
+  report.wall_seconds = wall_seconds;
   return report;
+}
+
+void ClassScanScheduler::throw_if_cancelled() const {
+  if (options_.cancel != nullptr && options_.cancel->load(std::memory_order_relaxed)) {
+    throw ScanCancelled();
+  }
+}
+
+void ClassScanScheduler::notify_progress(std::int64_t target_class, ClassScanEvent event,
+                                         double mask_l1) const {
+  if (options_.progress) options_.progress(target_class, event, mask_l1);
 }
 
 DetectionReport ClassScanScheduler::run(const std::string& method, Network& model,
                                         const Dataset& probe, const ReverseFn& reverse_one,
                                         const ScanSharedBuilder& shared_builder) const {
+  const Timer wall;
   const std::int64_t num_classes = probe.spec().num_classes;
   DetectionReport report;
   report.method = method;
@@ -86,15 +100,18 @@ DetectionReport ClassScanScheduler::run(const std::string& method, Network& mode
   ThreadPool& pool = options_.pool != nullptr ? *options_.pool : ThreadPool::global();
   pool.parallel_for(num_classes, [&](std::int64_t begin, std::int64_t end, int /*worker*/) {
     for (std::int64_t t = begin; t < end; ++t) {
+      throw_if_cancelled();
       Network clone = clone_network(model);
       const Timer timer;
       report.per_class[static_cast<std::size_t>(t)] =
           reverse_one(clone, probe, make_job(t, *eval_cache, shared.get()));
       report.per_class_seconds[static_cast<std::size_t>(t)] = timer.seconds();
+      notify_progress(t, ClassScanEvent::kFinalized,
+                      report.per_class[static_cast<std::size_t>(t)].mask_l1);
     }
   });
 
-  return finish(std::move(report));
+  return finish(std::move(report), wall.seconds());
 }
 
 DetectionReport ClassScanScheduler::run_early_exit(const std::string& method, Network& model,
@@ -102,6 +119,10 @@ DetectionReport ClassScanScheduler::run_early_exit(const std::string& method, Ne
                                                    std::int64_t total_steps,
                                                    const RefineTaskFn& make_task,
                                                    const ScanSharedBuilder& shared_builder) const {
+  if (options_.early_exit.async) {
+    return run_async_retire(method, model, probe, total_steps, make_task, shared_builder);
+  }
+  const Timer wall;
   const std::int64_t num_classes = probe.spec().num_classes;
   DetectionReport report;
   report.method = method;
@@ -123,6 +144,7 @@ DetectionReport ClassScanScheduler::run_early_exit(const std::string& method, Ne
   std::vector<std::unique_ptr<ClassRefineTask>> tasks(static_cast<std::size_t>(num_classes));
   pool.parallel_for(num_classes, [&](std::int64_t begin, std::int64_t end, int /*worker*/) {
     for (std::int64_t t = begin; t < end; ++t) {
+      throw_if_cancelled();
       const auto slot = static_cast<std::size_t>(t);
       clones[slot] = std::make_unique<Network>(clone_network(model));
       // Timer starts after the clone, matching run(): per_class_seconds
@@ -148,6 +170,7 @@ DetectionReport ClassScanScheduler::run_early_exit(const std::string& method, Ne
   }
   std::int64_t rounds_done = 0;
   while (!active.empty()) {
+    throw_if_cancelled();
     pool.parallel_for(static_cast<std::int64_t>(active.size()),
                       [&](std::int64_t begin, std::int64_t end, int /*worker*/) {
                         for (std::int64_t i = begin; i < end; ++i) {
@@ -192,7 +215,11 @@ DetectionReport ClassScanScheduler::run_early_exit(const std::string& method, Ne
       // BadNet victim), and disabling early exit restores the exact scan.
       std::vector<std::int64_t> survivors;
       for (const std::int64_t t : next) {
-        if (norms[static_cast<std::size_t>(t)] <= cutoff) survivors.push_back(t);
+        if (norms[static_cast<std::size_t>(t)] <= cutoff) {
+          survivors.push_back(t);
+        } else {
+          notify_progress(t, ClassScanEvent::kRetired, norms[static_cast<std::size_t>(t)]);
+        }
       }
       next = std::move(survivors);
     }
@@ -202,14 +229,132 @@ DetectionReport ClassScanScheduler::run_early_exit(const std::string& method, Ne
   // Phase 3 — parallel finalize, slotted in class order.
   pool.parallel_for(num_classes, [&](std::int64_t begin, std::int64_t end, int /*worker*/) {
     for (std::int64_t t = begin; t < end; ++t) {
+      throw_if_cancelled();
       const auto slot = static_cast<std::size_t>(t);
       const Timer timer;
       report.per_class[slot] = tasks[slot]->finalize();
       report.per_class_seconds[slot] += timer.seconds();
+      notify_progress(t, ClassScanEvent::kFinalized, report.per_class[slot].mask_l1);
     }
   });
 
-  return finish(std::move(report));
+  return finish(std::move(report), wall.seconds());
+}
+
+DetectionReport ClassScanScheduler::run_async_retire(
+    const std::string& method, Network& model, const Dataset& probe, std::int64_t total_steps,
+    const RefineTaskFn& make_task, const ScanSharedBuilder& shared_builder) const {
+  const Timer wall;
+  const std::int64_t num_classes = probe.spec().num_classes;
+  DetectionReport report;
+  report.method = method;
+  report.per_class.resize(static_cast<std::size_t>(num_classes));
+  report.per_class_seconds.assign(static_cast<std::size_t>(num_classes), 0.0);
+
+  ProbeBatchCache local_cache;
+  const ProbeBatchCache* eval_cache = select_probe_cache(options_, probe, local_cache);
+  std::shared_ptr<const ScanSharedState> shared;
+  if (shared_builder) shared = shared_builder(model, probe);
+
+  ThreadPool& pool = options_.pool != nullptr ? *options_.pool : ThreadPool::global();
+
+  // Phase 1 — parallel task construction, exactly as run_early_exit.
+  std::vector<std::unique_ptr<Network>> clones(static_cast<std::size_t>(num_classes));
+  std::vector<std::unique_ptr<ClassRefineTask>> tasks(static_cast<std::size_t>(num_classes));
+  pool.parallel_for(num_classes, [&](std::int64_t begin, std::int64_t end, int /*worker*/) {
+    for (std::int64_t t = begin; t < end; ++t) {
+      throw_if_cancelled();
+      const auto slot = static_cast<std::size_t>(t);
+      clones[slot] = std::make_unique<Network>(clone_network(model));
+      const Timer timer;
+      tasks[slot] = make_task(*clones[slot], probe, make_job(t, *eval_cache, shared.get()));
+      report.per_class_seconds[slot] += timer.seconds();
+    }
+  });
+
+  const std::int64_t round_steps = options_.early_exit.round_steps > 0
+                                       ? options_.early_exit.round_steps
+                                       : std::max<std::int64_t>(1, (total_steps + 5) / 6);
+  std::vector<std::int64_t> remaining(static_cast<std::size_t>(num_classes),
+                                      std::max<std::int64_t>(0, total_steps));
+
+  // Phase 2a — the single rendezvous: every class advances min_rounds
+  // rounds (or to exhaustion), so the cutoff below is computed at one
+  // deterministic logical point of every trajectory.
+  const std::int64_t rendezvous_steps =
+      round_steps * std::max<std::int64_t>(1, options_.early_exit.min_rounds);
+  pool.parallel_for(num_classes, [&](std::int64_t begin, std::int64_t end, int /*worker*/) {
+    for (std::int64_t t = begin; t < end; ++t) {
+      throw_if_cancelled();
+      const auto slot = static_cast<std::size_t>(t);
+      const Timer timer;
+      const std::int64_t steps = std::min(rendezvous_steps, remaining[slot]);
+      const std::int64_t ran = tasks[slot]->run_steps(steps);
+      remaining[slot] = ran < steps ? 0 : remaining[slot] - ran;
+      report.per_class_seconds[slot] += timer.seconds();
+    }
+  });
+
+  // The cutoff is fixed here, from the class-ordered statistics — the only
+  // cross-class data flow of the whole schedule. Every later decision is a
+  // pure function of (a class's own deterministic trajectory, this
+  // constant), which is the entire determinism argument: nothing a worker
+  // does from now on can influence another class's result.
+  double cutoff = std::numeric_limits<double>::infinity();
+  if (options_.early_exit.enabled) {
+    std::vector<double> norms(static_cast<std::size_t>(num_classes));
+    for (std::int64_t t = 0; t < num_classes; ++t) {
+      norms[static_cast<std::size_t>(t)] = tasks[static_cast<std::size_t>(t)]->current_mask_l1();
+    }
+    const double med = median(norms);
+    std::vector<double> deviations(norms.size());
+    for (std::size_t i = 0; i < norms.size(); ++i) deviations[i] = std::abs(norms[i] - med);
+    cutoff = med + options_.early_exit.margin * 1.4826 * median(deviations);
+  }
+
+  // Phase 2b — untethered refinement: still-active classes are claimed
+  // dynamically (parallel_for_deterministic), each running its remaining
+  // rounds back-to-back and retiring the moment its own mask-L1 crosses the
+  // fixed cutoff. No further barriers: a retired or finished class's worker
+  // immediately claims the next unstarted class.
+  std::vector<std::int64_t> active;
+  for (std::int64_t t = 0; t < num_classes; ++t) {
+    if (remaining[static_cast<std::size_t>(t)] > 0) active.push_back(t);
+  }
+  pool.parallel_for_deterministic(
+      static_cast<std::int64_t>(active.size()), [&](std::int64_t index) {
+        const std::int64_t t = active[static_cast<std::size_t>(index)];
+        const auto slot = static_cast<std::size_t>(t);
+        const Timer timer;
+        while (remaining[slot] > 0) {
+          throw_if_cancelled();
+          // Cutoff first: a class already above it (including right at the
+          // rendezvous — the common case for obvious non-targets) retires
+          // without spending another round.
+          if (tasks[slot]->current_mask_l1() > cutoff) {
+            notify_progress(t, ClassScanEvent::kRetired, tasks[slot]->current_mask_l1());
+            break;
+          }
+          const std::int64_t steps = std::min(round_steps, remaining[slot]);
+          const std::int64_t ran = tasks[slot]->run_steps(steps);
+          remaining[slot] = ran < steps ? 0 : remaining[slot] - ran;
+        }
+        report.per_class_seconds[slot] += timer.seconds();
+      });
+
+  // Phase 3 — parallel finalize, slotted in class order.
+  pool.parallel_for(num_classes, [&](std::int64_t begin, std::int64_t end, int /*worker*/) {
+    for (std::int64_t t = begin; t < end; ++t) {
+      throw_if_cancelled();
+      const auto slot = static_cast<std::size_t>(t);
+      const Timer timer;
+      report.per_class[slot] = tasks[slot]->finalize();
+      report.per_class_seconds[slot] += timer.seconds();
+      notify_progress(t, ClassScanEvent::kFinalized, report.per_class[slot].mask_l1);
+    }
+  });
+
+  return finish(std::move(report), wall.seconds());
 }
 
 TriggerEstimate finalize_estimate(Network& model, const ClassScanJob& job,

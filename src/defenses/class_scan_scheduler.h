@@ -42,13 +42,22 @@
 // thread count; with early exit disabled detectors take the run() path,
 // which is byte-for-byte the pre-existing behavior.
 //
+// The async-retirement variant (EarlyExitOptions::async, meant to be
+// driven through DetectionService options) trades the per-round barrier for a
+// single rendezvous that fixes the cutoff, after which classes retire the
+// moment their own statistic crosses it — see EarlyExitOptions::async for
+// the determinism argument.
+//
 // Consequence: a DetectionReport is bit-identical regardless of USB_THREADS
-// (wall-clock timings aside), which tests/test_scan_scheduler.cpp locks in.
+// (wall-clock timings aside), which tests/test_scan_scheduler.cpp and
+// tests/test_detection_service.cpp lock in.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -128,6 +137,45 @@ struct EarlyExitOptions {
   /// than `margin` consistency-scaled MADs (the same 1.4826 scaling the
   /// decision rule uses). 0 stops everything strictly above the median.
   double margin = 1.0;
+  /// Async retirement. Intended to be driven through
+  /// DetectionService::ScanOptions — no detector config documents it or
+  /// sets it by default, though the flag is technically reachable through
+  /// any config embedding EarlyExitOptions (the scheduler tests use that
+  /// route). Instead of a barrier after every
+  /// round, the scan synchronizes ONCE — after every class has run
+  /// `min_rounds` rounds — to fix the MAD cutoff from the class-ordered
+  /// statistics, then lets each class run its remaining rounds untethered,
+  /// retiring the moment its own mask-L1 crosses that fixed cutoff. A slow
+  /// class no longer gates the others' rounds and a retired class frees its
+  /// worker slot immediately. Determinism argument: each class's statistic
+  /// trajectory is a schedule-free function of (base_seed, class) —
+  /// run_steps slices concatenate bit-identically and the tensor kernels
+  /// are schedule-free — the cutoff is computed at one deterministic
+  /// logical point, and every retirement decision is a pure function of
+  /// (own trajectory, fixed cutoff); no decision ever reads another class's
+  /// concurrent progress, so reports stay bit-identical for any thread
+  /// count. Ignored when `enabled` is false.
+  bool async = false;
+};
+
+/// Scan progress notifications (ClassScanOptions::progress).
+enum class ClassScanEvent {
+  kRetired,    // early exit stopped the class before its full budget
+  kFinalized,  // estimate assembled (fooling rate evaluated)
+};
+
+/// Per-class progress callback. Invoked from scan worker threads, possibly
+/// concurrently for different classes — implementations must be
+/// thread-safe. Must not throw.
+using ClassProgressFn =
+    std::function<void(std::int64_t target_class, ClassScanEvent event, double mask_l1)>;
+
+/// Thrown out of run()/run_early_exit() when ClassScanOptions::cancel
+/// becomes true mid-scan (checked at class and round boundaries). Unwinding
+/// discards the partial scan; the scheduler, pool, and any injected caches
+/// stay valid for the next scan.
+struct ScanCancelled : std::runtime_error {
+  ScanCancelled() : std::runtime_error("scan cancelled") {}
 };
 
 struct ClassScanOptions {
@@ -145,6 +193,13 @@ struct ClassScanOptions {
   /// built from the SAME probe set and outlive the scan.
   const ProbeBatchCache* external_probe_cache = nullptr;
   EarlyExitOptions early_exit;
+  /// Cooperative cancellation flag (owned by the caller, e.g. a ScanHandle).
+  /// Checked at class and round boundaries; when it reads true the scan
+  /// throws ScanCancelled. Null disables the checks.
+  const std::atomic<bool>* cancel = nullptr;
+  /// Per-class progress notifications; null disables them. Carries no
+  /// numeric effect on the report.
+  ClassProgressFn progress;
 };
 
 class ClassScanScheduler {
@@ -186,7 +241,10 @@ class ClassScanScheduler {
   /// in rounds of options().early_exit.round_steps, retiring classes the
   /// early-exit rule proves can no longer become low-side outliers, and
   /// finally finalizes every task in class order. `total_steps` is each
-  /// class's full refinement budget.
+  /// class's full refinement budget. With options().early_exit.async set,
+  /// dispatches to the async-retirement schedule instead (one rendezvous,
+  /// then untethered per-class rounds against a fixed cutoff — see
+  /// EarlyExitOptions::async).
   [[nodiscard]] DetectionReport run_early_exit(
       const std::string& method, Network& model, const Dataset& probe,
       std::int64_t total_steps, const RefineTaskFn& make_task,
@@ -195,7 +253,13 @@ class ClassScanScheduler {
   [[nodiscard]] const ClassScanOptions& options() const noexcept { return options_; }
 
  private:
-  [[nodiscard]] DetectionReport finish(DetectionReport report) const;
+  [[nodiscard]] DetectionReport finish(DetectionReport report, double wall_seconds) const;
+  [[nodiscard]] DetectionReport run_async_retire(const std::string& method, Network& model,
+                                                 const Dataset& probe, std::int64_t total_steps,
+                                                 const RefineTaskFn& make_task,
+                                                 const ScanSharedBuilder& shared_builder) const;
+  void throw_if_cancelled() const;
+  void notify_progress(std::int64_t target_class, ClassScanEvent event, double mask_l1) const;
 
   ClassScanOptions options_;
 };

@@ -2,7 +2,14 @@
 
 #include <stdexcept>
 
+#include "defenses/scan_plan.h"
+
 namespace usb {
+
+DetectionReport Detector::detect(Network& model, const Dataset& probe) {
+  const ScanPlan scan = plan();
+  return run_scan_plan(scan, model, probe);
+}
 
 Tensor DetectionReport::reversed_trigger(std::int64_t k) const {
   if (k < 0 || k >= static_cast<std::int64_t>(per_class.size())) {

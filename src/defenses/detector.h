@@ -30,8 +30,16 @@ struct DetectionReport {
   std::string method;
   std::vector<TriggerEstimate> per_class;
   DetectionVerdict verdict;
-  std::vector<double> per_class_seconds;  // wall clock, Table 7
+  std::vector<double> per_class_seconds;  // per-class wall clock, Table 7
+  /// End-to-end scan wall clock, measured around the whole fan-out. Under
+  /// the parallel scan this is what a caller actually waits, while the
+  /// per-class sum below approaches K times it; report both (Table 7 does).
+  double wall_seconds = 0.0;
 
+  /// Sum of the per-class wall clocks — the paper's Table 7 accounting
+  /// (work performed), NOT elapsed time: concurrent class jobs each
+  /// contribute their full duration, so under a parallel scan this exceeds
+  /// `wall_seconds` by up to the pool width.
   [[nodiscard]] double total_seconds() const noexcept {
     double total = 0.0;
     for (const double s : per_class_seconds) total += s;
@@ -40,6 +48,8 @@ struct DetectionReport {
   /// The full-size reversed trigger image pattern*mask for class k.
   [[nodiscard]] Tensor reversed_trigger(std::int64_t k) const;
 };
+
+struct ScanPlan;  // defenses/scan_plan.h
 
 class Detector {
  public:
@@ -50,9 +60,19 @@ class Detector {
 
   [[nodiscard]] virtual std::string name() const = 0;
 
-  /// Runs detection. `probe` is the defender's clean data (the paper uses
-  /// 300 samples for 32x32 datasets, 500 for the ImageNet subset).
-  [[nodiscard]] virtual DetectionReport detect(Network& model, const Dataset& probe) = 0;
+  /// Reifies this detector's scan (per-class task factory, shared-prefix
+  /// builder, scheduler options) without running it — see
+  /// defenses/scan_plan.h. The plan's closures borrow `this`, which must
+  /// outlive any run of the plan. detect() runs the plan synchronously;
+  /// DetectionService runs it asynchronously with pool/cache overrides.
+  [[nodiscard]] virtual ScanPlan plan() const = 0;
+
+  /// Runs detection synchronously. `probe` is the defender's clean data
+  /// (the paper uses 300 samples for 32x32 datasets, 500 for the ImageNet
+  /// subset). The default implementation is a thin adapter:
+  /// run_scan_plan(plan(), model, probe) — byte-for-byte the historical
+  /// per-detector detect() bodies.
+  [[nodiscard]] virtual DetectionReport detect(Network& model, const Dataset& probe);
 };
 
 using DetectorPtr = std::unique_ptr<Detector>;

@@ -6,6 +6,7 @@
 
 #include "data/dataloader.h"
 #include "defenses/masked_trigger.h"
+#include "defenses/scan_plan.h"
 #include "nn/loss.h"
 #include "tensor/tensor_ops.h"
 #include "utils/rng.h"
@@ -120,21 +121,16 @@ TriggerEstimate NeuralCleanse::reverse_engineer_class(Network& model, const Data
   return task.finalize();
 }
 
-DetectionReport NeuralCleanse::detect(Network& model, const Dataset& probe) {
-  const ClassScanScheduler scheduler = make_scheduler();
-  if (config_.early_exit.enabled) {
-    return scheduler.run_early_exit(
-        name(), model, probe, config_.steps,
-        [this](Network& clone, const Dataset& data,
-               const ClassScanJob& job) -> std::unique_ptr<ClassRefineTask> {
-          return std::make_unique<NcRefineTask>(config_, clone, data, job);
-        });
-  }
-  return scheduler.run(
-      name(), model, probe,
-      [this](Network& clone, const Dataset& data, const ClassScanJob& job) {
-        return reverse_engineer_class(clone, data, job);
-      });
+ScanPlan NeuralCleanse::plan() const {
+  ScanPlan scan;
+  scan.method = name();
+  scan.options = make_scheduler().options();
+  scan.total_steps = config_.steps;
+  scan.make_task = [this](Network& clone, const Dataset& data,
+                          const ClassScanJob& job) -> std::unique_ptr<ClassRefineTask> {
+    return std::make_unique<NcRefineTask>(config_, clone, data, job);
+  };
+  return scan;
 }
 
 }  // namespace usb

@@ -40,7 +40,9 @@ class NeuralCleanse final : public Detector {
   explicit NeuralCleanse(ReverseOptConfig config) : config_(config) {}
 
   [[nodiscard]] std::string name() const override { return "NC"; }
-  [[nodiscard]] DetectionReport detect(Network& model, const Dataset& probe) override;
+  /// The reified scan (see defenses/scan_plan.h); detect() (inherited) runs
+  /// it synchronously, DetectionService runs it with overrides.
+  [[nodiscard]] ScanPlan plan() const override;
 
   /// Reverse engineers the trigger for a single class (used by the figure
   /// benches to visualize per-class results). Seeds exactly as the parallel

@@ -1,0 +1,21 @@
+#include "defenses/scan_plan.h"
+
+namespace usb {
+
+DetectionReport run_scan_plan(const ScanPlan& plan, Network& model, const Dataset& probe) {
+  const ClassScanScheduler scheduler(plan.options);
+  if (plan.options.early_exit.enabled) {
+    return scheduler.run_early_exit(plan.method, model, probe, plan.total_steps, plan.make_task,
+                                    plan.shared_builder);
+  }
+  return scheduler.run(
+      plan.method, model, probe,
+      [&plan](Network& clone, const Dataset& data, const ClassScanJob& job) {
+        const std::unique_ptr<ClassRefineTask> task = plan.make_task(clone, data, job);
+        (void)task->run_steps(plan.total_steps);
+        return task->finalize();
+      },
+      plan.shared_builder);
+}
+
+}  // namespace usb

@@ -1,0 +1,45 @@
+// A detector's scan, reified.
+//
+// Detector::plan() packages everything ClassScanScheduler needs to execute
+// the K-class fan-out — the per-class resumable-task factory, the optional
+// shared-prefix builder, and the scheduler options derived from the
+// detector's config — without binding a model, a probe set, a pool, or a
+// schedule. Two consumers run plans:
+//
+//  - Detector::detect(): run_scan_plan(plan(), model, probe) on the calling
+//    thread — the legacy blocking API, byte-for-byte the historical
+//    per-detector detect() bodies;
+//  - DetectionService: copies the plan, overrides options (service pool,
+//    ProbeStore-shared probe cache, cancellation flag, progress callback,
+//    request-level early-exit / async-retirement settings) and runs it on an
+//    executor thread.
+//
+// The plan's closures borrow the detector that built them; the detector
+// must outlive every run of the plan.
+#pragma once
+
+#include "defenses/class_scan_scheduler.h"
+#include "defenses/detector.h"
+
+namespace usb {
+
+struct ScanPlan {
+  std::string method;
+  ClassScanOptions options;
+  /// Full refinement budget per class (total run_steps of one task).
+  std::int64_t total_steps = 0;
+  ClassScanScheduler::RefineTaskFn make_task;
+  ScanSharedBuilder shared_builder;  // null when the detector shares nothing
+};
+
+/// Runs a plan to completion on the calling thread — the single scan
+/// execution path behind both detect() and the service. Early exit disabled
+/// takes the monolithic run() path (each class's task constructed, advanced
+/// through its whole budget in one slice, finalized — exactly the historical
+/// reverse_engineer_class body); enabled takes run_early_exit(), which
+/// itself dispatches to the async-retirement schedule when
+/// options.early_exit.async is set.
+[[nodiscard]] DetectionReport run_scan_plan(const ScanPlan& plan, Network& model,
+                                            const Dataset& probe);
+
+}  // namespace usb

@@ -32,7 +32,9 @@ class Tabor final : public Detector {
   explicit Tabor(TaborConfig config) : config_(config) {}
 
   [[nodiscard]] std::string name() const override { return "TABOR"; }
-  [[nodiscard]] DetectionReport detect(Network& model, const Dataset& probe) override;
+  /// The reified scan (see defenses/scan_plan.h); detect() (inherited) runs
+  /// it synchronously, DetectionService runs it with overrides.
+  [[nodiscard]] ScanPlan plan() const override;
 
   /// Seeds exactly as the parallel scan does, so results match detect().
   [[nodiscard]] TriggerEstimate reverse_engineer_class(Network& model, const Dataset& probe,

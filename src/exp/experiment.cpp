@@ -1,6 +1,7 @@
 #include "exp/experiment.h"
 
 #include <cstdio>
+#include <optional>
 #include <stdexcept>
 
 #include "core/usb.h"
@@ -8,7 +9,6 @@
 #include "defenses/tabor.h"
 #include "utils/logging.h"
 #include "utils/table.h"
-#include "utils/timer.h"
 
 namespace usb {
 
@@ -65,14 +65,25 @@ DetectorPtr make_detector(MethodKind method, const MethodBudget& budget,
 
 DetectionCaseResult run_detection_case(const DetectionCaseSpec& spec,
                                        const ExperimentScale& scale,
-                                       const std::vector<MethodKind>& methods) {
+                                       const std::vector<MethodKind>& methods,
+                                       DetectionService* service) {
   DetectionCaseResult result;
   result.spec = spec;
   for (const MethodKind method : methods) {
     result.methods.push_back(MethodRow{to_string(method), CaseCounts{to_string(method)}, 0.0});
   }
 
+  // Case-private service when the caller shares none across cases.
+  std::optional<DetectionService> local_service;
+  if (service == nullptr) service = &local_service.emplace();
+
   const MethodBudget budget = MethodBudget::from_scale(scale);
+
+  // Phase 1 — train or load the whole population (zoo-cached; the models
+  // must outlive submit(), which is where the service clones them).
+  std::vector<TrainedModel> models;
+  std::vector<std::int64_t> true_targets;
+  models.reserve(static_cast<std::size_t>(scale.models_per_case));
   for (std::int64_t index = 0; index < scale.models_per_case; ++index) {
     ModelCaseSpec model_spec;
     model_spec.dataset = spec.dataset;
@@ -86,23 +97,47 @@ DetectionCaseResult run_detection_case(const DetectionCaseSpec& spec,
     // trigger and target; rotate the target with the model index.
     model_spec.attack.target_class = index % spec.dataset.num_classes;
 
-    TrainedModel model = train_or_load(model_spec);
-    result.mean_accuracy += model.clean_accuracy;
-    result.mean_asr += model.asr;
+    models.push_back(train_or_load(model_spec));
+    result.mean_accuracy += models.back().clean_accuracy;
+    result.mean_asr += models.back().asr;
+    true_targets.push_back(spec.attack == AttackKind::kNone ? -1
+                                                           : model_spec.attack.target_class);
+  }
 
-    const Dataset probe = make_probe(spec.dataset, spec.probe_size,
-                                     hash_combine(0x9e0beULL, static_cast<std::uint64_t>(index)));
-    // One probe materialization per model, shared read-only by every
-    // detector run against it (each detect() previously re-batched it).
-    const ProbeBatchCache shared_probe(probe);
-    const std::int64_t true_target =
-        spec.attack == AttackKind::kNone ? -1 : model_spec.attack.target_class;
+  // Phase 2 — submit every (model x method) scan at once. The probe is
+  // named by content address, so the service materializes each model's
+  // probe once for all methods (and reuses it across cases sharing the
+  // same coordinates when the caller passed a shared service). Memory
+  // trade-off, accepted at this repo's model scale (mini networks, <MB
+  // each): submit() deep-copies the model per request — the safety
+  // contract that lets concurrent methods scan one model — so a queue of
+  // models_per_case x methods requests holds that many clones until the
+  // executors drain it. A queue-depth/admission limit is a ROADMAP item.
+  std::vector<ScanHandle> handles;
+  handles.reserve(models.size() * methods.size());
+  for (std::int64_t index = 0; index < scale.models_per_case; ++index) {
+    for (const MethodKind method : methods) {
+      ScanRequest request;
+      request.model = &models[static_cast<std::size_t>(index)].network;
+      request.detector = make_detector(method, budget);
+      request.probe_key = ProbeKey{spec.dataset, spec.probe_size,
+                                   hash_combine(0x9e0beULL, static_cast<std::uint64_t>(index))};
+      handles.push_back(service->submit(std::move(request)));
+    }
+  }
 
-    for (std::size_t m = 0; m < methods.size(); ++m) {
-      DetectorPtr detector = make_detector(methods[m], budget, &shared_probe);
-      const Timer timer;
-      const DetectionReport report = detector->detect(model.network, probe);
-      result.methods[m].mean_detect_seconds += timer.seconds();
+  // Phase 3 — ordered reduction, as if the legacy loop had run.
+  std::size_t handle_index = 0;
+  for (std::int64_t index = 0; index < scale.models_per_case; ++index) {
+    for (std::size_t m = 0; m < methods.size(); ++m, ++handle_index) {
+      const ScanOutcome& outcome = handles[handle_index].wait();
+      if (outcome.status != ScanStatus::kDone) {
+        throw std::runtime_error("run_detection_case: scan " + to_string(outcome.status) +
+                                 (outcome.error.empty() ? "" : ": " + outcome.error));
+      }
+      const DetectionReport& report = outcome.report;
+      const std::int64_t true_target = true_targets[static_cast<std::size_t>(index)];
+      result.methods[m].mean_detect_seconds += report.wall_seconds;
       result.methods[m].counts.record(report.verdict, true_target);
       USB_LOG(Info) << spec.label << " model " << index << " " << report.method
                     << (report.verdict.backdoored ? " -> backdoored" : " -> clean")

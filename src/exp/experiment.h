@@ -13,6 +13,7 @@
 #include "defenses/detector.h"
 #include "exp/model_zoo.h"
 #include "metrics/detection.h"
+#include "service/detection_service.h"
 
 namespace usb {
 
@@ -45,7 +46,9 @@ struct DetectionCaseSpec {
 struct MethodRow {
   std::string method;
   CaseCounts counts;
-  double mean_detect_seconds = 0.0;  // full detect() per model
+  /// Mean end-to-end scan wall clock per model (DetectionReport::
+  /// wall_seconds — what a caller waits, not the per-class work sum).
+  double mean_detect_seconds = 0.0;
 };
 
 struct DetectionCaseResult {
@@ -57,19 +60,29 @@ struct DetectionCaseResult {
 
 /// Builds a detector of the given kind under the given budget. When
 /// `shared_probe` is given it is injected as the detector's prebuilt
-/// full-probe evaluation cache (ClassScanOptions::external_probe_cache), so
-/// every detector run against the same model reuses one materialization
-/// instead of re-batching the probe per detect(); it must outlive the
-/// detector and be batched at the scan's eval batch size (128).
+/// full-probe evaluation cache (ClassScanOptions::external_probe_cache); it
+/// must outlive the detector and be batched at the scan's eval batch size
+/// (128). The harness itself no longer passes one — scans submitted through
+/// DetectionService get their cache from the service's ProbeStore — but
+/// direct detect() callers still can.
 [[nodiscard]] DetectorPtr make_detector(MethodKind method, const MethodBudget& budget,
                                         const ProbeBatchCache* shared_probe = nullptr);
 
-/// Trains/loads `scale.models_per_case` models for the case and runs every
-/// requested method on each. Backdoor target class rotates with the model
-/// index (the paper varies triggers per trained model).
+/// Trains/loads `scale.models_per_case` models for the case, then submits
+/// every (model x method) scan to a DetectionService at once — scans of one
+/// case overlap on the service pool instead of running back to back, and
+/// each model's probe is resolved through the service's content-addressed
+/// ProbeStore (shared across the methods scanning it, and across cases when
+/// `service` is passed in). Backdoor target class rotates with the model
+/// index (the paper varies triggers per trained model). Results are
+/// bit-identical to the historical sequential detect() loop.
+///
+/// `service` is optional: null runs the case on a private service; passing
+/// one shares its ProbeStore and pool across cases (bench_table1 does).
 [[nodiscard]] DetectionCaseResult run_detection_case(const DetectionCaseSpec& spec,
                                                      const ExperimentScale& scale,
-                                                     const std::vector<MethodKind>& methods);
+                                                     const std::vector<MethodKind>& methods,
+                                                     DetectionService* service = nullptr);
 
 /// Prints results in the paper's table layout.
 void print_detection_table(const std::string& title,

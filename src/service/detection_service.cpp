@@ -1,0 +1,234 @@
+#include "service/detection_service.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <stdexcept>
+#include <utility>
+
+#include "nn/checkpoint.h"
+
+namespace usb {
+
+std::string to_string(ScanStatus status) {
+  switch (status) {
+    case ScanStatus::kQueued: return "queued";
+    case ScanStatus::kRunning: return "running";
+    case ScanStatus::kDone: return "done";
+    case ScanStatus::kCancelled: return "cancelled";
+    case ScanStatus::kFailed: return "failed";
+  }
+  return "unknown";
+}
+
+namespace detail {
+
+/// Shared between the submitting thread, one executor, and any number of
+/// ScanHandle copies. The request payload (model clone, detector, probe)
+/// is released the moment the scan reaches a terminal status; the outcome
+/// stays alive for as long as any handle does.
+struct ScanState {
+  std::uint64_t id = 0;
+
+  // Request payload. Touched only by submit() (filling) and the one
+  // executor that runs the scan (consuming + releasing) — never by handles.
+  std::unique_ptr<Network> model;
+  DetectorPtr detector;
+  std::shared_ptr<const ProbeData> stored_probe;  // probe_key requests
+  std::unique_ptr<Dataset> owned_probe;           // explicit-probe requests
+  ScanOptions options;
+
+  std::atomic<bool> cancel{false};
+  mutable std::mutex mutex;
+  mutable std::condition_variable done_cv;
+  ScanOutcome outcome;  // outcome.status doubles as the live status
+  bool terminal = false;
+
+  void finish(ScanOutcome final_outcome) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex);
+      outcome = std::move(final_outcome);
+      terminal = true;
+    }
+    done_cv.notify_all();
+    // Drop the payload: a long-lived handle must not pin a model clone or
+    // a probe materialization.
+    model.reset();
+    detector.reset();
+    stored_probe.reset();
+    owned_probe.reset();
+  }
+};
+
+}  // namespace detail
+
+namespace {
+
+using detail::ScanState;
+
+const std::shared_ptr<ScanState>& require_state(const std::shared_ptr<ScanState>& state) {
+  if (state == nullptr) throw std::logic_error("ScanHandle: empty handle");
+  return state;
+}
+
+/// Mirrors ThreadPool::global()'s sizing so a default service behaves like
+/// the pool every detect() call used before the service existed.
+int resolve_scan_threads(int requested) {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("USB_THREADS")) {
+    const int parsed = std::atoi(env);
+    if (parsed > 0) return parsed;
+  }
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  return std::clamp(hw, 1, 16);
+}
+
+}  // namespace
+
+std::uint64_t ScanHandle::id() const { return require_state(state_)->id; }
+
+ScanStatus ScanHandle::poll() const {
+  const auto& state = require_state(state_);
+  const std::lock_guard<std::mutex> lock(state->mutex);
+  return state->outcome.status;
+}
+
+const ScanOutcome& ScanHandle::wait() const {
+  const auto& state = require_state(state_);
+  std::unique_lock<std::mutex> lock(state->mutex);
+  state->done_cv.wait(lock, [&state] { return state->terminal; });
+  return state->outcome;
+}
+
+bool ScanHandle::cancel() const {
+  const auto& state = require_state(state_);
+  state->cancel.store(true, std::memory_order_relaxed);
+  const std::lock_guard<std::mutex> lock(state->mutex);
+  return !state->terminal;
+}
+
+DetectionService::DetectionService(DetectionServiceConfig config)
+    : config_(config),
+      scan_pool_(resolve_scan_threads(config.scan_threads)),
+      probe_store_(config.eval_batch_size) {
+  const int executors = std::max(1, config_.max_concurrent_scans);
+  executors_.reserve(static_cast<std::size_t>(executors));
+  for (int i = 0; i < executors; ++i) {
+    executors_.emplace_back([this] { executor_loop(); });
+  }
+}
+
+DetectionService::~DetectionService() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+    // Queued scans resolve to kCancelled the moment an executor pops them;
+    // running scans hit the flag at their next class/round boundary.
+    for (const auto& state : live_) state->cancel.store(true, std::memory_order_relaxed);
+  }
+  work_available_.notify_all();
+  for (std::thread& executor : executors_) executor.join();
+}
+
+ScanHandle DetectionService::submit(ScanRequest request) {
+  if (request.model == nullptr) throw std::invalid_argument("ScanRequest: null model");
+  if (request.detector == nullptr) throw std::invalid_argument("ScanRequest: null detector");
+  if (!request.probe_key.has_value() && request.probe == nullptr) {
+    throw std::invalid_argument("ScanRequest: neither probe_key nor probe set");
+  }
+
+  auto state = std::make_shared<ScanState>();
+  state->id = next_id_.fetch_add(1);
+  // Deep copy now: the caller's model may be mutated or destroyed after
+  // submit(), and concurrent requests naming the same model must not race
+  // on its per-instance forward caches. The scheduler still clones this
+  // clone per class, so reports match detect() on the original bit for bit.
+  state->model = std::make_unique<Network>(clone_network(*request.model));
+  state->detector = std::move(request.detector);
+  if (request.probe_key.has_value()) {
+    state->stored_probe = probe_store_.get_or_create(*request.probe_key);
+  } else {
+    state->owned_probe = std::make_unique<Dataset>(*request.probe);
+  }
+  state->options = std::move(request.options);
+
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (shutting_down_) throw std::runtime_error("DetectionService: submit after shutdown");
+    queue_.push_back(state);
+    live_.push_back(state);
+  }
+  submitted_.fetch_add(1);
+  work_available_.notify_one();
+  return ScanHandle(std::move(state));
+}
+
+void DetectionService::drain() {
+  std::vector<std::shared_ptr<ScanState>> snapshot;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    snapshot.assign(live_.begin(), live_.end());
+  }
+  for (const auto& state : snapshot) {
+    std::unique_lock<std::mutex> lock(state->mutex);
+    state->done_cv.wait(lock, [&state] { return state->terminal; });
+  }
+}
+
+void DetectionService::executor_loop() {
+  for (;;) {
+    std::shared_ptr<ScanState> state;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(lock, [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutting down and fully drained
+      state = queue_.front();
+      queue_.pop_front();
+    }
+    execute(state);
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      live_.erase(std::find(live_.begin(), live_.end(), state));
+    }
+  }
+}
+
+void DetectionService::execute(const std::shared_ptr<ScanState>& state) {
+  if (state->cancel.load(std::memory_order_relaxed)) {
+    cancelled_.fetch_add(1);
+    state->finish(ScanOutcome{ScanStatus::kCancelled, {}, {}});
+    return;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(state->mutex);
+    state->outcome.status = ScanStatus::kRunning;
+  }
+
+  try {
+    // The detector's own plan, with the service's session state wired in.
+    // None of the overrides has a numeric effect (pool size and cache
+    // adoption are schedule-only; cancel/progress carry no data into the
+    // scan), so a default-options run matches detect() byte for byte.
+    ScanPlan plan = state->detector->plan();
+    plan.options.pool = &scan_pool_;
+    plan.options.cancel = &state->cancel;
+    if (state->options.progress) plan.options.progress = state->options.progress;
+    if (state->options.early_exit.has_value()) plan.options.early_exit = *state->options.early_exit;
+    const Dataset& probe =
+        state->stored_probe != nullptr ? state->stored_probe->probe : *state->owned_probe;
+    if (plan.options.external_probe_cache == nullptr && state->stored_probe != nullptr) {
+      plan.options.external_probe_cache = &state->stored_probe->cache;
+    }
+
+    DetectionReport report = run_scan_plan(plan, *state->model, probe);
+    completed_.fetch_add(1);
+    state->finish(ScanOutcome{ScanStatus::kDone, std::move(report), {}});
+  } catch (const ScanCancelled&) {
+    cancelled_.fetch_add(1);
+    state->finish(ScanOutcome{ScanStatus::kCancelled, {}, {}});
+  } catch (const std::exception& error) {
+    failed_.fetch_add(1);
+    state->finish(ScanOutcome{ScanStatus::kFailed, {}, error.what()});
+  }
+}
+
+}  // namespace usb

@@ -1,0 +1,190 @@
+// DetectionService: a session/request API over the scan engine.
+//
+// The paper's workflow — reverse-engineer one UAP-guided trigger per class,
+// MAD-reduce the mask-L1 statistics — is a blocking Detector::detect() call
+// per (model, method). Production traffic wants more: many models scanned
+// by many methods concurrently, probe datasets shared across requests
+// instead of regenerated per case, scans that can be cancelled, and
+// progress that can be observed. The service owns that session state:
+//
+//  - one scan ThreadPool shared by every in-flight request (per-class jobs
+//    of overlapping scans interleave on the same workers; the pool's
+//    per-call completion tracking keeps the scans independent);
+//  - a content-addressed ProbeStore (data/probe_store.h): requests name
+//    their probe by (DatasetSpec, size, seed) and every request with the
+//    same key shares one immutable Dataset + ProbeBatchCache across
+//    methods, models, cases, and scales;
+//  - a small executor crew that drains the request queue, so submit()
+//    returns immediately with a future-like ScanHandle (wait / poll /
+//    cancel / per-class progress callbacks).
+//
+// Determinism carries over unchanged: a report produced through the service
+// is bit-identical to Detector::detect() on the same (model, probe, config)
+// for any pool size, any executor count, and any interleaving with other
+// requests — every per-class RNG stream still derives only from
+// (base_seed, class), and the pool/cache overrides the service applies have
+// no numeric effect (tests/test_detection_service.cpp pins submit() ==
+// detect() byte-for-byte, including with async retirement enabled).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "data/probe_store.h"
+#include "defenses/detector.h"
+#include "defenses/scan_plan.h"
+#include "utils/thread_pool.h"
+
+namespace usb {
+
+enum class ScanStatus {
+  kQueued,     // submitted, not yet picked up by an executor
+  kRunning,    // an executor is inside run_scan_plan
+  kDone,       // report available
+  kCancelled,  // cancel() (or service shutdown) stopped it
+  kFailed,     // the scan threw; see ScanOutcome::error
+};
+
+[[nodiscard]] std::string to_string(ScanStatus status);
+
+/// Terminal result of a scan. `report` is meaningful only when status is
+/// kDone; `error` only when kFailed.
+struct ScanOutcome {
+  ScanStatus status = ScanStatus::kQueued;
+  DetectionReport report;
+  std::string error;
+};
+
+/// Per-request execution options. The default-constructed value changes
+/// nothing: the scan runs exactly as the detector's own config dictates,
+/// which is what makes default submit() byte-identical to detect().
+struct ScanOptions {
+  /// When set, replaces the detector's early-exit configuration — the
+  /// intended switch for async retirement (EarlyExitOptions::async), which
+  /// no detector config sets on its own.
+  std::optional<EarlyExitOptions> early_exit;
+  /// Per-class progress notifications (task finalized / early-retired).
+  /// Invoked from scan worker threads, possibly concurrently — must be
+  /// thread-safe and must not throw.
+  ClassProgressFn progress;
+};
+
+/// One detection request. The service deep-copies the model at submit()
+/// (so the caller may mutate or destroy it immediately after, and two
+/// requests naming the same model never race on its forward caches) and
+/// takes ownership of the detector (its config drives the scan; the plan's
+/// closures borrow it for the scan's lifetime).
+struct ScanRequest {
+  Network* model = nullptr;
+  DetectorPtr detector;
+  /// Probe: either a content address resolved through the service's
+  /// ProbeStore (preferred — shared across requests)...
+  std::optional<ProbeKey> probe_key;
+  /// ...or an explicit dataset, copied at submit(). probe_key wins if both
+  /// are set.
+  const Dataset* probe = nullptr;
+  ScanOptions options;
+};
+
+namespace detail {
+struct ScanState;
+}  // namespace detail
+
+/// Future-like view of a submitted scan. Cheap to copy; all methods are
+/// thread-safe. Outlives the service (a handle keeps its outcome alive).
+class ScanHandle {
+ public:
+  ScanHandle() = default;
+
+  [[nodiscard]] std::uint64_t id() const;
+  /// Current status without blocking.
+  [[nodiscard]] ScanStatus poll() const;
+  /// Blocks until the scan reaches a terminal status; returns the outcome
+  /// (kept alive by this handle). Never throws on scan failure — inspect
+  /// outcome.status / outcome.error.
+  const ScanOutcome& wait() const;
+  /// Requests cooperative cancellation (checked at class and round
+  /// boundaries). Returns true if the scan had not yet reached a terminal
+  /// status — the eventual status is then kCancelled unless the scan beat
+  /// the flag to completion. The service stays fully reusable.
+  bool cancel() const;
+
+ private:
+  friend class DetectionService;
+  explicit ScanHandle(std::shared_ptr<detail::ScanState> state) : state_(std::move(state)) {}
+
+  std::shared_ptr<detail::ScanState> state_;
+};
+
+struct DetectionServiceConfig {
+  /// Workers of the shared scan pool. 0 sizes it like ThreadPool::global():
+  /// USB_THREADS if set, else hardware concurrency capped at 16.
+  int scan_threads = 0;
+  /// Executor threads draining the request queue = scans in flight at once.
+  int max_concurrent_scans = 2;
+  /// Batching of ProbeStore entries; 128 matches the scheduler default so
+  /// shared caches are adopted instead of rebuilt.
+  std::int64_t eval_batch_size = 128;
+};
+
+class DetectionService {
+ public:
+  explicit DetectionService(DetectionServiceConfig config = {});
+  /// Cancels every queued and running scan (their handles resolve to
+  /// kCancelled) and joins the executors. Handles stay valid afterwards.
+  ~DetectionService();
+
+  DetectionService(const DetectionService&) = delete;
+  DetectionService& operator=(const DetectionService&) = delete;
+
+  /// Enqueues a scan and returns immediately. The model is cloned and the
+  /// probe resolved (ProbeStore) or copied on the calling thread, so the
+  /// request's borrowed pointers are dead weight the moment this returns.
+  /// Throws std::invalid_argument on a malformed request (null model/
+  /// detector, no probe).
+  ScanHandle submit(ScanRequest request);
+
+  /// Blocks until every scan submitted so far has reached a terminal
+  /// status. New submissions during the wait are not covered.
+  void drain();
+
+  [[nodiscard]] ProbeStore& probe_store() noexcept { return probe_store_; }
+  [[nodiscard]] ThreadPool& scan_pool() noexcept { return scan_pool_; }
+  [[nodiscard]] const DetectionServiceConfig& config() const noexcept { return config_; }
+
+  [[nodiscard]] std::int64_t scans_submitted() const noexcept { return submitted_.load(); }
+  [[nodiscard]] std::int64_t scans_completed() const noexcept { return completed_.load(); }
+  [[nodiscard]] std::int64_t scans_cancelled() const noexcept { return cancelled_.load(); }
+  [[nodiscard]] std::int64_t scans_failed() const noexcept { return failed_.load(); }
+
+ private:
+  void executor_loop();
+  void execute(const std::shared_ptr<detail::ScanState>& state);
+
+  DetectionServiceConfig config_;
+  ThreadPool scan_pool_;
+  ProbeStore probe_store_;
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::deque<std::shared_ptr<detail::ScanState>> queue_;
+  std::vector<std::shared_ptr<detail::ScanState>> live_;  // queued or running
+  bool shutting_down_ = false;
+  std::vector<std::thread> executors_;
+
+  std::atomic<std::uint64_t> next_id_{1};
+  std::atomic<std::int64_t> submitted_{0};
+  std::atomic<std::int64_t> completed_{0};
+  std::atomic<std::int64_t> cancelled_{0};
+  std::atomic<std::int64_t> failed_{0};
+};
+
+}  // namespace usb

@@ -104,12 +104,12 @@ void ThreadPool::worker_loop() {
     } catch (...) {
       t_inside_worker = false;
       const std::lock_guard<std::mutex> lock(mutex_);
-      if (!first_error_) first_error_ = std::current_exception();
+      if (!task.job->error) task.job->error = std::current_exception();
     }
     {
       const std::lock_guard<std::mutex> lock(mutex_);
-      --outstanding_;
-      if (outstanding_ == 0) work_done_.notify_all();
+      --task.job->outstanding;
+      if (task.job->outstanding == 0) work_done_.notify_all();
     }
   }
 }
@@ -151,25 +151,22 @@ void ThreadPool::parallel_for(std::int64_t count,
   const std::int64_t base = count / chunks;
   const std::int64_t remainder = count % chunks;
 
+  ForJob job;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     std::int64_t begin = 0;
     for (std::int64_t c = 0; c < chunks; ++c) {
       const std::int64_t len = base + (c < remainder ? 1 : 0);
-      queue_.push_back(Task{&body, begin, begin + len, static_cast<int>(c)});
+      queue_.push_back(Task{&body, begin, begin + len, static_cast<int>(c), &job});
       begin += len;
     }
-    outstanding_ += chunks;
+    job.outstanding = chunks;
   }
   work_available_.notify_all();
 
   std::unique_lock<std::mutex> lock(mutex_);
-  work_done_.wait(lock, [this] { return outstanding_ == 0; });
-  if (first_error_) {
-    const std::exception_ptr error = first_error_;
-    first_error_ = nullptr;
-    std::rethrow_exception(error);
-  }
+  work_done_.wait(lock, [&job] { return job.outstanding == 0; });
+  if (job.error) std::rethrow_exception(job.error);
 }
 
 void ThreadPool::parallel_for_deterministic(std::int64_t num_tiles,

@@ -44,7 +44,11 @@ class ThreadPool {
 
   /// Runs body(begin_i, end_i, worker_index) over a static partition of
   /// [0, count). Blocks until all chunks complete. Exceptions thrown by the
-  /// body are rethrown on the calling thread (first one wins).
+  /// body are rethrown on the calling thread (first one wins). Safe to call
+  /// from several non-worker threads concurrently — each call tracks its own
+  /// completion and its own first error, so overlapping scans submitted by
+  /// different DetectionService executors share the workers without sharing
+  /// failure state or wakeups.
   void parallel_for(std::int64_t count,
                     const std::function<void(std::int64_t, std::int64_t, int)>& body);
 
@@ -66,11 +70,23 @@ class ThreadPool {
   static ThreadPool& global();
 
  private:
+  /// One in-flight parallel_for call. Lives on the submitting thread's
+  /// stack; `outstanding` and `error` are guarded by the pool mutex. The
+  /// submitter cannot return (and destroy the job) before every chunk has
+  /// decremented `outstanding` under the mutex, and no worker touches the
+  /// job after its decrement, so the stack lifetime is safe even with
+  /// several concurrent submitters.
+  struct ForJob {
+    std::int64_t outstanding = 0;
+    std::exception_ptr error;
+  };
+
   struct Task {
     const std::function<void(std::int64_t, std::int64_t, int)>* body = nullptr;
     std::int64_t begin = 0;
     std::int64_t end = 0;
     int worker_index = 0;
+    ForJob* job = nullptr;
   };
 
   /// One in-flight parallel_for_deterministic call. Lives on the submitting
@@ -98,8 +114,6 @@ class ThreadPool {
   std::mutex mutex_;
   std::condition_variable work_available_;
   std::condition_variable work_done_;
-  std::int64_t outstanding_ = 0;
-  std::exception_ptr first_error_;
   bool shutting_down_ = false;
 };
 

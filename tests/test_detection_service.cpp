@@ -1,0 +1,370 @@
+// DetectionService: the session/request API over the scan engine.
+//
+// The load-bearing guarantees under test:
+//  - submit() with default options is byte-for-byte Detector::detect() on
+//    the same (model, probe, config) — for any service pool size, with the
+//    probe resolved through the ProbeStore or passed explicitly, and with
+//    async retirement enabled through request options;
+//  - ScanHandle::cancel() mid-scan resolves the handle to kCancelled and
+//    leaves the service fully reusable (a resubmitted identical request
+//    completes and is bit-identical to detect());
+//  - the ProbeStore is content-addressed: every request naming the same
+//    (spec, size, seed) shares one materialization;
+//  - overlapping scans on one service pool do not perturb each other's
+//    reports (the ThreadSanitizer CI job additionally races these paths).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <optional>
+
+#include "core/usb.h"
+#include "data/synthetic.h"
+#include "defenses/neural_cleanse.h"
+#include "nn/models.h"
+#include "service/detection_service.h"
+
+namespace usb {
+namespace {
+
+DatasetSpec tiny_spec(std::int64_t num_classes = 6) {
+  DatasetSpec spec;
+  spec.name = "detection-service-tiny";
+  spec.channels = 1;
+  spec.image_size = 16;
+  spec.num_classes = num_classes;
+  return spec;
+}
+
+UsbConfig tiny_usb_config() {
+  UsbConfig config;
+  config.uap.max_passes = 1;
+  config.uap.craft_size = 32;
+  config.uap.batch_size = 16;
+  config.refine_steps = 4;
+  config.batch_size = 8;
+  return config;
+}
+
+ReverseOptConfig tiny_nc_config(std::int64_t steps = 6) {
+  ReverseOptConfig config;
+  config.steps = steps;
+  return config;
+}
+
+void expect_reports_identical(const DetectionReport& a, const DetectionReport& b) {
+  EXPECT_EQ(a.method, b.method);
+  ASSERT_EQ(a.per_class.size(), b.per_class.size());
+  for (std::size_t t = 0; t < a.per_class.size(); ++t) {
+    const TriggerEstimate& x = a.per_class[t];
+    const TriggerEstimate& y = b.per_class[t];
+    EXPECT_EQ(x.target_class, y.target_class);
+    EXPECT_EQ(x.mask_l1, y.mask_l1);
+    EXPECT_EQ(x.final_loss, y.final_loss);
+    EXPECT_EQ(x.fooling_rate, y.fooling_rate);
+    EXPECT_TRUE(x.pattern.equals(y.pattern));
+    EXPECT_TRUE(x.mask.equals(y.mask));
+  }
+  EXPECT_EQ(a.verdict.backdoored, b.verdict.backdoored);
+  EXPECT_EQ(a.verdict.flagged_classes, b.verdict.flagged_classes);
+  EXPECT_EQ(a.verdict.norms, b.verdict.norms);
+  EXPECT_EQ(a.verdict.anomaly, b.verdict.anomaly);
+}
+
+DetectionServiceConfig service_config(int scan_threads, int executors = 2) {
+  DetectionServiceConfig config;
+  config.scan_threads = scan_threads;
+  config.max_concurrent_scans = executors;
+  return config;
+}
+
+}  // namespace
+
+// The acceptance-criteria pin: default-options submit() == detect() byte
+// for byte, across service pool sizes, for both probe plumbing variants.
+TEST(DetectionService, DefaultSubmitMatchesDetectByteForByte) {
+  const DatasetSpec spec = tiny_spec();
+  const ProbeKey key{spec, 48, 81};
+  const Dataset probe = generate_dataset(spec, 48, 81);
+  Network victim = make_network(Architecture::kBasicCnn, 1, 16, spec.num_classes, 82);
+
+  UsbDetector reference(tiny_usb_config());
+  const DetectionReport direct = reference.detect(victim, probe);
+
+  for (const int threads : {1, 4}) {
+    DetectionService service(service_config(threads));
+
+    ScanRequest by_key;
+    by_key.model = &victim;
+    by_key.detector = std::make_unique<UsbDetector>(tiny_usb_config());
+    by_key.probe_key = key;
+    const ScanHandle key_handle = service.submit(std::move(by_key));
+
+    ScanRequest by_value;
+    by_value.model = &victim;
+    by_value.detector = std::make_unique<UsbDetector>(tiny_usb_config());
+    by_value.probe = &probe;
+    const ScanHandle value_handle = service.submit(std::move(by_value));
+
+    const ScanOutcome& from_key = key_handle.wait();
+    const ScanOutcome& from_value = value_handle.wait();
+    ASSERT_EQ(from_key.status, ScanStatus::kDone) << from_key.error;
+    ASSERT_EQ(from_value.status, ScanStatus::kDone) << from_value.error;
+    expect_reports_identical(direct, from_key.report);
+    expect_reports_identical(direct, from_value.report);
+    EXPECT_GT(from_key.report.wall_seconds, 0.0);
+    EXPECT_EQ(key_handle.poll(), ScanStatus::kDone);
+  }
+}
+
+// Same pin with async retirement switched on through request options (the
+// intended switch for it): submit must match a detect() whose config
+// carries the identical early-exit settings, at 1 and 4 scan threads.
+TEST(DetectionService, AsyncRetirementSubmitMatchesDetectAcrossThreadCounts) {
+  const DatasetSpec spec = tiny_spec();
+  const ProbeKey key{spec, 48, 83};
+  const Dataset probe = generate_dataset(spec, 48, 83);
+  Network victim = make_network(Architecture::kBasicCnn, 1, 16, spec.num_classes, 84);
+
+  EarlyExitOptions early;
+  early.enabled = true;
+  early.async = true;
+  early.round_steps = 2;
+  early.margin = 0.25;
+
+  UsbConfig reference_config = tiny_usb_config();
+  reference_config.refine_steps = 8;
+  reference_config.early_exit = early;
+  const DetectionReport direct = UsbDetector(reference_config).detect(victim, probe);
+
+  for (const int threads : {1, 4}) {
+    DetectionService service(service_config(threads));
+    ScanRequest request;
+    request.model = &victim;
+    UsbConfig config = tiny_usb_config();
+    config.refine_steps = 8;  // early-exit settings come from the request
+    request.detector = std::make_unique<UsbDetector>(config);
+    request.probe_key = key;
+    request.options.early_exit = early;
+    const ScanHandle handle = service.submit(std::move(request));
+    const ScanOutcome& outcome = handle.wait();
+    ASSERT_EQ(outcome.status, ScanStatus::kDone) << outcome.error;
+    expect_reports_identical(direct, outcome.report);
+  }
+}
+
+// cancel() mid-scan: the progress callback blocks the scan after its first
+// finalized class until the handle exists, cancels through it, and the scan
+// must resolve to kCancelled at the next class boundary. The service then
+// runs a resubmitted identical request to completion, bit-identical to
+// detect() — cancellation leaves no residue.
+TEST(DetectionService, CancelMidScanLeavesServiceReusable) {
+  const DatasetSpec spec = tiny_spec();
+  const ProbeKey key{spec, 48, 85};
+  const Dataset probe = generate_dataset(spec, 48, 85);
+  Network victim = make_network(Architecture::kBasicCnn, 1, 16, spec.num_classes, 86);
+
+  DetectionService service(service_config(/*scan_threads=*/1, /*executors=*/1));
+
+  std::optional<ScanHandle> handle;
+  std::promise<void> handle_ready;
+  std::shared_future<void> ready(handle_ready.get_future());
+  std::atomic<bool> cancelled{false};
+
+  ScanRequest request;
+  request.model = &victim;
+  request.detector = std::make_unique<NeuralCleanse>(tiny_nc_config());
+  request.probe_key = key;
+  request.options.progress = [&](std::int64_t /*target_class*/, ClassScanEvent event,
+                                 double /*mask_l1*/) {
+    if (event != ClassScanEvent::kFinalized) return;
+    ready.wait();  // the main thread owns the handle before we cancel
+    if (!cancelled.exchange(true)) (void)handle->cancel();
+  };
+  handle = service.submit(std::move(request));
+  handle_ready.set_value();
+
+  const ScanOutcome& outcome = handle->wait();
+  EXPECT_EQ(outcome.status, ScanStatus::kCancelled);
+  EXPECT_TRUE(cancelled.load());
+  EXPECT_EQ(service.scans_cancelled(), 1);
+  EXPECT_FALSE(handle->cancel());  // already terminal
+
+  // Reusability: the identical request (default options) completes and is
+  // bit-identical to the blocking path.
+  const DetectionReport direct = NeuralCleanse(tiny_nc_config()).detect(victim, probe);
+  ScanRequest again;
+  again.model = &victim;
+  again.detector = std::make_unique<NeuralCleanse>(tiny_nc_config());
+  again.probe_key = key;
+  const ScanHandle rerun_handle = service.submit(std::move(again));
+  const ScanOutcome& rerun = rerun_handle.wait();
+  ASSERT_EQ(rerun.status, ScanStatus::kDone) << rerun.error;
+  expect_reports_identical(direct, rerun.report);
+  EXPECT_EQ(service.scans_completed(), 1);
+}
+
+// Cancelling a scan that is still queued (single executor busy elsewhere)
+// resolves it without running a single class job.
+TEST(DetectionService, CancelWhileQueuedNeverRuns) {
+  const DatasetSpec spec = tiny_spec();
+  const ProbeKey key{spec, 48, 87};
+  Network victim = make_network(Architecture::kBasicCnn, 1, 16, spec.num_classes, 88);
+
+  DetectionService service(service_config(/*scan_threads=*/1, /*executors=*/1));
+
+  // Occupy the only executor long enough to cancel the second request while
+  // it is still queued (steps are generous; cancel happens immediately).
+  ScanRequest busy;
+  busy.model = &victim;
+  busy.detector = std::make_unique<NeuralCleanse>(tiny_nc_config(/*steps=*/30));
+  busy.probe_key = key;
+  const ScanHandle busy_handle = service.submit(std::move(busy));
+
+  std::atomic<std::int64_t> victim_classes{0};
+  ScanRequest queued;
+  queued.model = &victim;
+  queued.detector = std::make_unique<NeuralCleanse>(tiny_nc_config());
+  queued.probe_key = key;
+  queued.options.progress = [&victim_classes](std::int64_t, ClassScanEvent, double) {
+    victim_classes.fetch_add(1);
+  };
+  const ScanHandle queued_handle = service.submit(std::move(queued));
+  (void)queued_handle.cancel();
+
+  EXPECT_EQ(queued_handle.wait().status, ScanStatus::kCancelled);
+  EXPECT_EQ(victim_classes.load(), 0);
+  EXPECT_EQ(busy_handle.wait().status, ScanStatus::kDone);
+}
+
+// Content addressing: requests naming the same (spec, size, seed) share one
+// materialization; a different seed is a different address.
+TEST(DetectionService, ProbeStoreSharesAcrossRequests) {
+  const DatasetSpec spec = tiny_spec(4);
+  Network victim = make_network(Architecture::kBasicCnn, 1, 16, 4, 90);
+
+  DetectionService service(service_config(/*scan_threads=*/1));
+  const ProbeKey key_a{spec, 32, 91};
+  const ProbeKey key_b{spec, 32, 92};
+  EXPECT_NE(key_a.address(), key_b.address());
+
+  std::vector<ScanHandle> handles;
+  for (const ProbeKey& key : {key_a, key_a, key_b}) {
+    ScanRequest request;
+    request.model = &victim;
+    request.detector = std::make_unique<NeuralCleanse>(tiny_nc_config(/*steps=*/3));
+    request.probe_key = key;
+    handles.push_back(service.submit(std::move(request)));
+  }
+  for (const ScanHandle& handle : handles) {
+    EXPECT_EQ(handle.wait().status, ScanStatus::kDone);
+  }
+  EXPECT_EQ(service.probe_store().size(), 2);
+  EXPECT_EQ(service.probe_store().misses(), 2);
+  EXPECT_EQ(service.probe_store().hits(), 1);
+
+  // Identical resubmissions are bit-identical (determinism is per-request
+  // state, never shared scan state).
+  expect_reports_identical(handles[0].wait().report, handles[1].wait().report);
+}
+
+// Two scans overlapping on ONE service pool must produce exactly the
+// reports their isolated runs produce.
+TEST(DetectionService, OverlappingScansDoNotPerturbEachOther) {
+  const DatasetSpec spec = tiny_spec(4);
+  const ProbeKey key{spec, 32, 93};
+  const Dataset probe = generate_dataset(spec, 32, 93);
+  Network victim_a = make_network(Architecture::kBasicCnn, 1, 16, 4, 94);
+  Network victim_b = make_network(Architecture::kMiniVgg, 1, 16, 4, 95);
+
+  const DetectionReport direct_a = NeuralCleanse(tiny_nc_config()).detect(victim_a, probe);
+  const DetectionReport direct_b = UsbDetector(tiny_usb_config()).detect(victim_b, probe);
+
+  DetectionService service(service_config(/*scan_threads=*/2, /*executors=*/2));
+  ScanRequest request_a;
+  request_a.model = &victim_a;
+  request_a.detector = std::make_unique<NeuralCleanse>(tiny_nc_config());
+  request_a.probe_key = key;
+  ScanRequest request_b;
+  request_b.model = &victim_b;
+  request_b.detector = std::make_unique<UsbDetector>(tiny_usb_config());
+  request_b.probe_key = key;
+
+  const ScanHandle handle_a = service.submit(std::move(request_a));
+  const ScanHandle handle_b = service.submit(std::move(request_b));
+  const ScanOutcome& outcome_a = handle_a.wait();
+  const ScanOutcome& outcome_b = handle_b.wait();
+  ASSERT_EQ(outcome_a.status, ScanStatus::kDone) << outcome_a.error;
+  ASSERT_EQ(outcome_b.status, ScanStatus::kDone) << outcome_b.error;
+  expect_reports_identical(direct_a, outcome_a.report);
+  expect_reports_identical(direct_b, outcome_b.report);
+}
+
+// Progress events: one kFinalized per class, in any order, plus drain()
+// returning only after every submitted scan is terminal.
+TEST(DetectionService, ProgressEventsAndDrain) {
+  const DatasetSpec spec = tiny_spec(4);
+  const ProbeKey key{spec, 32, 96};
+  Network victim = make_network(Architecture::kBasicCnn, 1, 16, 4, 97);
+
+  DetectionService service(service_config(/*scan_threads=*/1));
+  std::atomic<std::int64_t> finalized{0};
+  ScanRequest request;
+  request.model = &victim;
+  request.detector = std::make_unique<NeuralCleanse>(tiny_nc_config(/*steps=*/3));
+  request.probe_key = key;
+  request.options.progress = [&finalized](std::int64_t, ClassScanEvent event, double) {
+    if (event == ClassScanEvent::kFinalized) finalized.fetch_add(1);
+  };
+  const ScanHandle handle = service.submit(std::move(request));
+  service.drain();
+  EXPECT_EQ(handle.poll(), ScanStatus::kDone);
+  EXPECT_EQ(finalized.load(), 4);
+}
+
+// Destroying a service with work in flight cancels it; handles stay valid
+// and resolve terminally instead of hanging.
+TEST(DetectionService, ShutdownCancelsOutstandingScans) {
+  const DatasetSpec spec = tiny_spec();
+  const ProbeKey key{spec, 48, 98};
+  Network victim = make_network(Architecture::kBasicCnn, 1, 16, spec.num_classes, 99);
+
+  std::vector<ScanHandle> handles;
+  {
+    DetectionService service(service_config(/*scan_threads=*/1, /*executors=*/1));
+    for (int i = 0; i < 3; ++i) {
+      ScanRequest request;
+      request.model = &victim;
+      request.detector = std::make_unique<NeuralCleanse>(tiny_nc_config(/*steps=*/30));
+      request.probe_key = key;
+      handles.push_back(service.submit(std::move(request)));
+    }
+  }  // dtor: cancels queued + running scans, joins executors
+  for (const ScanHandle& handle : handles) {
+    const ScanStatus status = handle.wait().status;
+    EXPECT_TRUE(status == ScanStatus::kCancelled || status == ScanStatus::kDone);
+  }
+}
+
+TEST(DetectionService, MalformedRequestsAreRejected) {
+  const DatasetSpec spec = tiny_spec(4);
+  Network victim = make_network(Architecture::kBasicCnn, 1, 16, 4, 100);
+  DetectionService service(service_config(/*scan_threads=*/1));
+
+  ScanRequest no_model;
+  no_model.detector = std::make_unique<NeuralCleanse>(tiny_nc_config());
+  no_model.probe_key = ProbeKey{spec, 32, 1};
+  EXPECT_THROW((void)service.submit(std::move(no_model)), std::invalid_argument);
+
+  ScanRequest no_detector;
+  no_detector.model = &victim;
+  no_detector.probe_key = ProbeKey{spec, 32, 1};
+  EXPECT_THROW((void)service.submit(std::move(no_detector)), std::invalid_argument);
+
+  ScanRequest no_probe;
+  no_probe.model = &victim;
+  no_probe.detector = std::make_unique<NeuralCleanse>(tiny_nc_config());
+  EXPECT_THROW((void)service.submit(std::move(no_probe)), std::invalid_argument);
+}
+
+}  // namespace usb
