@@ -1,13 +1,19 @@
 // Micro-benchmarks for the kernels everything else sits on: the blocked
 // GEMM core behind the matmul family, conv2d forward/backward (shapes
-// matched to the CNN architectures in src/nn/models.cpp), SSIM with
-// gradient, and a full MiniResNet forward/backward step.
+// matched to the CNN architectures in src/nn/models.cpp), the elementwise
+// kernel suite (dispatched vs portable variants, GB/s), SSIM with gradient,
+// a full MiniResNet forward/backward step, and the steady-state
+// alloc-pressure of a real refinement step (Tensor heap allocations per
+// step after warm-up — the zero-allocation contract).
 //
 // Results go to stdout as a table AND to BENCH_tensor_ops.json (op, shape,
-// ns/iter, items/s, GFLOP/s) so successive PRs can diff the perf trajectory
-// mechanically; bench/check_regression.py gates CI on it against
-// bench/baseline/BENCH_tensor_ops.json. Pass a path argument to redirect
-// the JSON.
+// ns/iter, items/s, GFLOP/s, plus gb_per_s / speedup_vs_portable on the
+// ew_* entries and allocs_per_step on the alloc-pressure entry) so
+// successive PRs can diff the perf trajectory mechanically;
+// bench/check_regression.py gates CI on it against
+// bench/baseline/BENCH_tensor_ops.json — the ew_* and refine_step_allocs
+// entries (and their extra fields) are hard-required there. Pass a path
+// argument to redirect the JSON.
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
@@ -17,10 +23,15 @@
 #include <utility>
 #include <vector>
 
+#include "data/synthetic.h"
+#include "defenses/neural_cleanse.h"
+#include "defenses/scan_plan.h"
 #include "fig_common.h"
 #include "metrics/ssim.h"
+#include "nn/checkpoint.h"
 #include "nn/loss.h"
 #include "nn/models.h"
+#include "tensor/elementwise.h"
 #include "tensor/tensor_ops.h"
 #include "utils/rng.h"
 #include "utils/timer.h"
@@ -36,6 +47,9 @@ struct BenchResult {
   double ns_per_iter = 0.0;
   double items_per_second = 0.0;  // 0 when the op has no item count
   double gflops = 0.0;            // 0 when the op has no flop count
+  double gb_per_s = 0.0;          // >0 only on elementwise entries
+  double speedup_vs_portable = 0.0;  // >0 only on elementwise entries
+  double allocs_per_step = -1.0;     // >=0 only on the alloc-pressure entry
 };
 
 // Prevents the optimizer from deleting a benchmarked expression's result.
@@ -147,6 +161,147 @@ BenchResult bench_conv_backward(const std::string& name, const Conv2dSpec& spec,
                        2.0 * conv_flops(spec, batch, image), /*is_flops=*/true);
 }
 
+// ---- Elementwise kernel suite -------------------------------------------
+//
+// Each entry runs the dispatched kernel (AVX2 where the CPU has it) and the
+// forced-portable variant on the same L2-resident buffers, reporting GB/s
+// of the dispatched form and its speedup over portable. The repetition
+// count keeps one iteration well above the regression gate's noise floor.
+
+constexpr std::int64_t kEwElems = 16384;  // 64 KiB per buffer: L2-resident
+constexpr std::int64_t kEwReps = 256;     // kernel calls per timed iteration
+
+struct EwBuffers {
+  Tensor a, b, c, d;
+  EwBuffers()
+      : a(Shape{kEwElems}), b(Shape{kEwElems}), c(Shape{kEwElems}), d(Shape{kEwElems}) {
+    Rng rng(1234);
+    for (std::int64_t i = 0; i < kEwElems; ++i) {
+      a[i] = rng.uniform_float(-1.0F, 1.0F);
+      b[i] = rng.uniform_float(0.001F, 0.999F);
+      c[i] = rng.uniform_float(0.0F, 1.0F);
+      d[i] = rng.uniform_float(0.0F, 0.1F);
+    }
+  }
+};
+
+BenchResult bench_elementwise(const std::string& name, double bytes_per_element,
+                              const std::function<void()>& body) {
+  char shape[32];
+  std::snprintf(shape, sizeof(shape), "%lldx%lld", static_cast<long long>(kEwReps),
+                static_cast<long long>(kEwElems));
+  const double elements = static_cast<double>(kEwElems) * static_cast<double>(kEwReps);
+  BenchResult dispatched = run_benchmark(name, shape, body, elements);
+  dispatched.gb_per_s = dispatched.items_per_second * bytes_per_element / 1e9;
+  if (ew::variant_available(ew::Variant::kAvx2) &&
+      ew::active_variant() == ew::Variant::kAvx2) {
+    ew::force_variant(ew::Variant::kPortable);
+    const BenchResult portable = run_benchmark(name, shape, body, elements);
+    ew::force_variant(std::nullopt);
+    dispatched.speedup_vs_portable = portable.ns_per_iter / dispatched.ns_per_iter;
+  } else {
+    dispatched.speedup_vs_portable = 1.0;  // portable IS the dispatched kernel
+  }
+  return dispatched;
+}
+
+std::vector<BenchResult> bench_elementwise_suite() {
+  static EwBuffers buffers;  // static: keep alive across the timed lambdas
+  Tensor out(Shape{kEwElems});
+  Tensor out2(Shape{kEwElems});
+  std::vector<BenchResult> results;
+
+  // relu_fwd: read x, write y -> 8 bytes/element.
+  results.push_back(bench_elementwise("ew_relu_fwd", 8.0, [&] {
+    for (std::int64_t r = 0; r < kEwReps; ++r) {
+      ew::relu_fwd(buffers.a.raw(), out.raw(), kEwElems);
+    }
+    do_not_optimize(out.raw());
+  }));
+  // sigmoid_bwd: read s + dy, write dx -> 12 bytes/element.
+  results.push_back(bench_elementwise("ew_sigmoid_bwd", 12.0, [&] {
+    for (std::int64_t r = 0; r < kEwReps; ++r) {
+      ew::sigmoid_bwd(buffers.b.raw(), buffers.a.raw(), out.raw(), kEwElems);
+    }
+    do_not_optimize(out.raw());
+  }));
+  // axpy: read src, read+write dst -> 12 bytes/element.
+  results.push_back(bench_elementwise("ew_axpy", 12.0, [&] {
+    for (std::int64_t r = 0; r < kEwReps; ++r) {
+      ew::axpy(out.raw(), buffers.a.raw(), 0.001F, kEwElems);
+    }
+    do_not_optimize(out.raw());
+  }));
+  // blend: read x + m + p, write out -> 16 bytes/element.
+  results.push_back(bench_elementwise("ew_blend", 16.0, [&] {
+    for (std::int64_t r = 0; r < kEwReps; ++r) {
+      ew::blend(buffers.a.raw(), buffers.b.raw(), buffers.c.raw(), out.raw(), kEwElems);
+    }
+    do_not_optimize(out.raw());
+  }));
+  // clamp: read+write dst -> 8 bytes/element.
+  results.push_back(bench_elementwise("ew_clamp", 8.0, [&] {
+    for (std::int64_t r = 0; r < kEwReps; ++r) {
+      ew::clamp(out.raw(), -0.5F, 0.5F, kEwElems);
+    }
+    do_not_optimize(out.raw());
+  }));
+  // adam: read grad, read+write m/v/value -> 28 bytes/element. The moment
+  // buffers evolve across reps; that only changes values, not cost.
+  const ew::AdamParams adam{0.001F, 0.5F, 0.9F, 1e-8F, 0.5F, 0.19F};
+  results.push_back(bench_elementwise("ew_adam_update", 28.0, [&] {
+    for (std::int64_t r = 0; r < kEwReps; ++r) {
+      ew::adam_update(out.raw(), buffers.a.raw(), out2.raw(), buffers.d.raw(), kEwElems, adam);
+    }
+    do_not_optimize(out.raw());
+  }));
+  return results;
+}
+
+// ---- Steady-state alloc pressure ----------------------------------------
+//
+// Runs the REAL per-class NC refinement task (plan()->make_task) and counts
+// Tensor heap allocations per steady-state step after warm-up. The contract
+// is exactly zero; check_regression.py fails CI on anything else. ns/iter
+// is the per-step wall clock, gated like any kernel.
+BenchResult bench_refine_step_alloc_pressure() {
+  DatasetSpec spec;
+  spec.name = "bench-alloc";
+  spec.channels = 1;
+  spec.image_size = 16;
+  spec.num_classes = 6;
+  const Dataset probe = generate_dataset(spec, 64, 7);
+  Network model = make_network(Architecture::kBasicCnn, 1, 16, spec.num_classes, 3);
+
+  ReverseOptConfig config;
+  config.steps = 1 << 20;  // never exhausts during the bench
+  config.batch_size = 16;
+  const NeuralCleanse detector(config);
+  const ScanPlan plan = detector.plan();
+  const ClassScanScheduler scheduler(plan.options);
+  const ProbeBatchCache cache = scheduler.make_cache(probe);
+  const ClassScanJob job = scheduler.make_job(0, cache, nullptr);
+  Network clone = clone_network(model);
+  const auto task = plan.make_task(clone, probe, job);
+  (void)task->run_steps(8);  // warm-up: arena slots, loader batch, caches
+
+  const std::uint64_t allocs_before = tensor_heap_allocations();
+  std::int64_t steps = 0;
+  const Timer timer;
+  while (steps < 32 || timer.seconds() < 0.25) steps += task->run_steps(8);
+  const double elapsed = timer.seconds();
+  const std::uint64_t allocs = tensor_heap_allocations() - allocs_before;
+
+  BenchResult result;
+  result.op = "refine_step_allocs";
+  result.shape = "nc_basiccnn_16x1x16x16";
+  result.iterations = steps;
+  result.ns_per_iter = elapsed * 1e9 / static_cast<double>(steps);
+  result.items_per_second = static_cast<double>(steps) / elapsed;
+  result.allocs_per_step = static_cast<double>(allocs) / static_cast<double>(steps);
+  return result;
+}
+
 BenchResult bench_ssim_with_gradient() {
   const Tensor x = random_tensor(Shape{16, 3, 32, 32}, 9);
   const Tensor y = random_tensor(Shape{16, 3, 32, 32}, 10);
@@ -192,12 +347,28 @@ bool write_json(const std::vector<BenchResult>& results, const std::string& path
   out << "[\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const BenchResult& r = results[i];
-    char line[512];
-    std::snprintf(line, sizeof(line),
-                  "  {\"op\": \"%s\", \"shape\": \"%s\", \"iterations\": %lld, "
-                  "\"ns_per_iter\": %.1f, \"items_per_second\": %.1f, \"gflops\": %.3f}%s\n",
-                  r.op.c_str(), r.shape.c_str(), static_cast<long long>(r.iterations),
-                  r.ns_per_iter, r.items_per_second, r.gflops, i + 1 < results.size() ? "," : "");
+    // std::string assembly (not a fixed buffer): snprintf returns would-be
+    // lengths on truncation, so offset arithmetic over a char array would
+    // overflow the moment an op/shape name outgrows it.
+    char number[256];
+    std::string line = "  {\"op\": \"" + r.op + "\", \"shape\": \"" + r.shape + "\"";
+    std::snprintf(number, sizeof(number),
+                  ", \"iterations\": %lld, \"ns_per_iter\": %.1f, "
+                  "\"items_per_second\": %.1f, \"gflops\": %.3f",
+                  static_cast<long long>(r.iterations), r.ns_per_iter, r.items_per_second,
+                  r.gflops);
+    line += number;
+    if (r.gb_per_s > 0.0) {
+      std::snprintf(number, sizeof(number),
+                    ", \"gb_per_s\": %.3f, \"speedup_vs_portable\": %.3f", r.gb_per_s,
+                    r.speedup_vs_portable);
+      line += number;
+    }
+    if (r.allocs_per_step >= 0.0) {
+      std::snprintf(number, sizeof(number), ", \"allocs_per_step\": %.3f", r.allocs_per_step);
+      line += number;
+    }
+    line += i + 1 < results.size() ? "},\n" : "}\n";
     out << line;
   }
   out << "]\n";
@@ -234,16 +405,20 @@ int main(int argc, char** argv) {
   results.push_back(
       bench_conv_forward("conv_vgg_stack2", make_spec(8, 16, 3, 1, 1), 32, 16, 130));
 
+  for (BenchResult& r : bench_elementwise_suite()) results.push_back(std::move(r));
+  results.push_back(bench_refine_step_alloc_pressure());
+
   results.push_back(bench_ssim_with_gradient());
   results.push_back(bench_miniresnet_train_step());
   results.push_back(bench_miniresnet_input_grad_only());
 
-  std::printf("%-28s %-14s %10s %14s %16s %10s\n", "op", "shape", "iters", "ns/iter", "items/s",
-              "GFLOP/s");
+  std::printf("%-28s %-22s %10s %14s %16s %10s %8s %8s %8s\n", "op", "shape", "iters", "ns/iter",
+              "items/s", "GFLOP/s", "GB/s", "spdup", "allocs");
   for (const BenchResult& r : results) {
-    std::printf("%-28s %-14s %10lld %14.1f %16.1f %10.2f\n", r.op.c_str(), r.shape.c_str(),
-                static_cast<long long>(r.iterations), r.ns_per_iter, r.items_per_second,
-                r.gflops);
+    std::printf("%-28s %-22s %10lld %14.1f %16.1f %10.2f %8.2f %8.2f %8.2f\n", r.op.c_str(),
+                r.shape.c_str(), static_cast<long long>(r.iterations), r.ns_per_iter,
+                r.items_per_second, r.gflops, r.gb_per_s, r.speedup_vs_portable,
+                r.allocs_per_step);
   }
   if (!write_json(results, json_path)) return 1;
   std::printf("wrote %s\n", json_path.c_str());

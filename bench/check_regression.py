@@ -15,6 +15,17 @@ iteration is below --min-ns (default 100 us) are reported but not gated: at
 that scale the measurement is dominated by scheduler and VM noise, not
 kernel changes.
 
+Hard requirements of the CURRENT kernel run (independent of baseline):
+  - the elementwise suite (ew_relu_fwd, ew_sigmoid_bwd, ew_axpy, ew_blend,
+    ew_clamp, ew_adam_update) must be present, each carrying gb_per_s and
+    speedup_vs_portable fields — the dispatch layer exists and was measured
+    (their ns_per_iter is gated at the normal threshold like any kernel;
+    the speedup itself is hardware-dependent and only warned on);
+  - the refine_step_allocs entry must be present with allocs_per_step == 0:
+    the steady-state refinement step's zero-allocation contract. Any
+    nonzero value is a regression of the arena hot path, not noise, and
+    fails the gate outright.
+
 Scan schema (BENCH_scan_scaling.json): entries carry a "section" field.
   - Contract fields are hard requirements of the CURRENT run alone: every
     "identical" and "same_verdict" must be true (bit-identity across thread
@@ -55,11 +66,69 @@ def is_scan_schema(entries):
     return any("section" in e for e in entries)
 
 
+REQUIRED_ELEMENTWISE_OPS = (
+    "ew_relu_fwd",
+    "ew_sigmoid_bwd",
+    "ew_axpy",
+    "ew_blend",
+    "ew_clamp",
+    "ew_adam_update",
+)
+REQUIRED_ALLOC_OP = "refine_step_allocs"
+
+
+def check_kernel_contract(current_entries, failures):
+    """Hard requirements of the current run alone (see module docstring)."""
+    by_op = {}
+    for entry in current_entries:
+        by_op.setdefault(entry["op"], entry)
+
+    for op in REQUIRED_ELEMENTWISE_OPS:
+        entry = by_op.get(op)
+        if entry is None:
+            failures.append(f"required elementwise entry '{op}' missing from current run")
+            continue
+        for field in ("gb_per_s", "speedup_vs_portable"):
+            if field not in entry:
+                failures.append(f"{op}: required field '{field}' missing")
+
+    alloc = by_op.get(REQUIRED_ALLOC_OP)
+    if alloc is None:
+        failures.append(f"required entry '{REQUIRED_ALLOC_OP}' missing from current run")
+    elif "allocs_per_step" not in alloc:
+        failures.append(f"{REQUIRED_ALLOC_OP}: required field 'allocs_per_step' missing")
+    elif alloc["allocs_per_step"] != 0:
+        failures.append(
+            f"{REQUIRED_ALLOC_OP}: steady-state refinement step performs "
+            f"{alloc['allocs_per_step']} Tensor allocations/step (contract: 0)"
+        )
+
+    # The >=1.5x speedup demonstration is hardware-dependent (a runner
+    # without AVX2 dispatches the portable kernel and reports exactly 1.0
+    # for every entry), so it warns rather than fails. "AVX2 ran" is
+    # detected by ANY measured speedup differing from 1.0 — including the
+    # all-below-1.0 case where dispatch actively pessimizes, which is
+    # precisely what the warning exists to surface.
+    speedups = [
+        by_op[op].get("speedup_vs_portable", 0.0)
+        for op in REQUIRED_ELEMENTWISE_OPS
+        if op in by_op
+    ]
+    measured_both_variants = any(abs(s - 1.0) > 1e-9 for s in speedups)
+    if measured_both_variants and sum(1 for s in speedups if s >= 1.5) < 2:
+        print(
+            "WARNING: fewer than two elementwise kernels reach 1.5x over the "
+            f"portable variant (speedups: {speedups})",
+            file=sys.stderr,
+        )
+
+
 def check_kernels(current_entries, baseline_entries, args):
     current = {(e["op"], e["shape"]): e for e in current_entries}
     baseline = {(e["op"], e["shape"]): e for e in baseline_entries}
 
     failures = []
+    check_kernel_contract(current_entries, failures)
     rows = []
     for key in sorted(baseline):
         if key not in current:
@@ -75,7 +144,7 @@ def check_kernels(current_entries, baseline_entries, args):
             verdict = "SKIPPED (below gate floor)"
         elif ratio > args.threshold:
             verdict = "REGRESSION"
-            failures.append(key)
+            failures.append(f"{key[0]} [{key[1]}] {ratio:.2f}x slower than baseline")
         rows.append((key[0], key[1], base_ns, cur_ns, ratio, verdict))
     for key in sorted(set(current) - set(baseline)):
         print(f"NOTE: new op {key[0]} [{key[1]}] has no baseline yet", file=sys.stderr)
@@ -85,13 +154,12 @@ def check_kernels(current_entries, baseline_entries, args):
         print(f"{op:<28} {shape:<14} {base_ns:>14.1f} {cur_ns:>14.1f} {ratio:>7.2f}  {verdict}")
 
     if failures:
-        names = ", ".join(f"{op} [{shape}]" for op, shape in failures)
-        print(
-            f"\nFAIL: {len(failures)} kernel(s) regressed past {args.threshold:.2f}x: {names}",
-            file=sys.stderr,
-        )
+        print(f"\nFAIL: {len(failures)} kernel gate violation(s):", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
         return 1
-    print(f"\nOK: no kernel slower than {args.threshold:.2f}x baseline ({len(rows)} compared)")
+    print(f"\nOK: kernel contract holds and no kernel slower than "
+          f"{args.threshold:.2f}x baseline ({len(rows)} compared)")
     return 0
 
 

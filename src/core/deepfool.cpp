@@ -14,33 +14,43 @@ Tensor input_gradient(Network& model, const Tensor& x, const Tensor& selector) {
 }
 
 DeepFoolResult targeted_deepfool(Network& model, const Tensor& x, std::int64_t target,
-                                 const DeepFoolConfig& config, const DeepFoolWarmStart* warm) {
+                                 const DeepFoolConfig& config, const DeepFoolWarmStart* warm,
+                                 TensorArena* arena) {
   model.set_training(false);
   model.set_param_grads_enabled(false);
   const std::int64_t batch = x.dim(0);
   const std::int64_t numel = x.numel() / batch;
   const std::int64_t classes = model.num_classes();
 
-  Tensor x_adv = x;
+  // Temporaries (the adversarial batch, every forward/backward, the
+  // selectors) live in the caller's arena when one is provided, else in a
+  // private one; the Scope rewinds either on exit.
+  TensorArena private_arena;
+  TensorArena& slots = arena != nullptr ? *arena : private_arena;
+  const TensorArena::Scope call_scope(slots);
+
+  Tensor& x_adv = slots.alloc(x.shape());
+  std::copy(x.raw(), x.raw() + x.numel(), x_adv.raw());
   DeepFoolResult result;
   result.perturbation = Tensor(x.shape());
 
   std::vector<bool> done(static_cast<std::size_t>(batch), false);
   for (std::int64_t iter = 0; iter < config.max_iterations; ++iter) {
+    const TensorArena::Scope iter_scope(slots);
     // Iteration 0 of a class-independent batch restarts from the scan's
     // cached clean forward instead of re-entering at the pixels.
     const bool use_warm = warm != nullptr && iter == 0;
-    Tensor logits_local;
-    if (!use_warm) logits_local = model.forward(x_adv);
-    const Tensor& logits = use_warm ? *warm->logits : logits_local;
+    const Tensor* logits_local = nullptr;
+    if (!use_warm) logits_local = &model.forward_into(x_adv, slots);
+    const Tensor& logits = use_warm ? *warm->logits : *logits_local;
     std::vector<std::int64_t> preds_local;
     if (!use_warm) preds_local = argmax_rows(logits);
     const std::vector<std::int64_t>& preds = use_warm ? *warm->preds : preds_local;
 
     // Selectors: one-hot target and one-hot current prediction per row, with
     // finished rows zeroed so they contribute nothing to either backward.
-    Tensor sel_target(Shape{batch, classes});
-    Tensor sel_current(Shape{batch, classes});
+    Tensor& sel_target = slots.zeros(Shape{batch, classes});
+    Tensor& sel_current = slots.zeros(Shape{batch, classes});
     bool any_active = false;
     for (std::int64_t n = 0; n < batch; ++n) {
       if (done[static_cast<std::size_t>(n)]) continue;
@@ -57,14 +67,14 @@ DeepFoolResult targeted_deepfool(Network& model, const Tensor& x, std::int64_t t
     // Two backwards over the one cached forward (backward is repeatable).
     // The warm start supplies both precomputed: its all-rows gradients agree
     // bitwise with these selector backwards on every row the update reads.
-    Tensor grad_target_local;
-    Tensor grad_current_local;
+    const Tensor* grad_target_local = nullptr;
+    const Tensor* grad_current_local = nullptr;
     if (!use_warm) {
-      grad_target_local = model.backward(sel_target);
-      grad_current_local = model.backward(sel_current);
+      grad_target_local = &model.backward_into(sel_target, slots);
+      grad_current_local = &model.backward_into(sel_current, slots);
     }
-    const Tensor& grad_target = use_warm ? *warm->grad_target : grad_target_local;
-    const Tensor& grad_current = use_warm ? *warm->grad_current : grad_current_local;
+    const Tensor& grad_target = use_warm ? *warm->grad_target : *grad_target_local;
+    const Tensor& grad_current = use_warm ? *warm->grad_current : *grad_current_local;
 
     for (std::int64_t n = 0; n < batch; ++n) {
       if (done[static_cast<std::size_t>(n)]) continue;
@@ -90,7 +100,7 @@ DeepFoolResult targeted_deepfool(Network& model, const Tensor& x, std::int64_t t
   }
 
   // Final count of rows that reached the target.
-  const Tensor logits = model.forward(x_adv);
+  const Tensor& logits = model.forward_into(x_adv, slots);
   for (const std::int64_t pred : argmax_rows(logits)) {
     if (pred == target) ++result.flipped;
   }

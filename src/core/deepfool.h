@@ -12,6 +12,7 @@
 #include <cstdint>
 
 #include "nn/models.h"
+#include "tensor/arena.h"
 
 namespace usb {
 
@@ -57,9 +58,14 @@ struct DeepFoolWarmStart {
 /// perturbation. When `warm` is given, iteration 0 consumes its cached
 /// forward/backward products instead of recomputing them — bit-identical,
 /// because eval-mode forwards are pure row-wise functions of (weights, x).
+/// `arena` (optional) hosts every per-iteration temporary — forwards,
+/// selectors, backwards — under a Scope, so repeated calls recycle the same
+/// slots; without one the call uses a private arena (still allocation-free
+/// across its own iterations).
 [[nodiscard]] DeepFoolResult targeted_deepfool(Network& model, const Tensor& x,
                                                std::int64_t target,
                                                const DeepFoolConfig& config = {},
-                                               const DeepFoolWarmStart* warm = nullptr);
+                                               const DeepFoolWarmStart* warm = nullptr,
+                                               TensorArena* arena = nullptr);
 
 }  // namespace usb

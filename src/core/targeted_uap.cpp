@@ -11,16 +11,22 @@ namespace usb {
 namespace {
 
 /// Adds v (1,C,H,W) to every row of a batch, clipped to [0,1].
-Tensor add_uap(const Tensor& images, const Tensor& v) {
-  Tensor out = images;
+void add_uap_into(const Tensor& images, const Tensor& v, Tensor& out) {
+  out.ensure_shape(images.shape());
   const std::int64_t batch = images.dim(0);
   const std::int64_t numel = v.numel();
   for (std::int64_t n = 0; n < batch; ++n) {
+    const float* src = images.raw() + n * numel;
     float* row = out.raw() + n * numel;
     for (std::int64_t i = 0; i < numel; ++i) {
-      row[i] = std::clamp(row[i] + v[i], 0.0F, 1.0F);
+      row[i] = std::clamp(src[i] + v[i], 0.0F, 1.0F);
     }
   }
+}
+
+Tensor add_uap(const Tensor& images, const Tensor& v) {
+  Tensor out;
+  add_uap_into(images, v, out);
   return out;
 }
 
@@ -41,11 +47,16 @@ double uap_fooling_rate(Network& model, const Dataset& probe, const Tensor& v,
 }
 
 double uap_fooling_rate(Network& model, const ProbeBatchCache& batches, const Tensor& v,
-                        std::int64_t target) {
+                        std::int64_t target, TensorArena* arena) {
   model.set_training(false);
+  TensorArena private_arena;
+  TensorArena& slots = arena != nullptr ? *arena : private_arena;
   std::int64_t hits = 0;
   for (const Batch& batch : batches.batches()) {
-    const Tensor logits = model.forward(add_uap(batch.images, v));
+    const TensorArena::Scope batch_scope(slots);
+    Tensor& shifted = slots.alloc(batch.images.shape());
+    add_uap_into(batch.images, v, shifted);
+    const Tensor& logits = model.forward_into(shifted, slots);
     for (const std::int64_t pred : argmax_rows(logits)) {
       if (pred == target) ++hits;
     }
@@ -103,9 +114,13 @@ UapScanPrefix build_uap_scan_prefix(Network& model, const Dataset& probe,
 }
 
 TargetedUapResult targeted_uap(Network& model, const Dataset& probe, std::int64_t target,
-                               const TargetedUapConfig& config, const UapScanPrefix* prefix) {
+                               const TargetedUapConfig& config, const UapScanPrefix* prefix,
+                               TensorArena* arena) {
   model.set_training(false);
   model.set_param_grads_enabled(false);
+  TensorArena private_arena;
+  TensorArena& slots = arena != nullptr ? *arena : private_arena;
+  const TensorArena::Scope call_scope(slots);
   const DatasetSpec& spec = probe.spec();
   TargetedUapResult result;
   result.perturbation =
@@ -130,7 +145,9 @@ TargetedUapResult targeted_uap(Network& model, const Dataset& probe, std::int64_
     result.passes = pass + 1;
     for (std::size_t b = 0; b < craft.batches().size(); ++b) {
       const Batch& batch = craft.batches()[b];
-      const Tensor shifted = add_uap(batch.images, v);
+      const TensorArena::Scope batch_scope(slots);
+      Tensor& shifted = slots.alloc(batch.images.shape());
+      add_uap_into(batch.images, v, shifted);
 
       // (pass 0, batch 0) is the only point where v is still exactly zero —
       // the class-independent prefix of Alg. 1. Restart DeepFool from the
@@ -150,11 +167,11 @@ TargetedUapResult targeted_uap(Network& model, const Dataset& probe, std::int64_
       // send x_i + v to the target, averaged over the rows that still miss
       // it, become the aggregate update to v.
       const DeepFoolResult step = targeted_deepfool(model, shifted, target, config.deepfool,
-                                                    warm_ptr);
+                                                    warm_ptr, &slots);
       const std::int64_t batch_rows = shifted.dim(0);
       const std::int64_t numel = v.numel();
       std::int64_t active_rows = 0;
-      Tensor update(v.shape());
+      Tensor& update = slots.zeros(v.shape());
       for (std::int64_t n = 0; n < batch_rows; ++n) {
         const float* pert = step.perturbation.raw() + n * numel;
         float row_norm = 0.0F;
@@ -168,7 +185,7 @@ TargetedUapResult targeted_uap(Network& model, const Dataset& probe, std::int64_
       v += update;
       if (radius > 0.0F) project_l2(v, radius);
     }
-    result.fooling_rate = uap_fooling_rate(model, craft, v, target);
+    result.fooling_rate = uap_fooling_rate(model, craft, v, target, &slots);
     if (result.fooling_rate >= config.desired_rate) break;
   }
   return result;

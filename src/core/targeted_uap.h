@@ -76,11 +76,15 @@ struct UapScanPrefix {
 /// Crafts a targeted UAP for `target` over the probe set. When `prefix` is
 /// given (a scan's shared Alg. 1 prefix), the craft batches come from its
 /// cache and the first DeepFool call warm-starts from the cached clean
-/// forward — bit-identical to the unshared path.
+/// forward — bit-identical to the unshared path. `arena` (optional) hosts
+/// all per-batch temporaries — the shifted batches, every DeepFool
+/// iteration, the per-batch aggregation — under Scopes, so the whole Alg. 1
+/// loop recycles a bounded slot set; without one a private arena is used.
 [[nodiscard]] TargetedUapResult targeted_uap(Network& model, const Dataset& probe,
                                              std::int64_t target,
                                              const TargetedUapConfig& config = {},
-                                             const UapScanPrefix* prefix = nullptr);
+                                             const UapScanPrefix* prefix = nullptr,
+                                             TensorArena* arena = nullptr);
 
 /// Fraction of probe images classified as `target` after adding v (clipped
 /// to the valid range).
@@ -90,8 +94,10 @@ struct UapScanPrefix {
 /// Same, over pre-materialized batches. Bit-identical to the Dataset
 /// overload for any batch size: eval-mode predictions are row-wise and the
 /// GEMM core's per-element accumulation order is independent of the batch
-/// partition.
+/// partition. `arena` (optional) recycles the per-batch shifted inputs and
+/// forwards.
 [[nodiscard]] double uap_fooling_rate(Network& model, const ProbeBatchCache& batches,
-                                      const Tensor& v, std::int64_t target);
+                                      const Tensor& v, std::int64_t target,
+                                      TensorArena* arena = nullptr);
 
 }  // namespace usb

@@ -24,6 +24,12 @@ constexpr std::uint64_t kLoaderSalt = 0x05b;
 /// never reads the step index, and all carried state — loader cursor, Adam
 /// moments, last loss — lives here); finalize evaluates the fooling rate
 /// over the scan's shared probe cache.
+///
+/// Every per-step tensor — the blended batch, the forward/backward chain,
+/// the SSIM maps and gradient — lives in the task's TensorArena, reset at
+/// each step boundary; together with the recycled loader batch and trigger
+/// scratch, the steady-state step performs ZERO Tensor heap allocations
+/// (asserted by tests/test_arena.cpp and the bench alloc-pressure entry).
 class UsbRefineTask final : public ClassRefineTask {
  public:
   UsbRefineTask(const UsbDetector& detector, Network& model, const Dataset& probe,
@@ -44,7 +50,7 @@ class UsbRefineTask final : public ClassRefineTask {
       uap = *precomputed_uap;
     } else if (!config_.random_init) {
       uap = targeted_uap(model_, probe, target_class, config_.uap,
-                         shared != nullptr ? &shared->prefix : nullptr)
+                         shared != nullptr ? &shared->prefix : nullptr, &arena_)
                 .perturbation;
     }
 
@@ -61,28 +67,29 @@ class UsbRefineTask final : public ClassRefineTask {
   std::int64_t run_steps(std::int64_t steps) override {
     if (exhausted_) return 0;
     std::int64_t ran = 0;
-    Batch batch;
     while (ran < steps) {
-      if (!loader_.next(batch)) {
+      if (!loader_.next(batch_)) {
         loader_.new_epoch();
-        if (!loader_.next(batch)) {
+        if (!loader_.next(batch_)) {
           exhausted_ = true;
           break;
         }
       }
+      arena_.reset();
       trigger_->zero_grad();
-      const Tensor blended = trigger_->apply(batch.images);
+      const Tensor& blended = trigger_->apply_into(batch_.images, arena_);
 
       // CE(f(x'), t)
-      const Tensor logits = model_.forward(blended);
+      const Tensor& logits = model_.forward_into(blended, arena_);
       const float ce_value = ce_.forward(logits, job_.target_class);
-      Tensor dblended = model_.backward(ce_.backward());
+      Tensor& dblended = model_.backward_into(ce_.backward_into(arena_), arena_);
 
       // -SSIM(x, x'): keep x' structurally close to the clean batch.
-      const SsimResult ssim_result = ssim_with_gradient(batch.images, blended, config_.ssim);
-      dblended.add_scaled(ssim_result.grad_y, -config_.ssim_weight);
+      const SsimGradRef ssim_result =
+          ssim_with_gradient(batch_.images, blended, arena_, config_.ssim);
+      dblended.add_scaled(*ssim_result.grad_y, -config_.ssim_weight);
 
-      trigger_->accumulate_from_output_grad(dblended, batch.images);
+      trigger_->accumulate_from_output_grad(dblended, batch_.images);
       if (config_.use_l1_term) trigger_->add_mask_l1_grad(config_.l1_weight);
       trigger_->step();
 
@@ -106,6 +113,8 @@ class UsbRefineTask final : public ClassRefineTask {
   Network& model_;
   const ClassScanJob job_;
   DataLoader loader_;
+  TensorArena arena_;  // per-task slots, reset at step boundaries
+  Batch batch_;        // recycled loader batch
   std::optional<MaskedTrigger> trigger_;
   TargetedCrossEntropy ce_;
   float last_loss_ = 0.0F;

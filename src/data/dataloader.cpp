@@ -22,8 +22,11 @@ bool DataLoader::next(Batch& out) {
   const std::int64_t end = std::min(cursor_ + batch_size_, dataset_->size());
   const std::span<const std::int64_t> slice(order_.data() + cursor_,
                                             static_cast<std::size_t>(end - cursor_));
-  out.images = dataset_->gather_images(slice);
-  out.labels = dataset_->gather_labels(slice);
+  // Fill the caller's batch in place: a Batch reused across steps recycles
+  // its image buffer and label/index capacity, so the steady-state loader
+  // loop allocates nothing.
+  dataset_->gather_images_into(slice, out.images);
+  dataset_->gather_labels_into(slice, out.labels);
   out.indices.assign(slice.begin(), slice.end());
   cursor_ = end;
   return true;

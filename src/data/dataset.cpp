@@ -33,23 +33,34 @@ Tensor Dataset::image(std::int64_t index) const {
   return out;
 }
 
-Tensor Dataset::gather_images(std::span<const std::int64_t> indices) const {
+void Dataset::gather_images_into(std::span<const std::int64_t> indices, Tensor& out) const {
   const std::int64_t numel = spec_.image_numel();
-  Tensor out(Shape{static_cast<std::int64_t>(indices.size()), spec_.channels, spec_.image_size,
-                   spec_.image_size});
+  out.ensure_shape(Shape{static_cast<std::int64_t>(indices.size()), spec_.channels,
+                         spec_.image_size, spec_.image_size});
   for (std::size_t i = 0; i < indices.size(); ++i) {
     std::memcpy(out.raw() + static_cast<std::int64_t>(i) * numel,
                 images_.raw() + indices[i] * numel,
                 static_cast<std::size_t>(numel) * sizeof(float));
   }
+}
+
+Tensor Dataset::gather_images(std::span<const std::int64_t> indices) const {
+  Tensor out;
+  gather_images_into(indices, out);
   return out;
 }
 
-std::vector<std::int64_t> Dataset::gather_labels(std::span<const std::int64_t> indices) const {
-  std::vector<std::int64_t> out(indices.size());
+void Dataset::gather_labels_into(std::span<const std::int64_t> indices,
+                                 std::vector<std::int64_t>& out) const {
+  out.resize(indices.size());
   for (std::size_t i = 0; i < indices.size(); ++i) {
     out[i] = labels_[static_cast<std::size_t>(indices[i])];
   }
+}
+
+std::vector<std::int64_t> Dataset::gather_labels(std::span<const std::int64_t> indices) const {
+  std::vector<std::int64_t> out;
+  gather_labels_into(indices, out);
   return out;
 }
 

@@ -54,8 +54,13 @@ class Dataset {
 
   /// Gathers the given rows into a (B,C,H,W) batch tensor.
   [[nodiscard]] Tensor gather_images(std::span<const std::int64_t> indices) const;
+  /// In-place form: `out` is re-shaped via ensure_shape, so a recycled batch
+  /// tensor costs zero heap allocations (the DataLoader hot path).
+  void gather_images_into(std::span<const std::int64_t> indices, Tensor& out) const;
   [[nodiscard]] std::vector<std::int64_t> gather_labels(
       std::span<const std::int64_t> indices) const;
+  void gather_labels_into(std::span<const std::int64_t> indices,
+                          std::vector<std::int64_t>& out) const;
 
   /// Subset by row indices (copies).
   [[nodiscard]] Dataset subset(std::span<const std::int64_t> indices) const;

@@ -2,6 +2,7 @@
 
 #include <cinttypes>
 #include <cstdio>
+#include <utility>
 
 #include "data/synthetic.h"
 
@@ -19,13 +20,67 @@ std::string ProbeKey::address() const {
   return spec.name + suffix;
 }
 
+std::int64_t ProbeData::bytes() const noexcept {
+  auto dataset_bytes = [](const Dataset& data) {
+    return data.images().numel() * static_cast<std::int64_t>(sizeof(float)) +
+           static_cast<std::int64_t>(data.labels().size() * sizeof(std::int64_t));
+  };
+  std::int64_t total = dataset_bytes(probe);
+  for (const Batch& batch : cache.batches()) {
+    total += batch.images.numel() * static_cast<std::int64_t>(sizeof(float)) +
+             static_cast<std::int64_t>((batch.labels.size() + batch.indices.size()) *
+                                       sizeof(std::int64_t));
+  }
+  return total;
+}
+
+void ProbeStore::touch_locked(Entry& entry) {
+  lru_.splice(lru_.begin(), lru_, entry.lru_position);
+  entry.lru_position = lru_.begin();
+}
+
+void ProbeStore::evict_over_cap_locked() {
+  if (options_.max_bytes <= 0) return;
+  // Walk from the LRU tail, skipping pinned entries (use_count > 1 means a
+  // consumer outside the store still holds the materialization). If every
+  // resident entry is pinned the cap is transiently exceeded — correctness
+  // over strictness: evicting a pinned entry would only hide the memory,
+  // not reclaim it.
+  auto it = lru_.end();
+  while (resident_bytes_ > options_.max_bytes && it != lru_.begin()) {
+    --it;
+    const auto found = entries_.find(*it);
+    if (found == entries_.end()) continue;  // defensive; lru_ and map stay in sync
+    if (found->second.data.use_count() > 1) continue;  // pinned by a consumer
+    resident_bytes_ -= found->second.bytes;
+    ++evictions_;
+    it = lru_.erase(it);
+    entries_.erase(found);
+  }
+}
+
+std::shared_ptr<const ProbeData> ProbeStore::insert_locked(
+    const std::string& address, std::shared_ptr<const ProbeData> data) {
+  lru_.push_front(address);
+  Entry entry;
+  entry.data = std::move(data);
+  entry.bytes = entry.data->bytes();
+  entry.lru_position = lru_.begin();
+  resident_bytes_ += entry.bytes;
+  auto stored = entry.data;
+  entries_.emplace(address, std::move(entry));
+  evict_over_cap_locked();
+  return stored;
+}
+
 std::shared_ptr<const ProbeData> ProbeStore::get_or_create(const ProbeKey& key) {
   const std::string address = key.address();
   const std::lock_guard<std::mutex> lock(mutex_);
   const auto it = entries_.find(address);
   if (it != entries_.end()) {
     ++hits_;
-    return it->second;
+    touch_locked(it->second);
+    return it->second.data;
   }
   ++misses_;
   auto data = std::make_shared<ProbeData>();
@@ -33,29 +88,30 @@ std::shared_ptr<const ProbeData> ProbeStore::get_or_create(const ProbeKey& key) 
   // Identical to exp/model_zoo's make_probe(spec, probe_size, seed), which
   // data/ cannot call (layering); both are generate_dataset verbatim.
   data->probe = generate_dataset(key.spec, key.probe_size, key.seed);
-  data->cache = ProbeBatchCache(data->probe, eval_batch_size_);
-  auto entry = std::shared_ptr<const ProbeData>(std::move(data));
-  entries_.emplace(address, entry);
-  return entry;
+  data->cache = ProbeBatchCache(data->probe, options_.eval_batch_size);
+  return insert_locked(address, std::shared_ptr<const ProbeData>(std::move(data)));
 }
 
 std::shared_ptr<const ProbeData> ProbeStore::put(const ProbeKey& key, Dataset probe) {
   const std::string address = key.address();
   const std::lock_guard<std::mutex> lock(mutex_);
   const auto it = entries_.find(address);
-  if (it != entries_.end()) return it->second;
+  if (it != entries_.end()) {
+    touch_locked(it->second);
+    return it->second.data;
+  }
   auto data = std::make_shared<ProbeData>();
   data->key = key;
   data->probe = std::move(probe);
-  data->cache = ProbeBatchCache(data->probe, eval_batch_size_);
-  auto entry = std::shared_ptr<const ProbeData>(std::move(data));
-  entries_.emplace(address, entry);
-  return entry;
+  data->cache = ProbeBatchCache(data->probe, options_.eval_batch_size);
+  return insert_locked(address, std::shared_ptr<const ProbeData>(std::move(data)));
 }
 
 void ProbeStore::clear() {
   const std::lock_guard<std::mutex> lock(mutex_);
   entries_.clear();
+  lru_.clear();
+  resident_bytes_ = 0;
 }
 
 std::int64_t ProbeStore::size() const {
@@ -71,6 +127,16 @@ std::int64_t ProbeStore::hits() const {
 std::int64_t ProbeStore::misses() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   return misses_;
+}
+
+std::int64_t ProbeStore::evictions() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return evictions_;
+}
+
+std::int64_t ProbeStore::bytes_resident() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return resident_bytes_;
 }
 
 }  // namespace usb

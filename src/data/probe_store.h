@@ -14,9 +14,18 @@
 // Entries are shared_ptr<const ProbeData>; consumers hold the pointer for
 // as long as they need the batches (a scan in flight keeps its probe alive
 // even if the store is cleared concurrently). All methods are thread-safe.
+//
+// Eviction: long-lived services accumulate probe materializations forever
+// by default. ProbeStoreOptions::max_bytes caps the RESIDENT bytes
+// (dataset + batch cache) with least-recently-used eviction; an entry whose
+// shared_ptr is still held outside the store (a scan in flight) is pinned
+// and skipped, so the cap can be transiently exceeded while every resident
+// entry is in use. Evicted keys regenerate on their next get_or_create
+// (counted as a miss).
 #pragma once
 
 #include <cstdint>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -52,15 +61,27 @@ struct ProbeData {
   ProbeKey key;
   Dataset probe;
   ProbeBatchCache cache;
+
+  /// Resident footprint (image/label storage of the dataset and every
+  /// cached batch); the unit of the store's max_bytes accounting.
+  [[nodiscard]] std::int64_t bytes() const noexcept;
+};
+
+struct ProbeStoreOptions {
+  /// Batching of every entry's ProbeBatchCache; matches
+  /// ClassScanOptions::eval_batch_size (128) by default so the scheduler
+  /// adopts the shared cache instead of rebuilding its own.
+  std::int64_t eval_batch_size = 128;
+  /// LRU-by-bytes cap on resident materializations; 0 (default) disables
+  /// eviction. Entries held by in-flight consumers are pinned.
+  std::int64_t max_bytes = 0;
 };
 
 class ProbeStore {
  public:
-  /// `eval_batch_size` is the batching of every entry's ProbeBatchCache;
-  /// it matches ClassScanOptions::eval_batch_size (128) by default so the
-  /// scheduler adopts the shared cache instead of rebuilding its own.
+  explicit ProbeStore(ProbeStoreOptions options) : options_(options) {}
   explicit ProbeStore(std::int64_t eval_batch_size = 128)
-      : eval_batch_size_(eval_batch_size) {}
+      : ProbeStore(ProbeStoreOptions{eval_batch_size, 0}) {}
 
   /// Returns the shared materialization for `key`, generating it on first
   /// use. Generation happens under the store lock: concurrent requests for
@@ -79,16 +100,37 @@ class ProbeStore {
   void clear();
 
   [[nodiscard]] std::int64_t size() const;
-  [[nodiscard]] std::int64_t hits() const;    // lookups served from the map
-  [[nodiscard]] std::int64_t misses() const;  // lookups that generated
-  [[nodiscard]] std::int64_t eval_batch_size() const noexcept { return eval_batch_size_; }
+  [[nodiscard]] std::int64_t hits() const;       // lookups served from the map
+  [[nodiscard]] std::int64_t misses() const;     // lookups that generated
+  [[nodiscard]] std::int64_t evictions() const;  // entries dropped by the cap
+  [[nodiscard]] std::int64_t bytes_resident() const;
+  [[nodiscard]] std::int64_t eval_batch_size() const noexcept {
+    return options_.eval_batch_size;
+  }
+  [[nodiscard]] std::int64_t max_bytes() const noexcept { return options_.max_bytes; }
 
  private:
-  std::int64_t eval_batch_size_;
+  struct Entry {
+    std::shared_ptr<const ProbeData> data;
+    std::int64_t bytes = 0;
+    std::list<std::string>::iterator lru_position;
+  };
+
+  /// Registers a freshly built entry under the lock: inserts at the LRU
+  /// front, accounts its bytes, and evicts over-cap unpinned tails.
+  std::shared_ptr<const ProbeData> insert_locked(const std::string& address,
+                                                 std::shared_ptr<const ProbeData> data);
+  void evict_over_cap_locked();
+  void touch_locked(Entry& entry);
+
+  ProbeStoreOptions options_;
   mutable std::mutex mutex_;
-  std::unordered_map<std::string, std::shared_ptr<const ProbeData>> entries_;
+  std::unordered_map<std::string, Entry> entries_;
+  std::list<std::string> lru_;  // front = most recently used
+  std::int64_t resident_bytes_ = 0;
   std::int64_t hits_ = 0;
   std::int64_t misses_ = 0;
+  std::int64_t evictions_ = 0;
 };
 
 }  // namespace usb

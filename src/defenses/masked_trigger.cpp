@@ -4,10 +4,10 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "tensor/elementwise.h"
+
 namespace usb {
 namespace {
-
-float sigmoid(float v) noexcept { return 1.0F / (1.0F + std::exp(-v)); }
 
 float logit(float p) noexcept {
   const float clamped = std::clamp(p, 1e-4F, 1.0F - 1e-4F);
@@ -63,39 +63,59 @@ MaskedTrigger::MaskedTrigger(Tensor initial_mask, Tensor initial_pattern, float 
   }
 }
 
-Tensor MaskedTrigger::mask() const {
-  Tensor m(theta_mask_.shape());
-  for (std::int64_t i = 0; i < m.numel(); ++i) m[i] = sigmoid(theta_mask_[i]);
-  return m;
+void MaskedTrigger::refresh_values() const {
+  if (values_fresh_) return;
+  mask_values_.ensure_shape(theta_mask_.shape());
+  pattern_values_.ensure_shape(theta_pattern_.shape());
+  ew::sigmoid_fwd(theta_mask_.raw(), mask_values_.raw(), theta_mask_.numel());
+  ew::sigmoid_fwd(theta_pattern_.raw(), pattern_values_.raw(), theta_pattern_.numel());
+  values_fresh_ = true;
 }
 
-Tensor MaskedTrigger::pattern() const {
-  Tensor p(theta_pattern_.shape());
-  for (std::int64_t i = 0; i < p.numel(); ++i) p[i] = sigmoid(theta_pattern_[i]);
-  return p;
+const Tensor& MaskedTrigger::mask_values() const {
+  refresh_values();
+  return mask_values_;
 }
+
+const Tensor& MaskedTrigger::pattern_values() const {
+  refresh_values();
+  return pattern_values_;
+}
+
+Tensor MaskedTrigger::mask() const { return mask_values(); }
+
+Tensor MaskedTrigger::pattern() const { return pattern_values(); }
 
 double MaskedTrigger::mask_l1() const {
+  const Tensor& m = mask_values();
   double total = 0.0;
-  for (std::int64_t i = 0; i < theta_mask_.numel(); ++i) total += sigmoid(theta_mask_[i]);
+  for (std::int64_t i = 0; i < m.numel(); ++i) total += m[i];
   return total;
 }
 
-Tensor MaskedTrigger::apply(const Tensor& x) const {
-  const Tensor m = mask();
-  const Tensor p = pattern();
+void MaskedTrigger::apply_core(const Tensor& x, Tensor& out) const {
+  refresh_values();
   const std::int64_t batch = x.dim(0);
   const std::int64_t spatial = size_ * size_;
-  Tensor out = x;
+  out.ensure_shape(x.shape());
   for (std::int64_t n = 0; n < batch; ++n) {
     for (std::int64_t c = 0; c < channels_; ++c) {
-      float* out_p = out.raw() + (n * channels_ + c) * spatial;
-      const float* pat = p.raw() + c * spatial;
-      for (std::int64_t s = 0; s < spatial; ++s) {
-        out_p[s] = out_p[s] * (1.0F - m[s]) + pat[s] * m[s];
-      }
+      const std::int64_t offset = (n * channels_ + c) * spatial;
+      ew::blend(x.raw() + offset, mask_values_.raw(), pattern_values_.raw() + c * spatial,
+                out.raw() + offset, spatial);
     }
   }
+}
+
+Tensor MaskedTrigger::apply(const Tensor& x) const {
+  Tensor out;
+  apply_core(x, out);
+  return out;
+}
+
+const Tensor& MaskedTrigger::apply_into(const Tensor& x, TensorArena& arena) const {
+  Tensor& out = arena.alloc(x.shape());
+  apply_core(x, out);
   return out;
 }
 
@@ -105,48 +125,47 @@ void MaskedTrigger::zero_grad() {
 }
 
 void MaskedTrigger::accumulate_from_output_grad(const Tensor& dxprime, const Tensor& x) {
-  const Tensor m = mask();
-  const Tensor p = pattern();
+  refresh_values();
   const std::int64_t batch = x.dim(0);
   const std::int64_t spatial = size_ * size_;
 
   // dL/dm[s] = sum_{n,c} dx'[n,c,s] * (p[c,s] - x[n,c,s]);  dL/dp = dx' * m.
-  Tensor dmask_values(m.shape());
-  Tensor dpattern_values(p.shape());
+  dmask_scratch_.ensure_shape(mask_values_.shape());
+  dmask_scratch_.fill(0.0F);
+  dpattern_scratch_.ensure_shape(pattern_values_.shape());
+  dpattern_scratch_.fill(0.0F);
   for (std::int64_t n = 0; n < batch; ++n) {
     for (std::int64_t c = 0; c < channels_; ++c) {
-      const float* dxp = dxprime.raw() + (n * channels_ + c) * spatial;
-      const float* x_p = x.raw() + (n * channels_ + c) * spatial;
-      const float* pat = p.raw() + c * spatial;
-      float* dpat = dpattern_values.raw() + c * spatial;
-      for (std::int64_t s = 0; s < spatial; ++s) {
-        dmask_values[s] += dxp[s] * (pat[s] - x_p[s]);
-        dpat[s] += dxp[s] * m[s];
-      }
+      const std::int64_t offset = (n * channels_ + c) * spatial;
+      ew::mask_grad_accum(dmask_scratch_.raw(), dxprime.raw() + offset,
+                          pattern_values_.raw() + c * spatial, x.raw() + offset, spatial);
+      ew::muladd_accum(dpattern_scratch_.raw() + c * spatial, dxprime.raw() + offset,
+                       mask_values_.raw(), spatial);
     }
   }
-  add_mask_value_grad(dmask_values);
-  add_pattern_value_grad(dpattern_values);
+  add_mask_value_grad(dmask_scratch_);
+  add_pattern_value_grad(dpattern_scratch_);
 }
 
 void MaskedTrigger::add_mask_l1_grad(float weight) {
   // mask >= 0, so d|m|_1/dm = 1 everywhere.
-  for (std::int64_t i = 0; i < theta_mask_.numel(); ++i) {
-    const float m = sigmoid(theta_mask_[i]);
-    grad_mask_[i] += weight * m * (1.0F - m);
-  }
+  ew::l1_sigmoid_grad_accum(grad_mask_.raw(), mask_values().raw(), weight,
+                            grad_mask_.numel());
 }
 
 void MaskedTrigger::add_mask_elastic_grad(float weight) {
+  const Tensor& values = mask_values();
   for (std::int64_t i = 0; i < theta_mask_.numel(); ++i) {
-    const float m = sigmoid(theta_mask_[i]);
+    const float m = values[i];
     grad_mask_[i] += weight * (1.0F + 2.0F * m) * m * (1.0F - m);
   }
 }
 
 void MaskedTrigger::add_mask_tv_grad(float weight) {
-  const Tensor m = mask();
-  Tensor dtv(m.shape());
+  const Tensor& m = mask_values();
+  tv_scratch_.ensure_shape(m.shape());
+  tv_scratch_.fill(0.0F);
+  Tensor& dtv = tv_scratch_;
   for (std::int64_t y = 0; y < size_; ++y) {
     for (std::int64_t x = 0; x < size_; ++x) {
       if (y + 1 < size_) {
@@ -168,22 +187,19 @@ void MaskedTrigger::add_mask_tv_grad(float weight) {
 }
 
 void MaskedTrigger::add_mask_value_grad(const Tensor& dmask) {
-  for (std::int64_t i = 0; i < theta_mask_.numel(); ++i) {
-    const float m = sigmoid(theta_mask_[i]);
-    grad_mask_[i] += dmask[i] * m * (1.0F - m);
-  }
+  ew::dsigmoid_chain_accum(grad_mask_.raw(), dmask.raw(), mask_values().raw(),
+                           grad_mask_.numel());
 }
 
 void MaskedTrigger::add_pattern_value_grad(const Tensor& dpattern) {
-  for (std::int64_t i = 0; i < theta_pattern_.numel(); ++i) {
-    const float p = sigmoid(theta_pattern_[i]);
-    grad_pattern_[i] += dpattern[i] * p * (1.0F - p);
-  }
+  ew::dsigmoid_chain_accum(grad_pattern_.raw(), dpattern.raw(), pattern_values().raw(),
+                           grad_pattern_.numel());
 }
 
 void MaskedTrigger::step() {
   adam_mask_.step(theta_mask_, grad_mask_);
   adam_pattern_.step(theta_pattern_, grad_pattern_);
+  values_fresh_ = false;
 }
 
 }  // namespace usb

@@ -6,9 +6,18 @@
 // in [0,1] without projection); the mask is spatial (H,W) and broadcasts
 // over channels, matching NC's formulation. Adam(beta=0.5,0.9) drives the
 // updates, as specified in the paper's hyperparameters.
+//
+// Hot-path design: the sigmoid'd mask/pattern values are computed once per
+// Adam step into recycled members (mask_values()/pattern_values()) and every
+// gradient accumulator reuses member scratch, so a steady-state refinement
+// step performs zero heap allocations; the value-returning mask()/pattern()/
+// apply() remain as copying adapters. The per-element loops run on the
+// dispatched elementwise kernels (tensor/elementwise.h) and are
+// bit-identical to the historical scalar code.
 #pragma once
 
 #include "nn/optimizer.h"
+#include "tensor/arena.h"
 #include "tensor/tensor.h"
 #include "utils/rng.h"
 
@@ -26,14 +35,22 @@ class MaskedTrigger {
   [[nodiscard]] std::int64_t channels() const noexcept { return channels_; }
   [[nodiscard]] std::int64_t size() const noexcept { return size_; }
 
-  /// Current mask (H,W) in [0,1].
+  /// Current mask (H,W) in [0,1] (copy).
   [[nodiscard]] Tensor mask() const;
-  /// Current pattern (C,H,W) in [0,1].
+  /// Current pattern (C,H,W) in [0,1] (copy).
   [[nodiscard]] Tensor pattern() const;
+
+  /// Current mask/pattern values in recycled internal storage; valid until
+  /// the next step(). The allocation-free counterparts of mask()/pattern().
+  [[nodiscard]] const Tensor& mask_values() const;
+  [[nodiscard]] const Tensor& pattern_values() const;
+
   [[nodiscard]] double mask_l1() const;
 
   /// Blends the trigger into a batch: x' = x(1-m) + p*m.
   [[nodiscard]] Tensor apply(const Tensor& x) const;
+  /// Arena-backed apply; the result lives until the arena resets.
+  [[nodiscard]] const Tensor& apply_into(const Tensor& x, TensorArena& arena) const;
 
   /// Clears accumulated gradients (call once per optimization step).
   void zero_grad();
@@ -61,6 +78,9 @@ class MaskedTrigger {
   void step();
 
  private:
+  void apply_core(const Tensor& x, Tensor& out) const;
+  void refresh_values() const;
+
   std::int64_t channels_;
   std::int64_t size_;
   Tensor theta_mask_;     // (H,W) logits
@@ -69,6 +89,16 @@ class MaskedTrigger {
   Tensor grad_pattern_;
   AdamState adam_mask_;
   AdamState adam_pattern_;
+
+  // sigmoid(theta) caches, recomputed lazily after each step().
+  mutable Tensor mask_values_;
+  mutable Tensor pattern_values_;
+  mutable bool values_fresh_ = false;
+
+  // Gradient-accumulation scratch, recycled across steps.
+  Tensor dmask_scratch_;
+  Tensor dpattern_scratch_;
+  Tensor tv_scratch_;
 };
 
 }  // namespace usb

@@ -41,21 +41,24 @@ class NcRefineTask final : public ClassRefineTask {
   std::int64_t run_steps(std::int64_t steps) override {
     if (exhausted_) return 0;
     std::int64_t ran = 0;
-    Batch batch;
     while (ran < steps) {
-      if (!loader_.next(batch)) {
+      if (!loader_.next(batch_)) {
         loader_.new_epoch();
-        if (!loader_.next(batch)) {
+        if (!loader_.next(batch_)) {
           exhausted_ = true;
           break;
         }
       }
+      // Per-step tensors live in the task arena (reset here), the loader
+      // batch and trigger scratch are recycled members: the steady-state
+      // step performs zero Tensor heap allocations.
+      arena_.reset();
       trigger_->zero_grad();
-      const Tensor blended = trigger_->apply(batch.images);
-      const Tensor logits = model_.forward(blended);
+      const Tensor& blended = trigger_->apply_into(batch_.images, arena_);
+      const Tensor& logits = model_.forward_into(blended, arena_);
       last_loss_ = loss_.forward(logits, job_.target_class);
-      const Tensor dblended = model_.backward(loss_.backward());
-      trigger_->accumulate_from_output_grad(dblended, batch.images);
+      const Tensor& dblended = model_.backward_into(loss_.backward_into(arena_), arena_);
+      trigger_->accumulate_from_output_grad(dblended, batch_.images);
       trigger_->add_mask_l1_grad(lambda_);
       trigger_->step();
 
@@ -66,7 +69,7 @@ class NcRefineTask final : public ClassRefineTask {
         if (pred == job_.target_class) ++hits;
       }
       const double success =
-          static_cast<double>(hits) / static_cast<double>(batch.labels.size());
+          static_cast<double>(hits) / static_cast<double>(batch_.labels.size());
       if (success > config_.success_threshold) {
         lambda_ = std::min(lambda_ * config_.lambda_up, 100.0F * config_.lambda_init);
       } else {
@@ -88,6 +91,8 @@ class NcRefineTask final : public ClassRefineTask {
   Network& model_;
   const ClassScanJob job_;
   DataLoader loader_;
+  TensorArena arena_;
+  Batch batch_;
   std::optional<MaskedTrigger> trigger_;
   TargetedCrossEntropy loss_;
   float lambda_;

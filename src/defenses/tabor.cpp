@@ -58,33 +58,38 @@ class TaborRefineTask final : public ClassRefineTask {
     const ReverseOptConfig& base = config_.base;
     const std::int64_t spatial = size_ * size_;
     std::int64_t ran = 0;
-    Batch batch;
     while (ran < steps) {
-      if (!loader_.next(batch)) {
+      if (!loader_.next(batch_)) {
         loader_.new_epoch();
-        if (!loader_.next(batch)) {
+        if (!loader_.next(batch_)) {
           exhausted_ = true;
           break;
         }
       }
+      // All per-step tensors — the three forward/backward chains and every
+      // regularizer accumulator — live in the task arena (reset here), so
+      // the steady-state TABOR step (the heaviest of the three detectors)
+      // allocates nothing.
+      arena_.reset();
       trigger_->zero_grad();
 
       // Main NC objective.
-      const Tensor blended = trigger_->apply(batch.images);
-      const Tensor logits = model_.forward(blended);
+      const Tensor& blended = trigger_->apply_into(batch_.images, arena_);
+      const Tensor& logits = model_.forward_into(blended, arena_);
       last_loss_ = target_loss_.forward(logits, job_.target_class);
-      const Tensor dblended = model_.backward(target_loss_.backward());
-      trigger_->accumulate_from_output_grad(dblended, batch.images);
+      const Tensor& dblended =
+          model_.backward_into(target_loss_.backward_into(arena_), arena_);
+      trigger_->accumulate_from_output_grad(dblended, batch_.images);
       trigger_->add_mask_l1_grad(lambda_);
 
-      const Tensor m = trigger_->mask();
-      const Tensor p = trigger_->pattern();
+      const Tensor& m = trigger_->mask_values();
+      const Tensor& p = trigger_->pattern_values();
 
       // R1: elastic net on the mask and on the out-of-mask pattern (1-m)*p.
       trigger_->add_mask_elastic_grad(config_.elastic_mask_weight);
       {
-        Tensor dp(p.shape());
-        Tensor dm(m.shape());
+        Tensor& dp = arena_.zeros(p.shape());
+        Tensor& dm = arena_.zeros(m.shape());
         for (std::int64_t c = 0; c < channels_; ++c) {
           for (std::int64_t s = 0; s < spatial; ++s) {
             const float value = (1.0F - m[s]) * p[c * spatial + s];
@@ -104,22 +109,24 @@ class TaborRefineTask final : public ClassRefineTask {
       // R3 "blocking": removing the masked region must preserve the true
       // labels: CE(f(x * (1-m)), y).
       {
-        Tensor removed = batch.images;
+        Tensor& removed = arena_.alloc(batch_.images.shape());
         const std::int64_t bsz = removed.dim(0);
         for (std::int64_t n = 0; n < bsz; ++n) {
           for (std::int64_t c = 0; c < channels_; ++c) {
+            const float* xrow = batch_.images.raw() + (n * channels_ + c) * spatial;
             float* row = removed.raw() + (n * channels_ + c) * spatial;
-            for (std::int64_t s = 0; s < spatial; ++s) row[s] *= 1.0F - m[s];
+            for (std::int64_t s = 0; s < spatial; ++s) row[s] = xrow[s] * (1.0F - m[s]);
           }
         }
-        const Tensor removed_logits = model_.forward(removed);
-        (void)true_loss_.forward(removed_logits, batch.labels);
-        Tensor dremoved = model_.backward(true_loss_.backward());
-        Tensor dm(m.shape());
+        const Tensor& removed_logits = model_.forward_into(removed, arena_);
+        (void)true_loss_.forward(removed_logits, batch_.labels);
+        const Tensor& dremoved =
+            model_.backward_into(true_loss_.backward_into(arena_), arena_);
+        Tensor& dm = arena_.zeros(m.shape());
         for (std::int64_t n = 0; n < bsz; ++n) {
           for (std::int64_t c = 0; c < channels_; ++c) {
             const float* drow = dremoved.raw() + (n * channels_ + c) * spatial;
-            const float* xrow = batch.images.raw() + (n * channels_ + c) * spatial;
+            const float* xrow = batch_.images.raw() + (n * channels_ + c) * spatial;
             for (std::int64_t s = 0; s < spatial; ++s) dm[s] += drow[s] * (-xrow[s]);
           }
         }
@@ -129,17 +136,18 @@ class TaborRefineTask final : public ClassRefineTask {
 
       // R4 "overlaying": the isolated trigger p*m must classify to target.
       {
-        Tensor isolated(Shape{1, channels_, size_, size_});
+        Tensor& isolated = arena_.alloc(Shape{1, channels_, size_, size_});
         for (std::int64_t c = 0; c < channels_; ++c) {
           for (std::int64_t s = 0; s < spatial; ++s) {
             isolated[c * spatial + s] = p[c * spatial + s] * m[s];
           }
         }
-        const Tensor iso_logits = model_.forward(isolated);
+        const Tensor& iso_logits = model_.forward_into(isolated, arena_);
         (void)overlay_loss_.forward(iso_logits, job_.target_class);
-        Tensor diso = model_.backward(overlay_loss_.backward());
-        Tensor dp(p.shape());
-        Tensor dm(m.shape());
+        const Tensor& diso =
+            model_.backward_into(overlay_loss_.backward_into(arena_), arena_);
+        Tensor& dp = arena_.zeros(p.shape());
+        Tensor& dm = arena_.zeros(m.shape());
         for (std::int64_t c = 0; c < channels_; ++c) {
           for (std::int64_t s = 0; s < spatial; ++s) {
             dp[c * spatial + s] += diso[c * spatial + s] * m[s];
@@ -176,6 +184,8 @@ class TaborRefineTask final : public ClassRefineTask {
   Network& model_;
   const ClassScanJob job_;
   DataLoader loader_;
+  TensorArena arena_;
+  Batch batch_;
   std::optional<MaskedTrigger> trigger_;
   TargetedCrossEntropy target_loss_;
   SoftmaxCrossEntropy true_loss_;

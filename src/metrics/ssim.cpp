@@ -2,35 +2,52 @@
 
 #include <stdexcept>
 
+#include "tensor/elementwise.h"
 #include "tensor/tensor_ops.h"
 
 namespace usb {
 namespace {
 
-struct SsimMaps {
-  Tensor mu_x, mu_y, sigma_x2, sigma_y2, sigma_xy;
+/// Arena-referencing view of the five local-statistics maps.
+struct SsimMapRefs {
+  const Tensor* mu_x = nullptr;
+  const Tensor* mu_y = nullptr;
+  Tensor* sigma_x2 = nullptr;
+  Tensor* sigma_y2 = nullptr;
+  Tensor* sigma_xy = nullptr;
 };
 
-SsimMaps compute_maps(const Tensor& x, const Tensor& y, const Tensor& kernel) {
-  SsimMaps maps;
-  maps.mu_x = filter2d_valid(x, kernel);
-  maps.mu_y = filter2d_valid(y, kernel);
+SsimMapRefs compute_maps(const Tensor& x, const Tensor& y, const Tensor& kernel,
+                         TensorArena& arena) {
+  SsimMapRefs maps;
+  Tensor& mu_x = arena.alloc(Shape{});
+  Tensor& mu_y = arena.alloc(Shape{});
+  filter2d_valid_into(x, kernel, mu_x);
+  filter2d_valid_into(y, kernel, mu_y);
+  maps.mu_x = &mu_x;
+  maps.mu_y = &mu_y;
 
-  Tensor x2 = x;
-  x2 *= x;
-  Tensor y2 = y;
-  y2 *= y;
-  Tensor xy = x;
-  xy *= y;
+  Tensor& x2 = arena.alloc(x.shape());
+  Tensor& y2 = arena.alloc(x.shape());
+  Tensor& xy = arena.alloc(x.shape());
+  ew::mul(x.raw(), x.raw(), x2.raw(), x.numel());
+  ew::mul(y.raw(), y.raw(), y2.raw(), y.numel());
+  ew::mul(x.raw(), y.raw(), xy.raw(), x.numel());
 
-  maps.sigma_x2 = filter2d_valid(x2, kernel);
-  maps.sigma_y2 = filter2d_valid(y2, kernel);
-  maps.sigma_xy = filter2d_valid(xy, kernel);
-  for (std::int64_t i = 0; i < maps.mu_x.numel(); ++i) {
-    maps.sigma_x2[i] -= maps.mu_x[i] * maps.mu_x[i];
-    maps.sigma_y2[i] -= maps.mu_y[i] * maps.mu_y[i];
-    maps.sigma_xy[i] -= maps.mu_x[i] * maps.mu_y[i];
+  Tensor& sigma_x2 = arena.alloc(Shape{});
+  Tensor& sigma_y2 = arena.alloc(Shape{});
+  Tensor& sigma_xy = arena.alloc(Shape{});
+  filter2d_valid_into(x2, kernel, sigma_x2);
+  filter2d_valid_into(y2, kernel, sigma_y2);
+  filter2d_valid_into(xy, kernel, sigma_xy);
+  for (std::int64_t i = 0; i < mu_x.numel(); ++i) {
+    sigma_x2[i] -= mu_x[i] * mu_x[i];
+    sigma_y2[i] -= mu_y[i] * mu_y[i];
+    sigma_xy[i] -= mu_x[i] * mu_y[i];
   }
+  maps.sigma_x2 = &sigma_x2;
+  maps.sigma_y2 = &sigma_y2;
+  maps.sigma_xy = &sigma_xy;
   return maps;
 }
 
@@ -47,40 +64,46 @@ void check_inputs(const Tensor& x, const Tensor& y, const SsimConfig& config) {
 
 float ssim(const Tensor& x, const Tensor& y, const SsimConfig& config) {
   check_inputs(x, y, config);
-  const Tensor kernel = gaussian_kernel(config.window, config.sigma);
-  const SsimMaps maps = compute_maps(x, y, kernel);
+  thread_local TensorArena scratch;
+  const TensorArena::Scope scope(scratch);
+  Tensor& kernel = scratch.alloc(Shape{config.window, config.window});
+  gaussian_kernel_into(config.window, config.sigma, kernel);
+  const SsimMapRefs maps = compute_maps(x, y, kernel, scratch);
 
   double total = 0.0;
-  for (std::int64_t i = 0; i < maps.mu_x.numel(); ++i) {
-    const float n1 = 2.0F * maps.mu_x[i] * maps.mu_y[i] + config.c1;
-    const float n2 = 2.0F * maps.sigma_xy[i] + config.c2;
-    const float d1 = maps.mu_x[i] * maps.mu_x[i] + maps.mu_y[i] * maps.mu_y[i] + config.c1;
-    const float d2 = maps.sigma_x2[i] + maps.sigma_y2[i] + config.c2;
+  for (std::int64_t i = 0; i < maps.mu_x->numel(); ++i) {
+    const float n1 = 2.0F * (*maps.mu_x)[i] * (*maps.mu_y)[i] + config.c1;
+    const float n2 = 2.0F * (*maps.sigma_xy)[i] + config.c2;
+    const float d1 = (*maps.mu_x)[i] * (*maps.mu_x)[i] + (*maps.mu_y)[i] * (*maps.mu_y)[i] +
+                     config.c1;
+    const float d2 = (*maps.sigma_x2)[i] + (*maps.sigma_y2)[i] + config.c2;
     total += static_cast<double>(n1) * n2 / (static_cast<double>(d1) * d2);
   }
-  return static_cast<float>(total / static_cast<double>(maps.mu_x.numel()));
+  return static_cast<float>(total / static_cast<double>(maps.mu_x->numel()));
 }
 
-SsimResult ssim_with_gradient(const Tensor& x, const Tensor& y, const SsimConfig& config) {
+SsimGradRef ssim_with_gradient(const Tensor& x, const Tensor& y, TensorArena& arena,
+                               const SsimConfig& config) {
   check_inputs(x, y, config);
-  const Tensor kernel = gaussian_kernel(config.window, config.sigma);
-  const SsimMaps maps = compute_maps(x, y, kernel);
+  Tensor& kernel = arena.alloc(Shape{config.window, config.window});
+  gaussian_kernel_into(config.window, config.sigma, kernel);
+  const SsimMapRefs maps = compute_maps(x, y, kernel, arena);
 
-  const std::int64_t map_numel = maps.mu_x.numel();
+  const std::int64_t map_numel = maps.mu_x->numel();
   const float upstream = 1.0F / static_cast<float>(map_numel);  // mean reduction
 
   // Per-map partial derivatives of the mean SSIM.
-  Tensor g_mu(maps.mu_x.shape());     // effective gradient routed to G*y
-  Tensor g_y2(maps.mu_x.shape());     // gradient routed to G*(y^2)
-  Tensor g_xy(maps.mu_x.shape());     // gradient routed to G*(x*y)
+  Tensor& g_mu = arena.alloc(maps.mu_x->shape());  // effective gradient routed to G*y
+  Tensor& g_y2 = arena.alloc(maps.mu_x->shape());  // gradient routed to G*(y^2)
+  Tensor& g_xy = arena.alloc(maps.mu_x->shape());  // gradient routed to G*(x*y)
   double total = 0.0;
   for (std::int64_t i = 0; i < map_numel; ++i) {
-    const float mu_x = maps.mu_x[i];
-    const float mu_y = maps.mu_y[i];
+    const float mu_x = (*maps.mu_x)[i];
+    const float mu_y = (*maps.mu_y)[i];
     const float n1 = 2.0F * mu_x * mu_y + config.c1;
-    const float n2 = 2.0F * maps.sigma_xy[i] + config.c2;
+    const float n2 = 2.0F * (*maps.sigma_xy)[i] + config.c2;
     const float d1 = mu_x * mu_x + mu_y * mu_y + config.c1;
-    const float d2 = maps.sigma_x2[i] + maps.sigma_y2[i] + config.c2;
+    const float d2 = (*maps.sigma_x2)[i] + (*maps.sigma_y2)[i] + config.c2;
     const float d1d2 = d1 * d2;
     total += static_cast<double>(n1) * n2 / d1d2;
 
@@ -98,16 +121,29 @@ SsimResult ssim_with_gradient(const Tensor& x, const Tensor& y, const SsimConfig
 
   // Adjoint of the valid Gaussian filter scatters map gradients onto the
   // input grid; then d(y^2)/dy = 2y and d(xy)/dy = x close the chain.
-  Tensor grad = filter2d_full_adjoint(g_mu, kernel);
-  const Tensor back_y2 = filter2d_full_adjoint(g_y2, kernel);
-  const Tensor back_xy = filter2d_full_adjoint(g_xy, kernel);
+  Tensor& grad = arena.alloc(Shape{});
+  filter2d_full_adjoint_into(g_mu, kernel, grad);
+  Tensor& back_y2 = arena.alloc(Shape{});
+  Tensor& back_xy = arena.alloc(Shape{});
+  filter2d_full_adjoint_into(g_y2, kernel, back_y2);
+  filter2d_full_adjoint_into(g_xy, kernel, back_xy);
   for (std::int64_t i = 0; i < grad.numel(); ++i) {
     grad[i] += 2.0F * y[i] * back_y2[i] + x[i] * back_xy[i];
   }
 
-  SsimResult result;
+  SsimGradRef result;
   result.value = static_cast<float>(total / static_cast<double>(map_numel));
-  result.grad_y = std::move(grad);
+  result.grad_y = &grad;
+  return result;
+}
+
+SsimResult ssim_with_gradient(const Tensor& x, const Tensor& y, const SsimConfig& config) {
+  thread_local TensorArena scratch;
+  const TensorArena::Scope scope(scratch);
+  const SsimGradRef ref = ssim_with_gradient(x, y, scratch, config);
+  SsimResult result;
+  result.value = ref.value;
+  result.grad_y = *ref.grad_y;  // copy out of the scoped scratch
   return result;
 }
 

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 
+#include "tensor/arena.h"
 #include "tensor/tensor.h"
 
 namespace usb {
@@ -36,5 +37,17 @@ struct SsimResult {
 /// SSIM value plus its exact gradient with respect to y (x held constant).
 [[nodiscard]] SsimResult ssim_with_gradient(const Tensor& x, const Tensor& y,
                                             const SsimConfig& config = {});
+
+struct SsimGradRef {
+  float value = 0.0F;
+  const Tensor* grad_y = nullptr;  // arena-owned; valid until the arena resets
+};
+
+/// Arena-backed form of ssim_with_gradient: every intermediate map and the
+/// gradient itself live in `arena`, so the USB refinement step's per-step
+/// SSIM term allocates nothing in steady state. Bit-identical to the
+/// value-returning form.
+[[nodiscard]] SsimGradRef ssim_with_gradient(const Tensor& x, const Tensor& y, TensorArena& arena,
+                                             const SsimConfig& config = {});
 
 }  // namespace usb

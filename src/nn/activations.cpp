@@ -1,78 +1,118 @@
 #include "nn/activations.h"
 
-#include <cmath>
+#include "tensor/elementwise.h"
 
 namespace usb {
 
 Tensor ReLU::forward(const Tensor& x) {
-  cached_input_ = x;
-  Tensor y = x;
-  for (std::int64_t i = 0; i < y.numel(); ++i) {
-    if (y[i] < 0.0F) y[i] = 0.0F;
-  }
+  cached_input_own_ = x;
+  cached_input_ = &cached_input_own_;
+  Tensor y(x.shape());
+  ew::relu_fwd(x.raw(), y.raw(), x.numel());
+  return y;
+}
+
+const Tensor& ReLU::forward_into(const Tensor& x, TensorArena& arena) {
+  cached_input_ = &x;
+  Tensor& y = arena.alloc(x.shape());
+  ew::relu_fwd(x.raw(), y.raw(), x.numel());
   return y;
 }
 
 Tensor ReLU::backward(const Tensor& grad_out) {
-  Tensor dx = grad_out;
-  for (std::int64_t i = 0; i < dx.numel(); ++i) {
-    if (cached_input_[i] <= 0.0F) dx[i] = 0.0F;
-  }
+  Tensor dx(grad_out.shape());
+  ew::relu_bwd(cached_input_->raw(), grad_out.raw(), dx.raw(), grad_out.numel());
+  return dx;
+}
+
+Tensor& ReLU::backward_into(const Tensor& grad_out, TensorArena& arena) {
+  Tensor& dx = arena.alloc(grad_out.shape());
+  ew::relu_bwd(cached_input_->raw(), grad_out.raw(), dx.raw(), grad_out.numel());
   return dx;
 }
 
 Tensor Sigmoid::forward(const Tensor& x) {
-  Tensor y = x;
-  for (std::int64_t i = 0; i < y.numel(); ++i) {
-    y[i] = 1.0F / (1.0F + std::exp(-y[i]));
-  }
-  cached_output_ = y;
+  Tensor y(x.shape());
+  ew::sigmoid_fwd(x.raw(), y.raw(), x.numel());
+  cached_output_own_ = y;
+  cached_output_ = &cached_output_own_;
+  return y;
+}
+
+const Tensor& Sigmoid::forward_into(const Tensor& x, TensorArena& arena) {
+  Tensor& y = arena.alloc(x.shape());
+  ew::sigmoid_fwd(x.raw(), y.raw(), x.numel());
+  cached_output_ = &y;
   return y;
 }
 
 Tensor Sigmoid::backward(const Tensor& grad_out) {
-  Tensor dx = grad_out;
-  for (std::int64_t i = 0; i < dx.numel(); ++i) {
-    const float s = cached_output_[i];
-    dx[i] *= s * (1.0F - s);
-  }
+  Tensor dx(grad_out.shape());
+  ew::sigmoid_bwd(cached_output_->raw(), grad_out.raw(), dx.raw(), grad_out.numel());
+  return dx;
+}
+
+Tensor& Sigmoid::backward_into(const Tensor& grad_out, TensorArena& arena) {
+  Tensor& dx = arena.alloc(grad_out.shape());
+  ew::sigmoid_bwd(cached_output_->raw(), grad_out.raw(), dx.raw(), grad_out.numel());
   return dx;
 }
 
 Tensor Tanh::forward(const Tensor& x) {
-  Tensor y = x;
-  for (std::int64_t i = 0; i < y.numel(); ++i) y[i] = std::tanh(y[i]);
-  cached_output_ = y;
+  Tensor y(x.shape());
+  ew::tanh_fwd(x.raw(), y.raw(), x.numel());
+  cached_output_own_ = y;
+  cached_output_ = &cached_output_own_;
+  return y;
+}
+
+const Tensor& Tanh::forward_into(const Tensor& x, TensorArena& arena) {
+  Tensor& y = arena.alloc(x.shape());
+  ew::tanh_fwd(x.raw(), y.raw(), x.numel());
+  cached_output_ = &y;
   return y;
 }
 
 Tensor Tanh::backward(const Tensor& grad_out) {
-  Tensor dx = grad_out;
-  for (std::int64_t i = 0; i < dx.numel(); ++i) {
-    const float t = cached_output_[i];
-    dx[i] *= 1.0F - t * t;
-  }
+  Tensor dx(grad_out.shape());
+  ew::tanh_bwd(cached_output_->raw(), grad_out.raw(), dx.raw(), grad_out.numel());
+  return dx;
+}
+
+Tensor& Tanh::backward_into(const Tensor& grad_out, TensorArena& arena) {
+  Tensor& dx = arena.alloc(grad_out.shape());
+  ew::tanh_bwd(cached_output_->raw(), grad_out.raw(), dx.raw(), grad_out.numel());
   return dx;
 }
 
 Tensor SiLU::forward(const Tensor& x) {
-  cached_input_ = x;
-  cached_sigmoid_ = Tensor(x.shape());
+  cached_input_own_ = x;
+  cached_input_ = &cached_input_own_;
+  cached_sigmoid_.ensure_shape(x.shape());
   Tensor y(x.shape());
-  for (std::int64_t i = 0; i < x.numel(); ++i) {
-    const float s = 1.0F / (1.0F + std::exp(-x[i]));
-    cached_sigmoid_[i] = s;
-    y[i] = x[i] * s;
-  }
+  ew::silu_fwd(x.raw(), cached_sigmoid_.raw(), y.raw(), x.numel());
+  return y;
+}
+
+const Tensor& SiLU::forward_into(const Tensor& x, TensorArena& arena) {
+  cached_input_ = &x;
+  cached_sigmoid_.ensure_shape(x.shape());
+  Tensor& y = arena.alloc(x.shape());
+  ew::silu_fwd(x.raw(), cached_sigmoid_.raw(), y.raw(), x.numel());
   return y;
 }
 
 Tensor SiLU::backward(const Tensor& grad_out) {
-  Tensor dx = grad_out;
-  for (std::int64_t i = 0; i < dx.numel(); ++i) {
-    const float s = cached_sigmoid_[i];
-    dx[i] *= s * (1.0F + cached_input_[i] * (1.0F - s));
-  }
+  Tensor dx(grad_out.shape());
+  ew::silu_bwd(cached_sigmoid_.raw(), cached_input_->raw(), grad_out.raw(), dx.raw(),
+               grad_out.numel());
+  return dx;
+}
+
+Tensor& SiLU::backward_into(const Tensor& grad_out, TensorArena& arena) {
+  Tensor& dx = arena.alloc(grad_out.shape());
+  ew::silu_bwd(cached_sigmoid_.raw(), cached_input_->raw(), grad_out.raw(), dx.raw(),
+               grad_out.numel());
   return dx;
 }
 

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "tensor/elementwise.h"
+
 namespace usb {
 
 BatchNorm2d::BatchNorm2d(std::int64_t channels, float eps, float momentum)
@@ -14,7 +16,7 @@ BatchNorm2d::BatchNorm2d(std::int64_t channels, float eps, float momentum)
       running_mean_(Shape{channels}),
       running_var_(Tensor::ones(Shape{channels})) {}
 
-Tensor BatchNorm2d::forward(const Tensor& x) {
+void BatchNorm2d::forward_core(const Tensor& x, Tensor& y) {
   if (x.rank() != 4 || x.dim(1) != channels_) {
     throw std::invalid_argument("BatchNorm2d: expected NCHW with C=" + std::to_string(channels_));
   }
@@ -25,14 +27,16 @@ Tensor BatchNorm2d::forward(const Tensor& x) {
   const std::int64_t count = batch * spatial;
 
   forward_was_training_ = training();
-  cached_inv_std_ = Tensor(Shape{channels_});
-  Tensor y(x.shape());
-  cached_xhat_ = Tensor(x.shape());
+  cached_inv_std_.ensure_shape(Shape{channels_});
+  y.ensure_shape(x.shape());
+  cached_xhat_.ensure_shape(x.shape());
 
   for (std::int64_t c = 0; c < channels_; ++c) {
     float mean = 0.0F;
     float var = 0.0F;
     if (forward_was_training_) {
+      // Batch statistics stay a scalar double reduction: the ascending
+      // accumulation order is part of the bit-identity contract.
       double sum = 0.0;
       double sq_sum = 0.0;
       for (std::int64_t n = 0; n < batch; ++n) {
@@ -54,34 +58,39 @@ Tensor BatchNorm2d::forward(const Tensor& x) {
     }
     const float inv_std = 1.0F / std::sqrt(var + eps_);
     cached_inv_std_[c] = inv_std;
-    const float g = gamma_.value[c];
-    const float b = beta_.value[c];
     for (std::int64_t n = 0; n < batch; ++n) {
-      const float* x_p = x.raw() + (n * channels_ + c) * spatial;
-      float* xhat_p = cached_xhat_.raw() + (n * channels_ + c) * spatial;
-      float* y_p = y.raw() + (n * channels_ + c) * spatial;
-      for (std::int64_t s = 0; s < spatial; ++s) {
-        const float xhat = (x_p[s] - mean) * inv_std;
-        xhat_p[s] = xhat;
-        y_p[s] = g * xhat + b;
-      }
+      const std::int64_t offset = (n * channels_ + c) * spatial;
+      ew::bn_fwd(x.raw() + offset, cached_xhat_.raw() + offset, y.raw() + offset, mean, inv_std,
+                 gamma_.value[c], beta_.value[c], spatial);
     }
   }
+}
+
+Tensor BatchNorm2d::forward(const Tensor& x) {
+  Tensor y;
+  forward_core(x, y);
   return y;
 }
 
-Tensor BatchNorm2d::backward(const Tensor& grad_out) {
+const Tensor& BatchNorm2d::forward_into(const Tensor& x, TensorArena& arena) {
+  Tensor& y = arena.alloc(x.shape());
+  forward_core(x, y);
+  return y;
+}
+
+void BatchNorm2d::backward_core(const Tensor& grad_out, Tensor& dx) {
   const std::int64_t batch = grad_out.dim(0);
   const std::int64_t spatial = grad_out.dim(2) * grad_out.dim(3);
   const std::int64_t count = batch * spatial;
-  Tensor dx(grad_out.shape());
+  dx.ensure_shape(grad_out.shape());
 
   for (std::int64_t c = 0; c < channels_; ++c) {
     const float inv_std = cached_inv_std_[c];
     const float g = gamma_.value[c];
     // The reductions feed both the parameter gradients and (in training
     // mode) the dx correction terms; eval-mode detection with parameter
-    // gradients disabled needs neither.
+    // gradients disabled needs neither. Scalar double accumulation by the
+    // bit-identity contract.
     const bool need_sums = param_grads_enabled() || forward_was_training_;
     double sum_dy = 0.0;
     double sum_dy_xhat = 0.0;
@@ -106,23 +115,30 @@ Tensor BatchNorm2d::backward(const Tensor& grad_out) {
       const auto mean_dy = static_cast<float>(sum_dy / static_cast<double>(count));
       const auto mean_dy_xhat = static_cast<float>(sum_dy_xhat / static_cast<double>(count));
       for (std::int64_t n = 0; n < batch; ++n) {
-        const float* dy_p = grad_out.raw() + (n * channels_ + c) * spatial;
-        const float* xhat_p = cached_xhat_.raw() + (n * channels_ + c) * spatial;
-        float* dx_p = dx.raw() + (n * channels_ + c) * spatial;
-        for (std::int64_t s = 0; s < spatial; ++s) {
-          dx_p[s] = g * inv_std * (dy_p[s] - mean_dy - xhat_p[s] * mean_dy_xhat);
-        }
+        const std::int64_t offset = (n * channels_ + c) * spatial;
+        ew::bn_bwd_train(grad_out.raw() + offset, cached_xhat_.raw() + offset, dx.raw() + offset,
+                         g * inv_std, mean_dy, mean_dy_xhat, spatial);
       }
     } else {
       // Running stats are constants: dx = dy * gamma / sqrt(var+eps).
       const float scale = g * inv_std;
       for (std::int64_t n = 0; n < batch; ++n) {
-        const float* dy_p = grad_out.raw() + (n * channels_ + c) * spatial;
-        float* dx_p = dx.raw() + (n * channels_ + c) * spatial;
-        for (std::int64_t s = 0; s < spatial; ++s) dx_p[s] = scale * dy_p[s];
+        const std::int64_t offset = (n * channels_ + c) * spatial;
+        ew::scale_into(grad_out.raw() + offset, scale, dx.raw() + offset, spatial);
       }
     }
   }
+}
+
+Tensor BatchNorm2d::backward(const Tensor& grad_out) {
+  Tensor dx;
+  backward_core(grad_out, dx);
+  return dx;
+}
+
+Tensor& BatchNorm2d::backward_into(const Tensor& grad_out, TensorArena& arena) {
+  Tensor& dx = arena.alloc(grad_out.shape());
+  backward_core(grad_out, dx);
   return dx;
 }
 

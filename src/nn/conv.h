@@ -13,6 +13,8 @@ class Conv2d final : public Module {
 
   [[nodiscard]] Tensor forward(const Tensor& x) override;
   [[nodiscard]] Tensor backward(const Tensor& grad_out) override;
+  [[nodiscard]] const Tensor& forward_into(const Tensor& x, TensorArena& arena) override;
+  [[nodiscard]] Tensor& backward_into(const Tensor& grad_out, TensorArena& arena) override;
   void collect_parameters(std::vector<Parameter*>& out) override;
   [[nodiscard]] std::string name() const override { return "Conv2d"; }
 
@@ -28,7 +30,8 @@ class Conv2d final : public Module {
   bool need_input_grad_ = true;
   Parameter weight_;
   Parameter bias_;
-  Tensor cached_input_;
+  Tensor cached_input_own_;
+  const Tensor* cached_input_ = nullptr;
 };
 
 }  // namespace usb

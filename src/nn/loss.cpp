@@ -1,8 +1,10 @@
 #include "nn/loss.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
+#include "tensor/elementwise.h"
 #include "tensor/tensor_ops.h"
 
 namespace usb {
@@ -12,7 +14,7 @@ float SoftmaxCrossEntropy::forward(const Tensor& logits,
   if (logits.rank() != 2 || logits.dim(0) != static_cast<std::int64_t>(labels.size())) {
     throw std::invalid_argument("SoftmaxCrossEntropy: logits/labels mismatch");
   }
-  cached_probs_ = softmax_rows(logits);
+  softmax_rows_into(logits, cached_probs_);
   cached_labels_ = labels;
   const std::int64_t rows = logits.dim(0);
   const std::int64_t cols = logits.dim(1);
@@ -24,16 +26,27 @@ float SoftmaxCrossEntropy::forward(const Tensor& logits,
   return static_cast<float>(loss / static_cast<double>(rows));
 }
 
-Tensor SoftmaxCrossEntropy::backward() const {
+void SoftmaxCrossEntropy::backward_core(Tensor& grad) const {
   const std::int64_t rows = cached_probs_.dim(0);
   const std::int64_t cols = cached_probs_.dim(1);
-  Tensor grad = cached_probs_;
+  grad.ensure_shape(cached_probs_.shape());
+  std::copy(cached_probs_.raw(), cached_probs_.raw() + cached_probs_.numel(), grad.raw());
   const float inv_rows = 1.0F / static_cast<float>(rows);
   for (std::int64_t r = 0; r < rows; ++r) {
     grad[r * cols + cached_labels_[static_cast<std::size_t>(r)]] -= 1.0F;
-    float* row = grad.raw() + r * cols;
-    for (std::int64_t c = 0; c < cols; ++c) row[c] *= inv_rows;
+    ew::scale(grad.raw() + r * cols, inv_rows, cols);
   }
+}
+
+Tensor SoftmaxCrossEntropy::backward() const {
+  Tensor grad;
+  backward_core(grad);
+  return grad;
+}
+
+Tensor& SoftmaxCrossEntropy::backward_into(TensorArena& arena) const {
+  Tensor& grad = arena.alloc(cached_probs_.shape());
+  backward_core(grad);
   return grad;
 }
 
@@ -41,7 +54,7 @@ float TargetedCrossEntropy::forward(const Tensor& logits, std::int64_t target_cl
   if (logits.rank() != 2 || target_class < 0 || target_class >= logits.dim(1)) {
     throw std::invalid_argument("TargetedCrossEntropy: bad logits or target");
   }
-  cached_probs_ = softmax_rows(logits);
+  softmax_rows_into(logits, cached_probs_);
   cached_target_ = target_class;
   const std::int64_t rows = logits.dim(0);
   const std::int64_t cols = logits.dim(1);
@@ -52,16 +65,27 @@ float TargetedCrossEntropy::forward(const Tensor& logits, std::int64_t target_cl
   return static_cast<float>(loss / static_cast<double>(rows));
 }
 
-Tensor TargetedCrossEntropy::backward() const {
+void TargetedCrossEntropy::backward_core(Tensor& grad) const {
   const std::int64_t rows = cached_probs_.dim(0);
   const std::int64_t cols = cached_probs_.dim(1);
-  Tensor grad = cached_probs_;
+  grad.ensure_shape(cached_probs_.shape());
+  std::copy(cached_probs_.raw(), cached_probs_.raw() + cached_probs_.numel(), grad.raw());
   const float inv_rows = 1.0F / static_cast<float>(rows);
   for (std::int64_t r = 0; r < rows; ++r) {
     grad[r * cols + cached_target_] -= 1.0F;
-    float* row = grad.raw() + r * cols;
-    for (std::int64_t c = 0; c < cols; ++c) row[c] *= inv_rows;
+    ew::scale(grad.raw() + r * cols, inv_rows, cols);
   }
+}
+
+Tensor TargetedCrossEntropy::backward() const {
+  Tensor grad;
+  backward_core(grad);
+  return grad;
+}
+
+Tensor& TargetedCrossEntropy::backward_into(TensorArena& arena) const {
+  Tensor& grad = arena.alloc(cached_probs_.shape());
+  backward_core(grad);
   return grad;
 }
 
@@ -74,9 +98,21 @@ float MeanSquaredError::forward(const Tensor& prediction, const Tensor& target) 
   return cached_diff_.sq_sum() / static_cast<float>(cached_diff_.numel());
 }
 
+void MeanSquaredError::backward_core(Tensor& grad) const {
+  grad.ensure_shape(cached_diff_.shape());
+  ew::scale_into(cached_diff_.raw(), 2.0F / static_cast<float>(cached_diff_.numel()), grad.raw(),
+                 cached_diff_.numel());
+}
+
 Tensor MeanSquaredError::backward() const {
-  Tensor grad = cached_diff_;
-  grad *= 2.0F / static_cast<float>(grad.numel());
+  Tensor grad;
+  backward_core(grad);
+  return grad;
+}
+
+Tensor& MeanSquaredError::backward_into(TensorArena& arena) const {
+  Tensor& grad = arena.alloc(cached_diff_.shape());
+  backward_core(grad);
   return grad;
 }
 

@@ -1,9 +1,14 @@
 // Loss functions with exact gradients.
+//
+// All three losses cache into recycled member scratch and offer an
+// arena-backed backward_into alongside the value-returning backward(), so a
+// steady-state loss forward+backward pair performs zero heap allocations.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "tensor/arena.h"
 #include "tensor/tensor.h"
 
 namespace usb {
@@ -16,8 +21,11 @@ class SoftmaxCrossEntropy {
 
   /// Returns dL/dlogits = (softmax - onehot) / N for the last forward.
   [[nodiscard]] Tensor backward() const;
+  [[nodiscard]] Tensor& backward_into(TensorArena& arena) const;
 
  private:
+  void backward_core(Tensor& grad) const;
+
   Tensor cached_probs_;
   std::vector<std::int64_t> cached_labels_;
 };
@@ -28,8 +36,11 @@ class TargetedCrossEntropy {
  public:
   [[nodiscard]] float forward(const Tensor& logits, std::int64_t target_class);
   [[nodiscard]] Tensor backward() const;
+  [[nodiscard]] Tensor& backward_into(TensorArena& arena) const;
 
  private:
+  void backward_core(Tensor& grad) const;
+
   Tensor cached_probs_;
   std::int64_t cached_target_ = 0;
 };
@@ -39,8 +50,11 @@ class MeanSquaredError {
  public:
   [[nodiscard]] float forward(const Tensor& prediction, const Tensor& target);
   [[nodiscard]] Tensor backward() const;
+  [[nodiscard]] Tensor& backward_into(TensorArena& arena) const;
 
  private:
+  void backward_core(Tensor& grad) const;
+
   Tensor cached_diff_;
 };
 

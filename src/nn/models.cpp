@@ -43,6 +43,13 @@ Network::Network(Architecture arch, std::int64_t in_channels, std::int64_t input
 Tensor Network::forward(const Tensor& x) { return layers_->forward(x); }
 Tensor Network::backward(const Tensor& grad_logits) { return layers_->backward(grad_logits); }
 
+const Tensor& Network::forward_into(const Tensor& x, TensorArena& arena) {
+  return layers_->forward_into(x, arena);
+}
+Tensor& Network::backward_into(const Tensor& grad_logits, TensorArena& arena) {
+  return layers_->backward_into(grad_logits, arena);
+}
+
 Tensor Network::forward_features(const Tensor& x) {
   return layers_->forward_range(x, 0, feature_boundary_);
 }

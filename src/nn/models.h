@@ -42,6 +42,13 @@ class Network {
   /// zero them or ignore them).
   [[nodiscard]] Tensor backward(const Tensor& grad_logits);
 
+  /// Arena-backed forward/backward: bit-identical to forward()/backward(),
+  /// zero heap allocations in a steady-state loop that resets the arena at
+  /// step boundaries. `x` and the returned references must outlive the
+  /// matching backward (see Module::forward_into).
+  [[nodiscard]] const Tensor& forward_into(const Tensor& x, TensorArena& arena);
+  [[nodiscard]] Tensor& backward_into(const Tensor& grad_logits, TensorArena& arena);
+
   /// Forward through the feature extractor only (layers before the
   /// boundary). Used by the Latent Backdoor attack.
   [[nodiscard]] Tensor forward_features(const Tensor& x);

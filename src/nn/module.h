@@ -18,6 +18,7 @@
 #include <utility>
 #include <vector>
 
+#include "tensor/arena.h"
 #include "tensor/tensor.h"
 
 namespace usb {
@@ -54,6 +55,25 @@ class Module {
 
   /// Returns dL/dinput given dL/doutput; accumulates parameter gradients.
   [[nodiscard]] virtual Tensor backward(const Tensor& grad_out) = 0;
+
+  /// Arena-backed forward: bit-identical to forward(), but the output (and
+  /// any intermediate) lives in `arena` slots, so a steady-state loop that
+  /// resets the arena between steps performs zero Tensor heap allocations.
+  /// Additional contract on top of forward()'s: the input `x` and the
+  /// returned reference must stay alive (no arena reset) until the matching
+  /// backward/backward_into has consumed this forward's caches — layers on
+  /// this path cache borrowed pointers instead of copies. The default is an
+  /// adapter for layers without a native arena body.
+  [[nodiscard]] virtual const Tensor& forward_into(const Tensor& x, TensorArena& arena) {
+    return arena.adopt(forward(x));
+  }
+
+  /// Arena-backed backward; same pairing rules as backward(). Returns a
+  /// mutable reference so callers can fold extra gradient terms in place
+  /// (e.g. the SSIM term of USB's Alg. 2).
+  [[nodiscard]] virtual Tensor& backward_into(const Tensor& grad_out, TensorArena& arena) {
+    return arena.adopt(backward(grad_out));
+  }
 
   /// Appends pointers to learnable parameters (default: none).
   virtual void collect_parameters(std::vector<Parameter*>& /*out*/) {}

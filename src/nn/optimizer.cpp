@@ -2,7 +2,23 @@
 
 #include <cmath>
 
+#include "tensor/elementwise.h"
+
 namespace usb {
+namespace {
+
+ew::AdamParams adam_params(const AdamConfig& config, std::int64_t t) {
+  ew::AdamParams params;
+  params.lr = config.lr;
+  params.beta1 = config.beta1;
+  params.beta2 = config.beta2;
+  params.eps = config.eps;
+  params.bias1 = 1.0F - std::pow(config.beta1, static_cast<float>(t));
+  params.bias2 = 1.0F - std::pow(config.beta2, static_cast<float>(t));
+  return params;
+}
+
+}  // namespace
 
 Sgd::Sgd(std::vector<Parameter*> params, SgdConfig config)
     : Optimizer(std::move(params)), config_(config) {
@@ -36,35 +52,18 @@ Adam::Adam(std::vector<Parameter*> params, AdamConfig config)
 
 void Adam::step() {
   ++t_;
-  const float bias1 = 1.0F - std::pow(config_.beta1, static_cast<float>(t_));
-  const float bias2 = 1.0F - std::pow(config_.beta2, static_cast<float>(t_));
+  const ew::AdamParams params = adam_params(config_, t_);
   for (std::size_t i = 0; i < params_.size(); ++i) {
     Parameter& param = *params_[i];
-    const std::int64_t n = param.value.numel();
-    for (std::int64_t j = 0; j < n; ++j) {
-      const float g = param.grad[j];
-      m_[i][j] = config_.beta1 * m_[i][j] + (1.0F - config_.beta1) * g;
-      v_[i][j] = config_.beta2 * v_[i][j] + (1.0F - config_.beta2) * g * g;
-      const float m_hat = m_[i][j] / bias1;
-      const float v_hat = v_[i][j] / bias2;
-      param.value[j] -= config_.lr * m_hat / (std::sqrt(v_hat) + config_.eps);
-    }
+    ew::adam_update(param.value.raw(), param.grad.raw(), m_[i].raw(), v_[i].raw(),
+                    param.value.numel(), params);
   }
 }
 
 void AdamState::step(Tensor& value, const Tensor& grad) {
   ++t_;
-  const float bias1 = 1.0F - std::pow(config_.beta1, static_cast<float>(t_));
-  const float bias2 = 1.0F - std::pow(config_.beta2, static_cast<float>(t_));
-  const std::int64_t n = value.numel();
-  for (std::int64_t j = 0; j < n; ++j) {
-    const float g = grad[j];
-    m_[j] = config_.beta1 * m_[j] + (1.0F - config_.beta1) * g;
-    v_[j] = config_.beta2 * v_[j] + (1.0F - config_.beta2) * g * g;
-    const float m_hat = m_[j] / bias1;
-    const float v_hat = v_[j] / bias2;
-    value[j] -= config_.lr * m_hat / (std::sqrt(v_hat) + config_.eps);
-  }
+  ew::adam_update(value.raw(), grad.raw(), m_.raw(), v_.raw(), value.numel(),
+                  adam_params(config_, t_));
 }
 
 }  // namespace usb

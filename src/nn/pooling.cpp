@@ -1,16 +1,32 @@
 #include "nn/pooling.h"
 
+#include <algorithm>
+
 namespace usb {
 
 Tensor MaxPool2d::forward(const Tensor& x) {
   cached_input_shape_ = x.shape();
-  MaxPoolResult result = maxpool2d_forward(x, spec_);
-  cached_argmax_ = std::move(result.argmax);
-  return std::move(result.y);
+  Tensor y;
+  maxpool2d_forward_into(x, spec_, y, cached_argmax_);
+  return y;
+}
+
+const Tensor& MaxPool2d::forward_into(const Tensor& x, TensorArena& arena) {
+  cached_input_shape_ = x.shape();
+  Tensor& y = arena.alloc(Shape{x.dim(0), x.dim(1), spec_.out_size(x.dim(2)),
+                                spec_.out_size(x.dim(3))});
+  maxpool2d_forward_into(x, spec_, y, cached_argmax_);
+  return y;
 }
 
 Tensor MaxPool2d::backward(const Tensor& grad_out) {
   return maxpool2d_backward(grad_out, cached_argmax_, cached_input_shape_);
+}
+
+Tensor& MaxPool2d::backward_into(const Tensor& grad_out, TensorArena& arena) {
+  Tensor& dx = arena.alloc(cached_input_shape_);
+  maxpool2d_backward_into(grad_out, cached_argmax_, cached_input_shape_, dx);
+  return dx;
 }
 
 Tensor AvgPool2d::forward(const Tensor& x) {
@@ -18,8 +34,22 @@ Tensor AvgPool2d::forward(const Tensor& x) {
   return avgpool2d_forward(x, spec_);
 }
 
+const Tensor& AvgPool2d::forward_into(const Tensor& x, TensorArena& arena) {
+  cached_input_shape_ = x.shape();
+  Tensor& y = arena.alloc(Shape{x.dim(0), x.dim(1), spec_.out_size(x.dim(2)),
+                                spec_.out_size(x.dim(3))});
+  avgpool2d_forward_into(x, spec_, y);
+  return y;
+}
+
 Tensor AvgPool2d::backward(const Tensor& grad_out) {
   return avgpool2d_backward(grad_out, cached_input_shape_, spec_);
+}
+
+Tensor& AvgPool2d::backward_into(const Tensor& grad_out, TensorArena& arena) {
+  Tensor& dx = arena.alloc(cached_input_shape_);
+  avgpool2d_backward_into(grad_out, cached_input_shape_, spec_, dx);
+  return dx;
 }
 
 Tensor GlobalAvgPool::forward(const Tensor& x) {
@@ -27,8 +57,21 @@ Tensor GlobalAvgPool::forward(const Tensor& x) {
   return global_avgpool_forward(x);
 }
 
+const Tensor& GlobalAvgPool::forward_into(const Tensor& x, TensorArena& arena) {
+  cached_input_shape_ = x.shape();
+  Tensor& y = arena.alloc(Shape{x.dim(0), x.dim(1), 1, 1});
+  global_avgpool_forward_into(x, y);
+  return y;
+}
+
 Tensor GlobalAvgPool::backward(const Tensor& grad_out) {
   return global_avgpool_backward(grad_out, cached_input_shape_);
+}
+
+Tensor& GlobalAvgPool::backward_into(const Tensor& grad_out, TensorArena& arena) {
+  Tensor& dx = arena.alloc(cached_input_shape_);
+  global_avgpool_backward_into(grad_out, cached_input_shape_, dx);
+  return dx;
 }
 
 Tensor Flatten::forward(const Tensor& x) {
@@ -36,8 +79,21 @@ Tensor Flatten::forward(const Tensor& x) {
   return x.reshaped(Shape{x.dim(0), x.numel() / x.dim(0)});
 }
 
+const Tensor& Flatten::forward_into(const Tensor& x, TensorArena& arena) {
+  cached_input_shape_ = x.shape();
+  Tensor& y = arena.alloc(Shape{x.dim(0), x.numel() / x.dim(0)});
+  std::copy(x.raw(), x.raw() + x.numel(), y.raw());
+  return y;
+}
+
 Tensor Flatten::backward(const Tensor& grad_out) {
   return grad_out.reshaped(cached_input_shape_);
+}
+
+Tensor& Flatten::backward_into(const Tensor& grad_out, TensorArena& arena) {
+  Tensor& dx = arena.alloc(cached_input_shape_);
+  std::copy(grad_out.raw(), grad_out.raw() + grad_out.numel(), dx.raw());
+  return dx;
 }
 
 }  // namespace usb

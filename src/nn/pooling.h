@@ -12,12 +12,14 @@ class MaxPool2d final : public Module {
 
   [[nodiscard]] Tensor forward(const Tensor& x) override;
   [[nodiscard]] Tensor backward(const Tensor& grad_out) override;
+  [[nodiscard]] const Tensor& forward_into(const Tensor& x, TensorArena& arena) override;
+  [[nodiscard]] Tensor& backward_into(const Tensor& grad_out, TensorArena& arena) override;
   [[nodiscard]] std::string name() const override { return "MaxPool2d"; }
 
  private:
   Pool2dSpec spec_;
   Shape cached_input_shape_;
-  std::vector<std::int64_t> cached_argmax_;
+  std::vector<std::int64_t> cached_argmax_;  // capacity recycled across steps
 };
 
 class AvgPool2d final : public Module {
@@ -26,6 +28,8 @@ class AvgPool2d final : public Module {
 
   [[nodiscard]] Tensor forward(const Tensor& x) override;
   [[nodiscard]] Tensor backward(const Tensor& grad_out) override;
+  [[nodiscard]] const Tensor& forward_into(const Tensor& x, TensorArena& arena) override;
+  [[nodiscard]] Tensor& backward_into(const Tensor& grad_out, TensorArena& arena) override;
   [[nodiscard]] std::string name() const override { return "AvgPool2d"; }
 
  private:
@@ -38,6 +42,8 @@ class GlobalAvgPool final : public Module {
  public:
   [[nodiscard]] Tensor forward(const Tensor& x) override;
   [[nodiscard]] Tensor backward(const Tensor& grad_out) override;
+  [[nodiscard]] const Tensor& forward_into(const Tensor& x, TensorArena& arena) override;
+  [[nodiscard]] Tensor& backward_into(const Tensor& grad_out, TensorArena& arena) override;
   [[nodiscard]] std::string name() const override { return "GlobalAvgPool"; }
 
  private:
@@ -49,6 +55,8 @@ class Flatten final : public Module {
  public:
   [[nodiscard]] Tensor forward(const Tensor& x) override;
   [[nodiscard]] Tensor backward(const Tensor& grad_out) override;
+  [[nodiscard]] const Tensor& forward_into(const Tensor& x, TensorArena& arena) override;
+  [[nodiscard]] Tensor& backward_into(const Tensor& grad_out, TensorArena& arena) override;
   [[nodiscard]] std::string name() const override { return "Flatten"; }
 
  private:

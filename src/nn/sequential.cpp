@@ -1,5 +1,6 @@
 #include "nn/sequential.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace usb {
@@ -12,6 +13,30 @@ Sequential& Sequential::add(ModulePtr layer) {
 Tensor Sequential::forward(const Tensor& x) { return forward_range(x, 0, size()); }
 
 Tensor Sequential::backward(const Tensor& grad_out) { return backward_range(grad_out, 0, size()); }
+
+const Tensor& Sequential::forward_into(const Tensor& x, TensorArena& arena) {
+  const Tensor* activation = &x;
+  for (const ModulePtr& layer : layers_) {
+    activation = &layer->forward_into(*activation, arena);
+  }
+  return *activation;
+}
+
+Tensor& Sequential::backward_into(const Tensor& grad_out, TensorArena& arena) {
+  Tensor* grad = nullptr;
+  const Tensor* upstream = &grad_out;
+  for (std::int64_t i = size() - 1; i >= 0; --i) {
+    grad = &layers_[static_cast<std::size_t>(i)]->backward_into(*upstream, arena);
+    upstream = grad;
+  }
+  // An empty Sequential degenerates to identity: park a copy in the arena.
+  if (grad == nullptr) {
+    Tensor& dx = arena.alloc(grad_out.shape());
+    std::copy(grad_out.raw(), grad_out.raw() + grad_out.numel(), dx.raw());
+    return dx;
+  }
+  return *grad;
+}
 
 Tensor Sequential::forward_range(const Tensor& x, std::int64_t begin, std::int64_t end) {
   if (begin < 0 || end > size() || begin > end) {

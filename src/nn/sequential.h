@@ -26,6 +26,8 @@ class Sequential final : public Module {
 
   [[nodiscard]] Tensor forward(const Tensor& x) override;
   [[nodiscard]] Tensor backward(const Tensor& grad_out) override;
+  [[nodiscard]] const Tensor& forward_into(const Tensor& x, TensorArena& arena) override;
+  [[nodiscard]] Tensor& backward_into(const Tensor& grad_out, TensorArena& arena) override;
 
   /// Forward through layers [begin, end).
   [[nodiscard]] Tensor forward_range(const Tensor& x, std::int64_t begin, std::int64_t end);

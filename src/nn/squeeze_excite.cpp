@@ -1,5 +1,6 @@
 #include "nn/squeeze_excite.h"
 
+#include "tensor/elementwise.h"
 #include "tensor/tensor_ops.h"
 
 namespace usb {
@@ -8,52 +9,98 @@ SqueezeExcite::SqueezeExcite(std::int64_t channels, std::int64_t reduced, Rng& r
     : channels_(channels), fc1_(channels, reduced, rng), fc2_(reduced, channels, rng) {}
 
 Tensor SqueezeExcite::forward(const Tensor& x) {
-  cached_input_ = x;
+  cached_input_own_ = x;
+  cached_input_ = &cached_input_own_;
   const std::int64_t batch = x.dim(0);
 
   Tensor squeezed = global_avgpool_forward(x).reshaped(Shape{batch, channels_});
   Tensor gates = gate_.forward(fc2_.forward(act_.forward(fc1_.forward(squeezed))));
-  cached_gates_ = gates;
+  cached_gates_own_ = gates;
+  cached_gates_ = &cached_gates_own_;
 
-  Tensor y = x;
-  const std::int64_t spatial = x.dim(2) * x.dim(3);
-  for (std::int64_t n = 0; n < batch; ++n) {
-    for (std::int64_t c = 0; c < channels_; ++c) {
-      const float g = gates.at2(n, c);
-      float* y_p = y.raw() + (n * channels_ + c) * spatial;
-      for (std::int64_t s = 0; s < spatial; ++s) y_p[s] *= g;
-    }
-  }
+  Tensor y(x.shape());
+  gate_input(x, gates, y);
   return y;
 }
 
-Tensor SqueezeExcite::backward(const Tensor& grad_out) {
+const Tensor& SqueezeExcite::forward_into(const Tensor& x, TensorArena& arena) {
+  cached_input_ = &x;
+  const std::int64_t batch = x.dim(0);
+
+  Tensor& squeezed = arena.alloc(Shape{batch, channels_, 1, 1});
+  global_avgpool_forward_into(x, squeezed);
+  squeezed.reshape_in_place(Shape{batch, channels_});
+  const Tensor& gates = gate_.forward_into(
+      fc2_.forward_into(act_.forward_into(fc1_.forward_into(squeezed, arena), arena), arena),
+      arena);
+  cached_gates_ = &gates;
+
+  Tensor& y = arena.alloc(x.shape());
+  gate_input(x, gates, y);
+  return y;
+}
+
+void SqueezeExcite::gate_input(const Tensor& x, const Tensor& gates, Tensor& y) const {
+  const std::int64_t batch = x.dim(0);
+  const std::int64_t spatial = x.dim(2) * x.dim(3);
+  for (std::int64_t n = 0; n < batch; ++n) {
+    for (std::int64_t c = 0; c < channels_; ++c) {
+      const std::int64_t offset = (n * channels_ + c) * spatial;
+      ew::scale_into(x.raw() + offset, gates.at2(n, c), y.raw() + offset, spatial);
+    }
+  }
+}
+
+void SqueezeExcite::backward_direct(const Tensor& grad_out, Tensor& dx) {
   const std::int64_t batch = grad_out.dim(0);
   const std::int64_t spatial = grad_out.dim(2) * grad_out.dim(3);
 
-  // d/dgates: sum over spatial of dy * x. d/dx (direct path): dy * gate.
-  Tensor dgates(Shape{batch, channels_});
-  Tensor dx = grad_out;
+  // d/dgates: sum over spatial of dy * x (scalar double reduction, by the
+  // bit-identity contract). d/dx (direct path): dy * gate.
+  dgates_scratch_.ensure_shape(Shape{batch, channels_});
   for (std::int64_t n = 0; n < batch; ++n) {
     for (std::int64_t c = 0; c < channels_; ++c) {
-      const float g = cached_gates_.at2(n, c);
+      const float g = cached_gates_->at2(n, c);
       const float* dy_p = grad_out.raw() + (n * channels_ + c) * spatial;
-      const float* x_p = cached_input_.raw() + (n * channels_ + c) * spatial;
+      const float* x_p = cached_input_->raw() + (n * channels_ + c) * spatial;
       float* dx_p = dx.raw() + (n * channels_ + c) * spatial;
       double acc = 0.0;
       for (std::int64_t s = 0; s < spatial; ++s) {
         acc += static_cast<double>(dy_p[s]) * x_p[s];
         dx_p[s] = dy_p[s] * g;
       }
-      dgates.at2(n, c) = static_cast<float>(acc);
+      dgates_scratch_.at2(n, c) = static_cast<float>(acc);
     }
   }
+}
+
+Tensor SqueezeExcite::backward(const Tensor& grad_out) {
+  const std::int64_t batch = grad_out.dim(0);
+  Tensor dx(grad_out.shape());
+  backward_direct(grad_out, dx);
 
   // Through the gate MLP back to the squeezed vector, then scatter the
   // squeeze (spatial mean) gradient back over the input.
-  Tensor dsqueezed = fc1_.backward(act_.backward(fc2_.backward(gate_.backward(dgates))));
+  Tensor dsqueezed =
+      fc1_.backward(act_.backward(fc2_.backward(gate_.backward(dgates_scratch_))));
   Tensor dsq4 = dsqueezed.reshaped(Shape{batch, channels_, 1, 1});
-  dx += global_avgpool_backward(dsq4, cached_input_.shape());
+  dx += global_avgpool_backward(dsq4, cached_input_->shape());
+  return dx;
+}
+
+Tensor& SqueezeExcite::backward_into(const Tensor& grad_out, TensorArena& arena) {
+  const std::int64_t batch = grad_out.dim(0);
+  Tensor& dx = arena.alloc(grad_out.shape());
+  backward_direct(grad_out, dx);
+
+  Tensor& dsqueezed = fc1_.backward_into(
+      act_.backward_into(fc2_.backward_into(gate_.backward_into(dgates_scratch_, arena), arena),
+                         arena),
+      arena);
+  dsqueezed.reshape_in_place(Shape{batch, channels_, 1, 1});
+  Tensor& scatter = arena.alloc(cached_input_->shape());
+  global_avgpool_backward_into(dsqueezed, cached_input_->shape(), scatter);
+  dx += scatter;
   return dx;
 }
 
@@ -133,6 +180,22 @@ Tensor MBConvBlock::forward(const Tensor& x) {
   return h;
 }
 
+const Tensor& MBConvBlock::forward_into(const Tensor& x, TensorArena& arena) {
+  const Tensor* h = &x;
+  if (has_expand_) {
+    h = &expand_act_->forward_into(
+        expand_bn_->forward_into(expand_conv_->forward_into(*h, arena), arena), arena);
+  }
+  h = &dw_act_.forward_into(dw_bn_.forward_into(depthwise_.forward_into(*h, arena), arena),
+                            arena);
+  h = &se_.forward_into(*h, arena);
+  const Tensor& projected = project_bn_.forward_into(project_.forward_into(*h, arena), arena);
+  if (!has_skip_) return projected;
+  Tensor& y = arena.alloc(projected.shape());
+  ew::add(projected.raw(), x.raw(), y.raw(), projected.numel());
+  return y;
+}
+
 Tensor MBConvBlock::backward(const Tensor& grad_out) {
   Tensor grad = project_.backward(project_bn_.backward(grad_out));
   grad = se_.backward(grad);
@@ -142,6 +205,20 @@ Tensor MBConvBlock::backward(const Tensor& grad_out) {
   }
   if (has_skip_) grad += grad_out;
   return grad;
+}
+
+Tensor& MBConvBlock::backward_into(const Tensor& grad_out, TensorArena& arena) {
+  Tensor* grad =
+      &project_.backward_into(project_bn_.backward_into(grad_out, arena), arena);
+  grad = &se_.backward_into(*grad, arena);
+  grad = &depthwise_.backward_into(
+      dw_bn_.backward_into(dw_act_.backward_into(*grad, arena), arena), arena);
+  if (has_expand_) {
+    grad = &expand_conv_->backward_into(
+        expand_bn_->backward_into(expand_act_->backward_into(*grad, arena), arena), arena);
+  }
+  if (has_skip_) *grad += grad_out;
+  return *grad;
 }
 
 void MBConvBlock::collect_parameters(std::vector<Parameter*>& out) {

@@ -109,7 +109,7 @@ bool ScanHandle::cancel() const {
 DetectionService::DetectionService(DetectionServiceConfig config)
     : config_(config),
       scan_pool_(resolve_scan_threads(config.scan_threads)),
-      probe_store_(config.eval_batch_size) {
+      probe_store_(ProbeStoreOptions{config.eval_batch_size, config.probe_store_max_bytes}) {
   const int executors = std::max(1, config_.max_concurrent_scans);
   executors_.reserve(static_cast<std::size_t>(executors));
   for (int i = 0; i < executors; ++i) {
@@ -126,6 +126,7 @@ DetectionService::~DetectionService() {
     for (const auto& state : live_) state->cancel.store(true, std::memory_order_relaxed);
   }
   work_available_.notify_all();
+  queue_space_.notify_all();  // blocked submitters must observe the shutdown
   for (std::thread& executor : executors_) executor.join();
 }
 
@@ -136,26 +137,60 @@ ScanHandle DetectionService::submit(ScanRequest request) {
     throw std::invalid_argument("ScanRequest: neither probe_key nor probe set");
   }
 
-  auto state = std::make_shared<ScanState>();
-  state->id = next_id_.fetch_add(1);
-  // Deep copy now: the caller's model may be mutated or destroyed after
-  // submit(), and concurrent requests naming the same model must not race
-  // on its per-instance forward caches. The scheduler still clones this
-  // clone per class, so reports match detect() on the original bit for bit.
-  state->model = std::make_unique<Network>(clone_network(*request.model));
-  state->detector = std::move(request.detector);
-  if (request.probe_key.has_value()) {
-    state->stored_probe = probe_store_.get_or_create(*request.probe_key);
-  } else {
-    state->owned_probe = std::make_unique<Dataset>(*request.probe);
+  // Admission control BEFORE any expensive work: a rejected request costs
+  // nothing, and a blocked one reserves its queue slot first so the clone
+  // below can never overshoot the cap (pending = queued + reserved).
+  const bool bounded = config_.max_queued > 0;
+  if (bounded) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (shutting_down_) throw std::runtime_error("DetectionService: submit after shutdown");
+    if (pending_depth_locked() >= config_.max_queued) {
+      if (config_.admission_policy == AdmissionPolicy::kReject) {
+        throw QueueFull(pending_depth_locked());
+      }
+      queue_space_.wait(lock, [this] {
+        return shutting_down_ || pending_depth_locked() < config_.max_queued;
+      });
+      if (shutting_down_) throw std::runtime_error("DetectionService: submit after shutdown");
+    }
+    ++reserved_slots_;
   }
-  state->options = std::move(request.options);
+  // Releases the reservation on every early exit; disarmed once the request
+  // is actually queued (the queue entry then carries the slot).
+  auto release_reservation = [this, bounded]() {
+    if (!bounded) return;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      --reserved_slots_;
+    }
+    queue_space_.notify_one();
+  };
 
-  {
+  std::shared_ptr<ScanState> state;
+  try {
+    state = std::make_shared<ScanState>();
+    state->id = next_id_.fetch_add(1);
+    // Deep copy now: the caller's model may be mutated or destroyed after
+    // submit(), and concurrent requests naming the same model must not race
+    // on its per-instance forward caches. The scheduler still clones this
+    // clone per class, so reports match detect() on the original bit for bit.
+    state->model = std::make_unique<Network>(clone_network(*request.model));
+    state->detector = std::move(request.detector);
+    if (request.probe_key.has_value()) {
+      state->stored_probe = probe_store_.get_or_create(*request.probe_key);
+    } else {
+      state->owned_probe = std::make_unique<Dataset>(*request.probe);
+    }
+    state->options = std::move(request.options);
+
     const std::lock_guard<std::mutex> lock(mutex_);
     if (shutting_down_) throw std::runtime_error("DetectionService: submit after shutdown");
     queue_.push_back(state);
     live_.push_back(state);
+    if (bounded) --reserved_slots_;  // the queue entry now holds the slot
+  } catch (...) {
+    release_reservation();
+    throw;
   }
   submitted_.fetch_add(1);
   work_available_.notify_one();
@@ -184,6 +219,7 @@ void DetectionService::executor_loop() {
       state = queue_.front();
       queue_.pop_front();
     }
+    queue_space_.notify_one();  // a pending slot opened for blocked submitters
     execute(state);
     {
       const std::lock_guard<std::mutex> lock(mutex_);

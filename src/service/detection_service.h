@@ -34,6 +34,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -124,6 +125,20 @@ class ScanHandle {
   std::shared_ptr<detail::ScanState> state_;
 };
 
+/// What submit() does when the pending queue is at max_queued depth.
+enum class AdmissionPolicy {
+  kBlock,   // wait for an executor to drain a slot (throws on shutdown)
+  kReject,  // throw QueueFull immediately, before cloning anything
+};
+
+/// Thrown by submit() under AdmissionPolicy::kReject when the pending queue
+/// is full. The service stays fully usable; retry after draining.
+struct QueueFull : std::runtime_error {
+  explicit QueueFull(std::int64_t depth)
+      : std::runtime_error("DetectionService: pending queue full (" + std::to_string(depth) +
+                           " requests)") {}
+};
+
 struct DetectionServiceConfig {
   /// Workers of the shared scan pool. 0 sizes it like ThreadPool::global():
   /// USB_THREADS if set, else hardware concurrency capped at 16.
@@ -133,6 +148,20 @@ struct DetectionServiceConfig {
   /// Batching of ProbeStore entries; 128 matches the scheduler default so
   /// shared caches are adopted instead of rebuilt.
   std::int64_t eval_batch_size = 128;
+  /// Admission control: maximum requests pending (submitted, not yet picked
+  /// up by an executor). Every queued request holds a model clone, so a
+  /// deep backlog holds one clone per request unboundedly — the cap bounds
+  /// that peak. 0 (default) = unbounded. Running scans do not count.
+  std::int64_t max_queued = 0;
+  /// Behaviour at the cap; see AdmissionPolicy. The check (and a kReject
+  /// throw) happens BEFORE the request's model is cloned or its probe
+  /// resolved, so rejected submissions cost nothing.
+  AdmissionPolicy admission_policy = AdmissionPolicy::kBlock;
+  /// Probe-store eviction cap, forwarded to ProbeStoreOptions::max_bytes
+  /// (0 = unlimited): long-lived services cap their resident probe
+  /// materializations by LRU eviction; entries pinned by in-flight scans
+  /// are never dropped.
+  std::int64_t probe_store_max_bytes = 0;
 };
 
 class DetectionService {
@@ -149,7 +178,10 @@ class DetectionService {
   /// probe resolved (ProbeStore) or copied on the calling thread, so the
   /// request's borrowed pointers are dead weight the moment this returns.
   /// Throws std::invalid_argument on a malformed request (null model/
-  /// detector, no probe).
+  /// detector, no probe). With max_queued set, a full queue either blocks
+  /// this call until an executor drains a slot (kBlock; the admission slot
+  /// is reserved before the model clone, so blocked submitters hold at most
+  /// their own clone-in-progress) or throws QueueFull (kReject).
   ScanHandle submit(ScanRequest request);
 
   /// Blocks until every scan submitted so far has reached a terminal
@@ -173,10 +205,18 @@ class DetectionService {
   ThreadPool scan_pool_;
   ProbeStore probe_store_;
 
+  /// Pending depth for admission: requests in the queue plus admission
+  /// slots reserved by submitters still cloning. Caller must hold mutex_.
+  [[nodiscard]] std::int64_t pending_depth_locked() const noexcept {
+    return static_cast<std::int64_t>(queue_.size()) + reserved_slots_;
+  }
+
   std::mutex mutex_;
   std::condition_variable work_available_;
+  std::condition_variable queue_space_;  // signalled when an executor pops
   std::deque<std::shared_ptr<detail::ScanState>> queue_;
   std::vector<std::shared_ptr<detail::ScanState>> live_;  // queued or running
+  std::int64_t reserved_slots_ = 0;  // admission slots held by in-flight submits
   bool shutting_down_ = false;
   std::vector<std::thread> executors_;
 

@@ -1,0 +1,112 @@
+// TensorArena: a bump allocator of reusable Tensor slots.
+//
+// The refinement hot path (thousands of Alg. 2 / NC / TABOR steps, each one
+// forward + backward + trigger update) historically heap-allocated a fresh
+// Tensor for every op result. The arena replaces that with slot recycling:
+// alloc() hands out the next slot in sequence, reset() rewinds the cursor at
+// a step boundary, and because consecutive steps request the same shape
+// sequence, every slot's storage (Tensor::ensure_shape — grow-never-shrink)
+// is reused byte-for-byte. After the first (warm-up) step the arena performs
+// ZERO heap allocations — the property tensor_heap_allocations() lets tests
+// assert.
+//
+// Lifetime rules:
+//  - a Tensor& from alloc()/zeros() is valid until the NEXT reset() (or the
+//    exit of the Scope that covers the alloc); holding it across a reset
+//    reads recycled storage;
+//  - one arena per ClassRefineTask / thread — the arena is not synchronized,
+//    and sharing one across concurrently-running tasks would interleave
+//    their slot sequences nondeterministically;
+//  - the slot sequence should be shape-stable across steps for the
+//    zero-allocation property; deviations are correct, just not free;
+//  - nested phases (e.g. DeepFool iterations inside an Alg. 1 pass) use
+//    Scope, which rewinds the cursor on exit so sibling phases recycle the
+//    same slots instead of growing the arena.
+//
+// Contents of alloc() slots are UNSPECIFIED (stale bytes from the previous
+// step); kernels writing every element need no clearing, accumulators use
+// zeros().
+#pragma once
+
+#include <cstddef>
+#include <deque>
+
+#include "tensor/tensor.h"
+
+namespace usb {
+
+class TensorArena {
+ public:
+  TensorArena() = default;
+  TensorArena(const TensorArena&) = delete;
+  TensorArena& operator=(const TensorArena&) = delete;
+
+  /// Next slot, shaped to `shape`; contents unspecified. The reference is
+  /// stable across later alloc() calls (slots live in a deque) and valid
+  /// until reset() / enclosing-Scope exit.
+  [[nodiscard]] Tensor& alloc(const Shape& shape) {
+    Tensor& slot = next_slot(shape);
+    return slot;
+  }
+
+  /// alloc() + fill(0): for accumulators and scatter targets.
+  [[nodiscard]] Tensor& zeros(const Shape& shape) {
+    Tensor& slot = next_slot(shape);
+    slot.fill(0.0F);
+    return slot;
+  }
+
+  /// Parks an already-built Tensor in the next slot (the slot adopts its
+  /// buffer). Fallback used by Module's default forward_into adapter.
+  Tensor& adopt(Tensor&& value) {
+    Tensor& slot = cursor_ < slots_.size() ? slots_[cursor_++] : emplace_slot();
+    slot = std::move(value);
+    return slot;
+  }
+
+  /// Rewinds to empty, keeping every slot's storage for recycling. Call at
+  /// step boundaries; invalidates all outstanding references.
+  void reset() noexcept { cursor_ = 0; }
+
+  /// Slots handed out since the last reset().
+  [[nodiscard]] std::size_t slots_in_use() const noexcept { return cursor_; }
+  /// Slots ever created (the high-water mark of a step's op sequence).
+  [[nodiscard]] std::size_t slot_capacity() const noexcept { return slots_.size(); }
+
+  /// RAII cursor rewind for nested phases: allocs made inside the scope are
+  /// recycled when it exits (their references die with it).
+  class Scope {
+   public:
+    explicit Scope(TensorArena& arena) noexcept : arena_(arena), saved_(arena.cursor_) {}
+    ~Scope() { arena_.cursor_ = saved_; }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    TensorArena& arena_;
+    std::size_t saved_;
+  };
+
+ private:
+  Tensor& next_slot(const Shape& shape) {
+    if (cursor_ < slots_.size()) {
+      Tensor& slot = slots_[cursor_++];
+      slot.ensure_shape(shape);
+      return slot;
+    }
+    slots_.emplace_back(shape);
+    ++cursor_;
+    return slots_.back();
+  }
+
+  Tensor& emplace_slot() {
+    slots_.emplace_back();
+    ++cursor_;
+    return slots_.back();
+  }
+
+  std::deque<Tensor> slots_;  // deque: stable references across growth
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace usb

@@ -1,0 +1,440 @@
+#include "tensor/elementwise.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/simd_common.h"
+
+namespace usb::ew {
+namespace {
+
+// Vector types, load/store/select/broadcast, and the CPU check come from
+// the shared scaffolding in tensor/simd_common.h (one definition for every
+// kernel TU).
+using simd::v8sf;
+using simd::v8si;
+
+#define USB_EW_LOAD(ptr) USB_SIMD_LOAD(ptr)
+#define USB_EW_STORE(ptr, value) USB_SIMD_STORE(ptr, value)
+#define USB_EW_SELECT(mask, a, b) USB_SIMD_SELECT(mask, a, b)
+#define USB_EW_BCAST(s) USB_SIMD_BCAST(s)
+
+// Each kernel is one macro body instantiated twice: once portable (baseline
+// ISA — SSE2 on x86-64, NEON-ish codegen elsewhere) and once with
+// target("avx2"). Both run the identical per-element operation sequence, so
+// the instantiation only changes lane width, never bits. The scalar tail
+// repeats the same expression element-wise.
+#define USB_EW_DEFINE_VARIANT(SUFFIX, TARGET_ATTR)                                               \
+  TARGET_ATTR void relu_fwd_##SUFFIX(const float* USB_RESTRICT x, float* USB_RESTRICT y,         \
+                                     std::int64_t n) {                                           \
+    const v8sf zero{};                                                                           \
+    std::int64_t i = 0;                                                                          \
+    for (; i + 8 <= n; i += 8) {                                                                 \
+      const v8sf xv = USB_EW_LOAD(x + i);                                                        \
+      const v8si neg = xv < zero;                                                                \
+      USB_EW_STORE(y + i, USB_EW_SELECT(neg, zero, xv));                                         \
+    }                                                                                            \
+    for (; i < n; ++i) y[i] = x[i] < 0.0F ? 0.0F : x[i];                                         \
+  }                                                                                              \
+  TARGET_ATTR void relu_bwd_##SUFFIX(const float* USB_RESTRICT x, const float* USB_RESTRICT dy,  \
+                                     float* USB_RESTRICT dx, std::int64_t n) {                   \
+    const v8sf zero{};                                                                           \
+    std::int64_t i = 0;                                                                          \
+    for (; i + 8 <= n; i += 8) {                                                                 \
+      const v8sf xv = USB_EW_LOAD(x + i);                                                        \
+      const v8sf dyv = USB_EW_LOAD(dy + i);                                                      \
+      const v8si off = xv <= zero;                                                               \
+      USB_EW_STORE(dx + i, USB_EW_SELECT(off, zero, dyv));                                       \
+    }                                                                                            \
+    for (; i < n; ++i) dx[i] = x[i] <= 0.0F ? 0.0F : dy[i];                                      \
+  }                                                                                              \
+  TARGET_ATTR void sigmoid_bwd_##SUFFIX(const float* USB_RESTRICT s,                             \
+                                        const float* USB_RESTRICT dy, float* USB_RESTRICT dx,    \
+                                        std::int64_t n) {                                        \
+    const v8sf one = USB_EW_BCAST(1.0F);                                                         \
+    std::int64_t i = 0;                                                                          \
+    for (; i + 8 <= n; i += 8) {                                                                 \
+      const v8sf sv = USB_EW_LOAD(s + i);                                                        \
+      USB_EW_STORE(dx + i, USB_EW_LOAD(dy + i) * (sv * (one - sv)));                             \
+    }                                                                                            \
+    for (; i < n; ++i) dx[i] = dy[i] * (s[i] * (1.0F - s[i]));                                   \
+  }                                                                                              \
+  TARGET_ATTR void tanh_bwd_##SUFFIX(const float* USB_RESTRICT t, const float* USB_RESTRICT dy,  \
+                                     float* USB_RESTRICT dx, std::int64_t n) {                   \
+    const v8sf one = USB_EW_BCAST(1.0F);                                                         \
+    std::int64_t i = 0;                                                                          \
+    for (; i + 8 <= n; i += 8) {                                                                 \
+      const v8sf tv = USB_EW_LOAD(t + i);                                                        \
+      USB_EW_STORE(dx + i, USB_EW_LOAD(dy + i) * (one - tv * tv));                               \
+    }                                                                                            \
+    for (; i < n; ++i) dx[i] = dy[i] * (1.0F - t[i] * t[i]);                                     \
+  }                                                                                              \
+  TARGET_ATTR void silu_bwd_##SUFFIX(const float* USB_RESTRICT s, const float* USB_RESTRICT x,   \
+                                     const float* USB_RESTRICT dy, float* USB_RESTRICT dx,       \
+                                     std::int64_t n) {                                           \
+    const v8sf one = USB_EW_BCAST(1.0F);                                                         \
+    std::int64_t i = 0;                                                                          \
+    for (; i + 8 <= n; i += 8) {                                                                 \
+      const v8sf sv = USB_EW_LOAD(s + i);                                                        \
+      const v8sf xv = USB_EW_LOAD(x + i);                                                        \
+      USB_EW_STORE(dx + i, USB_EW_LOAD(dy + i) * (sv * (one + xv * (one - sv))));                \
+    }                                                                                            \
+    for (; i < n; ++i) dx[i] = dy[i] * (s[i] * (1.0F + x[i] * (1.0F - s[i])));                   \
+  }                                                                                              \
+  TARGET_ATTR void add_##SUFFIX(const float* USB_RESTRICT a, const float* USB_RESTRICT b,        \
+                                float* USB_RESTRICT out, std::int64_t n) {                       \
+    std::int64_t i = 0;                                                                          \
+    for (; i + 8 <= n; i += 8) USB_EW_STORE(out + i, USB_EW_LOAD(a + i) + USB_EW_LOAD(b + i));   \
+    for (; i < n; ++i) out[i] = a[i] + b[i];                                                     \
+  }                                                                                              \
+  TARGET_ATTR void mul_##SUFFIX(const float* USB_RESTRICT a, const float* USB_RESTRICT b,        \
+                                float* USB_RESTRICT out, std::int64_t n) {                       \
+    std::int64_t i = 0;                                                                          \
+    for (; i + 8 <= n; i += 8) USB_EW_STORE(out + i, USB_EW_LOAD(a + i) * USB_EW_LOAD(b + i));   \
+    for (; i < n; ++i) out[i] = a[i] * b[i];                                                     \
+  }                                                                                              \
+  TARGET_ATTR void accum_##SUFFIX(float* USB_RESTRICT dst, const float* USB_RESTRICT src,        \
+                                  std::int64_t n) {                                              \
+    std::int64_t i = 0;                                                                          \
+    for (; i + 8 <= n; i += 8)                                                                   \
+      USB_EW_STORE(dst + i, USB_EW_LOAD(dst + i) + USB_EW_LOAD(src + i));                        \
+    for (; i < n; ++i) dst[i] += src[i];                                                         \
+  }                                                                                              \
+  TARGET_ATTR void accum_sub_##SUFFIX(float* USB_RESTRICT dst, const float* USB_RESTRICT src,    \
+                                      std::int64_t n) {                                          \
+    std::int64_t i = 0;                                                                          \
+    for (; i + 8 <= n; i += 8)                                                                   \
+      USB_EW_STORE(dst + i, USB_EW_LOAD(dst + i) - USB_EW_LOAD(src + i));                        \
+    for (; i < n; ++i) dst[i] -= src[i];                                                         \
+  }                                                                                              \
+  TARGET_ATTR void accum_mul_##SUFFIX(float* USB_RESTRICT dst, const float* USB_RESTRICT src,    \
+                                      std::int64_t n) {                                          \
+    std::int64_t i = 0;                                                                          \
+    for (; i + 8 <= n; i += 8)                                                                   \
+      USB_EW_STORE(dst + i, USB_EW_LOAD(dst + i) * USB_EW_LOAD(src + i));                        \
+    for (; i < n; ++i) dst[i] *= src[i];                                                         \
+  }                                                                                              \
+  TARGET_ATTR void muladd_accum_##SUFFIX(float* USB_RESTRICT dst, const float* USB_RESTRICT a,   \
+                                         const float* USB_RESTRICT b, std::int64_t n) {          \
+    std::int64_t i = 0;                                                                          \
+    for (; i + 8 <= n; i += 8)                                                                   \
+      USB_EW_STORE(dst + i, USB_EW_LOAD(dst + i) + USB_EW_LOAD(a + i) * USB_EW_LOAD(b + i));     \
+    for (; i < n; ++i) dst[i] += a[i] * b[i];                                                    \
+  }                                                                                              \
+  TARGET_ATTR void scale_##SUFFIX(float* USB_RESTRICT dst, float s, std::int64_t n) {            \
+    const v8sf sv = USB_EW_BCAST(s);                                                             \
+    std::int64_t i = 0;                                                                          \
+    for (; i + 8 <= n; i += 8) USB_EW_STORE(dst + i, USB_EW_LOAD(dst + i) * sv);                 \
+    for (; i < n; ++i) dst[i] *= s;                                                              \
+  }                                                                                              \
+  TARGET_ATTR void scale_into_##SUFFIX(const float* USB_RESTRICT src, float s,                   \
+                                       float* USB_RESTRICT out, std::int64_t n) {                \
+    const v8sf sv = USB_EW_BCAST(s);                                                             \
+    std::int64_t i = 0;                                                                          \
+    for (; i + 8 <= n; i += 8) USB_EW_STORE(out + i, USB_EW_LOAD(src + i) * sv);                 \
+    for (; i < n; ++i) out[i] = src[i] * s;                                                      \
+  }                                                                                              \
+  TARGET_ATTR void add_scalar_##SUFFIX(float* USB_RESTRICT dst, float s, std::int64_t n) {       \
+    const v8sf sv = USB_EW_BCAST(s);                                                             \
+    std::int64_t i = 0;                                                                          \
+    for (; i + 8 <= n; i += 8) USB_EW_STORE(dst + i, USB_EW_LOAD(dst + i) + sv);                 \
+    for (; i < n; ++i) dst[i] += s;                                                              \
+  }                                                                                              \
+  TARGET_ATTR void axpy_##SUFFIX(float* USB_RESTRICT dst, const float* USB_RESTRICT src,         \
+                                 float alpha, std::int64_t n) {                                  \
+    const v8sf av = USB_EW_BCAST(alpha);                                                         \
+    std::int64_t i = 0;                                                                          \
+    for (; i + 8 <= n; i += 8)                                                                   \
+      USB_EW_STORE(dst + i, USB_EW_LOAD(dst + i) + av * USB_EW_LOAD(src + i));                   \
+    for (; i < n; ++i) dst[i] += alpha * src[i];                                                 \
+  }                                                                                              \
+  TARGET_ATTR void clamp_##SUFFIX(float* USB_RESTRICT dst, float lo, float hi,                   \
+                                  std::int64_t n) {                                              \
+    const v8sf lov = USB_EW_BCAST(lo);                                                           \
+    const v8sf hiv = USB_EW_BCAST(hi);                                                           \
+    std::int64_t i = 0;                                                                          \
+    for (; i + 8 <= n; i += 8) {                                                                 \
+      v8sf v = USB_EW_LOAD(dst + i);                                                             \
+      const v8si below = v < lov;                                                                \
+      v = USB_EW_SELECT(below, lov, v);                                                          \
+      const v8si above = hiv < v;                                                                \
+      v = USB_EW_SELECT(above, hiv, v);                                                          \
+      USB_EW_STORE(dst + i, v);                                                                  \
+    }                                                                                            \
+    for (; i < n; ++i) dst[i] = dst[i] < lo ? lo : (hi < dst[i] ? hi : dst[i]);                  \
+  }                                                                                              \
+  TARGET_ATTR void blend_##SUFFIX(const float* USB_RESTRICT x, const float* USB_RESTRICT m,      \
+                                  const float* USB_RESTRICT p, float* USB_RESTRICT out,          \
+                                  std::int64_t n) {                                              \
+    const v8sf one = USB_EW_BCAST(1.0F);                                                         \
+    std::int64_t i = 0;                                                                          \
+    for (; i + 8 <= n; i += 8) {                                                                 \
+      const v8sf mv = USB_EW_LOAD(m + i);                                                        \
+      USB_EW_STORE(out + i, USB_EW_LOAD(x + i) * (one - mv) + USB_EW_LOAD(p + i) * mv);          \
+    }                                                                                            \
+    for (; i < n; ++i) out[i] = x[i] * (1.0F - m[i]) + p[i] * m[i];                              \
+  }                                                                                              \
+  TARGET_ATTR void mask_grad_accum_##SUFFIX(float* USB_RESTRICT dm,                              \
+                                            const float* USB_RESTRICT dxp,                      \
+                                            const float* USB_RESTRICT p,                         \
+                                            const float* USB_RESTRICT x, std::int64_t n) {       \
+    std::int64_t i = 0;                                                                          \
+    for (; i + 8 <= n; i += 8) {                                                                 \
+      const v8sf diff = USB_EW_LOAD(p + i) - USB_EW_LOAD(x + i);                                 \
+      USB_EW_STORE(dm + i, USB_EW_LOAD(dm + i) + USB_EW_LOAD(dxp + i) * diff);                   \
+    }                                                                                            \
+    for (; i < n; ++i) dm[i] += dxp[i] * (p[i] - x[i]);                                          \
+  }                                                                                              \
+  TARGET_ATTR void dsigmoid_chain_accum_##SUFFIX(float* USB_RESTRICT g,                          \
+                                                 const float* USB_RESTRICT d,                    \
+                                                 const float* USB_RESTRICT s, std::int64_t n) {  \
+    const v8sf one = USB_EW_BCAST(1.0F);                                                         \
+    std::int64_t i = 0;                                                                          \
+    for (; i + 8 <= n; i += 8) {                                                                 \
+      const v8sf sv = USB_EW_LOAD(s + i);                                                        \
+      USB_EW_STORE(g + i, USB_EW_LOAD(g + i) + (USB_EW_LOAD(d + i) * sv) * (one - sv));          \
+    }                                                                                            \
+    for (; i < n; ++i) g[i] += (d[i] * s[i]) * (1.0F - s[i]);                                    \
+  }                                                                                              \
+  TARGET_ATTR void l1_sigmoid_grad_accum_##SUFFIX(float* USB_RESTRICT g,                         \
+                                                  const float* USB_RESTRICT s, float w,          \
+                                                  std::int64_t n) {                              \
+    const v8sf one = USB_EW_BCAST(1.0F);                                                         \
+    const v8sf wv = USB_EW_BCAST(w);                                                             \
+    std::int64_t i = 0;                                                                          \
+    for (; i + 8 <= n; i += 8) {                                                                 \
+      const v8sf sv = USB_EW_LOAD(s + i);                                                        \
+      USB_EW_STORE(g + i, USB_EW_LOAD(g + i) + (wv * sv) * (one - sv));                          \
+    }                                                                                            \
+    for (; i < n; ++i) g[i] += (w * s[i]) * (1.0F - s[i]);                                       \
+  }                                                                                              \
+  TARGET_ATTR void bn_fwd_##SUFFIX(const float* USB_RESTRICT x, float* USB_RESTRICT xhat,        \
+                                   float* USB_RESTRICT y, float mean, float inv_std,             \
+                                   float gamma, float beta, std::int64_t n) {                    \
+    const v8sf meanv = USB_EW_BCAST(mean);                                                       \
+    const v8sf isv = USB_EW_BCAST(inv_std);                                                      \
+    const v8sf gv = USB_EW_BCAST(gamma);                                                         \
+    const v8sf bv = USB_EW_BCAST(beta);                                                          \
+    std::int64_t i = 0;                                                                          \
+    for (; i + 8 <= n; i += 8) {                                                                 \
+      const v8sf h = (USB_EW_LOAD(x + i) - meanv) * isv;                                         \
+      USB_EW_STORE(xhat + i, h);                                                                 \
+      USB_EW_STORE(y + i, gv * h + bv);                                                          \
+    }                                                                                            \
+    for (; i < n; ++i) {                                                                         \
+      const float h = (x[i] - mean) * inv_std;                                                   \
+      xhat[i] = h;                                                                               \
+      y[i] = gamma * h + beta;                                                                   \
+    }                                                                                            \
+  }                                                                                              \
+  TARGET_ATTR void bn_bwd_train_##SUFFIX(const float* USB_RESTRICT dy,                           \
+                                         const float* USB_RESTRICT xhat,                         \
+                                         float* USB_RESTRICT dx, float scale_v, float mean_dy,   \
+                                         float mean_dy_xhat, std::int64_t n) {                   \
+    const v8sf sv = USB_EW_BCAST(scale_v);                                                       \
+    const v8sf mdv = USB_EW_BCAST(mean_dy);                                                      \
+    const v8sf mdxv = USB_EW_BCAST(mean_dy_xhat);                                                \
+    std::int64_t i = 0;                                                                          \
+    for (; i + 8 <= n; i += 8) {                                                                 \
+      const v8sf t = (USB_EW_LOAD(dy + i) - mdv) - USB_EW_LOAD(xhat + i) * mdxv;                 \
+      USB_EW_STORE(dx + i, sv * t);                                                              \
+    }                                                                                            \
+    for (; i < n; ++i) dx[i] = scale_v * ((dy[i] - mean_dy) - xhat[i] * mean_dy_xhat);           \
+  }
+
+USB_EW_DEFINE_VARIANT(portable, )
+#if defined(__x86_64__) || defined(__i386__)
+USB_EW_DEFINE_VARIANT(avx2, __attribute__((target("avx2"))))
+#endif
+
+#undef USB_EW_DEFINE_VARIANT
+
+// Adam is defined outside the macro: the AVX2 form needs the vsqrtps
+// builtin (no portable vector sqrt exists), so the portable variant is the
+// plain scalar loop. Both are IEEE correctly rounded, hence bit-identical.
+void adam_update_portable(float* USB_RESTRICT value, const float* USB_RESTRICT grad,
+                          float* USB_RESTRICT m, float* USB_RESTRICT v, std::int64_t n,
+                          const AdamParams& prm) {
+  const float one_minus_b1 = 1.0F - prm.beta1;
+  const float one_minus_b2 = 1.0F - prm.beta2;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float g = grad[i];
+    m[i] = prm.beta1 * m[i] + one_minus_b1 * g;
+    v[i] = prm.beta2 * v[i] + (one_minus_b2 * g) * g;
+    const float m_hat = m[i] / prm.bias1;
+    const float v_hat = v[i] / prm.bias2;
+    value[i] -= prm.lr * m_hat / (std::sqrt(v_hat) + prm.eps);
+  }
+}
+
+#if defined(__x86_64__) || defined(__i386__)
+__attribute__((target("avx2"))) void adam_update_avx2(float* USB_RESTRICT value,
+                                                      const float* USB_RESTRICT grad,
+                                                      float* USB_RESTRICT m,
+                                                      float* USB_RESTRICT v, std::int64_t n,
+                                                      const AdamParams& prm) {
+  const v8sf b1 = USB_EW_BCAST(prm.beta1);
+  const v8sf b2 = USB_EW_BCAST(prm.beta2);
+  const v8sf omb1 = USB_EW_BCAST(1.0F - prm.beta1);
+  const v8sf omb2 = USB_EW_BCAST(1.0F - prm.beta2);
+  const v8sf bias1 = USB_EW_BCAST(prm.bias1);
+  const v8sf bias2 = USB_EW_BCAST(prm.bias2);
+  const v8sf lr = USB_EW_BCAST(prm.lr);
+  const v8sf eps = USB_EW_BCAST(prm.eps);
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const v8sf g = USB_EW_LOAD(grad + i);
+    const v8sf mv = b1 * USB_EW_LOAD(m + i) + omb1 * g;
+    const v8sf vv = b2 * USB_EW_LOAD(v + i) + (omb2 * g) * g;
+    USB_EW_STORE(m + i, mv);
+    USB_EW_STORE(v + i, vv);
+    const v8sf m_hat = mv / bias1;
+    const v8sf v_hat = vv / bias2;
+    const v8sf root = __builtin_ia32_sqrtps256(v_hat);
+    USB_EW_STORE(value + i, USB_EW_LOAD(value + i) - lr * m_hat / (root + eps));
+  }
+  adam_update_portable(value + i, grad + i, m + i, v + i, n - i, prm);
+}
+#endif
+
+const bool g_avx2_available = simd::cpu_has_avx2();
+bool g_use_avx2 = g_avx2_available;
+bool g_forced = false;
+
+inline bool use_avx2() noexcept { return g_use_avx2; }
+
+}  // namespace
+
+bool variant_available(Variant variant) noexcept {
+  return variant == Variant::kPortable || g_avx2_available;
+}
+
+Variant active_variant() noexcept {
+  return use_avx2() ? Variant::kAvx2 : Variant::kPortable;
+}
+
+void force_variant(std::optional<Variant> variant) {
+  if (!variant.has_value()) {
+    g_forced = false;
+    g_use_avx2 = g_avx2_available;
+    return;
+  }
+  if (!variant_available(*variant)) {
+    throw std::invalid_argument("ew::force_variant: variant not available on this CPU");
+  }
+  g_forced = true;
+  g_use_avx2 = *variant == Variant::kAvx2;
+}
+
+// Dispatched entry points. On non-x86 builds the AVX2 symbols do not exist;
+// the guard keeps the ternaries compiling down to the portable call.
+#if defined(__x86_64__) || defined(__i386__)
+#define USB_EW_DISPATCH(NAME, ...) \
+  (use_avx2() ? NAME##_avx2(__VA_ARGS__) : NAME##_portable(__VA_ARGS__))
+#else
+#define USB_EW_DISPATCH(NAME, ...) NAME##_portable(__VA_ARGS__)
+#endif
+
+void relu_fwd(const float* x, float* y, std::int64_t n) { USB_EW_DISPATCH(relu_fwd, x, y, n); }
+void relu_bwd(const float* x, const float* dy, float* dx, std::int64_t n) {
+  USB_EW_DISPATCH(relu_bwd, x, dy, dx, n);
+}
+void sigmoid_bwd(const float* s, const float* dy, float* dx, std::int64_t n) {
+  USB_EW_DISPATCH(sigmoid_bwd, s, dy, dx, n);
+}
+void tanh_bwd(const float* t, const float* dy, float* dx, std::int64_t n) {
+  USB_EW_DISPATCH(tanh_bwd, t, dy, dx, n);
+}
+void silu_bwd(const float* s, const float* x, const float* dy, float* dx, std::int64_t n) {
+  USB_EW_DISPATCH(silu_bwd, s, x, dy, dx, n);
+}
+void add(const float* a, const float* b, float* out, std::int64_t n) {
+  USB_EW_DISPATCH(add, a, b, out, n);
+}
+void mul(const float* a, const float* b, float* out, std::int64_t n) {
+  USB_EW_DISPATCH(mul, a, b, out, n);
+}
+void accum(float* dst, const float* src, std::int64_t n) { USB_EW_DISPATCH(accum, dst, src, n); }
+void accum_sub(float* dst, const float* src, std::int64_t n) {
+  USB_EW_DISPATCH(accum_sub, dst, src, n);
+}
+void accum_mul(float* dst, const float* src, std::int64_t n) {
+  USB_EW_DISPATCH(accum_mul, dst, src, n);
+}
+void muladd_accum(float* dst, const float* a, const float* b, std::int64_t n) {
+  USB_EW_DISPATCH(muladd_accum, dst, a, b, n);
+}
+void scale(float* dst, float s, std::int64_t n) { USB_EW_DISPATCH(scale, dst, s, n); }
+void scale_into(const float* src, float s, float* out, std::int64_t n) {
+  USB_EW_DISPATCH(scale_into, src, s, out, n);
+}
+void add_scalar(float* dst, float s, std::int64_t n) { USB_EW_DISPATCH(add_scalar, dst, s, n); }
+void axpy(float* dst, const float* src, float alpha, std::int64_t n) {
+  USB_EW_DISPATCH(axpy, dst, src, alpha, n);
+}
+void clamp(float* dst, float lo, float hi, std::int64_t n) {
+  USB_EW_DISPATCH(clamp, dst, lo, hi, n);
+}
+void blend(const float* x, const float* m, const float* p, float* out, std::int64_t n) {
+  USB_EW_DISPATCH(blend, x, m, p, out, n);
+}
+void mask_grad_accum(float* dm, const float* dxp, const float* p, const float* x,
+                     std::int64_t n) {
+  USB_EW_DISPATCH(mask_grad_accum, dm, dxp, p, x, n);
+}
+void dsigmoid_chain_accum(float* g, const float* d, const float* s, std::int64_t n) {
+  USB_EW_DISPATCH(dsigmoid_chain_accum, g, d, s, n);
+}
+void l1_sigmoid_grad_accum(float* g, const float* s, float w, std::int64_t n) {
+  USB_EW_DISPATCH(l1_sigmoid_grad_accum, g, s, w, n);
+}
+void bn_fwd(const float* x, float* xhat, float* y, float mean, float inv_std, float gamma,
+            float beta, std::int64_t n) {
+  USB_EW_DISPATCH(bn_fwd, x, xhat, y, mean, inv_std, gamma, beta, n);
+}
+void bn_bwd_train(const float* dy, const float* xhat, float* dx, float scale_v, float mean_dy,
+                  float mean_dy_xhat, std::int64_t n) {
+  USB_EW_DISPATCH(bn_bwd_train, dy, xhat, dx, scale_v, mean_dy, mean_dy_xhat, n);
+}
+void adam_update(float* value, const float* grad, float* m, float* v, std::int64_t n,
+                 const AdamParams& params) {
+  USB_EW_DISPATCH(adam_update, value, grad, m, v, n, params);
+}
+
+#undef USB_EW_DISPATCH
+
+// ---- Scalar-only kernels ------------------------------------------------
+
+void sigmoid_fwd(const float* x, float* y, std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) y[i] = 1.0F / (1.0F + std::exp(-x[i]));
+}
+
+void tanh_fwd(const float* x, float* y, std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) y[i] = std::tanh(x[i]);
+}
+
+void silu_fwd(const float* x, float* sig, float* y, std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float s = 1.0F / (1.0F + std::exp(-x[i]));
+    sig[i] = s;
+    y[i] = x[i] * s;
+  }
+}
+
+void softmax_rows(const float* logits, float* probs, std::int64_t rows, std::int64_t cols) {
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* in = logits + r * cols;
+    float* out = probs + r * cols;
+    float max_val = in[0];
+    for (std::int64_t c = 1; c < cols; ++c) max_val = std::max(max_val, in[c]);
+    double denom = 0.0;
+    for (std::int64_t c = 0; c < cols; ++c) {
+      out[c] = std::exp(in[c] - max_val);
+      denom += out[c];
+    }
+    const auto inv = static_cast<float>(1.0 / denom);
+    for (std::int64_t c = 0; c < cols; ++c) out[c] *= inv;
+  }
+}
+
+}  // namespace usb::ew

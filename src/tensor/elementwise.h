@@ -1,0 +1,134 @@
+// Elementwise kernel suite with runtime AVX2/portable dispatch.
+//
+// One header owns every elementwise loop the refinement hot path executes —
+// activation forwards/backwards, add/mul/axpy, the masked-trigger blend and
+// its gradients, the Adam moment update, clamping, BatchNorm's per-element
+// normalization — mirroring the dispatch treatment tensor/gemm.cpp gives the
+// GEMM micro-kernel: both variants are compiled into every build, the AVX2
+// one is selected at runtime on capable x86 CPUs, and tests can pin either
+// via force_variant() to compare them bitwise.
+//
+// Determinism contract: every vectorized kernel here is PER-ELEMENT
+// INDEPENDENT — output element i is a fixed expression of input elements i
+// only, evaluated in the same operation order as the historical scalar loop
+// (the TU is compiled with -ffp-contract=off, so no FMA fusion sneaks in on
+// either path). The lanes merely run 8 independent scalar chains side by
+// side; sqrt and division are IEEE-754 correctly rounded in both scalar and
+// vector forms. Results are therefore bit-identical across variants,
+// machines, and thread counts.
+//
+// Reductions and libm-transcendental kernels deliberately stay scalar:
+//  - sigmoid/tanh/SiLU forwards call std::exp/std::tanh per element (a SIMD
+//    exp approximation would change bits vs the historical path);
+//  - softmax_rows keeps its ascending-order max/sum (vector lanes would
+//    reassociate the sum);
+// see the dispatch table in README.md ("Performance").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+namespace usb::ew {
+
+enum class Variant { kPortable, kAvx2 };
+
+/// True when the CPU (and build target) can execute the variant.
+[[nodiscard]] bool variant_available(Variant variant) noexcept;
+
+/// The variant dispatched calls currently execute.
+[[nodiscard]] Variant active_variant() noexcept;
+
+/// Test/bench hook: pins dispatch to one variant until called with nullopt
+/// (restores runtime selection). Throws std::invalid_argument when the
+/// variant is unavailable. Not synchronized — flip only while no kernels
+/// are in flight.
+void force_variant(std::optional<Variant> variant);
+
+// ---- Vectorized kernels (portable + AVX2, bit-identical) ----------------
+// n is the element count; buffers may be unaligned; in-place aliasing is
+// allowed only where a parameter name says so (dst).
+
+/// y[i] = x[i] < 0 ? 0 : x[i]
+void relu_fwd(const float* x, float* y, std::int64_t n);
+/// dx[i] = x[i] <= 0 ? 0 : dy[i]
+void relu_bwd(const float* x, const float* dy, float* dx, std::int64_t n);
+/// dx[i] = dy[i] * (s[i] * (1 - s[i]))  — s is the cached sigmoid output
+void sigmoid_bwd(const float* s, const float* dy, float* dx, std::int64_t n);
+/// dx[i] = dy[i] * (1 - t[i] * t[i])  — t is the cached tanh output
+void tanh_bwd(const float* t, const float* dy, float* dx, std::int64_t n);
+/// dx[i] = dy[i] * (s[i] * (1 + x[i] * (1 - s[i])))
+void silu_bwd(const float* s, const float* x, const float* dy, float* dx, std::int64_t n);
+
+/// out[i] = a[i] + b[i]
+void add(const float* a, const float* b, float* out, std::int64_t n);
+/// out[i] = a[i] * b[i]
+void mul(const float* a, const float* b, float* out, std::int64_t n);
+/// dst[i] += src[i]
+void accum(float* dst, const float* src, std::int64_t n);
+/// dst[i] -= src[i]
+void accum_sub(float* dst, const float* src, std::int64_t n);
+/// dst[i] *= src[i]  (Hadamard)
+void accum_mul(float* dst, const float* src, std::int64_t n);
+/// dst[i] += a[i] * b[i]
+void muladd_accum(float* dst, const float* a, const float* b, std::int64_t n);
+/// dst[i] *= s
+void scale(float* dst, float s, std::int64_t n);
+/// out[i] = src[i] * s
+void scale_into(const float* src, float s, float* out, std::int64_t n);
+/// dst[i] += s
+void add_scalar(float* dst, float s, std::int64_t n);
+/// dst[i] += alpha * src[i]  (axpy)
+void axpy(float* dst, const float* src, float alpha, std::int64_t n);
+/// dst[i] = clamp(dst[i], lo, hi) with std::clamp's NaN/ordering semantics
+void clamp(float* dst, float lo, float hi, std::int64_t n);
+
+/// Masked-trigger blend: out[i] = x[i] * (1 - m[i]) + p[i] * m[i]
+void blend(const float* x, const float* m, const float* p, float* out, std::int64_t n);
+/// dm[i] += dxp[i] * (p[i] - x[i])  — the mask half of the blend gradient
+void mask_grad_accum(float* dm, const float* dxp, const float* p, const float* x,
+                     std::int64_t n);
+/// g[i] += (d[i] * s[i]) * (1 - s[i])  — chain an upstream gradient through
+/// a sigmoid whose OUTPUT s is cached (the logit-reparameterized trigger)
+void dsigmoid_chain_accum(float* g, const float* d, const float* s, std::int64_t n);
+/// g[i] += (w * s[i]) * (1 - s[i])  — the mask-L1 term's gradient
+void l1_sigmoid_grad_accum(float* g, const float* s, float w, std::int64_t n);
+
+/// xhat[i] = (x[i] - mean) * inv_std;  y[i] = gamma * xhat[i] + beta
+void bn_fwd(const float* x, float* xhat, float* y, float mean, float inv_std, float gamma,
+            float beta, std::int64_t n);
+/// dx[i] = scale * ((dy[i] - mean_dy) - xhat[i] * mean_dy_xhat)
+void bn_bwd_train(const float* dy, const float* xhat, float* dx, float scale, float mean_dy,
+                  float mean_dy_xhat, std::int64_t n);
+
+struct AdamParams {
+  float lr = 0.0F;
+  float beta1 = 0.0F;
+  float beta2 = 0.0F;
+  float eps = 0.0F;
+  float bias1 = 0.0F;  // 1 - beta1^t
+  float bias2 = 0.0F;  // 1 - beta2^t
+};
+
+/// One Adam moment-and-parameter update, the exact operation sequence of the
+/// historical AdamState::step scalar loop (sqrt and division are correctly
+/// rounded, so the AVX2 form is bit-identical):
+///   m[i] = beta1 * m[i] + (1 - beta1) * g[i]
+///   v[i] = beta2 * v[i] + ((1 - beta2) * g[i]) * g[i]
+///   value[i] -= (lr * (m[i] / bias1)) / (sqrt(v[i] / bias2) + eps)
+void adam_update(float* value, const float* grad, float* m, float* v, std::int64_t n,
+                 const AdamParams& params);
+
+// ---- Scalar-only kernels (one implementation, both variants) ------------
+
+/// y[i] = 1 / (1 + exp(-x[i]))  — libm exp, scalar by the bit-identity rule
+void sigmoid_fwd(const float* x, float* y, std::int64_t n);
+/// y[i] = tanh(x[i])
+void tanh_fwd(const float* x, float* y, std::int64_t n);
+/// sig[i] = 1 / (1 + exp(-x[i]));  y[i] = x[i] * sig[i]
+void silu_fwd(const float* x, float* sig, float* y, std::int64_t n);
+/// Row-wise stabilized softmax of a row-major (rows, cols) matrix. Scalar:
+/// the per-row max scan and the double-precision denominator sum keep their
+/// historical ascending association.
+void softmax_rows(const float* logits, float* probs, std::int64_t rows, std::int64_t cols);
+
+}  // namespace usb::ew

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <new>
 
+#include "tensor/simd_common.h"
 #include "utils/thread_pool.h"
 
 namespace usb {
@@ -46,12 +47,10 @@ constexpr std::int64_t kNC = 128;
 // per-element arithmetic, so the cutoff has no numeric effect.
 constexpr double kParallelFlopCutoff = 1.0e6;
 
-#define USB_RESTRICT __restrict__
-
-// 8-float lane vector (GCC/Clang vector extension). aligned(4) makes loads
-// through it unaligned-safe (packed panels are only element-aligned at panel
-// boundaries), may_alias exempts it from strict aliasing against float.
-using v8sf = float __attribute__((vector_size(32), aligned(4), may_alias));
+// The lane-vector type and USB_RESTRICT come from tensor/simd_common.h,
+// shared with the elementwise kernel TU (one definition of the
+// correctness-critical attributes for every kernel).
+using simd::v8sf;
 
 // The micro-kernel computes a full (zero-padded) MR x NR tile over one KC
 // block into `out`, holding the 6x16 accumulators in 12 lane vectors. Each
@@ -135,9 +134,9 @@ using MicroKernelFn = void (*)(std::int64_t, const float*, const float*, float*)
 MicroKernelFn pick_micro_kernel() {
 #if defined(__x86_64__) || defined(__i386__)
 #if defined(USB_GEMM_FMA)
-  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) return micro_kernel_fma;
+  if (simd::cpu_has_avx2() && __builtin_cpu_supports("fma")) return micro_kernel_fma;
 #endif
-  if (__builtin_cpu_supports("avx2")) return micro_kernel_avx2;
+  if (simd::cpu_has_avx2()) return micro_kernel_avx2;
 #endif
   return micro_kernel_portable;
 }

@@ -1,16 +1,32 @@
 #include "tensor/tensor.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <stdexcept>
 
+#include "tensor/elementwise.h"
+
 namespace usb {
+namespace {
+
+std::atomic<std::uint64_t> g_tensor_allocations{0};
+
+}  // namespace
+
+std::uint64_t tensor_heap_allocations() noexcept {
+  return g_tensor_allocations.load(std::memory_order_relaxed);
+}
+
+void detail::count_tensor_allocation() noexcept {
+  g_tensor_allocations.fetch_add(1, std::memory_order_relaxed);
+}
 
 Tensor::Tensor(Shape shape)
     : shape_(std::move(shape)), data_(static_cast<std::size_t>(shape_.numel()), 0.0F) {}
 
 Tensor::Tensor(Shape shape, std::vector<float> values)
-    : shape_(std::move(shape)), data_(std::move(values)) {
+    : shape_(std::move(shape)), data_(values.begin(), values.end()) {
   if (static_cast<std::int64_t>(data_.size()) != shape_.numel()) {
     throw std::invalid_argument("Tensor: buffer size " + std::to_string(data_.size()) +
                                 " does not match shape " + shape_.to_string());
@@ -44,6 +60,14 @@ void Tensor::reshape_in_place(Shape new_shape) {
   shape_ = std::move(new_shape);
 }
 
+void Tensor::ensure_shape(const Shape& new_shape) {
+  if (shape_ == new_shape) return;
+  shape_ = new_shape;
+  // vector::resize never shrinks capacity, so repeated calls cycling through
+  // a bounded shape set allocate only until the high-water mark is reached.
+  data_.resize(static_cast<std::size_t>(shape_.numel()));
+}
+
 void Tensor::fill(float value) noexcept { std::fill(data_.begin(), data_.end(), value); }
 
 namespace {
@@ -55,50 +79,65 @@ void check_same_shape(const Tensor& a, const Tensor& b, const char* op) {
 }
 }  // namespace
 
+// The ew kernels take __restrict__ pointers, so exact self-aliasing calls
+// (`t += t`) — well-defined on the historical scalar loops — get a scalar
+// fallback computing the same per-element expression. Partial overlap
+// cannot occur: distinct Tensors never share storage.
+
 Tensor& Tensor::operator+=(const Tensor& other) {
   check_same_shape(*this, other, "operator+=");
-  const float* src = other.raw();
-  float* dst = raw();
-  for (std::size_t i = 0; i < data_.size(); ++i) dst[i] += src[i];
+  if (raw() == other.raw()) {
+    float* dst = raw();
+    for (std::int64_t i = 0; i < numel(); ++i) dst[i] += dst[i];
+    return *this;
+  }
+  ew::accum(raw(), other.raw(), numel());
   return *this;
 }
 
 Tensor& Tensor::operator-=(const Tensor& other) {
   check_same_shape(*this, other, "operator-=");
-  const float* src = other.raw();
-  float* dst = raw();
-  for (std::size_t i = 0; i < data_.size(); ++i) dst[i] -= src[i];
+  if (raw() == other.raw()) {
+    float* dst = raw();
+    for (std::int64_t i = 0; i < numel(); ++i) dst[i] -= dst[i];
+    return *this;
+  }
+  ew::accum_sub(raw(), other.raw(), numel());
   return *this;
 }
 
 Tensor& Tensor::operator*=(const Tensor& other) {
   check_same_shape(*this, other, "operator*=");
-  const float* src = other.raw();
-  float* dst = raw();
-  for (std::size_t i = 0; i < data_.size(); ++i) dst[i] *= src[i];
+  if (raw() == other.raw()) {
+    float* dst = raw();
+    for (std::int64_t i = 0; i < numel(); ++i) dst[i] *= dst[i];
+    return *this;
+  }
+  ew::accum_mul(raw(), other.raw(), numel());
   return *this;
 }
 
 Tensor& Tensor::operator*=(float scalar) noexcept {
-  for (float& v : data_) v *= scalar;
+  ew::scale(raw(), scalar, numel());
   return *this;
 }
 
 Tensor& Tensor::operator+=(float scalar) noexcept {
-  for (float& v : data_) v += scalar;
+  ew::add_scalar(raw(), scalar, numel());
   return *this;
 }
 
 void Tensor::add_scaled(const Tensor& other, float alpha) {
   check_same_shape(*this, other, "add_scaled");
-  const float* src = other.raw();
-  float* dst = raw();
-  for (std::size_t i = 0; i < data_.size(); ++i) dst[i] += alpha * src[i];
+  if (raw() == other.raw()) {
+    float* dst = raw();
+    for (std::int64_t i = 0; i < numel(); ++i) dst[i] += alpha * dst[i];
+    return;
+  }
+  ew::axpy(raw(), other.raw(), alpha, numel());
 }
 
-void Tensor::clamp(float lo, float hi) noexcept {
-  for (float& v : data_) v = std::clamp(v, lo, hi);
-}
+void Tensor::clamp(float lo, float hi) noexcept { ew::clamp(raw(), lo, hi, numel()); }
 
 float Tensor::sum() const noexcept {
   // Pairwise-ish accumulation in double: stable enough for loss statistics.

@@ -19,6 +19,41 @@
 
 namespace usb {
 
+/// Total heap allocations ever made for Tensor element storage, process
+/// wide. The hot-path contract of this library (per-task TensorArena +
+/// `_into` kernels) is that a steady-state refinement step performs ZERO of
+/// these; tests and the alloc-pressure bench assert it by differencing this
+/// counter around a warmed-up loop. Monotonic; never reset.
+[[nodiscard]] std::uint64_t tensor_heap_allocations() noexcept;
+
+namespace detail {
+
+void count_tensor_allocation() noexcept;
+
+/// std::allocator<float> plus a bump of the global Tensor-allocation
+/// counter, so vector growth inside Tensor is observable to the
+/// zero-allocation tests without replacing the global allocator.
+template <typename T>
+struct CountingAllocator {
+  using value_type = T;
+
+  CountingAllocator() = default;
+  template <typename U>
+  CountingAllocator(const CountingAllocator<U>&) noexcept {}  // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] T* allocate(std::size_t count) {
+    count_tensor_allocation();
+    return std::allocator<T>().allocate(count);
+  }
+  void deallocate(T* pointer, std::size_t count) noexcept {
+    std::allocator<T>().deallocate(pointer, count);
+  }
+
+  [[nodiscard]] bool operator==(const CountingAllocator&) const noexcept { return true; }
+};
+
+}  // namespace detail
+
 class Tensor {
  public:
   Tensor() = default;
@@ -76,6 +111,14 @@ class Tensor {
   /// Reinterprets in place; numel must match. No data movement.
   void reshape_in_place(Shape new_shape);
 
+  /// Re-shapes AND re-sizes in place, reusing existing storage capacity
+  /// (grow-never-shrink: shrinking keeps the buffer, growing reallocates
+  /// only past the high-water mark). Element values are unspecified after
+  /// the call — this is the scratch-reuse primitive behind TensorArena and
+  /// the layer caches; callers must overwrite or fill(). A no-op when the
+  /// shape already matches.
+  void ensure_shape(const Shape& new_shape);
+
   /// Sets every element to `value`.
   void fill(float value) noexcept;
 
@@ -108,7 +151,7 @@ class Tensor {
 
  private:
   Shape shape_;
-  std::vector<float> data_;
+  std::vector<float, detail::CountingAllocator<float>> data_;
 };
 
 // ---- Out-of-place arithmetic. ----

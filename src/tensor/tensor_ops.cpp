@@ -5,6 +5,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "tensor/elementwise.h"
 #include "utils/thread_pool.h"
 
 namespace usb {
@@ -59,39 +60,54 @@ Im2colWorkspace& Im2colWorkspace::local() {
   return workspace;
 }
 
-Tensor matmul(const Tensor& a, const Tensor& b) {
+void matmul_into(const Tensor& a, const Tensor& b, Tensor& out) {
   require(a.rank() == 2 && b.rank() == 2, "matmul: rank-2 tensors required");
   const std::int64_t m = a.dim(0);
   const std::int64_t k = a.dim(1);
   const std::int64_t n = b.dim(1);
   require(b.dim(0) == k, "matmul: inner dimensions differ");
-  Tensor c(Shape{m, n});
-  gemm(/*transpose_a=*/false, /*transpose_b=*/false, m, n, k, a.raw(), k, b.raw(), n, c.raw(), n,
-       /*accumulate=*/false);
+  out.ensure_shape(Shape{m, n});
+  gemm(/*transpose_a=*/false, /*transpose_b=*/false, m, n, k, a.raw(), k, b.raw(), n, out.raw(),
+       n, /*accumulate=*/false);
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  Tensor c;
+  matmul_into(a, b, c);
   return c;
 }
 
-Tensor matmul_transpose_b(const Tensor& a, const Tensor& b) {
+void matmul_transpose_b_into(const Tensor& a, const Tensor& b, Tensor& out) {
   require(a.rank() == 2 && b.rank() == 2, "matmul_transpose_b: rank-2 tensors required");
   const std::int64_t m = a.dim(0);
   const std::int64_t k = a.dim(1);
   const std::int64_t n = b.dim(0);
   require(b.dim(1) == k, "matmul_transpose_b: inner dimensions differ");
-  Tensor c(Shape{m, n});
-  gemm(/*transpose_a=*/false, /*transpose_b=*/true, m, n, k, a.raw(), k, b.raw(), k, c.raw(), n,
+  out.ensure_shape(Shape{m, n});
+  gemm(/*transpose_a=*/false, /*transpose_b=*/true, m, n, k, a.raw(), k, b.raw(), k, out.raw(), n,
        /*accumulate=*/false);
+}
+
+Tensor matmul_transpose_b(const Tensor& a, const Tensor& b) {
+  Tensor c;
+  matmul_transpose_b_into(a, b, c);
   return c;
 }
 
-Tensor matmul_transpose_a(const Tensor& a, const Tensor& b) {
+void matmul_transpose_a_into(const Tensor& a, const Tensor& b, Tensor& out) {
   require(a.rank() == 2 && b.rank() == 2, "matmul_transpose_a: rank-2 tensors required");
   const std::int64_t k = a.dim(0);
   const std::int64_t m = a.dim(1);
   const std::int64_t n = b.dim(1);
   require(b.dim(0) == k, "matmul_transpose_a: inner dimensions differ");
-  Tensor c(Shape{m, n});
-  gemm(/*transpose_a=*/true, /*transpose_b=*/false, m, n, k, a.raw(), m, b.raw(), n, c.raw(), n,
+  out.ensure_shape(Shape{m, n});
+  gemm(/*transpose_a=*/true, /*transpose_b=*/false, m, n, k, a.raw(), m, b.raw(), n, out.raw(), n,
        /*accumulate=*/false);
+}
+
+Tensor matmul_transpose_a(const Tensor& a, const Tensor& b) {
+  Tensor c;
+  matmul_transpose_a_into(a, b, c);
   return c;
 }
 
@@ -127,8 +143,8 @@ void col2im(const float* col, std::int64_t channels, std::int64_t height, std::i
   }
 }
 
-Tensor conv2d_forward(const Tensor& x, const Tensor& weight, const Tensor& bias,
-                      const Conv2dSpec& spec) {
+void conv2d_forward_into(const Tensor& x, const Tensor& weight, const Tensor& bias,
+                         const Conv2dSpec& spec, Tensor& y) {
   require(x.rank() == 4, "conv2d: input must be NCHW");
   require(x.dim(1) == spec.in_channels, "conv2d: in_channels mismatch");
   require(weight.shape() == spec.weight_shape(), "conv2d: weight shape mismatch");
@@ -145,7 +161,7 @@ Tensor conv2d_forward(const Tensor& x, const Tensor& weight, const Tensor& bias,
   const std::int64_t group_out = spec.out_channels / spec.groups;
   const std::int64_t kk = spec.kernel * spec.kernel;
 
-  Tensor y(Shape{batch, spec.out_channels, out_h, out_w});
+  y.ensure_shape(Shape{batch, spec.out_channels, out_h, out_w});
   const bool has_bias = bias.numel() > 0;
   if (has_bias) require(bias.numel() == spec.out_channels, "conv2d: bias size mismatch");
 
@@ -156,7 +172,7 @@ Tensor conv2d_forward(const Tensor& x, const Tensor& weight, const Tensor& bias,
   // workspace; typical probe batches fit in one block.
   const std::int64_t patch = group_in * kk;          // GEMM K per group
   const std::int64_t col_rows = spec.in_channels * kk;
-  if (batch == 0) return y;
+  if (batch == 0) return;
   const std::int64_t block =
       std::clamp(kMaxColBlockFloats / std::max<std::int64_t>(1, col_rows * spatial),
                  std::int64_t{1}, batch);
@@ -203,11 +219,18 @@ Tensor conv2d_forward(const Tensor& x, const Tensor& weight, const Tensor& bias,
     assert(ws.col_capacity() == col_capacity_in_use &&
            "col block regrown while its pointer was live");
   }
+}
+
+Tensor conv2d_forward(const Tensor& x, const Tensor& weight, const Tensor& bias,
+                      const Conv2dSpec& spec) {
+  Tensor y;
+  conv2d_forward_into(x, weight, bias, spec, y);
   return y;
 }
 
-Conv2dGrads conv2d_backward(const Tensor& x, const Tensor& weight, const Tensor& dy,
-                            const Conv2dSpec& spec, bool need_dx, bool need_dweight) {
+void conv2d_backward_into(const Tensor& x, const Tensor& weight, const Tensor& dy,
+                          const Conv2dSpec& spec, bool need_dx, bool need_dweight, Tensor* dx,
+                          Tensor* dweight, Tensor* dbias) {
   const std::int64_t batch = x.dim(0);
   const std::int64_t height = x.dim(2);
   const std::int64_t width = x.dim(3);
@@ -217,14 +240,23 @@ Conv2dGrads conv2d_backward(const Tensor& x, const Tensor& weight, const Tensor&
   require(dy.rank() == 4 && dy.dim(0) == batch && dy.dim(1) == spec.out_channels &&
               dy.dim(2) == out_h && dy.dim(3) == out_w,
           "conv2d_backward: dy shape mismatch");
+  need_dx = need_dx && dx != nullptr;
+  need_dweight = need_dweight && dweight != nullptr && dbias != nullptr;
   const std::int64_t group_in = spec.in_channels / spec.groups;
   const std::int64_t group_out = spec.out_channels / spec.groups;
   const std::int64_t kk = spec.kernel * spec.kernel;
 
-  Conv2dGrads grads;
-  grads.dweight = Tensor(weight.shape());
-  grads.dbias = Tensor(Shape{spec.out_channels});
-  if (need_dx) grads.dx = Tensor(x.shape());
+  if (need_dweight) {
+    dweight->ensure_shape(weight.shape());
+    dweight->fill(0.0F);
+    dbias->ensure_shape(Shape{spec.out_channels});
+    dbias->fill(0.0F);
+  }
+  if (need_dx) {
+    // col2im accumulates, so the target must start zeroed.
+    dx->ensure_shape(x.shape());
+    dx->fill(0.0F);
+  }
 
   const std::int64_t patch = group_in * kk;
   const std::int64_t col_numel = spec.in_channels * kk * spatial;
@@ -288,7 +320,7 @@ Conv2dGrads conv2d_backward(const Tensor& x, const Tensor& weight, const Tensor&
         }
       }
       if (need_dx) {
-        float* dx_n = grads.dx.raw() + n * spec.in_channels * height * width;
+        float* dx_n = dx->raw() + n * spec.in_channels * height * width;
         col2im(dcol, spec.in_channels, height, width, spec.kernel, spec.stride, spec.padding,
                dx_n);
       }
@@ -300,14 +332,28 @@ Conv2dGrads conv2d_backward(const Tensor& x, const Tensor& weight, const Tensor&
 
   if (need_dweight) {
     for (std::size_t part = 0; part < max_chunks; ++part) {
-      grads.dweight += dw_parts[part];
-      grads.dbias += db_parts[part];
+      *dweight += dw_parts[part];
+      *dbias += db_parts[part];
     }
   }
+}
+
+Conv2dGrads conv2d_backward(const Tensor& x, const Tensor& weight, const Tensor& dy,
+                            const Conv2dSpec& spec, bool need_dx, bool need_dweight) {
+  Conv2dGrads grads;
+  // The struct adapter always materializes dweight/dbias (historical
+  // contract: zero tensors when skipped); the core only touches what the
+  // need flags request.
+  grads.dweight = Tensor(weight.shape());
+  grads.dbias = Tensor(Shape{spec.out_channels});
+  if (need_dx) grads.dx = Tensor(x.shape());
+  conv2d_backward_into(x, weight, dy, spec, need_dx, need_dweight, need_dx ? &grads.dx : nullptr,
+                       &grads.dweight, &grads.dbias);
   return grads;
 }
 
-MaxPoolResult maxpool2d_forward(const Tensor& x, const Pool2dSpec& spec) {
+void maxpool2d_forward_into(const Tensor& x, const Pool2dSpec& spec, Tensor& y,
+                            std::vector<std::int64_t>& argmax) {
   require(x.rank() == 4, "maxpool2d: input must be NCHW");
   const std::int64_t batch = x.dim(0);
   const std::int64_t channels = x.dim(1);
@@ -317,15 +363,14 @@ MaxPoolResult maxpool2d_forward(const Tensor& x, const Pool2dSpec& spec) {
   const std::int64_t out_w = spec.out_size(width);
   require(out_h > 0 && out_w > 0, "maxpool2d: output would be empty");
 
-  MaxPoolResult result{Tensor(Shape{batch, channels, out_h, out_w}),
-                       std::vector<std::int64_t>(
-                           static_cast<std::size_t>(batch * channels * out_h * out_w))};
+  y.ensure_shape(Shape{batch, channels, out_h, out_w});
+  argmax.resize(static_cast<std::size_t>(batch * channels * out_h * out_w));
   const std::int64_t planes = batch * channels;
   parallel_for(planes, [&](std::int64_t begin, std::int64_t end) {
     for (std::int64_t plane = begin; plane < end; ++plane) {
       const float* x_p = x.raw() + plane * height * width;
-      float* y_p = result.y.raw() + plane * out_h * out_w;
-      std::int64_t* idx_p = result.argmax.data() + plane * out_h * out_w;
+      float* y_p = y.raw() + plane * out_h * out_w;
+      std::int64_t* idx_p = argmax.data() + plane * out_h * out_w;
       for (std::int64_t oh = 0; oh < out_h; ++oh) {
         for (std::int64_t ow = 0; ow < out_w; ++ow) {
           const std::int64_t h0 = oh * spec.stride;
@@ -347,20 +392,32 @@ MaxPoolResult maxpool2d_forward(const Tensor& x, const Pool2dSpec& spec) {
       }
     }
   });
+}
+
+MaxPoolResult maxpool2d_forward(const Tensor& x, const Pool2dSpec& spec) {
+  MaxPoolResult result;
+  maxpool2d_forward_into(x, spec, result.y, result.argmax);
   return result;
 }
 
-Tensor maxpool2d_backward(const Tensor& dy, const std::vector<std::int64_t>& argmax,
-                          const Shape& x_shape) {
-  Tensor dx(x_shape);
+void maxpool2d_backward_into(const Tensor& dy, const std::vector<std::int64_t>& argmax,
+                             const Shape& x_shape, Tensor& dx) {
+  dx.ensure_shape(x_shape);
+  dx.fill(0.0F);  // scatter-accumulate target
   const float* dy_data = dy.raw();
   for (std::size_t i = 0; i < argmax.size(); ++i) {
     dx[argmax[i]] += dy_data[i];
   }
+}
+
+Tensor maxpool2d_backward(const Tensor& dy, const std::vector<std::int64_t>& argmax,
+                          const Shape& x_shape) {
+  Tensor dx;
+  maxpool2d_backward_into(dy, argmax, x_shape, dx);
   return dx;
 }
 
-Tensor avgpool2d_forward(const Tensor& x, const Pool2dSpec& spec) {
+void avgpool2d_forward_into(const Tensor& x, const Pool2dSpec& spec, Tensor& y) {
   require(x.rank() == 4, "avgpool2d: input must be NCHW");
   const std::int64_t batch = x.dim(0);
   const std::int64_t channels = x.dim(1);
@@ -370,7 +427,7 @@ Tensor avgpool2d_forward(const Tensor& x, const Pool2dSpec& spec) {
   const std::int64_t out_w = spec.out_size(width);
   const float inv_area = 1.0F / static_cast<float>(spec.kernel * spec.kernel);
 
-  Tensor y(Shape{batch, channels, out_h, out_w});
+  y.ensure_shape(Shape{batch, channels, out_h, out_w});
   const std::int64_t planes = batch * channels;
   parallel_for(planes, [&](std::int64_t begin, std::int64_t end) {
     for (std::int64_t plane = begin; plane < end; ++plane) {
@@ -389,11 +446,18 @@ Tensor avgpool2d_forward(const Tensor& x, const Pool2dSpec& spec) {
       }
     }
   });
+}
+
+Tensor avgpool2d_forward(const Tensor& x, const Pool2dSpec& spec) {
+  Tensor y;
+  avgpool2d_forward_into(x, spec, y);
   return y;
 }
 
-Tensor avgpool2d_backward(const Tensor& dy, const Shape& x_shape, const Pool2dSpec& spec) {
-  Tensor dx(x_shape);
+void avgpool2d_backward_into(const Tensor& dy, const Shape& x_shape, const Pool2dSpec& spec,
+                             Tensor& dx) {
+  dx.ensure_shape(x_shape);
+  dx.fill(0.0F);  // overlapping windows accumulate
   const std::int64_t height = x_shape[2];
   const std::int64_t width = x_shape[3];
   const std::int64_t out_h = dy.dim(2);
@@ -414,25 +478,35 @@ Tensor avgpool2d_backward(const Tensor& dy, const Shape& x_shape, const Pool2dSp
       }
     }
   }
+}
+
+Tensor avgpool2d_backward(const Tensor& dy, const Shape& x_shape, const Pool2dSpec& spec) {
+  Tensor dx;
+  avgpool2d_backward_into(dy, x_shape, spec, dx);
   return dx;
 }
 
-Tensor global_avgpool_forward(const Tensor& x) {
+void global_avgpool_forward_into(const Tensor& x, Tensor& y) {
   require(x.rank() == 4, "global_avgpool: input must be NCHW");
   const std::int64_t planes = x.dim(0) * x.dim(1);
   const std::int64_t spatial = x.dim(2) * x.dim(3);
-  Tensor y(Shape{x.dim(0), x.dim(1), 1, 1});
+  y.ensure_shape(Shape{x.dim(0), x.dim(1), 1, 1});
   for (std::int64_t plane = 0; plane < planes; ++plane) {
     const float* x_p = x.raw() + plane * spatial;
     double acc = 0.0;
     for (std::int64_t s = 0; s < spatial; ++s) acc += x_p[s];
     y[plane] = static_cast<float>(acc / static_cast<double>(spatial));
   }
+}
+
+Tensor global_avgpool_forward(const Tensor& x) {
+  Tensor y;
+  global_avgpool_forward_into(x, y);
   return y;
 }
 
-Tensor global_avgpool_backward(const Tensor& dy, const Shape& x_shape) {
-  Tensor dx(x_shape);
+void global_avgpool_backward_into(const Tensor& dy, const Shape& x_shape, Tensor& dx) {
+  dx.ensure_shape(x_shape);
   const std::int64_t planes = x_shape[0] * x_shape[1];
   const std::int64_t spatial = x_shape[2] * x_shape[3];
   const float inv = 1.0F / static_cast<float>(spatial);
@@ -441,27 +515,23 @@ Tensor global_avgpool_backward(const Tensor& dy, const Shape& x_shape) {
     float* dx_p = dx.raw() + plane * spatial;
     for (std::int64_t s = 0; s < spatial; ++s) dx_p[s] = g;
   }
+}
+
+Tensor global_avgpool_backward(const Tensor& dy, const Shape& x_shape) {
+  Tensor dx;
+  global_avgpool_backward_into(dy, x_shape, dx);
   return dx;
 }
 
-Tensor softmax_rows(const Tensor& logits) {
+void softmax_rows_into(const Tensor& logits, Tensor& probs) {
   require(logits.rank() == 2, "softmax_rows: rank-2 input required");
-  const std::int64_t rows = logits.dim(0);
-  const std::int64_t cols = logits.dim(1);
-  Tensor probs(logits.shape());
-  for (std::int64_t r = 0; r < rows; ++r) {
-    const float* in = logits.raw() + r * cols;
-    float* out = probs.raw() + r * cols;
-    float max_val = in[0];
-    for (std::int64_t c = 1; c < cols; ++c) max_val = std::max(max_val, in[c]);
-    double denom = 0.0;
-    for (std::int64_t c = 0; c < cols; ++c) {
-      out[c] = std::exp(in[c] - max_val);
-      denom += out[c];
-    }
-    const auto inv = static_cast<float>(1.0 / denom);
-    for (std::int64_t c = 0; c < cols; ++c) out[c] *= inv;
-  }
+  probs.ensure_shape(logits.shape());
+  ew::softmax_rows(logits.raw(), probs.raw(), logits.dim(0), logits.dim(1));
+}
+
+Tensor softmax_rows(const Tensor& logits) {
+  Tensor probs;
+  softmax_rows_into(logits, probs);
   return probs;
 }
 
@@ -490,9 +560,9 @@ std::vector<std::int64_t> argmax_rows(const Tensor& logits) {
   return out;
 }
 
-Tensor gaussian_kernel(std::int64_t size, double sigma) {
+void gaussian_kernel_into(std::int64_t size, double sigma, Tensor& kernel) {
   require(size > 0 && sigma > 0.0, "gaussian_kernel: size and sigma must be positive");
-  Tensor kernel(Shape{size, size});
+  kernel.ensure_shape(Shape{size, size});
   const double center = static_cast<double>(size - 1) / 2.0;
   double total = 0.0;
   for (std::int64_t a = 0; a < size; ++a) {
@@ -506,10 +576,15 @@ Tensor gaussian_kernel(std::int64_t size, double sigma) {
   }
   const auto inv = static_cast<float>(1.0 / total);
   for (std::int64_t i = 0; i < kernel.numel(); ++i) kernel[i] *= inv;
+}
+
+Tensor gaussian_kernel(std::int64_t size, double sigma) {
+  Tensor kernel;
+  gaussian_kernel_into(size, sigma, kernel);
   return kernel;
 }
 
-Tensor filter2d_valid(const Tensor& x, const Tensor& kernel) {
+void filter2d_valid_into(const Tensor& x, const Tensor& kernel, Tensor& y) {
   require(x.rank() == 4, "filter2d_valid: input must be NCHW");
   require(kernel.rank() == 2 && kernel.dim(0) == kernel.dim(1),
           "filter2d_valid: square rank-2 kernel required");
@@ -520,7 +595,7 @@ Tensor filter2d_valid(const Tensor& x, const Tensor& kernel) {
   const std::int64_t out_w = width - k + 1;
   require(out_h > 0 && out_w > 0, "filter2d_valid: kernel larger than input");
 
-  Tensor y(Shape{x.dim(0), x.dim(1), out_h, out_w});
+  y.ensure_shape(Shape{x.dim(0), x.dim(1), out_h, out_w});
   const std::int64_t planes = x.dim(0) * x.dim(1);
   parallel_for(planes, [&](std::int64_t begin, std::int64_t end) {
     for (std::int64_t plane = begin; plane < end; ++plane) {
@@ -539,10 +614,15 @@ Tensor filter2d_valid(const Tensor& x, const Tensor& kernel) {
       }
     }
   });
+}
+
+Tensor filter2d_valid(const Tensor& x, const Tensor& kernel) {
+  Tensor y;
+  filter2d_valid_into(x, kernel, y);
   return y;
 }
 
-Tensor filter2d_full_adjoint(const Tensor& g, const Tensor& kernel) {
+void filter2d_full_adjoint_into(const Tensor& g, const Tensor& kernel, Tensor& dx) {
   require(g.rank() == 4, "filter2d_full_adjoint: input must be NCHW");
   const std::int64_t k = kernel.dim(0);
   const std::int64_t gh = g.dim(2);
@@ -550,7 +630,7 @@ Tensor filter2d_full_adjoint(const Tensor& g, const Tensor& kernel) {
   const std::int64_t out_h = gh + k - 1;
   const std::int64_t out_w = gw + k - 1;
 
-  Tensor dx(Shape{g.dim(0), g.dim(1), out_h, out_w});
+  dx.ensure_shape(Shape{g.dim(0), g.dim(1), out_h, out_w});
   const std::int64_t planes = g.dim(0) * g.dim(1);
   parallel_for(planes, [&](std::int64_t begin, std::int64_t end) {
     for (std::int64_t plane = begin; plane < end; ++plane) {
@@ -575,6 +655,11 @@ Tensor filter2d_full_adjoint(const Tensor& g, const Tensor& kernel) {
       }
     }
   });
+}
+
+Tensor filter2d_full_adjoint(const Tensor& g, const Tensor& kernel) {
+  Tensor dx;
+  filter2d_full_adjoint_into(g, kernel, dx);
   return dx;
 }
 

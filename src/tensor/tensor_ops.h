@@ -23,15 +23,26 @@ namespace usb {
 // tensor/gemm.h (the transpose is folded into panel packing). Results are
 // bit-identical for any USB_THREADS; see gemm.h for the determinism
 // contract.
+//
+// Every op here follows the repository's `_into` convention: the core
+// kernel writes into a caller-provided Tensor (re-shaped in place via
+// Tensor::ensure_shape, so a recycled output buffer costs zero heap
+// allocations), and the value-returning form is a thin adapter that
+// allocates a fresh result and calls the core. Outputs are fully
+// overwritten unless a comment says the op accumulates (those zero the
+// output first), so arena slots with stale contents are safe.
 
 /// C = A (M,K) x B (K,N).
 [[nodiscard]] Tensor matmul(const Tensor& a, const Tensor& b);
+void matmul_into(const Tensor& a, const Tensor& b, Tensor& out);
 
 /// C = A (M,K) x B^T where B is (N,K).
 [[nodiscard]] Tensor matmul_transpose_b(const Tensor& a, const Tensor& b);
+void matmul_transpose_b_into(const Tensor& a, const Tensor& b, Tensor& out);
 
 /// C = A^T x B where A is (K,M), B is (K,N).
 [[nodiscard]] Tensor matmul_transpose_a(const Tensor& a, const Tensor& b);
+void matmul_transpose_a_into(const Tensor& a, const Tensor& b, Tensor& out);
 
 // ----------------------------------------------------------- convolution --
 
@@ -57,6 +68,8 @@ struct Conv2dSpec {
 /// (numel 0) to skip the bias add.
 [[nodiscard]] Tensor conv2d_forward(const Tensor& x, const Tensor& weight, const Tensor& bias,
                                     const Conv2dSpec& spec);
+void conv2d_forward_into(const Tensor& x, const Tensor& weight, const Tensor& bias,
+                         const Conv2dSpec& spec, Tensor& y);
 
 struct Conv2dGrads {
   Tensor dx;       // same shape as x (empty when need_dx == false)
@@ -71,6 +84,14 @@ struct Conv2dGrads {
 [[nodiscard]] Conv2dGrads conv2d_backward(const Tensor& x, const Tensor& weight, const Tensor& dy,
                                           const Conv2dSpec& spec, bool need_dx = true,
                                           bool need_dweight = true);
+
+/// Core form: each requested gradient is written into its out-parameter
+/// (ignored when null or its need flag is off). Unlike the struct adapter
+/// above, nothing is allocated for a skipped gradient — the frozen-model
+/// detection path (need_dweight=false) touches only dx.
+void conv2d_backward_into(const Tensor& x, const Tensor& weight, const Tensor& dy,
+                          const Conv2dSpec& spec, bool need_dx, bool need_dweight, Tensor* dx,
+                          Tensor* dweight, Tensor* dbias);
 
 /// Unfolds x (C,H,W view of one sample) into columns (C*K*K, OH*OW).
 /// Exposed for tests.
@@ -122,21 +143,32 @@ struct MaxPoolResult {
 };
 
 [[nodiscard]] MaxPoolResult maxpool2d_forward(const Tensor& x, const Pool2dSpec& spec);
+/// Core form: `argmax` is resized in place (capacity reused across calls).
+void maxpool2d_forward_into(const Tensor& x, const Pool2dSpec& spec, Tensor& y,
+                            std::vector<std::int64_t>& argmax);
 [[nodiscard]] Tensor maxpool2d_backward(const Tensor& dy, const std::vector<std::int64_t>& argmax,
                                         const Shape& x_shape);
+void maxpool2d_backward_into(const Tensor& dy, const std::vector<std::int64_t>& argmax,
+                             const Shape& x_shape, Tensor& dx);
 
 [[nodiscard]] Tensor avgpool2d_forward(const Tensor& x, const Pool2dSpec& spec);
+void avgpool2d_forward_into(const Tensor& x, const Pool2dSpec& spec, Tensor& y);
 [[nodiscard]] Tensor avgpool2d_backward(const Tensor& dy, const Shape& x_shape,
                                         const Pool2dSpec& spec);
+void avgpool2d_backward_into(const Tensor& dy, const Shape& x_shape, const Pool2dSpec& spec,
+                             Tensor& dx);
 
 /// (N,C,H,W) -> (N,C,1,1) mean over spatial dims.
 [[nodiscard]] Tensor global_avgpool_forward(const Tensor& x);
+void global_avgpool_forward_into(const Tensor& x, Tensor& y);
 [[nodiscard]] Tensor global_avgpool_backward(const Tensor& dy, const Shape& x_shape);
+void global_avgpool_backward_into(const Tensor& dy, const Shape& x_shape, Tensor& dx);
 
 // -------------------------------------------------- softmax and encoding --
 
 /// Row-wise softmax of a (M,N) matrix, numerically stabilized.
 [[nodiscard]] Tensor softmax_rows(const Tensor& logits);
+void softmax_rows_into(const Tensor& logits, Tensor& probs);
 
 /// (M,N) one-hot matrix from labels in [0, num_classes).
 [[nodiscard]] Tensor one_hot(const std::vector<std::int64_t>& labels, std::int64_t num_classes);
@@ -148,15 +180,18 @@ struct MaxPoolResult {
 
 /// Normalized Gaussian kernel as a (size,size) tensor.
 [[nodiscard]] Tensor gaussian_kernel(std::int64_t size, double sigma);
+void gaussian_kernel_into(std::int64_t size, double sigma, Tensor& kernel);
 
 /// Per-channel valid cross-correlation of x (N,C,H,W) with kernel (K,K):
 /// output (N,C,H-K+1,W-K+1). This is the "local statistics" operator of
 /// SSIM.
 [[nodiscard]] Tensor filter2d_valid(const Tensor& x, const Tensor& kernel);
+void filter2d_valid_into(const Tensor& x, const Tensor& kernel, Tensor& y);
 
 /// Per-channel full cross-correlation with the flipped kernel: the exact
 /// adjoint (transpose) of filter2d_valid, mapping gradients on the valid
 /// output back to the input grid. Output (N,C,h+K-1,w+K-1).
 [[nodiscard]] Tensor filter2d_full_adjoint(const Tensor& g, const Tensor& kernel);
+void filter2d_full_adjoint_into(const Tensor& g, const Tensor& kernel, Tensor& dx);
 
 }  // namespace usb

@@ -1,0 +1,377 @@
+// TensorArena + the zero-allocation refinement hot path.
+//
+// The acceptance-criteria pins of the arena/SIMD change:
+//  - arena semantics: grow-never-shrink slot recycling, reset() reuse,
+//    Scope rewind, zero allocations once warm;
+//  - arena-backed forward/backward (forward_into/backward_into) is
+//    BIT-identical to the allocating forward/backward on every architecture,
+//    in eval and training mode, including parameter gradients;
+//  - the same holds across the AVX2/portable elementwise dispatch variants;
+//  - DetectionReports are bit-identical across USB_THREADS (scan pools of
+//    1 and 4) for USB, NC and TABOR — the arena path cannot introduce
+//    schedule dependence;
+//  - the steady-state refinement step of all three detectors performs ZERO
+//    Tensor heap allocations (counting-allocator probe around a warmed-up
+//    run_steps loop of the real per-class task).
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "core/usb.h"
+#include "data/synthetic.h"
+#include "defenses/neural_cleanse.h"
+#include "defenses/scan_plan.h"
+#include "defenses/tabor.h"
+#include "metrics/ssim.h"
+#include "nn/checkpoint.h"
+#include "nn/models.h"
+#include "tensor/arena.h"
+#include "tensor/elementwise.h"
+#include "utils/rng.h"
+#include "utils/thread_pool.h"
+
+namespace usb {
+namespace {
+
+struct VariantGuard {
+  ~VariantGuard() { ew::force_variant(std::nullopt); }
+};
+
+Tensor random_tensor(Shape shape, std::uint64_t seed, float lo = 0.0F, float hi = 1.0F) {
+  Rng rng(seed);
+  Tensor t(std::move(shape));
+  for (std::int64_t i = 0; i < t.numel(); ++i) t[i] = rng.uniform_float(lo, hi);
+  return t;
+}
+
+DatasetSpec tiny_spec(std::int64_t num_classes = 6) {
+  DatasetSpec spec;
+  spec.name = "arena-tiny";
+  spec.channels = 1;
+  spec.image_size = 16;
+  spec.num_classes = num_classes;
+  return spec;
+}
+
+void expect_reports_identical(const DetectionReport& a, const DetectionReport& b) {
+  EXPECT_EQ(a.method, b.method);
+  ASSERT_EQ(a.per_class.size(), b.per_class.size());
+  for (std::size_t t = 0; t < a.per_class.size(); ++t) {
+    EXPECT_EQ(a.per_class[t].mask_l1, b.per_class[t].mask_l1);
+    EXPECT_EQ(a.per_class[t].final_loss, b.per_class[t].final_loss);
+    EXPECT_EQ(a.per_class[t].fooling_rate, b.per_class[t].fooling_rate);
+    EXPECT_TRUE(a.per_class[t].pattern.equals(b.per_class[t].pattern));
+    EXPECT_TRUE(a.per_class[t].mask.equals(b.per_class[t].mask));
+  }
+  EXPECT_EQ(a.verdict.backdoored, b.verdict.backdoored);
+  EXPECT_EQ(a.verdict.flagged_classes, b.verdict.flagged_classes);
+  EXPECT_EQ(a.verdict.anomaly, b.verdict.anomaly);
+}
+
+TEST(TensorArena, SlotRecyclingIsAllocationFreeOnceWarm) {
+  TensorArena arena;
+  const Shape big{4, 8, 8};
+  const Shape small{2, 8, 8};
+
+  Tensor& first = arena.alloc(big);
+  const float* first_storage = first.raw();
+  Tensor& second = arena.zeros(small);
+  EXPECT_EQ(arena.slots_in_use(), 2U);
+  for (std::int64_t i = 0; i < second.numel(); ++i) EXPECT_EQ(second[i], 0.0F);
+
+  arena.reset();
+  EXPECT_EQ(arena.slots_in_use(), 0U);
+  EXPECT_EQ(arena.slot_capacity(), 2U);
+
+  const std::uint64_t before = tensor_heap_allocations();
+  for (int step = 0; step < 10; ++step) {
+    Tensor& a = arena.alloc(big);
+    Tensor& b = arena.alloc(small);  // shrink-fit into the zeros slot
+    EXPECT_EQ(a.raw(), first_storage);  // same storage recycled every step
+    EXPECT_EQ(a.shape(), big);
+    EXPECT_EQ(b.shape(), small);
+    arena.reset();
+  }
+  EXPECT_EQ(tensor_heap_allocations() - before, 0U);
+}
+
+TEST(TensorArena, ScopeRewindsAndRecyclesNestedSlots) {
+  TensorArena arena;
+  Tensor& outer = arena.alloc(Shape{8});
+  const float* inner_storage = nullptr;
+  {
+    const TensorArena::Scope scope(arena);
+    inner_storage = arena.alloc(Shape{16}).raw();
+    EXPECT_EQ(arena.slots_in_use(), 2U);
+  }
+  EXPECT_EQ(arena.slots_in_use(), 1U);
+  EXPECT_EQ(outer.shape(), Shape{8});
+  {
+    const TensorArena::Scope scope(arena);
+    // The sibling scope reuses the rewound slot's storage.
+    EXPECT_EQ(arena.alloc(Shape{16}).raw(), inner_storage);
+  }
+}
+
+TEST(TensorArena, AdoptParksAndRecyclesBuffers) {
+  TensorArena arena;
+  Tensor& parked = arena.adopt(random_tensor(Shape{3, 3}, 5));
+  EXPECT_EQ(parked.shape(), (Shape{3, 3}));
+  arena.reset();
+  Tensor& reused = arena.alloc(Shape{3, 3});
+  EXPECT_EQ(reused.raw(), parked.raw());
+}
+
+// The central bit-identity pin: for every architecture, in eval mode (the
+// detection configuration) AND training mode, the arena path reproduces the
+// allocating path bit for bit — outputs, input gradients, and parameter
+// gradients.
+TEST(ArenaPath, ForwardBackwardMatchesAllocatingBitwiseAllArchitectures) {
+  for (const Architecture arch : {Architecture::kBasicCnn, Architecture::kMiniResNet,
+                                  Architecture::kMiniVgg, Architecture::kMiniEffNet}) {
+    for (const bool training : {false, true}) {
+      const std::int64_t channels = arch == Architecture::kBasicCnn ? 1 : 3;
+      const std::int64_t size = arch == Architecture::kBasicCnn ? 28 : 32;
+      Network net = make_network(arch, channels, size, 10, 17);
+      net.set_training(training);
+      net.set_param_grads_enabled(training);
+
+      const Tensor x = random_tensor(Shape{4, channels, size, size}, 21);
+      const Tensor dy = random_tensor(Shape{4, 10}, 22, -1.0F, 1.0F);
+
+      net.zero_grad();
+      const Tensor y_alloc = net.forward(x);
+      const Tensor dx_alloc = net.backward(dy);
+      std::vector<Tensor> grads_alloc;
+      for (Parameter* p : net.parameters()) grads_alloc.push_back(p->grad);
+
+      // Training-mode BatchNorm mutates running stats; rebuild the network
+      // so both paths see identical initial state.
+      Network net2 = make_network(arch, channels, size, 10, 17);
+      net2.set_training(training);
+      net2.set_param_grads_enabled(training);
+      net2.zero_grad();
+      TensorArena arena;
+      const Tensor& y_arena = net2.forward_into(x, arena);
+      const Tensor& dx_arena = net2.backward_into(dy, arena);
+
+      EXPECT_TRUE(y_alloc.equals(y_arena)) << to_string(arch) << " training=" << training;
+      EXPECT_TRUE(dx_alloc.equals(dx_arena)) << to_string(arch) << " training=" << training;
+      const std::vector<Parameter*> params = net2.parameters();
+      ASSERT_EQ(params.size(), grads_alloc.size());
+      for (std::size_t i = 0; i < params.size(); ++i) {
+        EXPECT_TRUE(params[i]->grad.equals(grads_alloc[i]))
+            << to_string(arch) << " grad " << params[i]->name;
+      }
+    }
+  }
+}
+
+// Mixed pairing is part of the contract: a forward() may be followed by
+// backward_into() and vice versa (the layer caches serve both).
+TEST(ArenaPath, MixedForwardBackwardPairingsAgree) {
+  Network net = make_network(Architecture::kMiniResNet, 3, 32, 10, 33);
+  net.set_training(false);
+  net.set_param_grads_enabled(false);
+  const Tensor x = random_tensor(Shape{2, 3, 32, 32}, 34);
+  const Tensor dy = random_tensor(Shape{2, 10}, 35, -1.0F, 1.0F);
+
+  const Tensor y_ref = net.forward(x);
+  const Tensor dx_ref = net.backward(dy);
+
+  TensorArena arena;
+  const Tensor& y1 = net.forward_into(x, arena);
+  const Tensor dx1 = net.backward(dy);  // allocating backward over arena forward
+  EXPECT_TRUE(y_ref.equals(y1));
+  EXPECT_TRUE(dx_ref.equals(dx1));
+
+  arena.reset();
+  const Tensor y2 = net.forward(x);  // allocating forward, arena backward
+  const Tensor& dx2 = net.backward_into(dy, arena);
+  EXPECT_TRUE(y_ref.equals(y2));
+  EXPECT_TRUE(dx_ref.equals(dx2));
+}
+
+TEST(ArenaPath, DispatchVariantsBitIdenticalThroughNetwork) {
+  if (!ew::variant_available(ew::Variant::kAvx2)) GTEST_SKIP() << "no AVX2 on this CPU";
+  const VariantGuard guard;
+  Network net = make_network(Architecture::kMiniEffNet, 3, 32, 10, 41);
+  net.set_training(false);
+  net.set_param_grads_enabled(false);
+  const Tensor x = random_tensor(Shape{2, 3, 32, 32}, 42);
+  const Tensor dy = random_tensor(Shape{2, 10}, 43, -1.0F, 1.0F);
+
+  TensorArena arena;
+  ew::force_variant(ew::Variant::kPortable);
+  const Tensor y_portable = net.forward_into(x, arena);
+  const Tensor dx_portable = net.backward_into(dy, arena);
+
+  arena.reset();
+  ew::force_variant(ew::Variant::kAvx2);
+  const Tensor& y_avx2 = net.forward_into(x, arena);
+  const Tensor& dx_avx2 = net.backward_into(dy, arena);
+
+  EXPECT_TRUE(y_portable.equals(y_avx2));
+  EXPECT_TRUE(dx_portable.equals(dx_avx2));
+}
+
+TEST(ArenaPath, SsimArenaFormMatchesAllocatingBitwise) {
+  const Tensor x = random_tensor(Shape{2, 3, 16, 16}, 51);
+  const Tensor y = random_tensor(Shape{2, 3, 16, 16}, 52);
+  const SsimResult owned = ssim_with_gradient(x, y);
+  TensorArena arena;
+  const SsimGradRef ref = ssim_with_gradient(x, y, arena);
+  EXPECT_EQ(owned.value, ref.value);
+  EXPECT_TRUE(owned.grad_y.equals(*ref.grad_y));
+}
+
+// ---- Detector-level pins ------------------------------------------------
+
+UsbConfig tiny_usb_config() {
+  UsbConfig config;
+  config.uap.max_passes = 1;
+  config.uap.craft_size = 32;
+  config.uap.batch_size = 16;
+  config.refine_steps = 4;
+  config.batch_size = 8;
+  return config;
+}
+
+ReverseOptConfig tiny_nc_config() {
+  ReverseOptConfig config;
+  config.steps = 4;
+  return config;
+}
+
+TaborConfig tiny_tabor_config() {
+  TaborConfig config;
+  config.base.steps = 3;
+  return config;
+}
+
+/// Runs one detector under a given scan pool; `detector_factory` builds a
+/// fresh detector per call (configs embed the pool override).
+template <typename MakeDetector>
+DetectionReport run_with_pool(const MakeDetector& make_detector, ThreadPool* pool,
+                              Network& model, const Dataset& probe) {
+  auto detector = make_detector(pool);
+  return detector->detect(model, probe);
+}
+
+// DetectionReports pinned bit-identical at USB_THREADS in {1, 4} for all
+// three masked-trigger detectors, on the arena-backed hot path.
+TEST(ArenaPath, DetectReportsBitIdenticalAcrossThreadCounts) {
+  const DatasetSpec spec = tiny_spec();
+  const Dataset probe = generate_dataset(spec, 48, 61);
+  Network victim = make_network(Architecture::kBasicCnn, 1, 16, spec.num_classes, 62);
+
+  ThreadPool pool1(1);
+  ThreadPool pool4(4);
+
+  const auto usb_factory = [](ThreadPool* pool) {
+    UsbConfig config = tiny_usb_config();
+    config.scan_pool = pool;
+    return std::make_unique<UsbDetector>(config);
+  };
+  const auto nc_factory = [](ThreadPool* pool) {
+    ReverseOptConfig config = tiny_nc_config();
+    config.scan_pool = pool;
+    return std::make_unique<NeuralCleanse>(config);
+  };
+  const auto tabor_factory = [](ThreadPool* pool) {
+    TaborConfig config = tiny_tabor_config();
+    config.base.scan_pool = pool;
+    return std::make_unique<Tabor>(config);
+  };
+
+  expect_reports_identical(run_with_pool(usb_factory, &pool1, victim, probe),
+                           run_with_pool(usb_factory, &pool4, victim, probe));
+  expect_reports_identical(run_with_pool(nc_factory, &pool1, victim, probe),
+                           run_with_pool(nc_factory, &pool4, victim, probe));
+  expect_reports_identical(run_with_pool(tabor_factory, &pool1, victim, probe),
+                           run_with_pool(tabor_factory, &pool4, victim, probe));
+}
+
+// A full detect() must also be dispatch-invariant (portable vs AVX2).
+TEST(ArenaPath, DetectReportsBitIdenticalAcrossDispatchVariants) {
+  if (!ew::variant_available(ew::Variant::kAvx2)) GTEST_SKIP() << "no AVX2 on this CPU";
+  const VariantGuard guard;
+  const DatasetSpec spec = tiny_spec();
+  const Dataset probe = generate_dataset(spec, 48, 63);
+  Network victim = make_network(Architecture::kBasicCnn, 1, 16, spec.num_classes, 64);
+  ThreadPool pool(1);
+  ReverseOptConfig config = tiny_nc_config();
+  config.scan_pool = &pool;
+
+  ew::force_variant(ew::Variant::kPortable);
+  const DetectionReport portable = NeuralCleanse(config).detect(victim, probe);
+  ew::force_variant(ew::Variant::kAvx2);
+  const DetectionReport avx2 = NeuralCleanse(config).detect(victim, probe);
+  expect_reports_identical(portable, avx2);
+}
+
+/// Builds the real per-class refine task of `plan` for class 0 and counts
+/// Tensor heap allocations across `steps` steady-state steps after a
+/// warm-up slice.
+std::uint64_t steady_state_allocations(const ScanPlan& plan, Network& model,
+                                       const Dataset& probe, std::int64_t steps) {
+  const ClassScanScheduler scheduler(plan.options);
+  const ProbeBatchCache cache = scheduler.make_cache(probe);
+  std::shared_ptr<const ScanSharedState> shared;
+  if (plan.shared_builder) shared = plan.shared_builder(model, probe);
+  const ClassScanJob job = scheduler.make_job(0, cache, shared.get());
+  Network clone = clone_network(model);
+  const auto task = plan.make_task(clone, probe, job);
+  (void)task->run_steps(5);  // warm-up: arena slots, loader batch, caches
+  const std::uint64_t before = tensor_heap_allocations();
+  (void)task->run_steps(steps);
+  return tensor_heap_allocations() - before;
+}
+
+// The headline acceptance criterion: a warmed-up refinement step performs
+// ZERO Tensor heap allocations, for every detector. The loop deliberately
+// crosses an epoch boundary (probe 48 / batch 8 -> 6 steps per epoch) to
+// prove the loader's gather and the epoch reshuffle are allocation-free
+// too.
+TEST(ArenaPath, SteadyStateRefinementStepPerformsZeroTensorAllocations) {
+  const DatasetSpec spec = tiny_spec();
+  const Dataset probe = generate_dataset(spec, 48, 71);
+  Network victim = make_network(Architecture::kBasicCnn, 1, 16, spec.num_classes, 72);
+
+  UsbConfig usb_config = tiny_usb_config();
+  usb_config.refine_steps = 64;
+  const UsbDetector usb(usb_config);
+  EXPECT_EQ(steady_state_allocations(usb.plan(), victim, probe, 20), 0U);
+
+  ReverseOptConfig nc_config = tiny_nc_config();
+  nc_config.steps = 64;
+  const NeuralCleanse nc(nc_config);
+  EXPECT_EQ(steady_state_allocations(nc.plan(), victim, probe, 20), 0U);
+
+  TaborConfig tabor_config = tiny_tabor_config();
+  tabor_config.base.steps = 64;
+  const Tabor tabor(tabor_config);
+  EXPECT_EQ(steady_state_allocations(tabor.plan(), victim, probe, 20), 0U);
+}
+
+// And on the residual/SE architectures, whose layers have the most involved
+// arena paths.
+TEST(ArenaPath, SteadyStateZeroAllocationsOnDeepArchitectures) {
+  DatasetSpec spec = tiny_spec(4);
+  spec.channels = 3;
+  spec.image_size = 32;
+  spec.name = "arena-deep";
+  const Dataset probe = generate_dataset(spec, 32, 73);
+
+  ReverseOptConfig config = tiny_nc_config();
+  config.steps = 64;
+  config.batch_size = 4;
+  const NeuralCleanse nc(config);
+  for (const Architecture arch : {Architecture::kMiniResNet, Architecture::kMiniEffNet}) {
+    Network victim = make_network(arch, 3, 32, spec.num_classes, 74);
+    EXPECT_EQ(steady_state_allocations(nc.plan(), victim, probe, 12), 0U) << to_string(arch);
+  }
+}
+
+}  // namespace
+}  // namespace usb

@@ -15,8 +15,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <future>
 #include <optional>
+#include <thread>
 
 #include "core/usb.h"
 #include "data/synthetic.h"
@@ -365,6 +367,182 @@ TEST(DetectionService, MalformedRequestsAreRejected) {
   no_probe.model = &victim;
   no_probe.detector = std::make_unique<NeuralCleanse>(tiny_nc_config());
   EXPECT_THROW((void)service.submit(std::move(no_probe)), std::invalid_argument);
+}
+
+// ---- ProbeStore eviction (LRU by bytes) ---------------------------------
+
+// The store under a byte cap: inserting past the cap evicts the
+// least-recently-used UNPINNED entry; the evicted key regenerates on its
+// next lookup (a fresh miss).
+TEST(ProbeStore, EvictsLeastRecentlyUsedWhenOverByteCap) {
+  const DatasetSpec spec = tiny_spec(4);
+  const ProbeKey key_a{spec, 32, 201};
+  const ProbeKey key_b{spec, 32, 202};
+  const ProbeKey key_c{spec, 32, 203};
+
+  // Size the cap from a real entry: room for two, not three.
+  const std::int64_t entry_bytes = ProbeStore(128).get_or_create(key_a)->bytes();
+  ProbeStore store(ProbeStoreOptions{128, 2 * entry_bytes});
+
+  (void)store.get_or_create(key_a);
+  (void)store.get_or_create(key_b);
+  EXPECT_EQ(store.size(), 2);
+  EXPECT_EQ(store.bytes_resident(), 2 * entry_bytes);
+
+  // Touch A so B becomes the LRU, then overflow with C: B must go.
+  (void)store.get_or_create(key_a);
+  (void)store.get_or_create(key_c);
+  EXPECT_EQ(store.size(), 2);
+  EXPECT_EQ(store.evictions(), 1);
+  EXPECT_LE(store.bytes_resident(), 2 * entry_bytes);
+
+  const std::int64_t misses_before = store.misses();
+  (void)store.get_or_create(key_a);  // still resident: a hit
+  EXPECT_EQ(store.misses(), misses_before);
+  (void)store.get_or_create(key_b);  // evicted: regenerates
+  EXPECT_EQ(store.misses(), misses_before + 1);
+}
+
+// An entry whose shared_ptr is held by a consumer (a scan in flight) is
+// pinned: eviction skips it and drops the next unpinned LRU entry instead;
+// with every entry pinned the cap is transiently exceeded.
+TEST(ProbeStore, PinnedEntriesSurviveEviction) {
+  const DatasetSpec spec = tiny_spec(4);
+  const ProbeKey key_a{spec, 32, 211};
+  const ProbeKey key_b{spec, 32, 212};
+  const ProbeKey key_c{spec, 32, 213};
+
+  const std::int64_t entry_bytes = ProbeStore(128).get_or_create(key_a)->bytes();
+  ProbeStore store(ProbeStoreOptions{128, 2 * entry_bytes});
+
+  // Hold A (the would-be LRU victim) like an in-flight scan would.
+  const std::shared_ptr<const ProbeData> pinned_a = store.get_or_create(key_a);
+  std::shared_ptr<const ProbeData> pinned_b = store.get_or_create(key_b);
+  (void)store.get_or_create(key_c);  // over cap, but A and B are both pinned
+  EXPECT_EQ(store.size(), 3);
+  EXPECT_EQ(store.evictions(), 0);
+  EXPECT_GT(store.bytes_resident(), 2 * entry_bytes);
+
+  // Release B; the next over-cap insert evicts it (A stays pinned).
+  const ProbeKey key_d{spec, 32, 214};
+  pinned_b.reset();
+  (void)store.get_or_create(key_d);
+  EXPECT_GE(store.evictions(), 1);
+  const std::int64_t misses_before = store.misses();
+  (void)store.get_or_create(key_a);  // pinned entry still resident
+  EXPECT_EQ(store.misses(), misses_before);
+}
+
+// ---- Admission control (bounded pending depth) --------------------------
+
+namespace {
+
+/// A request whose scan blocks inside its first progress event until
+/// `gate` is released — pins the executor deterministically.
+ScanRequest gated_request(Network& victim, const ProbeKey& key,
+                          std::shared_future<void> gate) {
+  ScanRequest request;
+  request.model = &victim;
+  request.detector = std::make_unique<NeuralCleanse>(tiny_nc_config());
+  request.probe_key = key;
+  request.options.progress = [gate = std::move(gate)](std::int64_t, ClassScanEvent event,
+                                                      double) {
+    if (event == ClassScanEvent::kFinalized) gate.wait();
+  };
+  return request;
+}
+
+void wait_until_running(const ScanHandle& handle) {
+  while (handle.poll() == ScanStatus::kQueued) std::this_thread::yield();
+}
+
+}  // namespace
+
+TEST(DetectionService, AdmissionRejectPolicyThrowsQueueFullBeforeCloning) {
+  const DatasetSpec spec = tiny_spec(4);
+  const ProbeKey key{spec, 32, 221};
+  Network victim = make_network(Architecture::kBasicCnn, 1, 16, 4, 222);
+
+  DetectionServiceConfig config = service_config(/*scan_threads=*/1, /*executors=*/1);
+  config.max_queued = 1;
+  config.admission_policy = AdmissionPolicy::kReject;
+  DetectionService service(config);
+
+  std::promise<void> release;
+  const std::shared_future<void> gate(release.get_future());
+
+  // Occupy the executor (running scans do not count against the queue)...
+  const ScanHandle busy = service.submit(gated_request(victim, key, gate));
+  wait_until_running(busy);
+
+  // ...fill the single queue slot...
+  ScanRequest queued;
+  queued.model = &victim;
+  queued.detector = std::make_unique<NeuralCleanse>(tiny_nc_config());
+  queued.probe_key = key;
+  const ScanHandle waiting = service.submit(std::move(queued));
+
+  // ...and the next submit is rejected up front.
+  ScanRequest rejected;
+  rejected.model = &victim;
+  rejected.detector = std::make_unique<NeuralCleanse>(tiny_nc_config());
+  rejected.probe_key = key;
+  EXPECT_THROW((void)service.submit(std::move(rejected)), QueueFull);
+
+  release.set_value();
+  EXPECT_EQ(busy.wait().status, ScanStatus::kDone);
+  EXPECT_EQ(waiting.wait().status, ScanStatus::kDone);
+  EXPECT_EQ(service.scans_submitted(), 2);
+
+  // With the backlog drained the service admits again.
+  ScanRequest after;
+  after.model = &victim;
+  after.detector = std::make_unique<NeuralCleanse>(tiny_nc_config());
+  after.probe_key = key;
+  EXPECT_EQ(service.submit(std::move(after)).wait().status, ScanStatus::kDone);
+}
+
+TEST(DetectionService, AdmissionBlockPolicyWaitsForQueueSpace) {
+  const DatasetSpec spec = tiny_spec(4);
+  const ProbeKey key{spec, 32, 231};
+  Network victim = make_network(Architecture::kBasicCnn, 1, 16, 4, 232);
+
+  DetectionServiceConfig config = service_config(/*scan_threads=*/1, /*executors=*/1);
+  config.max_queued = 1;
+  config.admission_policy = AdmissionPolicy::kBlock;
+  DetectionService service(config);
+
+  std::promise<void> release;
+  const std::shared_future<void> gate(release.get_future());
+  const ScanHandle busy = service.submit(gated_request(victim, key, gate));
+  wait_until_running(busy);
+
+  ScanRequest fill;
+  fill.model = &victim;
+  fill.detector = std::make_unique<NeuralCleanse>(tiny_nc_config());
+  fill.probe_key = key;
+  const ScanHandle queued = service.submit(std::move(fill));
+
+  // The third submit must block until the executor drains a slot; it runs
+  // on its own thread and can only complete after the gate opens.
+  std::future<ScanHandle> blocked = std::async(std::launch::async, [&] {
+    ScanRequest request;
+    request.model = &victim;
+    request.detector = std::make_unique<NeuralCleanse>(tiny_nc_config());
+    request.probe_key = key;
+    return service.submit(std::move(request));
+  });
+  // The gated scan holds the executor and the queue is full, so the submit
+  // cannot have been admitted yet.
+  EXPECT_EQ(blocked.wait_for(std::chrono::milliseconds(100)), std::future_status::timeout);
+  EXPECT_EQ(service.scans_submitted(), 2);
+
+  release.set_value();
+  const ScanHandle third = blocked.get();  // unblocks once a slot drains
+  EXPECT_EQ(busy.wait().status, ScanStatus::kDone);
+  EXPECT_EQ(queued.wait().status, ScanStatus::kDone);
+  EXPECT_EQ(third.wait().status, ScanStatus::kDone);
+  EXPECT_EQ(service.scans_submitted(), 3);
 }
 
 }  // namespace usb

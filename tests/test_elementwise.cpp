@@ -1,0 +1,207 @@
+// Elementwise kernel suite (tensor/elementwise.h): the dispatch contract.
+//
+// Load-bearing guarantees:
+//  - the AVX2 and portable variants of every vectorized kernel are
+//    BIT-identical on arbitrary data, including sizes with scalar tails and
+//    negative-zero inputs (the kernels implement conditionals as branchless
+//    bit-selects, which must reproduce the scalar comparison semantics);
+//  - the Adam kernel reproduces the historical AdamState scalar loop
+//    bitwise (sqrt/division are correctly rounded, so lane width cannot
+//    change results);
+//  - force_variant() actually pins dispatch (active_variant reflects it).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <random>
+#include <vector>
+
+#include "tensor/elementwise.h"
+
+namespace usb {
+namespace {
+
+bool avx2_available() { return ew::variant_available(ew::Variant::kAvx2); }
+
+/// Restores runtime dispatch on scope exit.
+struct VariantGuard {
+  ~VariantGuard() { ew::force_variant(std::nullopt); }
+};
+
+std::vector<float> random_data(std::size_t n, std::uint32_t seed, float lo = -3.0F,
+                               float hi = 3.0F) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<float> dist(lo, hi);
+  std::vector<float> out(n);
+  for (float& v : out) v = dist(rng);
+  return out;
+}
+
+bool bitwise_equal(const std::vector<float>& a, const std::vector<float>& b) {
+  return a.size() == b.size() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0;
+}
+
+/// Runs `body` under both variants and returns the two output buffers.
+template <typename Body>
+void expect_variants_identical(const char* what, std::size_t n, const Body& body) {
+  if (!avx2_available()) GTEST_SKIP() << "no AVX2 on this CPU";
+  const VariantGuard guard;
+  std::vector<float> portable(n, 0.0F);
+  std::vector<float> avx2(n, 0.0F);
+  ew::force_variant(ew::Variant::kPortable);
+  body(portable);
+  ew::force_variant(ew::Variant::kAvx2);
+  body(avx2);
+  EXPECT_TRUE(bitwise_equal(portable, avx2)) << what;
+}
+
+// n = 1003 exercises both the 8-wide main loop and a 3-element scalar tail.
+constexpr std::size_t kN = 1003;
+
+TEST(Elementwise, ReluForwardBackwardVariantsBitIdentical) {
+  std::vector<float> x = random_data(kN, 1);
+  x[0] = -0.0F;  // branchless select must preserve scalar -0.0 semantics
+  x[1] = 0.0F;
+  const std::vector<float> dy = random_data(kN, 2);
+  expect_variants_identical("relu_fwd", kN, [&](std::vector<float>& out) {
+    ew::relu_fwd(x.data(), out.data(), static_cast<std::int64_t>(kN));
+  });
+  expect_variants_identical("relu_bwd", kN, [&](std::vector<float>& out) {
+    ew::relu_bwd(x.data(), dy.data(), out.data(), static_cast<std::int64_t>(kN));
+  });
+  // Scalar reference semantics: y = x < 0 ? 0 : x keeps -0.0 and +0.0.
+  std::vector<float> y(kN);
+  ew::relu_fwd(x.data(), y.data(), static_cast<std::int64_t>(kN));
+  EXPECT_EQ(std::signbit(y[0]), true);  // -0.0 passes through untouched
+  EXPECT_EQ(y[1], 0.0F);
+}
+
+TEST(Elementwise, ActivationBackwardVariantsBitIdentical) {
+  const std::vector<float> s = random_data(kN, 3, 0.001F, 0.999F);
+  const std::vector<float> x = random_data(kN, 4);
+  const std::vector<float> t = random_data(kN, 5, -0.999F, 0.999F);
+  const std::vector<float> dy = random_data(kN, 6);
+  expect_variants_identical("sigmoid_bwd", kN, [&](std::vector<float>& out) {
+    ew::sigmoid_bwd(s.data(), dy.data(), out.data(), static_cast<std::int64_t>(kN));
+  });
+  expect_variants_identical("tanh_bwd", kN, [&](std::vector<float>& out) {
+    ew::tanh_bwd(t.data(), dy.data(), out.data(), static_cast<std::int64_t>(kN));
+  });
+  expect_variants_identical("silu_bwd", kN, [&](std::vector<float>& out) {
+    ew::silu_bwd(s.data(), x.data(), dy.data(), out.data(), static_cast<std::int64_t>(kN));
+  });
+}
+
+TEST(Elementwise, ArithmeticVariantsBitIdentical) {
+  const std::vector<float> a = random_data(kN, 7);
+  const std::vector<float> b = random_data(kN, 8);
+  expect_variants_identical("add", kN, [&](std::vector<float>& out) {
+    ew::add(a.data(), b.data(), out.data(), static_cast<std::int64_t>(kN));
+  });
+  expect_variants_identical("mul", kN, [&](std::vector<float>& out) {
+    ew::mul(a.data(), b.data(), out.data(), static_cast<std::int64_t>(kN));
+  });
+  expect_variants_identical("accum", kN, [&](std::vector<float>& out) {
+    out = a;
+    ew::accum(out.data(), b.data(), static_cast<std::int64_t>(kN));
+  });
+  expect_variants_identical("axpy", kN, [&](std::vector<float>& out) {
+    out = a;
+    ew::axpy(out.data(), b.data(), 0.37F, static_cast<std::int64_t>(kN));
+  });
+  expect_variants_identical("muladd_accum", kN, [&](std::vector<float>& out) {
+    out = a;
+    ew::muladd_accum(out.data(), a.data(), b.data(), static_cast<std::int64_t>(kN));
+  });
+  expect_variants_identical("scale", kN, [&](std::vector<float>& out) {
+    out = a;
+    ew::scale(out.data(), -1.25F, static_cast<std::int64_t>(kN));
+  });
+  expect_variants_identical("clamp", kN, [&](std::vector<float>& out) {
+    out = a;
+    ew::clamp(out.data(), -0.5F, 0.5F, static_cast<std::int64_t>(kN));
+  });
+}
+
+TEST(Elementwise, TriggerKernelsVariantsBitIdentical) {
+  const std::vector<float> x = random_data(kN, 9, 0.0F, 1.0F);
+  const std::vector<float> m = random_data(kN, 10, 0.0F, 1.0F);
+  const std::vector<float> p = random_data(kN, 11, 0.0F, 1.0F);
+  const std::vector<float> d = random_data(kN, 12);
+  expect_variants_identical("blend", kN, [&](std::vector<float>& out) {
+    ew::blend(x.data(), m.data(), p.data(), out.data(), static_cast<std::int64_t>(kN));
+  });
+  expect_variants_identical("mask_grad_accum", kN, [&](std::vector<float>& out) {
+    ew::mask_grad_accum(out.data(), d.data(), p.data(), x.data(),
+                        static_cast<std::int64_t>(kN));
+  });
+  expect_variants_identical("dsigmoid_chain_accum", kN, [&](std::vector<float>& out) {
+    ew::dsigmoid_chain_accum(out.data(), d.data(), m.data(), static_cast<std::int64_t>(kN));
+  });
+  expect_variants_identical("l1_sigmoid_grad_accum", kN, [&](std::vector<float>& out) {
+    ew::l1_sigmoid_grad_accum(out.data(), m.data(), 0.01F, static_cast<std::int64_t>(kN));
+  });
+  expect_variants_identical("bn_fwd", 2 * kN, [&](std::vector<float>& out) {
+    ew::bn_fwd(x.data(), out.data(), out.data() + kN, 0.31F, 1.7F, 0.9F, -0.1F,
+               static_cast<std::int64_t>(kN));
+  });
+  expect_variants_identical("bn_bwd_train", kN, [&](std::vector<float>& out) {
+    ew::bn_bwd_train(d.data(), x.data(), out.data(), 0.8F, 0.02F, -0.05F,
+                     static_cast<std::int64_t>(kN));
+  });
+}
+
+TEST(Elementwise, AdamKernelMatchesHistoricalScalarLoopBitwise) {
+  const std::vector<float> grad = random_data(kN, 13);
+  const ew::AdamParams prm{0.1F, 0.5F, 0.9F, 1e-8F, 0.75F, 0.271F};
+
+  // The pre-kernel AdamState::step body, verbatim.
+  std::vector<float> value_ref = random_data(kN, 14);
+  std::vector<float> m_ref = random_data(kN, 15, -0.1F, 0.1F);
+  std::vector<float> v_ref = random_data(kN, 16, 0.0F, 0.1F);
+  std::vector<float> value = value_ref;
+  std::vector<float> m = m_ref;
+  std::vector<float> v = v_ref;
+  for (std::size_t j = 0; j < kN; ++j) {
+    const float g = grad[j];
+    m_ref[j] = prm.beta1 * m_ref[j] + (1.0F - prm.beta1) * g;
+    v_ref[j] = prm.beta2 * v_ref[j] + (1.0F - prm.beta2) * g * g;
+    const float m_hat = m_ref[j] / prm.bias1;
+    const float v_hat = v_ref[j] / prm.bias2;
+    value_ref[j] -= prm.lr * m_hat / (std::sqrt(v_hat) + prm.eps);
+  }
+
+  ew::adam_update(value.data(), grad.data(), m.data(), v.data(),
+                  static_cast<std::int64_t>(kN), prm);
+  EXPECT_TRUE(bitwise_equal(value, value_ref));
+  EXPECT_TRUE(bitwise_equal(m, m_ref));
+  EXPECT_TRUE(bitwise_equal(v, v_ref));
+
+  // And the two variants agree with each other.
+  expect_variants_identical("adam_update", kN, [&](std::vector<float>& out) {
+    out = value;
+    std::vector<float> mv = m;
+    std::vector<float> vv = v;
+    ew::adam_update(out.data(), grad.data(), mv.data(), vv.data(),
+                    static_cast<std::int64_t>(kN), prm);
+  });
+}
+
+TEST(Elementwise, ForceVariantPinsDispatch) {
+  const VariantGuard guard;
+  ew::force_variant(ew::Variant::kPortable);
+  EXPECT_EQ(ew::active_variant(), ew::Variant::kPortable);
+  if (avx2_available()) {
+    ew::force_variant(ew::Variant::kAvx2);
+    EXPECT_EQ(ew::active_variant(), ew::Variant::kAvx2);
+  } else {
+    EXPECT_THROW(ew::force_variant(ew::Variant::kAvx2), std::invalid_argument);
+  }
+  ew::force_variant(std::nullopt);
+  EXPECT_EQ(ew::active_variant(),
+            avx2_available() ? ew::Variant::kAvx2 : ew::Variant::kPortable);
+}
+
+}  // namespace
+}  // namespace usb
