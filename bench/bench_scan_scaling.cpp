@@ -15,13 +15,25 @@
 // on/off must be bit-identical (early exit off), and early-exit runs must
 // reach the same verdict.
 //
+// Section "service" is the DetectionService's cross-request fair-share
+// contract made measurable: a small K=4 scan is submitted while a K=43 scan
+// occupies the service's single round dispatcher, and the entry records the
+// small scan's p50 submit-to-done latency plus two contract booleans —
+// small_before_large (the small scan finished while the large one was still
+// running, i.e. the global scheduler interleaved the two jobs' rounds
+// instead of draining the large scan first) and identical (both reports are
+// bit-identical to a direct detect()). check_regression.py hard-requires
+// this entry.
+//
 // Usage:
 //   bench_scan_scaling [OUT.json] [--prefix-cache=on|off|both]
 //                      [--early-exit=on|off|both]
 // The flags restrict the matrix axes (default both x both).
 // Emits BENCH_scan_scaling.json.
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -30,6 +42,7 @@
 #include "data/synthetic.h"
 #include "defenses/neural_cleanse.h"
 #include "nn/models.h"
+#include "service/detection_service.h"
 #include "utils/thread_pool.h"
 #include "utils/timer.h"
 
@@ -209,6 +222,86 @@ int main(int argc, char** argv) {
     }
   }
 
+  // ---- Mixed-request fairness: the service's global class-job scheduler. ----
+  // One round dispatcher, two admitted scans: without fair-share the K=43
+  // scan would drain all its rounds before the K=4 scan's first, and the
+  // small scan's latency would be the large scan's full wall clock.
+  struct ServiceRow {
+    double seconds = 0.0;  // p50 small-scan submit-to-done latency
+    bool small_before_large = true;
+    bool identical = true;
+  };
+  ServiceRow service_row;
+  {
+    DatasetSpec large_spec;
+    large_spec.name = "bench-scan-service-large";
+    large_spec.channels = 1;
+    large_spec.image_size = 16;
+    large_spec.num_classes = 43;
+    DatasetSpec small_spec = large_spec;
+    small_spec.name = "bench-scan-service-small";
+    small_spec.num_classes = 4;
+    const ProbeKey large_key{large_spec, 32, 611};
+    const ProbeKey small_key{small_spec, 32, 612};
+    const Dataset large_probe = generate_dataset(large_spec, 32, 611);
+    const Dataset small_probe = generate_dataset(small_spec, 32, 612);
+    Network large_victim = make_network(Architecture::kBasicCnn, 1, 16, 43, 613);
+    Network small_victim = make_network(Architecture::kBasicCnn, 1, 16, 4, 614);
+
+    ReverseOptConfig service_nc;
+    service_nc.steps = 6;
+    const DetectionReport direct_large =
+        NeuralCleanse(service_nc).detect(large_victim, large_probe);
+    const DetectionReport direct_small =
+        NeuralCleanse(service_nc).detect(small_victim, small_probe);
+
+    DetectionServiceConfig service_config;
+    service_config.scan_threads = 1;
+    service_config.max_concurrent_scans = 2;
+    service_config.round_dispatchers = 1;  // one crew both scans must share
+    DetectionService service(service_config);
+
+    constexpr int kServiceReps = 5;
+    std::vector<double> latencies;
+    latencies.reserve(kServiceReps);
+    for (int rep = 0; rep < kServiceReps; ++rep) {
+      ScanRequest large_request;
+      large_request.model = &large_victim;
+      large_request.detector = std::make_unique<NeuralCleanse>(service_nc);
+      large_request.probe_key = large_key;
+      const ScanHandle large_handle = service.submit(std::move(large_request));
+
+      Timer latency;
+      ScanRequest small_request;
+      small_request.model = &small_victim;
+      small_request.detector = std::make_unique<NeuralCleanse>(service_nc);
+      small_request.probe_key = small_key;
+      const ScanHandle small_handle = service.submit(std::move(small_request));
+      const ScanOutcome& small_outcome = small_handle.wait();
+      latencies.push_back(latency.seconds());
+
+      // ~10x the small scan's work remains: the large scan can only have
+      // finished by monopolizing the dispatcher and starving the small one.
+      if (large_handle.poll() != ScanStatus::kRunning) {
+        service_row.small_before_large = false;
+      }
+      const ScanOutcome& large_outcome = large_handle.wait();
+      if (small_outcome.status != ScanStatus::kDone ||
+          large_outcome.status != ScanStatus::kDone ||
+          !reports_identical(direct_small, small_outcome.report) ||
+          !reports_identical(direct_large, large_outcome.report)) {
+        service_row.identical = false;
+      }
+    }
+    std::sort(latencies.begin(), latencies.end());
+    service_row.seconds = latencies[latencies.size() / 2];
+  }
+  std::printf("\n%-6s %13s %20s %10s\n", "method", "small-p50-s", "small-before-large",
+              "identical");
+  std::printf("%-6s %13.3f %20s %10s\n", "NC", service_row.seconds,
+              service_row.small_before_large ? "yes" : "NO",
+              service_row.identical ? "yes" : "NO");
+
   std::ofstream out(json_path);
   if (!out) {
     std::fprintf(stderr, "bench_scan_scaling: cannot open %s for writing\n", json_path.c_str());
@@ -236,10 +329,16 @@ int main(int argc, char** argv) {
                     matrix[i].seconds, matrix[i].speedup,
                     matrix[i].identical_checked ? (matrix[i].identical ? "true" : "false")
                                                 : "null",
-                    matrix[i].same_verdict ? "true" : "false",
-                    i + 1 < matrix.size() ? "," : "");
+                    matrix[i].same_verdict ? "true" : "false", ",");
       out << line;
     }
+    std::snprintf(line, sizeof(line),
+                  "  {\"section\": \"service\", \"method\": \"NC\", \"threads\": 1, "
+                  "\"scenario\": \"mixed\", \"seconds\": %.4f, "
+                  "\"small_before_large\": %s, \"identical\": %s}\n",
+                  service_row.seconds, service_row.small_before_large ? "true" : "false",
+                  service_row.identical ? "true" : "false");
+    out << line;
     out << "]\n";
     std::printf("wrote %s\n", json_path.c_str());
   }
@@ -250,5 +349,6 @@ int main(int argc, char** argv) {
   for (const MatrixRow& row : matrix) {
     if ((row.identical_checked && !row.identical) || !row.same_verdict) return 1;
   }
+  if (!service_row.small_before_large || !service_row.identical) return 1;
   return 0;
 }

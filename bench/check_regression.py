@@ -30,6 +30,13 @@ Scan schema (BENCH_scan_scaling.json): entries carry a "section" field.
   - Contract fields are hard requirements of the CURRENT run alone: every
     "identical" and "same_verdict" must be true (bit-identity across thread
     counts and under prefix caching, verdict preservation under early exit).
+  - The "service" section (mixed-request fairness: small-scan p50 latency
+    under a K=43 background scan on one round dispatcher) is itself a hard
+    requirement: the gate fails if the entry is missing from the current
+    run, or if its small_before_large / identical booleans are not true.
+    The fairness property is load-bearing for the DetectionService's global
+    class-job scheduler, so its absence must read as a failure, never as
+    "nothing to check". Its latency is gated like any single-thread row.
   - Wall-clock gating compares "seconds" against baseline * threshold, but
     only for single-thread rows: multi-thread rows measure pool scaling,
     which a differently-sized runner legitimately changes.
@@ -164,8 +171,11 @@ def check_kernels(current_entries, baseline_entries, args):
 
 
 def scan_key(entry):
-    if entry.get("section") == "matrix":
+    section = entry.get("section")
+    if section == "matrix":
         return ("matrix", entry["method"], entry["prefix_cache"], entry["early_exit"])
+    if section == "service":
+        return ("service", entry["method"], entry.get("scenario", "mixed"))
     return ("threads", entry["method"], entry["threads"])
 
 
@@ -180,6 +190,25 @@ def check_scan(current_entries, baseline_entries, args):
         for field in ("identical", "same_verdict"):
             if entry.get(field) is False:
                 failures.append(f"{scan_key(entry)}: {field} is false")
+
+    # The mixed-request fairness entry is a hard requirement of the current
+    # run: a bench build that silently dropped the service section must fail
+    # the gate, and its contract booleans must be affirmatively true (null
+    # or absent is a violation here, unlike the per-row fields above).
+    service_rows = [e for e in current_entries if e.get("section") == "service"]
+    if not service_rows:
+        failures.append(
+            "required 'service' section missing from current run: the "
+            "mixed-request fairness entry (small-scan latency under K=43 "
+            "background load) was not measured"
+        )
+    for entry in service_rows:
+        for field in ("small_before_large", "identical"):
+            if entry.get(field) is not True:
+                failures.append(
+                    f"{scan_key(entry)}: required contract field '{field}' is "
+                    f"{entry.get(field)!r} (must be true)"
+                )
 
     current = {scan_key(e): e for e in current_entries}
     baseline = {scan_key(e): e for e in baseline_entries}

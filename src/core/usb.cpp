@@ -105,7 +105,7 @@ class UsbRefineTask final : public ClassRefineTask {
   [[nodiscard]] double current_mask_l1() const override { return trigger_->mask_l1(); }
 
   [[nodiscard]] TriggerEstimate finalize() override {
-    return finalize_estimate(model_, job_, *trigger_, last_loss_);
+    return finalize_estimate(model_, job_, *trigger_, last_loss_, &arena_);
   }
 
  private:

@@ -59,52 +59,116 @@ void ProbeStore::evict_over_cap_locked() {
   }
 }
 
-std::shared_ptr<const ProbeData> ProbeStore::insert_locked(
-    const std::string& address, std::shared_ptr<const ProbeData> data) {
-  lru_.push_front(address);
-  Entry entry;
-  entry.data = std::move(data);
-  entry.bytes = entry.data->bytes();
-  entry.lru_position = lru_.begin();
-  resident_bytes_ += entry.bytes;
-  auto stored = entry.data;
-  entries_.emplace(address, std::move(entry));
-  evict_over_cap_locked();
-  return stored;
+std::shared_ptr<const ProbeData> ProbeStore::resolve_pending(
+    const std::string& address, const std::shared_ptr<Materialization>& cell,
+    std::shared_ptr<const ProbeData> data) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(address);
+    if (it != entries_.end() && it->second.pending == cell) {
+      it->second.pending.reset();
+      it->second.data = data;
+      it->second.bytes = data->bytes();
+      lru_.push_front(address);
+      it->second.lru_position = lru_.begin();
+      resident_bytes_ += it->second.bytes;
+      evict_over_cap_locked();
+    }
+    // else: clear() dropped the pending entry mid-build — hand the data to
+    // the waiters without re-inserting it.
+  }
+  cell->promise.set_value(data);
+  return data;
+}
+
+void ProbeStore::abandon_pending(const std::string& address,
+                                 const std::shared_ptr<Materialization>& cell) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(address);
+    if (it != entries_.end() && it->second.pending == cell) entries_.erase(it);
+  }
+  cell->promise.set_exception(std::current_exception());
 }
 
 std::shared_ptr<const ProbeData> ProbeStore::get_or_create(const ProbeKey& key) {
   const std::string address = key.address();
-  const std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = entries_.find(address);
-  if (it != entries_.end()) {
-    ++hits_;
-    touch_locked(it->second);
-    return it->second.data;
+  std::shared_ptr<Materialization> cell;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    const auto it = entries_.find(address);
+    if (it != entries_.end()) {
+      ++hits_;  // the map resolved the key — no second generation happens
+      if (it->second.data != nullptr) {
+        touch_locked(it->second);
+        return it->second.data;
+      }
+      // Another thread is materializing this key right now: wait on its
+      // cell OUTSIDE the lock so unrelated keys keep flowing.
+      const auto pending = it->second.pending;
+      lock.unlock();
+      return pending->future.get();  // rethrows the builder's failure
+    }
+    ++misses_;
+    cell = std::make_shared<Materialization>();
+    cell->future = cell->promise.get_future().share();
+    Entry entry;
+    entry.pending = cell;
+    entries_.emplace(address, std::move(entry));
   }
-  ++misses_;
-  auto data = std::make_shared<ProbeData>();
-  data->key = key;
-  // Identical to exp/model_zoo's make_probe(spec, probe_size, seed), which
-  // data/ cannot call (layering); both are generate_dataset verbatim.
-  data->probe = generate_dataset(key.spec, key.probe_size, key.seed);
-  data->cache = ProbeBatchCache(data->probe, options_.eval_batch_size);
-  return insert_locked(address, std::shared_ptr<const ProbeData>(std::move(data)));
+
+  // Generation runs unlocked: one cold key no longer convoys every
+  // concurrent lookup (and stat getter) behind dataset materialization.
+  try {
+    auto data = std::make_shared<ProbeData>();
+    data->key = key;
+    // Identical to exp/model_zoo's make_probe(spec, probe_size, seed), which
+    // data/ cannot call (layering); both are generate_dataset verbatim.
+    data->probe = generate_dataset(key.spec, key.probe_size, key.seed);
+    data->cache = ProbeBatchCache(data->probe, options_.eval_batch_size);
+    return resolve_pending(address, cell, std::move(data));
+  } catch (...) {
+    abandon_pending(address, cell);
+    throw;
+  }
 }
 
 std::shared_ptr<const ProbeData> ProbeStore::put(const ProbeKey& key, Dataset probe) {
   const std::string address = key.address();
-  const std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = entries_.find(address);
-  if (it != entries_.end()) {
-    touch_locked(it->second);
-    return it->second.data;
+  std::shared_ptr<Materialization> cell;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    const auto it = entries_.find(address);
+    if (it != entries_.end()) {
+      if (it->second.data != nullptr) {
+        touch_locked(it->second);
+        return it->second.data;
+      }
+      // First writer wins — and a concurrent get_or_create of the same key
+      // counts as that writer (equal keys mean equal data).
+      const auto pending = it->second.pending;
+      lock.unlock();
+      return pending->future.get();
+    }
+    cell = std::make_shared<Materialization>();
+    cell->future = cell->promise.get_future().share();
+    Entry entry;
+    entry.pending = cell;
+    entries_.emplace(address, std::move(entry));
   }
-  auto data = std::make_shared<ProbeData>();
-  data->key = key;
-  data->probe = std::move(probe);
-  data->cache = ProbeBatchCache(data->probe, options_.eval_batch_size);
-  return insert_locked(address, std::shared_ptr<const ProbeData>(std::move(data)));
+
+  // Batch-cache construction (the copy-heavy part) runs unlocked, same as
+  // get_or_create's generation.
+  try {
+    auto data = std::make_shared<ProbeData>();
+    data->key = key;
+    data->probe = std::move(probe);
+    data->cache = ProbeBatchCache(data->probe, options_.eval_batch_size);
+    return resolve_pending(address, cell, std::move(data));
+  } catch (...) {
+    abandon_pending(address, cell);
+    throw;
+  }
 }
 
 void ProbeStore::clear() {

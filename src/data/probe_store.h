@@ -25,6 +25,7 @@
 #pragma once
 
 #include <cstdint>
+#include <future>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -84,9 +85,14 @@ class ProbeStore {
       : ProbeStore(ProbeStoreOptions{eval_batch_size, 0}) {}
 
   /// Returns the shared materialization for `key`, generating it on first
-  /// use. Generation happens under the store lock: concurrent requests for
-  /// the same key never generate twice, and the result is identical to
-  /// make_probe(spec, probe_size, seed) + ProbeBatchCache(probe).
+  /// use; the result is identical to make_probe(spec, probe_size, seed) +
+  /// ProbeBatchCache(probe). Generation happens OUTSIDE the store lock: a
+  /// cold-key miss publishes a per-entry pending cell under the lock, then
+  /// materializes unlocked, so concurrent lookups of other keys (and the
+  /// stat getters) never convoy behind dataset generation. Concurrent
+  /// requests for the same cold key still share one materialization — the
+  /// first caller generates (one miss), later ones wait on the cell's
+  /// future (each a hit: the map already resolved their key).
   [[nodiscard]] std::shared_ptr<const ProbeData> get_or_create(const ProbeKey& key);
 
   /// Registers an externally built probe under its key (e.g. a real-data
@@ -110,16 +116,33 @@ class ProbeStore {
   [[nodiscard]] std::int64_t max_bytes() const noexcept { return options_.max_bytes; }
 
  private:
-  struct Entry {
-    std::shared_ptr<const ProbeData> data;
-    std::int64_t bytes = 0;
-    std::list<std::string>::iterator lru_position;
+  /// One in-flight materialization: the building thread fulfills the
+  /// promise (value or exception) after releasing the store lock; every
+  /// concurrent same-key caller waits on a copy of the shared_future.
+  struct Materialization {
+    std::promise<std::shared_ptr<const ProbeData>> promise;
+    std::shared_future<std::shared_ptr<const ProbeData>> future;
   };
 
-  /// Registers a freshly built entry under the lock: inserts at the LRU
-  /// front, accounts its bytes, and evicts over-cap unpinned tails.
-  std::shared_ptr<const ProbeData> insert_locked(const std::string& address,
-                                                 std::shared_ptr<const ProbeData> data);
+  struct Entry {
+    std::shared_ptr<const ProbeData> data;  // null while materializing
+    std::int64_t bytes = 0;
+    /// Valid only once `data` is set; pending entries are not in lru_ (and
+    /// contribute no resident bytes), so eviction never sees them.
+    std::list<std::string>::iterator lru_position;
+    std::shared_ptr<Materialization> pending;  // non-null while materializing
+  };
+
+  /// Publishes a finished materialization: if the entry still holds `cell`
+  /// (clear() may have dropped it mid-build) the entry becomes resident
+  /// (LRU front, bytes accounted, over-cap tails evicted); either way every
+  /// waiter on the cell receives `data`.
+  std::shared_ptr<const ProbeData> resolve_pending(const std::string& address,
+                                                   const std::shared_ptr<Materialization>& cell,
+                                                   std::shared_ptr<const ProbeData> data);
+  /// Drops a pending entry whose build threw and forwards the exception to
+  /// the waiters.
+  void abandon_pending(const std::string& address, const std::shared_ptr<Materialization>& cell);
   void evict_over_cap_locked();
   void touch_locked(Entry& entry);
 

@@ -6,19 +6,15 @@
 
 #include "defenses/masked_trigger.h"
 #include "nn/checkpoint.h"
+#include "tensor/arena.h"
 #include "tensor/tensor_ops.h"
 #include "utils/rng.h"
 #include "utils/timer.h"
 
 namespace usb {
-namespace {
 
-/// The probe cache a scan actually uses: the injected one when its batching
-/// AND sample count match this probe (the bit-identity preconditions — a
-/// cache built from a different probe set of the same size is still the
-/// caller's responsibility), else a scan-local build.
-const ProbeBatchCache* select_probe_cache(const ClassScanOptions& options, const Dataset& probe,
-                                          ProbeBatchCache& local) {
+const ProbeBatchCache* select_scan_probe_cache(const ClassScanOptions& options,
+                                               const Dataset& probe, ProbeBatchCache& local) {
   if (options.external_probe_cache != nullptr &&
       options.external_probe_cache->batch_size() == options.eval_batch_size &&
       options.external_probe_cache->total_samples() == probe.size()) {
@@ -27,8 +23,6 @@ const ProbeBatchCache* select_probe_cache(const ClassScanOptions& options, const
   local = ProbeBatchCache(probe, options.eval_batch_size);
   return &local;
 }
-
-}  // namespace
 
 std::uint64_t ClassScanScheduler::class_stream_seed(std::uint64_t base_seed,
                                                     std::int64_t target_class) noexcept {
@@ -82,7 +76,7 @@ DetectionReport ClassScanScheduler::run(const std::string& method, Network& mode
 
   // Materialized (or adopted) once, shared read-only by all K jobs.
   ProbeBatchCache local_cache;
-  const ProbeBatchCache* eval_cache = select_probe_cache(options_, probe, local_cache);
+  const ProbeBatchCache* eval_cache = select_scan_probe_cache(options_, probe, local_cache);
 
   // Detector-specific shared prefix, built sequentially on the reference
   // model before any clone exists.
@@ -130,7 +124,7 @@ DetectionReport ClassScanScheduler::run_early_exit(const std::string& method, Ne
   report.per_class_seconds.assign(static_cast<std::size_t>(num_classes), 0.0);
 
   ProbeBatchCache local_cache;
-  const ProbeBatchCache* eval_cache = select_probe_cache(options_, probe, local_cache);
+  const ProbeBatchCache* eval_cache = select_scan_probe_cache(options_, probe, local_cache);
   std::shared_ptr<const ScanSharedState> shared;
   if (shared_builder) shared = shared_builder(model, probe);
 
@@ -252,7 +246,7 @@ DetectionReport ClassScanScheduler::run_async_retire(
   report.per_class_seconds.assign(static_cast<std::size_t>(num_classes), 0.0);
 
   ProbeBatchCache local_cache;
-  const ProbeBatchCache* eval_cache = select_probe_cache(options_, probe, local_cache);
+  const ProbeBatchCache* eval_cache = select_scan_probe_cache(options_, probe, local_cache);
   std::shared_ptr<const ScanSharedState> shared;
   if (shared_builder) shared = shared_builder(model, probe);
 
@@ -358,24 +352,36 @@ DetectionReport ClassScanScheduler::run_async_retire(
 }
 
 TriggerEstimate finalize_estimate(Network& model, const ClassScanJob& job,
-                                  const MaskedTrigger& trigger, float last_loss) {
+                                  const MaskedTrigger& trigger, float last_loss,
+                                  TensorArena* arena) {
   TriggerEstimate estimate;
   estimate.target_class = job.target_class;
   estimate.pattern = trigger.pattern();
   estimate.mask = trigger.mask();
   estimate.mask_l1 = trigger.mask_l1();
   estimate.final_loss = last_loss;
-  estimate.fooling_rate = fooling_rate(model, *job.probe_cache, trigger, job.target_class);
+  estimate.fooling_rate = fooling_rate(model, *job.probe_cache, trigger, job.target_class, arena);
   return estimate;
 }
 
 double fooling_rate(Network& model, const ProbeBatchCache& cache, const MaskedTrigger& trigger,
-                    std::int64_t target_class) {
+                    std::int64_t target_class, TensorArena* arena) {
   std::int64_t hits = 0;
   for (const Batch& batch : cache.batches()) {
-    const Tensor logits = model.forward(trigger.apply(batch.images));
-    for (const std::int64_t pred : argmax_rows(logits)) {
-      if (pred == target_class) ++hits;
+    // Both branches compute the same blend and forward pass; the arena
+    // branch merely recycles the storage (eval batches are usually a
+    // different size than refine batches, so the first evaluation on a
+    // fresh arena still grows slots — every later one reuses them).
+    const auto count_batch = [&](const Tensor& logits) {
+      for (const std::int64_t pred : argmax_rows(logits)) {
+        if (pred == target_class) ++hits;
+      }
+    };
+    if (arena != nullptr) {
+      const TensorArena::Scope scope(*arena);
+      count_batch(model.forward_into(trigger.apply_into(batch.images, *arena), *arena));
+    } else {
+      count_batch(model.forward(trigger.apply(batch.images)));
     }
   }
   return cache.total_samples() == 0

@@ -51,6 +51,21 @@
 // Consequence: a DetectionReport is bit-identical regardless of USB_THREADS
 // (wall-clock timings aside), which tests/test_scan_scheduler.cpp and
 // tests/test_detection_service.cpp lock in.
+//
+// The same argument generalizes beyond one scan's pool to CROSS-REQUEST
+// scheduling (DetectionService's global class-job scheduler drives these
+// stages through StagedScan in scan_plan.h): a class's trajectory is a
+// schedule-free function of (base_seed, class) — run_steps slices
+// concatenate bit-identically, the tensor kernels are schedule-free — so it
+// cannot observe WHEN its rounds run, only HOW MANY steps they total. The
+// only cross-class data flows are the MAD cutoffs, and each is taken at a
+// logical point fixed by the schedule's structure, not by timing: the sync
+// barrier after round r sees every class at exactly r rounds, and the async
+// rendezvous sees every class at exactly min_rounds rounds, regardless of
+// which threads ran them, in what order, or what OTHER requests' rounds were
+// interleaved between them. Hence every report stays bit-identical to
+// detect() for any dispatcher count, pool size, priority assignment, and
+// interleaving with other requests.
 #pragma once
 
 #include <atomic>
@@ -69,6 +84,7 @@
 namespace usb {
 
 class MaskedTrigger;
+class TensorArena;
 
 /// Base for detector-specific class-independent scan state (built once per
 /// detect() on the reference model, shared read-only by all K jobs). USB
@@ -252,8 +268,14 @@ class ClassScanScheduler {
 
   [[nodiscard]] const ClassScanOptions& options() const noexcept { return options_; }
 
- private:
+  /// The ordered MAD reduction every scan path ends with: reads the
+  /// per-class mask-L1 statistics in class order, applies decide_backdoor
+  /// with options().mad_threshold, and stamps the wall time. Public so
+  /// StagedScan (scan_plan.h) finishes a stage-driven scan exactly as the
+  /// blocking paths do.
   [[nodiscard]] DetectionReport finish(DetectionReport report, double wall_seconds) const;
+
+ private:
   [[nodiscard]] DetectionReport run_async_retire(const std::string& method, Network& model,
                                                  const Dataset& probe, std::int64_t total_steps,
                                                  const RefineTaskFn& make_task,
@@ -264,15 +286,35 @@ class ClassScanScheduler {
   ClassScanOptions options_;
 };
 
+/// The probe cache a scan actually uses: the injected
+/// options.external_probe_cache when its batching AND sample count match
+/// this probe (the bit-identity preconditions — a cache built from a
+/// different probe set of the same size is still the caller's
+/// responsibility), else a scan-local build into `local`. Shared by every
+/// scan path (run/run_early_exit/StagedScan) so cache adoption can never
+/// diverge between them.
+[[nodiscard]] const ProbeBatchCache* select_scan_probe_cache(const ClassScanOptions& options,
+                                                             const Dataset& probe,
+                                                             ProbeBatchCache& local);
+
 /// Fraction of cached probe samples that `trigger` sends to `target_class`.
 /// The shared replacement for the per-detector final_fooling_rate loops.
+/// With `arena` set the trigger-applied batch and the forward pass route
+/// through apply_into/forward_into on that arena (one Scope per batch), so
+/// a warmed arena evaluates with zero Tensor heap allocations — the same
+/// contract the refinement step holds (tests/test_arena.cpp). Null falls
+/// back to heap-allocating apply/forward; the results are bit-identical
+/// either way.
 [[nodiscard]] double fooling_rate(Network& model, const ProbeBatchCache& cache,
-                                  const MaskedTrigger& trigger, std::int64_t target_class);
+                                  const MaskedTrigger& trigger, std::int64_t target_class,
+                                  TensorArena* arena = nullptr);
 
 /// The TriggerEstimate every masked-trigger detector reports from
 /// ClassRefineTask::finalize(): the trigger's decomposition plus its fooling
-/// rate over the job's shared probe cache.
+/// rate over the job's shared probe cache. Tasks pass their step arena so
+/// finalize stays on the zero-allocation path (see fooling_rate).
 [[nodiscard]] TriggerEstimate finalize_estimate(Network& model, const ClassScanJob& job,
-                                                const MaskedTrigger& trigger, float last_loss);
+                                                const MaskedTrigger& trigger, float last_loss,
+                                                TensorArena* arena = nullptr);
 
 }  // namespace usb

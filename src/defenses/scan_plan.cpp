@@ -1,6 +1,97 @@
 #include "defenses/scan_plan.h"
 
+#include <algorithm>
+#include <cmath>
+
+#include "nn/checkpoint.h"
+
 namespace usb {
+
+StagedScan::StagedScan(ScanPlan plan, Network& model, const Dataset& probe)
+    : plan_(std::move(plan)),
+      scheduler_(plan_.options),
+      model_(&model),
+      probe_(&probe),
+      num_classes_(probe.spec().num_classes),
+      round_steps_(plan_.options.early_exit.round_steps > 0
+                       ? plan_.options.early_exit.round_steps
+                       : std::max<std::int64_t>(1, (plan_.total_steps + 5) / 6)) {
+  const auto slots = static_cast<std::size_t>(num_classes_);
+  clones_.resize(slots);
+  tasks_.resize(slots);
+  remaining_.assign(slots, std::max<std::int64_t>(0, plan_.total_steps));
+  report_.method = plan_.method;
+  report_.per_class.resize(slots);
+  report_.per_class_seconds.assign(slots, 0.0);
+}
+
+void StagedScan::prepare() {
+  eval_cache_ = select_scan_probe_cache(plan_.options, *probe_, local_cache_);
+  if (plan_.shared_builder) shared_ = plan_.shared_builder(*model_, *probe_);
+}
+
+void StagedScan::construct_class(std::int64_t target_class) {
+  const auto slot = static_cast<std::size_t>(target_class);
+  clones_[slot] = std::make_unique<Network>(clone_network(*model_));
+  const Timer timer;
+  tasks_[slot] = plan_.make_task(*clones_[slot], *probe_,
+                                 scheduler_.make_job(target_class, *eval_cache_, shared_.get()));
+  report_.per_class_seconds[slot] += timer.seconds();
+}
+
+bool StagedScan::run_round(std::int64_t target_class) {
+  const auto slot = static_cast<std::size_t>(target_class);
+  const Timer timer;
+  const std::int64_t steps = std::min(round_steps_, remaining_[slot]);
+  const std::int64_t ran = tasks_[slot]->run_steps(steps);
+  // Fewer than requested means the loop's own exit condition fired; the
+  // class is done either way.
+  remaining_[slot] = ran < steps ? 0 : remaining_[slot] - ran;
+  report_.per_class_seconds[slot] += timer.seconds();
+  return remaining_[slot] > 0;
+}
+
+bool StagedScan::has_budget(std::int64_t target_class) const {
+  return remaining_[static_cast<std::size_t>(target_class)] > 0;
+}
+
+double StagedScan::stat(std::int64_t target_class) const {
+  return tasks_[static_cast<std::size_t>(target_class)]->current_mask_l1();
+}
+
+double StagedScan::mad_cutoff() const {
+  // Current statistics of ALL classes (stopped ones hold their frozen
+  // value), in class order — the same population the final MAD rule sees.
+  std::vector<double> norms(static_cast<std::size_t>(num_classes_));
+  for (std::int64_t t = 0; t < num_classes_; ++t) {
+    norms[static_cast<std::size_t>(t)] = stat(t);
+  }
+  const double med = median(norms);
+  std::vector<double> deviations(norms.size());
+  for (std::size_t i = 0; i < norms.size(); ++i) deviations[i] = std::abs(norms[i] - med);
+  return med + plan_.options.early_exit.margin * 1.4826 * median(deviations);
+}
+
+void StagedScan::retire_class(std::int64_t target_class) {
+  remaining_[static_cast<std::size_t>(target_class)] = 0;
+  notify(target_class, ClassScanEvent::kRetired, stat(target_class));
+}
+
+void StagedScan::finalize_class(std::int64_t target_class) {
+  const auto slot = static_cast<std::size_t>(target_class);
+  const Timer timer;
+  report_.per_class[slot] = tasks_[slot]->finalize();
+  report_.per_class_seconds[slot] += timer.seconds();
+  notify(target_class, ClassScanEvent::kFinalized, report_.per_class[slot].mask_l1);
+}
+
+DetectionReport StagedScan::take_report() {
+  return scheduler_.finish(std::move(report_), wall_.seconds());
+}
+
+void StagedScan::notify(std::int64_t target_class, ClassScanEvent event, double mask_l1) const {
+  if (plan_.options.progress) plan_.options.progress(target_class, event, mask_l1);
+}
 
 DetectionReport run_scan_plan(const ScanPlan& plan, Network& model, const Dataset& probe) {
   const ClassScanScheduler scheduler(plan.options);

@@ -9,17 +9,24 @@
 //  - Detector::detect(): run_scan_plan(plan(), model, probe) on the calling
 //    thread — the legacy blocking API, byte-for-byte the historical
 //    per-detector detect() bodies;
-//  - DetectionService: copies the plan, overrides options (service pool,
-//    ProbeStore-shared probe cache, cancellation flag, progress callback,
-//    request-level early-exit / async-retirement settings) and runs it on an
-//    executor thread.
+//  - DetectionService: copies the plan, overrides options (ProbeStore-shared
+//    probe cache, progress callback, request-level early-exit /
+//    async-retirement settings) and drives it STAGE BY STAGE through a
+//    StagedScan: every task construction, refinement round, and finalize
+//    becomes one item on the service's global cross-request class-job
+//    scheduler (service/round_scheduler.h).
 //
 // The plan's closures borrow the detector that built them; the detector
 // must outlive every run of the plan.
 #pragma once
 
+#include <cstdint>
+#include <memory>
+#include <vector>
+
 #include "defenses/class_scan_scheduler.h"
 #include "defenses/detector.h"
+#include "utils/timer.h"
 
 namespace usb {
 
@@ -30,6 +37,107 @@ struct ScanPlan {
   std::int64_t total_steps = 0;
   ClassScanScheduler::RefineTaskFn make_task;
   ScanSharedBuilder shared_builder;  // null when the detector shares nothing
+};
+
+/// One scan decomposed into schedulable stages, for callers that own the
+/// schedule (DetectionService's global class-job scheduler) instead of
+/// blocking in run_scan_plan. The stages mirror the blocking paths exactly:
+///
+///   prepare()                          once; probe-cache adoption + shared
+///                                      prefix on the reference model
+///   construct_class(t)                 per class; clone + task ctor
+///   run_round(t) / retire_class(t)     the round loop, sliced
+///   mad_cutoff()                       the barrier/rendezvous statistic
+///   finalize_class(t)                  per class; fooling rate + estimate
+///   take_report()                      once; ordered MAD reduce
+///
+/// Because run_steps slices concatenate bit-identically and every cutoff is
+/// taken at a logical point fixed by the caller's schedule structure (see
+/// class_scan_scheduler.h), a driver that replays one of the three blocking
+/// schedules — monolithic, per-round barrier, async rendezvous — produces a
+/// report bit-identical to run_scan_plan for ANY executor count, pool size,
+/// priority assignment, or interleaving with other scans.
+///
+/// Thread-safety: stages for DISTINCT classes may run concurrently (each
+/// touches only its class's clone/task/report slots). prepare(),
+/// mad_cutoff(), and take_report() require quiescence (no class stage in
+/// flight); cross-stage ordering and visibility are the caller's (the
+/// service sequences items through its per-scan mutex). The model and probe
+/// must outlive the StagedScan; tasks — and their clones — stay alive until
+/// destruction so mad_cutoff can keep reading finalized classes' frozen
+/// statistics, exactly like the blocking early-exit path.
+class StagedScan {
+ public:
+  StagedScan(ScanPlan plan, Network& model, const Dataset& probe);
+
+  [[nodiscard]] std::int64_t num_classes() const noexcept { return num_classes_; }
+  [[nodiscard]] bool early_exit_enabled() const noexcept {
+    return plan_.options.early_exit.enabled;
+  }
+  [[nodiscard]] bool async_retirement() const noexcept { return plan_.options.early_exit.async; }
+  [[nodiscard]] std::int64_t min_rounds() const noexcept {
+    return plan_.options.early_exit.min_rounds;
+  }
+  /// Steps per round, derived exactly as the blocking paths derive it.
+  [[nodiscard]] std::int64_t round_steps() const noexcept { return round_steps_; }
+
+  /// Adopts or builds the probe cache and runs the detector's shared-prefix
+  /// builder on the reference model. Call once, before any other stage.
+  void prepare();
+
+  /// Clones the model and constructs class t's resumable task (the whole
+  /// pre-refinement pipeline). Timer parity with the blocking paths: the
+  /// per-class clock starts after the clone.
+  void construct_class(std::int64_t target_class);
+
+  /// Advances class t by one round (min(round_steps, its remaining
+  /// budget)); returns true while budget remains afterwards. A task whose
+  /// own exit condition fires mid-round zeroes its budget, same as the
+  /// blocking paths.
+  bool run_round(std::int64_t target_class);
+
+  [[nodiscard]] bool has_budget(std::int64_t target_class) const;
+
+  /// Current mask-L1 statistic of a constructed class (frozen once the
+  /// class stops running rounds). Cheap, non-mutating.
+  [[nodiscard]] double stat(std::int64_t target_class) const;
+
+  /// The early-exit cutoff over ALL classes' current statistics in class
+  /// order — median + margin * 1.4826 * MAD, the same population and
+  /// formula as the blocking barriers. Requires every class constructed and
+  /// no class stage in flight.
+  [[nodiscard]] double mad_cutoff() const;
+
+  /// Drops class t's remaining budget and emits the kRetired progress
+  /// event with its current statistic.
+  void retire_class(std::int64_t target_class);
+
+  /// Evaluates class t's fooling rate, assembles its estimate, and emits
+  /// kFinalized. Exactly once per class, after its last round.
+  void finalize_class(std::int64_t target_class);
+
+  /// Ordered MAD reduction + wall time; call once, after every class
+  /// finalized.
+  [[nodiscard]] DetectionReport take_report();
+
+ private:
+  void notify(std::int64_t target_class, ClassScanEvent event, double mask_l1) const;
+
+  ScanPlan plan_;
+  ClassScanScheduler scheduler_;
+  Network* model_;
+  const Dataset* probe_;
+  std::int64_t num_classes_;
+  std::int64_t round_steps_;
+  Timer wall_;
+
+  ProbeBatchCache local_cache_;
+  const ProbeBatchCache* eval_cache_ = nullptr;
+  std::shared_ptr<const ScanSharedState> shared_;
+  std::vector<std::unique_ptr<Network>> clones_;
+  std::vector<std::unique_ptr<ClassRefineTask>> tasks_;
+  std::vector<std::int64_t> remaining_;
+  DetectionReport report_;
 };
 
 /// Runs a plan to completion on the calling thread — the single scan

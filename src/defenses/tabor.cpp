@@ -176,7 +176,7 @@ class TaborRefineTask final : public ClassRefineTask {
   [[nodiscard]] double current_mask_l1() const override { return trigger_->mask_l1(); }
 
   [[nodiscard]] TriggerEstimate finalize() override {
-    return finalize_estimate(model_, job_, *trigger_, last_loss_);
+    return finalize_estimate(model_, job_, *trigger_, last_loss_, &arena_);
   }
 
  private:

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <optional>
 #include <stdexcept>
 #include <utility>
 
@@ -22,15 +23,15 @@ std::string to_string(ScanStatus status) {
 
 namespace detail {
 
-/// Shared between the submitting thread, one executor, and any number of
-/// ScanHandle copies. The request payload (model clone, detector, probe)
-/// is released the moment the scan reaches a terminal status; the outcome
-/// stays alive for as long as any handle does.
+/// Shared between the submitting thread, the scan's execution, and any
+/// number of ScanHandle copies. The request payload (model clone, detector,
+/// probe) is released the moment the scan reaches a terminal status; the
+/// outcome stays alive for as long as any handle does.
 struct ScanState {
   std::uint64_t id = 0;
 
-  // Request payload. Touched only by submit() (filling) and the one
-  // executor that runs the scan (consuming + releasing) — never by handles.
+  // Request payload. Touched only by submit() (filling) and the execution's
+  // stages (consuming + releasing) — never by handles.
   std::unique_ptr<Network> model;
   DetectorPtr detector;
   std::shared_ptr<const ProbeData> stored_probe;  // probe_key requests
@@ -43,15 +44,24 @@ struct ScanState {
   ScanOutcome outcome;  // outcome.status doubles as the live status
   bool terminal = false;
 
+  /// The scan's execution, for cancel routing. Written once by submit()
+  /// before the state is published; read under `mutex`; cleared by finish()
+  /// (breaking the execution<->state ownership cycle).
+  std::shared_ptr<ScanExecution> execution;
+
   void finish(ScanOutcome final_outcome) {
+    std::shared_ptr<ScanExecution> exec;
     {
       const std::lock_guard<std::mutex> lock(mutex);
       outcome = std::move(final_outcome);
       terminal = true;
+      exec = std::move(execution);
     }
     done_cv.notify_all();
     // Drop the payload: a long-lived handle must not pin a model clone or
-    // a probe materialization.
+    // a probe materialization. `exec` is released last, outside the lock
+    // (the execution itself calls finish() with its own lock held; a live
+    // caller always holds another reference).
     model.reset();
     detector.reset();
     stored_probe.reset();
@@ -59,10 +69,380 @@ struct ScanState {
   }
 };
 
+/// One admitted scan's replay of a blocking schedule as discrete items on
+/// the service's global RoundScheduler. Message-driven: every stage's
+/// completion decides (under mu_) which stages to post next; nothing ever
+/// blocks waiting for another stage, so a single dispatcher can interleave
+/// any number of scans and cancellation simply stops posting.
+///
+/// The three modes replicate class_scan_scheduler.cpp's three schedules
+/// stage for stage:
+///  - kMonolithic (early exit disabled): construct -> rounds until budget
+///    exhausted -> finalize, per class, no cross-class flow. Identical to
+///    run() by the run_steps slicing contract.
+///  - kSyncBarrier: all classes constructed, then lockstep rounds; the
+///    LAST arriver of each round recomputes the MAD cutoff (from round
+///    min_rounds on) over ALL classes and retires the outliers — the same
+///    population, formula, and logical point as run_early_exit.
+///  - kAsyncRendezvous: each class runs max(1, min_rounds) rounds (or to
+///    exhaustion) and "arrives"; the K-th arrival fixes the single cutoff;
+///    untethered classes then check it BEFORE every further round, exactly
+///    like run_async_retire.
+///
+/// Which dispatcher runs a stage, and how stages of different scans
+/// interleave, is explicitly schedule-only — every cutoff is a pure
+/// function of class-deterministic statistics read at those fixed points.
+class ScanExecution : public std::enable_shared_from_this<ScanExecution> {
+ public:
+  ScanExecution(DetectionService& service, std::shared_ptr<ScanState> state)
+      : service_(&service), state_(std::move(state)) {}
+
+  /// Admits the scan: creates its scheduler job (at the current fair-share
+  /// frontier), marks it kRunning, and posts the init stage. No-op if the
+  /// scan was cancelled while still queued.
+  void launch() {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (phase_ != Phase::kQueued) return;
+    phase_ = Phase::kLaunched;
+    {
+      const std::lock_guard<std::mutex> state_lock(state_->mutex);
+      state_->outcome.status = ScanStatus::kRunning;
+    }
+    job_ = service_->scheduler_.create_job(RoundScheduler::JobOptions{
+        state_->options.priority, state_->options.fair_weight});
+    outstanding_ = 1;
+    service_->scheduler_.enqueue(job_, [self = shared_from_this()] {
+      self->run_stage([&self] { self->stage_init(); });
+    });
+  }
+
+  /// Called with state_->cancel already set. Resolves a still-queued scan
+  /// (or a launched one whose first item never started) to kCancelled
+  /// immediately; otherwise the flag drains the in-flight chain
+  /// cooperatively at the next item boundary.
+  void request_cancel() {
+    std::vector<std::shared_ptr<ScanExecution>> launches;
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      if (phase_ == Phase::kTerminal) return;
+      if (phase_ == Phase::kLaunched) {
+        const std::int64_t dropped = service_->scheduler_.drop_queued_if_unstarted(job_);
+        if (dropped < 0) return;  // a stage ran or is running: drain cooperatively
+        outstanding_ -= dropped;  // the init item, dropped unrun
+      }
+      phase_ = Phase::kTerminal;
+      state_->finish(ScanOutcome{ScanStatus::kCancelled, {}, {}});
+      service_->cancelled_.fetch_add(1);
+      service_->retire_scan(state_, this, launches);
+    }
+    for (const auto& exec : launches) exec->launch();
+  }
+
+ private:
+  enum class Phase { kQueued, kLaunched, kTerminal };
+  enum class Mode { kMonolithic, kSyncBarrier, kAsyncRendezvous };
+
+  /// Every scheduler item: skip the stage if the scan is cancelled or
+  /// failed (the chain then drains), route exceptions into the outcome,
+  /// and run the completion accounting.
+  void run_stage(const std::function<void()>& stage) {
+    bool skip = state_->cancel.load(std::memory_order_relaxed);
+    if (!skip) {
+      const std::lock_guard<std::mutex> lock(mu_);
+      skip = failed_;
+    }
+    if (!skip) {
+      try {
+        stage();
+      } catch (const ScanCancelled&) {
+        state_->cancel.store(true, std::memory_order_relaxed);
+      } catch (const std::exception& error) {
+        mark_failed(error.what());
+      } catch (...) {
+        mark_failed("unknown scan failure");
+      }
+    }
+    complete_item();
+  }
+
+  /// Posts a stage as one scheduler item. Caller must hold mu_.
+  void post_locked(std::function<void()> stage) {
+    ++outstanding_;
+    service_->scheduler_.enqueue(
+        job_, [self = shared_from_this(), stage = std::move(stage)] { self->run_stage(stage); });
+  }
+
+  void mark_failed(const std::string& what) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (!failed_) error_ = what;
+    failed_ = true;
+  }
+
+  void stage_init() {
+    // The detector's own plan, with the service's session state wired in.
+    // None of the overrides has a numeric effect (cache adoption is
+    // schedule-only; progress carries no data into the scan), so a
+    // default-options run matches detect() byte for byte. options.pool and
+    // options.cancel stay as the detector left them: the staged path never
+    // enters the blocking scheduler — tensor kernels adopt scan_pool_
+    // through the dispatchers' WorkerContext, and cancellation is checked
+    // at every item boundary by run_stage.
+    ScanPlan plan = state_->detector->plan();
+    if (state_->options.progress) plan.options.progress = state_->options.progress;
+    if (state_->options.early_exit.has_value()) {
+      plan.options.early_exit = *state_->options.early_exit;
+    }
+    const Dataset& probe =
+        state_->stored_probe != nullptr ? state_->stored_probe->probe : *state_->owned_probe;
+    if (plan.options.external_probe_cache == nullptr && state_->stored_probe != nullptr) {
+      plan.options.external_probe_cache = &state_->stored_probe->cache;
+    }
+    staged_.emplace(std::move(plan), *state_->model, probe);
+    staged_->prepare();
+
+    const std::lock_guard<std::mutex> lock(mu_);
+    num_classes_ = staged_->num_classes();
+    mode_ = !staged_->early_exit_enabled() ? Mode::kMonolithic
+            : staged_->async_retirement()  ? Mode::kAsyncRendezvous
+                                           : Mode::kSyncBarrier;
+    if (mode_ == Mode::kAsyncRendezvous) {
+      // rendezvous = max(1, min_rounds) rounds, matching run_async_retire's
+      // rendezvous_steps = round_steps * max(1, min_rounds).
+      rendezvous_left_.assign(static_cast<std::size_t>(num_classes_),
+                              std::max<std::int64_t>(1, staged_->min_rounds()));
+    }
+    for (std::int64_t t = 0; t < num_classes_; ++t) {
+      post_locked([this, t] { stage_construct(t); });
+    }
+  }
+
+  void stage_construct(std::int64_t t) {
+    staged_->construct_class(t);
+    const std::lock_guard<std::mutex> lock(mu_);
+    ++constructed_;
+    switch (mode_) {
+      case Mode::kMonolithic:
+        // No cross-class flow: each class marches to exhaustion on its own.
+        if (staged_->has_budget(t)) {
+          post_locked([this, t] { stage_round_mono(t); });
+        } else {
+          post_locked([this, t] { stage_finalize(t); });
+        }
+        break;
+      case Mode::kSyncBarrier:
+        // Lockstep rounds need the full active set; round 1 starts once
+        // every class is constructed (the blocking path's phase boundary).
+        if (constructed_ == num_classes_) {
+          for (std::int64_t u = 0; u < num_classes_; ++u) {
+            if (staged_->has_budget(u)) {
+              active_.push_back(u);
+            } else {
+              post_locked([this, u] { stage_finalize(u); });
+            }
+          }
+          for (const std::int64_t u : active_) {
+            post_locked([this, u] { stage_round_sync(u); });
+          }
+        }
+        break;
+      case Mode::kAsyncRendezvous:
+        // A class's rendezvous rounds need no other class: start rolling
+        // immediately. The cutoff still waits for all K arrivals.
+        if (staged_->has_budget(t)) {
+          post_locked([this, t] { stage_rendezvous_round(t); });
+        } else {
+          note_arrival_locked(t, /*more=*/false);
+        }
+        break;
+    }
+  }
+
+  void stage_round_mono(std::int64_t t) {
+    const bool more = staged_->run_round(t);
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (more) {
+      post_locked([this, t] { stage_round_mono(t); });
+    } else {
+      post_locked([this, t] { stage_finalize(t); });
+    }
+  }
+
+  void stage_round_sync(std::int64_t t) {
+    staged_->run_round(t);
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (++barrier_arrived_ == static_cast<std::int64_t>(active_.size())) barrier_locked();
+  }
+
+  /// The per-round barrier, run by the round's last arriver under mu_.
+  /// Mirrors run_early_exit's loop tail: drop exhausted classes to
+  /// finalize, recompute the cutoff from round min_rounds on, retire
+  /// outliers, relaunch the survivors. mad_cutoff() is safe here: every
+  /// active class's round completed (we are the last arrival, ordered
+  /// through mu_) and stopped classes hold frozen statistics.
+  void barrier_locked() {
+    barrier_arrived_ = 0;
+    ++rounds_done_;
+    std::vector<std::int64_t> next;
+    for (const std::int64_t t : active_) {
+      if (staged_->has_budget(t)) {
+        next.push_back(t);
+      } else {
+        post_locked([this, t] { stage_finalize(t); });
+      }
+    }
+    if (!next.empty() && rounds_done_ >= staged_->min_rounds()) {
+      const double cutoff = staged_->mad_cutoff();
+      std::vector<std::int64_t> survivors;
+      for (const std::int64_t t : next) {
+        if (staged_->stat(t) <= cutoff) {
+          survivors.push_back(t);
+        } else {
+          // kRetired notifies user code — post an item rather than calling
+          // under mu_ (a callback may legally call handle->cancel()).
+          post_locked([this, t] { stage_retire(t); });
+        }
+      }
+      next = std::move(survivors);
+    }
+    active_ = std::move(next);
+    for (const std::int64_t t : active_) {
+      post_locked([this, t] { stage_round_sync(t); });
+    }
+  }
+
+  void stage_retire(std::int64_t t) {
+    staged_->retire_class(t);
+    const std::lock_guard<std::mutex> lock(mu_);
+    post_locked([this, t] { stage_finalize(t); });
+  }
+
+  void stage_rendezvous_round(std::int64_t t) {
+    const bool more = staged_->run_round(t);
+    const std::lock_guard<std::mutex> lock(mu_);
+    auto& left = rendezvous_left_[static_cast<std::size_t>(t)];
+    --left;
+    if (more && left > 0) {
+      post_locked([this, t] { stage_rendezvous_round(t); });
+    } else {
+      note_arrival_locked(t, more);
+    }
+  }
+
+  /// Class t reached the rendezvous (ran its min rounds, or exhausted its
+  /// budget / own exit first). The K-th arrival fixes the one cutoff — the
+  /// only cross-class data flow of the async schedule.
+  void note_arrival_locked(std::int64_t t, bool more) {
+    ++arrived_;
+    if (more) {
+      waiting_.push_back(t);
+    } else {
+      post_locked([this, t] { stage_finalize(t); });
+    }
+    if (arrived_ == num_classes_) {
+      cutoff_ = staged_->mad_cutoff();
+      for (const std::int64_t u : waiting_) {
+        post_locked([this, u] { stage_untethered_round(u); });
+      }
+      waiting_.clear();
+    }
+  }
+
+  void stage_untethered_round(std::int64_t t) {
+    double cutoff;
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      cutoff = cutoff_;
+    }
+    // Cutoff first, before spending another round — run_async_retire's
+    // phase 2b loop head.
+    if (staged_->stat(t) > cutoff) {
+      staged_->retire_class(t);
+      const std::lock_guard<std::mutex> lock(mu_);
+      post_locked([this, t] { stage_finalize(t); });
+      return;
+    }
+    const bool more = staged_->run_round(t);
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (more) {
+      post_locked([this, t] { stage_untethered_round(t); });
+    } else {
+      post_locked([this, t] { stage_finalize(t); });
+    }
+  }
+
+  void stage_finalize(std::int64_t t) {
+    staged_->finalize_class(t);
+    const std::lock_guard<std::mutex> lock(mu_);
+    ++finalized_;
+  }
+
+  /// Item-completion accounting. The scan is terminal when its last
+  /// outstanding item completes: all K classes finalized -> kDone; a
+  /// recorded failure -> kFailed; anything else (the cancel flag starved
+  /// the chain) -> kCancelled.
+  void complete_item() {
+    std::vector<std::shared_ptr<ScanExecution>> launches;
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      if (--outstanding_ > 0 || phase_ == Phase::kTerminal) return;
+      phase_ = Phase::kTerminal;
+      ScanOutcome outcome;
+      if (failed_) {
+        outcome.status = ScanStatus::kFailed;
+        outcome.error = error_;
+        service_->failed_.fetch_add(1);
+      } else if (staged_.has_value() && finalized_ == num_classes_) {
+        outcome.status = ScanStatus::kDone;
+        outcome.report = staged_->take_report();
+        service_->completed_.fetch_add(1);
+      } else {
+        outcome.status = ScanStatus::kCancelled;
+        service_->cancelled_.fetch_add(1);
+      }
+      // Release tasks, clones, and the borrowed probe-cache pointer BEFORE
+      // finish() drops the detector and the stored probe they point into.
+      staged_.reset();
+      state_->finish(std::move(outcome));
+      service_->scheduler_.retire_job(job_);
+      service_->retire_scan(state_, this, launches);
+    }
+    // Newly admitted scans launch outside mu_ (their launch() takes their
+    // own lock and the scheduler's).
+    for (const auto& exec : launches) exec->launch();
+  }
+
+  DetectionService* service_;
+  std::shared_ptr<ScanState> state_;
+  RoundScheduler::JobPtr job_;
+
+  std::mutex mu_;
+  Phase phase_ = Phase::kQueued;
+  Mode mode_ = Mode::kMonolithic;
+  std::optional<StagedScan> staged_;
+  std::int64_t outstanding_ = 0;  // items posted, not yet completed
+  std::int64_t num_classes_ = -1;
+  std::int64_t constructed_ = 0;
+  std::int64_t finalized_ = 0;
+  bool failed_ = false;
+  std::string error_;
+
+  // kSyncBarrier bookkeeping.
+  std::vector<std::int64_t> active_;
+  std::int64_t barrier_arrived_ = 0;
+  std::int64_t rounds_done_ = 0;
+
+  // kAsyncRendezvous bookkeeping.
+  std::vector<std::int64_t> rendezvous_left_;
+  std::vector<std::int64_t> waiting_;
+  std::int64_t arrived_ = 0;
+  double cutoff_ = 0.0;
+};
+
 }  // namespace detail
 
 namespace {
 
+using detail::ScanExecution;
 using detail::ScanState;
 
 const std::shared_ptr<ScanState>& require_state(const std::shared_ptr<ScanState>& state) {
@@ -80,6 +460,11 @@ int resolve_scan_threads(int requested) {
   }
   const int hw = static_cast<int>(std::thread::hardware_concurrency());
   return std::clamp(hw, 1, 16);
+}
+
+int resolve_dispatchers(const DetectionServiceConfig& config) {
+  if (config.round_dispatchers > 0) return config.round_dispatchers;
+  return std::max(1, config.max_concurrent_scans);
 }
 
 }  // namespace
@@ -102,32 +487,50 @@ const ScanOutcome& ScanHandle::wait() const {
 bool ScanHandle::cancel() const {
   const auto& state = require_state(state_);
   state->cancel.store(true, std::memory_order_relaxed);
-  const std::lock_guard<std::mutex> lock(state->mutex);
-  return !state->terminal;
+  std::shared_ptr<ScanExecution> execution;
+  {
+    const std::lock_guard<std::mutex> lock(state->mutex);
+    if (state->terminal) return false;
+    execution = state->execution;
+  }
+  // Outside state->mutex: request_cancel takes the execution's own lock
+  // (and may finish the scan, which re-takes state->mutex).
+  if (execution != nullptr) execution->request_cancel();
+  return true;
 }
 
 DetectionService::DetectionService(DetectionServiceConfig config)
     : config_(config),
       scan_pool_(resolve_scan_threads(config.scan_threads)),
-      probe_store_(ProbeStoreOptions{config.eval_batch_size, config.probe_store_max_bytes}) {
-  const int executors = std::max(1, config_.max_concurrent_scans);
-  executors_.reserve(static_cast<std::size_t>(executors));
-  for (int i = 0; i < executors; ++i) {
-    executors_.emplace_back([this] { executor_loop(); });
-  }
-}
+      probe_store_(ProbeStoreOptions{config.eval_batch_size, config.probe_store_max_bytes}),
+      scheduler_(RoundScheduler::Config{resolve_dispatchers(config), &scan_pool_}) {}
 
 DetectionService::~DetectionService() {
+  std::vector<std::shared_ptr<ScanState>> snapshot;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     shutting_down_ = true;
-    // Queued scans resolve to kCancelled the moment an executor pops them;
-    // running scans hit the flag at their next class/round boundary.
-    for (const auto& state : live_) state->cancel.store(true, std::memory_order_relaxed);
+    snapshot.assign(live_.begin(), live_.end());
   }
-  work_available_.notify_all();
   queue_space_.notify_all();  // blocked submitters must observe the shutdown
-  for (std::thread& executor : executors_) executor.join();
+  // Queued scans resolve to kCancelled immediately; admitted scans hit the
+  // flag at their next stage boundary. Cancel OUTSIDE mutex_: request_cancel
+  // re-enters the service through retire_scan.
+  for (const auto& state : snapshot) {
+    state->cancel.store(true, std::memory_order_relaxed);
+    std::shared_ptr<ScanExecution> execution;
+    {
+      const std::lock_guard<std::mutex> lock(state->mutex);
+      execution = state->execution;
+    }
+    if (execution != nullptr) execution->request_cancel();
+  }
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_.wait(lock, [this] { return live_.empty(); });
+  }
+  // Members now destruct; scheduler_ (declared last) goes first, joining
+  // the dispatchers while everything they can touch is still alive.
 }
 
 ScanHandle DetectionService::submit(ScanRequest request) {
@@ -167,13 +570,15 @@ ScanHandle DetectionService::submit(ScanRequest request) {
   };
 
   std::shared_ptr<ScanState> state;
+  std::shared_ptr<ScanExecution> execution;
+  bool launch_now = false;
   try {
     state = std::make_shared<ScanState>();
     state->id = next_id_.fetch_add(1);
     // Deep copy now: the caller's model may be mutated or destroyed after
     // submit(), and concurrent requests naming the same model must not race
-    // on its per-instance forward caches. The scheduler still clones this
-    // clone per class, so reports match detect() on the original bit for bit.
+    // on its per-instance forward caches. The scan still clones this clone
+    // per class, so reports match detect() on the original bit for bit.
     state->model = std::make_unique<Network>(clone_network(*request.model));
     state->detector = std::move(request.detector);
     if (request.probe_key.has_value()) {
@@ -182,18 +587,25 @@ ScanHandle DetectionService::submit(ScanRequest request) {
       state->owned_probe = std::make_unique<Dataset>(*request.probe);
     }
     state->options = std::move(request.options);
+    execution = std::make_shared<ScanExecution>(*this, state);
+    state->execution = execution;  // pre-publication: no lock needed yet
 
     const std::lock_guard<std::mutex> lock(mutex_);
     if (shutting_down_) throw std::runtime_error("DetectionService: submit after shutdown");
-    queue_.push_back(state);
     live_.push_back(state);
-    if (bounded) --reserved_slots_;  // the queue entry now holds the slot
+    if (admitted_ < std::max(1, config_.max_concurrent_scans)) {
+      ++admitted_;
+      launch_now = true;
+    } else {
+      queue_.push_back(execution);
+    }
+    if (bounded) --reserved_slots_;  // the queue entry (or admission) holds the slot
   } catch (...) {
     release_reservation();
     throw;
   }
   submitted_.fetch_add(1);
-  work_available_.notify_one();
+  if (launch_now) execution->launch();
   return ScanHandle(std::move(state));
 }
 
@@ -209,62 +621,32 @@ void DetectionService::drain() {
   }
 }
 
-void DetectionService::executor_loop() {
-  for (;;) {
-    std::shared_ptr<ScanState> state;
-    {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_available_.wait(lock, [this] { return shutting_down_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // shutting down and fully drained
-      state = queue_.front();
-      queue_.pop_front();
-    }
-    queue_space_.notify_one();  // a pending slot opened for blocked submitters
-    execute(state);
-    {
-      const std::lock_guard<std::mutex> lock(mutex_);
-      live_.erase(std::find(live_.begin(), live_.end(), state));
-    }
-  }
-}
-
-void DetectionService::execute(const std::shared_ptr<ScanState>& state) {
-  if (state->cancel.load(std::memory_order_relaxed)) {
-    cancelled_.fetch_add(1);
-    state->finish(ScanOutcome{ScanStatus::kCancelled, {}, {}});
-    return;
-  }
+void DetectionService::retire_scan(const std::shared_ptr<detail::ScanState>& state,
+                                   const detail::ScanExecution* exec,
+                                   std::vector<std::shared_ptr<detail::ScanExecution>>& launches) {
   {
-    const std::lock_guard<std::mutex> lock(state->mutex);
-    state->outcome.status = ScanStatus::kRunning;
-  }
-
-  try {
-    // The detector's own plan, with the service's session state wired in.
-    // None of the overrides has a numeric effect (pool size and cache
-    // adoption are schedule-only; cancel/progress carry no data into the
-    // scan), so a default-options run matches detect() byte for byte.
-    ScanPlan plan = state->detector->plan();
-    plan.options.pool = &scan_pool_;
-    plan.options.cancel = &state->cancel;
-    if (state->options.progress) plan.options.progress = state->options.progress;
-    if (state->options.early_exit.has_value()) plan.options.early_exit = *state->options.early_exit;
-    const Dataset& probe =
-        state->stored_probe != nullptr ? state->stored_probe->probe : *state->owned_probe;
-    if (plan.options.external_probe_cache == nullptr && state->stored_probe != nullptr) {
-      plan.options.external_probe_cache = &state->stored_probe->cache;
+    const std::lock_guard<std::mutex> lock(mutex_);
+    live_.erase(std::find(live_.begin(), live_.end(), state));
+    const auto queued = std::find_if(queue_.begin(), queue_.end(),
+                                     [exec](const auto& entry) { return entry.get() == exec; });
+    if (queued != queue_.end()) {
+      // Cancelled before admission: remove it; no slot opened.
+      queue_.erase(queued);
+    } else {
+      // Admitted (or collected for launch concurrently with a queued
+      // cancel — the increment already happened either way): free the slot
+      // and collect successors. The caller launches them outside all locks.
+      --admitted_;
+      const std::int64_t cap = std::max(1, config_.max_concurrent_scans);
+      while (!shutting_down_ && admitted_ < cap && !queue_.empty()) {
+        launches.push_back(queue_.front());
+        queue_.pop_front();
+        ++admitted_;
+      }
     }
-
-    DetectionReport report = run_scan_plan(plan, *state->model, probe);
-    completed_.fetch_add(1);
-    state->finish(ScanOutcome{ScanStatus::kDone, std::move(report), {}});
-  } catch (const ScanCancelled&) {
-    cancelled_.fetch_add(1);
-    state->finish(ScanOutcome{ScanStatus::kCancelled, {}, {}});
-  } catch (const std::exception& error) {
-    failed_.fetch_add(1);
-    state->finish(ScanOutcome{ScanStatus::kFailed, {}, error.what()});
+    if (live_.empty()) idle_.notify_all();
   }
+  queue_space_.notify_all();  // pending depth shrank (or shutdown progressed)
 }
 
 }  // namespace usb

@@ -7,24 +7,43 @@
 // instead of regenerated per case, scans that can be cancelled, and
 // progress that can be observed. The service owns that session state:
 //
-//  - one scan ThreadPool shared by every in-flight request (per-class jobs
-//    of overlapping scans interleave on the same workers; the pool's
-//    per-call completion tracking keeps the scans independent);
+//  - one scan ThreadPool shared by every in-flight request (tensor kernels
+//    of overlapping scans interleave on the same workers);
 //  - a content-addressed ProbeStore (data/probe_store.h): requests name
 //    their probe by (DatasetSpec, size, seed) and every request with the
 //    same key shares one immutable Dataset + ProbeBatchCache across
 //    methods, models, cases, and scales;
-//  - a small executor crew that drains the request queue, so submit()
-//    returns immediately with a future-like ScanHandle (wait / poll /
-//    cancel / per-class progress callbacks).
+//  - a GLOBAL CLASS-JOB SCHEDULER (service/round_scheduler.h): every
+//    admitted scan is decomposed into schedulable stages — per-class task
+//    construction, individual refinement rounds, retirements, finalizes —
+//    and all admitted scans' stages flatten into one weighted fair-share
+//    queue drained by a small dispatcher crew. Requests carry a strict
+//    priority and a fair-share weight (ScanOptions), so a K=4 scan
+//    submitted behind a K=43 scan on a saturated service interleaves with
+//    it round-for-round and finishes first instead of waiting for the
+//    whole backlog; dispatchers have no per-request affinity, so capacity
+//    freed by one scan is stolen by whichever request is most deserving.
 //
 // Determinism carries over unchanged: a report produced through the service
 // is bit-identical to Detector::detect() on the same (model, probe, config)
-// for any pool size, any executor count, and any interleaving with other
-// requests — every per-class RNG stream still derives only from
-// (base_seed, class), and the pool/cache overrides the service applies have
-// no numeric effect (tests/test_detection_service.cpp pins submit() ==
-// detect() byte-for-byte, including with async retirement enabled).
+// for any pool size, any dispatcher count, any priority/weight assignment,
+// and any interleaving with other requests. The argument (spelled out in
+// class_scan_scheduler.h, restated here because the service is the
+// cross-request case): every class trajectory is a schedule-free function
+// of (base_seed, class) — run_steps slices concatenate bit-identically —
+// and the only cross-class data flows are MAD cutoffs taken at logical
+// points fixed by the schedule STRUCTURE, not by timing. The service
+// replays exactly one of the three blocking schedules per scan: monolithic
+// (no early exit), per-round barrier (early exit: the cutoff item runs
+// only after every active class's round r completed), or async rendezvous
+// (each class arrives after min_rounds rounds; the single cutoff is taken
+// once all K arrived, and untethered classes check it BEFORE each further
+// round). Scheduling decides only WHEN those fixed points are reached,
+// never WHAT is computed at them — so fairness, priorities, and
+// cross-request work-stealing have zero numeric effect
+// (tests/test_detection_service.cpp pins submit() == detect()
+// byte-for-byte, including with async retirement enabled and under
+// mixed-request load).
 #pragma once
 
 #include <atomic>
@@ -36,19 +55,19 @@
 #include <optional>
 #include <stdexcept>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "data/probe_store.h"
 #include "defenses/detector.h"
 #include "defenses/scan_plan.h"
+#include "service/round_scheduler.h"
 #include "utils/thread_pool.h"
 
 namespace usb {
 
 enum class ScanStatus {
-  kQueued,     // submitted, not yet picked up by an executor
-  kRunning,    // an executor is inside run_scan_plan
+  kQueued,     // submitted, not yet admitted to the global scheduler
+  kRunning,    // admitted; its stages are flowing through the dispatchers
   kDone,       // report available
   kCancelled,  // cancel() (or service shutdown) stopped it
   kFailed,     // the scan threw; see ScanOutcome::error
@@ -73,9 +92,16 @@ struct ScanOptions {
   /// no detector config sets on its own.
   std::optional<EarlyExitOptions> early_exit;
   /// Per-class progress notifications (task finalized / early-retired).
-  /// Invoked from scan worker threads, possibly concurrently — must be
+  /// Invoked from dispatcher threads, possibly concurrently — must be
   /// thread-safe and must not throw.
   ClassProgressFn progress;
+  /// Strict scheduling priority: stages of a higher-priority scan always
+  /// run before stages of lower-priority ones. No numeric effect.
+  int priority = 0;
+  /// Fair-share weight among equal-priority scans (see
+  /// RoundScheduler::JobOptions::weight). Values <= 0 are clamped up to a
+  /// tiny positive weight. No numeric effect.
+  double fair_weight = 1.0;
 };
 
 /// One detection request. The service deep-copies the model at submit()
@@ -97,6 +123,7 @@ struct ScanRequest {
 
 namespace detail {
 struct ScanState;
+class ScanExecution;
 }  // namespace detail
 
 /// Future-like view of a submitted scan. Cheap to copy; all methods are
@@ -112,10 +139,13 @@ class ScanHandle {
   /// (kept alive by this handle). Never throws on scan failure — inspect
   /// outcome.status / outcome.error.
   const ScanOutcome& wait() const;
-  /// Requests cooperative cancellation (checked at class and round
-  /// boundaries). Returns true if the scan had not yet reached a terminal
-  /// status — the eventual status is then kCancelled unless the scan beat
-  /// the flag to completion. The service stays fully reusable.
+  /// Requests cancellation. A scan still queued (not yet admitted to the
+  /// scheduler) resolves to kCancelled IMMEDIATELY — its model clone is
+  /// released, its admission slot freed, and it never runs a single stage.
+  /// An admitted scan is cancelled cooperatively at stage boundaries.
+  /// Returns true if the scan had not yet reached a terminal status — the
+  /// eventual status is then kCancelled unless the scan beat the flag to
+  /// completion. The service stays fully reusable.
   bool cancel() const;
 
  private:
@@ -127,7 +157,7 @@ class ScanHandle {
 
 /// What submit() does when the pending queue is at max_queued depth.
 enum class AdmissionPolicy {
-  kBlock,   // wait for an executor to drain a slot (throws on shutdown)
+  kBlock,   // wait for the scheduler to drain a slot (throws on shutdown)
   kReject,  // throw QueueFull immediately, before cloning anything
 };
 
@@ -143,15 +173,25 @@ struct DetectionServiceConfig {
   /// Workers of the shared scan pool. 0 sizes it like ThreadPool::global():
   /// USB_THREADS if set, else hardware concurrency capped at 16.
   int scan_threads = 0;
-  /// Executor threads draining the request queue = scans in flight at once.
+  /// Scans ADMITTED to the global scheduler at once. Requests beyond the
+  /// cap wait in the submission queue with ScanStatus::kQueued (their
+  /// stages are not enqueued at all), preserving the admission semantics
+  /// of max_queued. Admitted scans share the dispatcher crew fairly — this
+  /// cap bounds how many scans hold live clones/tasks, not parallelism.
   int max_concurrent_scans = 2;
+  /// Dispatcher threads of the global class-job scheduler = stage items in
+  /// flight at once. 0 (default) sizes the crew like max_concurrent_scans.
+  /// A single dispatcher still interleaves rounds of every admitted scan
+  /// fairly — that is the point of the global queue.
+  int round_dispatchers = 0;
   /// Batching of ProbeStore entries; 128 matches the scheduler default so
   /// shared caches are adopted instead of rebuilt.
   std::int64_t eval_batch_size = 128;
-  /// Admission control: maximum requests pending (submitted, not yet picked
-  /// up by an executor). Every queued request holds a model clone, so a
-  /// deep backlog holds one clone per request unboundedly — the cap bounds
-  /// that peak. 0 (default) = unbounded. Running scans do not count.
+  /// Admission control: maximum requests pending (submitted, not yet
+  /// admitted to the scheduler). Every queued request holds a model clone,
+  /// so a deep backlog holds one clone per request unboundedly — the cap
+  /// bounds that peak. 0 (default) = unbounded. Admitted scans do not
+  /// count.
   std::int64_t max_queued = 0;
   /// Behaviour at the cap; see AdmissionPolicy. The check (and a kReject
   /// throw) happens BEFORE the request's model is cloned or its probe
@@ -168,7 +208,8 @@ class DetectionService {
  public:
   explicit DetectionService(DetectionServiceConfig config = {});
   /// Cancels every queued and running scan (their handles resolve to
-  /// kCancelled) and joins the executors. Handles stay valid afterwards.
+  /// kCancelled) and joins the dispatcher crew. Handles stay valid
+  /// afterwards.
   ~DetectionService();
 
   DetectionService(const DetectionService&) = delete;
@@ -179,9 +220,9 @@ class DetectionService {
   /// request's borrowed pointers are dead weight the moment this returns.
   /// Throws std::invalid_argument on a malformed request (null model/
   /// detector, no probe). With max_queued set, a full queue either blocks
-  /// this call until an executor drains a slot (kBlock; the admission slot
-  /// is reserved before the model clone, so blocked submitters hold at most
-  /// their own clone-in-progress) or throws QueueFull (kReject).
+  /// this call until the scheduler drains a slot (kBlock; the admission
+  /// slot is reserved before the model clone, so blocked submitters hold
+  /// at most their own clone-in-progress) or throws QueueFull (kReject).
   ScanHandle submit(ScanRequest request);
 
   /// Blocks until every scan submitted so far has reached a terminal
@@ -196,14 +237,11 @@ class DetectionService {
   [[nodiscard]] std::int64_t scans_completed() const noexcept { return completed_.load(); }
   [[nodiscard]] std::int64_t scans_cancelled() const noexcept { return cancelled_.load(); }
   [[nodiscard]] std::int64_t scans_failed() const noexcept { return failed_.load(); }
+  /// Stage items executed by the global scheduler since construction.
+  [[nodiscard]] std::int64_t rounds_dispatched() const { return scheduler_.items_executed(); }
 
  private:
-  void executor_loop();
-  void execute(const std::shared_ptr<detail::ScanState>& state);
-
-  DetectionServiceConfig config_;
-  ThreadPool scan_pool_;
-  ProbeStore probe_store_;
+  friend class detail::ScanExecution;
 
   /// Pending depth for admission: requests in the queue plus admission
   /// slots reserved by submitters still cloning. Caller must hold mutex_.
@@ -211,20 +249,38 @@ class DetectionService {
     return static_cast<std::int64_t>(queue_.size()) + reserved_slots_;
   }
 
+  /// Called by a ScanExecution reaching a terminal state: removes it from
+  /// live_, frees its admission slot, and COLLECTS (not launches — the
+  /// caller holds the execution's lock) queued executions that now fit
+  /// under max_concurrent_scans into `launches`.
+  void retire_scan(const std::shared_ptr<detail::ScanState>& state,
+                   const detail::ScanExecution* exec,
+                   std::vector<std::shared_ptr<detail::ScanExecution>>& launches);
+
+  DetectionServiceConfig config_;
+  ThreadPool scan_pool_;
+  ProbeStore probe_store_;
+
   std::mutex mutex_;
-  std::condition_variable work_available_;
-  std::condition_variable queue_space_;  // signalled when an executor pops
-  std::deque<std::shared_ptr<detail::ScanState>> queue_;
-  std::vector<std::shared_ptr<detail::ScanState>> live_;  // queued or running
+  std::condition_variable queue_space_;  // signalled when a slot frees
+  std::condition_variable idle_;         // signalled when live_ empties
+  std::deque<std::shared_ptr<detail::ScanExecution>> queue_;  // not yet admitted
+  std::vector<std::shared_ptr<detail::ScanState>> live_;      // queued or admitted
+  std::int64_t admitted_ = 0;        // scans currently admitted to the scheduler
   std::int64_t reserved_slots_ = 0;  // admission slots held by in-flight submits
   bool shutting_down_ = false;
-  std::vector<std::thread> executors_;
 
   std::atomic<std::uint64_t> next_id_{1};
   std::atomic<std::int64_t> submitted_{0};
   std::atomic<std::int64_t> completed_{0};
   std::atomic<std::int64_t> cancelled_{0};
   std::atomic<std::int64_t> failed_{0};
+
+  /// Declared last: destroyed first, joining the dispatchers before any
+  /// state they might touch goes away. The destructor body additionally
+  /// cancels all scans and waits for live_ to empty before members start
+  /// destructing at all.
+  RoundScheduler scheduler_;
 };
 
 }  // namespace usb

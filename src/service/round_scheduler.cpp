@@ -1,0 +1,142 @@
+#include "service/round_scheduler.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <utility>
+
+#include "utils/timer.h"
+
+namespace usb {
+namespace {
+
+// Floor on an item's charged cost. Real refinement rounds cost milliseconds
+// and dominate it; for near-zero items (drained cancels, trivial tests) the
+// floor keeps vtime strictly increasing so equal-weight jobs alternate
+// instead of resolving every pick by the sequence tiebreak (which would
+// starve the younger job).
+constexpr double kMinItemSeconds = 20e-6;
+
+}  // namespace
+
+RoundScheduler::RoundScheduler(Config config) : config_(config) {
+  const int workers = std::max(1, config_.workers);
+  dispatchers_.reserve(static_cast<std::size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    dispatchers_.emplace_back([this] { dispatcher_loop(); });
+  }
+}
+
+RoundScheduler::~RoundScheduler() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& dispatcher : dispatchers_) dispatcher.join();
+}
+
+RoundScheduler::JobPtr RoundScheduler::create_job(JobOptions options) {
+  auto job = std::make_shared<Job>();
+  job->priority = options.priority;
+  job->weight = std::max(options.weight, 1e-9);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  job->vtime = vclock_;
+  job->sequence = next_sequence_++;
+  jobs_.push_back(job);
+  return job;
+}
+
+void RoundScheduler::enqueue(const JobPtr& job, std::function<void()> item) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (job->retired) return;  // late enqueue on a detached job: drop
+    job->items.push_back(std::move(item));
+  }
+  work_available_.notify_one();
+}
+
+std::int64_t RoundScheduler::drop_queued_if_unstarted(const JobPtr& job) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (job->started > 0) return -1;
+  const auto dropped = static_cast<std::int64_t>(job->items.size());
+  job->items.clear();
+  job->retired = true;
+  jobs_.erase(std::remove(jobs_.begin(), jobs_.end(), job), jobs_.end());
+  return dropped;
+}
+
+void RoundScheduler::retire_job(const JobPtr& job) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  job->items.clear();
+  job->retired = true;
+  jobs_.erase(std::remove(jobs_.begin(), jobs_.end(), job), jobs_.end());
+}
+
+std::int64_t RoundScheduler::items_executed() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return items_executed_;
+}
+
+RoundScheduler::JobPtr RoundScheduler::pick_locked() {
+  JobPtr best;
+  for (const JobPtr& job : jobs_) {
+    if (job->items.empty()) continue;
+    if (best == nullptr || job->priority > best->priority ||
+        (job->priority == best->priority &&
+         (job->vtime < best->vtime ||
+          (job->vtime == best->vtime && job->sequence < best->sequence)))) {
+      best = job;
+    }
+  }
+  return best;
+}
+
+void RoundScheduler::dispatcher_loop() {
+  // Per-thread: every item this dispatcher runs executes inside the kernel
+  // pool's worker context (see ThreadPool::WorkerContext).
+  std::optional<ThreadPool::WorkerContext> context;
+  if (config_.kernel_pool != nullptr) context.emplace(*config_.kernel_pool);
+
+  for (;;) {
+    std::function<void()> item;
+    JobPtr job;  // shared ownership across the item: the job may be retired
+                 // (and dropped from jobs_) by the item itself, e.g. a
+                 // scan's last finalize — the account must outlive the run.
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(lock, [this] { return shutting_down_ || pick_locked() != nullptr; });
+      job = pick_locked();
+      if (job == nullptr) {
+        if (shutting_down_) return;
+        continue;
+      }
+      item = std::move(job->items.front());
+      job->items.pop_front();
+      ++job->started;
+      // Advance the frontier to the picked (minimum eligible) vtime so jobs
+      // created from now on start here, not at 0.
+      vclock_ = std::max(vclock_, job->vtime);
+    }
+
+    const Timer timer;
+    try {
+      item();
+    } catch (...) {
+      // Contract violation: items route their own errors (see header).
+      std::fprintf(stderr, "RoundScheduler: item threw — items must not throw\n");
+      std::abort();
+    }
+    const double cost = timer.seconds() + kMinItemSeconds;
+
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      job->vtime += cost / job->weight;
+      ++items_executed_;
+    }
+    work_available_.notify_one();
+  }
+}
+
+}  // namespace usb

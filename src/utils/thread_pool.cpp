@@ -203,6 +203,17 @@ void ThreadPool::parallel_for_deterministic(std::int64_t num_tiles,
   }
 }
 
+ThreadPool::WorkerContext::WorkerContext(ThreadPool& pool) noexcept
+    : previous_pool_(t_current_pool), previous_inside_(t_inside_worker) {
+  t_current_pool = &pool;
+  t_inside_worker = true;
+}
+
+ThreadPool::WorkerContext::~WorkerContext() {
+  t_current_pool = previous_pool_;
+  t_inside_worker = previous_inside_;
+}
+
 ThreadPool& ThreadPool::global() {
   static ThreadPool pool([] {
     if (const char* env = std::getenv("USB_THREADS")) {

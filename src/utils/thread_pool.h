@@ -69,6 +69,28 @@ class ThreadPool {
   /// capped at 16). Lives for the process lifetime.
   static ThreadPool& global();
 
+  /// Adopts this pool's worker context on a foreign thread for the scope of
+  /// the guard: nested free parallel_for calls run inline (exactly as they
+  /// would inside a pool worker) and nested parallel_for_deterministic
+  /// calls target THIS pool, spilling tensor-kernel tiles onto its idle
+  /// workers. The service's round-dispatcher threads wrap every class-job
+  /// item in one of these so a scan item executes identically whether it
+  /// runs on a pool worker or a dispatcher thread — the routing is
+  /// schedule-only and carries no numeric effect. Restores the previous
+  /// context on destruction; safe to nest.
+  class WorkerContext {
+   public:
+    explicit WorkerContext(ThreadPool& pool) noexcept;
+    ~WorkerContext();
+
+    WorkerContext(const WorkerContext&) = delete;
+    WorkerContext& operator=(const WorkerContext&) = delete;
+
+   private:
+    ThreadPool* previous_pool_;
+    bool previous_inside_;
+  };
+
  private:
   /// One in-flight parallel_for call. Lives on the submitting thread's
   /// stack; `outstanding` and `error` are guarded by the pool mutex. The

@@ -19,6 +19,7 @@
 
 #include "core/usb.h"
 #include "data/synthetic.h"
+#include "defenses/masked_trigger.h"
 #include "defenses/neural_cleanse.h"
 #include "defenses/scan_plan.h"
 #include "defenses/tabor.h"
@@ -371,6 +372,32 @@ TEST(ArenaPath, SteadyStateZeroAllocationsOnDeepArchitectures) {
     Network victim = make_network(arch, 3, 32, spec.num_classes, 74);
     EXPECT_EQ(steady_state_allocations(nc.plan(), victim, probe, 12), 0U) << to_string(arch);
   }
+}
+
+// The finalize side of the contract: fooling_rate routed through an arena
+// is bitwise the allocating form, and once the arena is warm a full
+// evaluation sweep over the probe performs ZERO Tensor heap allocations —
+// finalize no longer allocates one blend + one activation set per batch.
+TEST(ArenaPath, WarmFoolingRateEvaluationPerformsZeroTensorAllocations) {
+  const DatasetSpec spec = tiny_spec();
+  const Dataset probe = generate_dataset(spec, 48, 75);
+  Network model = make_network(Architecture::kBasicCnn, 1, 16, spec.num_classes, 76);
+  const ProbeBatchCache cache(probe, 8);
+
+  Rng rng(77);
+  const MaskedTrigger trigger(1, 16, rng, 0.1F);
+  const double allocating = fooling_rate(model, cache, trigger, 0, nullptr);
+
+  TensorArena arena;
+  // First arena pass grows the eval-sized slots (refine and eval batches
+  // differ, so a task's arena still grows once at its first finalize).
+  const double warmup = fooling_rate(model, cache, trigger, 0, &arena);
+  EXPECT_EQ(warmup, allocating);  // arena routing has no numeric effect
+
+  const std::uint64_t before = tensor_heap_allocations();
+  const double warmed = fooling_rate(model, cache, trigger, 0, &arena);
+  EXPECT_EQ(tensor_heap_allocations() - before, 0U);
+  EXPECT_EQ(warmed, allocating);
 }
 
 }  // namespace

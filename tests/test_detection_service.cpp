@@ -545,4 +545,144 @@ TEST(DetectionService, AdmissionBlockPolicyWaitsForQueueSpace) {
   EXPECT_EQ(service.scans_submitted(), 3);
 }
 
+// ---- Global scheduler: fairness, priority, queued cancel ----------------
+
+// Cancelling a still-queued scan resolves the handle IMMEDIATELY — proven
+// by wedging the service's only dispatcher inside another scan, so nothing
+// but synchronous queue removal could produce kCancelled here — and frees
+// the admission slot for the next submit. (CancelWhileQueuedNeverRuns
+// covers the eventual-drain side.)
+TEST(DetectionService, CancelWhileQueuedResolvesImmediatelyAndFreesSlot) {
+  const DatasetSpec spec = tiny_spec(4);
+  const ProbeKey key{spec, 32, 251};
+  Network victim = make_network(Architecture::kBasicCnn, 1, 16, 4, 252);
+
+  DetectionServiceConfig config = service_config(/*scan_threads=*/1, /*executors=*/1);
+  config.max_queued = 1;
+  config.admission_policy = AdmissionPolicy::kReject;
+  DetectionService service(config);
+
+  std::promise<void> release;
+  const std::shared_future<void> gate(release.get_future());
+  const ScanHandle busy = service.submit(gated_request(victim, key, gate));
+  wait_until_running(busy);
+
+  std::atomic<std::int64_t> doomed_events{0};
+  ScanRequest doomed;
+  doomed.model = &victim;
+  doomed.detector = std::make_unique<NeuralCleanse>(tiny_nc_config());
+  doomed.probe_key = key;
+  doomed.options.progress = [&doomed_events](std::int64_t, ClassScanEvent, double) {
+    doomed_events.fetch_add(1);
+  };
+  const ScanHandle doomed_handle = service.submit(std::move(doomed));
+  EXPECT_EQ(doomed_handle.poll(), ScanStatus::kQueued);
+
+  EXPECT_TRUE(doomed_handle.cancel());
+  EXPECT_EQ(doomed_handle.poll(), ScanStatus::kCancelled);  // no waiting
+  EXPECT_EQ(doomed_handle.wait().status, ScanStatus::kCancelled);
+  EXPECT_EQ(doomed_events.load(), 0);
+  EXPECT_EQ(service.scans_cancelled(), 1);
+
+  // The cancelled scan's pending slot is free again: with the dispatcher
+  // still wedged, a fresh submit is admitted instead of throwing QueueFull.
+  ScanRequest replacement;
+  replacement.model = &victim;
+  replacement.detector = std::make_unique<NeuralCleanse>(tiny_nc_config());
+  replacement.probe_key = key;
+  const ScanHandle replacement_handle = service.submit(std::move(replacement));
+
+  release.set_value();
+  EXPECT_EQ(busy.wait().status, ScanStatus::kDone);
+  EXPECT_EQ(replacement_handle.wait().status, ScanStatus::kDone);
+}
+
+// The tentpole property: a K=4 scan submitted behind a K=43 scan on a
+// single-dispatcher service interleaves with it (equal fair share) and
+// finishes while the large scan is still running — the old per-request
+// executors could never do this — and BOTH reports stay bit-identical to
+// detect(). The second pass re-runs the pair with the small scan at
+// strict priority 1, which must also win.
+TEST(DetectionService, FairShareAndPrioritySmallScanFinishesUnderLargeLoad) {
+  DatasetSpec large_spec = tiny_spec(43);
+  large_spec.name = "detection-service-fairness-large";
+  const DatasetSpec small_spec = tiny_spec(4);
+  const ProbeKey large_key{large_spec, 32, 261};
+  const ProbeKey small_key{small_spec, 32, 262};
+  const Dataset large_probe = generate_dataset(large_spec, 32, 261);
+  const Dataset small_probe = generate_dataset(small_spec, 32, 262);
+  Network large_victim = make_network(Architecture::kBasicCnn, 1, 16, 43, 263);
+  Network small_victim = make_network(Architecture::kBasicCnn, 1, 16, 4, 264);
+
+  const DetectionReport direct_large =
+      NeuralCleanse(tiny_nc_config()).detect(large_victim, large_probe);
+  const DetectionReport direct_small =
+      NeuralCleanse(tiny_nc_config()).detect(small_victim, small_probe);
+
+  DetectionServiceConfig config = service_config(/*scan_threads=*/1, /*executors=*/2);
+  config.round_dispatchers = 1;  // both scans admitted, ONE crew to share
+  DetectionService service(config);
+
+  for (const int small_priority : {0, 1}) {
+    ScanRequest large;
+    large.model = &large_victim;
+    large.detector = std::make_unique<NeuralCleanse>(tiny_nc_config());
+    large.probe_key = large_key;
+    const ScanHandle large_handle = service.submit(std::move(large));
+
+    ScanRequest small;
+    small.model = &small_victim;
+    small.detector = std::make_unique<NeuralCleanse>(tiny_nc_config());
+    small.probe_key = small_key;
+    small.options.priority = small_priority;
+    const ScanHandle small_handle = service.submit(std::move(small));
+
+    const ScanOutcome& small_outcome = small_handle.wait();
+    ASSERT_EQ(small_outcome.status, ScanStatus::kDone) << small_outcome.error;
+    // ~10x the remaining work: the large scan cannot have finished unless
+    // it monopolized the dispatcher and starved the small one out.
+    EXPECT_EQ(large_handle.poll(), ScanStatus::kRunning)
+        << "small scan (priority " << small_priority << ") did not finish first";
+    const ScanOutcome& large_outcome = large_handle.wait();
+    ASSERT_EQ(large_outcome.status, ScanStatus::kDone) << large_outcome.error;
+
+    // Fair-share / priority scheduling has no numeric effect.
+    expect_reports_identical(direct_small, small_outcome.report);
+    expect_reports_identical(direct_large, large_outcome.report);
+  }
+  EXPECT_GT(service.rounds_dispatched(), 0);
+}
+
+// N threads race get_or_create on one cold key: exactly one generation
+// (one miss), everyone else blocks on that entry's materialization and
+// shares the pointer (N-1 hits) — the convoy fix must not turn into a
+// thundering herd of duplicate builds.
+TEST(ProbeStore, ColdKeyRaceMaterializesOnce) {
+  const DatasetSpec spec = tiny_spec(4);
+  const ProbeKey key{spec, 32, 271};
+  ProbeStore store(128);
+
+  constexpr int kThreads = 8;
+  std::vector<std::shared_ptr<const ProbeData>> results(kThreads);
+  std::promise<void> go;
+  const std::shared_future<void> start(go.get_future());
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&store, &results, &key, start, i] {
+      start.wait();
+      results[static_cast<std::size_t>(i)] = store.get_or_create(key);
+    });
+  }
+  go.set_value();
+  for (std::thread& thread : threads) thread.join();
+
+  for (int i = 1; i < kThreads; ++i) {
+    EXPECT_EQ(results[static_cast<std::size_t>(i)], results[0]);
+  }
+  EXPECT_EQ(store.size(), 1);
+  EXPECT_EQ(store.misses(), 1);
+  EXPECT_EQ(store.hits(), kThreads - 1);
+}
+
 }  // namespace usb

@@ -1,0 +1,178 @@
+// RoundScheduler: the service's global cross-request fair-share queue.
+//
+// These tests pin the scheduling CONTRACT (per-job FIFO, fair-share
+// alternation, strict priority, atomic queued-drop), not exact interleavings
+// — which item runs when is explicitly allowed to vary. Single-dispatcher
+// configurations make order observable; the stress test races four.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "service/round_scheduler.h"
+
+namespace usb {
+namespace {
+
+/// Records (job tag, item index) completion order under a mutex.
+struct Trace {
+  std::mutex mu;
+  std::vector<std::pair<char, int>> events;
+  void add(char job, int index) {
+    const std::lock_guard<std::mutex> lock(mu);
+    events.emplace_back(job, index);
+  }
+};
+
+TEST(RoundSchedulerTest, RunsItemsOfOneJobInFifoOrder) {
+  RoundScheduler scheduler({/*workers=*/1, nullptr});
+  Trace trace;
+  const auto job = scheduler.create_job({});
+  for (int i = 0; i < 16; ++i) {
+    scheduler.enqueue(job, [&trace, i] { trace.add('A', i); });
+  }
+  while (scheduler.items_executed() < 16) std::this_thread::yield();
+  ASSERT_EQ(trace.events.size(), 16u);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(trace.events[static_cast<std::size_t>(i)].second, i);
+}
+
+TEST(RoundSchedulerTest, EqualWeightJobsInterleaveInsteadOfDrainingSequentially) {
+  RoundScheduler scheduler({/*workers=*/1, nullptr});
+  Trace trace;
+  // Gate the dispatcher so both jobs' items are queued before any runs:
+  // otherwise job A would legitimately drain alone before B exists.
+  std::promise<void> gate;
+  std::shared_future<void> open = gate.get_future().share();
+  const auto holder = scheduler.create_job({});
+  scheduler.enqueue(holder, [open] { open.wait(); });
+  const auto job_a = scheduler.create_job({});
+  const auto job_b = scheduler.create_job({});
+  for (int i = 0; i < 10; ++i) {
+    scheduler.enqueue(job_a, [&trace, i] {
+      trace.add('A', i);
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    });
+    scheduler.enqueue(job_b, [&trace, i] {
+      trace.add('B', i);
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    });
+  }
+  gate.set_value();
+  while (scheduler.items_executed() < 21) std::this_thread::yield();
+
+  // Fair share: neither job's LAST item may land before the other job ran
+  // most of its own — sequential draining (all A then all B) would put
+  // A's last at position 10. Demand both lasts in the final quarter.
+  int last_a = -1;
+  int last_b = -1;
+  for (int pos = 0; pos < static_cast<int>(trace.events.size()); ++pos) {
+    if (trace.events[static_cast<std::size_t>(pos)].first == 'A') last_a = pos;
+    if (trace.events[static_cast<std::size_t>(pos)].first == 'B') last_b = pos;
+  }
+  EXPECT_GE(std::min(last_a, last_b), 15) << "one job drained long before the other";
+}
+
+TEST(RoundSchedulerTest, WeightSkewsServiceTowardHeavierJob) {
+  RoundScheduler scheduler({/*workers=*/1, nullptr});
+  Trace trace;
+  std::promise<void> gate;
+  std::shared_future<void> open = gate.get_future().share();
+  const auto holder = scheduler.create_job({});
+  scheduler.enqueue(holder, [open] { open.wait(); });
+  const auto heavy = scheduler.create_job({/*priority=*/0, /*weight=*/3.0});
+  const auto light = scheduler.create_job({/*priority=*/0, /*weight=*/1.0});
+  for (int i = 0; i < 12; ++i) {
+    scheduler.enqueue(heavy, [&trace, i] {
+      trace.add('H', i);
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    });
+    scheduler.enqueue(light, [&trace, i] {
+      trace.add('L', i);
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    });
+  }
+  gate.set_value();
+  while (scheduler.items_executed() < 25) std::this_thread::yield();
+
+  // Weight 3 vs 1: of the first 12 completions, the heavy job should take
+  // roughly three quarters. Demand at least 7 — far above alternation's 6,
+  // comfortably below the exact 9 to absorb timing noise.
+  int heavy_in_prefix = 0;
+  for (int pos = 0; pos < 12; ++pos) {
+    if (trace.events[static_cast<std::size_t>(pos)].first == 'H') ++heavy_in_prefix;
+  }
+  EXPECT_GE(heavy_in_prefix, 7);
+}
+
+TEST(RoundSchedulerTest, HigherPriorityJobPreemptsQueuedLowerPriorityItems) {
+  RoundScheduler scheduler({/*workers=*/1, nullptr});
+  Trace trace;
+  std::promise<void> gate;
+  std::shared_future<void> open = gate.get_future().share();
+  const auto holder = scheduler.create_job({});
+  scheduler.enqueue(holder, [open] { open.wait(); });
+  const auto low = scheduler.create_job({/*priority=*/0, /*weight=*/1.0});
+  const auto high = scheduler.create_job({/*priority=*/1, /*weight=*/1.0});
+  for (int i = 0; i < 8; ++i) scheduler.enqueue(low, [&trace, i] { trace.add('L', i); });
+  for (int i = 0; i < 8; ++i) scheduler.enqueue(high, [&trace, i] { trace.add('H', i); });
+  gate.set_value();
+  while (scheduler.items_executed() < 17) std::this_thread::yield();
+
+  // Strict priority: every high item before any low item.
+  ASSERT_EQ(trace.events.size(), 16u);
+  for (int pos = 0; pos < 8; ++pos) {
+    EXPECT_EQ(trace.events[static_cast<std::size_t>(pos)].first, 'H') << "position " << pos;
+  }
+}
+
+TEST(RoundSchedulerTest, DropQueuedIfUnstartedIsAtomicWithFirstPick) {
+  RoundScheduler scheduler({/*workers=*/1, nullptr});
+  std::promise<void> gate;
+  std::shared_future<void> open = gate.get_future().share();
+  const auto holder = scheduler.create_job({});
+  scheduler.enqueue(holder, [open] { open.wait(); });
+
+  // Never started: all queued items drop, none runs.
+  std::atomic<int> ran{0};
+  const auto victim = scheduler.create_job({});
+  for (int i = 0; i < 3; ++i) scheduler.enqueue(victim, [&ran] { ran.fetch_add(1); });
+  EXPECT_EQ(scheduler.drop_queued_if_unstarted(victim), 3);
+  // Retired: late enqueues are dropped too.
+  scheduler.enqueue(victim, [&ran] { ran.fetch_add(1); });
+
+  // Started: refuse, let the chain drain.
+  const auto runner = scheduler.create_job({});
+  scheduler.enqueue(runner, [&ran] { ran.fetch_add(1); });
+  gate.set_value();
+  while (scheduler.items_executed() < 2) std::this_thread::yield();
+  EXPECT_EQ(scheduler.drop_queued_if_unstarted(runner), -1);
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(RoundSchedulerTest, StressManyJobsAcrossDispatchersRunEveryItemExactlyOnce) {
+  RoundScheduler scheduler({/*workers=*/4, nullptr});
+  constexpr int kJobs = 8;
+  constexpr int kItems = 50;
+  std::vector<RoundScheduler::JobPtr> jobs;
+  std::vector<std::atomic<int>> counts(kJobs);
+  for (int j = 0; j < kJobs; ++j) {
+    jobs.push_back(scheduler.create_job({/*priority=*/j % 2, /*weight=*/1.0 + j}));
+  }
+  for (int i = 0; i < kItems; ++i) {
+    for (int j = 0; j < kJobs; ++j) {
+      scheduler.enqueue(jobs[static_cast<std::size_t>(j)],
+                        [&counts, j] { counts[static_cast<std::size_t>(j)].fetch_add(1); });
+    }
+  }
+  while (scheduler.items_executed() < kJobs * kItems) std::this_thread::yield();
+  EXPECT_EQ(scheduler.items_executed(), kJobs * kItems);
+  for (int j = 0; j < kJobs; ++j) EXPECT_EQ(counts[static_cast<std::size_t>(j)].load(), kItems);
+  for (const auto& job : jobs) scheduler.retire_job(job);
+}
+
+}  // namespace
+}  // namespace usb
