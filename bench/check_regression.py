@@ -37,6 +37,10 @@ Scan schema (BENCH_scan_scaling.json): entries carry a "section" field.
     The fairness property is load-bearing for the DetectionService's global
     class-job scheduler, so its absence must read as a failure, never as
     "nothing to check". Its latency is gated like any single-thread row.
+    The entry must also carry deadline_miss_p50_overhead (solo-scan p50
+    latency with an armed-but-never-hit deadline, relative to no deadline,
+    minus 1.0) strictly below 0.02: deadline bookkeeping is a few clock
+    reads per stage boundary and must stay in the noise.
   - Wall-clock gating compares "seconds" against baseline * threshold, but
     only for single-thread rows: multi-thread rows measure pool scaling,
     which a differently-sized runner legitimately changes.
@@ -209,6 +213,21 @@ def check_scan(current_entries, baseline_entries, args):
                     f"{scan_key(entry)}: required contract field '{field}' is "
                     f"{entry.get(field)!r} (must be true)"
                 )
+        # Deadline bookkeeping (the per-stage steady_clock checks an armed
+        # deadline adds) must stay in the noise: below 2% of solo-scan p50
+        # latency. A missing field means the bench stopped measuring it,
+        # which must fail, not silently pass.
+        overhead = entry.get("deadline_miss_p50_overhead")
+        if overhead is None:
+            failures.append(
+                f"{scan_key(entry)}: required field 'deadline_miss_p50_overhead' "
+                "missing from current run"
+            )
+        elif overhead >= 0.02:
+            failures.append(
+                f"{scan_key(entry)}: deadline bookkeeping overhead "
+                f"{overhead:.4f} exceeds the 0.02 gate"
+            )
 
     current = {scan_key(e): e for e in current_entries}
     baseline = {scan_key(e): e for e in baseline_entries}

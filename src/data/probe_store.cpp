@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "data/synthetic.h"
+#include "utils/fault_injection.h"
 
 namespace usb {
 
@@ -120,6 +121,7 @@ std::shared_ptr<const ProbeData> ProbeStore::get_or_create(const ProbeKey& key) 
   // Generation runs unlocked: one cold key no longer convoys every
   // concurrent lookup (and stat getter) behind dataset materialization.
   try {
+    USB_FAULT_POINT("probe_store.materialize");
     auto data = std::make_shared<ProbeData>();
     data->key = key;
     // Identical to exp/model_zoo's make_probe(spec, probe_size, seed), which

@@ -8,10 +8,24 @@
 #include "nn/checkpoint.h"
 #include "tensor/arena.h"
 #include "tensor/tensor_ops.h"
+#include "utils/fault_injection.h"
 #include "utils/rng.h"
 #include "utils/timer.h"
 
 namespace usb {
+
+double early_exit_cutoff(std::span<const double> norms, double margin) {
+  std::vector<double> finite;
+  finite.reserve(norms.size());
+  for (const double norm : norms) {
+    if (std::isfinite(norm)) finite.push_back(norm);
+  }
+  if (finite.empty()) return std::numeric_limits<double>::infinity();
+  const double med = median(finite);
+  std::vector<double> deviations(finite.size());
+  for (std::size_t i = 0; i < finite.size(); ++i) deviations[i] = std::abs(finite[i] - med);
+  return med + margin * 1.4826 * median(deviations);
+}
 
 const ProbeBatchCache* select_scan_probe_cache(const ClassScanOptions& options,
                                                const Dataset& probe, ProbeBatchCache& local) {
@@ -45,17 +59,40 @@ ClassScanJob ClassScanScheduler::make_job(std::int64_t target_class,
 }
 
 DetectionReport ClassScanScheduler::finish(DetectionReport report, double wall_seconds) const {
-  // Ordered reduction: norms enter the MAD stage in class order.
-  std::vector<double> norms(report.per_class.size());
-  for (std::size_t t = 0; t < norms.size(); ++t) norms[t] = report.per_class[t].mask_l1;
-  report.verdict = decide_backdoor(norms, options_.mad_threshold);
+  const std::size_t num_classes = report.per_class.size();
+  // Normalize the completion-state vector (paths that predate it, like the
+  // monolithic run(), leave it empty = every class finalized), then
+  // re-grade finalized classes whose statistics diverged: a non-finite
+  // mask-L1 or fooling rate is the quarantine condition everywhere.
+  if (report.per_class_state.size() != num_classes) {
+    report.per_class_state.assign(num_classes, ClassScanState::kFinalized);
+  }
+  // Ordered reduction: norms enter the MAD stage in class order. A class
+  // that did not finalize feeds a NaN, which decide_backdoor_peeled peels
+  // out of the median/MAD population; with every class finalized and finite
+  // this is decide_backdoor verbatim.
+  std::vector<double> norms(num_classes);
+  for (std::size_t t = 0; t < num_classes; ++t) {
+    if (report.per_class_state[t] == ClassScanState::kFinalized &&
+        !(std::isfinite(report.per_class[t].mask_l1) &&
+          std::isfinite(report.per_class[t].fooling_rate))) {
+      report.per_class_state[t] = ClassScanState::kNumericallyUnstable;
+    }
+    norms[t] = report.per_class_state[t] == ClassScanState::kFinalized
+                   ? report.per_class[t].mask_l1
+                   : std::numeric_limits<double>::quiet_NaN();
+  }
+  report.verdict = decide_backdoor_peeled(norms, options_.mad_threshold);
   report.wall_seconds = wall_seconds;
   return report;
 }
 
-void ClassScanScheduler::throw_if_cancelled() const {
+void ClassScanScheduler::throw_if_interrupted() const {
   if (options_.cancel != nullptr && options_.cancel->load(std::memory_order_relaxed)) {
     throw ScanCancelled();
+  }
+  if (options_.deadline.has_value() && std::chrono::steady_clock::now() >= *options_.deadline) {
+    throw ScanTimedOut();
   }
 }
 
@@ -94,7 +131,7 @@ DetectionReport ClassScanScheduler::run(const std::string& method, Network& mode
   ThreadPool& pool = options_.pool != nullptr ? *options_.pool : ThreadPool::global();
   pool.parallel_for(num_classes, [&](std::int64_t begin, std::int64_t end, int /*worker*/) {
     for (std::int64_t t = begin; t < end; ++t) {
-      throw_if_cancelled();
+      throw_if_interrupted();
       Network clone = clone_network(model);
       const Timer timer;
       report.per_class[static_cast<std::size_t>(t)] =
@@ -122,6 +159,8 @@ DetectionReport ClassScanScheduler::run_early_exit(const std::string& method, Ne
   report.method = method;
   report.per_class.resize(static_cast<std::size_t>(num_classes));
   report.per_class_seconds.assign(static_cast<std::size_t>(num_classes), 0.0);
+  report.per_class_state.assign(static_cast<std::size_t>(num_classes),
+                                ClassScanState::kFinalized);
 
   ProbeBatchCache local_cache;
   const ProbeBatchCache* eval_cache = select_scan_probe_cache(options_, probe, local_cache);
@@ -138,7 +177,7 @@ DetectionReport ClassScanScheduler::run_early_exit(const std::string& method, Ne
   std::vector<std::unique_ptr<ClassRefineTask>> tasks(static_cast<std::size_t>(num_classes));
   pool.parallel_for(num_classes, [&](std::int64_t begin, std::int64_t end, int /*worker*/) {
     for (std::int64_t t = begin; t < end; ++t) {
-      throw_if_cancelled();
+      throw_if_interrupted();
       const auto slot = static_cast<std::size_t>(t);
       clones[slot] = std::make_unique<Network>(clone_network(model));
       // Timer starts after the clone, matching run(): per_class_seconds
@@ -164,11 +203,12 @@ DetectionReport ClassScanScheduler::run_early_exit(const std::string& method, Ne
   }
   std::int64_t rounds_done = 0;
   while (!active.empty()) {
-    throw_if_cancelled();
+    throw_if_interrupted();
     pool.parallel_for(static_cast<std::int64_t>(active.size()),
                       [&](std::int64_t begin, std::int64_t end, int /*worker*/) {
                         for (std::int64_t i = begin; i < end; ++i) {
-                          const auto slot = static_cast<std::size_t>(active[static_cast<std::size_t>(i)]);
+                          const std::int64_t t = active[static_cast<std::size_t>(i)];
+                          const auto slot = static_cast<std::size_t>(t);
                           const Timer timer;
                           const std::int64_t steps = std::min(round_steps, remaining[slot]);
                           const std::int64_t ran = tasks[slot]->run_steps(steps);
@@ -176,6 +216,18 @@ DetectionReport ClassScanScheduler::run_early_exit(const std::string& method, Ne
                           // condition fired; the class is done either way.
                           remaining[slot] = ran < steps ? 0 : remaining[slot] - ran;
                           report.per_class_seconds[slot] += timer.seconds();
+                          // Numerical quarantine at the round boundary: a
+                          // diverged statistic stops the class here and
+                          // keeps it out of every later cutoff population.
+                          double stat = tasks[slot]->current_mask_l1();
+                          if (USB_FAULT_NAN("scan.round_stat")) {
+                            stat = std::numeric_limits<double>::quiet_NaN();
+                          }
+                          if (!std::isfinite(stat)) {
+                            report.per_class_state[slot] = ClassScanState::kNumericallyUnstable;
+                            remaining[slot] = 0;
+                            notify_progress(t, ClassScanEvent::kQuarantined, stat);
+                          }
                         }
                       });
     ++rounds_done;
@@ -188,15 +240,16 @@ DetectionReport ClassScanScheduler::run_early_exit(const std::string& method, Ne
         rounds_done >= options_.early_exit.min_rounds) {
       // Current statistics of ALL classes (stopped ones hold their frozen
       // value), in class order — the same population the final MAD rule
-      // sees.
+      // sees. Quarantined classes feed a NaN so early_exit_cutoff peels
+      // them, exactly as decide_backdoor_peeled will at the reduction.
       std::vector<double> norms(static_cast<std::size_t>(num_classes));
       for (std::int64_t t = 0; t < num_classes; ++t) {
-        norms[static_cast<std::size_t>(t)] = tasks[static_cast<std::size_t>(t)]->current_mask_l1();
+        const auto slot = static_cast<std::size_t>(t);
+        norms[slot] = report.per_class_state[slot] == ClassScanState::kNumericallyUnstable
+                          ? std::numeric_limits<double>::quiet_NaN()
+                          : tasks[slot]->current_mask_l1();
       }
-      const double med = median(norms);
-      std::vector<double> deviations(norms.size());
-      for (std::size_t i = 0; i < norms.size(); ++i) deviations[i] = std::abs(norms[i] - med);
-      const double cutoff = med + options_.early_exit.margin * 1.4826 * median(deviations);
+      const double cutoff = early_exit_cutoff(norms, options_.early_exit.margin);
       // Heuristic retirement: a statistic above the cutoff sits above the
       // running median by the MAD-outlier margin, and the decision rule
       // only flags LOW-side outliers — so we bet that a class this far
@@ -220,11 +273,19 @@ DetectionReport ClassScanScheduler::run_early_exit(const std::string& method, Ne
     active = std::move(next);
   }
 
-  // Phase 3 — parallel finalize, slotted in class order.
+  // Phase 3 — parallel finalize, slotted in class order. Quarantined
+  // classes skip the fooling-rate evaluation (a forward pass over a
+  // non-finite trigger buys nothing) and report a NaN statistic; their
+  // slot is excluded from the verdict either way.
   pool.parallel_for(num_classes, [&](std::int64_t begin, std::int64_t end, int /*worker*/) {
     for (std::int64_t t = begin; t < end; ++t) {
-      throw_if_cancelled();
+      throw_if_interrupted();
       const auto slot = static_cast<std::size_t>(t);
+      if (report.per_class_state[slot] == ClassScanState::kNumericallyUnstable) {
+        report.per_class[slot].target_class = t;
+        report.per_class[slot].mask_l1 = std::numeric_limits<double>::quiet_NaN();
+        continue;
+      }
       const Timer timer;
       report.per_class[slot] = tasks[slot]->finalize();
       report.per_class_seconds[slot] += timer.seconds();
@@ -244,6 +305,8 @@ DetectionReport ClassScanScheduler::run_async_retire(
   report.method = method;
   report.per_class.resize(static_cast<std::size_t>(num_classes));
   report.per_class_seconds.assign(static_cast<std::size_t>(num_classes), 0.0);
+  report.per_class_state.assign(static_cast<std::size_t>(num_classes),
+                                ClassScanState::kFinalized);
 
   ProbeBatchCache local_cache;
   const ProbeBatchCache* eval_cache = select_scan_probe_cache(options_, probe, local_cache);
@@ -257,7 +320,7 @@ DetectionReport ClassScanScheduler::run_async_retire(
   std::vector<std::unique_ptr<ClassRefineTask>> tasks(static_cast<std::size_t>(num_classes));
   pool.parallel_for(num_classes, [&](std::int64_t begin, std::int64_t end, int /*worker*/) {
     for (std::int64_t t = begin; t < end; ++t) {
-      throw_if_cancelled();
+      throw_if_interrupted();
       const auto slot = static_cast<std::size_t>(t);
       clones[slot] = std::make_unique<Network>(clone_network(model));
       const Timer timer;
@@ -279,13 +342,20 @@ DetectionReport ClassScanScheduler::run_async_retire(
       round_steps * std::max<std::int64_t>(1, options_.early_exit.min_rounds);
   pool.parallel_for(num_classes, [&](std::int64_t begin, std::int64_t end, int /*worker*/) {
     for (std::int64_t t = begin; t < end; ++t) {
-      throw_if_cancelled();
+      throw_if_interrupted();
       const auto slot = static_cast<std::size_t>(t);
       const Timer timer;
       const std::int64_t steps = std::min(rendezvous_steps, remaining[slot]);
       const std::int64_t ran = tasks[slot]->run_steps(steps);
       remaining[slot] = ran < steps ? 0 : remaining[slot] - ran;
       report.per_class_seconds[slot] += timer.seconds();
+      double stat = tasks[slot]->current_mask_l1();
+      if (USB_FAULT_NAN("scan.round_stat")) stat = std::numeric_limits<double>::quiet_NaN();
+      if (!std::isfinite(stat)) {
+        report.per_class_state[slot] = ClassScanState::kNumericallyUnstable;
+        remaining[slot] = 0;
+        notify_progress(t, ClassScanEvent::kQuarantined, stat);
+      }
     }
   });
 
@@ -298,12 +368,12 @@ DetectionReport ClassScanScheduler::run_async_retire(
   if (options_.early_exit.enabled) {
     std::vector<double> norms(static_cast<std::size_t>(num_classes));
     for (std::int64_t t = 0; t < num_classes; ++t) {
-      norms[static_cast<std::size_t>(t)] = tasks[static_cast<std::size_t>(t)]->current_mask_l1();
+      const auto slot = static_cast<std::size_t>(t);
+      norms[slot] = report.per_class_state[slot] == ClassScanState::kNumericallyUnstable
+                        ? std::numeric_limits<double>::quiet_NaN()
+                        : tasks[slot]->current_mask_l1();
     }
-    const double med = median(norms);
-    std::vector<double> deviations(norms.size());
-    for (std::size_t i = 0; i < norms.size(); ++i) deviations[i] = std::abs(norms[i] - med);
-    cutoff = med + options_.early_exit.margin * 1.4826 * median(deviations);
+    cutoff = early_exit_cutoff(norms, options_.early_exit.margin);
   }
 
   // Phase 2b — untethered refinement: still-active classes are claimed
@@ -321,7 +391,7 @@ DetectionReport ClassScanScheduler::run_async_retire(
         const auto slot = static_cast<std::size_t>(t);
         const Timer timer;
         while (remaining[slot] > 0) {
-          throw_if_cancelled();
+          throw_if_interrupted();
           // Cutoff first: a class already above it (including right at the
           // rendezvous — the common case for obvious non-targets) retires
           // without spending another round.
@@ -332,15 +402,30 @@ DetectionReport ClassScanScheduler::run_async_retire(
           const std::int64_t steps = std::min(round_steps, remaining[slot]);
           const std::int64_t ran = tasks[slot]->run_steps(steps);
           remaining[slot] = ran < steps ? 0 : remaining[slot] - ran;
+          double stat = tasks[slot]->current_mask_l1();
+          if (USB_FAULT_NAN("scan.round_stat")) stat = std::numeric_limits<double>::quiet_NaN();
+          if (!std::isfinite(stat)) {
+            report.per_class_state[slot] = ClassScanState::kNumericallyUnstable;
+            remaining[slot] = 0;
+            notify_progress(t, ClassScanEvent::kQuarantined, stat);
+          }
         }
         report.per_class_seconds[slot] += timer.seconds();
       });
 
-  // Phase 3 — parallel finalize, slotted in class order.
+  // Phase 3 — parallel finalize, slotted in class order. Quarantined
+  // classes skip the fooling-rate evaluation (a forward pass over a
+  // non-finite trigger buys nothing) and report a NaN statistic; their
+  // slot is excluded from the verdict either way.
   pool.parallel_for(num_classes, [&](std::int64_t begin, std::int64_t end, int /*worker*/) {
     for (std::int64_t t = begin; t < end; ++t) {
-      throw_if_cancelled();
+      throw_if_interrupted();
       const auto slot = static_cast<std::size_t>(t);
+      if (report.per_class_state[slot] == ClassScanState::kNumericallyUnstable) {
+        report.per_class[slot].target_class = t;
+        report.per_class[slot].mask_l1 = std::numeric_limits<double>::quiet_NaN();
+        continue;
+      }
       const Timer timer;
       report.per_class[slot] = tasks[slot]->finalize();
       report.per_class_seconds[slot] += timer.seconds();

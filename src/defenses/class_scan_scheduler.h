@@ -69,9 +69,12 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
+#include <span>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -176,8 +179,9 @@ struct EarlyExitOptions {
 
 /// Scan progress notifications (ClassScanOptions::progress).
 enum class ClassScanEvent {
-  kRetired,    // early exit stopped the class before its full budget
-  kFinalized,  // estimate assembled (fooling rate evaluated)
+  kRetired,      // early exit stopped the class before its full budget
+  kFinalized,    // estimate assembled (fooling rate evaluated)
+  kQuarantined,  // non-finite statistic at a round boundary; class excluded
 };
 
 /// Per-class progress callback. Invoked from scan worker threads, possibly
@@ -192,6 +196,16 @@ using ClassProgressFn =
 /// stay valid for the next scan.
 struct ScanCancelled : std::runtime_error {
   ScanCancelled() : std::runtime_error("scan cancelled") {}
+};
+
+/// Thrown out of the blocking scan paths when ClassScanOptions::deadline
+/// passes mid-scan — checked at the same class/round boundaries as cancel,
+/// with the same unwinding contract: the partial scan is discarded and the
+/// scheduler, pool, and injected caches stay valid. (The service path does
+/// not use this seam; it resolves deadlines at stage boundaries and keeps
+/// the partial report — see DetectionService.)
+struct ScanTimedOut : std::runtime_error {
+  ScanTimedOut() : std::runtime_error("scan deadline exceeded") {}
 };
 
 struct ClassScanOptions {
@@ -213,6 +227,10 @@ struct ClassScanOptions {
   /// Checked at class and round boundaries; when it reads true the scan
   /// throws ScanCancelled. Null disables the checks.
   const std::atomic<bool>* cancel = nullptr;
+  /// Absolute deadline, checked at the same class/round boundaries as
+  /// `cancel`; past it the scan throws ScanTimedOut. Unset disables the
+  /// checks (and their steady_clock reads).
+  std::optional<std::chrono::steady_clock::time_point> deadline;
   /// Per-class progress notifications; null disables them. Carries no
   /// numeric effect on the report.
   ClassProgressFn progress;
@@ -269,10 +287,16 @@ class ClassScanScheduler {
   [[nodiscard]] const ClassScanOptions& options() const noexcept { return options_; }
 
   /// The ordered MAD reduction every scan path ends with: reads the
-  /// per-class mask-L1 statistics in class order, applies decide_backdoor
-  /// with options().mad_threshold, and stamps the wall time. Public so
-  /// StagedScan (scan_plan.h) finishes a stage-driven scan exactly as the
-  /// blocking paths do.
+  /// per-class mask-L1 statistics in class order, applies the MAD rule with
+  /// options().mad_threshold, and stamps the wall time. Public so StagedScan
+  /// (scan_plan.h) finishes a stage-driven scan exactly as the blocking
+  /// paths do. Fault-tolerant refinements, all no-ops on a healthy complete
+  /// scan: the per-class completion-state vector is normalized (absent ->
+  /// all kFinalized), a finalized class whose mask-L1 or fooling rate came
+  /// out non-finite is re-graded kNumericallyUnstable, and every
+  /// non-kFinalized class is peeled out of the MAD population
+  /// (decide_backdoor_peeled) so quarantined or unfinished classes cannot
+  /// shift the verdict for the rest.
   [[nodiscard]] DetectionReport finish(DetectionReport report, double wall_seconds) const;
 
  private:
@@ -280,11 +304,19 @@ class ClassScanScheduler {
                                                  const Dataset& probe, std::int64_t total_steps,
                                                  const RefineTaskFn& make_task,
                                                  const ScanSharedBuilder& shared_builder) const;
-  void throw_if_cancelled() const;
+  void throw_if_interrupted() const;
   void notify_progress(std::int64_t target_class, ClassScanEvent event, double mask_l1) const;
 
   ClassScanOptions options_;
 };
+
+/// The early-exit retirement cutoff: median + margin * 1.4826 * MAD over
+/// the FINITE entries of `norms` (quarantined classes feed a NaN and must
+/// not shift the statistic; no finite entries -> +infinity, nothing
+/// retires). Shared by the blocking barriers, the async rendezvous, and
+/// StagedScan::mad_cutoff so their populations can never diverge — and with
+/// every entry finite it is exactly the historical inline computation.
+[[nodiscard]] double early_exit_cutoff(std::span<const double> norms, double margin);
 
 /// The probe cache a scan actually uses: the injected
 /// options.external_probe_cache when its batching AND sample count match

@@ -6,6 +6,36 @@
 
 namespace usb {
 
+std::string to_string(ClassScanState state) {
+  switch (state) {
+    case ClassScanState::kPending: return "pending";
+    case ClassScanState::kRefining: return "refining";
+    case ClassScanState::kFinalized: return "finalized";
+    case ClassScanState::kNumericallyUnstable: return "numerically_unstable";
+  }
+  return "unknown";
+}
+
+bool DetectionReport::complete() const noexcept {
+  if (per_class_state.size() != per_class.size()) return false;
+  for (const ClassScanState state : per_class_state) {
+    if (state != ClassScanState::kFinalized && state != ClassScanState::kNumericallyUnstable) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<std::int64_t> DetectionReport::quarantined_classes() const {
+  std::vector<std::int64_t> quarantined;
+  for (std::size_t t = 0; t < per_class_state.size(); ++t) {
+    if (per_class_state[t] == ClassScanState::kNumericallyUnstable) {
+      quarantined.push_back(static_cast<std::int64_t>(t));
+    }
+  }
+  return quarantined;
+}
+
 DetectionReport Detector::detect(Network& model, const Dataset& probe) {
   const ScanPlan scan = plan();
   return run_scan_plan(scan, model, probe);

@@ -5,6 +5,7 @@
 // mask-L1 statistic fed to the MAD outlier rule (metrics/detection.h).
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
@@ -26,9 +27,28 @@ struct TriggerEstimate {
   double fooling_rate = 0.0;  // probe fraction sent to target_class
 };
 
+/// Completion state of one class's scan (DetectionReport::per_class_state).
+/// kFinalized is the only state whose mask-L1 enters the MAD reduction;
+/// every other state is peeled out (decide_backdoor_peeled) so a diverged
+/// or unfinished class cannot poison the verdict for the rest.
+enum class ClassScanState : std::uint8_t {
+  kPending,    // scan ended (deadline/fault) before the class's task was built
+  kRefining,   // task built, refinement unfinished when the scan ended
+  kFinalized,  // estimate complete — participates in the verdict
+  kNumericallyUnstable,  // quarantined: non-finite statistic, excluded
+};
+
+[[nodiscard]] std::string to_string(ClassScanState state);
+
 struct DetectionReport {
   std::string method;
   std::vector<TriggerEstimate> per_class;
+  /// Same length as per_class on every scan path; all-kFinalized on a
+  /// healthy complete scan. Partial reports (ScanStatus::kTimedOut) and
+  /// quarantines are legible here: a non-kFinalized class's per_class entry
+  /// carries no meaningful estimate (quarantined classes report a NaN
+  /// mask_l1) and its norm is excluded from the verdict.
+  std::vector<ClassScanState> per_class_state;
   DetectionVerdict verdict;
   std::vector<double> per_class_seconds;  // per-class wall clock, Table 7
   /// End-to-end scan wall clock, measured around the whole fan-out. Under
@@ -47,6 +67,14 @@ struct DetectionReport {
   }
   /// The full-size reversed trigger image pattern*mask for class k.
   [[nodiscard]] Tensor reversed_trigger(std::int64_t k) const;
+
+  /// True when every class reached a terminal per-class state (kFinalized
+  /// or kNumericallyUnstable) — i.e. the scan ran to the end rather than
+  /// being cut short by a deadline or fault.
+  [[nodiscard]] bool complete() const noexcept;
+
+  /// Classes quarantined as kNumericallyUnstable, in class order.
+  [[nodiscard]] std::vector<std::int64_t> quarantined_classes() const;
 };
 
 struct ScanPlan;  // defenses/scan_plan.h

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "nn/checkpoint.h"
+#include "utils/fault_injection.h"
 
 namespace usb {
 
@@ -23,24 +25,33 @@ StagedScan::StagedScan(ScanPlan plan, Network& model, const Dataset& probe)
   report_.method = plan_.method;
   report_.per_class.resize(slots);
   report_.per_class_seconds.assign(slots, 0.0);
+  // kPending until construct_class: a deadline or fault can end the scan at
+  // any stage boundary, and the partial report must say how far each class
+  // got (take_report handles every state).
+  report_.per_class_state.assign(slots, ClassScanState::kPending);
 }
 
 void StagedScan::prepare() {
+  USB_FAULT_POINT("scan.prepare");
   eval_cache_ = select_scan_probe_cache(plan_.options, *probe_, local_cache_);
   if (plan_.shared_builder) shared_ = plan_.shared_builder(*model_, *probe_);
 }
 
 void StagedScan::construct_class(std::int64_t target_class) {
   const auto slot = static_cast<std::size_t>(target_class);
+  USB_FAULT_POINT("scan.clone");
   clones_[slot] = std::make_unique<Network>(clone_network(*model_));
   const Timer timer;
+  USB_FAULT_POINT("scan.construct");
   tasks_[slot] = plan_.make_task(*clones_[slot], *probe_,
                                  scheduler_.make_job(target_class, *eval_cache_, shared_.get()));
   report_.per_class_seconds[slot] += timer.seconds();
+  report_.per_class_state[slot] = ClassScanState::kRefining;
 }
 
 bool StagedScan::run_round(std::int64_t target_class) {
   const auto slot = static_cast<std::size_t>(target_class);
+  USB_FAULT_POINT("scan.round");
   const Timer timer;
   const std::int64_t steps = std::min(round_steps_, remaining_[slot]);
   const std::int64_t ran = tasks_[slot]->run_steps(steps);
@@ -48,6 +59,16 @@ bool StagedScan::run_round(std::int64_t target_class) {
   // class is done either way.
   remaining_[slot] = ran < steps ? 0 : remaining_[slot] - ran;
   report_.per_class_seconds[slot] += timer.seconds();
+  // Numerical quarantine at the round boundary, same condition as the
+  // blocking paths: a diverged statistic zeroes the budget and excludes
+  // the class from every later cutoff and from the verdict.
+  double stat_now = tasks_[slot]->current_mask_l1();
+  if (USB_FAULT_NAN("scan.round_stat")) stat_now = std::numeric_limits<double>::quiet_NaN();
+  if (!std::isfinite(stat_now)) {
+    report_.per_class_state[slot] = ClassScanState::kNumericallyUnstable;
+    remaining_[slot] = 0;
+    notify(target_class, ClassScanEvent::kQuarantined, stat_now);
+  }
   return remaining_[slot] > 0;
 }
 
@@ -56,36 +77,64 @@ bool StagedScan::has_budget(std::int64_t target_class) const {
 }
 
 double StagedScan::stat(std::int64_t target_class) const {
-  return tasks_[static_cast<std::size_t>(target_class)]->current_mask_l1();
+  const auto slot = static_cast<std::size_t>(target_class);
+  if (report_.per_class_state[slot] == ClassScanState::kNumericallyUnstable) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  return tasks_[slot]->current_mask_l1();
+}
+
+bool StagedScan::quarantined(std::int64_t target_class) const {
+  return report_.per_class_state[static_cast<std::size_t>(target_class)] ==
+         ClassScanState::kNumericallyUnstable;
 }
 
 double StagedScan::mad_cutoff() const {
+  USB_FAULT_POINT("scan.cutoff");
   // Current statistics of ALL classes (stopped ones hold their frozen
   // value), in class order — the same population the final MAD rule sees.
+  // Quarantined classes read NaN (stat()) and are peeled by the shared
+  // cutoff helper, matching the blocking barriers.
   std::vector<double> norms(static_cast<std::size_t>(num_classes_));
   for (std::int64_t t = 0; t < num_classes_; ++t) {
     norms[static_cast<std::size_t>(t)] = stat(t);
   }
-  const double med = median(norms);
-  std::vector<double> deviations(norms.size());
-  for (std::size_t i = 0; i < norms.size(); ++i) deviations[i] = std::abs(norms[i] - med);
-  return med + plan_.options.early_exit.margin * 1.4826 * median(deviations);
+  return early_exit_cutoff(norms, plan_.options.early_exit.margin);
 }
 
 void StagedScan::retire_class(std::int64_t target_class) {
+  USB_FAULT_POINT("scan.retire");
   remaining_[static_cast<std::size_t>(target_class)] = 0;
   notify(target_class, ClassScanEvent::kRetired, stat(target_class));
 }
 
 void StagedScan::finalize_class(std::int64_t target_class) {
   const auto slot = static_cast<std::size_t>(target_class);
+  if (report_.per_class_state[slot] == ClassScanState::kNumericallyUnstable) {
+    // Quarantined: no fooling-rate evaluation, no kFinalized event — the
+    // class ends with a NaN statistic, peeled from the verdict.
+    report_.per_class[slot].target_class = target_class;
+    report_.per_class[slot].mask_l1 = std::numeric_limits<double>::quiet_NaN();
+    return;
+  }
+  USB_FAULT_POINT("scan.finalize");
   const Timer timer;
   report_.per_class[slot] = tasks_[slot]->finalize();
   report_.per_class_seconds[slot] += timer.seconds();
+  report_.per_class_state[slot] = ClassScanState::kFinalized;
   notify(target_class, ClassScanEvent::kFinalized, report_.per_class[slot].mask_l1);
 }
 
 DetectionReport StagedScan::take_report() {
+  // Partial scans (deadline expiry) reach here with kPending/kRefining
+  // classes; stamp their slots so the report is legible without estimates.
+  for (std::int64_t t = 0; t < num_classes_; ++t) {
+    const auto slot = static_cast<std::size_t>(t);
+    if (report_.per_class_state[slot] == ClassScanState::kPending ||
+        report_.per_class_state[slot] == ClassScanState::kRefining) {
+      report_.per_class[slot].target_class = t;
+    }
+  }
   return scheduler_.finish(std::move(report_), wall_.seconds());
 }
 

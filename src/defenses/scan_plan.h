@@ -99,8 +99,14 @@ class StagedScan {
   [[nodiscard]] bool has_budget(std::int64_t target_class) const;
 
   /// Current mask-L1 statistic of a constructed class (frozen once the
-  /// class stops running rounds). Cheap, non-mutating.
+  /// class stops running rounds). Cheap, non-mutating. A quarantined class
+  /// reads NaN so every cutoff population it feeds peels it out.
   [[nodiscard]] double stat(std::int64_t target_class) const;
+
+  /// True once run_round observed a non-finite statistic for class t and
+  /// quarantined it (budget zeroed, per-class state kNumericallyUnstable,
+  /// excluded from cutoffs and the verdict).
+  [[nodiscard]] bool quarantined(std::int64_t target_class) const;
 
   /// The early-exit cutoff over ALL classes' current statistics in class
   /// order — median + margin * 1.4826 * MAD, the same population and
@@ -116,8 +122,11 @@ class StagedScan {
   /// kFinalized. Exactly once per class, after its last round.
   void finalize_class(std::int64_t target_class);
 
-  /// Ordered MAD reduction + wall time; call once, after every class
-  /// finalized.
+  /// Ordered MAD reduction + wall time. Call once, with no class stage in
+  /// flight — normally after every class finalized, but also legal on a
+  /// PARTIAL scan (deadline expiry): classes that never finalized keep
+  /// their kPending/kRefining state, are peeled out of the verdict, and the
+  /// report says so via per_class_state.
   [[nodiscard]] DetectionReport take_report();
 
  private:

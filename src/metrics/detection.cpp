@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 namespace usb {
 
@@ -47,6 +48,36 @@ DetectionVerdict decide_backdoor(std::span<const double> per_class_norms, double
     }
   }
   verdict.backdoored = !verdict.flagged_classes.empty();
+  return verdict;
+}
+
+DetectionVerdict decide_backdoor_peeled(std::span<const double> per_class_norms,
+                                        double threshold, double ratio_max,
+                                        double decisive_ratio) {
+  std::vector<double> finite;
+  std::vector<std::size_t> original_index;
+  finite.reserve(per_class_norms.size());
+  for (std::size_t k = 0; k < per_class_norms.size(); ++k) {
+    if (std::isfinite(per_class_norms[k])) {
+      finite.push_back(per_class_norms[k]);
+      original_index.push_back(k);
+    }
+  }
+  if (finite.size() == per_class_norms.size()) {
+    return decide_backdoor(per_class_norms, threshold, ratio_max, decisive_ratio);
+  }
+  const DetectionVerdict sub = decide_backdoor(finite, threshold, ratio_max, decisive_ratio);
+  DetectionVerdict verdict;
+  verdict.backdoored = sub.backdoored;
+  verdict.norms.assign(per_class_norms.begin(), per_class_norms.end());
+  verdict.anomaly.assign(per_class_norms.size(), std::numeric_limits<double>::quiet_NaN());
+  for (std::size_t j = 0; j < finite.size(); ++j) {
+    verdict.anomaly[original_index[j]] = sub.anomaly[j];
+  }
+  for (const std::int64_t flagged : sub.flagged_classes) {
+    verdict.flagged_classes.push_back(
+        static_cast<std::int64_t>(original_index[static_cast<std::size_t>(flagged)]));
+  }
   return verdict;
 }
 

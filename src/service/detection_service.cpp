@@ -1,12 +1,14 @@
 #include "service/detection_service.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <optional>
 #include <stdexcept>
 #include <utility>
 
 #include "nn/checkpoint.h"
+#include "utils/fault_injection.h"
 
 namespace usb {
 
@@ -17,6 +19,7 @@ std::string to_string(ScanStatus status) {
     case ScanStatus::kDone: return "done";
     case ScanStatus::kCancelled: return "cancelled";
     case ScanStatus::kFailed: return "failed";
+    case ScanStatus::kTimedOut: return "timed_out";
   }
   return "unknown";
 }
@@ -39,6 +42,16 @@ struct ScanState {
   ScanOptions options;
 
   std::atomic<bool> cancel{false};
+
+  // Deadline, fixed at submit() from ScanOptions::deadline_seconds (falling
+  // back to the service default). Immutable after publication, so
+  // deadline_expired() needs no lock.
+  bool has_deadline = false;
+  std::chrono::steady_clock::time_point deadline{};
+  [[nodiscard]] bool deadline_expired() const {
+    return has_deadline && std::chrono::steady_clock::now() >= deadline;
+  }
+
   mutable std::mutex mutex;
   mutable std::condition_variable done_cv;
   ScanOutcome outcome;  // outcome.status doubles as the live status
@@ -99,68 +112,150 @@ class ScanExecution : public std::enable_shared_from_this<ScanExecution> {
 
   /// Admits the scan: creates its scheduler job (at the current fair-share
   /// frontier), marks it kRunning, and posts the init stage. No-op if the
-  /// scan was cancelled while still queued.
+  /// scan was cancelled while still queued. A scan admitted PAST its
+  /// deadline resolves kTimedOut right here, without ever creating a job or
+  /// consuming a dispatcher — its slot goes straight to the next queued
+  /// scan.
   void launch() {
-    const std::lock_guard<std::mutex> lock(mu_);
-    if (phase_ != Phase::kQueued) return;
-    phase_ = Phase::kLaunched;
-    {
-      const std::lock_guard<std::mutex> state_lock(state_->mutex);
-      state_->outcome.status = ScanStatus::kRunning;
-    }
-    job_ = service_->scheduler_.create_job(RoundScheduler::JobOptions{
-        state_->options.priority, state_->options.fair_weight});
-    outstanding_ = 1;
-    service_->scheduler_.enqueue(job_, [self = shared_from_this()] {
-      self->run_stage([&self] { self->stage_init(); });
-    });
-  }
-
-  /// Called with state_->cancel already set. Resolves a still-queued scan
-  /// (or a launched one whose first item never started) to kCancelled
-  /// immediately; otherwise the flag drains the in-flight chain
-  /// cooperatively at the next item boundary.
-  void request_cancel() {
     std::vector<std::shared_ptr<ScanExecution>> launches;
     {
       const std::lock_guard<std::mutex> lock(mu_);
-      if (phase_ == Phase::kTerminal) return;
-      if (phase_ == Phase::kLaunched) {
-        const std::int64_t dropped = service_->scheduler_.drop_queued_if_unstarted(job_);
-        if (dropped < 0) return;  // a stage ran or is running: drain cooperatively
-        outstanding_ -= dropped;  // the init item, dropped unrun
+      if (phase_ != Phase::kQueued) return;
+      if (state_->deadline_expired()) {
+        phase_ = Phase::kTerminal;
+        state_->finish(ScanOutcome{ScanStatus::kTimedOut, {}, {}});
+        service_->timed_out_.fetch_add(1);
+        service_->retire_scan(state_, this, launches);
+      } else {
+        phase_ = Phase::kLaunched;
+        {
+          const std::lock_guard<std::mutex> state_lock(state_->mutex);
+          state_->outcome.status = ScanStatus::kRunning;
+        }
+        RoundScheduler::JobOptions job_options;
+        job_options.priority = state_->options.priority;
+        job_options.weight = state_->options.fair_weight;
+        // Defense in depth: run_stage already routes stage exceptions, so
+        // only an escape from the completion path itself lands here — it
+        // still fails ONLY this scan, never the dispatcher crew.
+        job_options.on_item_error = [self = shared_from_this()](const std::exception_ptr& error) {
+          self->on_item_error(error);
+        };
+        job_ = service_->scheduler_.create_job(std::move(job_options));
+        outstanding_ = 1;
+        service_->scheduler_.enqueue(job_, [self = shared_from_this()] {
+          self->run_stage([&self] { self->stage_init(); });
+        });
       }
-      phase_ = Phase::kTerminal;
-      state_->finish(ScanOutcome{ScanStatus::kCancelled, {}, {}});
-      service_->cancelled_.fetch_add(1);
-      service_->retire_scan(state_, this, launches);
     }
     for (const auto& exec : launches) exec->launch();
+  }
+
+  /// Called with state_->cancel already set. Resolves a still-queued scan
+  /// (or a launched one whose first item never started) immediately;
+  /// otherwise the flag drains the in-flight chain cooperatively at the
+  /// next item boundary. A cancelled scan already past its deadline
+  /// resolves kTimedOut, not kCancelled — the deadline expired first, and
+  /// shutdown must not mask it.
+  void request_cancel() { request_abort(/*timeout=*/false); }
+
+  /// Deadline nudge (from a waiter observing expiry): like request_cancel
+  /// but a no-op unless the deadline really is expired, and it does NOT
+  /// set the cancel flag — an in-flight chain keeps draining through the
+  /// run_stage deadline check instead.
+  void request_timeout() {
+    if (!state_->deadline_expired()) return;
+    request_abort(/*timeout=*/true);
   }
 
  private:
   enum class Phase { kQueued, kLaunched, kTerminal };
   enum class Mode { kMonolithic, kSyncBarrier, kAsyncRendezvous };
 
-  /// Every scheduler item: skip the stage if the scan is cancelled or
-  /// failed (the chain then drains), route exceptions into the outcome,
-  /// and run the completion accounting.
+  /// The common immediate-resolution path behind request_cancel (timeout =
+  /// false) and request_timeout (true). See request_cancel for semantics.
+  void request_abort(bool timeout) {
+    std::vector<std::shared_ptr<ScanExecution>> launches;
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      if (phase_ == Phase::kTerminal) return;
+      if (phase_ == Phase::kLaunched) {
+        const std::int64_t dropped = service_->scheduler_.drop_queued_if_unstarted(job_);
+        if (dropped < 0) {
+          // A stage ran or is running: drain cooperatively. For a timeout
+          // nudge, record the expiry so the chain resolves kTimedOut even
+          // if it races a clock that has not been re-read yet.
+          if (timeout) timed_out_ = true;
+          return;
+        }
+        outstanding_ -= dropped;  // the init item, dropped unrun
+      }
+      phase_ = Phase::kTerminal;
+      if (timeout || state_->deadline_expired()) {
+        state_->finish(ScanOutcome{ScanStatus::kTimedOut, {}, {}});
+        service_->timed_out_.fetch_add(1);
+      } else {
+        state_->finish(ScanOutcome{ScanStatus::kCancelled, {}, {}});
+        service_->cancelled_.fetch_add(1);
+      }
+      service_->retire_scan(state_, this, launches);
+    }
+    for (const auto& exec : launches) exec->launch();
+  }
+
+  /// Every scheduler item: skip the stage if the scan is past its
+  /// deadline, cancelled, or failed (the chain then drains), route
+  /// exceptions into the outcome, and run the completion accounting. The
+  /// whole item runs under a FaultScope tagged with the scan id, so
+  /// injected faults scoped to one scan can never leak into a concurrent
+  /// healthy one (tests/test_fault_injection.cpp).
   void run_stage(const std::function<void()>& stage) {
-    bool skip = state_->cancel.load(std::memory_order_relaxed);
+    const fault::FaultScope fault_scope(state_->id);
+    bool skip = false;
+    if (state_->deadline_expired()) {
+      const std::lock_guard<std::mutex> lock(mu_);
+      timed_out_ = true;
+      skip = true;
+    }
+    if (!skip) skip = state_->cancel.load(std::memory_order_relaxed);
     if (!skip) {
       const std::lock_guard<std::mutex> lock(mu_);
-      skip = failed_;
+      skip = failed_ || timed_out_;
     }
     if (!skip) {
       try {
         stage();
       } catch (const ScanCancelled&) {
         state_->cancel.store(true, std::memory_order_relaxed);
+      } catch (const ScanTimedOut&) {
+        const std::lock_guard<std::mutex> lock(mu_);
+        timed_out_ = true;
       } catch (const std::exception& error) {
         mark_failed(error.what());
       } catch (...) {
         mark_failed("unknown scan failure");
       }
+    }
+    complete_item();
+  }
+
+  /// RoundScheduler's route-to-owner handler: anything that escaped an
+  /// item of this scan (run_stage catches stage exceptions, so this is the
+  /// completion path's own failure) is classified exactly like a stage
+  /// exception, then the item is completed — the throwing item never
+  /// reached its own complete_item.
+  void on_item_error(const std::exception_ptr& error) {
+    try {
+      std::rethrow_exception(error);
+    } catch (const ScanCancelled&) {
+      state_->cancel.store(true, std::memory_order_relaxed);
+    } catch (const ScanTimedOut&) {
+      const std::lock_guard<std::mutex> lock(mu_);
+      timed_out_ = true;
+    } catch (const std::exception& e) {
+      mark_failed(e.what());
+    } catch (...) {
+      mark_failed("unknown scan failure");
     }
     complete_item();
   }
@@ -377,9 +472,11 @@ class ScanExecution : public std::enable_shared_from_this<ScanExecution> {
   }
 
   /// Item-completion accounting. The scan is terminal when its last
-  /// outstanding item completes: all K classes finalized -> kDone; a
-  /// recorded failure -> kFailed; anything else (the cancel flag starved
-  /// the chain) -> kCancelled.
+  /// outstanding item completes: a recorded failure -> kFailed; all K
+  /// classes finalized -> kDone (completed work beats a deadline that
+  /// nobody observed in time); a deadline expiry -> kTimedOut with the
+  /// partial report; anything else (the cancel flag starved the chain) ->
+  /// kCancelled.
   void complete_item() {
     std::vector<std::shared_ptr<ScanExecution>> launches;
     {
@@ -392,9 +489,32 @@ class ScanExecution : public std::enable_shared_from_this<ScanExecution> {
         outcome.error = error_;
         service_->failed_.fetch_add(1);
       } else if (staged_.has_value() && finalized_ == num_classes_) {
-        outcome.status = ScanStatus::kDone;
-        outcome.report = staged_->take_report();
-        service_->completed_.fetch_add(1);
+        try {
+          outcome.report = staged_->take_report();
+          outcome.status = ScanStatus::kDone;
+          service_->completed_.fetch_add(1);
+        } catch (const std::exception& e) {
+          // The reduction itself failed (e.g. an injected finish fault):
+          // the scan must still resolve — a throw here would escape to the
+          // scheduler and leave the handle waiting forever.
+          outcome = ScanOutcome{};
+          outcome.status = ScanStatus::kFailed;
+          outcome.error = e.what();
+          service_->failed_.fetch_add(1);
+        }
+      } else if (timed_out_ || state_->deadline_expired()) {
+        outcome.status = ScanStatus::kTimedOut;
+        // The partial report: whatever stages completed, with
+        // per_class_state saying how far each class got. A scan that timed
+        // out before stage_init has no staged scan and no report.
+        if (staged_.has_value()) {
+          try {
+            outcome.report = staged_->take_report();
+          } catch (const std::exception&) {
+            outcome.report = DetectionReport{};
+          }
+        }
+        service_->timed_out_.fetch_add(1);
       } else {
         outcome.status = ScanStatus::kCancelled;
         service_->cancelled_.fetch_add(1);
@@ -424,6 +544,7 @@ class ScanExecution : public std::enable_shared_from_this<ScanExecution> {
   std::int64_t constructed_ = 0;
   std::int64_t finalized_ = 0;
   bool failed_ = false;
+  bool timed_out_ = false;
   std::string error_;
 
   // kSyncBarrier bookkeeping.
@@ -480,6 +601,20 @@ ScanStatus ScanHandle::poll() const {
 const ScanOutcome& ScanHandle::wait() const {
   const auto& state = require_state(state_);
   std::unique_lock<std::mutex> lock(state->mutex);
+  if (state->has_deadline) {
+    state->done_cv.wait_until(lock, state->deadline, [&state] { return state->terminal; });
+    if (!state->terminal) {
+      // Deadline passed with the scan unresolved. Nudge it: a QUEUED scan
+      // resolves kTimedOut right now (it would otherwise sit in the
+      // submission queue untouched — no dispatcher ever looks at it); an
+      // in-flight one resolves at its next stage boundary, which the
+      // final wait below observes.
+      std::shared_ptr<ScanExecution> execution = state->execution;
+      lock.unlock();
+      if (execution != nullptr) execution->request_timeout();
+      lock.lock();
+    }
+  }
   state->done_cv.wait(lock, [&state] { return state->terminal; });
   return state->outcome;
 }
@@ -587,6 +722,16 @@ ScanHandle DetectionService::submit(ScanRequest request) {
       state->owned_probe = std::make_unique<Dataset>(*request.probe);
     }
     state->options = std::move(request.options);
+    const double deadline_seconds = state->options.deadline_seconds > 0
+                                        ? state->options.deadline_seconds
+                                        : config_.default_deadline_seconds;
+    if (deadline_seconds > 0) {
+      state->has_deadline = true;
+      state->deadline =
+          std::chrono::steady_clock::now() +
+          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+              std::chrono::duration<double>(deadline_seconds));
+    }
     execution = std::make_shared<ScanExecution>(*this, state);
     state->execution = execution;  // pre-publication: no lock needed yet
 

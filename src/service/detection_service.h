@@ -44,6 +44,22 @@
 // (tests/test_detection_service.cpp pins submit() == detect()
 // byte-for-byte, including with async retirement enabled and under
 // mixed-request load).
+//
+// FAILURE SEMANTICS (the robustness layer; see also README "Failure
+// semantics" and tests/test_fault_injection.cpp):
+//  - deadlines: checked at every stage boundary (and by the scheduler's
+//    blocking paths at round boundaries). Expiry resolves kTimedOut with a
+//    partial report whose per_class_state says how far each class got.
+//  - fault isolation: an exception escaping any stage item is routed to
+//    the owning scan (kFailed + error); the dispatcher crew and every
+//    other scan's queue keep draining — one faulty request fails only
+//    itself.
+//  - numerical quarantine: a class whose round statistic goes non-finite
+//    is retired with ClassScanState::kNumericallyUnstable and peeled from
+//    every MAD population; the scan still resolves kDone and the report
+//    names the quarantined classes.
+// When no fault occurs, no deadline is hit, and nothing is quarantined,
+// every path above is inert and reports stay bit-identical to detect().
 #pragma once
 
 #include <atomic>
@@ -71,12 +87,15 @@ enum class ScanStatus {
   kDone,       // report available
   kCancelled,  // cancel() (or service shutdown) stopped it
   kFailed,     // the scan threw; see ScanOutcome::error
+  kTimedOut,   // deadline expired; a PARTIAL report is available
 };
 
 [[nodiscard]] std::string to_string(ScanStatus status);
 
-/// Terminal result of a scan. `report` is meaningful only when status is
-/// kDone; `error` only when kFailed.
+/// Terminal result of a scan. `report` is meaningful when status is kDone
+/// (complete) or kTimedOut (partial: DetectionReport::per_class_state says
+/// how far each class got; non-finalized classes are peeled from the
+/// verdict); `error` only when kFailed.
 struct ScanOutcome {
   ScanStatus status = ScanStatus::kQueued;
   DetectionReport report;
@@ -102,6 +121,17 @@ struct ScanOptions {
   /// RoundScheduler::JobOptions::weight). Values <= 0 are clamped up to a
   /// tiny positive weight. No numeric effect.
   double fair_weight = 1.0;
+  /// Wall-clock deadline, measured from submit(). <= 0 falls back to
+  /// DetectionServiceConfig::default_deadline_seconds (whose 0 means no
+  /// deadline). The deadline is checked at every stage boundary — never
+  /// mid-kernel — so an expired scan resolves to kTimedOut within one
+  /// stage's latency, with a partial report. A scan that finishes its last
+  /// stage before anyone observes the expiry still resolves kDone:
+  /// completed work is never thrown away. A scan still queued past its
+  /// deadline is dropped without ever consuming a dispatcher. Deadlines
+  /// that are set but never hit have no numeric effect (submit() stays
+  /// byte-identical to detect()).
+  double deadline_seconds = 0.0;
 };
 
 /// One detection request. The service deep-copies the model at submit()
@@ -137,7 +167,10 @@ class ScanHandle {
   [[nodiscard]] ScanStatus poll() const;
   /// Blocks until the scan reaches a terminal status; returns the outcome
   /// (kept alive by this handle). Never throws on scan failure — inspect
-  /// outcome.status / outcome.error.
+  /// outcome.status / outcome.error. A scan with a deadline is nudged when
+  /// the waiter observes expiry, so wait() on a deadline-expired scan that
+  /// is still QUEUED resolves kTimedOut promptly without the scan ever
+  /// running a stage.
   const ScanOutcome& wait() const;
   /// Requests cancellation. A scan still queued (not yet admitted to the
   /// scheduler) resolves to kCancelled IMMEDIATELY — its model clone is
@@ -202,14 +235,18 @@ struct DetectionServiceConfig {
   /// materializations by LRU eviction; entries pinned by in-flight scans
   /// are never dropped.
   std::int64_t probe_store_max_bytes = 0;
+  /// Deadline applied to every scan whose ScanOptions::deadline_seconds is
+  /// unset (<= 0). 0 (default) = scans run to completion.
+  double default_deadline_seconds = 0.0;
 };
 
 class DetectionService {
  public:
   explicit DetectionService(DetectionServiceConfig config = {});
-  /// Cancels every queued and running scan (their handles resolve to
-  /// kCancelled) and joins the dispatcher crew. Handles stay valid
-  /// afterwards.
+  /// Cancels every queued and running scan and joins the dispatcher crew.
+  /// Handles stay valid afterwards and resolve to kCancelled — except
+  /// scans already past their deadline, which resolve to kTimedOut (the
+  /// cause that expired first wins; shutdown must not mask a deadline).
   ~DetectionService();
 
   DetectionService(const DetectionService&) = delete;
@@ -237,6 +274,7 @@ class DetectionService {
   [[nodiscard]] std::int64_t scans_completed() const noexcept { return completed_.load(); }
   [[nodiscard]] std::int64_t scans_cancelled() const noexcept { return cancelled_.load(); }
   [[nodiscard]] std::int64_t scans_failed() const noexcept { return failed_.load(); }
+  [[nodiscard]] std::int64_t scans_timed_out() const noexcept { return timed_out_.load(); }
   /// Stage items executed by the global scheduler since construction.
   [[nodiscard]] std::int64_t rounds_dispatched() const { return scheduler_.items_executed(); }
 
@@ -275,6 +313,7 @@ class DetectionService {
   std::atomic<std::int64_t> completed_{0};
   std::atomic<std::int64_t> cancelled_{0};
   std::atomic<std::int64_t> failed_{0};
+  std::atomic<std::int64_t> timed_out_{0};
 
   /// Declared last: destroyed first, joining the dispatchers before any
   /// state they might touch goes away. The destructor body additionally

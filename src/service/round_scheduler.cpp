@@ -41,6 +41,7 @@ RoundScheduler::JobPtr RoundScheduler::create_job(JobOptions options) {
   auto job = std::make_shared<Job>();
   job->priority = options.priority;
   job->weight = std::max(options.weight, 1e-9);
+  job->on_item_error = std::move(options.on_item_error);
   const std::lock_guard<std::mutex> lock(mutex_);
   job->vtime = vclock_;
   job->sequence = next_sequence_++;
@@ -121,12 +122,14 @@ void RoundScheduler::dispatcher_loop() {
     }
 
     const Timer timer;
+    std::exception_ptr error;
     try {
       item();
     } catch (...) {
-      // Contract violation: items route their own errors (see header).
-      std::fprintf(stderr, "RoundScheduler: item threw — items must not throw\n");
-      std::abort();
+      // Fault isolation: the throw belongs to ONE job. Charge the item,
+      // then hand the exception to that job's handler — the other jobs'
+      // queues keep draining and this dispatcher stays alive.
+      error = std::current_exception();
     }
     const double cost = timer.seconds() + kMinItemSeconds;
 
@@ -134,6 +137,13 @@ void RoundScheduler::dispatcher_loop() {
       const std::lock_guard<std::mutex> lock(mutex_);
       job->vtime += cost / job->weight;
       ++items_executed_;
+    }
+    if (error != nullptr) {
+      if (job->on_item_error) {
+        job->on_item_error(error);
+      } else {
+        std::fprintf(stderr, "RoundScheduler: dropping exception from item of unhandled job\n");
+      }
     }
     work_available_.notify_one();
   }

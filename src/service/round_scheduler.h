@@ -28,14 +28,18 @@
 // item eventually runs (or is dropped via drop_queued_if_unstarted before
 // the job's first item ever ran).
 //
-// Items must not throw — the service wraps every stage in its own
-// try/catch and routes failures into the scan outcome. An escaping
-// exception is a contract violation and terminates the process.
+// Items may throw: an exception escaping an item is caught by the
+// dispatcher and routed to the owning job's on_item_error handler
+// (JobOptions), so one faulty request fails ONLY itself while the queue
+// keeps draining every other job — the dispatcher crew never dies. A job
+// armed without a handler gets its errors logged and dropped (the item is
+// still charged to its vtime account).
 #pragma once
 
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -66,6 +70,12 @@ class RoundScheduler {
     /// Fair-share weight among equal-priority jobs; vtime accrues at
     /// seconds / weight, so weight 2 receives twice the service rate.
     double weight = 1.0;
+    /// Routes an exception thrown by one of this job's items. Called on the
+    /// dispatcher thread, outside the scheduler lock, after the item was
+    /// charged to the job's vtime; must not throw. May enqueue further
+    /// items or retire the job. Null logs-and-drops instead (the queue
+    /// keeps draining either way — a throwing item never kills the crew).
+    std::function<void(std::exception_ptr)> on_item_error;
   };
 
   /// One request's item queue plus its scheduling account. Opaque to
@@ -75,6 +85,7 @@ class RoundScheduler {
    private:
     friend class RoundScheduler;
     std::deque<std::function<void()>> items;
+    std::function<void(std::exception_ptr)> on_item_error;
     int priority = 0;
     double weight = 1.0;
     double vtime = 0.0;

@@ -1,6 +1,9 @@
 // Tests for the MAD outlier rule and the paper's detection bookkeeping.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "metrics/detection.h"
 
 namespace usb {
@@ -179,6 +182,49 @@ TEST(CaseCounts, CleanPopulationUsesMeanNorm) {
   counts.record(verdict, -1);
   EXPECT_NEAR(counts.mean_l1(), 20.0, 1e-9);
   EXPECT_EQ(counts.detected_clean, 1);
+}
+
+TEST(DecideBackdoorPeeled, AllFiniteDelegatesBitIdentically) {
+  const std::vector<double> norms{50, 52, 48, 51, 49, 53, 47, 50, 4, 52};
+  const DetectionVerdict plain = decide_backdoor(norms);
+  const DetectionVerdict peeled = decide_backdoor_peeled(norms);
+  EXPECT_EQ(plain.backdoored, peeled.backdoored);
+  EXPECT_EQ(plain.flagged_classes, peeled.flagged_classes);
+  EXPECT_EQ(plain.norms, peeled.norms);
+  EXPECT_EQ(plain.anomaly, peeled.anomaly);
+}
+
+TEST(DecideBackdoorPeeled, NanEntriesArePeeledNotFlagged) {
+  // Class 3 diverged (quarantined): its NaN must not poison the median/MAD
+  // of the rest, and flagged indices must stay ORIGINAL class indices.
+  const std::vector<double> norms{50, 52, std::numeric_limits<double>::quiet_NaN(), 51,
+                                  49, 53, 47, 50, 4, 52};
+  const DetectionVerdict verdict = decide_backdoor_peeled(norms);
+  EXPECT_TRUE(verdict.backdoored);
+  ASSERT_EQ(verdict.flagged_classes.size(), 1U);
+  EXPECT_EQ(verdict.flagged_classes[0], 8);
+  ASSERT_EQ(verdict.norms.size(), 10U);
+  EXPECT_TRUE(std::isnan(verdict.norms[2]));
+  ASSERT_EQ(verdict.anomaly.size(), 10U);
+  EXPECT_TRUE(std::isnan(verdict.anomaly[2]));  // peeled: no anomaly score
+  EXPECT_FALSE(std::isnan(verdict.anomaly[8]));
+}
+
+TEST(DecideBackdoorPeeled, PeeledOutlierDoesNotShiftVerdict) {
+  // Without peeling, a +inf entry would destroy the median; with it, the
+  // clean profile stays clean.
+  std::vector<double> norms{50, 52, 48, 51, 49, 53, 47, 50, 46, 52};
+  norms[4] = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(decide_backdoor_peeled(norms).backdoored);
+}
+
+TEST(DecideBackdoorPeeled, AllNonFiniteIsCleanAndWellDefined) {
+  const std::vector<double> norms(5, std::numeric_limits<double>::quiet_NaN());
+  const DetectionVerdict verdict = decide_backdoor_peeled(norms);
+  EXPECT_FALSE(verdict.backdoored);
+  EXPECT_TRUE(verdict.flagged_classes.empty());
+  ASSERT_EQ(verdict.anomaly.size(), 5U);
+  for (const double a : verdict.anomaly) EXPECT_TRUE(std::isnan(a));
 }
 
 }  // namespace

