@@ -31,10 +31,14 @@
 // The flags restrict the matrix axes (default both x both).
 // Emits BENCH_scan_scaling.json.
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <future>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/usb.h"
@@ -43,6 +47,7 @@
 #include "defenses/neural_cleanse.h"
 #include "nn/models.h"
 #include "service/detection_service.h"
+#include "utils/fault_injection.h"
 #include "utils/thread_pool.h"
 #include "utils/timer.h"
 
@@ -237,6 +242,14 @@ int main(int argc, char** argv) {
     double deadline_overhead = 0.0;
   };
   ServiceRow service_row;
+  // ---- Overload resilience: retries, shedding, health-snapshot cost. ----
+  struct OverloadRow {
+    double retry_seconds = 0.0;        // p50 submit-to-done WITH one injected retry
+    double retry_success_rate = 0.0;   // fraction of faulted scans resolving kDone
+    double shed_p50_latency = 0.0;     // p50 submit-to-kShed resolution latency
+    double health_overhead = 0.0;      // solo p50 with a health() poller, minus 1
+  };
+  OverloadRow overload_row;
   {
     DatasetSpec large_spec;
     large_spec.name = "bench-scan-service-large";
@@ -330,17 +343,143 @@ int main(int argc, char** argv) {
       without_deadline.push_back(run_small(0.0));
       with_deadline.push_back(run_small(3600.0));
     }
-    std::sort(without_deadline.begin(), without_deadline.end());
-    std::sort(with_deadline.begin(), with_deadline.end());
-    const double base_p50 = without_deadline[without_deadline.size() / 2];
-    const double deadline_p50 = with_deadline[with_deadline.size() / 2];
-    service_row.deadline_overhead = base_p50 > 0 ? deadline_p50 / base_p50 - 1.0 : 0.0;
+    // Min-of-reps on both sides: the deadline seam costs well under 1%, and
+    // on a shared 1-core runner the p50 of millisecond-scale pairs still
+    // carries one-sided scheduler spikes several times that size — the
+    // least-disturbed run of each variant is the honest comparison.
+    const double base_best =
+        *std::min_element(without_deadline.begin(), without_deadline.end());
+    const double deadline_best =
+        *std::min_element(with_deadline.begin(), with_deadline.end());
+    service_row.deadline_overhead = base_best > 0 ? deadline_best / base_best - 1.0 : 0.0;
+
+    // ---- Transient-fault retry success rate. ----------------------------
+    // Each rep arms exactly one injected throw at the next round stage; a
+    // max_retries=2 budget must absorb it and the retried scan must still
+    // be byte-identical to detect(). The rate is a hard 1.0 requirement in
+    // check_regression.py; the p50 latency (seconds of the JSON row) tracks
+    // what one retry + backoff costs end to end.
+    constexpr int kRetryReps = 9;
+    int retry_successes = 0;
+    std::vector<double> retry_latencies;
+    retry_latencies.reserve(kRetryReps);
+    for (int rep = 0; rep < kRetryReps; ++rep) {
+      fault::FaultSpec fault_spec;
+      fault_spec.kind = fault::FaultSpec::Kind::kThrow;
+      fault_spec.count = 1;
+      fault::FaultRegistry::instance().arm("scan.round", fault_spec);
+      ScanRequest request;
+      request.model = &small_victim;
+      request.detector = std::make_unique<NeuralCleanse>(service_nc);
+      request.probe_key = small_key;
+      request.options.max_retries = 2;
+      request.options.retry_backoff_seconds = 0.001;
+      const Timer timer;
+      const ScanOutcome& outcome = service.submit(std::move(request)).wait();
+      retry_latencies.push_back(timer.seconds());
+      if (outcome.status == ScanStatus::kDone && outcome.retries >= 1 &&
+          reports_identical(direct_small, outcome.report)) {
+        ++retry_successes;
+      }
+    }
+    fault::FaultRegistry::instance().disarm_all();
+    std::sort(retry_latencies.begin(), retry_latencies.end());
+    overload_row.retry_seconds = retry_latencies[retry_latencies.size() / 2];
+    overload_row.retry_success_rate =
+        static_cast<double>(retry_successes) / static_cast<double>(kRetryReps);
+
+    // ---- Shed resolution latency. ---------------------------------------
+    // A dedicated single-slot service past its depth watermark: every rep's
+    // submit breaches the watermark and sheds ITSELF synchronously, so the
+    // submit-to-kShed latency is the full cost of rejecting work under
+    // overload (clone + watermark sweep + resolution) — the number an
+    // overloaded caller actually waits.
+    {
+      DetectionServiceConfig shed_config;
+      shed_config.scan_threads = 1;
+      shed_config.max_concurrent_scans = 1;
+      shed_config.shed_queue_depth = 1;
+      DetectionService shed_service(shed_config);
+      std::promise<void> release;
+      const std::shared_future<void> gate(release.get_future());
+      auto small_request = [&](bool gated) {
+        ScanRequest request;
+        request.model = &small_victim;
+        request.detector = std::make_unique<NeuralCleanse>(service_nc);
+        request.probe_key = small_key;
+        if (gated) {
+          request.options.progress = [gate](std::int64_t, ClassScanEvent event, double) {
+            if (event == ClassScanEvent::kFinalized) gate.wait();
+          };
+        }
+        return request;
+      };
+      // Occupy the executor (gated at its first finalize) and the one
+      // tolerated queue slot; every further submit is over the watermark.
+      const ScanHandle blocker = shed_service.submit(small_request(/*gated=*/true));
+      const ScanHandle filler = shed_service.submit(small_request(/*gated=*/false));
+      constexpr int kShedReps = 9;
+      std::vector<double> shed_latencies;
+      shed_latencies.reserve(kShedReps);
+      for (int rep = 0; rep < kShedReps; ++rep) {
+        const Timer timer;
+        const ScanHandle shed = shed_service.submit(small_request(/*gated=*/false));
+        const double elapsed = timer.seconds();
+        if (shed.poll() == ScanStatus::kShed) {
+          shed_latencies.push_back(elapsed);
+        }
+      }
+      release.set_value();
+      if (shed_latencies.empty()) {
+        service_row.identical = false;  // shedding never happened: contract broken
+      } else {
+        std::sort(shed_latencies.begin(), shed_latencies.end());
+        overload_row.shed_p50_latency = shed_latencies[shed_latencies.size() / 2];
+      }
+      (void)blocker.wait();
+      (void)filler.wait();
+    }
+
+    // ---- Health snapshot overhead. --------------------------------------
+    // Solo-scan pairs with a monitoring thread polling health() at 100 Hz
+    // (a realistic monitoring cadence; on a 1-core runner a tighter loop
+    // measures context-switch preemption, not snapshot cost), interleaved
+    // with unmonitored pairs so machine drift hits both alike. health() is
+    // two mutex grabs plus a wait-free heartbeat sweep; the gate holds its
+    // effect on scan latency below 2%. Min-of-reps on both sides: the p50
+    // of millisecond-scale pairs on a shared 1-core runner still carries
+    // one-sided scheduler spikes that would swamp a sub-1% effect.
+    constexpr int kHealthReps = 9;
+    std::vector<double> unmonitored;
+    std::vector<double> monitored;
+    for (int rep = 0; rep < kHealthReps; ++rep) {
+      unmonitored.push_back(run_small(0.0));
+      std::atomic<bool> stop_poller{false};
+      std::thread poller([&] {
+        while (!stop_poller.load(std::memory_order_relaxed)) {
+          (void)service.health();
+          std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        }
+      });
+      monitored.push_back(run_small(0.0));
+      stop_poller.store(true, std::memory_order_relaxed);
+      poller.join();
+    }
+    const double unmonitored_best = *std::min_element(unmonitored.begin(), unmonitored.end());
+    const double monitored_best = *std::min_element(monitored.begin(), monitored.end());
+    overload_row.health_overhead =
+        unmonitored_best > 0 ? monitored_best / unmonitored_best - 1.0 : 0.0;
   }
   std::printf("\n%-6s %13s %20s %10s %18s\n", "method", "small-p50-s", "small-before-large",
               "identical", "deadline-overhead");
   std::printf("%-6s %13.3f %20s %10s %17.1f%%\n", "NC", service_row.seconds,
               service_row.small_before_large ? "yes" : "NO",
               service_row.identical ? "yes" : "NO", service_row.deadline_overhead * 100.0);
+  std::printf("\n%-6s %14s %19s %14s %17s\n", "method", "retry-p50-s", "retry-success-rate",
+              "shed-p50-ms", "health-overhead");
+  std::printf("%-6s %14.3f %19.2f %14.3f %16.1f%%\n", "NC", overload_row.retry_seconds,
+              overload_row.retry_success_rate, overload_row.shed_p50_latency * 1e3,
+              overload_row.health_overhead * 100.0);
 
   std::ofstream out(json_path);
   if (!out) {
@@ -376,9 +515,17 @@ int main(int argc, char** argv) {
                   "  {\"section\": \"service\", \"method\": \"NC\", \"threads\": 1, "
                   "\"scenario\": \"mixed\", \"seconds\": %.4f, "
                   "\"small_before_large\": %s, \"identical\": %s, "
-                  "\"deadline_miss_p50_overhead\": %.4f}\n",
+                  "\"deadline_miss_p50_overhead\": %.4f},\n",
                   service_row.seconds, service_row.small_before_large ? "true" : "false",
                   service_row.identical ? "true" : "false", service_row.deadline_overhead);
+    out << line;
+    std::snprintf(line, sizeof(line),
+                  "  {\"section\": \"overload\", \"method\": \"NC\", \"threads\": 1, "
+                  "\"scenario\": \"overload\", \"seconds\": %.4f, "
+                  "\"retry_success_rate\": %.3f, \"shed_p50_latency_seconds\": %.6f, "
+                  "\"health_snapshot_overhead\": %.4f}\n",
+                  overload_row.retry_seconds, overload_row.retry_success_rate,
+                  overload_row.shed_p50_latency, overload_row.health_overhead);
     out << line;
     out << "]\n";
     std::printf("wrote %s\n", json_path.c_str());
@@ -391,5 +538,8 @@ int main(int argc, char** argv) {
     if ((row.identical_checked && !row.identical) || !row.same_verdict) return 1;
   }
   if (!service_row.small_before_large || !service_row.identical) return 1;
+  // Overload contract: every faulted scan must retry to success, and the
+  // shed path must actually have shed (a zero p50 means it never fired).
+  if (overload_row.retry_success_rate != 1.0 || overload_row.shed_p50_latency <= 0.0) return 1;
   return 0;
 }

@@ -41,6 +41,15 @@ Scan schema (BENCH_scan_scaling.json): entries carry a "section" field.
     latency with an armed-but-never-hit deadline, relative to no deadline,
     minus 1.0) strictly below 0.02: deadline bookkeeping is a few clock
     reads per stage boundary and must stay in the noise.
+  - The "overload" section (the robustness layer made measurable) is a hard
+    requirement of the current run as well: retry_success_rate must be
+    exactly 1.0 (every scan hit by one injected transient fault, given a
+    retry budget, resolved kDone byte-identical), shed_p50_latency_seconds
+    must be present and positive (the depth-watermark shed path actually
+    fired; the value is the submit-to-kShed resolution latency an
+    overloaded caller waits), and health_snapshot_overhead (best solo-scan
+    latency with a 100 Hz health() poller, relative to unmonitored, minus
+    1.0) must stay strictly below 0.02.
   - Wall-clock gating compares "seconds" against baseline * threshold, but
     only for single-thread rows: multi-thread rows measure pool scaling,
     which a differently-sized runner legitimately changes.
@@ -180,6 +189,8 @@ def scan_key(entry):
         return ("matrix", entry["method"], entry["prefix_cache"], entry["early_exit"])
     if section == "service":
         return ("service", entry["method"], entry.get("scenario", "mixed"))
+    if section == "overload":
+        return ("overload", entry["method"], entry.get("scenario", "overload"))
     return ("threads", entry["method"], entry["threads"])
 
 
@@ -227,6 +238,49 @@ def check_scan(current_entries, baseline_entries, args):
             failures.append(
                 f"{scan_key(entry)}: deadline bookkeeping overhead "
                 f"{overhead:.4f} exceeds the 0.02 gate"
+            )
+
+    # The overload entry (transient-fault retries, shedding, health-snapshot
+    # cost) is likewise a hard requirement of the current run: a bench that
+    # stopped measuring the robustness layer must fail the gate outright.
+    overload_rows = [e for e in current_entries if e.get("section") == "overload"]
+    if not overload_rows:
+        failures.append(
+            "required 'overload' section missing from current run: the "
+            "retry / shed / health-snapshot entry was not measured"
+        )
+    for entry in overload_rows:
+        rate = entry.get("retry_success_rate")
+        if rate is None:
+            failures.append(
+                f"{scan_key(entry)}: required field 'retry_success_rate' missing"
+            )
+        elif rate != 1.0:
+            failures.append(
+                f"{scan_key(entry)}: retry_success_rate {rate!r} != 1.0 — a "
+                "transiently-faulted scan with retry budget failed to resolve kDone"
+            )
+        shed = entry.get("shed_p50_latency_seconds")
+        if shed is None:
+            failures.append(
+                f"{scan_key(entry)}: required field 'shed_p50_latency_seconds' missing"
+            )
+        elif shed <= 0:
+            failures.append(
+                f"{scan_key(entry)}: shed_p50_latency_seconds {shed!r} — the "
+                "depth-watermark shed path never fired during the bench"
+            )
+        # health() is polled from monitoring loops; its cost on scan latency
+        # must stay in the noise, same 2% bar as deadline bookkeeping.
+        health = entry.get("health_snapshot_overhead")
+        if health is None:
+            failures.append(
+                f"{scan_key(entry)}: required field 'health_snapshot_overhead' missing"
+            )
+        elif health >= 0.02:
+            failures.append(
+                f"{scan_key(entry)}: health snapshot overhead "
+                f"{health:.4f} exceeds the 0.02 gate"
             )
 
     current = {scan_key(e): e for e in current_entries}

@@ -6,8 +6,15 @@
 
 #include "data/synthetic.h"
 #include "utils/fault_injection.h"
+#include "utils/memory_budget.h"
 
 namespace usb {
+
+ProbeStore::~ProbeStore() {
+  if (resident_bytes_ > 0) {
+    MemoryBudget::process().release(MemoryBudget::Category::kProbeData, resident_bytes_);
+  }
+}
 
 std::string ProbeKey::address() const {
   // String concatenation, not a fixed buffer: the address is the store's
@@ -54,6 +61,7 @@ void ProbeStore::evict_over_cap_locked() {
     if (found == entries_.end()) continue;  // defensive; lru_ and map stay in sync
     if (found->second.data.use_count() > 1) continue;  // pinned by a consumer
     resident_bytes_ -= found->second.bytes;
+    MemoryBudget::process().release(MemoryBudget::Category::kProbeData, found->second.bytes);
     ++evictions_;
     it = lru_.erase(it);
     entries_.erase(found);
@@ -73,6 +81,7 @@ std::shared_ptr<const ProbeData> ProbeStore::resolve_pending(
       lru_.push_front(address);
       it->second.lru_position = lru_.begin();
       resident_bytes_ += it->second.bytes;
+      MemoryBudget::process().add(MemoryBudget::Category::kProbeData, it->second.bytes);
       evict_over_cap_locked();
     }
     // else: clear() dropped the pending entry mid-build — hand the data to
@@ -177,6 +186,9 @@ void ProbeStore::clear() {
   const std::lock_guard<std::mutex> lock(mutex_);
   entries_.clear();
   lru_.clear();
+  if (resident_bytes_ > 0) {
+    MemoryBudget::process().release(MemoryBudget::Category::kProbeData, resident_bytes_);
+  }
   resident_bytes_ = 0;
 }
 

@@ -83,6 +83,13 @@ class ProbeStore {
   explicit ProbeStore(ProbeStoreOptions options) : options_(options) {}
   explicit ProbeStore(std::int64_t eval_batch_size = 128)
       : ProbeStore(ProbeStoreOptions{eval_batch_size, 0}) {}
+  /// Releases the store's resident bytes from the process MemoryBudget
+  /// (resident entries register there as MemoryBudget::Category::kProbeData
+  /// — see utils/memory_budget.h).
+  ~ProbeStore();
+
+  ProbeStore(const ProbeStore&) = delete;
+  ProbeStore& operator=(const ProbeStore&) = delete;
 
   /// Returns the shared materialization for `key`, generating it on first
   /// use; the result is identical to make_probe(spec, probe_size, seed) +

@@ -6,6 +6,7 @@
 
 #include "nn/checkpoint.h"
 #include "utils/fault_injection.h"
+#include "utils/memory_budget.h"
 
 namespace usb {
 
@@ -29,6 +30,15 @@ StagedScan::StagedScan(ScanPlan plan, Network& model, const Dataset& probe)
   // any stage boundary, and the partial report must say how far each class
   // got (take_report handles every state).
   report_.per_class_state.assign(slots, ClassScanState::kPending);
+  clone_budget_bytes_.assign(slots, 0);
+}
+
+StagedScan::~StagedScan() {
+  std::int64_t registered = 0;
+  for (const std::int64_t bytes : clone_budget_bytes_) registered += bytes;
+  if (registered > 0) {
+    MemoryBudget::process().release(MemoryBudget::Category::kModelClones, registered);
+  }
 }
 
 void StagedScan::prepare() {
@@ -41,6 +51,14 @@ void StagedScan::construct_class(std::int64_t target_class) {
   const auto slot = static_cast<std::size_t>(target_class);
   USB_FAULT_POINT("scan.clone");
   clones_[slot] = std::make_unique<Network>(clone_network(*model_));
+  // Budget the clone. A retried construct re-clones into the same slot:
+  // release the stale registration first so the slot counts once.
+  if (clone_budget_bytes_[slot] > 0) {
+    MemoryBudget::process().release(MemoryBudget::Category::kModelClones,
+                                    clone_budget_bytes_[slot]);
+  }
+  clone_budget_bytes_[slot] = network_resident_bytes(*clones_[slot]);
+  MemoryBudget::process().add(MemoryBudget::Category::kModelClones, clone_budget_bytes_[slot]);
   const Timer timer;
   USB_FAULT_POINT("scan.construct");
   tasks_[slot] = plan_.make_task(*clones_[slot], *probe_,

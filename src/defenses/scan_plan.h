@@ -69,6 +69,11 @@ struct ScanPlan {
 class StagedScan {
  public:
   StagedScan(ScanPlan plan, Network& model, const Dataset& probe);
+  /// Releases the per-class clone bytes registered with MemoryBudget.
+  ~StagedScan();
+
+  StagedScan(const StagedScan&) = delete;
+  StagedScan& operator=(const StagedScan&) = delete;
 
   [[nodiscard]] std::int64_t num_classes() const noexcept { return num_classes_; }
   [[nodiscard]] bool early_exit_enabled() const noexcept {
@@ -146,6 +151,7 @@ class StagedScan {
   std::vector<std::unique_ptr<Network>> clones_;
   std::vector<std::unique_ptr<ClassRefineTask>> tasks_;
   std::vector<std::int64_t> remaining_;
+  std::vector<std::int64_t> clone_budget_bytes_;  // registered with MemoryBudget
   DetectionReport report_;
 };
 

@@ -76,4 +76,15 @@ Network clone_network(Network& source) {
   return copy;
 }
 
+std::int64_t network_resident_bytes(Network& network) {
+  std::int64_t total = 0;
+  for (const StateTensor& entry : network.state()) {
+    total += entry.tensor->numel() * static_cast<std::int64_t>(sizeof(float));
+  }
+  for (const Parameter* parameter : network.parameters()) {
+    total += parameter->grad.numel() * static_cast<std::int64_t>(sizeof(float));
+  }
+  return total;
+}
+
 }  // namespace usb

@@ -22,4 +22,9 @@ void save_checkpoint(Network& network, const std::string& path);
 /// clone owns its forward caches, so classes don't race.
 [[nodiscard]] Network clone_network(Network& source);
 
+/// Bytes a live copy of `network` pins: every state tensor (weights +
+/// running statistics) plus parameter gradient buffers. The figure the
+/// serving stack registers with MemoryBudget per model clone.
+[[nodiscard]] std::int64_t network_resident_bytes(Network& network);
+
 }  // namespace usb

@@ -8,7 +8,9 @@
 #include <utility>
 
 #include "nn/checkpoint.h"
+#include "utils/errors.h"
 #include "utils/fault_injection.h"
+#include "utils/memory_budget.h"
 
 namespace usb {
 
@@ -20,6 +22,15 @@ std::string to_string(ScanStatus status) {
     case ScanStatus::kCancelled: return "cancelled";
     case ScanStatus::kFailed: return "failed";
     case ScanStatus::kTimedOut: return "timed_out";
+    case ScanStatus::kShed: return "shed";
+  }
+  return "unknown";
+}
+
+std::string to_string(AdmissionPolicy policy) {
+  switch (policy) {
+    case AdmissionPolicy::kBlock: return "block";
+    case AdmissionPolicy::kReject: return "reject";
   }
   return "unknown";
 }
@@ -34,12 +45,30 @@ struct ScanState {
   std::uint64_t id = 0;
 
   // Request payload. Touched only by submit() (filling) and the execution's
-  // stages (consuming + releasing) — never by handles.
+  // stages (consuming + releasing) — never by handles. stored_probe is
+  // resolved lazily from probe_key by the scan's init stage (so a queued
+  // scan that is shed/cancelled never materializes, and a materialization
+  // failure is a retryable stage fault).
   std::unique_ptr<Network> model;
   DetectorPtr detector;
+  std::optional<ProbeKey> probe_key;
   std::shared_ptr<const ProbeData> stored_probe;  // probe_key requests
   std::unique_ptr<Dataset> owned_probe;           // explicit-probe requests
   ScanOptions options;
+
+  // Retry policy, resolved at submit() from options + service defaults.
+  // Immutable after publication.
+  int max_retries = 0;
+  double retry_backoff_seconds = 0.0;
+
+  // Bytes this scan's submit-time model clone registered with the process
+  // MemoryBudget; released exactly once (finish() or destruction).
+  std::atomic<std::int64_t> clone_budget_bytes{0};
+  void release_clone_budget() noexcept {
+    const std::int64_t bytes = clone_budget_bytes.exchange(0);
+    if (bytes > 0) MemoryBudget::process().release(MemoryBudget::Category::kModelClones, bytes);
+  }
+  ~ScanState() { release_clone_budget(); }
 
   std::atomic<bool> cancel{false};
 
@@ -63,22 +92,28 @@ struct ScanState {
   std::shared_ptr<ScanExecution> execution;
 
   void finish(ScanOutcome final_outcome) {
+    // Drop the payload BEFORE publishing the terminal status: a long-lived
+    // handle must not pin a model clone or a probe materialization, and a
+    // waiter observing the terminal status must also observe the memory
+    // budget drained of this scan's bytes. Safe unlocked — finish() runs
+    // exactly once (terminal transitions are guarded by the execution's
+    // phase) and no stage touches the payload once the last item resolved.
+    model.reset();
+    release_clone_budget();
+    detector.reset();
+    stored_probe.reset();
+    owned_probe.reset();
     std::shared_ptr<ScanExecution> exec;
     {
       const std::lock_guard<std::mutex> lock(mutex);
       outcome = std::move(final_outcome);
       terminal = true;
+      // Break the execution<->state ownership cycle; released outside the
+      // lock (the execution calls finish() with its own lock held; a live
+      // caller always holds another reference).
       exec = std::move(execution);
     }
     done_cv.notify_all();
-    // Drop the payload: a long-lived handle must not pin a model clone or
-    // a probe materialization. `exec` is released last, outside the lock
-    // (the execution itself calls finish() with its own lock held; a live
-    // caller always holds another reference).
-    model.reset();
-    detector.reset();
-    stored_probe.reset();
-    owned_probe.reset();
   }
 };
 
@@ -135,17 +170,27 @@ class ScanExecution : public std::enable_shared_from_this<ScanExecution> {
         RoundScheduler::JobOptions job_options;
         job_options.priority = state_->options.priority;
         job_options.weight = state_->options.fair_weight;
+        job_options.owner = state_->id;  // heartbeat attribution
         // Defense in depth: run_stage already routes stage exceptions, so
         // only an escape from the completion path itself lands here — it
-        // still fails ONLY this scan, never the dispatcher crew.
-        job_options.on_item_error = [self = shared_from_this()](const std::exception_ptr& error) {
-          self->on_item_error(error);
+        // still fails ONLY this scan, never the dispatcher crew. Weak
+        // capture: the execution holds job_ and the job holds this handler,
+        // so a strong self here would be a shared_ptr cycle that leaks
+        // every scan. The handler only fires from an item, and items
+        // capture the execution strongly, so lock() cannot miss a live one.
+        job_options.on_item_error = [weak = weak_from_this()](const std::exception_ptr& error) {
+          if (const std::shared_ptr<ScanExecution> self = weak.lock()) self->on_item_error(error);
         };
         job_ = service_->scheduler_.create_job(std::move(job_options));
         outstanding_ = 1;
-        service_->scheduler_.enqueue(job_, [self = shared_from_this()] {
-          self->run_stage([&self] { self->stage_init(); });
-        });
+        service_->scheduler_.enqueue(
+            job_,
+            // The inner stage function captures `self` BY VALUE: a retry
+            // copies it past this enqueued wrapper's lifetime.
+            [self = shared_from_this()] {
+              self->run_stage("scan.init", [self] { self->stage_init(); }, 0);
+            },
+            "scan.init");
       }
     }
     for (const auto& exec : launches) exec->launch();
@@ -168,6 +213,44 @@ class ScanExecution : public std::enable_shared_from_this<ScanExecution> {
     request_abort(/*timeout=*/true);
   }
 
+  /// Overload shedding: resolves the scan kShed IF it is still queued.
+  /// Racing an admission is safe — launch() flipped the phase under mu_
+  /// first, so a scan picked for launch concurrently with a shed decision
+  /// simply runs; a shed that wins makes the later launch() a no-op, and
+  /// retire_scan rebalances the admission slot either way.
+  void request_shed() {
+    std::vector<std::shared_ptr<ScanExecution>> launches;
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      if (phase_ != Phase::kQueued) return;
+      phase_ = Phase::kTerminal;
+      ScanOutcome outcome;
+      outcome.status = ScanStatus::kShed;
+      outcome.error = "shed under overload (queue/memory watermark)";
+      state_->finish(std::move(outcome));
+      service_->shed_.fetch_add(1);
+      service_->retire_scan(state_, this, launches);
+    }
+    for (const auto& exec : launches) exec->launch();
+  }
+
+  /// Watchdog verdict on a stuck item of this scan (fail_stuck_scans):
+  /// record the failure — the scan resolves kFailed when the stuck item
+  /// finally returns (an item cannot be pre-empted) — and expedite any
+  /// backoff-parked retries so the rest of the chain drains now.
+  void mark_stuck(const char* point) {
+    mark_failed(std::string("watchdog: stage '") + (point != nullptr && *point ? point : "item") +
+                "' exceeded stuck_item_seconds");
+    RoundScheduler::JobPtr job;
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      job = job_;
+    }
+    if (job != nullptr) service_->scheduler_.expedite(job);
+  }
+
+  [[nodiscard]] const std::shared_ptr<ScanState>& scan_state() const noexcept { return state_; }
+
  private:
   enum class Phase { kQueued, kLaunched, kTerminal };
   enum class Mode { kMonolithic, kSyncBarrier, kAsyncRendezvous };
@@ -184,8 +267,11 @@ class ScanExecution : public std::enable_shared_from_this<ScanExecution> {
         if (dropped < 0) {
           // A stage ran or is running: drain cooperatively. For a timeout
           // nudge, record the expiry so the chain resolves kTimedOut even
-          // if it races a clock that has not been re-read yet.
+          // if it races a clock that has not been re-read yet. Retries
+          // parked in backoff promote immediately — an aborting scan must
+          // not wait out its own timer to observe the flag.
           if (timeout) timed_out_ = true;
+          service_->scheduler_.expedite(job_);
           return;
         }
         outstanding_ -= dropped;  // the init item, dropped unrun
@@ -205,11 +291,12 @@ class ScanExecution : public std::enable_shared_from_this<ScanExecution> {
 
   /// Every scheduler item: skip the stage if the scan is past its
   /// deadline, cancelled, or failed (the chain then drains), route
-  /// exceptions into the outcome, and run the completion accounting. The
-  /// whole item runs under a FaultScope tagged with the scan id, so
-  /// injected faults scoped to one scan can never leak into a concurrent
-  /// healthy one (tests/test_fault_injection.cpp).
-  void run_stage(const std::function<void()>& stage) {
+  /// exceptions into the outcome — retrying TRANSIENT ones while budget
+  /// remains — and run the completion accounting. The whole item runs
+  /// under a FaultScope tagged with the scan id, so injected faults scoped
+  /// to one scan can never leak into a concurrent healthy one
+  /// (tests/test_fault_injection.cpp).
+  void run_stage(const char* label, const std::function<void()>& stage, int attempt) {
     const fault::FaultScope fault_scope(state_->id);
     bool skip = false;
     if (state_->deadline_expired()) {
@@ -231,12 +318,52 @@ class ScanExecution : public std::enable_shared_from_this<ScanExecution> {
         const std::lock_guard<std::mutex> lock(mu_);
         timed_out_ = true;
       } catch (const std::exception& error) {
-        mark_failed(error.what());
+        if (!maybe_retry(label, stage, attempt, error)) mark_failed(error.what());
       } catch (...) {
         mark_failed("unknown scan failure");
       }
     }
     complete_item();
+  }
+
+  /// Transient classification: explicit (ScanError::transient, so detectors
+  /// opt stages in via TransientError) plus the two implicit families the
+  /// service trusts to be retryable — injected faults (the registry models
+  /// infrastructure hiccups) and allocation failures (memory pressure is
+  /// relieved by shedding and backoff).
+  [[nodiscard]] static bool is_transient_failure(const std::exception& error) {
+    if (const auto* scan_error = dynamic_cast<const ScanError*>(&error)) {
+      return scan_error->transient;
+    }
+    return dynamic_cast<const fault::InjectedFault*>(&error) != nullptr ||
+           dynamic_cast<const std::bad_alloc*>(&error) != nullptr;
+  }
+
+  /// Re-enqueues a transiently-failed stage item with exponential backoff
+  /// (base * 2^attempt) through the scheduler's timer queue. Returns false
+  /// — caller records the failure — when the error is permanent, the
+  /// per-item budget is spent, or the scan is already aborting. The
+  /// replacement item is posted BEFORE this one completes (net outstanding
+  /// unchanged), so the scan cannot transiently look finished.
+  [[nodiscard]] bool maybe_retry(const char* label, const std::function<void()>& stage,
+                                 int attempt, const std::exception& error) {
+    if (!is_transient_failure(error)) return false;
+    if (attempt >= state_->max_retries) return false;
+    if (state_->cancel.load(std::memory_order_relaxed) || state_->deadline_expired()) return false;
+    const double backoff = state_->retry_backoff_seconds *
+                           static_cast<double>(std::int64_t{1} << std::min(attempt, 30));
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (phase_ == Phase::kTerminal || failed_ || timed_out_) return false;
+    ++retries_;
+    service_->items_retried_.fetch_add(1);
+    ++outstanding_;
+    service_->scheduler_.enqueue_after(
+        job_, backoff,
+        [self = shared_from_this(), label, stage, next = attempt + 1] {
+          self->run_stage(label, stage, next);
+        },
+        label);
+    return true;
   }
 
   /// RoundScheduler's route-to-owner handler: anything that escaped an
@@ -260,11 +387,17 @@ class ScanExecution : public std::enable_shared_from_this<ScanExecution> {
     complete_item();
   }
 
-  /// Posts a stage as one scheduler item. Caller must hold mu_.
-  void post_locked(std::function<void()> stage) {
+  /// Posts a stage as one scheduler item. Caller must hold mu_. `label`
+  /// must be static storage (string literal): it is published in
+  /// heartbeats and kept by retry re-enqueues.
+  void post_locked(const char* label, std::function<void()> stage) {
     ++outstanding_;
     service_->scheduler_.enqueue(
-        job_, [self = shared_from_this(), stage = std::move(stage)] { self->run_stage(stage); });
+        job_,
+        [self = shared_from_this(), label, stage = std::move(stage)] {
+          self->run_stage(label, stage, 0);
+        },
+        label);
   }
 
   void mark_failed(const std::string& what) {
@@ -274,6 +407,22 @@ class ScanExecution : public std::enable_shared_from_this<ScanExecution> {
   }
 
   void stage_init() {
+    // Resolve a content-addressed probe NOW, not at submit(): a scan shed
+    // or cancelled while queued never materializes anything, and a
+    // materialization failure is a retryable stage fault like any other.
+    // Unrecognized failures are wrapped TRANSIENT — regeneration from the
+    // deterministic key is exactly the retry the store supports.
+    if (state_->probe_key.has_value() && state_->stored_probe == nullptr) {
+      try {
+        state_->stored_probe = service_->probe_store_.get_or_create(*state_->probe_key);
+      } catch (const ScanError&) {
+        throw;  // explicit classification wins (TransientError included)
+      } catch (const fault::InjectedFault&) {
+        throw;  // already classified transient by run_stage
+      } catch (const std::exception& error) {
+        throw TransientError(std::string("probe materialization failed: ") + error.what());
+      }
+    }
     // The detector's own plan, with the service's session state wired in.
     // None of the overrides has a numeric effect (cache adoption is
     // schedule-only; progress carries no data into the scan), so a
@@ -307,7 +456,7 @@ class ScanExecution : public std::enable_shared_from_this<ScanExecution> {
                               std::max<std::int64_t>(1, staged_->min_rounds()));
     }
     for (std::int64_t t = 0; t < num_classes_; ++t) {
-      post_locked([this, t] { stage_construct(t); });
+      post_locked("scan.construct", [this, t] { stage_construct(t); });
     }
   }
 
@@ -319,9 +468,9 @@ class ScanExecution : public std::enable_shared_from_this<ScanExecution> {
       case Mode::kMonolithic:
         // No cross-class flow: each class marches to exhaustion on its own.
         if (staged_->has_budget(t)) {
-          post_locked([this, t] { stage_round_mono(t); });
+          post_locked("scan.round", [this, t] { stage_round_mono(t); });
         } else {
-          post_locked([this, t] { stage_finalize(t); });
+          post_locked("scan.finalize", [this, t] { stage_finalize(t); });
         }
         break;
       case Mode::kSyncBarrier:
@@ -332,11 +481,11 @@ class ScanExecution : public std::enable_shared_from_this<ScanExecution> {
             if (staged_->has_budget(u)) {
               active_.push_back(u);
             } else {
-              post_locked([this, u] { stage_finalize(u); });
+              post_locked("scan.finalize", [this, u] { stage_finalize(u); });
             }
           }
           for (const std::int64_t u : active_) {
-            post_locked([this, u] { stage_round_sync(u); });
+            post_locked("scan.round", [this, u] { stage_round_sync(u); });
           }
         }
         break;
@@ -344,7 +493,7 @@ class ScanExecution : public std::enable_shared_from_this<ScanExecution> {
         // A class's rendezvous rounds need no other class: start rolling
         // immediately. The cutoff still waits for all K arrivals.
         if (staged_->has_budget(t)) {
-          post_locked([this, t] { stage_rendezvous_round(t); });
+          post_locked("scan.round", [this, t] { stage_rendezvous_round(t); });
         } else {
           note_arrival_locked(t, /*more=*/false);
         }
@@ -356,9 +505,9 @@ class ScanExecution : public std::enable_shared_from_this<ScanExecution> {
     const bool more = staged_->run_round(t);
     const std::lock_guard<std::mutex> lock(mu_);
     if (more) {
-      post_locked([this, t] { stage_round_mono(t); });
+      post_locked("scan.round", [this, t] { stage_round_mono(t); });
     } else {
-      post_locked([this, t] { stage_finalize(t); });
+      post_locked("scan.finalize", [this, t] { stage_finalize(t); });
     }
   }
 
@@ -382,7 +531,7 @@ class ScanExecution : public std::enable_shared_from_this<ScanExecution> {
       if (staged_->has_budget(t)) {
         next.push_back(t);
       } else {
-        post_locked([this, t] { stage_finalize(t); });
+        post_locked("scan.finalize", [this, t] { stage_finalize(t); });
       }
     }
     if (!next.empty() && rounds_done_ >= staged_->min_rounds()) {
@@ -394,21 +543,21 @@ class ScanExecution : public std::enable_shared_from_this<ScanExecution> {
         } else {
           // kRetired notifies user code — post an item rather than calling
           // under mu_ (a callback may legally call handle->cancel()).
-          post_locked([this, t] { stage_retire(t); });
+          post_locked("scan.retire", [this, t] { stage_retire(t); });
         }
       }
       next = std::move(survivors);
     }
     active_ = std::move(next);
     for (const std::int64_t t : active_) {
-      post_locked([this, t] { stage_round_sync(t); });
+      post_locked("scan.round", [this, t] { stage_round_sync(t); });
     }
   }
 
   void stage_retire(std::int64_t t) {
     staged_->retire_class(t);
     const std::lock_guard<std::mutex> lock(mu_);
-    post_locked([this, t] { stage_finalize(t); });
+    post_locked("scan.finalize", [this, t] { stage_finalize(t); });
   }
 
   void stage_rendezvous_round(std::int64_t t) {
@@ -417,7 +566,7 @@ class ScanExecution : public std::enable_shared_from_this<ScanExecution> {
     auto& left = rendezvous_left_[static_cast<std::size_t>(t)];
     --left;
     if (more && left > 0) {
-      post_locked([this, t] { stage_rendezvous_round(t); });
+      post_locked("scan.round", [this, t] { stage_rendezvous_round(t); });
     } else {
       note_arrival_locked(t, more);
     }
@@ -431,12 +580,12 @@ class ScanExecution : public std::enable_shared_from_this<ScanExecution> {
     if (more) {
       waiting_.push_back(t);
     } else {
-      post_locked([this, t] { stage_finalize(t); });
+      post_locked("scan.finalize", [this, t] { stage_finalize(t); });
     }
     if (arrived_ == num_classes_) {
       cutoff_ = staged_->mad_cutoff();
       for (const std::int64_t u : waiting_) {
-        post_locked([this, u] { stage_untethered_round(u); });
+        post_locked("scan.round", [this, u] { stage_untethered_round(u); });
       }
       waiting_.clear();
     }
@@ -453,15 +602,15 @@ class ScanExecution : public std::enable_shared_from_this<ScanExecution> {
     if (staged_->stat(t) > cutoff) {
       staged_->retire_class(t);
       const std::lock_guard<std::mutex> lock(mu_);
-      post_locked([this, t] { stage_finalize(t); });
+      post_locked("scan.finalize", [this, t] { stage_finalize(t); });
       return;
     }
     const bool more = staged_->run_round(t);
     const std::lock_guard<std::mutex> lock(mu_);
     if (more) {
-      post_locked([this, t] { stage_untethered_round(t); });
+      post_locked("scan.round", [this, t] { stage_untethered_round(t); });
     } else {
-      post_locked([this, t] { stage_finalize(t); });
+      post_locked("scan.finalize", [this, t] { stage_finalize(t); });
     }
   }
 
@@ -486,7 +635,9 @@ class ScanExecution : public std::enable_shared_from_this<ScanExecution> {
       ScanOutcome outcome;
       if (failed_) {
         outcome.status = ScanStatus::kFailed;
-        outcome.error = error_;
+        outcome.error = retries_ > 0
+                            ? error_ + " (after " + std::to_string(retries_) + " retries)"
+                            : error_;
         service_->failed_.fetch_add(1);
       } else if (staged_.has_value() && finalized_ == num_classes_) {
         try {
@@ -519,6 +670,7 @@ class ScanExecution : public std::enable_shared_from_this<ScanExecution> {
         outcome.status = ScanStatus::kCancelled;
         service_->cancelled_.fetch_add(1);
       }
+      outcome.retries = retries_;
       // Release tasks, clones, and the borrowed probe-cache pointer BEFORE
       // finish() drops the detector and the stored probe they point into.
       staged_.reset();
@@ -545,6 +697,7 @@ class ScanExecution : public std::enable_shared_from_this<ScanExecution> {
   std::int64_t finalized_ = 0;
   bool failed_ = false;
   bool timed_out_ = false;
+  std::int64_t retries_ = 0;  // stage items re-enqueued after transient failures
   std::string error_;
 
   // kSyncBarrier bookkeeping.
@@ -619,6 +772,30 @@ const ScanOutcome& ScanHandle::wait() const {
   return state->outcome;
 }
 
+ScanStatus ScanHandle::wait_for(double seconds) const {
+  const auto& state = require_state(state_);
+  const auto wait_deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(std::max(0.0, seconds)));
+  std::unique_lock<std::mutex> lock(state->mutex);
+  if (state->has_deadline) {
+    // Same nudge as wait(): if the SCAN deadline lands inside our window
+    // and passes unresolved, push a queued scan to kTimedOut instead of
+    // reporting kQueued forever.
+    state->done_cv.wait_until(lock, std::min(wait_deadline, state->deadline),
+                              [&state] { return state->terminal; });
+    if (!state->terminal && state->deadline_expired()) {
+      std::shared_ptr<ScanExecution> execution = state->execution;
+      lock.unlock();
+      if (execution != nullptr) execution->request_timeout();
+      lock.lock();
+    }
+  }
+  state->done_cv.wait_until(lock, wait_deadline, [&state] { return state->terminal; });
+  return state->outcome.status;
+}
+
 bool ScanHandle::cancel() const {
   const auto& state = require_state(state_);
   state->cancel.store(true, std::memory_order_relaxed);
@@ -638,9 +815,23 @@ DetectionService::DetectionService(DetectionServiceConfig config)
     : config_(config),
       scan_pool_(resolve_scan_threads(config.scan_threads)),
       probe_store_(ProbeStoreOptions{config.eval_batch_size, config.probe_store_max_bytes}),
-      scheduler_(RoundScheduler::Config{resolve_dispatchers(config), &scan_pool_}) {}
+      scheduler_(RoundScheduler::Config{resolve_dispatchers(config), &scan_pool_}) {
+  if (config_.stuck_item_seconds > 0) {
+    watchdog_ = std::thread([this] { watchdog_loop(); });
+  }
+}
 
 DetectionService::~DetectionService() {
+  // The watchdog goes first: it walks live_ and calls back into scans, so
+  // it must be gone before shutdown starts resolving them.
+  if (watchdog_.joinable()) {
+    {
+      const std::lock_guard<std::mutex> lock(watchdog_mutex_);
+      watchdog_stop_ = true;
+    }
+    watchdog_cv_.notify_all();
+    watchdog_.join();
+  }
   std::vector<std::shared_ptr<ScanState>> snapshot;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
@@ -677,21 +868,27 @@ ScanHandle DetectionService::submit(ScanRequest request) {
 
   // Admission control BEFORE any expensive work: a rejected request costs
   // nothing, and a blocked one reserves its queue slot first so the clone
-  // below can never overshoot the cap (pending = queued + reserved).
+  // below can never overshoot the cap (pending = queued + reserved). The
+  // memory watermark gates the same way — byte backpressure, released when
+  // a retiring scan's clone/probe bytes drain the budget.
   const bool bounded = config_.max_queued > 0;
-  if (bounded) {
+  const bool byte_gated = config_.max_resident_bytes > 0;
+  if (bounded || byte_gated) {
     std::unique_lock<std::mutex> lock(mutex_);
     if (shutting_down_) throw std::runtime_error("DetectionService: submit after shutdown");
-    if (pending_depth_locked() >= config_.max_queued) {
+    const auto admissible = [this, bounded, byte_gated] {
+      if (bounded && pending_depth_locked() >= config_.max_queued) return false;
+      if (byte_gated && over_byte_watermark_locked()) return false;
+      return true;
+    };
+    if (!admissible()) {
       if (config_.admission_policy == AdmissionPolicy::kReject) {
         throw QueueFull(pending_depth_locked());
       }
-      queue_space_.wait(lock, [this] {
-        return shutting_down_ || pending_depth_locked() < config_.max_queued;
-      });
+      queue_space_.wait(lock, [this, &admissible] { return shutting_down_ || admissible(); });
       if (shutting_down_) throw std::runtime_error("DetectionService: submit after shutdown");
     }
-    ++reserved_slots_;
+    if (bounded) ++reserved_slots_;
   }
   // Releases the reservation on every early exit; disarmed once the request
   // is actually queued (the queue entry then carries the slot).
@@ -715,13 +912,24 @@ ScanHandle DetectionService::submit(ScanRequest request) {
     // on its per-instance forward caches. The scan still clones this clone
     // per class, so reports match detect() on the original bit for bit.
     state->model = std::make_unique<Network>(clone_network(*request.model));
+    const std::int64_t clone_bytes = network_resident_bytes(*state->model);
+    if (clone_bytes > 0) {
+      state->clone_budget_bytes.store(clone_bytes);
+      MemoryBudget::process().add(MemoryBudget::Category::kModelClones, clone_bytes);
+    }
     state->detector = std::move(request.detector);
     if (request.probe_key.has_value()) {
-      state->stored_probe = probe_store_.get_or_create(*request.probe_key);
+      // Deferred to the scan's init stage; see submit()'s contract.
+      state->probe_key = *request.probe_key;
     } else {
       state->owned_probe = std::make_unique<Dataset>(*request.probe);
     }
     state->options = std::move(request.options);
+    state->max_retries = state->options.max_retries >= 0 ? state->options.max_retries
+                                                         : config_.default_max_retries;
+    state->retry_backoff_seconds = std::max(
+        0.0, state->options.retry_backoff_seconds >= 0 ? state->options.retry_backoff_seconds
+                                                       : config_.default_retry_backoff_seconds);
     const double deadline_seconds = state->options.deadline_seconds > 0
                                         ? state->options.deadline_seconds
                                         : config_.default_deadline_seconds;
@@ -751,6 +959,15 @@ ScanHandle DetectionService::submit(ScanRequest request) {
   }
   submitted_.fetch_add(1);
   if (launch_now) execution->launch();
+  // Watermark check AFTER enqueueing: the newcomer is itself a shed
+  // candidate (it may be the lowest-priority newest queued scan). Victims
+  // resolve outside mutex_ — request_shed re-enters through retire_scan.
+  std::vector<std::shared_ptr<ScanExecution>> victims;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (!shutting_down_) victims = collect_shed_victims_locked();
+  }
+  for (const auto& victim : victims) victim->request_shed();
   return ScanHandle(std::move(state));
 }
 
@@ -792,6 +1009,153 @@ void DetectionService::retire_scan(const std::shared_ptr<detail::ScanState>& sta
     if (live_.empty()) idle_.notify_all();
   }
   queue_space_.notify_all();  // pending depth shrank (or shutdown progressed)
+}
+
+bool DetectionService::over_byte_watermark_locked() const {
+  if (config_.max_resident_bytes <= 0) return false;
+  // With no live scan there is nothing that can drain the budget — blocking
+  // an empty service on externally-owned bytes (another service's probe
+  // store, a standalone arena) would deadlock, so the first scan is always
+  // admitted.
+  if (live_.empty()) return false;
+  return MemoryBudget::process().bytes() > config_.max_resident_bytes;
+}
+
+std::vector<std::shared_ptr<detail::ScanExecution>>
+DetectionService::collect_shed_victims_locked() {
+  std::vector<std::shared_ptr<ScanExecution>> victims;
+  if (config_.shed_queue_depth <= 0 && config_.max_resident_bytes <= 0) return victims;
+  std::vector<std::shared_ptr<ScanExecution>> candidates(queue_.begin(), queue_.end());
+  // Project the budget as if each victim's clone bytes were already
+  // released (its probe is never materialized while queued), so one sweep
+  // picks exactly enough victims.
+  std::int64_t projected_bytes = MemoryBudget::process().bytes();
+  const auto over_watermark = [this, &candidates, &projected_bytes] {
+    if (config_.shed_queue_depth > 0 &&
+        static_cast<std::int64_t>(candidates.size()) > config_.shed_queue_depth) {
+      return true;
+    }
+    return config_.max_resident_bytes > 0 && !candidates.empty() &&
+           projected_bytes > config_.max_resident_bytes;
+  };
+  while (over_watermark()) {
+    // Lowest priority first; among equals the NEWEST (queue_ is submit
+    // order, so a later index is newer — <= keeps replacing on ties).
+    std::size_t best = candidates.size();
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      const auto& state = candidates[i]->scan_state();
+      if (state->options.unsheddable) continue;
+      if (best == candidates.size() ||
+          state->options.priority <= candidates[best]->scan_state()->options.priority) {
+        best = i;
+      }
+    }
+    if (best == candidates.size()) break;  // everything left is unsheddable
+    projected_bytes -= candidates[best]->scan_state()->clone_budget_bytes.load();
+    victims.push_back(candidates[best]);
+    candidates.erase(candidates.begin() + static_cast<std::ptrdiff_t>(best));
+  }
+  return victims;
+}
+
+ServiceHealth DetectionService::health() const {
+  ServiceHealth health;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    health.queued_scans = static_cast<std::int64_t>(queue_.size());
+    health.admitted_scans = admitted_;
+  }
+  health.scans_submitted = submitted_.load();
+  health.scans_completed = completed_.load();
+  health.scans_cancelled = cancelled_.load();
+  health.scans_failed = failed_.load();
+  health.scans_timed_out = timed_out_.load();
+  health.scans_shed = shed_.load();
+  health.items_retried = items_retried_.load();
+  health.items_deferred = scheduler_.items_deferred();
+  const MemoryBudget& budget = MemoryBudget::process();
+  health.budget_bytes = budget.bytes();
+  health.budget_high_water_bytes = budget.high_water_bytes();
+  health.budget_limit_bytes = config_.max_resident_bytes;
+  std::vector<RoundScheduler::InFlightItem> items;
+  scheduler_.sample_in_flight(items);
+  health.in_flight_items = static_cast<std::int64_t>(items.size());
+  for (const auto& item : items) {
+    if (health.oldest_item_point.empty() || item.seconds > health.oldest_item_seconds) {
+      health.oldest_item_seconds = item.seconds;
+      health.oldest_item_point = item.point != nullptr ? item.point : "";
+      if (health.oldest_item_point.empty()) health.oldest_item_point = "item";
+      health.oldest_item_scan = item.owner;
+    }
+    if (config_.stuck_item_seconds > 0 && item.seconds >= config_.stuck_item_seconds) {
+      ++health.stuck_items;
+    }
+  }
+  health.stuck_flagged_total = stuck_flagged_.load();
+  return health;
+}
+
+void DetectionService::watchdog_loop() {
+  // Tick a few times per stuck bound so a freshly stuck item is flagged
+  // within ~1.25x the configured threshold, capped so an idle service
+  // wakes at most once a second.
+  const double tick_seconds = std::clamp(config_.stuck_item_seconds / 4.0, 0.001, 1.0);
+  const auto period = std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+      std::chrono::duration<double>(tick_seconds));
+  std::unique_lock<std::mutex> lock(watchdog_mutex_);
+  while (!watchdog_stop_) {
+    watchdog_cv_.wait_for(lock, period, [this] { return watchdog_stop_; });
+    if (watchdog_stop_) return;
+    lock.unlock();
+    watchdog_tick();
+    lock.lock();
+  }
+}
+
+void DetectionService::watchdog_tick() {
+  // Re-check the shed watermarks: running scans grow the budget (arena
+  // warm-up, probe materializations) without any submit() to notice.
+  std::vector<std::shared_ptr<ScanExecution>> victims;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (!shutting_down_) victims = collect_shed_victims_locked();
+  }
+  for (const auto& victim : victims) victim->request_shed();
+
+  std::vector<RoundScheduler::InFlightItem> items;
+  scheduler_.sample_in_flight(items);
+  std::vector<std::pair<int, std::int64_t>> flagged_now;
+  for (const auto& item : items) {
+    if (item.seconds < config_.stuck_item_seconds) continue;
+    const std::pair<int, std::int64_t> key{item.dispatcher, item.start_ns};
+    flagged_now.push_back(key);
+    const bool already =
+        std::find(watchdog_flagged_.begin(), watchdog_flagged_.end(), key) !=
+        watchdog_flagged_.end();
+    if (already) continue;  // one flag per item
+    stuck_flagged_.fetch_add(1);
+    if (!config_.fail_stuck_scans || item.owner == 0) continue;
+    std::shared_ptr<ScanState> owner;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      for (const auto& state : live_) {
+        if (state->id == item.owner) {
+          owner = state;
+          break;
+        }
+      }
+    }
+    if (owner == nullptr) continue;  // resolved between sample and lookup
+    std::shared_ptr<ScanExecution> execution;
+    {
+      const std::lock_guard<std::mutex> lock(owner->mutex);
+      execution = owner->execution;
+    }
+    if (execution != nullptr) execution->mark_stuck(item.point);
+  }
+  // Keep only keys still stuck in flight: finished items age out, and a
+  // recycled (dispatcher, start_ns) pair can be re-flagged correctly.
+  watchdog_flagged_ = std::move(flagged_now);
 }
 
 }  // namespace usb

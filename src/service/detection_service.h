@@ -46,7 +46,7 @@
 // mixed-request load).
 //
 // FAILURE SEMANTICS (the robustness layer; see also README "Failure
-// semantics" and tests/test_fault_injection.cpp):
+// semantics" and tests/test_fault_injection.cpp + tests/test_overload.cpp):
 //  - deadlines: checked at every stage boundary (and by the scheduler's
 //    blocking paths at round boundaries). Expiry resolves kTimedOut with a
 //    partial report whose per_class_state says how far each class got.
@@ -54,12 +54,31 @@
 //    the owning scan (kFailed + error); the dispatcher crew and every
 //    other scan's queue keep draining — one faulty request fails only
 //    itself.
+//  - transient-fault retries: a stage that fails TRANSIENTLY (TransientError
+//    / ScanError{transient} from a detector, a probe materialization
+//    failure, an injected fault, an ENOMEM) is re-enqueued with exponential
+//    backoff up to ScanOptions::max_retries times via the scheduler's timer
+//    queue — no dispatcher ever sleeps through a backoff. A retried scan
+//    that eventually succeeds is byte-identical to detect(); exhaustion
+//    resolves kFailed with the retry count in ScanOutcome::retries.
+//  - priority load shedding: past the queue-depth or memory watermarks
+//    (DetectionServiceConfig::{shed_queue_depth, max_resident_bytes}) the
+//    service sheds lowest-priority-then-newest QUEUED scans as kShed —
+//    resolved immediately, admission slot freed — sparing
+//    ScanOptions::unsheddable requests. Admitted scans are never shed.
+//  - global memory budget: probe materializations, model clones, and arena
+//    high-water bytes register with utils/memory_budget.h; the total drives
+//    shedding and turns kBlock admission into byte backpressure.
+//  - hung-scan watchdog: dispatchers heartbeat every item; a watchdog
+//    thread (armed by stuck_item_seconds) flags items stuck past the bound,
+//    surfaces them in ServiceHealth, and optionally fails the owning scan.
 //  - numerical quarantine: a class whose round statistic goes non-finite
 //    is retired with ClassScanState::kNumericallyUnstable and peeled from
 //    every MAD population; the scan still resolves kDone and the report
 //    names the quarantined classes.
-// When no fault occurs, no deadline is hit, and nothing is quarantined,
-// every path above is inert and reports stay bit-identical to detect().
+// When no fault occurs, no deadline is hit, nothing is quarantined, and no
+// watermark/retry/watchdog option is armed, every path above is inert and
+// reports stay bit-identical to detect().
 #pragma once
 
 #include <atomic>
@@ -71,6 +90,8 @@
 #include <optional>
 #include <stdexcept>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "data/probe_store.h"
@@ -88,6 +109,7 @@ enum class ScanStatus {
   kCancelled,  // cancel() (or service shutdown) stopped it
   kFailed,     // the scan threw; see ScanOutcome::error
   kTimedOut,   // deadline expired; a PARTIAL report is available
+  kShed,       // dropped while queued by overload shedding; never ran
 };
 
 [[nodiscard]] std::string to_string(ScanStatus status);
@@ -95,11 +117,15 @@ enum class ScanStatus {
 /// Terminal result of a scan. `report` is meaningful when status is kDone
 /// (complete) or kTimedOut (partial: DetectionReport::per_class_state says
 /// how far each class got; non-finalized classes are peeled from the
-/// verdict); `error` only when kFailed.
+/// verdict); `error` only when kFailed or kShed (the shed reason).
 struct ScanOutcome {
   ScanStatus status = ScanStatus::kQueued;
   DetectionReport report;
   std::string error;
+  /// Stage items re-enqueued after a transient failure (see
+  /// ScanOptions::max_retries). Recorded for every terminal status — a
+  /// kFailed scan whose retry budget ran out reports how many were spent.
+  std::int64_t retries = 0;
 };
 
 /// Per-request execution options. The default-constructed value changes
@@ -132,6 +158,24 @@ struct ScanOptions {
   /// that are set but never hit have no numeric effect (submit() stays
   /// byte-identical to detect()).
   double deadline_seconds = 0.0;
+  /// Transient-failure retries PER STAGE ITEM (probe materialization, a
+  /// class construct, one refinement round, a finalize): a stage that
+  /// throws TransientError / ScanError{transient} / fault::InjectedFault /
+  /// std::bad_alloc is re-enqueued with exponential backoff until its
+  /// per-item budget runs out, then the scan resolves kFailed with the
+  /// count in ScanOutcome::retries. Safe because every retryable stage
+  /// re-derives its work from pristine inputs (construct re-clones the
+  /// submit-time model; rounds fault at entry, before mutation), so a
+  /// retried scan that succeeds stays byte-identical to detect().
+  /// < 0 (default) falls back to DetectionServiceConfig::default_max_retries.
+  int max_retries = -1;
+  /// First-retry backoff; doubles per subsequent attempt of the same item.
+  /// < 0 (default) falls back to
+  /// DetectionServiceConfig::default_retry_backoff_seconds.
+  double retry_backoff_seconds = -1.0;
+  /// Exempts this scan from overload shedding (it can still be cancelled,
+  /// time out, or be rejected at admission). For must-run requests.
+  bool unsheddable = false;
 };
 
 /// One detection request. The service deep-copies the model at submit()
@@ -180,6 +224,11 @@ class ScanHandle {
   /// eventual status is then kCancelled unless the scan beat the flag to
   /// completion. The service stays fully reusable.
   bool cancel() const;
+  /// Blocks until the scan reaches a terminal status OR `seconds` elapse,
+  /// whichever comes first, and returns the CURRENT status either way —
+  /// poll-with-timeout, never an error. Like wait(), a waiter observing
+  /// deadline expiry nudges the scan toward kTimedOut.
+  ScanStatus wait_for(double seconds) const;
 
  private:
   friend class DetectionService;
@@ -188,18 +237,29 @@ class ScanHandle {
   std::shared_ptr<detail::ScanState> state_;
 };
 
-/// What submit() does when the pending queue is at max_queued depth.
+/// What submit() does when the pending queue is at max_queued depth (or,
+/// with max_resident_bytes set, when the memory budget is saturated).
 enum class AdmissionPolicy {
   kBlock,   // wait for the scheduler to drain a slot (throws on shutdown)
   kReject,  // throw QueueFull immediately, before cloning anything
 };
 
+[[nodiscard]] std::string to_string(AdmissionPolicy policy);
+
 /// Thrown by submit() under AdmissionPolicy::kReject when the pending queue
-/// is full. The service stays fully usable; retry after draining.
+/// is full (or the memory budget saturated). The service stays fully
+/// usable; retry after draining.
 struct QueueFull : std::runtime_error {
   explicit QueueFull(std::int64_t depth)
       : std::runtime_error("DetectionService: pending queue full (" + std::to_string(depth) +
-                           " requests)") {}
+                           " requests)"),
+        depth_(depth) {}
+
+  /// Pending depth (queued + reserved submissions) observed at the throw.
+  [[nodiscard]] std::int64_t depth() const noexcept { return depth_; }
+
+ private:
+  std::int64_t depth_;
 };
 
 struct DetectionServiceConfig {
@@ -238,6 +298,66 @@ struct DetectionServiceConfig {
   /// Deadline applied to every scan whose ScanOptions::deadline_seconds is
   /// unset (<= 0). 0 (default) = scans run to completion.
   double default_deadline_seconds = 0.0;
+  /// Retry budget applied to every scan whose ScanOptions::max_retries is
+  /// unset (< 0). 0 (default) = transient failures fail like permanent
+  /// ones, keeping the retry layer fully inert.
+  int default_max_retries = 0;
+  /// Backoff applied when ScanOptions::retry_backoff_seconds is unset.
+  double default_retry_backoff_seconds = 0.05;
+  /// Memory watermark: when the process MemoryBudget (probe data + model
+  /// clones + arenas; see utils/memory_budget.h) exceeds this many bytes,
+  /// (a) queued sheddable scans are shed lowest-priority-newest-first until
+  /// the projection fits, and (b) kBlock admission blocks new submissions
+  /// (kReject throws QueueFull) until a scan retires — byte backpressure,
+  /// not just counts. 0 (default) = no memory policy.
+  std::int64_t max_resident_bytes = 0;
+  /// Queue-depth watermark: when more than this many scans sit QUEUED
+  /// (admitted scans do not count), the lowest-priority newest sheddable
+  /// queued scans resolve kShed until the depth fits. 0 (default) = never
+  /// shed on depth.
+  std::int64_t shed_queue_depth = 0;
+  /// Arms the hung-scan watchdog: a background thread flags any stage item
+  /// in flight longer than this (ServiceHealth::{stuck_items,
+  /// stuck_flagged_total}, one flag per item). 0 (default) = no watchdog
+  /// thread at all. Size it well above the longest honest round.
+  double stuck_item_seconds = 0.0;
+  /// With the watchdog armed: also FAIL the scan owning a stuck item
+  /// (kFailed naming the stage) instead of only reporting it. Best-effort —
+  /// the item itself cannot be pre-empted; the scan resolves when the stuck
+  /// item finally returns (or at once if other items drain first).
+  bool fail_stuck_scans = false;
+};
+
+/// One consistent-enough snapshot of service liveness, assembled on demand
+/// by DetectionService::health(). Counters are monotone totals since
+/// construction; gauges are instantaneous. Cheap: two mutexes plus a
+/// wait-free heartbeat sweep — safe to poll from a monitoring loop.
+struct ServiceHealth {
+  // Queue gauges.
+  std::int64_t queued_scans = 0;    // submitted, not yet admitted
+  std::int64_t admitted_scans = 0;  // live in the round scheduler
+  // Per-status counters (totals since construction).
+  std::int64_t scans_submitted = 0;
+  std::int64_t scans_completed = 0;
+  std::int64_t scans_cancelled = 0;
+  std::int64_t scans_failed = 0;
+  std::int64_t scans_timed_out = 0;
+  std::int64_t scans_shed = 0;
+  // Retry layer.
+  std::int64_t items_retried = 0;   // stage items re-enqueued after transient failures
+  std::int64_t items_deferred = 0;  // currently parked in retry backoff
+  // Memory budget (process-wide; see utils/memory_budget.h).
+  std::int64_t budget_bytes = 0;
+  std::int64_t budget_high_water_bytes = 0;
+  std::int64_t budget_limit_bytes = 0;  // config max_resident_bytes (0 = none)
+  // In-flight items (heartbeat sweep).
+  std::int64_t in_flight_items = 0;
+  double oldest_item_seconds = 0.0;    // age of the longest-running item
+  std::string oldest_item_point;       // its stage label, e.g. "scan.round"
+  std::uint64_t oldest_item_scan = 0;  // its owning scan id
+  // Watchdog.
+  std::int64_t stuck_items = 0;          // items past stuck_item_seconds right now
+  std::int64_t stuck_flagged_total = 0;  // distinct items ever flagged
 };
 
 class DetectionService {
@@ -252,14 +372,20 @@ class DetectionService {
   DetectionService(const DetectionService&) = delete;
   DetectionService& operator=(const DetectionService&) = delete;
 
-  /// Enqueues a scan and returns immediately. The model is cloned and the
-  /// probe resolved (ProbeStore) or copied on the calling thread, so the
-  /// request's borrowed pointers are dead weight the moment this returns.
-  /// Throws std::invalid_argument on a malformed request (null model/
-  /// detector, no probe). With max_queued set, a full queue either blocks
-  /// this call until the scheduler drains a slot (kBlock; the admission
-  /// slot is reserved before the model clone, so blocked submitters hold
-  /// at most their own clone-in-progress) or throws QueueFull (kReject).
+  /// Enqueues a scan and returns immediately. The model is cloned (and an
+  /// explicit probe copied) on the calling thread, so the request's
+  /// borrowed pointers are dead weight the moment this returns; a
+  /// probe_key, by contrast, is resolved through the ProbeStore inside the
+  /// scan's FIRST STAGE — materialization failures are then retryable like
+  /// any stage fault, and a scan shed or cancelled while queued never
+  /// materializes anything. Throws std::invalid_argument on a malformed
+  /// request (null model/detector, no probe). With max_queued set, a full
+  /// queue either blocks this call until the scheduler drains a slot
+  /// (kBlock; the admission slot is reserved before the model clone, so
+  /// blocked submitters hold at most their own clone-in-progress) or
+  /// throws QueueFull (kReject); with max_resident_bytes set the same
+  /// policy gates on the memory budget. Submitting past a shed watermark
+  /// resolves victims (possibly this scan) to kShed before returning.
   ScanHandle submit(ScanRequest request);
 
   /// Blocks until every scan submitted so far has reached a terminal
@@ -275,8 +401,16 @@ class DetectionService {
   [[nodiscard]] std::int64_t scans_cancelled() const noexcept { return cancelled_.load(); }
   [[nodiscard]] std::int64_t scans_failed() const noexcept { return failed_.load(); }
   [[nodiscard]] std::int64_t scans_timed_out() const noexcept { return timed_out_.load(); }
+  /// Queued scans dropped by overload shedding (ScanStatus::kShed).
+  [[nodiscard]] std::int64_t scans_shed() const noexcept { return shed_.load(); }
+  /// Stage items re-enqueued after transient failures.
+  [[nodiscard]] std::int64_t items_retried() const noexcept { return items_retried_.load(); }
   /// Stage items executed by the global scheduler since construction.
   [[nodiscard]] std::int64_t rounds_dispatched() const { return scheduler_.items_executed(); }
+
+  /// Assembles a liveness snapshot; see ServiceHealth. Thread-safe, cheap,
+  /// and side-effect-free — pollable from a monitoring loop.
+  [[nodiscard]] ServiceHealth health() const;
 
  private:
   friend class detail::ScanExecution;
@@ -295,11 +429,25 @@ class DetectionService {
                    const detail::ScanExecution* exec,
                    std::vector<std::shared_ptr<detail::ScanExecution>>& launches);
 
+  /// Picks queued scans to shed until both watermarks (queue depth, memory
+  /// budget projected after the victims' clone bytes release) fit: lowest
+  /// priority first, newest first among equals, skipping unsheddable scans.
+  /// Caller must hold mutex_ and resolve the victims (request_shed) outside
+  /// it. Empty when no watermark is configured or exceeded.
+  [[nodiscard]] std::vector<std::shared_ptr<detail::ScanExecution>> collect_shed_victims_locked();
+
+  /// True when the memory watermark blocks new admissions (over budget with
+  /// live scans that can still drain it).
+  [[nodiscard]] bool over_byte_watermark_locked() const;
+
+  void watchdog_loop();
+  void watchdog_tick();
+
   DetectionServiceConfig config_;
   ThreadPool scan_pool_;
   ProbeStore probe_store_;
 
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable queue_space_;  // signalled when a slot frees
   std::condition_variable idle_;         // signalled when live_ empties
   std::deque<std::shared_ptr<detail::ScanExecution>> queue_;  // not yet admitted
@@ -314,11 +462,25 @@ class DetectionService {
   std::atomic<std::int64_t> cancelled_{0};
   std::atomic<std::int64_t> failed_{0};
   std::atomic<std::int64_t> timed_out_{0};
+  std::atomic<std::int64_t> shed_{0};
+  std::atomic<std::int64_t> items_retried_{0};
+  std::atomic<std::int64_t> stuck_flagged_{0};
+
+  // Hung-scan watchdog (started only when config.stuck_item_seconds > 0;
+  // joined at the top of the destructor, before any member it samples).
+  std::mutex watchdog_mutex_;
+  std::condition_variable watchdog_cv_;
+  bool watchdog_stop_ = false;
+  /// Items already flagged, keyed (dispatcher, start_ns) — a stable item
+  /// identity. Touched only by the watchdog thread; rebuilt every tick from
+  /// the live sample, so entries of finished items age out on their own.
+  std::vector<std::pair<int, std::int64_t>> watchdog_flagged_;
+  std::thread watchdog_;
 
   /// Declared last: destroyed first, joining the dispatchers before any
   /// state they might touch goes away. The destructor body additionally
-  /// cancels all scans and waits for live_ to empty before members start
-  /// destructing at all.
+  /// stops the watchdog, cancels all scans, and waits for live_ to empty
+  /// before members start destructing at all.
   RoundScheduler scheduler_;
 };
 

@@ -18,13 +18,20 @@ namespace {
 // starve the younger job).
 constexpr double kMinItemSeconds = 20e-6;
 
+std::int64_t steady_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
 }  // namespace
 
 RoundScheduler::RoundScheduler(Config config) : config_(config) {
   const int workers = std::max(1, config_.workers);
+  heartbeats_ = std::make_unique<HeartbeatSlot[]>(static_cast<std::size_t>(workers));
   dispatchers_.reserve(static_cast<std::size_t>(workers));
   for (int i = 0; i < workers; ++i) {
-    dispatchers_.emplace_back([this] { dispatcher_loop(); });
+    dispatchers_.emplace_back([this, i] { dispatcher_loop(i); });
   }
 }
 
@@ -32,6 +39,9 @@ RoundScheduler::~RoundScheduler() {
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     shutting_down_ = true;
+    // Deferred items must still run (they hold completion bookkeeping for
+    // their scans); promote them now rather than waiting out backoffs.
+    promote_all_deferred_locked();
   }
   work_available_.notify_all();
   for (std::thread& dispatcher : dispatchers_) dispatcher.join();
@@ -41,6 +51,7 @@ RoundScheduler::JobPtr RoundScheduler::create_job(JobOptions options) {
   auto job = std::make_shared<Job>();
   job->priority = options.priority;
   job->weight = std::max(options.weight, 1e-9);
+  job->owner = options.owner;
   job->on_item_error = std::move(options.on_item_error);
   const std::lock_guard<std::mutex> lock(mutex_);
   job->vtime = vclock_;
@@ -49,20 +60,70 @@ RoundScheduler::JobPtr RoundScheduler::create_job(JobOptions options) {
   return job;
 }
 
-void RoundScheduler::enqueue(const JobPtr& job, std::function<void()> item) {
+void RoundScheduler::enqueue(const JobPtr& job, std::function<void()> item, const char* label) {
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     if (job->retired) return;  // late enqueue on a detached job: drop
-    job->items.push_back(std::move(item));
+    job->items.push_back(Job::Item{std::move(item), label});
   }
   work_available_.notify_one();
+}
+
+void RoundScheduler::enqueue_after(const JobPtr& job, double delay_seconds,
+                                   std::function<void()> item, const char* label) {
+  if (delay_seconds <= 0.0) {
+    enqueue(job, std::move(item), label);
+    return;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (job->retired) return;
+    if (shutting_down_) {
+      // Drain mode: the item runs now (and observes its scan's flags)
+      // instead of parking behind a timer nobody will honor.
+      job->items.push_back(Job::Item{std::move(item), label});
+    } else {
+      const auto not_before =
+          Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                             std::chrono::duration<double>(delay_seconds));
+      deferred_.push_back(Deferred{not_before, job, Job::Item{std::move(item), label}});
+    }
+  }
+  // Wake a sleeper either way: it recomputes the earliest not-before (or
+  // finds the drained item runnable).
+  work_available_.notify_one();
+}
+
+void RoundScheduler::expedite(const JobPtr& job) {
+  bool promoted = false;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (auto it = deferred_.begin(); it != deferred_.end();) {
+      if (it->job == job) {
+        job->items.push_back(std::move(it->item));
+        it = deferred_.erase(it);
+        promoted = true;
+      } else {
+        ++it;
+      }
+    }
+  }
+  if (promoted) work_available_.notify_all();
 }
 
 std::int64_t RoundScheduler::drop_queued_if_unstarted(const JobPtr& job) {
   const std::lock_guard<std::mutex> lock(mutex_);
   if (job->started > 0) return -1;
-  const auto dropped = static_cast<std::int64_t>(job->items.size());
+  auto dropped = static_cast<std::int64_t>(job->items.size());
   job->items.clear();
+  for (auto it = deferred_.begin(); it != deferred_.end();) {
+    if (it->job == job) {
+      ++dropped;
+      it = deferred_.erase(it);
+    } else {
+      ++it;
+    }
+  }
   job->retired = true;
   jobs_.erase(std::remove(jobs_.begin(), jobs_.end(), job), jobs_.end());
   return dropped;
@@ -71,6 +132,9 @@ std::int64_t RoundScheduler::drop_queued_if_unstarted(const JobPtr& job) {
 void RoundScheduler::retire_job(const JobPtr& job) {
   const std::lock_guard<std::mutex> lock(mutex_);
   job->items.clear();
+  deferred_.erase(std::remove_if(deferred_.begin(), deferred_.end(),
+                                 [&](const Deferred& d) { return d.job == job; }),
+                  deferred_.end());
   job->retired = true;
   jobs_.erase(std::remove(jobs_.begin(), jobs_.end(), job), jobs_.end());
 }
@@ -78,6 +142,32 @@ void RoundScheduler::retire_job(const JobPtr& job) {
 std::int64_t RoundScheduler::items_executed() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   return items_executed_;
+}
+
+std::int64_t RoundScheduler::items_deferred() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<std::int64_t>(deferred_.size());
+}
+
+void RoundScheduler::sample_in_flight(std::vector<InFlightItem>& out) const {
+  const std::int64_t now_ns = steady_now_ns();
+  const int workers = static_cast<int>(dispatchers_.size());
+  for (int i = 0; i < workers; ++i) {
+    const HeartbeatSlot& slot = heartbeats_[i];
+    const std::uint64_t before = slot.epoch.load(std::memory_order_acquire);
+    if ((before & 1) == 0) continue;  // idle
+    InFlightItem item;
+    const char* point = slot.point.load(std::memory_order_relaxed);
+    item.point = point != nullptr ? point : "";
+    item.owner = slot.owner.load(std::memory_order_relaxed);
+    item.start_ns = slot.start_ns.load(std::memory_order_relaxed);
+    const std::uint64_t after = slot.epoch.load(std::memory_order_acquire);
+    if (after != before) continue;  // torn sample (item changed): skip
+    item.seconds = static_cast<double>(now_ns - item.start_ns) * 1e-9;
+    if (item.seconds < 0.0) item.seconds = 0.0;
+    item.dispatcher = i;
+    out.push_back(item);
+  }
 }
 
 RoundScheduler::JobPtr RoundScheduler::pick_locked() {
@@ -94,24 +184,56 @@ RoundScheduler::JobPtr RoundScheduler::pick_locked() {
   return best;
 }
 
-void RoundScheduler::dispatcher_loop() {
+void RoundScheduler::promote_due_locked(Clock::time_point now) {
+  for (auto it = deferred_.begin(); it != deferred_.end();) {
+    if (it->not_before <= now) {
+      if (!it->job->retired) it->job->items.push_back(std::move(it->item));
+      it = deferred_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void RoundScheduler::promote_all_deferred_locked() {
+  for (Deferred& deferred : deferred_) {
+    if (!deferred.job->retired) deferred.job->items.push_back(std::move(deferred.item));
+  }
+  deferred_.clear();
+}
+
+void RoundScheduler::dispatcher_loop(int slot_index) {
   // Per-thread: every item this dispatcher runs executes inside the kernel
   // pool's worker context (see ThreadPool::WorkerContext).
   std::optional<ThreadPool::WorkerContext> context;
   if (config_.kernel_pool != nullptr) context.emplace(*config_.kernel_pool);
+  HeartbeatSlot& heartbeat = heartbeats_[slot_index];
 
   for (;;) {
-    std::function<void()> item;
+    Job::Item item;
     JobPtr job;  // shared ownership across the item: the job may be retired
                  // (and dropped from jobs_) by the item itself, e.g. a
                  // scan's last finalize — the account must outlive the run.
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      work_available_.wait(lock, [this] { return shutting_down_ || pick_locked() != nullptr; });
-      job = pick_locked();
-      if (job == nullptr) {
-        if (shutting_down_) return;
-        continue;
+      for (;;) {
+        promote_due_locked(Clock::now());
+        job = pick_locked();
+        if (job != nullptr) break;
+        if (shutting_down_) {
+          if (deferred_.empty()) return;
+          promote_all_deferred_locked();
+          continue;
+        }
+        if (deferred_.empty()) {
+          work_available_.wait(lock);
+        } else {
+          auto earliest = deferred_.front().not_before;
+          for (const Deferred& deferred : deferred_) {
+            earliest = std::min(earliest, deferred.not_before);
+          }
+          work_available_.wait_until(lock, earliest);
+        }
       }
       item = std::move(job->items.front());
       job->items.pop_front();
@@ -121,10 +243,17 @@ void RoundScheduler::dispatcher_loop() {
       vclock_ = std::max(vclock_, job->vtime);
     }
 
+    // Heartbeat: publish the item before running it (fields first, then the
+    // odd epoch transition — see the seqlock note in the header).
+    heartbeat.point.store(item.label, std::memory_order_relaxed);
+    heartbeat.owner.store(job->owner, std::memory_order_relaxed);
+    heartbeat.start_ns.store(steady_now_ns(), std::memory_order_relaxed);
+    heartbeat.epoch.fetch_add(1, std::memory_order_release);
+
     const Timer timer;
     std::exception_ptr error;
     try {
-      item();
+      item.fn();
     } catch (...) {
       // Fault isolation: the throw belongs to ONE job. Charge the item,
       // then hand the exception to that job's handler — the other jobs'
@@ -132,6 +261,8 @@ void RoundScheduler::dispatcher_loop() {
       error = std::current_exception();
     }
     const double cost = timer.seconds() + kMinItemSeconds;
+
+    heartbeat.epoch.fetch_add(1, std::memory_order_release);
 
     {
       const std::lock_guard<std::mutex> lock(mutex_);

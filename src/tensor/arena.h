@@ -29,9 +29,11 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 
 #include "tensor/tensor.h"
+#include "utils/memory_budget.h"
 
 namespace usb {
 
@@ -40,6 +42,13 @@ class TensorArena {
   TensorArena() = default;
   TensorArena(const TensorArena&) = delete;
   TensorArena& operator=(const TensorArena&) = delete;
+
+  /// Releases this arena's storage high-water from the process MemoryBudget.
+  ~TensorArena() {
+    if (registered_bytes_ > 0) {
+      MemoryBudget::process().release(MemoryBudget::Category::kArenas, registered_bytes_);
+    }
+  }
 
   /// Next slot, shaped to `shape`; contents unspecified. The reference is
   /// stable across later alloc() calls (slots live in a deque) and valid
@@ -61,6 +70,7 @@ class TensorArena {
   Tensor& adopt(Tensor&& value) {
     Tensor& slot = cursor_ < slots_.size() ? slots_[cursor_++] : emplace_slot();
     slot = std::move(value);
+    track_slot(cursor_ - 1, slot.numel() * static_cast<std::int64_t>(sizeof(float)));
     return slot;
   }
 
@@ -92,21 +102,41 @@ class TensorArena {
     if (cursor_ < slots_.size()) {
       Tensor& slot = slots_[cursor_++];
       slot.ensure_shape(shape);
+      track_slot(cursor_ - 1, slot.numel() * static_cast<std::int64_t>(sizeof(float)));
       return slot;
     }
     slots_.emplace_back(shape);
     ++cursor_;
-    return slots_.back();
+    Tensor& slot = slots_.back();
+    track_slot(cursor_ - 1, slot.numel() * static_cast<std::int64_t>(sizeof(float)));
+    return slot;
   }
 
   Tensor& emplace_slot() {
     slots_.emplace_back();
+    slot_bytes_.push_back(0);
     ++cursor_;
     return slots_.back();
   }
 
+  /// High-water accounting against the process MemoryBudget: a slot's
+  /// registered figure only grows (ensure_shape never shrinks storage), so
+  /// the steady-state cost is one integer compare per alloc — growth, and
+  /// the atomic it pays for, happens only on warm-up steps.
+  void track_slot(std::size_t index, std::int64_t bytes) {
+    if (slot_bytes_.size() < slots_.size()) slot_bytes_.resize(slots_.size(), 0);
+    std::int64_t& tracked = slot_bytes_[index];
+    if (bytes > tracked) {
+      MemoryBudget::process().add(MemoryBudget::Category::kArenas, bytes - tracked);
+      registered_bytes_ += bytes - tracked;
+      tracked = bytes;
+    }
+  }
+
   std::deque<Tensor> slots_;  // deque: stable references across growth
+  std::deque<std::int64_t> slot_bytes_;
   std::size_t cursor_ = 0;
+  std::int64_t registered_bytes_ = 0;
 };
 
 }  // namespace usb

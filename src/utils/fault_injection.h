@@ -35,9 +35,10 @@ struct InjectedFault : std::runtime_error {
 
 struct FaultSpec {
   enum class Kind {
-    kThrow,  // USB_FAULT_POINT throws InjectedFault
-    kDelay,  // USB_FAULT_POINT sleeps delay_seconds
-    kNan,    // USB_FAULT_NAN returns true (the site substitutes a NaN)
+    kThrow,   // USB_FAULT_POINT throws InjectedFault
+    kDelay,   // USB_FAULT_POINT sleeps delay_seconds
+    kNan,     // USB_FAULT_NAN returns true (the site substitutes a NaN)
+    kEnomem,  // USB_FAULT_POINT throws std::bad_alloc (simulated ENOMEM)
   };
   Kind kind = Kind::kThrow;
   /// Trigger starting at hit #after_hits of the point (0-based, counted

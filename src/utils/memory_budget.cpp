@@ -1,0 +1,10 @@
+#include "utils/memory_budget.h"
+
+namespace usb {
+
+MemoryBudget& MemoryBudget::process() {
+  static MemoryBudget instance;
+  return instance;
+}
+
+}  // namespace usb

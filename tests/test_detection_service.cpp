@@ -483,12 +483,19 @@ TEST(DetectionService, AdmissionRejectPolicyThrowsQueueFullBeforeCloning) {
   queued.probe_key = key;
   const ScanHandle waiting = service.submit(std::move(queued));
 
-  // ...and the next submit is rejected up front.
+  // ...and the next submit is rejected up front, reporting the observed
+  // pending depth so callers can size their backoff.
   ScanRequest rejected;
   rejected.model = &victim;
   rejected.detector = std::make_unique<NeuralCleanse>(tiny_nc_config());
   rejected.probe_key = key;
-  EXPECT_THROW((void)service.submit(std::move(rejected)), QueueFull);
+  try {
+    (void)service.submit(std::move(rejected));
+    FAIL() << "submit past max_queued under kReject must throw QueueFull";
+  } catch (const QueueFull& full) {
+    EXPECT_EQ(full.depth(), 1);
+    EXPECT_NE(std::string(full.what()).find("queue full"), std::string::npos);
+  }
 
   release.set_value();
   EXPECT_EQ(busy.wait().status, ScanStatus::kDone);
@@ -695,6 +702,44 @@ TEST(DetectionService, ScanStatusToStringCoversEveryValue) {
   EXPECT_EQ(to_string(ScanStatus::kCancelled), "cancelled");
   EXPECT_EQ(to_string(ScanStatus::kFailed), "failed");
   EXPECT_EQ(to_string(ScanStatus::kTimedOut), "timed_out");
+  EXPECT_EQ(to_string(ScanStatus::kShed), "shed");
+}
+
+TEST(DetectionService, AdmissionPolicyToStringCoversEveryValue) {
+  EXPECT_EQ(to_string(AdmissionPolicy::kBlock), "block");
+  EXPECT_EQ(to_string(AdmissionPolicy::kReject), "reject");
+}
+
+TEST(DetectionService, ClassScanStateToStringCoversEveryValue) {
+  EXPECT_EQ(to_string(ClassScanState::kPending), "pending");
+  EXPECT_EQ(to_string(ClassScanState::kRefining), "refining");
+  EXPECT_EQ(to_string(ClassScanState::kFinalized), "finalized");
+  EXPECT_EQ(to_string(ClassScanState::kNumericallyUnstable), "numerically_unstable");
+}
+
+// wait_for is poll-with-timeout: it returns the CURRENT status when the
+// budget elapses on a still-running scan, and the terminal status as soon
+// as one exists — never an error, never an indefinite block.
+TEST(DetectionService, WaitForReturnsCurrentStatusOnTimeoutAndTerminalOnCompletion) {
+  const DatasetSpec spec = tiny_spec(4);
+  const ProbeKey key{spec, 32, 291};
+  Network victim = make_network(Architecture::kBasicCnn, 1, 16, 4, 292);
+
+  DetectionService service(service_config(/*scan_threads=*/1, /*executors=*/1));
+  std::promise<void> release;
+  const std::shared_future<void> gate(release.get_future());
+  const ScanHandle busy = service.submit(gated_request(victim, key, gate));
+  wait_until_running(busy);
+
+  // Gated scan: a short wait elapses and reports the live status.
+  const ScanStatus while_running = busy.wait_for(0.01);
+  EXPECT_TRUE(while_running == ScanStatus::kRunning || while_running == ScanStatus::kQueued);
+
+  release.set_value();
+  // Generous budget: returns the terminal status well before 30s.
+  EXPECT_EQ(busy.wait_for(30.0), ScanStatus::kDone);
+  // A scan already terminal returns immediately, even with a zero budget.
+  EXPECT_EQ(busy.wait_for(0.0), ScanStatus::kDone);
 }
 
 // A deadline that is set but never hit must have zero numeric effect: the

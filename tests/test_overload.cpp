@@ -1,0 +1,512 @@
+// Overload-resilience suite: transient-fault retries, priority load
+// shedding, the global memory budget, and the hung-scan watchdog.
+//
+// The load-bearing guarantees under test:
+//  - a stage that fails TRANSIENTLY (injected fault, simulated ENOMEM in
+//    probe materialization) is retried with backoff and the scan that
+//    eventually succeeds is byte-identical to Detector::detect(), with the
+//    retry count in ScanOutcome::retries;
+//  - retry exhaustion resolves kFailed, still reporting how many retries
+//    were spent;
+//  - past the queue-depth or memory watermark, the LOWEST-priority NEWEST
+//    queued scans are shed (kShed, resolved immediately) while unsheddable
+//    and admitted scans complete untouched;
+//  - ProbeStore entries, model clones, and arena storage register with the
+//    process MemoryBudget and release on eviction / scan retirement, and
+//    max_resident_bytes turns the total into kReject/kBlock backpressure;
+//  - the watchdog flags an item stuck past stuck_item_seconds (and, opted
+//    in, fails the owning scan naming the stage) while healthy runs with a
+//    sane threshold never flag anything.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/usb.h"
+#include "data/probe_store.h"
+#include "data/synthetic.h"
+#include "defenses/neural_cleanse.h"
+#include "nn/checkpoint.h"
+#include "nn/models.h"
+#include "service/detection_service.h"
+#include "utils/errors.h"
+#include "utils/fault_injection.h"
+#include "utils/memory_budget.h"
+
+namespace usb {
+namespace {
+
+DatasetSpec tiny_spec(std::int64_t num_classes = 6) {
+  DatasetSpec spec;
+  spec.name = "overload-tiny";
+  spec.channels = 1;
+  spec.image_size = 16;
+  spec.num_classes = num_classes;
+  return spec;
+}
+
+ReverseOptConfig tiny_nc_config(std::int64_t steps = 6) {
+  ReverseOptConfig config;
+  config.steps = steps;
+  return config;
+}
+
+void expect_reports_identical(const DetectionReport& a, const DetectionReport& b) {
+  EXPECT_EQ(a.method, b.method);
+  ASSERT_EQ(a.per_class.size(), b.per_class.size());
+  for (std::size_t t = 0; t < a.per_class.size(); ++t) {
+    const TriggerEstimate& x = a.per_class[t];
+    const TriggerEstimate& y = b.per_class[t];
+    EXPECT_EQ(x.target_class, y.target_class);
+    EXPECT_EQ(x.mask_l1, y.mask_l1);
+    EXPECT_EQ(x.final_loss, y.final_loss);
+    EXPECT_EQ(x.fooling_rate, y.fooling_rate);
+    EXPECT_TRUE(x.pattern.equals(y.pattern));
+    EXPECT_TRUE(x.mask.equals(y.mask));
+  }
+  EXPECT_EQ(a.verdict.backdoored, b.verdict.backdoored);
+  EXPECT_EQ(a.verdict.flagged_classes, b.verdict.flagged_classes);
+  EXPECT_EQ(a.verdict.norms, b.verdict.norms);
+  EXPECT_EQ(a.verdict.anomaly, b.verdict.anomaly);
+  EXPECT_EQ(a.per_class_state, b.per_class_state);
+}
+
+DetectionServiceConfig service_config(int scan_threads, int executors = 2) {
+  DetectionServiceConfig config;
+  config.scan_threads = scan_threads;
+  config.max_concurrent_scans = executors;
+  return config;
+}
+
+ScanRequest nc_request(Network& model, const Dataset& probe, std::int64_t steps = 6) {
+  ScanRequest request;
+  request.model = &model;
+  request.probe = &probe;
+  request.detector = std::make_unique<NeuralCleanse>(tiny_nc_config(steps));
+  return request;
+}
+
+// The registry is process-global; every test starts and ends disarmed.
+class OverloadTest : public ::testing::Test {
+ protected:
+  void SetUp() override { fault::FaultRegistry::instance().disarm_all(); }
+  void TearDown() override { fault::FaultRegistry::instance().disarm_all(); }
+};
+
+// ---- Transient-fault retries -------------------------------------------
+
+// The tentpole pin: two injected transient faults at round stages are
+// retried with backoff, the scan resolves kDone, the retry count is
+// reported, and the report is byte-identical to the blocking detector —
+// retrying re-runs the same stage against un-mutated inputs.
+TEST_F(OverloadTest, TransientRoundFaultsRetryToByteIdenticalSuccess) {
+  const DatasetSpec spec = tiny_spec();
+  const Dataset probe = generate_dataset(spec, 48, 141);
+  Network victim = make_network(Architecture::kBasicCnn, 1, 16, spec.num_classes, 142);
+  const DetectionReport direct = NeuralCleanse(tiny_nc_config()).detect(victim, probe);
+
+  fault::FaultSpec fault_spec;
+  fault_spec.kind = fault::FaultSpec::Kind::kThrow;
+  fault_spec.count = 2;  // exactly two throws, then the point goes quiet
+  fault::FaultRegistry::instance().arm("scan.round", fault_spec);
+
+  DetectionService service(service_config(/*scan_threads=*/2, /*executors=*/1));
+  ScanRequest request = nc_request(victim, probe);
+  request.options.max_retries = 3;
+  request.options.retry_backoff_seconds = 0.002;
+  const ScanHandle handle = service.submit(std::move(request));
+  const ScanOutcome& outcome = handle.wait();
+  ASSERT_EQ(outcome.status, ScanStatus::kDone) << outcome.error;
+  EXPECT_EQ(outcome.retries, 2);
+  EXPECT_EQ(service.items_retried(), 2);
+  expect_reports_identical(direct, outcome.report);
+}
+
+// Simulated ENOMEM inside probe materialization: the store's failure is
+// wrapped transient (the content address regenerates deterministically),
+// the init stage retries, and the scan completes byte-identical.
+TEST_F(OverloadTest, ProbeMaterializationEnomemRetriesAndSucceeds) {
+  const DatasetSpec spec = tiny_spec();
+  const ProbeKey key{spec, 48, 143};
+  const Dataset probe = generate_dataset(spec, 48, 143);
+  Network victim = make_network(Architecture::kBasicCnn, 1, 16, spec.num_classes, 144);
+  const DetectionReport direct = NeuralCleanse(tiny_nc_config()).detect(victim, probe);
+
+  fault::FaultSpec fault_spec;
+  fault_spec.kind = fault::FaultSpec::Kind::kEnomem;
+  fault_spec.count = 1;
+  fault::FaultRegistry::instance().arm("probe_store.materialize", fault_spec);
+
+  DetectionService service(service_config(/*scan_threads=*/2, /*executors=*/1));
+  ScanRequest request;
+  request.model = &victim;
+  request.detector = std::make_unique<NeuralCleanse>(tiny_nc_config());
+  request.probe_key = key;
+  request.options.max_retries = 1;
+  request.options.retry_backoff_seconds = 0.002;
+  const ScanHandle handle = service.submit(std::move(request));
+  const ScanOutcome& outcome = handle.wait();
+  ASSERT_EQ(outcome.status, ScanStatus::kDone) << outcome.error;
+  EXPECT_EQ(outcome.retries, 1);
+  expect_reports_identical(direct, outcome.report);
+  // The failed materialization left no wedged entry; the retry populated it.
+  EXPECT_EQ(service.probe_store().size(), 1);
+}
+
+// Retry exhaustion: a persistently-failing stage spends its per-item
+// budget, then the scan resolves kFailed with the spent count on record.
+TEST_F(OverloadTest, RetryExhaustionResolvesFailedWithRetryCount) {
+  const DatasetSpec spec = tiny_spec();
+  const Dataset probe = generate_dataset(spec, 48, 145);
+  Network victim = make_network(Architecture::kBasicCnn, 1, 16, spec.num_classes, 146);
+
+  fault::FaultSpec fault_spec;
+  fault_spec.kind = fault::FaultSpec::Kind::kThrow;
+  fault_spec.count = -1;  // every hit, forever
+  fault::FaultRegistry::instance().arm("scan.round", fault_spec);
+
+  DetectionService service(service_config(/*scan_threads=*/2, /*executors=*/1));
+  ScanRequest request = nc_request(victim, probe);
+  request.options.max_retries = 2;
+  request.options.retry_backoff_seconds = 0.002;
+  const ScanHandle handle = service.submit(std::move(request));
+  const ScanOutcome& outcome = handle.wait();
+  ASSERT_EQ(outcome.status, ScanStatus::kFailed);
+  // At least one item spent its full budget (concurrent class chains may
+  // have banked retries of their own before the failure latched).
+  EXPECT_GE(outcome.retries, 2);
+  EXPECT_NE(outcome.error.find("scan.round"), std::string::npos) << outcome.error;
+  EXPECT_NE(outcome.error.find("retries)"), std::string::npos) << outcome.error;
+  EXPECT_EQ(service.scans_failed(), 1);
+
+  // A detector's own permanent error is NOT retried even with budget left.
+  fault::FaultRegistry::instance().disarm_all();
+  ScanRequest healthy = nc_request(victim, probe);
+  healthy.options.max_retries = 5;
+  const ScanHandle ok = service.submit(std::move(healthy));
+  EXPECT_EQ(ok.wait().status, ScanStatus::kDone);
+  EXPECT_EQ(service.items_retried(), outcome.retries);  // no silent retries
+}
+
+// With max_retries = 0 (the default), a transient fault fails immediately —
+// the retry layer is inert unless armed, keeping default semantics.
+TEST_F(OverloadTest, DefaultZeroRetriesFailsTransientFaultImmediately) {
+  const DatasetSpec spec = tiny_spec();
+  const Dataset probe = generate_dataset(spec, 48, 147);
+  Network victim = make_network(Architecture::kBasicCnn, 1, 16, spec.num_classes, 148);
+
+  fault::FaultSpec fault_spec;
+  fault_spec.kind = fault::FaultSpec::Kind::kThrow;
+  fault_spec.count = 1;
+  fault::FaultRegistry::instance().arm("scan.round", fault_spec);
+
+  DetectionService service(service_config(/*scan_threads=*/2, /*executors=*/1));
+  const ScanHandle handle = service.submit(nc_request(victim, probe));
+  const ScanOutcome& outcome = handle.wait();
+  EXPECT_EQ(outcome.status, ScanStatus::kFailed);
+  EXPECT_EQ(outcome.retries, 0);
+  EXPECT_EQ(service.items_retried(), 0);
+}
+
+// ---- Priority load shedding --------------------------------------------
+
+TEST_F(OverloadTest, DepthWatermarkShedsLowestPriorityNewestSparingUnsheddable) {
+  const DatasetSpec spec = tiny_spec();
+  const Dataset probe = generate_dataset(spec, 48, 151);
+  Network victim = make_network(Architecture::kBasicCnn, 1, 16, spec.num_classes, 152);
+
+  // The blocker (scan id 1) holds the single admission slot: every one of
+  // its rounds sleeps, so the scans below all sit queued while we assert.
+  fault::FaultSpec delay;
+  delay.kind = fault::FaultSpec::Kind::kDelay;
+  delay.delay_seconds = 0.05;
+  delay.count = -1;
+  delay.scope = 1;
+  fault::FaultRegistry::instance().arm("scan.round", delay);
+
+  DetectionServiceConfig config = service_config(/*scan_threads=*/1, /*executors=*/1);
+  config.shed_queue_depth = 2;
+  DetectionService service(config);
+  auto submit = [&](int priority, bool unsheddable) {
+    ScanRequest request = nc_request(victim, probe);
+    request.options.priority = priority;
+    request.options.unsheddable = unsheddable;
+    return service.submit(std::move(request));
+  };
+  ScanRequest blocking = nc_request(victim, probe, /*steps=*/40);
+  blocking.options.priority = 2;
+  blocking.options.unsheddable = true;
+  const ScanHandle blocker = service.submit(std::move(blocking));
+  const ScanHandle high = submit(1, false);
+  const ScanHandle older_low = submit(0, false);
+  // Third queued scan breaches depth 2: the NEWEST lowest-priority queued
+  // scan — itself — is shed synchronously, before submit() returns.
+  const ScanHandle newest_low = submit(0, false);
+  EXPECT_EQ(newest_low.poll(), ScanStatus::kShed);
+  // The unsheddable newcomer breaches the depth again, but is spared; the
+  // remaining low-priority scan goes instead.
+  const ScanHandle must_run = submit(0, true);
+  EXPECT_EQ(older_low.poll(), ScanStatus::kShed);
+  EXPECT_EQ(high.poll(), ScanStatus::kQueued);
+  EXPECT_EQ(must_run.poll(), ScanStatus::kQueued);
+  EXPECT_EQ(service.scans_shed(), 2);
+  EXPECT_NE(newest_low.wait().error.find("shed"), std::string::npos);
+
+  // Survivors complete once the blocker stops hogging the slot.
+  fault::FaultRegistry::instance().disarm_all();
+  blocker.cancel();
+  EXPECT_EQ(high.wait().status, ScanStatus::kDone);
+  EXPECT_EQ(must_run.wait().status, ScanStatus::kDone);
+  EXPECT_EQ(service.scans_shed(), 2);  // admitted scans were never shed
+}
+
+TEST_F(OverloadTest, MemoryWatermarkShedsQueuedScanWhoseCloneBreachesBudget) {
+  const DatasetSpec spec = tiny_spec();
+  const Dataset probe = generate_dataset(spec, 48, 153);
+  Network victim = make_network(Architecture::kBasicCnn, 1, 16, spec.num_classes, 154);
+  Network sample_clone = clone_network(victim);
+  const std::int64_t clone_bytes = network_resident_bytes(sample_clone);
+  ASSERT_GT(clone_bytes, 0);
+
+  // Park the blocker inside its FIRST stage (plan preparation) so the only
+  // budget movement between the two submits is the submit-time clones —
+  // per-class clones and arenas can't grow while prepare sleeps.
+  fault::FaultSpec delay;
+  delay.kind = fault::FaultSpec::Kind::kDelay;
+  delay.delay_seconds = 0.5;
+  delay.count = 1;
+  delay.scope = 1;
+  fault::FaultRegistry::instance().arm("scan.prepare", delay);
+
+  // Room for one-and-a-half clones above whatever the rest of the process
+  // has registered: the admitted blocker fits, a second clone does not.
+  DetectionServiceConfig config = service_config(/*scan_threads=*/1, /*executors=*/1);
+  config.max_resident_bytes = MemoryBudget::process().bytes() + clone_bytes + clone_bytes / 2;
+  DetectionService service(config);
+
+  ScanRequest blocking = nc_request(victim, probe);
+  blocking.options.unsheddable = true;
+  const ScanHandle blocker = service.submit(std::move(blocking));
+  // Passes the admission gate (budget still under the watermark), but its
+  // own clone breaches it — the sweep sheds the newest sheddable queued
+  // scan, which is this one.
+  const ScanHandle shed = service.submit(nc_request(victim, probe));
+  EXPECT_EQ(shed.poll(), ScanStatus::kShed);
+  EXPECT_EQ(service.scans_shed(), 1);
+
+  fault::FaultRegistry::instance().disarm_all();
+  blocker.cancel();
+  (void)blocker.wait();
+}
+
+TEST_F(OverloadTest, ByteBackpressureRejectsWhileOverBudgetAndRecovers) {
+  const DatasetSpec spec = tiny_spec();
+  const Dataset probe = generate_dataset(spec, 48, 155);
+  Network victim = make_network(Architecture::kBasicCnn, 1, 16, spec.num_classes, 156);
+
+  fault::FaultSpec delay;
+  delay.kind = fault::FaultSpec::Kind::kDelay;
+  delay.delay_seconds = 0.05;
+  delay.count = -1;
+  delay.scope = 1;
+  fault::FaultRegistry::instance().arm("scan.round", delay);
+
+  // Any live scan's clone exceeds one byte, so admission is gated the
+  // moment a scan is in flight — and reopens when it retires.
+  DetectionServiceConfig config = service_config(/*scan_threads=*/1, /*executors=*/1);
+  config.max_resident_bytes = 1;
+  config.admission_policy = AdmissionPolicy::kReject;
+  DetectionService service(config);
+  const ScanHandle first = service.submit(nc_request(victim, probe, /*steps=*/40));
+  EXPECT_THROW((void)service.submit(nc_request(victim, probe)), QueueFull);
+
+  fault::FaultRegistry::instance().disarm_all();
+  first.cancel();
+  (void)first.wait();
+  // Budget drained and live_ emptied: the same service admits again (an
+  // empty service never blocks on externally-owned bytes).
+  const ScanHandle second = service.submit(nc_request(victim, probe));
+  EXPECT_EQ(second.wait().status, ScanStatus::kDone);
+}
+
+// ---- Global memory budget ----------------------------------------------
+
+TEST(MemoryBudgetTest, ProbeStoreRegistersEvictsAndReleases) {
+  auto& budget = MemoryBudget::process();
+  const std::int64_t before = budget.bytes(MemoryBudget::Category::kProbeData);
+
+  const ProbeKey key_a{tiny_spec(), 48, 161};
+  const ProbeKey key_b{tiny_spec(), 48, 162};
+  std::int64_t bytes_a = 0;
+  {
+    ProbeStoreOptions options;
+    options.eval_batch_size = 16;
+    ProbeStore sized(options);
+    bytes_a = sized.get_or_create(key_a)->bytes();
+    sized.clear();
+    EXPECT_EQ(budget.bytes(MemoryBudget::Category::kProbeData), before);
+
+    ProbeStoreOptions capped_options;
+    capped_options.eval_batch_size = 16;
+    capped_options.max_bytes = bytes_a;  // exactly one resident entry
+    ProbeStore capped(capped_options);
+    {
+      const auto a = capped.get_or_create(key_a);
+      EXPECT_EQ(budget.bytes(MemoryBudget::Category::kProbeData) - before, a->bytes());
+    }
+    // a is unpinned now; b's arrival evicts it and the budget follows.
+    const auto b = capped.get_or_create(key_b);
+    EXPECT_EQ(capped.evictions(), 1);
+    EXPECT_EQ(budget.bytes(MemoryBudget::Category::kProbeData) - before, b->bytes());
+  }
+  // Store destruction releases its resident bytes.
+  EXPECT_EQ(budget.bytes(MemoryBudget::Category::kProbeData), before);
+}
+
+TEST(MemoryBudgetTest, ScanLifecycleReturnsCloneAndArenaBytesToBaseline) {
+  auto& budget = MemoryBudget::process();
+  const DatasetSpec spec = tiny_spec(4);
+  const Dataset probe = generate_dataset(spec, 32, 163);
+  Network victim = make_network(Architecture::kBasicCnn, 1, 16, 4, 164);
+  Network sample_clone = clone_network(victim);
+  const std::int64_t clone_bytes = network_resident_bytes(sample_clone);
+  ASSERT_GT(clone_bytes, 0);
+
+  const std::int64_t clones_before = budget.bytes(MemoryBudget::Category::kModelClones);
+  const std::int64_t arenas_before = budget.bytes(MemoryBudget::Category::kArenas);
+  {
+    DetectionServiceConfig config;
+    config.scan_threads = 1;
+    config.max_concurrent_scans = 1;
+    DetectionService service(config);
+    ScanRequest request;
+    request.model = &victim;
+    request.probe = &probe;
+    request.detector = std::make_unique<NeuralCleanse>(tiny_nc_config());
+    const ScanHandle handle = service.submit(std::move(request));
+    ASSERT_EQ(handle.wait().status, ScanStatus::kDone);
+    // Terminal resolution released the submit clone, every per-class clone,
+    // and the refinement arenas BEFORE the waiter woke.
+    EXPECT_EQ(budget.bytes(MemoryBudget::Category::kModelClones), clones_before);
+    EXPECT_EQ(budget.bytes(MemoryBudget::Category::kArenas), arenas_before);
+  }
+  // The scan's peak footprint is on the high-water record: at least the
+  // submit-time clone plus one per-class clone were resident at once
+  // (process-wide high water — monotone, so >= this scan's peak).
+  EXPECT_GE(budget.high_water_bytes(), 2 * clone_bytes);
+}
+
+// ---- Hung-scan watchdog ------------------------------------------------
+
+TEST_F(OverloadTest, WatchdogFlagsInjectedStallAndHealthReportsIt) {
+  const DatasetSpec spec = tiny_spec(4);
+  const Dataset probe = generate_dataset(spec, 32, 171);
+  Network victim = make_network(Architecture::kBasicCnn, 1, 16, 4, 172);
+
+  fault::FaultSpec delay;
+  delay.kind = fault::FaultSpec::Kind::kDelay;
+  delay.delay_seconds = 0.4;
+  delay.count = 1;
+  fault::FaultRegistry::instance().arm("scan.round", delay);
+
+  DetectionServiceConfig config = service_config(/*scan_threads=*/1, /*executors=*/1);
+  config.stuck_item_seconds = 0.05;
+  DetectionService service(config);
+  const ScanHandle handle = service.submit(nc_request(victim, probe));
+
+  bool observed = false;
+  const auto poll_deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (std::chrono::steady_clock::now() < poll_deadline) {
+    const ServiceHealth health = service.health();
+    if (health.stuck_flagged_total >= 1) {
+      observed = true;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_TRUE(observed) << "watchdog never flagged the 0.4s stall";
+  // Flag-only mode: the scan itself still completes.
+  EXPECT_EQ(handle.wait().status, ScanStatus::kDone);
+  EXPECT_GE(service.health().stuck_flagged_total, 1);
+}
+
+TEST_F(OverloadTest, WatchdogStaysQuietOnHealthyRuns) {
+  const DatasetSpec spec = tiny_spec(4);
+  const Dataset probe = generate_dataset(spec, 32, 173);
+  Network victim = make_network(Architecture::kBasicCnn, 1, 16, 4, 174);
+
+  DetectionServiceConfig config = service_config(/*scan_threads=*/1, /*executors=*/1);
+  config.stuck_item_seconds = 30.0;  // far above any honest stage
+  DetectionService service(config);
+  const ScanHandle handle = service.submit(nc_request(victim, probe));
+  ASSERT_EQ(handle.wait().status, ScanStatus::kDone);
+  const ServiceHealth health = service.health();
+  EXPECT_EQ(health.stuck_flagged_total, 0);
+  EXPECT_EQ(health.stuck_items, 0);
+}
+
+TEST_F(OverloadTest, FailStuckScansResolvesOwnerFailedNamingTheStage) {
+  const DatasetSpec spec = tiny_spec(4);
+  const Dataset probe = generate_dataset(spec, 32, 175);
+  Network victim = make_network(Architecture::kBasicCnn, 1, 16, 4, 176);
+
+  fault::FaultSpec delay;
+  delay.kind = fault::FaultSpec::Kind::kDelay;
+  delay.delay_seconds = 0.5;
+  delay.count = 1;
+  fault::FaultRegistry::instance().arm("scan.round", delay);
+
+  DetectionServiceConfig config = service_config(/*scan_threads=*/1, /*executors=*/1);
+  config.stuck_item_seconds = 0.05;
+  config.fail_stuck_scans = true;
+  DetectionService service(config);
+  const ScanHandle handle = service.submit(nc_request(victim, probe));
+  const ScanOutcome& outcome = handle.wait();
+  EXPECT_EQ(outcome.status, ScanStatus::kFailed);
+  EXPECT_NE(outcome.error.find("watchdog"), std::string::npos) << outcome.error;
+  EXPECT_GE(service.health().stuck_flagged_total, 1);
+}
+
+// ---- Health snapshot & error taxonomy ----------------------------------
+
+TEST_F(OverloadTest, HealthSnapshotTracksCountersAndBudget) {
+  const DatasetSpec spec = tiny_spec(4);
+  const Dataset probe = generate_dataset(spec, 32, 181);
+  Network victim = make_network(Architecture::kBasicCnn, 1, 16, 4, 182);
+
+  DetectionService service(service_config(/*scan_threads=*/1, /*executors=*/1));
+  const ServiceHealth idle = service.health();
+  EXPECT_EQ(idle.queued_scans, 0);
+  EXPECT_EQ(idle.admitted_scans, 0);
+  EXPECT_EQ(idle.in_flight_items, 0);
+  EXPECT_EQ(idle.budget_limit_bytes, 0);
+
+  const ScanHandle handle = service.submit(nc_request(victim, probe));
+  ASSERT_EQ(handle.wait().status, ScanStatus::kDone);
+  const ServiceHealth done = service.health();
+  EXPECT_EQ(done.scans_submitted, 1);
+  EXPECT_EQ(done.scans_completed, 1);
+  EXPECT_EQ(done.scans_shed, 0);
+  EXPECT_EQ(done.items_retried, 0);
+  EXPECT_EQ(done.items_deferred, 0);
+  EXPECT_GT(done.budget_high_water_bytes, 0);
+}
+
+TEST(OverloadErrors, TransientErrorClassificationAndToStringTotality) {
+  const ScanError permanent("disk on fire", /*transient_failure=*/false);
+  EXPECT_FALSE(permanent.transient);
+  const TransientError transient("blip");
+  EXPECT_TRUE(transient.transient);
+  EXPECT_STREQ(transient.what(), "blip");
+
+  EXPECT_EQ(to_string(ScanStatus::kShed), "shed");
+  EXPECT_EQ(to_string(AdmissionPolicy::kBlock), "block");
+  EXPECT_EQ(to_string(AdmissionPolicy::kReject), "reject");
+}
+
+}  // namespace
+}  // namespace usb

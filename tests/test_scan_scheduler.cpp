@@ -139,10 +139,15 @@ TEST(ClassScanScheduler, JobsReceiveSharedCacheAndPerClassSeeds) {
   const ClassScanScheduler scheduler(options);
   std::vector<std::uint64_t> seeds(3, 0);
   std::vector<const ProbeBatchCache*> caches(3, nullptr);
+  std::vector<std::int64_t> cache_samples(3, 0);
+  // The cache lives in run()'s frame, so it must be read inside the job
+  // callback; only the pointer VALUES survive for the shared-identity check.
   (void)scheduler.run("stub", model, probe,
                       [&](Network&, const Dataset&, const ClassScanJob& job) {
-                        seeds[static_cast<std::size_t>(job.target_class)] = job.rng_seed;
-                        caches[static_cast<std::size_t>(job.target_class)] = job.probe_cache;
+                        const auto index = static_cast<std::size_t>(job.target_class);
+                        seeds[index] = job.rng_seed;
+                        caches[index] = job.probe_cache;
+                        cache_samples[index] = job.probe_cache->total_samples();
                         TriggerEstimate estimate;
                         estimate.target_class = job.target_class;
                         estimate.pattern = Tensor(Shape{1, 16, 16});
@@ -153,7 +158,7 @@ TEST(ClassScanScheduler, JobsReceiveSharedCacheAndPerClassSeeds) {
     EXPECT_EQ(seeds[static_cast<std::size_t>(t)],
               ClassScanScheduler::class_stream_seed(11, t));
     ASSERT_NE(caches[static_cast<std::size_t>(t)], nullptr);
-    EXPECT_EQ(caches[static_cast<std::size_t>(t)]->total_samples(), 18);
+    EXPECT_EQ(cache_samples[static_cast<std::size_t>(t)], 18);
   }
   // One shared cache, not one per job.
   EXPECT_EQ(caches[0], caches[1]);
