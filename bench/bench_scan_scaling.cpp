@@ -45,6 +45,7 @@
 #include "fig_common.h"
 #include "data/synthetic.h"
 #include "defenses/neural_cleanse.h"
+#include "nn/checkpoint.h"
 #include "nn/models.h"
 #include "service/detection_service.h"
 #include "utils/fault_injection.h"
@@ -240,6 +241,12 @@ int main(int argc, char** argv) {
     // is a handful of steady_clock reads per stage boundary; the gate holds
     // this below 2%.
     double deadline_overhead = 0.0;
+    // ModelStore economics of by-reference submission: hits/(hits+misses)
+    // after N same-ref submits ((N-1)/N when sharing works), and the bytes
+    // the submit-time deep clone would have cost minus what actually went
+    // resident ((N-1) x model size when N submits share one instance).
+    double model_store_hit_rate = 0.0;
+    double submit_clone_bytes_saved = 0.0;
   };
   ServiceRow service_row;
   // ---- Overload resilience: retries, shedding, health-snapshot cost. ----
@@ -331,7 +338,12 @@ int main(int argc, char** argv) {
         request.detector = std::make_unique<NeuralCleanse>(service_nc);
         request.probe_key = small_key;
         request.options.deadline_seconds = deadline_seconds;
-        const ScanOutcome& outcome = service.submit(std::move(request)).wait();
+        // The handle must outlive the outcome reference: wait() returns
+        // state the handle keeps alive, and a temporary handle dying at
+        // the end of this statement leaves `outcome` dangling (observed as
+        // freed-heap garbage in the report tensors on allocator reuse).
+        const ScanHandle handle = service.submit(std::move(request));
+        const ScanOutcome& outcome = handle.wait();
         if (outcome.status != ScanStatus::kDone ||
             !reports_identical(direct_small, outcome.report)) {
           service_row.identical = false;
@@ -352,6 +364,45 @@ int main(int argc, char** argv) {
     const double deadline_best =
         *std::min_element(with_deadline.begin(), with_deadline.end());
     service_row.deadline_overhead = base_best > 0 ? deadline_best / base_best - 1.0 : 0.0;
+
+    // ---- ModelStore economics: by-reference submission. ------------------
+    // The small victim is checkpointed once and submitted kRefSubmits times
+    // BY REFERENCE through the same service. The store loads the file once
+    // (one miss) and every later submit shares the resident instance, so
+    // the hit rate is (N-1)/N and the submit-time deep clone disappears:
+    // bytes saved = N x model size (the clones that were never made) minus
+    // what actually went resident (1 x model size). The ref reports must
+    // still be byte-identical to detect() — folded into `identical`.
+    {
+      const std::string ckpt_path = "/tmp/bench_scan_scaling_small.ckpt";
+      save_checkpoint(small_victim, ckpt_path);
+      const std::int64_t model_bytes = network_resident_bytes(small_victim);
+      constexpr int kRefSubmits = 4;
+      std::vector<ScanHandle> ref_handles;
+      ref_handles.reserve(kRefSubmits);
+      for (int i = 0; i < kRefSubmits; ++i) {
+        ScanRequest request;
+        request.model_ref = ModelRef::from_checkpoint(ckpt_path);
+        request.detector = std::make_unique<NeuralCleanse>(service_nc);
+        request.probe_key = small_key;
+        ref_handles.push_back(service.submit(std::move(request)));
+      }
+      for (const ScanHandle& handle : ref_handles) {
+        const ScanOutcome& outcome = handle.wait();
+        if (outcome.status != ScanStatus::kDone ||
+            !reports_identical(direct_small, outcome.report)) {
+          service_row.identical = false;
+        }
+      }
+      const ModelStore& store = service.model_store();
+      const double lookups = static_cast<double>(store.hits() + store.misses());
+      service_row.model_store_hit_rate =
+          lookups > 0 ? static_cast<double>(store.hits()) / lookups : 0.0;
+      service_row.submit_clone_bytes_saved =
+          static_cast<double>(kRefSubmits) * static_cast<double>(model_bytes) -
+          static_cast<double>(store.bytes_resident());
+      std::remove(ckpt_path.c_str());
+    }
 
     // ---- Transient-fault retry success rate. ----------------------------
     // Each rep arms exactly one injected throw at the next round stage; a
@@ -375,7 +426,10 @@ int main(int argc, char** argv) {
       request.options.max_retries = 2;
       request.options.retry_backoff_seconds = 0.001;
       const Timer timer;
-      const ScanOutcome& outcome = service.submit(std::move(request)).wait();
+      // Named handle: see the deadline block — a temporary would leave the
+      // outcome reference dangling.
+      const ScanHandle handle = service.submit(std::move(request));
+      const ScanOutcome& outcome = handle.wait();
       retry_latencies.push_back(timer.seconds());
       if (outcome.status == ScanStatus::kDone && outcome.retries >= 1 &&
           reports_identical(direct_small, outcome.report)) {
@@ -470,11 +524,14 @@ int main(int argc, char** argv) {
     overload_row.health_overhead =
         unmonitored_best > 0 ? monitored_best / unmonitored_best - 1.0 : 0.0;
   }
-  std::printf("\n%-6s %13s %20s %10s %18s\n", "method", "small-p50-s", "small-before-large",
-              "identical", "deadline-overhead");
-  std::printf("%-6s %13.3f %20s %10s %17.1f%%\n", "NC", service_row.seconds,
+  std::printf("\n%-6s %13s %20s %10s %18s %14s %14s\n", "method", "small-p50-s",
+              "small-before-large", "identical", "deadline-overhead", "store-hit-rate",
+              "clone-KB-saved");
+  std::printf("%-6s %13.3f %20s %10s %17.1f%% %14.2f %14.1f\n", "NC", service_row.seconds,
               service_row.small_before_large ? "yes" : "NO",
-              service_row.identical ? "yes" : "NO", service_row.deadline_overhead * 100.0);
+              service_row.identical ? "yes" : "NO", service_row.deadline_overhead * 100.0,
+              service_row.model_store_hit_rate,
+              service_row.submit_clone_bytes_saved / 1024.0);
   std::printf("\n%-6s %14s %19s %14s %17s\n", "method", "retry-p50-s", "retry-success-rate",
               "shed-p50-ms", "health-overhead");
   std::printf("%-6s %14.3f %19.2f %14.3f %16.1f%%\n", "NC", overload_row.retry_seconds,
@@ -488,7 +545,7 @@ int main(int argc, char** argv) {
   }
   {
     out << "[\n";
-    char line[256];
+    char line[512];
     for (std::size_t i = 0; i < rows.size(); ++i) {
       std::snprintf(line, sizeof(line),
                     "  {\"section\": \"threads\", \"method\": \"%s\", \"threads\": %d, "
@@ -515,9 +572,12 @@ int main(int argc, char** argv) {
                   "  {\"section\": \"service\", \"method\": \"NC\", \"threads\": 1, "
                   "\"scenario\": \"mixed\", \"seconds\": %.4f, "
                   "\"small_before_large\": %s, \"identical\": %s, "
-                  "\"deadline_miss_p50_overhead\": %.4f},\n",
+                  "\"deadline_miss_p50_overhead\": %.4f, "
+                  "\"model_store_hit_rate\": %.4f, "
+                  "\"submit_clone_bytes_saved\": %.0f},\n",
                   service_row.seconds, service_row.small_before_large ? "true" : "false",
-                  service_row.identical ? "true" : "false", service_row.deadline_overhead);
+                  service_row.identical ? "true" : "false", service_row.deadline_overhead,
+                  service_row.model_store_hit_rate, service_row.submit_clone_bytes_saved);
     out << line;
     std::snprintf(line, sizeof(line),
                   "  {\"section\": \"overload\", \"method\": \"NC\", \"threads\": 1, "
@@ -538,6 +598,12 @@ int main(int argc, char** argv) {
     if ((row.identical_checked && !row.identical) || !row.same_verdict) return 1;
   }
   if (!service_row.small_before_large || !service_row.identical) return 1;
+  // By-ref submission contract: the store must actually have shared (a
+  // zero hit rate means every submit reloaded) and must have cost less
+  // memory than clone-on-submit would have.
+  if (service_row.model_store_hit_rate <= 0.0 || service_row.submit_clone_bytes_saved <= 0.0) {
+    return 1;
+  }
   // Overload contract: every faulted scan must retry to success, and the
   // shed path must actually have shed (a zero p50 means it never fired).
   if (overload_row.retry_success_rate != 1.0 || overload_row.shed_p50_latency <= 0.0) return 1;

@@ -239,6 +239,33 @@ def check_scan(current_entries, baseline_entries, args):
                 f"{scan_key(entry)}: deadline bookkeeping overhead "
                 f"{overhead:.4f} exceeds the 0.02 gate"
             )
+        # By-reference submission economics: the ModelStore must actually
+        # have shared a resident model across the ref submits (hit rate 0
+        # means every submit reloaded) and must have cost less memory than
+        # clone-on-submit would have. Missing fields mean the bench stopped
+        # measuring the store, which must fail outright.
+        hit_rate = entry.get("model_store_hit_rate")
+        if hit_rate is None:
+            failures.append(
+                f"{scan_key(entry)}: required field 'model_store_hit_rate' "
+                "missing from current run"
+            )
+        elif hit_rate <= 0.0:
+            failures.append(
+                f"{scan_key(entry)}: model_store_hit_rate {hit_rate!r} — ref "
+                "submits never shared a resident model"
+            )
+        bytes_saved = entry.get("submit_clone_bytes_saved")
+        if bytes_saved is None:
+            failures.append(
+                f"{scan_key(entry)}: required field 'submit_clone_bytes_saved' "
+                "missing from current run"
+            )
+        elif bytes_saved <= 0.0:
+            failures.append(
+                f"{scan_key(entry)}: submit_clone_bytes_saved {bytes_saved!r} — "
+                "by-ref submission saved no memory over clone-on-submit"
+            )
 
     # The overload entry (transient-fault retries, shedding, health-snapshot
     # cost) is likewise a hard requirement of the current run: a bench that

@@ -1,6 +1,7 @@
 // Defense comparison: NC vs TABOR vs USB on one backdoored model.
 //
 // Usage: defense_comparison [badnet|latent|iad] [trigger_size]
+//        defense_comparison --model-ref <ckpt> [<ckpt>...]
 //
 // Reproduces the paper's core comparison on a single victim: all three
 // detectors reverse engineer per-class triggers; the table shows each
@@ -14,10 +15,19 @@
 // content-addressed probe materialization, and report per-class progress —
 // then waits on the handles in method order. Reports are bit-identical to
 // the legacy sequential loop.
+//
+// With --model-ref the fleet-triage scenario runs end-to-end from the CLI:
+// each argument is a checkpoint path (nn/checkpoint.h format, e.g. saved by
+// examples/scan_client or train_or_load's zoo cache) submitted BY REFERENCE
+// — the service's ModelStore loads each file once and the three per-model
+// scans share that single resident instance. The probe is sized from the
+// checkpoint's own geometry, so mixed fleets (different architectures or
+// input shapes) triage in one run.
 #include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "attacks/factory.h"
 #include "core/usb.h"
@@ -29,8 +39,97 @@
 #include "utils/table.h"
 #include "utils/timer.h"
 
+namespace {
+
+using namespace usb;
+
+// --model-ref mode: triage every checkpoint with all three detectors
+// through one service, models resolved through the ModelStore.
+int run_model_refs(const std::vector<std::string>& paths) {
+  DetectionService service;
+  Table table({"Checkpoint", "Method", "status", "verdict", "flagged classes", "wall [m:s]"});
+  int degraded = 0;
+
+  for (const std::string& path : paths) {
+    const ModelRef ref = ModelRef::from_checkpoint(path);
+    // Resolve the ref up front: this loads (or finds) the resident model,
+    // tells us the probe geometry, and — because the pin is held across the
+    // submits below — guarantees all three scans hit the same entry.
+    std::shared_ptr<const ModelData> resident;
+    try {
+      resident = service.model_store().get_or_create(ref);
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "%s\n", error.what());
+      table.add_row({path, "-", "load failed", "-", "-", "-"});
+      ++degraded;
+      continue;
+    }
+    DatasetSpec spec;
+    spec.name = "fleet-probe";
+    spec.channels = resident->network.in_channels();
+    spec.image_size = resident->network.input_size();
+    spec.num_classes = resident->network.num_classes();
+    const ProbeKey probe_key{spec, 96, /*seed=*/23};
+
+    auto submit = [&](DetectorPtr detector) {
+      ScanRequest request;
+      request.model_ref = ref;
+      request.detector = std::move(detector);
+      request.probe_key = probe_key;
+      return service.submit(std::move(request));
+    };
+    ReverseOptConfig nc_config;
+    nc_config.steps = 24;
+    TaborConfig tabor_config;
+    tabor_config.base.steps = 24;
+    UsbConfig usb_config;
+    usb_config.uap.max_passes = 1;
+    usb_config.uap.craft_size = 32;
+    usb_config.refine_steps = 24;
+    const ScanHandle handles[] = {submit(std::make_unique<NeuralCleanse>(nc_config)),
+                                  submit(std::make_unique<Tabor>(tabor_config)),
+                                  submit(std::make_unique<UsbDetector>(usb_config))};
+    for (const ScanHandle& handle : handles) {
+      const ScanOutcome& outcome = handle.wait();
+      if (outcome.status != ScanStatus::kDone) {
+        ++degraded;
+        table.add_row({path, outcome.report.method.empty() ? "?" : outcome.report.method,
+                       to_string(outcome.status), "-", "-", "-"});
+        if (!outcome.error.empty()) std::fprintf(stderr, "%s\n", outcome.error.c_str());
+        continue;
+      }
+      const DetectionReport& report = outcome.report;
+      std::string flagged;
+      for (const std::int64_t cls : report.verdict.flagged_classes) {
+        flagged += (flagged.empty() ? "" : ",") + std::to_string(cls);
+      }
+      table.add_row({path, report.method, to_string(outcome.status),
+                     report.verdict.backdoored ? "BACKDOORED" : "clean",
+                     flagged.empty() ? "-" : flagged,
+                     format_minutes_seconds(report.wall_seconds)});
+    }
+  }
+  table.print();
+  const ModelStore& models = service.model_store();
+  std::printf("\nmodel store: %lld entries, %lld hits / %lld misses, %lld bytes resident\n",
+              static_cast<long long>(models.size()), static_cast<long long>(models.hits()),
+              static_cast<long long>(models.misses()),
+              static_cast<long long>(models.bytes_resident()));
+  return degraded == 0 ? 0 : 1;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace usb;
+
+  if (argc > 1 && std::strcmp(argv[1], "--model-ref") == 0) {
+    if (argc < 3) {
+      std::fprintf(stderr, "usage: defense_comparison --model-ref <ckpt> [<ckpt>...]\n");
+      return 2;
+    }
+    return run_model_refs({argv + 2, argv + argc});
+  }
 
   AttackParams params;
   params.kind = AttackKind::kBadNet;

@@ -1,0 +1,195 @@
+// Out-of-process scan submission over the wire protocol.
+//
+// Usage: scan_client <path-to-scan_server> [--steps N]
+//
+// The client end of the pipe pair (see examples/scan_server.cpp). It trains
+// a tiny two-model fleet (one clean, one BadNet victim), saves both to
+// checkpoints, spawns scan_server as a child process, and ships every
+// (model, method) pair as a WireScanRequest frame down the child's stdin —
+// models BY CHECKPOINT PATH, no Network ever crossing the process boundary.
+// The server resolves each path through its ModelStore (two methods per
+// checkpoint -> one load, one store hit each), scans, and streams
+// WireScanResult frames back, which the client decodes into a verdict
+// table. Exit 0 iff every frame round-trips and every scan resolves kDone
+// (verdict quality at this toy scale is informational — see
+// defense_comparison for the paper-scale comparison).
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "attacks/factory.h"
+#include "data/synthetic.h"
+#include "nn/checkpoint.h"
+#include "nn/trainer.h"
+#include "service/wire.h"
+#include "utils/table.h"
+
+namespace {
+
+using namespace usb;
+
+struct Fleet {
+  std::string label;
+  std::string path;
+  bool backdoored = false;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace usb;
+
+  const char* server = nullptr;
+  std::int64_t steps = 12;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--steps") == 0 && i + 1 < argc) {
+      steps = std::atoll(argv[++i]);
+    } else if (server == nullptr) {
+      server = argv[i];
+    } else {
+      server = nullptr;
+      break;
+    }
+  }
+  if (server == nullptr) {
+    std::fprintf(stderr, "usage: scan_client <path-to-scan_server> [--steps N]\n");
+    return 2;
+  }
+
+  // Train the fleet locally and hand it to the server by checkpoint path.
+  DatasetSpec spec;
+  spec.name = "scan-client-fleet";
+  spec.channels = 1;
+  spec.image_size = 16;
+  spec.num_classes = 6;
+  const Dataset train_set = generate_dataset(spec, 512, /*seed=*/31);
+
+  TrainConfig train_config;
+  train_config.epochs = 2;
+  train_config.seed = 32;
+
+  std::vector<Fleet> fleet;
+  {
+    Network clean = make_network(Architecture::kBasicCnn, spec.channels, spec.image_size,
+                                 spec.num_classes, /*seed=*/33);
+    (void)train_network(clean, train_set, train_config);
+    const std::string path = "/tmp/scan_client_clean.ckpt";
+    save_checkpoint(clean, path);
+    fleet.push_back({"clean", path, false});
+
+    AttackParams params;
+    params.kind = AttackKind::kBadNet;
+    params.trigger_size = 3;
+    params.target_class = 2;
+    params.poison_rate = 0.25;
+    AttackPtr attack = make_attack(params, spec);
+    Network victim = make_network(Architecture::kBasicCnn, spec.channels, spec.image_size,
+                                  spec.num_classes, /*seed=*/34);
+    (void)attack->train_backdoored(victim, train_set, train_config);
+    const std::string victim_path = "/tmp/scan_client_badnet.ckpt";
+    save_checkpoint(victim, victim_path);
+    fleet.push_back({"badnet", victim_path, true});
+  }
+  std::printf("trained %zu models, checkpointed under /tmp\n", fleet.size());
+
+  // Spawn the server: requests flow down to_child, results back up
+  // from_child. The client closes its write end after the last frame so the
+  // server sees EOF and starts draining.
+  int to_child[2];
+  int from_child[2];
+  if (pipe(to_child) != 0 || pipe(from_child) != 0) {
+    std::perror("pipe");
+    return 1;
+  }
+  const pid_t pid = fork();
+  if (pid < 0) {
+    std::perror("fork");
+    return 1;
+  }
+  if (pid == 0) {
+    dup2(to_child[0], STDIN_FILENO);
+    dup2(from_child[1], STDOUT_FILENO);
+    close(to_child[0]);
+    close(to_child[1]);
+    close(from_child[0]);
+    close(from_child[1]);
+    const std::string steps_text = std::to_string(steps);
+    execl(server, server, "--steps", steps_text.c_str(), static_cast<char*>(nullptr));
+    std::perror("execl");
+    _exit(127);
+  }
+  close(to_child[0]);
+  close(from_child[1]);
+  std::FILE* request_stream = fdopen(to_child[1], "wb");
+  std::FILE* result_stream = fdopen(from_child[0], "rb");
+  if (request_stream == nullptr || result_stream == nullptr) {
+    std::perror("fdopen");
+    return 1;
+  }
+
+  const ProbeKey probe_key{spec, /*size=*/96, /*seed=*/35};
+  const std::vector<std::string> methods = {"NC", "USB"};
+  std::vector<std::string> row_labels;
+  for (const Fleet& entry : fleet) {
+    for (const std::string& method : methods) {
+      wire::WireScanRequest request;
+      request.model_ref = ModelRef::from_checkpoint(entry.path);
+      request.probe_key = probe_key;
+      request.method = method;
+      wire::write_frame(request_stream, wire::encode_request(request));
+      row_labels.push_back(entry.label);
+    }
+  }
+  std::fclose(request_stream);  // EOF: the server drains and responds
+  std::printf("shipped %zu requests to pid %d, waiting on results...\n", row_labels.size(),
+              static_cast<int>(pid));
+
+  Table table({"Model", "Method", "status", "verdict", "flagged classes", "wall [m:s]"});
+  int bad = 0;
+  std::vector<std::uint8_t> payload;
+  for (std::size_t i = 0; i < row_labels.size(); ++i) {
+    if (!wire::read_frame(result_stream, payload)) {
+      std::fprintf(stderr, "server stream ended after %zu/%zu results\n", i, row_labels.size());
+      ++bad;
+      break;
+    }
+    const wire::WireScanResult result = wire::decode_result(payload);
+    const Fleet& entry = fleet[i / methods.size()];
+    if (result.status != ScanStatus::kDone) {
+      ++bad;
+      table.add_row({row_labels[i], result.report.method.empty() ? methods[i % methods.size()]
+                                                                 : result.report.method,
+                     to_string(result.status), "-", "-", "-"});
+      if (!result.error.empty()) {
+        std::fprintf(stderr, "scan %zu: %s\n", i, result.error.c_str());
+      }
+      continue;
+    }
+    const DetectionReport& report = result.report;
+    if (report.verdict.backdoored != entry.backdoored) {
+      std::fprintf(stderr, "note: %s/%s verdict differs from ground truth (toy scale)\n",
+                   row_labels[i].c_str(), report.method.c_str());
+    }
+    std::string flagged;
+    for (const std::int64_t cls : report.verdict.flagged_classes) {
+      flagged += (flagged.empty() ? "" : ",") + std::to_string(cls);
+    }
+    table.add_row({row_labels[i], report.method,
+                   to_string(result.status), report.verdict.backdoored ? "BACKDOORED" : "clean",
+                   flagged.empty() ? "-" : flagged, format_minutes_seconds(report.wall_seconds)});
+  }
+  std::fclose(result_stream);
+  int status = 0;
+  waitpid(pid, &status, 0);
+  table.print();
+  if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+    std::fprintf(stderr, "scan_server exited abnormally (status %d)\n", status);
+    return 1;
+  }
+  return bad == 0 ? 0 : 1;
+}

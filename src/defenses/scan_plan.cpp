@@ -11,9 +11,17 @@
 namespace usb {
 
 StagedScan::StagedScan(ScanPlan plan, Network& model, const Dataset& probe)
+    : StagedScan(std::move(plan), &model, nullptr, probe) {}
+
+StagedScan::StagedScan(ScanPlan plan, std::shared_ptr<const Network> model, const Dataset& probe)
+    : StagedScan(std::move(plan), nullptr, std::move(model), probe) {}
+
+StagedScan::StagedScan(ScanPlan plan, Network* model, std::shared_ptr<const Network> shared,
+                       const Dataset& probe)
     : plan_(std::move(plan)),
       scheduler_(plan_.options),
-      model_(&model),
+      model_(model),
+      shared_model_(std::move(shared)),
       probe_(&probe),
       num_classes_(probe.spec().num_classes),
       round_steps_(plan_.options.early_exit.round_steps > 0
@@ -44,13 +52,27 @@ StagedScan::~StagedScan() {
 void StagedScan::prepare() {
   USB_FAULT_POINT("scan.prepare");
   eval_cache_ = select_scan_probe_cache(plan_.options, *probe_, local_cache_);
-  if (plan_.shared_builder) shared_ = plan_.shared_builder(*model_, *probe_);
+  if (plan_.shared_builder) {
+    if (model_ != nullptr) {
+      shared_ = plan_.shared_builder(*model_, *probe_);
+    } else {
+      // Shared-model mode: the builder runs forward/backward on its model
+      // argument, which mutates per-instance forward caches — illegal on an
+      // immutable instance other scans read concurrently. Build on a private
+      // clone instead; the prefix (tensors only, no model references)
+      // outlives it. Bit-identical: eval-mode forward/backward are pure
+      // functions of (weights, input) and the clone copies every state
+      // tensor.
+      Network scratch = clone_network(*shared_model_);
+      shared_ = plan_.shared_builder(scratch, *probe_);
+    }
+  }
 }
 
 void StagedScan::construct_class(std::int64_t target_class) {
   const auto slot = static_cast<std::size_t>(target_class);
   USB_FAULT_POINT("scan.clone");
-  clones_[slot] = std::make_unique<Network>(clone_network(*model_));
+  clones_[slot] = std::make_unique<Network>(clone_network(reference()));
   // Budget the clone. A retried construct re-clones into the same slot:
   // release the stale registration first so the slot counts once.
   if (clone_budget_bytes_[slot] > 0) {

@@ -68,7 +68,18 @@ struct ScanPlan {
 /// statistics, exactly like the blocking early-exit path.
 class StagedScan {
  public:
+  /// Exclusive-model mode: `model` is this scan's private instance (the
+  /// service's submit-time clone, or detect()'s caller-owned model); the
+  /// shared-prefix builder may run forward passes directly on it.
   StagedScan(ScanPlan plan, Network& model, const Dataset& probe);
+  /// Shared-model mode: `model` is an IMMUTABLE instance shared with other
+  /// concurrent scans (a ModelStore resident, pinned by the shared_ptr for
+  /// this scan's lifetime). Per-class clones read it race-free
+  /// (clone_network takes const&); the shared-prefix builder — whose forward
+  /// passes would mutate per-instance forward caches — runs on a private
+  /// temporary clone instead. Bit-identical to exclusive mode: forward is a
+  /// pure function of (weights, input) and clones copy every state tensor.
+  StagedScan(ScanPlan plan, std::shared_ptr<const Network> model, const Dataset& probe);
   /// Releases the per-class clone bytes registered with MemoryBudget.
   ~StagedScan();
 
@@ -135,11 +146,22 @@ class StagedScan {
   [[nodiscard]] DetectionReport take_report();
 
  private:
+  StagedScan(ScanPlan plan, Network* model, std::shared_ptr<const Network> shared,
+             const Dataset& probe);
+
   void notify(std::int64_t target_class, ClassScanEvent event, double mask_l1) const;
+
+  /// The read-only reference model: the exclusive instance or the shared
+  /// one. Only clone_network() and the (exclusive-mode) prefix build touch
+  /// the model; every other stage works on per-class clones.
+  [[nodiscard]] const Network& reference() const noexcept {
+    return shared_model_ != nullptr ? *shared_model_ : *model_;
+  }
 
   ScanPlan plan_;
   ClassScanScheduler scheduler_;
-  Network* model_;
+  Network* model_ = nullptr;                     // exclusive mode
+  std::shared_ptr<const Network> shared_model_;  // shared mode (pins the owner)
   const Dataset* probe_;
   std::int64_t num_classes_;
   std::int64_t round_steps_;

@@ -10,21 +10,26 @@
 namespace usb {
 
 /// Writes `network` to `path`. Format: magic "USBC", version, architecture
-/// string, dims, then name-tagged float arrays in state order.
-void save_checkpoint(Network& network, const std::string& path);
+/// string, dims, then name-tagged float arrays in state order. Read-only
+/// (Network::state_view), so const instances — ModelStore residents — can
+/// be checkpointed.
+void save_checkpoint(const Network& network, const std::string& path);
 
 /// Rebuilds the network described by the checkpoint and loads its weights.
-/// Throws std::runtime_error on format/shape mismatch.
+/// Throws std::runtime_error on format/shape mismatch; every message names
+/// the offending path and the mismatching field (a store loading many refs
+/// must be able to say WHICH file was bad).
 [[nodiscard]] Network load_checkpoint(const std::string& path);
 
 /// Deep-copies a network (architecture + every state tensor). Detectors use
 /// clones to run per-class reverse engineering on independent threads: each
-/// clone owns its forward caches, so classes don't race.
-[[nodiscard]] Network clone_network(Network& source);
+/// clone owns its forward caches, so classes don't race. The source is only
+/// read, so cloning from a shared immutable instance is race-free.
+[[nodiscard]] Network clone_network(const Network& source);
 
 /// Bytes a live copy of `network` pins: every state tensor (weights +
 /// running statistics) plus parameter gradient buffers. The figure the
 /// serving stack registers with MemoryBudget per model clone.
-[[nodiscard]] std::int64_t network_resident_bytes(Network& network);
+[[nodiscard]] std::int64_t network_resident_bytes(const Network& network);
 
 }  // namespace usb

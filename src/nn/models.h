@@ -22,6 +22,12 @@ enum class Architecture { kBasicCnn, kMiniResNet, kMiniVgg, kMiniEffNet };
 [[nodiscard]] std::string to_string(Architecture arch);
 [[nodiscard]] Architecture architecture_from_string(const std::string& text);
 
+/// Read-only view of one named state tensor (Network::state_view()).
+struct ConstStateTensor {
+  std::string name;
+  const Tensor* tensor = nullptr;
+};
+
 /// A trained or trainable classifier. Wraps the layer stack with the
 /// metadata needed to reconstruct it from a checkpoint and with
 /// feature/head split points for feature-space attacks.
@@ -69,6 +75,25 @@ class Network {
     std::vector<StateTensor> out;
     layers_->collect_state(out);
     return out;
+  }
+  /// Read-only counterpart of state(): checkpoint saving, cloning, and
+  /// byte accounting only READ through the collected pointers, so a const
+  /// Network (e.g. a ModelStore-resident instance shared by concurrent
+  /// scans) can serve them. Module::collect_state stays non-const because
+  /// checkpoint LOADING writes through the same pointers; collection itself
+  /// never mutates, which is what makes the const_cast sound.
+  [[nodiscard]] std::vector<ConstStateTensor> state_view() const {
+    std::vector<StateTensor> raw;
+    const_cast<Sequential*>(layers_.get())->collect_state(raw);
+    std::vector<ConstStateTensor> out;
+    out.reserve(raw.size());
+    for (StateTensor& entry : raw) out.push_back({std::move(entry.name), entry.tensor});
+    return out;
+  }
+  /// Read-only counterpart of parameters(), same soundness argument.
+  [[nodiscard]] std::vector<const Parameter*> parameters_view() const {
+    const std::vector<Parameter*> raw = const_cast<Sequential*>(layers_.get())->parameters();
+    return {raw.begin(), raw.end()};
   }
 
   [[nodiscard]] Architecture architecture() const noexcept { return arch_; }

@@ -49,7 +49,9 @@ struct ScanState {
   // resolved lazily from probe_key by the scan's init stage (so a queued
   // scan that is shed/cancelled never materializes, and a materialization
   // failure is a retryable stage fault).
-  std::unique_ptr<Network> model;
+  std::unique_ptr<Network> model;                  // live-pointer requests (submit clone)
+  std::optional<ModelRef> model_ref;               // ref-based requests
+  std::shared_ptr<const ModelData> stored_model;   // resolved ref; pins the store entry
   DetectorPtr detector;
   std::optional<ProbeKey> probe_key;
   std::shared_ptr<const ProbeData> stored_probe;  // probe_key requests
@@ -99,6 +101,7 @@ struct ScanState {
     // exactly once (terminal transitions are guarded by the execution's
     // phase) and no stage touches the payload once the last item resolved.
     model.reset();
+    stored_model.reset();  // unpins the ModelStore entry (evictable again)
     release_clone_budget();
     detector.reset();
     stored_probe.reset();
@@ -423,6 +426,24 @@ class ScanExecution : public std::enable_shared_from_this<ScanExecution> {
         throw TransientError(std::string("probe materialization failed: ") + error.what());
       }
     }
+    // Same deferred discipline for a ref-named model: the resident instance
+    // is resolved (loaded on a cold key, shared on a warm one) here, never
+    // at submit(), and the shared_ptr pins the store entry until finish().
+    // Load failures are wrapped TRANSIENT — a flaky filesystem read or an
+    // allocation failure under load is exactly what the retry layer exists
+    // for; a truly corrupt checkpoint exhausts the budget and fails the scan
+    // with the loader's path-carrying message.
+    if (state_->model_ref.has_value() && state_->stored_model == nullptr) {
+      try {
+        state_->stored_model = service_->model_store_.get_or_create(*state_->model_ref);
+      } catch (const ScanError&) {
+        throw;
+      } catch (const fault::InjectedFault&) {
+        throw;
+      } catch (const std::exception& error) {
+        throw TransientError(std::string("model load failed: ") + error.what());
+      }
+    }
     // The detector's own plan, with the service's session state wired in.
     // None of the overrides has a numeric effect (cache adoption is
     // schedule-only; progress carries no data into the scan), so a
@@ -441,7 +462,16 @@ class ScanExecution : public std::enable_shared_from_this<ScanExecution> {
     if (plan.options.external_probe_cache == nullptr && state_->stored_probe != nullptr) {
       plan.options.external_probe_cache = &state_->stored_probe->cache;
     }
-    staged_.emplace(std::move(plan), *state_->model, probe);
+    if (state_->stored_model != nullptr) {
+      // Shared-model mode: alias the store entry's network. Every concurrent
+      // scan of this ref reads ONE resident instance; no submit clone exists.
+      staged_.emplace(std::move(plan),
+                      std::shared_ptr<const Network>(state_->stored_model,
+                                                     &state_->stored_model->network),
+                      probe);
+    } else {
+      staged_.emplace(std::move(plan), *state_->model, probe);
+    }
     staged_->prepare();
 
     const std::lock_guard<std::mutex> lock(mu_);
@@ -815,6 +845,7 @@ DetectionService::DetectionService(DetectionServiceConfig config)
     : config_(config),
       scan_pool_(resolve_scan_threads(config.scan_threads)),
       probe_store_(ProbeStoreOptions{config.eval_batch_size, config.probe_store_max_bytes}),
+      model_store_(ModelStoreOptions{config.model_store_max_bytes}),
       scheduler_(RoundScheduler::Config{resolve_dispatchers(config), &scan_pool_}) {
   if (config_.stuck_item_seconds > 0) {
     watchdog_ = std::thread([this] { watchdog_loop(); });
@@ -860,7 +891,13 @@ DetectionService::~DetectionService() {
 }
 
 ScanHandle DetectionService::submit(ScanRequest request) {
-  if (request.model == nullptr) throw std::invalid_argument("ScanRequest: null model");
+  if ((request.model == nullptr) == !request.model_ref.has_value()) {
+    throw std::invalid_argument("ScanRequest: set exactly one of model / model_ref");
+  }
+  if (request.model_ref.has_value() && !request.model_ref->valid()) {
+    throw std::invalid_argument(
+        "ScanRequest: model_ref must set exactly one of checkpoint_path / zoo spec");
+  }
   if (request.detector == nullptr) throw std::invalid_argument("ScanRequest: null detector");
   if (!request.probe_key.has_value() && request.probe == nullptr) {
     throw std::invalid_argument("ScanRequest: neither probe_key nor probe set");
@@ -907,15 +944,24 @@ ScanHandle DetectionService::submit(ScanRequest request) {
   try {
     state = std::make_shared<ScanState>();
     state->id = next_id_.fetch_add(1);
-    // Deep copy now: the caller's model may be mutated or destroyed after
-    // submit(), and concurrent requests naming the same model must not race
-    // on its per-instance forward caches. The scan still clones this clone
-    // per class, so reports match detect() on the original bit for bit.
-    state->model = std::make_unique<Network>(clone_network(*request.model));
-    const std::int64_t clone_bytes = network_resident_bytes(*state->model);
-    if (clone_bytes > 0) {
-      state->clone_budget_bytes.store(clone_bytes);
-      MemoryBudget::process().add(MemoryBudget::Category::kModelClones, clone_bytes);
+    if (request.model != nullptr) {
+      // Deep copy now: the caller's model may be mutated or destroyed after
+      // submit(), and concurrent requests naming the same model must not
+      // race on its per-instance forward caches. The scan still clones this
+      // clone per class, so reports match detect() on the original bit for
+      // bit.
+      state->model = std::make_unique<Network>(clone_network(*request.model));
+      const std::int64_t clone_bytes = network_resident_bytes(*state->model);
+      if (clone_bytes > 0) {
+        state->clone_budget_bytes.store(clone_bytes);
+        MemoryBudget::process().add(MemoryBudget::Category::kModelClones, clone_bytes);
+      }
+    } else {
+      // Ref-based request: NO submit-time deep copy. The resident instance
+      // is resolved in the scan's init stage and shared with every other
+      // scan naming the ref; its bytes are the ModelStore's
+      // (kResidentModels), accounted once per model, not per request.
+      state->model_ref = std::move(request.model_ref);
     }
     state->detector = std::move(request.detector);
     if (request.probe_key.has_value()) {

@@ -97,6 +97,7 @@
 #include "data/probe_store.h"
 #include "defenses/detector.h"
 #include "defenses/scan_plan.h"
+#include "service/model_store.h"
 #include "service/round_scheduler.h"
 #include "utils/thread_pool.h"
 
@@ -178,13 +179,24 @@ struct ScanOptions {
   bool unsheddable = false;
 };
 
-/// One detection request. The service deep-copies the model at submit()
-/// (so the caller may mutate or destroy it immediately after, and two
-/// requests naming the same model never race on its forward caches) and
-/// takes ownership of the detector (its config drives the scan; the plan's
-/// closures borrow it for the scan's lifetime).
+/// One detection request. The model comes in one of two forms:
+///  - a live `Network*`, deep-copied at submit() (the caller may mutate or
+///    destroy it immediately after, and two requests naming the same model
+///    never race on its forward caches);
+///  - a `model_ref` (zoo spec or checkpoint path), resolved through the
+///    service's ModelStore inside the scan's FIRST STAGE — like probe_key:
+///    a scan shed or cancelled while queued never loads anything, load
+///    failures are retryable stage faults, and N concurrent scans naming
+///    the same ref share ONE resident instance (pinned while any of them
+///    runs) instead of N submit-time deep copies. Reports are byte-identical
+///    either way.
+/// Exactly one of the two must be set. The service takes ownership of the
+/// detector (its config drives the scan; the plan's closures borrow it for
+/// the scan's lifetime).
 struct ScanRequest {
   Network* model = nullptr;
+  /// Model by reference; see above. Set model XOR model_ref.
+  std::optional<ModelRef> model_ref;
   DetectorPtr detector;
   /// Probe: either a content address resolved through the service's
   /// ProbeStore (preferred — shared across requests)...
@@ -295,6 +307,10 @@ struct DetectionServiceConfig {
   /// materializations by LRU eviction; entries pinned by in-flight scans
   /// are never dropped.
   std::int64_t probe_store_max_bytes = 0;
+  /// Model-store eviction cap, forwarded to ModelStoreOptions::max_bytes
+  /// (0 = unlimited). Same discipline as the probe store: LRU by bytes,
+  /// models pinned by in-flight ref-based scans are never evicted.
+  std::int64_t model_store_max_bytes = 0;
   /// Deadline applied to every scan whose ScanOptions::deadline_seconds is
   /// unset (<= 0). 0 (default) = scans run to completion.
   double default_deadline_seconds = 0.0;
@@ -372,14 +388,17 @@ class DetectionService {
   DetectionService(const DetectionService&) = delete;
   DetectionService& operator=(const DetectionService&) = delete;
 
-  /// Enqueues a scan and returns immediately. The model is cloned (and an
-  /// explicit probe copied) on the calling thread, so the request's
+  /// Enqueues a scan and returns immediately. A live model is cloned (and
+  /// an explicit probe copied) on the calling thread, so the request's
   /// borrowed pointers are dead weight the moment this returns; a
-  /// probe_key, by contrast, is resolved through the ProbeStore inside the
-  /// scan's FIRST STAGE — materialization failures are then retryable like
-  /// any stage fault, and a scan shed or cancelled while queued never
-  /// materializes anything. Throws std::invalid_argument on a malformed
-  /// request (null model/detector, no probe). With max_queued set, a full
+  /// probe_key or model_ref, by contrast, is resolved through the
+  /// ProbeStore/ModelStore inside the scan's FIRST STAGE — materialization
+  /// and load failures are then retryable like any stage fault, and a scan
+  /// shed or cancelled while queued never materializes anything. Ref-based
+  /// requests skip the submit-time deep copy entirely: concurrent scans of
+  /// one ref share the store's resident instance. Throws
+  /// std::invalid_argument on a malformed request (model XOR model_ref
+  /// violated, null detector, no probe). With max_queued set, a full
   /// queue either blocks this call until the scheduler drains a slot
   /// (kBlock; the admission slot is reserved before the model clone, so
   /// blocked submitters hold at most their own clone-in-progress) or
@@ -393,6 +412,7 @@ class DetectionService {
   void drain();
 
   [[nodiscard]] ProbeStore& probe_store() noexcept { return probe_store_; }
+  [[nodiscard]] ModelStore& model_store() noexcept { return model_store_; }
   [[nodiscard]] ThreadPool& scan_pool() noexcept { return scan_pool_; }
   [[nodiscard]] const DetectionServiceConfig& config() const noexcept { return config_; }
 
@@ -446,6 +466,7 @@ class DetectionService {
   DetectionServiceConfig config_;
   ThreadPool scan_pool_;
   ProbeStore probe_store_;
+  ModelStore model_store_;
 
   mutable std::mutex mutex_;
   std::condition_variable queue_space_;  // signalled when a slot frees

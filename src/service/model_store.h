@@ -1,0 +1,164 @@
+// Key-addressed store of resident victim models, the model-side equivalent
+// of data/probe_store.h.
+//
+// A ScanRequest used to require a live Network* that the service deep-copied
+// at submit(). The fleet-triage scenario — many requests scanning the same
+// uploaded checkpoint, or a zoo population re-scanned by several methods —
+// wants the opposite: requests name a model by REFERENCE (a zoo spec or a
+// checkpoint path), the store loads it once, and every concurrent scan
+// shares one immutable resident instance. Sharing is sound because every
+// scan path only READS the reference model: per-class work runs on
+// clone_network() copies (a const read of the source), and the USB shared
+// prefix — the one stage that runs forward passes, which mutate per-instance
+// forward caches — is built on a private temporary clone when the model is
+// shared (StagedScan). Reports stay bit-identical to detect() on a live
+// pointer: forward is a pure function of (weights, input) and clones copy
+// every state tensor.
+//
+// The store mirrors ProbeStore's design decisions one for one:
+//  - per-key materialization cells: N cold-key racers do ONE load; loading
+//    (checkpoint I/O or zoo training) happens OUTSIDE the store lock;
+//  - entries are shared_ptr<const ModelData>; a consumer holding the
+//    pointer (a scan in flight) PINS the entry — LRU-by-bytes eviction
+//    (ModelStoreOptions::max_bytes) skips pinned entries, so the cap can be
+//    transiently exceeded but an in-scan model is never dropped;
+//  - resident bytes register with MemoryBudget::Category::kResidentModels
+//    and return to baseline when entries are evicted/cleared/destroyed;
+//  - hit/miss/eviction counters with the same semantics (a racer waiting on
+//    a cell counts as a hit: the map resolved its key).
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "exp/model_zoo.h"
+#include "nn/models.h"
+
+namespace usb {
+
+/// Names a model without holding it live. Two forms:
+///  - checkpoint: an on-disk file produced by save_checkpoint() — the
+///    "uploaded model" form; the key is the path itself.
+///  - zoo: a ModelCaseSpec resolved through exp/model_zoo's train_or_load()
+///    (cache hit or deterministic training); the key is spec.cache_key().
+struct ModelRef {
+  std::string checkpoint_path;        // non-empty for the checkpoint form
+  std::optional<ModelCaseSpec> zoo;   // engaged for the zoo form
+
+  [[nodiscard]] static ModelRef from_checkpoint(std::string path) {
+    ModelRef ref;
+    ref.checkpoint_path = std::move(path);
+    return ref;
+  }
+  [[nodiscard]] static ModelRef from_zoo(ModelCaseSpec spec) {
+    ModelRef ref;
+    ref.zoo = std::move(spec);
+    return ref;
+  }
+
+  /// Exactly one form set.
+  [[nodiscard]] bool valid() const noexcept {
+    return checkpoint_path.empty() == zoo.has_value();
+  }
+
+  /// The store's map key: "ckpt:<path>" or "zoo:<cache_key>".
+  [[nodiscard]] std::string key() const;
+};
+
+/// One resident model: loaded once, shared read-only by every scan that
+/// names the key. The network is immutable by contract — consumers clone it
+/// (clone_network reads) and never call forward on it directly.
+struct ModelData {
+  std::string key;
+  Network network;
+  /// network_resident_bytes at load; the unit of max_bytes accounting.
+  std::int64_t bytes = 0;
+
+  ModelData(std::string store_key, Network net)
+      : key(std::move(store_key)), network(std::move(net)) {}
+};
+
+struct ModelStoreOptions {
+  /// LRU-by-bytes cap on resident models; 0 (default) disables eviction.
+  /// Entries held by in-flight consumers are pinned and never evicted.
+  std::int64_t max_bytes = 0;
+};
+
+class ModelStore {
+ public:
+  explicit ModelStore(ModelStoreOptions options = {}) : options_(options) {}
+  /// Releases the store's resident bytes from the process MemoryBudget.
+  ~ModelStore();
+
+  ModelStore(const ModelStore&) = delete;
+  ModelStore& operator=(const ModelStore&) = delete;
+
+  /// Returns the shared resident model for `ref`, loading it on first use
+  /// (load_checkpoint for the checkpoint form, train_or_load for the zoo
+  /// form). Loading happens OUTSIDE the store lock behind a per-key
+  /// materialization cell: concurrent requests for the same cold key share
+  /// one load (first caller loads and counts the miss; later ones wait on
+  /// the cell's future and count hits), and lookups of other keys never
+  /// convoy behind a load. Throws std::invalid_argument on an invalid ref;
+  /// load failures propagate (and reach every waiter on the cell).
+  [[nodiscard]] std::shared_ptr<const ModelData> get_or_create(const ModelRef& ref);
+
+  /// Registers an externally held network under `ref`'s key (e.g. a model
+  /// the caller just trained and wants served without a checkpoint round
+  /// trip). First writer wins, matching the key-addressing contract.
+  [[nodiscard]] std::shared_ptr<const ModelData> put(const ModelRef& ref, Network network);
+
+  /// Drops the store's references; in-flight consumers keep their entries
+  /// alive (and their bytes budgeted against kResidentModels is released
+  /// here — the consumer's pin is not the store's accounting).
+  void clear();
+
+  [[nodiscard]] std::int64_t size() const;
+  [[nodiscard]] std::int64_t hits() const;       // lookups served from the map
+  [[nodiscard]] std::int64_t misses() const;     // lookups that loaded
+  [[nodiscard]] std::int64_t evictions() const;  // entries dropped by the cap
+  [[nodiscard]] std::int64_t bytes_resident() const;
+  [[nodiscard]] std::int64_t max_bytes() const noexcept { return options_.max_bytes; }
+
+ private:
+  /// One in-flight load; same shape as ProbeStore::Materialization.
+  struct Materialization {
+    std::promise<std::shared_ptr<const ModelData>> promise;
+    std::shared_future<std::shared_ptr<const ModelData>> future;
+  };
+
+  struct Entry {
+    std::shared_ptr<const ModelData> data;  // null while loading
+    std::int64_t bytes = 0;
+    std::list<std::string>::iterator lru_position;  // valid once data is set
+    std::shared_ptr<Materialization> pending;       // non-null while loading
+  };
+
+  /// Claims the key's cell (or returns the existing data / pending future's
+  /// result). Returns nullptr in `out` when the caller must load.
+  std::shared_ptr<const ModelData> lookup_or_claim(const std::string& key,
+                                                   std::shared_ptr<Materialization>& cell);
+  std::shared_ptr<const ModelData> resolve_pending(const std::string& key,
+                                                   const std::shared_ptr<Materialization>& cell,
+                                                   std::shared_ptr<const ModelData> data);
+  void abandon_pending(const std::string& key, const std::shared_ptr<Materialization>& cell);
+  void evict_over_cap_locked();
+  void touch_locked(Entry& entry);
+
+  ModelStoreOptions options_;
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, Entry> entries_;
+  std::list<std::string> lru_;  // front = most recently used
+  std::int64_t resident_bytes_ = 0;
+  std::int64_t hits_ = 0;
+  std::int64_t misses_ = 0;
+  std::int64_t evictions_ = 0;
+};
+
+}  // namespace usb

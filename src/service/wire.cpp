@@ -1,0 +1,351 @@
+#include "service/wire.h"
+
+#include <cstring>
+#include <limits>
+#include <utility>
+
+#include "utils/serialize.h"
+
+namespace usb::wire {
+namespace {
+
+// Record tags: a result frame fed to decode_request (or vice versa) must be
+// a clean error, not a misparse.
+constexpr std::uint32_t kRequestRecord = 1;
+constexpr std::uint32_t kResultRecord = 2;
+
+constexpr std::int64_t kMaxTensorRank = 8;
+constexpr std::int64_t kMaxTensorNumel = 1LL << 40;
+
+void require(bool condition, const char* what) {
+  if (!condition) throw WireError(what);
+}
+
+void write_header(BinaryWriter& writer, std::uint32_t record) {
+  writer.write_u32(kMagic);
+  writer.write_u32(kVersion);
+  writer.write_u32(record);
+}
+
+void read_header(BinaryReader& reader, std::uint32_t record) {
+  const std::uint32_t magic = reader.read_u32();
+  require(magic == kMagic, "bad magic");
+  const std::uint32_t version = reader.read_u32();
+  if (version != kVersion) {
+    throw WireError("unsupported format version " + std::to_string(version) + " (want " +
+                    std::to_string(kVersion) + ")");
+  }
+  require(reader.read_u32() == record, "wrong record type");
+}
+
+void write_bool(BinaryWriter& writer, bool value) {
+  writer.write_u32(value ? 1U : 0U);
+}
+
+bool read_bool(BinaryReader& reader) {
+  const std::uint32_t value = reader.read_u32();
+  require(value <= 1U, "bool tag out of range");
+  return value == 1U;
+}
+
+void write_dataset_spec(BinaryWriter& writer, const DatasetSpec& spec) {
+  writer.write_string(spec.name);
+  writer.write_i64(spec.channels);
+  writer.write_i64(spec.image_size);
+  writer.write_i64(spec.num_classes);
+}
+
+DatasetSpec read_dataset_spec(BinaryReader& reader) {
+  DatasetSpec spec;
+  spec.name = reader.read_string();
+  spec.channels = reader.read_i64();
+  spec.image_size = reader.read_i64();
+  spec.num_classes = reader.read_i64();
+  require(spec.channels > 0 && spec.channels <= 16, "dataset channels out of range");
+  require(spec.image_size > 0 && spec.image_size <= 4096, "dataset image_size out of range");
+  require(spec.num_classes > 0 && spec.num_classes <= 65536, "dataset num_classes out of range");
+  return spec;
+}
+
+void write_model_ref(BinaryWriter& writer, const ModelRef& ref) {
+  if (ref.zoo.has_value()) {
+    writer.write_u32(1U);
+    const ModelCaseSpec& spec = *ref.zoo;
+    write_dataset_spec(writer, spec.dataset);
+    writer.write_string(to_string(spec.arch));
+    writer.write_u32(static_cast<std::uint32_t>(spec.attack.kind));
+    writer.write_i64(spec.attack.trigger_size);
+    writer.write_i64(spec.attack.target_class);
+    writer.write_f64(spec.attack.poison_rate);
+    writer.write_i64(static_cast<std::int64_t>(spec.attack.seed));
+    writer.write_i64(spec.model_index);
+    writer.write_i64(spec.scale.models_per_case);
+    writer.write_i64(spec.scale.epochs);
+    writer.write_i64(spec.scale.train_size);
+    writer.write_i64(spec.scale.test_size);
+    write_bool(writer, spec.scale.fast);
+    writer.write_string(spec.scale.model_cache_dir);
+  } else {
+    writer.write_u32(0U);
+    writer.write_string(ref.checkpoint_path);
+  }
+}
+
+ModelRef read_model_ref(BinaryReader& reader) {
+  const std::uint32_t form = reader.read_u32();
+  require(form <= 1U, "model_ref form tag out of range");
+  if (form == 0U) {
+    ModelRef ref = ModelRef::from_checkpoint(reader.read_string());
+    require(!ref.checkpoint_path.empty(), "empty checkpoint path");
+    return ref;
+  }
+  ModelCaseSpec spec;
+  spec.dataset = read_dataset_spec(reader);
+  spec.arch = architecture_from_string(reader.read_string());
+  const std::uint32_t kind = reader.read_u32();
+  require(kind <= static_cast<std::uint32_t>(AttackKind::kIad), "attack kind out of range");
+  spec.attack.kind = static_cast<AttackKind>(kind);
+  spec.attack.trigger_size = reader.read_i64();
+  spec.attack.target_class = reader.read_i64();
+  spec.attack.poison_rate = reader.read_f64();
+  spec.attack.seed = static_cast<std::uint64_t>(reader.read_i64());
+  spec.model_index = reader.read_i64();
+  spec.scale.models_per_case = reader.read_i64();
+  spec.scale.epochs = reader.read_i64();
+  spec.scale.train_size = reader.read_i64();
+  spec.scale.test_size = reader.read_i64();
+  spec.scale.fast = read_bool(reader);
+  spec.scale.model_cache_dir = reader.read_string();
+  return ModelRef::from_zoo(std::move(spec));
+}
+
+void write_tensor(BinaryWriter& writer, const Tensor& tensor) {
+  writer.write_i64s(tensor.shape().dims);
+  writer.write_floats(tensor.data());
+}
+
+Tensor read_tensor(BinaryReader& reader) {
+  std::vector<std::int64_t> dims = reader.read_i64s();
+  require(static_cast<std::int64_t>(dims.size()) <= kMaxTensorRank, "tensor rank out of range");
+  std::int64_t numel = 1;
+  for (const std::int64_t dim : dims) {
+    require(dim >= 0, "negative tensor dimension");
+    require(dim == 0 || numel <= kMaxTensorNumel / std::max<std::int64_t>(dim, 1),
+            "tensor numel out of range");
+    numel *= dim;
+  }
+  std::vector<float> values = reader.read_floats();
+  require(static_cast<std::int64_t>(values.size()) == numel,
+          "tensor payload does not match its shape");
+  if (dims.empty() && values.empty()) return Tensor();
+  return Tensor(Shape(std::move(dims)), std::move(values));
+}
+
+void write_options(BinaryWriter& writer, const ScanOptions& options) {
+  // `progress` is deliberately absent: callbacks cannot cross the wire.
+  writer.write_i64(options.priority);
+  writer.write_f64(options.fair_weight);
+  writer.write_f64(options.deadline_seconds);
+  writer.write_i64(options.max_retries);
+  writer.write_f64(options.retry_backoff_seconds);
+  write_bool(writer, options.unsheddable);
+  write_bool(writer, options.early_exit.has_value());
+  if (options.early_exit.has_value()) {
+    const EarlyExitOptions& early = *options.early_exit;
+    write_bool(writer, early.enabled);
+    writer.write_i64(early.round_steps);
+    writer.write_i64(early.min_rounds);
+    writer.write_f64(early.margin);
+    write_bool(writer, early.async);
+  }
+}
+
+ScanOptions read_options(BinaryReader& reader) {
+  ScanOptions options;
+  const std::int64_t priority = reader.read_i64();
+  require(priority >= std::numeric_limits<int>::min() &&
+              priority <= std::numeric_limits<int>::max(),
+          "priority out of range");
+  options.priority = static_cast<int>(priority);
+  options.fair_weight = reader.read_f64();
+  options.deadline_seconds = reader.read_f64();
+  const std::int64_t max_retries = reader.read_i64();
+  require(max_retries >= std::numeric_limits<int>::min() &&
+              max_retries <= std::numeric_limits<int>::max(),
+          "max_retries out of range");
+  options.max_retries = static_cast<int>(max_retries);
+  options.retry_backoff_seconds = reader.read_f64();
+  options.unsheddable = read_bool(reader);
+  if (read_bool(reader)) {
+    EarlyExitOptions early;
+    early.enabled = read_bool(reader);
+    early.round_steps = reader.read_i64();
+    early.min_rounds = reader.read_i64();
+    early.margin = reader.read_f64();
+    early.async = read_bool(reader);
+    options.early_exit = early;
+  }
+  return options;
+}
+
+void write_report(BinaryWriter& writer, const DetectionReport& report) {
+  writer.write_string(report.method);
+  const std::int64_t num_classes = static_cast<std::int64_t>(report.per_class.size());
+  writer.write_i64(num_classes);
+  for (const TriggerEstimate& estimate : report.per_class) {
+    writer.write_i64(estimate.target_class);
+    write_tensor(writer, estimate.pattern);
+    write_tensor(writer, estimate.mask);
+    writer.write_f64(estimate.mask_l1);
+    writer.write_f64(estimate.final_loss);
+    writer.write_f64(estimate.fooling_rate);
+  }
+  std::vector<std::int64_t> states;
+  states.reserve(report.per_class_state.size());
+  for (const ClassScanState state : report.per_class_state) {
+    states.push_back(static_cast<std::int64_t>(state));
+  }
+  writer.write_i64s(states);
+  write_bool(writer, report.verdict.backdoored);
+  writer.write_i64s(report.verdict.flagged_classes);
+  writer.write_f64s(report.verdict.norms);
+  writer.write_f64s(report.verdict.anomaly);
+  writer.write_f64s(report.per_class_seconds);
+  writer.write_f64(report.wall_seconds);
+}
+
+DetectionReport read_report(BinaryReader& reader) {
+  DetectionReport report;
+  report.method = reader.read_string();
+  const std::int64_t num_classes = reader.read_i64();
+  // Every per-class entry encodes >= 8 bytes, so the count is bounded by
+  // the bytes actually present — a corrupt huge count throws here instead
+  // of driving a giant resize.
+  require(num_classes >= 0 &&
+              static_cast<std::uint64_t>(num_classes) <= reader.remaining() / 8,
+          "per-class count exceeds remaining input");
+  report.per_class.resize(static_cast<std::size_t>(num_classes));
+  for (TriggerEstimate& estimate : report.per_class) {
+    estimate.target_class = reader.read_i64();
+    estimate.pattern = read_tensor(reader);
+    estimate.mask = read_tensor(reader);
+    estimate.mask_l1 = reader.read_f64();
+    estimate.final_loss = reader.read_f64();
+    estimate.fooling_rate = reader.read_f64();
+  }
+  const std::vector<std::int64_t> states = reader.read_i64s();
+  report.per_class_state.reserve(states.size());
+  for (const std::int64_t state : states) {
+    require(state >= 0 &&
+                state <= static_cast<std::int64_t>(ClassScanState::kNumericallyUnstable),
+            "per-class state tag out of range");
+    report.per_class_state.push_back(static_cast<ClassScanState>(state));
+  }
+  report.verdict.backdoored = read_bool(reader);
+  report.verdict.flagged_classes = reader.read_i64s();
+  report.verdict.norms = reader.read_f64s();
+  report.verdict.anomaly = reader.read_f64s();
+  report.per_class_seconds = reader.read_f64s();
+  report.wall_seconds = reader.read_f64();
+  return report;
+}
+
+/// Wraps serializer-level throws (truncation, bad length prefixes) into
+/// WireError; WireError itself passes through untouched.
+template <typename Fn>
+auto decode_guard(Fn&& fn) -> decltype(fn()) {
+  try {
+    return fn();
+  } catch (const WireError&) {
+    throw;
+  } catch (const std::exception& error) {
+    throw WireError(error.what());
+  }
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_request(const WireScanRequest& request) {
+  BinaryWriter writer;
+  write_header(writer, kRequestRecord);
+  write_model_ref(writer, request.model_ref);
+  write_dataset_spec(writer, request.probe_key.spec);
+  writer.write_i64(request.probe_key.probe_size);
+  writer.write_i64(static_cast<std::int64_t>(request.probe_key.seed));
+  writer.write_string(request.method);
+  write_options(writer, request.options);
+  return writer.buffer();
+}
+
+WireScanRequest decode_request(std::span<const std::uint8_t> bytes) {
+  return decode_guard([&] {
+    BinaryReader reader(std::vector<std::uint8_t>(bytes.begin(), bytes.end()));
+    read_header(reader, kRequestRecord);
+    WireScanRequest request;
+    request.model_ref = read_model_ref(reader);
+    request.probe_key.spec = read_dataset_spec(reader);
+    request.probe_key.probe_size = reader.read_i64();
+    require(request.probe_key.probe_size > 0, "probe_size out of range");
+    request.probe_key.seed = static_cast<std::uint64_t>(reader.read_i64());
+    request.method = reader.read_string();
+    request.options = read_options(reader);
+    require(reader.exhausted(), "trailing bytes after request");
+    return request;
+  });
+}
+
+std::vector<std::uint8_t> encode_result(const WireScanResult& result) {
+  BinaryWriter writer;
+  write_header(writer, kResultRecord);
+  writer.write_u32(static_cast<std::uint32_t>(result.status));
+  writer.write_string(result.error);
+  writer.write_i64(result.retries);
+  write_report(writer, result.report);
+  return writer.buffer();
+}
+
+WireScanResult decode_result(std::span<const std::uint8_t> bytes) {
+  return decode_guard([&] {
+    BinaryReader reader(std::vector<std::uint8_t>(bytes.begin(), bytes.end()));
+    read_header(reader, kResultRecord);
+    WireScanResult result;
+    const std::uint32_t status = reader.read_u32();
+    require(status <= static_cast<std::uint32_t>(ScanStatus::kShed), "status tag out of range");
+    result.status = static_cast<ScanStatus>(status);
+    result.error = reader.read_string();
+    result.retries = reader.read_i64();
+    result.report = read_report(reader);
+    require(reader.exhausted(), "trailing bytes after result");
+    return result;
+  });
+}
+
+void write_frame(std::FILE* out, std::span<const std::uint8_t> payload) {
+  if (payload.size() > std::numeric_limits<std::uint32_t>::max()) {
+    throw std::runtime_error("wire: frame too large");
+  }
+  const std::uint32_t length = static_cast<std::uint32_t>(payload.size());
+  if (std::fwrite(&length, sizeof(length), 1, out) != 1 ||
+      (length > 0 && std::fwrite(payload.data(), 1, payload.size(), out) != payload.size()) ||
+      std::fflush(out) != 0) {
+    throw std::runtime_error("wire: frame write failed");
+  }
+}
+
+bool read_frame(std::FILE* in, std::vector<std::uint8_t>& payload,
+                std::int64_t max_frame_bytes) {
+  std::uint32_t length = 0;
+  const std::size_t header = std::fread(&length, 1, sizeof(length), in);
+  if (header == 0) return false;  // clean end-of-stream
+  if (header != sizeof(length)) throw WireError("truncated frame header");
+  if (static_cast<std::int64_t>(length) > max_frame_bytes) {
+    throw WireError("frame length " + std::to_string(length) + " exceeds limit");
+  }
+  payload.resize(length);
+  if (length > 0 && std::fread(payload.data(), 1, payload.size(), in) != payload.size()) {
+    throw WireError("truncated frame payload");
+  }
+  return true;
+}
+
+}  // namespace usb::wire

@@ -1,0 +1,96 @@
+// Versioned binary wire format for out-of-process scan submission.
+//
+// The seam for sharding scans across worker processes: a client encodes a
+// WireScanRequest (model by REFERENCE — zoo spec or checkpoint path — plus
+// probe coordinates and scan options), ships it over any byte stream, and a
+// server running a DetectionService decodes it, submits, and ships back a
+// WireScanResult (terminal status + the full DetectionReport, per-class
+// estimates and tensors included). See examples/scan_server.cpp +
+// examples/scan_client.cpp for the stdin/stdout pipe pair.
+//
+// Format: magic "USBW", format version, then length-prefixed typed fields
+// (utils/serialize.h primitives, native little-endian). Doubles travel as
+// raw IEEE bits, so statistics — including the NaN mask_l1 of a quarantined
+// class — round-trip EXACTLY: a report decoded from the wire is
+// byte-identical to the one the server produced, and a round-tripped
+// request resubmitted locally produces the identical report.
+//
+// Versioning policy: the version is bumped on ANY layout change; decoders
+// accept exactly their own version (no silent forward/backward compat — a
+// fleet rolls its workers together). Strictness: decode validates magic,
+// version, every length prefix against the remaining bytes (oversized and
+// negative lengths throw before any allocation), every enum tag, tensor
+// shape/payload consistency, and that no trailing bytes remain. Corrupt
+// input of any kind throws WireError — never UB (fuzz-style truncation
+// coverage in tests/test_wire.cpp runs under the ASan/UBSan CI jobs).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "defenses/detector.h"
+#include "service/detection_service.h"
+#include "service/model_store.h"
+
+namespace usb::wire {
+
+inline constexpr std::uint32_t kMagic = 0x57425355;  // "USBW" little-endian
+inline constexpr std::uint32_t kVersion = 1;
+
+/// Any decode-side validation failure (truncation, bad magic/version/tag,
+/// oversized length, inconsistent tensor, trailing bytes).
+struct WireError : std::runtime_error {
+  explicit WireError(const std::string& what) : std::runtime_error("wire: " + what) {}
+};
+
+/// The out-of-process form of ScanRequest. Models travel by reference only
+/// (a live Network* cannot cross a process boundary) and probes by key; the
+/// non-serializable ScanOptions members (progress callback, the handle-side
+/// knobs) stay local to the server.
+struct WireScanRequest {
+  ModelRef model_ref;
+  ProbeKey probe_key;
+  /// Detector selector the server maps to a configured detector ("USB",
+  /// "NC", "TABOR" in the examples). The wire ships the NAME, not the
+  /// config: a fleet's detector configuration is the server's, versioned
+  /// with its binary, so every worker scans identically.
+  std::string method;
+  /// Serialized subset of ScanOptions: everything except `progress` (a
+  /// callback cannot cross the wire).
+  ScanOptions options;
+};
+
+/// The out-of-process form of ScanOutcome: terminal status, error text,
+/// retry count, and the full report.
+struct WireScanResult {
+  ScanStatus status = ScanStatus::kQueued;
+  std::string error;
+  std::int64_t retries = 0;
+  DetectionReport report;
+};
+
+[[nodiscard]] std::vector<std::uint8_t> encode_request(const WireScanRequest& request);
+[[nodiscard]] WireScanRequest decode_request(std::span<const std::uint8_t> bytes);
+
+[[nodiscard]] std::vector<std::uint8_t> encode_result(const WireScanResult& result);
+[[nodiscard]] WireScanResult decode_result(std::span<const std::uint8_t> bytes);
+
+/// Stream framing for pipes/sockets: a u32 length prefix, then the payload.
+/// `max_frame_bytes` bounds what read_frame will accept (a corrupt or
+/// hostile length must not drive an unbounded allocation).
+inline constexpr std::int64_t kDefaultMaxFrameBytes = 256LL * 1024 * 1024;
+
+/// Writes one frame; throws std::runtime_error on I/O failure.
+void write_frame(std::FILE* out, std::span<const std::uint8_t> payload);
+
+/// Reads one frame into `payload`. Returns false on clean end-of-stream
+/// (EOF before any header byte); throws WireError on a truncated header or
+/// payload, or a length past `max_frame_bytes`.
+[[nodiscard]] bool read_frame(std::FILE* in, std::vector<std::uint8_t>& payload,
+                              std::int64_t max_frame_bytes = kDefaultMaxFrameBytes);
+
+}  // namespace usb::wire

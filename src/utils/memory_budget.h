@@ -2,7 +2,8 @@
 //
 // Every subsystem that pins multi-megabyte buffers registers them here:
 // ProbeStore resident datasets, the per-request model clones made at
-// submit() and per class by StagedScan, and TensorArena slot storage. The
+// submit() and per class by StagedScan, ModelStore's shared resident
+// networks, and TensorArena slot storage. The
 // budget is pure bookkeeping — it never allocates, frees, or refuses
 // anything itself. DetectionService reads it to drive policy:
 // DetectionServiceConfig::max_resident_bytes turns the total into a shed
@@ -22,11 +23,12 @@ namespace usb {
 class MemoryBudget {
  public:
   enum class Category : int {
-    kProbeData = 0,    // ProbeStore resident datasets
-    kModelClones = 1,  // per-request + per-class model copies
-    kArenas = 2,       // TensorArena slot storage (scratch high-water)
+    kProbeData = 0,       // ProbeStore resident datasets
+    kModelClones = 1,     // per-request + per-class model copies
+    kArenas = 2,          // TensorArena slot storage (scratch high-water)
+    kResidentModels = 3,  // ModelStore resident (shared immutable) networks
   };
-  static constexpr int kNumCategories = 3;
+  static constexpr int kNumCategories = 4;
 
   MemoryBudget() = default;
   MemoryBudget(const MemoryBudget&) = delete;

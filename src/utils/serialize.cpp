@@ -15,6 +15,7 @@ void BinaryWriter::append(const void* data, std::size_t size) {
 void BinaryWriter::write_u32(std::uint32_t value) { append(&value, sizeof(value)); }
 void BinaryWriter::write_i64(std::int64_t value) { append(&value, sizeof(value)); }
 void BinaryWriter::write_f32(float value) { append(&value, sizeof(value)); }
+void BinaryWriter::write_f64(double value) { append(&value, sizeof(value)); }
 
 void BinaryWriter::write_string(const std::string& value) {
   write_i64(static_cast<std::int64_t>(value.size()));
@@ -24,6 +25,11 @@ void BinaryWriter::write_string(const std::string& value) {
 void BinaryWriter::write_floats(std::span<const float> values) {
   write_i64(static_cast<std::int64_t>(values.size()));
   append(values.data(), values.size() * sizeof(float));
+}
+
+void BinaryWriter::write_f64s(std::span<const double> values) {
+  write_i64(static_cast<std::int64_t>(values.size()));
+  append(values.data(), values.size() * sizeof(double));
 }
 
 void BinaryWriter::write_i64s(std::span<const std::int64_t> values) {
@@ -88,9 +94,29 @@ float BinaryReader::read_f32() {
   return value;
 }
 
+double BinaryReader::read_f64() {
+  double value = 0;
+  take(&value, sizeof(value));
+  return value;
+}
+
+namespace {
+// Validates a length prefix BEFORE the caller allocates size * unit bytes:
+// a corrupt prefix (negative, or larger than the bytes actually present)
+// must throw instead of driving a huge allocation or overflowing the
+// size * unit multiplication.
+void check_length_prefix(std::int64_t size, std::size_t unit, std::size_t remaining) {
+  if (size < 0) throw std::runtime_error("BinaryReader: negative length prefix");
+  if (static_cast<std::uint64_t>(size) > remaining / unit) {
+    throw std::runtime_error("BinaryReader: length prefix " + std::to_string(size) +
+                             " exceeds remaining input (" + std::to_string(remaining) + " bytes)");
+  }
+}
+}  // namespace
+
 std::string BinaryReader::read_string() {
   const std::int64_t size = read_i64();
-  if (size < 0) throw std::runtime_error("BinaryReader: negative string size");
+  check_length_prefix(size, 1, remaining());
   std::string value(static_cast<std::size_t>(size), '\0');
   take(value.data(), value.size());
   return value;
@@ -98,15 +124,23 @@ std::string BinaryReader::read_string() {
 
 std::vector<float> BinaryReader::read_floats() {
   const std::int64_t size = read_i64();
-  if (size < 0) throw std::runtime_error("BinaryReader: negative array size");
+  check_length_prefix(size, sizeof(float), remaining());
   std::vector<float> values(static_cast<std::size_t>(size));
   take(values.data(), values.size() * sizeof(float));
   return values;
 }
 
+std::vector<double> BinaryReader::read_f64s() {
+  const std::int64_t size = read_i64();
+  check_length_prefix(size, sizeof(double), remaining());
+  std::vector<double> values(static_cast<std::size_t>(size));
+  take(values.data(), values.size() * sizeof(double));
+  return values;
+}
+
 std::vector<std::int64_t> BinaryReader::read_i64s() {
   const std::int64_t size = read_i64();
-  if (size < 0) throw std::runtime_error("BinaryReader: negative array size");
+  check_length_prefix(size, sizeof(std::int64_t), remaining());
   std::vector<std::int64_t> values(static_cast<std::size_t>(size));
   take(values.data(), values.size() * sizeof(std::int64_t));
   return values;

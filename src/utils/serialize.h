@@ -16,8 +16,12 @@ class BinaryWriter {
   void write_u32(std::uint32_t value);
   void write_i64(std::int64_t value);
   void write_f32(float value);
+  /// Raw 8-byte IEEE bits — doubles (including NaN payloads) round-trip
+  /// exactly, which the wire format's byte-identity contract relies on.
+  void write_f64(double value);
   void write_string(const std::string& value);
   void write_floats(std::span<const float> values);
+  void write_f64s(std::span<const double> values);
   void write_i64s(std::span<const std::int64_t> values);
 
   /// Flushes the accumulated buffer to `path` (atomic-ish: writes then
@@ -42,11 +46,17 @@ class BinaryReader {
   [[nodiscard]] std::uint32_t read_u32();
   [[nodiscard]] std::int64_t read_i64();
   [[nodiscard]] float read_f32();
+  [[nodiscard]] double read_f64();
   [[nodiscard]] std::string read_string();
   [[nodiscard]] std::vector<float> read_floats();
+  [[nodiscard]] std::vector<double> read_f64s();
   [[nodiscard]] std::vector<std::int64_t> read_i64s();
 
   [[nodiscard]] bool exhausted() const noexcept { return cursor_ == buffer_.size(); }
+  /// Bytes left to read. Length-prefixed reads validate their prefix
+  /// against this BEFORE allocating, so a corrupt (oversized) length throws
+  /// instead of attempting a multi-gigabyte allocation.
+  [[nodiscard]] std::size_t remaining() const noexcept { return buffer_.size() - cursor_; }
 
  private:
   void take(void* out, std::size_t size);
