@@ -41,6 +41,9 @@
 #include <thread>
 #include <vector>
 
+#include <signal.h>
+#include <unistd.h>
+
 #include "core/usb.h"
 #include "fig_common.h"
 #include "data/synthetic.h"
@@ -48,6 +51,7 @@
 #include "nn/checkpoint.h"
 #include "nn/models.h"
 #include "service/detection_service.h"
+#include "service/worker_fleet.h"
 #include "utils/fault_injection.h"
 #include "utils/thread_pool.h"
 #include "utils/timer.h"
@@ -55,6 +59,16 @@
 namespace {
 
 using namespace usb;
+
+// The scan_server worker binary for the fleet sub-benchmark: env override
+// first (ctest / CI), else next to this binary in the build tree.
+std::string scan_server_path(const char* argv0) {
+  if (const char* env = std::getenv("USB_SCAN_SERVER")) return env;
+  const std::string self(argv0);
+  const std::size_t slash = self.find_last_of('/');
+  return (slash == std::string::npos ? std::string(".") : self.substr(0, slash)) +
+         "/scan_server";
+}
 
 bool reports_identical(const DetectionReport& a, const DetectionReport& b) {
   if (a.per_class.size() != b.per_class.size()) return false;
@@ -247,6 +261,13 @@ int main(int argc, char** argv) {
     // resident ((N-1) x model size when N submits share one instance).
     double model_store_hit_rate = 0.0;
     double submit_clone_bytes_saved = 0.0;
+    // Crash resilience of the process-sharded fleet: fraction of
+    // kill-a-worker-mid-scan reps whose scan still resolved kDone with a
+    // report identical to direct detect() (hard 1.0 — re-dispatch must be
+    // lossless), and the p50 seconds from SIGKILL to the slot's respawn
+    // being live again (death detection + backoff + fork/exec).
+    double fleet_redispatch_success_rate = 0.0;
+    double fleet_respawn_p50 = 0.0;
   };
   ServiceRow service_row;
   // ---- Overload resilience: retries, shedding, health-snapshot cost. ----
@@ -523,6 +544,88 @@ int main(int argc, char** argv) {
     const double monitored_best = *std::min_element(monitored.begin(), monitored.end());
     overload_row.health_overhead =
         unmonitored_best > 0 ? monitored_best / unmonitored_best - 1.0 : 0.0;
+
+    // ---- Fleet crash re-dispatch. ---------------------------------------
+    // A 2-worker process fleet scanning the small victim; each rep SIGKILLs
+    // the worker holding the in-flight scan and times SIGKILL-to-respawn
+    // (death detection + backoff + fork/exec). The killed scan must still
+    // resolve kDone on the survivor with a report byte-identical to direct
+    // detect() — re-dispatch is only safe because reports are deterministic,
+    // so the success rate is a hard 1.0 in check_regression.py. The rate is
+    // zeroed outright if no kill ever landed mid-scan (re-dispatch never
+    // exercised) or any request got quarantined.
+    {
+      const std::string worker = scan_server_path(argv[0]);
+      if (access(worker.c_str(), X_OK) != 0) {
+        std::fprintf(stderr,
+                     "bench_scan_scaling: worker binary %s missing; fleet metrics zeroed\n",
+                     worker.c_str());
+      } else {
+        const std::string fleet_ckpt = "/tmp/bench_scan_scaling_fleet.ckpt";
+        save_checkpoint(small_victim, fleet_ckpt);
+        FleetConfig fleet_config;
+        // --steps 6 matches service_nc: the worker's NC config must equal
+        // the direct baseline's for byte-identity to be a fair check.
+        fleet_config.worker_argv = {worker, "--steps", "6"};
+        fleet_config.num_workers = 2;
+        fleet_config.max_in_flight_per_worker = 2;
+        fleet_config.heartbeat_interval_seconds = 0.05;
+        fleet_config.respawn_backoff_initial_seconds = 0.02;
+        WorkerFleet fleet(fleet_config);
+        constexpr int kFleetReps = 5;
+        int fleet_successes = 0;
+        std::vector<double> respawn_latencies;
+        respawn_latencies.reserve(kFleetReps);
+        for (int rep = 0; rep < kFleetReps; ++rep) {
+          wire::WireScanRequest request;
+          request.model_ref = ModelRef::from_checkpoint(fleet_ckpt);
+          request.probe_key = small_key;
+          request.method = "NC";
+          FleetHandle handle = fleet.submit(std::move(request));
+
+          // Find the worker carrying the scan and SIGKILL it mid-flight.
+          pid_t victim = -1;
+          const auto hunt_deadline =
+              std::chrono::steady_clock::now() + std::chrono::seconds(2);
+          while (victim < 0 && std::chrono::steady_clock::now() < hunt_deadline) {
+            for (const WorkerHealth& w : fleet.health().workers) {
+              if (w.alive && w.in_flight > 0) victim = w.pid;
+            }
+            if (victim < 0) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+          }
+          if (victim > 0) {
+            const std::int64_t respawns_before = fleet.health().respawns_total;
+            const Timer respawn_timer;
+            kill(victim, SIGKILL);
+            const auto respawn_deadline =
+                std::chrono::steady_clock::now() + std::chrono::seconds(10);
+            while (fleet.health().respawns_total <= respawns_before &&
+                   std::chrono::steady_clock::now() < respawn_deadline) {
+              std::this_thread::sleep_for(std::chrono::milliseconds(2));
+            }
+            if (fleet.health().respawns_total > respawns_before) {
+              respawn_latencies.push_back(respawn_timer.seconds());
+            }
+          }
+          const FleetOutcome& outcome = handle.wait();
+          if (outcome.status == ScanStatus::kDone &&
+              reports_identical(direct_small, outcome.report)) {
+            ++fleet_successes;
+          }
+        }
+        const FleetHealth final_health = fleet.health();
+        service_row.fleet_redispatch_success_rate =
+            (final_health.redispatches_total > 0 && final_health.requests_quarantined == 0)
+                ? static_cast<double>(fleet_successes) / static_cast<double>(kFleetReps)
+                : 0.0;
+        if (!respawn_latencies.empty()) {
+          std::sort(respawn_latencies.begin(), respawn_latencies.end());
+          service_row.fleet_respawn_p50 = respawn_latencies[respawn_latencies.size() / 2];
+        }
+        fleet.shutdown();
+        std::remove(fleet_ckpt.c_str());
+      }
+    }
   }
   std::printf("\n%-6s %13s %20s %10s %18s %14s %14s\n", "method", "small-p50-s",
               "small-before-large", "identical", "deadline-overhead", "store-hit-rate",
@@ -537,6 +640,9 @@ int main(int argc, char** argv) {
   std::printf("%-6s %14.3f %19.2f %14.3f %16.1f%%\n", "NC", overload_row.retry_seconds,
               overload_row.retry_success_rate, overload_row.shed_p50_latency * 1e3,
               overload_row.health_overhead * 100.0);
+  std::printf("\n%-6s %24s %18s\n", "method", "fleet-redispatch-rate", "respawn-p50-ms");
+  std::printf("%-6s %24.2f %18.1f\n", "NC", service_row.fleet_redispatch_success_rate,
+              service_row.fleet_respawn_p50 * 1e3);
 
   std::ofstream out(json_path);
   if (!out) {
@@ -545,7 +651,7 @@ int main(int argc, char** argv) {
   }
   {
     out << "[\n";
-    char line[512];
+    char line[768];
     for (std::size_t i = 0; i < rows.size(); ++i) {
       std::snprintf(line, sizeof(line),
                     "  {\"section\": \"threads\", \"method\": \"%s\", \"threads\": %d, "
@@ -574,10 +680,13 @@ int main(int argc, char** argv) {
                   "\"small_before_large\": %s, \"identical\": %s, "
                   "\"deadline_miss_p50_overhead\": %.4f, "
                   "\"model_store_hit_rate\": %.4f, "
-                  "\"submit_clone_bytes_saved\": %.0f},\n",
+                  "\"submit_clone_bytes_saved\": %.0f, "
+                  "\"fleet_redispatch_success_rate\": %.3f, "
+                  "\"fleet_respawn_p50_seconds\": %.4f},\n",
                   service_row.seconds, service_row.small_before_large ? "true" : "false",
                   service_row.identical ? "true" : "false", service_row.deadline_overhead,
-                  service_row.model_store_hit_rate, service_row.submit_clone_bytes_saved);
+                  service_row.model_store_hit_rate, service_row.submit_clone_bytes_saved,
+                  service_row.fleet_redispatch_success_rate, service_row.fleet_respawn_p50);
     out << line;
     std::snprintf(line, sizeof(line),
                   "  {\"section\": \"overload\", \"method\": \"NC\", \"threads\": 1, "
@@ -607,5 +716,11 @@ int main(int argc, char** argv) {
   // Overload contract: every faulted scan must retry to success, and the
   // shed path must actually have shed (a zero p50 means it never fired).
   if (overload_row.retry_success_rate != 1.0 || overload_row.shed_p50_latency <= 0.0) return 1;
+  // Fleet contract: every killed-worker scan must re-dispatch to a
+  // byte-identical kDone, and a respawn must actually have been timed (a
+  // zero p50 means no kill ever landed or the worker binary was missing).
+  if (service_row.fleet_redispatch_success_rate != 1.0 || service_row.fleet_respawn_p50 <= 0.0) {
+    return 1;
+  }
   return 0;
 }

@@ -40,7 +40,11 @@ Scan schema (BENCH_scan_scaling.json): entries carry a "section" field.
     The entry must also carry deadline_miss_p50_overhead (solo-scan p50
     latency with an armed-but-never-hit deadline, relative to no deadline,
     minus 1.0) strictly below 0.02: deadline bookkeeping is a few clock
-    reads per stage boundary and must stay in the noise.
+    reads per stage boundary and must stay in the noise. It must further
+    carry fleet_redispatch_success_rate == 1.0 (every scan whose fleet
+    worker was SIGKILLed mid-flight re-dispatched to a byte-identical
+    kDone on a survivor) and fleet_respawn_p50_seconds present and > 0
+    (the SIGKILL-to-respawn latency was actually measured).
   - The "overload" section (the robustness layer made measurable) is a hard
     requirement of the current run as well: retry_success_rate must be
     exactly 1.0 (every scan hit by one injected transient fault, given a
@@ -265,6 +269,35 @@ def check_scan(current_entries, baseline_entries, args):
             failures.append(
                 f"{scan_key(entry)}: submit_clone_bytes_saved {bytes_saved!r} — "
                 "by-ref submission saved no memory over clone-on-submit"
+            )
+        # Process-fleet crash resilience: every scan whose worker was
+        # SIGKILLed mid-flight must have re-dispatched to a byte-identical
+        # kDone on a survivor (rate exactly 1.0 — re-dispatch is only safe
+        # because reports are deterministic), and a respawn must actually
+        # have been timed (a zero/missing p50 means the kill never landed
+        # or the worker binary was absent from the build).
+        fleet_rate = entry.get("fleet_redispatch_success_rate")
+        if fleet_rate is None:
+            failures.append(
+                f"{scan_key(entry)}: required field "
+                "'fleet_redispatch_success_rate' missing from current run"
+            )
+        elif fleet_rate != 1.0:
+            failures.append(
+                f"{scan_key(entry)}: fleet_redispatch_success_rate "
+                f"{fleet_rate!r} != 1.0 — a killed worker's scan failed to "
+                "re-dispatch to a byte-identical kDone"
+            )
+        fleet_respawn = entry.get("fleet_respawn_p50_seconds")
+        if fleet_respawn is None:
+            failures.append(
+                f"{scan_key(entry)}: required field "
+                "'fleet_respawn_p50_seconds' missing from current run"
+            )
+        elif fleet_respawn <= 0.0:
+            failures.append(
+                f"{scan_key(entry)}: fleet_respawn_p50_seconds "
+                f"{fleet_respawn!r} — no worker respawn was ever observed"
             )
 
     # The overload entry (transient-fault retries, shedding, health-snapshot

@@ -1,0 +1,235 @@
+// Process-sharded scan fleet, end to end.
+//
+// Usage: fleet_dispatch <path-to-scan_server> [--steps N] [--workers N]
+//                       [--kill-worker]
+//
+// Trains a tiny two-model zoo (one clean, one BadNet victim), checkpoints
+// both, then stands up a WorkerFleet of scan_server processes and ships
+// every (model, method) pair through it. Each report that comes back over
+// the wire is checked BYTE-IDENTICAL to the same scan run in-process
+// (timing fields zeroed — the one legitimately non-deterministic part),
+// which is the property that makes crash re-dispatch safe: a re-run scan
+// reproduces the lost report exactly.
+//
+// --kill-worker is the crash-resilience self-test: once a worker has scans
+// in flight, it is SIGKILLed mid-scan. The run passes only if every scan
+// still resolves kDone with a byte-identical report, no request was
+// quarantined, and the fleet recorded exactly one respawn — i.e. the
+// supervisor noticed the death, respawned the slot, re-dispatched the
+// orphaned scans to survivors, and nothing was lost.
+#include <signal.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "attacks/factory.h"
+#include "data/synthetic.h"
+#include "nn/checkpoint.h"
+#include "nn/trainer.h"
+#include "service/scan_worker.h"
+#include "service/worker_fleet.h"
+#include "utils/table.h"
+
+namespace {
+
+using namespace usb;
+
+struct Job {
+  std::string label;
+  std::string path;
+  std::string method;
+  FleetHandle handle;
+};
+
+std::vector<std::uint8_t> serialized_without_timing(const DetectionReport& report,
+                                                    ScanStatus status) {
+  wire::WireScanResult result;
+  result.status = status;
+  result.report = report;
+  result.report.per_class_seconds.assign(result.report.per_class_seconds.size(), 0.0);
+  result.report.wall_seconds = 0.0;
+  return wire::encode_result(result);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace usb;
+
+  const char* server = nullptr;
+  std::int64_t steps = 8;
+  std::int64_t workers = 2;
+  bool kill_worker = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--steps") == 0 && i + 1 < argc) {
+      steps = std::atoll(argv[++i]);
+    } else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
+      workers = std::atoll(argv[++i]);
+    } else if (std::strcmp(argv[i], "--kill-worker") == 0) {
+      kill_worker = true;
+    } else if (server == nullptr) {
+      server = argv[i];
+    } else {
+      server = nullptr;
+      break;
+    }
+  }
+  if (server == nullptr) {
+    std::fprintf(stderr,
+                 "usage: fleet_dispatch <path-to-scan_server> [--steps N] [--workers N] "
+                 "[--kill-worker]\n");
+    return 2;
+  }
+
+  // Train the model zoo locally; the fleet sees checkpoints by path only.
+  DatasetSpec spec;
+  spec.name = "fleet-dispatch";
+  spec.channels = 1;
+  spec.image_size = 16;
+  spec.num_classes = 6;
+  const Dataset train_set = generate_dataset(spec, 512, /*seed=*/71);
+
+  TrainConfig train_config;
+  train_config.epochs = 2;
+  train_config.seed = 72;
+
+  std::vector<std::pair<std::string, std::string>> models;  // label -> path
+  {
+    Network clean = make_network(Architecture::kBasicCnn, spec.channels, spec.image_size,
+                                 spec.num_classes, /*seed=*/73);
+    (void)train_network(clean, train_set, train_config);
+    const std::string path = "/tmp/fleet_dispatch_clean.ckpt";
+    save_checkpoint(clean, path);
+    models.emplace_back("clean", path);
+
+    AttackParams params;
+    params.kind = AttackKind::kBadNet;
+    params.trigger_size = 3;
+    params.target_class = 2;
+    params.poison_rate = 0.25;
+    AttackPtr attack = make_attack(params, spec);
+    Network victim = make_network(Architecture::kBasicCnn, spec.channels, spec.image_size,
+                                  spec.num_classes, /*seed=*/74);
+    (void)attack->train_backdoored(victim, train_set, train_config);
+    const std::string victim_path = "/tmp/fleet_dispatch_badnet.ckpt";
+    save_checkpoint(victim, victim_path);
+    models.emplace_back("badnet", victim_path);
+  }
+  std::printf("trained %zu models, checkpointed under /tmp\n", models.size());
+
+  FleetConfig config;
+  config.worker_argv = {server, "--steps", std::to_string(steps)};
+  config.num_workers = workers;
+  config.max_in_flight_per_worker = 2;
+  config.heartbeat_interval_seconds = 0.1;
+  config.heartbeat_timeout_seconds = 10.0;
+  WorkerFleet fleet(config);
+
+  const ProbeKey probe_key{spec, /*size=*/96, /*seed=*/75};
+  const std::vector<std::string> methods = {"NC", "USB"};
+  std::vector<Job> jobs;
+  for (const auto& [label, path] : models) {
+    for (const std::string& method : methods) {
+      wire::WireScanRequest request;
+      request.model_ref = ModelRef::from_checkpoint(path);
+      request.probe_key = probe_key;
+      request.method = method;
+      Job job;
+      job.label = label;
+      job.path = path;
+      job.method = method;
+      job.handle = fleet.submit(std::move(request));
+      jobs.push_back(std::move(job));
+    }
+  }
+  std::printf("shipped %zu scans to a %lld-worker fleet\n", jobs.size(),
+              static_cast<long long>(workers));
+
+  if (kill_worker) {
+    // Wait until some worker actually has scans in flight, then murder it.
+    std::int64_t victim_pid = -1;
+    for (int attempt = 0; attempt < 2000 && victim_pid < 0; ++attempt) {
+      const FleetHealth health = fleet.health();
+      for (const WorkerHealth& w : health.workers) {
+        if (w.alive && w.in_flight > 0) {
+          victim_pid = w.pid;
+          break;
+        }
+      }
+      if (victim_pid < 0) usleep(10 * 1000);
+    }
+    if (victim_pid < 0) {
+      std::fprintf(stderr, "kill-worker: no worker ever had scans in flight\n");
+      return 1;
+    }
+    kill(static_cast<pid_t>(victim_pid), SIGKILL);
+    std::printf("killed worker pid %lld mid-scan\n", static_cast<long long>(victim_pid));
+  }
+
+  // Local ground truth: the same scans, in-process.
+  DetectionService local;
+  Table table({"Model", "Method", "status", "verdict", "dispatches", "byte-identical"});
+  int bad = 0;
+  for (Job& job : jobs) {
+    const FleetOutcome& outcome = job.handle.wait();
+    if (outcome.status != ScanStatus::kDone) {
+      ++bad;
+      table.add_row({job.label, job.method, to_string(outcome.status), "-",
+                     std::to_string(outcome.dispatches), "-"});
+      if (!outcome.error.empty()) {
+        std::fprintf(stderr, "%s/%s: %s\n", job.label.c_str(), job.method.c_str(),
+                     outcome.error.c_str());
+      }
+      continue;
+    }
+    ScanRequest reference;
+    reference.model_ref = ModelRef::from_checkpoint(job.path);
+    reference.detector = make_wire_detector(job.method, steps);
+    reference.probe_key = probe_key;
+    const ScanHandle reference_handle = local.submit(std::move(reference));
+    const ScanOutcome& reference_outcome = reference_handle.wait();
+    const bool identical =
+        reference_outcome.status == ScanStatus::kDone &&
+        serialized_without_timing(outcome.report, outcome.status) ==
+            serialized_without_timing(reference_outcome.report, reference_outcome.status);
+    if (!identical) ++bad;
+    table.add_row({job.label, job.method, to_string(outcome.status),
+                   outcome.report.verdict.backdoored ? "BACKDOORED" : "clean",
+                   std::to_string(outcome.dispatches), identical ? "yes" : "NO"});
+  }
+  table.print();
+
+  const FleetHealth health = fleet.health();
+  std::printf("fleet: %lld completed, %lld re-dispatched, %lld quarantined, %lld respawns\n",
+              static_cast<long long>(health.requests_completed),
+              static_cast<long long>(health.redispatches_total),
+              static_cast<long long>(health.requests_quarantined),
+              static_cast<long long>(health.respawns_total));
+  for (const WorkerHealth& w : health.workers) {
+    std::printf("  worker %lld: pid %lld, alive=%d, restarts %lld%s%s\n",
+                static_cast<long long>(w.index), static_cast<long long>(w.pid),
+                w.alive ? 1 : 0, static_cast<long long>(w.restarts),
+                w.last_death.empty() ? "" : ", last death: ",
+                w.last_death.c_str());
+  }
+  fleet.shutdown();
+
+  if (kill_worker) {
+    // The acceptance pin: nothing lost, nothing quarantined, one respawn.
+    if (health.requests_quarantined != 0) {
+      std::fprintf(stderr, "FAIL: %lld requests quarantined\n",
+                   static_cast<long long>(health.requests_quarantined));
+      ++bad;
+    }
+    if (health.respawns_total != 1) {
+      std::fprintf(stderr, "FAIL: expected exactly one respawn, saw %lld\n",
+                   static_cast<long long>(health.respawns_total));
+      ++bad;
+    }
+  }
+  return bad == 0 ? 0 : 1;
+}

@@ -138,6 +138,9 @@ int main(int argc, char** argv) {
   for (const Fleet& entry : fleet) {
     for (const std::string& method : methods) {
       wire::WireScanRequest request;
+      // The server streams results in COMPLETION order (wire v2); the id is
+      // how each result finds its row. 0 is reserved for unattributable.
+      request.request_id = row_labels.size() + 1;
       request.model_ref = ModelRef::from_checkpoint(entry.path);
       request.probe_key = probe_key;
       request.method = method;
@@ -152,13 +155,32 @@ int main(int argc, char** argv) {
   Table table({"Model", "Method", "status", "verdict", "flagged classes", "wall [m:s]"});
   int bad = 0;
   std::vector<std::uint8_t> payload;
-  for (std::size_t i = 0; i < row_labels.size(); ++i) {
+  std::vector<wire::WireScanResult> results(row_labels.size());
+  std::vector<bool> seen(row_labels.size(), false);
+  for (std::size_t n = 0; n < row_labels.size(); ++n) {
     if (!wire::read_frame(result_stream, payload)) {
-      std::fprintf(stderr, "server stream ended after %zu/%zu results\n", i, row_labels.size());
+      std::fprintf(stderr, "server stream ended after %zu/%zu results\n", n, row_labels.size());
       ++bad;
       break;
     }
-    const wire::WireScanResult result = wire::decode_result(payload);
+    wire::WireScanResult result = wire::decode_result(payload);
+    if (result.request_id < 1 || result.request_id > row_labels.size()) {
+      std::fprintf(stderr, "result carries unknown request id %llu\n",
+                   static_cast<unsigned long long>(result.request_id));
+      ++bad;
+      continue;
+    }
+    const std::size_t slot = static_cast<std::size_t>(result.request_id) - 1;
+    results[slot] = std::move(result);
+    seen[slot] = true;
+  }
+  for (std::size_t i = 0; i < row_labels.size(); ++i) {
+    if (!seen[i]) {
+      ++bad;
+      table.add_row({row_labels[i], methods[i % methods.size()], "missing", "-", "-", "-"});
+      continue;
+    }
+    const wire::WireScanResult& result = results[i];
     const Fleet& entry = fleet[i / methods.size()];
     if (result.status != ScanStatus::kDone) {
       ++bad;

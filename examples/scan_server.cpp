@@ -1,152 +1,37 @@
 // Scan worker process: wire-protocol frames on stdin/stdout.
 //
-// Usage: scan_server [--steps N] [--store-bytes BYTES]
+// Usage: scan_server [--steps N] [--store-bytes BYTES] [--hazards]
 //
-// Reads WireScanRequest frames from stdin until end-of-stream, submits every
-// one to a single DetectionService as it arrives (so requests overlap on the
-// service's pool and share probe/model store entries), then writes one
-// WireScanResult frame per request to stdout IN SUBMISSION ORDER. All
-// diagnostics go to stderr — stdout carries only frames.
+// Thin wrapper over usb::run_scan_worker (src/service/scan_worker.cpp) — the
+// worker loop lives in the library so the WorkerFleet supervisor tests and
+// benches drive the exact code this binary runs. Reads WireScanRequest
+// frames from stdin until end-of-stream (or SIGTERM = graceful drain),
+// answers pings with pongs immediately, and streams WireScanResult frames —
+// tagged with each request's id — to stdout AS SCANS COMPLETE. All
+// diagnostics go to stderr; stdout carries only frames.
 //
-// Models arrive by reference (ModelRef) and are resolved through the
-// service's ModelStore: N requests naming the same checkpoint or zoo case
-// share one resident instance. The detector CONFIGURATION lives here, on the
-// server — the wire ships only the method name ("NC" / "TABOR" / "USB"), so
-// a fleet's workers, versioned with this binary, all scan identically.
-//
-// Failure handling: a frame that fails to decode, or names an unknown
-// method, gets a kFailed result in its slot (frames are length-prefixed, so
-// one bad payload never desyncs the stream). A truncated frame header or
-// payload is unrecoverable and exits 1.
+// --hazards enables the magic misbehaving methods ("__crash__",
+// "__wedge__", "__garble__") used by the fleet fault tests. Never pass it
+// outside a test harness.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <optional>
-#include <string>
-#include <vector>
 
-#include "core/usb.h"
-#include "defenses/neural_cleanse.h"
-#include "defenses/tabor.h"
-#include "service/detection_service.h"
-#include "service/wire.h"
-
-namespace {
-
-using namespace usb;
-
-// Demo-scale detector for each wire method name; nullptr for unknown names.
-// `steps` bounds the per-class refinement so the pipe demo finishes in
-// seconds; the USB crafting knobs shrink alongside it when steps is small.
-DetectorPtr make_detector(const std::string& method, std::int64_t steps) {
-  if (method == "NC") {
-    ReverseOptConfig config;
-    config.steps = steps;
-    return std::make_unique<NeuralCleanse>(config);
-  }
-  if (method == "TABOR") {
-    TaborConfig config;
-    config.base.steps = steps;
-    return std::make_unique<Tabor>(config);
-  }
-  if (method == "USB") {
-    UsbConfig config;
-    config.refine_steps = steps;
-    if (steps <= 16) {
-      config.uap.max_passes = 1;
-      config.uap.craft_size = 32;
-      config.uap.batch_size = 16;
-      config.batch_size = 8;
-    }
-    return std::make_unique<UsbDetector>(config);
-  }
-  return nullptr;
-}
-
-// One inbound frame: either a live handle or an immediately-failed result
-// (decode error / unknown method) holding its slot in the response order.
-struct Pending {
-  std::optional<ScanHandle> handle;
-  wire::WireScanResult failed;
-};
-
-}  // namespace
+#include "service/scan_worker.h"
 
 int main(int argc, char** argv) {
-  using namespace usb;
-
-  std::int64_t steps = 12;
-  DetectionServiceConfig config;
+  usb::ScanWorkerOptions options;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--steps") == 0 && i + 1 < argc) {
-      steps = std::atoll(argv[++i]);
+      options.steps = std::atoll(argv[++i]);
     } else if (std::strcmp(argv[i], "--store-bytes") == 0 && i + 1 < argc) {
-      config.model_store_max_bytes = std::atoll(argv[++i]);
+      options.service.model_store_max_bytes = std::atoll(argv[++i]);
+    } else if (std::strcmp(argv[i], "--hazards") == 0) {
+      options.enable_test_hazards = true;
     } else {
-      std::fprintf(stderr, "usage: scan_server [--steps N] [--store-bytes BYTES]\n");
+      std::fprintf(stderr, "usage: scan_server [--steps N] [--store-bytes BYTES] [--hazards]\n");
       return 2;
     }
   }
-
-  DetectionService service(config);
-  std::vector<Pending> pending;
-  std::vector<std::uint8_t> payload;
-
-  try {
-    while (wire::read_frame(stdin, payload)) {
-      Pending slot;
-      try {
-        wire::WireScanRequest request = wire::decode_request(payload);
-        DetectorPtr detector = make_detector(request.method, steps);
-        if (detector == nullptr) {
-          throw wire::WireError("unknown method '" + request.method + "'");
-        }
-        ScanRequest submit;
-        submit.model_ref = std::move(request.model_ref);
-        submit.detector = std::move(detector);
-        submit.probe_key = request.probe_key;
-        submit.options = request.options;
-        slot.handle = service.submit(std::move(submit));
-      } catch (const std::exception& error) {
-        std::fprintf(stderr, "scan_server: request #%zu rejected: %s\n", pending.size(),
-                     error.what());
-        slot.failed.status = ScanStatus::kFailed;
-        slot.failed.error = error.what();
-      }
-      pending.push_back(std::move(slot));
-    }
-  } catch (const wire::WireError& error) {
-    // Stream-level corruption (truncated header/payload, oversized frame):
-    // framing is lost, nothing further can be attributed to a request.
-    std::fprintf(stderr, "scan_server: %s\n", error.what());
-    return 1;
-  }
-  std::fprintf(stderr, "scan_server: %zu requests in, waiting...\n", pending.size());
-
-  for (const Pending& slot : pending) {
-    wire::WireScanResult result = slot.failed;
-    if (slot.handle.has_value()) {
-      const ScanOutcome& outcome = slot.handle->wait();
-      result.status = outcome.status;
-      result.error = outcome.error;
-      result.retries = outcome.retries;
-      result.report = outcome.report;
-    }
-    wire::write_frame(stdout, wire::encode_result(result));
-  }
-  if (std::fflush(stdout) != 0) {
-    std::fprintf(stderr, "scan_server: flush failed\n");
-    return 1;
-  }
-
-  const ModelStore& models = service.model_store();
-  std::fprintf(stderr,
-               "scan_server: done — model store %lld entries, %lld hits / %lld misses, "
-               "%lld bytes resident; probe store %lld entries, %lld hits\n",
-               static_cast<long long>(models.size()), static_cast<long long>(models.hits()),
-               static_cast<long long>(models.misses()),
-               static_cast<long long>(models.bytes_resident()),
-               static_cast<long long>(service.probe_store().size()),
-               static_cast<long long>(service.probe_store().hits()));
-  return 0;
+  return usb::run_scan_worker(options);
 }

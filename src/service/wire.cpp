@@ -1,18 +1,17 @@
 #include "service/wire.h"
 
+#include <algorithm>
+#include <cerrno>
+#include <csignal>
 #include <cstring>
 #include <limits>
+#include <mutex>
 #include <utility>
 
 #include "utils/serialize.h"
 
 namespace usb::wire {
 namespace {
-
-// Record tags: a result frame fed to decode_request (or vice versa) must be
-// a clean error, not a misparse.
-constexpr std::uint32_t kRequestRecord = 1;
-constexpr std::uint32_t kResultRecord = 2;
 
 constexpr std::int64_t kMaxTensorRank = 8;
 constexpr std::int64_t kMaxTensorNumel = 1LL << 40;
@@ -268,6 +267,7 @@ auto decode_guard(Fn&& fn) -> decltype(fn()) {
 std::vector<std::uint8_t> encode_request(const WireScanRequest& request) {
   BinaryWriter writer;
   write_header(writer, kRequestRecord);
+  writer.write_i64(static_cast<std::int64_t>(request.request_id));
   write_model_ref(writer, request.model_ref);
   write_dataset_spec(writer, request.probe_key.spec);
   writer.write_i64(request.probe_key.probe_size);
@@ -282,6 +282,7 @@ WireScanRequest decode_request(std::span<const std::uint8_t> bytes) {
     BinaryReader reader(std::vector<std::uint8_t>(bytes.begin(), bytes.end()));
     read_header(reader, kRequestRecord);
     WireScanRequest request;
+    request.request_id = static_cast<std::uint64_t>(reader.read_i64());
     request.model_ref = read_model_ref(reader);
     request.probe_key.spec = read_dataset_spec(reader);
     request.probe_key.probe_size = reader.read_i64();
@@ -297,6 +298,7 @@ WireScanRequest decode_request(std::span<const std::uint8_t> bytes) {
 std::vector<std::uint8_t> encode_result(const WireScanResult& result) {
   BinaryWriter writer;
   write_header(writer, kResultRecord);
+  writer.write_i64(static_cast<std::int64_t>(result.request_id));
   writer.write_u32(static_cast<std::uint32_t>(result.status));
   writer.write_string(result.error);
   writer.write_i64(result.retries);
@@ -309,6 +311,7 @@ WireScanResult decode_result(std::span<const std::uint8_t> bytes) {
     BinaryReader reader(std::vector<std::uint8_t>(bytes.begin(), bytes.end()));
     read_header(reader, kResultRecord);
     WireScanResult result;
+    result.request_id = static_cast<std::uint64_t>(reader.read_i64());
     const std::uint32_t status = reader.read_u32();
     require(status <= static_cast<std::uint32_t>(ScanStatus::kShed), "status tag out of range");
     result.status = static_cast<ScanStatus>(status);
@@ -320,30 +323,169 @@ WireScanResult decode_result(std::span<const std::uint8_t> bytes) {
   });
 }
 
+std::vector<std::uint8_t> encode_ping(std::uint64_t nonce) {
+  BinaryWriter writer;
+  write_header(writer, kPingRecord);
+  writer.write_i64(static_cast<std::int64_t>(nonce));
+  return writer.buffer();
+}
+
+std::vector<std::uint8_t> encode_pong(std::uint64_t nonce) {
+  BinaryWriter writer;
+  write_header(writer, kPongRecord);
+  writer.write_i64(static_cast<std::int64_t>(nonce));
+  return writer.buffer();
+}
+
+namespace {
+
+std::uint64_t decode_heartbeat(std::span<const std::uint8_t> bytes, std::uint32_t record) {
+  return decode_guard([&] {
+    BinaryReader reader(std::vector<std::uint8_t>(bytes.begin(), bytes.end()));
+    read_header(reader, record);
+    const std::uint64_t nonce = static_cast<std::uint64_t>(reader.read_i64());
+    require(reader.exhausted(), "trailing bytes after heartbeat");
+    return nonce;
+  });
+}
+
+}  // namespace
+
+std::uint64_t decode_ping(std::span<const std::uint8_t> bytes) {
+  return decode_heartbeat(bytes, kPingRecord);
+}
+
+std::uint64_t decode_pong(std::span<const std::uint8_t> bytes) {
+  return decode_heartbeat(bytes, kPongRecord);
+}
+
+std::uint32_t peek_record(std::span<const std::uint8_t> bytes) {
+  return decode_guard([&] {
+    BinaryReader reader(
+        std::vector<std::uint8_t>(bytes.begin(), bytes.begin() + std::min<std::size_t>(bytes.size(), 12)));
+    const std::uint32_t magic = reader.read_u32();
+    require(magic == kMagic, "bad magic");
+    const std::uint32_t version = reader.read_u32();
+    if (version != kVersion) {
+      throw WireError("unsupported format version " + std::to_string(version) + " (want " +
+                      std::to_string(kVersion) + ")");
+    }
+    const std::uint32_t record = reader.read_u32();
+    require(record >= kRequestRecord && record <= kPongRecord, "unknown record tag");
+    return record;
+  });
+}
+
+void ignore_sigpipe() {
+  // Once per process is enough; std::call_once keeps concurrent spawners
+  // (the fleet respawn path races submit threads) from re-installing.
+  static std::once_flag installed;
+  std::call_once(installed, [] { std::signal(SIGPIPE, SIG_IGN); });
+}
+
+namespace {
+
+/// fwrite with EINTR retry. Returns false on any other error (the stream's
+/// error flag and errno say why).
+bool write_fully(std::FILE* out, const void* data, std::size_t size) {
+  const auto* bytes = static_cast<const std::uint8_t*>(data);
+  std::size_t written = 0;
+  while (written < size) {
+    const std::size_t n = std::fwrite(bytes + written, 1, size - written, out);
+    written += n;
+    if (written == size) break;
+    if (std::ferror(out) != 0 && errno == EINTR) {
+      std::clearerr(out);
+      continue;
+    }
+    if (n == 0) return false;
+  }
+  return true;
+}
+
+enum class ReadStatus { kOk, kEof, kInterrupted, kError };
+
+/// fread exactly `size` bytes with EINTR retry. `got` reports the bytes
+/// actually read (to distinguish clean EOF from a truncated read).
+/// `interrupt` is checked between attempts: a signal handler setting it
+/// unblocks a reader parked on an idle pipe.
+ReadStatus read_fully(std::FILE* in, void* data, std::size_t size, std::size_t& got,
+                      const std::atomic<bool>* interrupt) {
+  auto* bytes = static_cast<std::uint8_t*>(data);
+  got = 0;
+  while (got < size) {
+    if (interrupt != nullptr && interrupt->load(std::memory_order_relaxed)) {
+      return ReadStatus::kInterrupted;
+    }
+    const std::size_t n = std::fread(bytes + got, 1, size - got, in);
+    got += n;
+    if (got == size) break;
+    if (std::ferror(in) != 0 && errno == EINTR) {
+      std::clearerr(in);
+      continue;
+    }
+    if (std::feof(in) != 0) return ReadStatus::kEof;
+    if (std::ferror(in) != 0) return ReadStatus::kError;
+  }
+  return ReadStatus::kOk;
+}
+
+}  // namespace
+
 void write_frame(std::FILE* out, std::span<const std::uint8_t> payload) {
   if (payload.size() > std::numeric_limits<std::uint32_t>::max()) {
-    throw std::runtime_error("wire: frame too large");
+    throw WireError("frame too large");
   }
   const std::uint32_t length = static_cast<std::uint32_t>(payload.size());
-  if (std::fwrite(&length, sizeof(length), 1, out) != 1 ||
-      (length > 0 && std::fwrite(payload.data(), 1, payload.size(), out) != payload.size()) ||
-      std::fflush(out) != 0) {
-    throw std::runtime_error("wire: frame write failed");
+  errno = 0;
+  if (!write_fully(out, &length, sizeof(length)) ||
+      (length > 0 && !write_fully(out, payload.data(), payload.size()))) {
+    throw WireError(errno == EPIPE ? "peer closed the stream (EPIPE)"
+                                   : "frame write failed: " + std::string(std::strerror(errno)));
+  }
+  errno = 0;
+  // fflush can also take the EPIPE: the peer may close between the buffered
+  // write above and the flush pushing bytes into the pipe.
+  while (std::fflush(out) != 0) {
+    if (errno == EINTR) {
+      std::clearerr(out);
+      continue;
+    }
+    throw WireError(errno == EPIPE ? "peer closed the stream (EPIPE)"
+                                   : "frame flush failed: " + std::string(std::strerror(errno)));
   }
 }
 
-bool read_frame(std::FILE* in, std::vector<std::uint8_t>& payload,
-                std::int64_t max_frame_bytes) {
+bool read_frame(std::FILE* in, std::vector<std::uint8_t>& payload, std::int64_t max_frame_bytes,
+                const std::atomic<bool>* interrupt) {
   std::uint32_t length = 0;
-  const std::size_t header = std::fread(&length, 1, sizeof(length), in);
-  if (header == 0) return false;  // clean end-of-stream
-  if (header != sizeof(length)) throw WireError("truncated frame header");
+  std::size_t got = 0;
+  switch (read_fully(in, &length, sizeof(length), got, interrupt)) {
+    case ReadStatus::kOk:
+      break;
+    case ReadStatus::kInterrupted:
+      return false;  // drain requested: treated as a clean end-of-stream
+    case ReadStatus::kEof:
+      if (got == 0) return false;  // clean end-of-stream
+      throw WireError("truncated frame header");
+    case ReadStatus::kError:
+      throw WireError("frame header read failed: " + std::string(std::strerror(errno)));
+  }
   if (static_cast<std::int64_t>(length) > max_frame_bytes) {
     throw WireError("frame length " + std::to_string(length) + " exceeds limit");
   }
   payload.resize(length);
-  if (length > 0 && std::fread(payload.data(), 1, payload.size(), in) != payload.size()) {
-    throw WireError("truncated frame payload");
+  if (length > 0) {
+    switch (read_fully(in, payload.data(), payload.size(), got, interrupt)) {
+      case ReadStatus::kOk:
+        break;
+      case ReadStatus::kInterrupted:
+        return false;
+      case ReadStatus::kEof:
+        throw WireError("truncated frame payload");
+      case ReadStatus::kError:
+        throw WireError("frame payload read failed: " + std::string(std::strerror(errno)));
+    }
   }
   return true;
 }

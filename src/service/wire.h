@@ -23,8 +23,16 @@
 // shape/payload consistency, and that no trailing bytes remain. Corrupt
 // input of any kind throws WireError — never UB (fuzz-style truncation
 // coverage in tests/test_wire.cpp runs under the ASan/UBSan CI jobs).
+//
+// Version history:
+//   1  PR 9: initial request/result records.
+//   2  PR 10: every request/result carries a caller-assigned request id
+//      (results can arrive out of submission order, which process-sharded
+//      fleets need for re-dispatch), and ping/pong heartbeat records let a
+//      supervisor distinguish a wedged worker from a slow scan.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <cstdio>
 #include <span>
@@ -39,7 +47,16 @@
 namespace usb::wire {
 
 inline constexpr std::uint32_t kMagic = 0x57425355;  // "USBW" little-endian
-inline constexpr std::uint32_t kVersion = 1;
+inline constexpr std::uint32_t kVersion = 2;
+
+/// Record tags, exposed so stream demultiplexers (the fleet supervisor, the
+/// worker loop) can peek_record() a frame and dispatch without trial
+/// decoding. A result frame fed to decode_request (or vice versa) is still
+/// a clean error, never a misparse.
+inline constexpr std::uint32_t kRequestRecord = 1;
+inline constexpr std::uint32_t kResultRecord = 2;
+inline constexpr std::uint32_t kPingRecord = 3;
+inline constexpr std::uint32_t kPongRecord = 4;
 
 /// Any decode-side validation failure (truncation, bad magic/version/tag,
 /// oversized length, inconsistent tensor, trailing bytes).
@@ -52,6 +69,13 @@ struct WireError : std::runtime_error {
 /// non-serializable ScanOptions members (progress callback, the handle-side
 /// knobs) stay local to the server.
 struct WireScanRequest {
+  /// Caller-assigned correlation id, echoed verbatim in the matching
+  /// WireScanResult. Workers answer requests as their scans complete — NOT
+  /// in submission order — so the id is what lets a router match results
+  /// to futures and re-dispatch a dead worker's in-flight requests. 0 is
+  /// reserved for "unattributable" (a worker answering a frame it could
+  /// not decode far enough to learn the id).
+  std::uint64_t request_id = 0;
   ModelRef model_ref;
   ProbeKey probe_key;
   /// Detector selector the server maps to a configured detector ("USB",
@@ -67,6 +91,8 @@ struct WireScanRequest {
 /// The out-of-process form of ScanOutcome: terminal status, error text,
 /// retry count, and the full report.
 struct WireScanResult {
+  /// Echo of WireScanRequest::request_id (0 = unattributable).
+  std::uint64_t request_id = 0;
   ScanStatus status = ScanStatus::kQueued;
   std::string error;
   std::int64_t retries = 0;
@@ -79,18 +105,57 @@ struct WireScanResult {
 [[nodiscard]] std::vector<std::uint8_t> encode_result(const WireScanResult& result);
 [[nodiscard]] WireScanResult decode_result(std::span<const std::uint8_t> bytes);
 
+/// Heartbeat records. A supervisor pings each worker on a fixed cadence;
+/// the worker's frame-reading thread answers with a pong echoing the nonce
+/// immediately — never behind a running scan — so heartbeat SILENCE means
+/// the worker process is dead or wedged, not merely busy (slow scans are
+/// the DetectionService watchdog's job). decode_* throw WireError on
+/// anything but a well-formed frame of the expected record type.
+[[nodiscard]] std::vector<std::uint8_t> encode_ping(std::uint64_t nonce);
+[[nodiscard]] std::uint64_t decode_ping(std::span<const std::uint8_t> bytes);
+[[nodiscard]] std::vector<std::uint8_t> encode_pong(std::uint64_t nonce);
+[[nodiscard]] std::uint64_t decode_pong(std::span<const std::uint8_t> bytes);
+
+/// Validates the frame header (magic + exact version) and returns its
+/// record tag (kRequestRecord/kResultRecord/kPingRecord/kPongRecord)
+/// without decoding the body — the dispatch step of a stream demultiplexer.
+/// Throws WireError on truncation, bad magic, version mismatch, or an
+/// unknown tag.
+[[nodiscard]] std::uint32_t peek_record(std::span<const std::uint8_t> bytes);
+
 /// Stream framing for pipes/sockets: a u32 length prefix, then the payload.
 /// `max_frame_bytes` bounds what read_frame will accept (a corrupt or
 /// hostile length must not drive an unbounded allocation).
+///
+/// Hardened for real pipes between mutually supervising processes:
+///  - reads and writes retry EINTR (a signal must not masquerade as a
+///    truncated frame);
+///  - a peer that closed its end surfaces as WireError (write side: EPIPE —
+///    callers must have SIGPIPE ignored, see ignore_sigpipe(); read side:
+///    truncation), never as silent process death;
+///  - read_frame takes an optional interrupt flag so a drain signal
+///    (SIGTERM in the worker) can stop a BLOCKED reader cleanly: when the
+///    flag is observed set, read_frame returns false exactly like a clean
+///    end-of-stream instead of throwing on the partial frame.
 inline constexpr std::int64_t kDefaultMaxFrameBytes = 256LL * 1024 * 1024;
 
-/// Writes one frame; throws std::runtime_error on I/O failure.
+/// Ignores SIGPIPE process-wide (idempotent). Every process that writes
+/// wire frames to a pipe must call this once at startup; otherwise a peer
+/// closing early kills the writer with SIGPIPE before write_frame can
+/// surface the WireError.
+void ignore_sigpipe();
+
+/// Writes one frame; throws WireError on I/O failure (EPIPE from a closed
+/// peer included). Retries EINTR internally.
 void write_frame(std::FILE* out, std::span<const std::uint8_t> payload);
 
 /// Reads one frame into `payload`. Returns false on clean end-of-stream
-/// (EOF before any header byte); throws WireError on a truncated header or
-/// payload, or a length past `max_frame_bytes`.
+/// (EOF before any header byte) or when `interrupt` is set while waiting;
+/// throws WireError on a truncated header or payload, or a length past
+/// `max_frame_bytes`. Retries EINTR internally (checking `interrupt`
+/// between attempts, which is how a signal handler unblocks the read).
 [[nodiscard]] bool read_frame(std::FILE* in, std::vector<std::uint8_t>& payload,
-                              std::int64_t max_frame_bytes = kDefaultMaxFrameBytes);
+                              std::int64_t max_frame_bytes = kDefaultMaxFrameBytes,
+                              const std::atomic<bool>* interrupt = nullptr);
 
 }  // namespace usb::wire

@@ -17,6 +17,22 @@
 //
 // The registry is process-global and thread-safe; tests must disarm_all()
 // on teardown (gtest fixtures do) so suites stay independent.
+//
+// Point catalog (grep for USB_FAULT_POINT / USB_FAULT_NAN to verify):
+//   scan.prepare / scan.clone / scan.construct / scan.round / scan.cutoff /
+//   scan.retire / scan.finalize   stage boundaries of a running scan
+//                                 (src/defenses/scan_plan.cpp)
+//   probe_store.materialize       probe dataset generation
+//   model_store.load              checkpoint/zoo model resolution
+//   fleet.spawn                   WorkerFleet: one fork/exec attempt; a
+//                                 throw is a failed spawn and backs off
+//   fleet.route                   WorkerFleet: before a request frame is
+//                                 written to a worker; a throw is treated
+//                                 as worker death (EPIPE stand-in) — the
+//                                 request takes a kill and re-dispatches
+//   fleet.heartbeat               WorkerFleet: before a ping is sent; a
+//                                 throw means the worker is unreachable,
+//                                 same as heartbeat silence
 #pragma once
 
 #include <atomic>

@@ -35,6 +35,7 @@ namespace {
 // A request exercising every serialized field, zoo form.
 wire::WireScanRequest sample_zoo_request() {
   wire::WireScanRequest request;
+  request.request_id = 0x1122334455667788ULL;  // v2: every bit must survive
   ModelCaseSpec spec;
   spec.dataset = DatasetSpec::gtsrb_like();
   spec.arch = Architecture::kMiniEffNet;
@@ -81,6 +82,7 @@ wire::WireScanRequest sample_checkpoint_request() {
 // class whose statistic is NaN and a partial per-class state vector.
 wire::WireScanResult sample_result() {
   wire::WireScanResult result;
+  result.request_id = 0xFFFFFFFFFFFFFFFFULL;  // v2 echo, extreme value
   result.status = ScanStatus::kTimedOut;
   result.error = "deadline expired after 2 classes";
   result.retries = 2;
@@ -137,6 +139,7 @@ TEST(Wire, RequestRoundTripIsExactZooForm) {
   // Spot-check the semantically load-bearing fields survived too.
   const wire::WireScanRequest decoded =
       wire::decode_request(wire::encode_request(sample_zoo_request()));
+  EXPECT_EQ(decoded.request_id, 0x1122334455667788ULL);
   ASSERT_TRUE(decoded.model_ref.zoo.has_value());
   EXPECT_EQ(decoded.model_ref.key(), sample_zoo_request().model_ref.key());
   EXPECT_EQ(decoded.probe_key, sample_zoo_request().probe_key);
@@ -300,8 +303,9 @@ TEST(Wire, OversizedAndNegativeLengthPrefixesThrowBeforeAllocation) {
     BinaryWriter writer;
     writer.write_u32(wire::kMagic);
     writer.write_u32(wire::kVersion);
-    writer.write_u32(1);  // request record
-    writer.write_u32(0);  // checkpoint form
+    writer.write_u32(1);        // request record
+    writer.write_i64(7);        // request id (v2)
+    writer.write_u32(0);        // checkpoint form
     writer.write_i64(claimed);  // string length prefix, no payload behind it
     EXPECT_THROW((void)wire::decode_request(writer.buffer()), wire::WireError)
         << "claimed length " << claimed;
@@ -356,6 +360,67 @@ TEST(Wire, FrameRoundTripAndTruncation) {
   std::rewind(file);
   EXPECT_THROW((void)wire::read_frame(file, read_back, /*max_frame_bytes=*/1024),
                wire::WireError);
+  std::fclose(file);
+}
+
+TEST(Wire, PingPongRoundTripAndStrictness) {
+  const std::uint64_t nonce = 0xA5A5A5A5DEADBEEFULL;
+  EXPECT_EQ(wire::decode_ping(wire::encode_ping(nonce)), nonce);
+  EXPECT_EQ(wire::decode_pong(wire::encode_pong(nonce)), nonce);
+  // Record types don't cross: a ping fed to decode_pong (and vice versa)
+  // is a clean error.
+  EXPECT_THROW((void)wire::decode_pong(wire::encode_ping(nonce)), wire::WireError);
+  EXPECT_THROW((void)wire::decode_ping(wire::encode_pong(nonce)), wire::WireError);
+  // Truncation at every length throws.
+  const std::vector<std::uint8_t> full = wire::encode_ping(nonce);
+  for (std::size_t length = 0; length < full.size(); ++length) {
+    EXPECT_THROW((void)wire::decode_ping({full.data(), length}), wire::WireError)
+        << "length " << length;
+  }
+  // Trailing bytes throw.
+  std::vector<std::uint8_t> trailing = full;
+  trailing.push_back(0);
+  EXPECT_THROW((void)wire::decode_ping(trailing), wire::WireError);
+}
+
+TEST(Wire, PeekRecordDispatchesWithoutDecoding) {
+  EXPECT_EQ(wire::peek_record(wire::encode_request(sample_checkpoint_request())),
+            wire::kRequestRecord);
+  EXPECT_EQ(wire::peek_record(wire::encode_result(sample_result())), wire::kResultRecord);
+  EXPECT_EQ(wire::peek_record(wire::encode_ping(1)), wire::kPingRecord);
+  EXPECT_EQ(wire::peek_record(wire::encode_pong(1)), wire::kPongRecord);
+
+  std::vector<std::uint8_t> bytes = wire::encode_ping(1);
+  for (std::size_t length = 0; length < 12; ++length) {
+    EXPECT_THROW((void)wire::peek_record({bytes.data(), length}), wire::WireError);
+  }
+  std::vector<std::uint8_t> bad_magic = bytes;
+  bad_magic[0] = 'X';
+  EXPECT_THROW((void)wire::peek_record(bad_magic), wire::WireError);
+  std::vector<std::uint8_t> bad_version = bytes;
+  bad_version[4] = 0x7F;
+  EXPECT_THROW((void)wire::peek_record(bad_version), wire::WireError);
+  std::vector<std::uint8_t> bad_tag = bytes;
+  bad_tag[8] = 99;
+  EXPECT_THROW((void)wire::peek_record(bad_tag), wire::WireError);
+}
+
+TEST(Wire, InterruptFlagStopsReadLikeCleanEof) {
+  // A set interrupt flag makes read_frame report end-of-stream instead of
+  // blocking — the mechanism behind the worker's SIGTERM graceful drain.
+  // The stream below HAS a full frame waiting; the flag wins anyway
+  // because it is checked before each read.
+  std::FILE* file = std::tmpfile();
+  ASSERT_NE(file, nullptr);
+  wire::write_frame(file, wire::encode_ping(42));
+  std::rewind(file);
+  std::atomic<bool> interrupt{true};
+  std::vector<std::uint8_t> payload;
+  EXPECT_FALSE(wire::read_frame(file, payload, wire::kDefaultMaxFrameBytes, &interrupt));
+  // Cleared flag: the same stream now yields the frame.
+  interrupt.store(false);
+  ASSERT_TRUE(wire::read_frame(file, payload, wire::kDefaultMaxFrameBytes, &interrupt));
+  EXPECT_EQ(wire::decode_ping(payload), 42ULL);
   std::fclose(file);
 }
 
